@@ -1,0 +1,53 @@
+// Ablation: home-directory occupancy contention.
+//
+// The paper's runs use one processor per cluster, so "the local cluster
+// bus is thus underutilized" and message-count differences barely move
+// execution time; Section 6.2 predicts that on a busier machine "the
+// performance degradation due to an increased number of messages [will]
+// be larger than shown here". This harness turns on a directory-occupancy
+// queueing model and re-runs the Figure 10 comparison: the broadcast
+// scheme's extra invalidation bursts now cost time, not just messages.
+#include <iostream>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace dircc;
+  using namespace dircc::bench;
+
+  const ProgramTrace trace =
+      generate_app(AppKind::kLocusRoute, kProcs, kBlockSize, kSeed, 1.0);
+
+  std::cout << "Ablation: directory-occupancy contention, LocusRoute "
+               "(exec time normalized to Dir32 within each model)\n\n";
+  TextTable table;
+  table.header({"contention", "scheme", "exec time", "total msgs",
+                "inv+ack", "queue wait cycles"});
+  for (const bool contention : {false, true}) {
+    RunResult baseline;
+    for (const SchemeConfig& scheme :
+         {scheme_full(), scheme_cv(), scheme_b(), scheme_nb()}) {
+      SystemConfig config = machine(scheme);
+      config.model_contention = contention;
+      const RunResult result = run_trace(config, trace);
+      if (scheme.kind == SchemeKind::kFullBitVector) {
+        baseline = result;
+      }
+      table.row({contention ? "on" : "off", make_format(scheme)->name(),
+                 pct(result.exec_cycles, baseline.exec_cycles),
+                 pct(result.protocol.messages.total(),
+                     baseline.protocol.messages.total()),
+                 pct(result.protocol.messages.inv_plus_ack(),
+                     baseline.protocol.messages.inv_plus_ack()),
+                 fmt_count(result.protocol.contention_wait_cycles)});
+    }
+    table.rule();
+  }
+  table.print(std::cout);
+  std::cout << "\nWithout contention the schemes' execution times are "
+               "nearly identical despite\nvery different message counts; "
+               "with the home controllers modeled as queues,\nthe "
+               "broadcast scheme's message inflation surfaces as time — "
+               "the paper's\nSection 6.2 expectation.\n";
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Ablation: replacement hints (Section 7 trade-off space).
+//
+// Silent shared-line replacement leaves stale sharers in the directory;
+// every later write pays extraneous invalidations, and a sparse directory
+// keeps dead entries pinned. A replacement hint prunes the sharer at the
+// cost of one message per displaced shared line. This harness quantifies
+// both sides on LocusRoute (stale-sharer-heavy) and on the sparse-LU
+// configuration of Figure 11.
+#include <iostream>
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace dircc;
+using namespace dircc::bench;
+
+void panel(const char* title, const ProgramTrace& trace, SystemConfig base) {
+  std::cout << title << "\n\n";
+  TextTable table;
+  table.header({"hints", "exec time", "total msgs", "inv+ack", "extraneous",
+                "hints sent", "dir replacements"});
+  RunResult baseline;
+  for (const bool hints : {false, true}) {
+    SystemConfig config = base;
+    config.replacement_hints = hints;
+    const RunResult result = run_trace(config, trace);
+    if (!hints) {
+      baseline = result;
+    }
+    table.row({hints ? "on" : "off",
+               pct(result.exec_cycles, baseline.exec_cycles),
+               pct(result.protocol.messages.total(),
+                   baseline.protocol.messages.total()),
+               pct(result.protocol.messages.inv_plus_ack(),
+                   baseline.protocol.messages.inv_plus_ack()),
+               fmt_count(result.protocol.extraneous_invalidations),
+               fmt_count(result.protocol.replacement_hints_sent),
+               fmt_count(result.protocol.sparse_replacements)});
+  }
+  table.print(std::cout);
+  std::cout << "\n";
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "Ablation: replacement hints (normalized to hints off = "
+               "100)\n\n";
+
+  // LocusRoute with small caches: lots of silently displaced shared grid
+  // blocks -> stale sharers -> extraneous invalidations on later writes.
+  {
+    const ProgramTrace trace =
+        generate_app(AppKind::kLocusRoute, kProcs, kBlockSize, kSeed, 1.0);
+    panel("LocusRoute, 128-line caches, full bit vector, non-sparse",
+          trace, machine(scheme_full(), 128));
+  }
+
+  // The Figure 11 sparse-LU setup: hints free dead entries, cutting
+  // directory replacements.
+  {
+    LuConfig lu;
+    lu.procs = kProcs;
+    lu.block_size = kBlockSize;
+    lu.n = 160;
+    lu.seed = kSeed;
+    SystemConfig config = machine(scheme_full(), 48);
+    make_sparse(config, 1, 4, ReplPolicy::kRandom);
+    panel("LU, 48-line caches, full bit vector, sparse size factor 1",
+          generate_lu(lu), config);
+  }
+  return 0;
+}

@@ -1,0 +1,113 @@
+// Baseline comparison: cache-based linked-list directories (Section 3.3)
+// versus the memory-based schemes.
+//
+// The paper argues qualitatively that linked-list directories (a) scale
+// their pointer storage with cache size by construction, but (b) serialize
+// invalidations ("each write produces a serial string of invalidations"),
+// (c) pay messages on every cache replacement (no silent drops) and
+// (d) need cache-speed SRAM for the pointers — and that sparse memory-based
+// directories reach similar storage without those costs. This harness puts
+// numbers on all four points.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "model/storage_model.hpp"
+#include "sci/sci_system.hpp"
+
+int main() {
+  using namespace dircc;
+  using namespace dircc::bench;
+
+  std::cout << "Baseline: SCI-style linked-list directory vs memory-based "
+               "schemes (normalized to Dir32 = 100)\n\n";
+
+  for (AppKind app : {AppKind::kLu, AppKind::kMp3d, AppKind::kLocusRoute}) {
+    const ProgramTrace trace =
+        generate_app(app, kProcs, kBlockSize, kSeed, 0.5);
+    std::cout << trace.app_name << ":\n\n";
+
+    TextTable table;
+    table.header({"organization", "exec time", "total msgs", "inv+ack",
+                  "mean invals/event", "extraneous", "repl msgs note"});
+
+    // Memory-based references: full vector and sparse coarse vector.
+    RunResult baseline;
+    {
+      const RunResult r = run_trace(machine(scheme_full()), trace);
+      baseline = r;
+      table.row({"Dir32 (full vector)", "100.0", "100.0", "100.0",
+                 fmt(r.protocol.inval_distribution.mean(), 2),
+                 fmt_count(r.protocol.extraneous_invalidations),
+                 "silent shared drops"});
+    }
+    {
+      SystemConfig config = machine(scheme_cv());
+      make_sparse(config, 2, 4, ReplPolicy::kRandom);
+      const RunResult r = run_trace(config, trace);
+      table.row({"sparse(2) Dir3CV2", pct(r.exec_cycles, baseline.exec_cycles),
+                 pct(r.protocol.messages.total(),
+                     baseline.protocol.messages.total()),
+                 pct(r.protocol.messages.inv_plus_ack(),
+                     baseline.protocol.messages.inv_plus_ack()),
+                 fmt(r.protocol.inval_distribution.mean(), 2),
+                 fmt_count(r.protocol.extraneous_invalidations),
+                 fmt_count(r.protocol.sparse_replacement_invals) +
+                     " repl invals"});
+    }
+    {
+      SciConfig config;
+      config.num_procs = kProcs;
+      config.cache_lines_per_proc = 1024;
+      config.cache_assoc = 4;
+      config.block_size = kBlockSize;
+      SciSystem sci(config);
+      Engine engine(sci, trace);
+      const RunResult r = engine.run();
+      table.row({"SCI linked list", pct(r.exec_cycles, baseline.exec_cycles),
+                 pct(r.protocol.messages.total(),
+                     baseline.protocol.messages.total()),
+                 pct(r.protocol.messages.inv_plus_ack(),
+                     baseline.protocol.messages.inv_plus_ack()),
+                 fmt(r.protocol.inval_distribution.mean(), 2), "0",
+                 fmt_count(sci.sci_stats().unlink_operations) + " unlinks, " +
+                     fmt_count(sci.sci_stats().serialized_cycles) +
+                     " serial cyc"});
+    }
+    table.print(std::cout);
+    std::cout << "\n";
+  }
+
+  // Storage comparison (the paper's Section 4.2 argument).
+  std::cout << "Storage on a 128-processor machine (32 clusters, 16 MB "
+               "memory / 256 KB cache per processor):\n\n";
+  TextTable storage;
+  storage.header({"organization", "where", "total directory bits"});
+  {
+    MachineModel full;
+    full.processors = 128;
+    full.procs_per_cluster = 4;
+    full.scheme = SchemeConfig::full(32);
+    storage.row({"Dir32 non-sparse", "DRAM at memory",
+                 fmt_count(full.directory_bits())});
+    MachineModel sparse = full;
+    sparse.sparsity = 64;
+    storage.row({"sparse(64) Dir32", "DRAM at memory",
+                 fmt_count(sparse.directory_bits())});
+    // SCI: 2 pointers per cache line + head pointer per memory block.
+    const std::uint64_t cache_lines = full.total_cache_blocks();
+    const std::uint64_t ptr_bits =
+        cache_lines * 2ULL *
+        static_cast<std::uint64_t>(log2_ceil(32)) ;
+    const std::uint64_t head_bits =
+        full.total_mem_blocks() * static_cast<std::uint64_t>(log2_ceil(32) + 2);
+    storage.row({"SCI linked list",
+                 "SRAM in caches + head ptrs in DRAM",
+                 fmt_count(ptr_bits) + " + " + fmt_count(head_bits)});
+  }
+  storage.print(std::cout);
+  std::cout << "\nSparse memory-based directories reach linked-list-class "
+               "storage while keeping\ninvalidations parallel and "
+               "replacements silent — the paper's Section 3.3/4.2\n"
+               "argument, quantified.\n";
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Shared helpers for the paper-reproduction benchmark harnesses.
+//
+// Every harness builds SystemConfigs with the paper's simulation parameters
+// (Section 5: 32 processors, one per cluster, 16-byte blocks), runs
+// generated application traces through the engine, and prints paper-style
+// rows. The bench binaries do not try to match the paper's absolute cycle
+// counts — the substrate is a reimplemented simulator — but the normalized
+// comparisons (who wins, by what factor) are the reproduction target.
+#pragma once
+
+#include <iostream>
+#include <string>
+
+#include "common/table.hpp"
+#include "protocol/system.hpp"
+#include "sim/engine.hpp"
+#include "trace/generators.hpp"
+
+namespace dircc::bench {
+
+inline constexpr int kProcs = 32;
+inline constexpr int kBlockSize = 16;
+inline constexpr std::uint64_t kSeed = 1990;
+
+/// The paper's four studied schemes at the ~17-bit directory budget
+/// (Section 5: three pointers, coarse regions of two).
+inline SchemeConfig scheme_full() { return SchemeConfig::full(kProcs); }
+inline SchemeConfig scheme_cv() { return SchemeConfig::coarse(kProcs, 3, 2); }
+inline SchemeConfig scheme_b() { return SchemeConfig::broadcast(kProcs, 3); }
+inline SchemeConfig scheme_nb() {
+  return SchemeConfig::no_broadcast(kProcs, 3);
+}
+
+/// Non-sparse machine used for the scheme-comparison figures.
+inline SystemConfig machine(SchemeConfig scheme,
+                            std::uint64_t cache_lines_per_proc = 1024) {
+  SystemConfig config;
+  config.num_procs = kProcs;
+  config.procs_per_cluster = 1;
+  config.cache_lines_per_proc = cache_lines_per_proc;
+  config.cache_assoc = 4;
+  config.block_size = kBlockSize;
+  config.scheme = scheme;
+  config.seed = kSeed;
+  return config;
+}
+
+/// Adds a sparse directory of `size_factor` x (total cache lines),
+/// distributed over the per-cluster directories.
+inline void make_sparse(SystemConfig& config, int size_factor,
+                        int associativity = 4,
+                        ReplPolicy policy = ReplPolicy::kRandom) {
+  const std::uint64_t total_cache_lines =
+      config.cache_lines_per_proc *
+      static_cast<std::uint64_t>(config.num_procs);
+  const auto clusters = static_cast<std::uint64_t>(config.num_clusters());
+  std::uint64_t per_home =
+      total_cache_lines * static_cast<std::uint64_t>(size_factor) / clusters;
+  // Round up to a whole number of sets.
+  const auto assoc = static_cast<std::uint64_t>(associativity);
+  per_home = ceil_div(per_home, assoc) * assoc;
+  config.store.sparse = true;
+  config.store.sparse_entries = per_home;
+  config.store.sparse_assoc = associativity;
+  config.store.policy = policy;
+}
+
+/// Runs `trace` on `config` and returns the result.
+inline RunResult run_trace(const SystemConfig& config,
+                           const ProgramTrace& trace) {
+  CoherenceSystem system(config);
+  Engine engine(system, trace);
+  return engine.run();
+}
+
+/// Percentage string relative to a baseline ("100" = equal).
+inline std::string pct(double value, double baseline) {
+  if (baseline == 0) {
+    return "-";
+  }
+  return fmt(100.0 * value / baseline, 1);
+}
+
+inline std::string pct(std::uint64_t value, std::uint64_t baseline) {
+  return pct(static_cast<double>(value), static_cast<double>(baseline));
+}
+
+}  // namespace dircc::bench

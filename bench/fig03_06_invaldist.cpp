@@ -1,0 +1,62 @@
+// Figures 3-6: invalidation distributions for LocusRoute under Dir32 (full
+// bit vector), Dir3NB, Dir3B and Dir3CV2.
+//
+// Paper shape (Section 6.1):
+//  * Dir32    — the intrinsic distribution: most events cause 0-2
+//               invalidations, a small tail reaches many sharers
+//               (0.26M events, 0.98 invals/event).
+//  * Dir3NB   — reads displace sharers, so there are many *more* events,
+//               all of size <= 3 (0.42M events, 0.88 invals/event but a
+//               larger total).
+//  * Dir3B    — small events match the full vector; everything that needed
+//               > 3 invalidations becomes a ~30-wide broadcast spike at the
+//               right edge (3.9 invals/event).
+//  * Dir3CV2  — the tail shifts to even region counts instead of exploding
+//               to broadcast; odd-looking peaks come from the region
+//               granularity (1.41 invals/event).
+#include <iostream>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace dircc;
+  using namespace dircc::bench;
+
+  const ProgramTrace trace =
+      generate_app(AppKind::kLocusRoute, kProcs, kBlockSize, kSeed, 1.0);
+
+  struct Panel {
+    const char* figure;
+    SchemeConfig scheme;
+  };
+  const Panel panels[] = {
+      {"Figure 3", scheme_full()},
+      {"Figure 4", scheme_nb()},
+      {"Figure 5", scheme_b()},
+      {"Figure 6", scheme_cv()},
+  };
+
+  for (const Panel& panel : panels) {
+    const RunResult result = run_trace(machine(panel.scheme), trace);
+    const Histogram& dist = result.protocol.inval_distribution;
+    std::cout << panel.figure << ": invalidation distribution, LocusRoute, "
+              << make_format(panel.scheme)->name() << "\n";
+    std::cout << "  invalidation events: " << fmt_count(dist.events())
+              << "   total invalidations: " << fmt_count(dist.total())
+              << "   mean per event: " << fmt(dist.mean(), 2) << "\n";
+    TextTable table;
+    table.header({"invals", "events", "% of events", "bar"});
+    for (std::uint64_t v = 0; v <= dist.max_value(); ++v) {
+      const double frac = dist.fraction_at(v);
+      if (dist.count_at(v) == 0 && frac == 0.0) {
+        continue;
+      }
+      const int bar_len = static_cast<int>(frac * 60 + 0.5);
+      table.row({std::to_string(v), fmt_count(dist.count_at(v)),
+                 fmt(frac * 100, 2), std::string(bar_len, '#')});
+    }
+    table.print(std::cout);
+    std::cout << "\n";
+  }
+  return 0;
+}

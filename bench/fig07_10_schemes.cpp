@@ -1,0 +1,68 @@
+// Figures 7-10: normalized execution time and message traffic of the four
+// directory schemes on LU, DWF, MP3D and LocusRoute (32 processors,
+// non-sparse directories).
+//
+// Paper shape (Section 6.2):
+//  * LU (Fig. 7)         — Dir3NB blows up (pivot column read by all);
+//                          full/CV/B indistinguishable.
+//  * DWF (Fig. 8)        — same story via the read-only pattern arrays.
+//  * MP3D (Fig. 9)       — migratory 1-2 sharers: every scheme fine.
+//  * LocusRoute (Fig.10) — Dir3B broadcasts on ~4-8-sharer writes; the only
+//                          app where Dir3NB beats Dir3B; Dir3CV2 stays
+//                          within ~12% of the full vector's traffic.
+#include <iostream>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace dircc;
+  using namespace dircc::bench;
+
+  struct Panel {
+    const char* figure;
+    AppKind app;
+  };
+  const Panel panels[] = {
+      {"Figure 7", AppKind::kLu},
+      {"Figure 8", AppKind::kDwf},
+      {"Figure 9", AppKind::kMp3d},
+      {"Figure 10", AppKind::kLocusRoute},
+  };
+  const SchemeConfig schemes[] = {scheme_full(), scheme_cv(), scheme_b(),
+                                  scheme_nb()};
+
+  for (const Panel& panel : panels) {
+    const ProgramTrace trace =
+        generate_app(panel.app, kProcs, kBlockSize, kSeed, 1.0);
+    std::cout << panel.figure << ": performance for " << trace.app_name
+              << " (normalized to " << make_format(scheme_full())->name()
+              << " = 100)\n\n";
+
+    RunResult baseline;
+    TextTable table;
+    table.header({"scheme", "exec time", "requests+wb", "replies",
+                  "inv+ack", "total msgs", "extraneous", "inval events",
+                  "mean invals"});
+    for (const SchemeConfig& scheme : schemes) {
+      const RunResult result = run_trace(machine(scheme), trace);
+      if (scheme.kind == SchemeKind::kFullBitVector) {
+        baseline = result;
+      }
+      const MessageCounters& m = result.protocol.messages;
+      const MessageCounters& bm = baseline.protocol.messages;
+      table.row({make_format(scheme)->name(),
+                 pct(result.exec_cycles, baseline.exec_cycles),
+                 pct(m.requests_with_writebacks(),
+                     bm.requests_with_writebacks()),
+                 pct(m.get(MsgClass::kReply), bm.get(MsgClass::kReply)),
+                 pct(m.inv_plus_ack(), bm.inv_plus_ack()),
+                 pct(m.total(), bm.total()),
+                 fmt_count(result.protocol.extraneous_invalidations),
+                 fmt_count(result.protocol.inval_distribution.events()),
+                 fmt(result.protocol.inval_distribution.mean(), 2)});
+    }
+    table.print(std::cout);
+    std::cout << "\n";
+  }
+  return 0;
+}

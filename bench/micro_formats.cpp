@@ -1,0 +1,92 @@
+// google-benchmark microbenchmarks for the per-access hot paths: directory
+// format operations and whole protocol transactions.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "directory/format.hpp"
+#include "directory/store.hpp"
+#include "protocol/system.hpp"
+
+namespace {
+
+using namespace dircc;
+
+SchemeConfig scheme_for(int which) {
+  switch (which) {
+    case 0:
+      return SchemeConfig::full(64);
+    case 1:
+      return SchemeConfig::broadcast(64, 3);
+    case 2:
+      return SchemeConfig::no_broadcast(64, 3);
+    case 3:
+      return SchemeConfig::superset(64, 3);
+    default:
+      return SchemeConfig::coarse(64, 3, 4);
+  }
+}
+
+void BM_FormatAddSharer(benchmark::State& state) {
+  const auto format = make_format(scheme_for(static_cast<int>(state.range(0))));
+  Rng rng(1);
+  SharerRepr repr;
+  int added = 0;
+  for (auto _ : state) {
+    if (++added % 16 == 0) {
+      repr.reset();
+    }
+    benchmark::DoNotOptimize(
+        format->add_sharer(repr, static_cast<NodeId>(rng.below(64))));
+  }
+}
+BENCHMARK(BM_FormatAddSharer)->DenseRange(0, 4)->ArgName("scheme");
+
+void BM_FormatCollectTargets(benchmark::State& state) {
+  const auto format = make_format(scheme_for(static_cast<int>(state.range(0))));
+  Rng rng(1);
+  SharerRepr repr;
+  for (int i = 0; i < 12; ++i) {
+    format->add_sharer(repr, static_cast<NodeId>(rng.below(64)));
+  }
+  std::vector<NodeId> targets;
+  for (auto _ : state) {
+    targets.clear();
+    format->collect_targets(repr, 0, targets);
+    benchmark::DoNotOptimize(targets.data());
+  }
+}
+BENCHMARK(BM_FormatCollectTargets)->DenseRange(0, 4)->ArgName("scheme");
+
+void BM_SparseStoreFindOrAlloc(benchmark::State& state) {
+  SparseDirectoryStore store(1024, static_cast<int>(state.range(0)),
+                             ReplPolicy::kLru, 1);
+  Rng rng(2);
+  std::optional<VictimEntry> victim;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(store.find_or_alloc(rng.below(8192), victim));
+  }
+}
+BENCHMARK(BM_SparseStoreFindOrAlloc)->Arg(1)->Arg(4)->ArgName("assoc");
+
+void BM_ProtocolAccess(benchmark::State& state) {
+  SystemConfig config;
+  config.num_procs = 32;
+  config.cache_lines_per_proc = 256;
+  config.cache_assoc = 4;
+  config.scheme = state.range(0) == 0 ? SchemeConfig::full(32)
+                                      : SchemeConfig::coarse(32, 3, 2);
+  config.validate = false;  // measure the protocol, not the checker
+  CoherenceSystem system(config);
+  Rng rng(3);
+  for (auto _ : state) {
+    const auto proc = static_cast<ProcId>(rng.below(32));
+    const auto block = static_cast<BlockAddr>(rng.below(2048));
+    benchmark::DoNotOptimize(system.access(proc, block, rng.chance(0.3)));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ProtocolAccess)->Arg(0)->Arg(1)->ArgName("cv");
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,70 @@
+// Scale study: the paper's motivating claim — "a combination of the two
+// techniques presented will allow machines to be scaled to hundreds of
+// processors while keeping the directory memory overhead reasonable"
+// (Section 8).
+//
+// Sweeps the machine from 16 to 256 clusters, comparing the full bit
+// vector's quadratic directory growth against sparse coarse-vector
+// directories (constant ~13% overhead), and running MP3D at every size to
+// show the coarse vector's traffic staying within a whisker of the full
+// vector's as the machine grows.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "model/storage_model.hpp"
+
+int main() {
+  using namespace dircc;
+  using namespace dircc::bench;
+
+  std::cout << "Scale study: directory overhead and traffic, 16 to 256 "
+               "clusters\n\n";
+  TextTable table;
+  table.header({"clusters", "Dir_P overhead", "sparse(4) CV overhead",
+                "CV scheme", "MP3D msgs vs full", "mean invals (full)",
+                "mean invals (CV)"});
+  for (int clusters : {16, 32, 64, 128, 256}) {
+    // Storage: 4 processors per cluster, 16 MB / 256 KB per processor.
+    MachineModel full;
+    full.processors = clusters * 4;
+    full.procs_per_cluster = 4;
+    full.scheme = SchemeConfig::full(clusters);
+
+    // Size the coarse vector like the paper: ~2 bytes of pointer state.
+    const int pointers = clusters <= 32 ? 3 : 8;
+    const int region = clusters <= 32 ? 2 : clusters / 64 * 4;
+    const SchemeConfig cv_scheme = SchemeConfig::coarse(
+        clusters, pointers, region < 2 ? 2 : region);
+    MachineModel cv = full;
+    cv.scheme = cv_scheme;
+    cv.sparsity = 4;
+
+    // Traffic: MP3D with one processor per cluster at every size.
+    const ProgramTrace trace =
+        generate_app(AppKind::kMp3d, clusters, kBlockSize, kSeed, 0.25);
+    SystemConfig full_config;
+    full_config.num_procs = clusters;
+    full_config.cache_lines_per_proc = 256;
+    full_config.cache_assoc = 4;
+    full_config.scheme = SchemeConfig::full(clusters);
+    const RunResult full_run = run_trace(full_config, trace);
+    SystemConfig cv_config = full_config;
+    cv_config.scheme = cv_scheme;
+    const RunResult cv_run = run_trace(cv_config, trace);
+
+    table.row({std::to_string(clusters),
+               fmt(full.overhead_fraction() * 100, 1) + "%",
+               fmt(cv.overhead_fraction() * 100, 1) + "%",
+               make_format(cv_scheme)->name(),
+               pct(cv_run.protocol.messages.total(),
+                   full_run.protocol.messages.total()),
+               fmt(full_run.protocol.inval_distribution.mean(), 2),
+               fmt(cv_run.protocol.inval_distribution.mean(), 2)});
+  }
+  table.print(std::cout);
+  std::cout << "\nThe full vector's overhead grows linearly in cluster "
+               "count (quadratic in total\nstate); sparse coarse vectors "
+               "hold ~13% at every size with near-identical\ntraffic on "
+               "migratory workloads.\n";
+  return 0;
+}

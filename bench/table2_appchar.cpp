@@ -1,0 +1,38 @@
+// Table 2: general application characteristics of the four generated
+// benchmark traces (32 processors, 16-byte blocks).
+//
+// Paper reports (in millions): shared refs, shared reads, shared writes,
+// sync ops (thousands) and shared space (MB). Our traces are scaled-down
+// algorithmic regenerations, so the absolute counts are smaller; the
+// read/write ratios and the relative data-set sizes are the comparison
+// points.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "common/table.hpp"
+#include "trace/generators.hpp"
+
+int main() {
+  using namespace dircc;
+  using namespace dircc::bench;
+
+  std::cout << "Table 2: general application characteristics (" << kProcs
+            << " processors, " << kBlockSize << " B blocks)\n\n";
+  TextTable table;
+  table.header({"application", "shared refs", "reads", "writes", "sync ops",
+                "shared space (MB)", "read/write"});
+  for (AppKind app : {AppKind::kLu, AppKind::kDwf, AppKind::kMp3d,
+                      AppKind::kLocusRoute}) {
+    const ProgramTrace trace =
+        generate_app(app, kProcs, kBlockSize, kSeed, 1.0);
+    const TraceCharacteristics c = characterize(trace);
+    table.row({trace.app_name, fmt_count(c.shared_refs),
+               fmt_count(c.shared_reads), fmt_count(c.shared_writes),
+               fmt_count(c.sync_ops), fmt(c.shared_mbytes, 2),
+               fmt(static_cast<double>(c.shared_reads) /
+                       static_cast<double>(c.shared_writes),
+                   2)});
+  }
+  table.print(std::cout);
+  return 0;
+}

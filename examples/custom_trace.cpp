@@ -1,0 +1,94 @@
+// custom_trace: author a reference trace directly against the trace API,
+// validate it, round-trip it through the binary file format, and replay it.
+//
+// The workload is the textbook false-sharing demo: two processors
+// ping-pong writes on the *same* block, then the fixed version where each
+// writes its own block — the directory traffic difference is the point.
+//
+//   $ ./custom_trace
+#include <cstdio>
+#include <iostream>
+
+#include "common/table.hpp"
+#include "protocol/system.hpp"
+#include "sim/engine.hpp"
+#include "trace/trace_file.hpp"
+#include "trace/validate.hpp"
+
+namespace {
+
+using namespace dircc;
+
+ProgramTrace make_trace(bool false_sharing) {
+  ProgramTrace trace;
+  trace.app_name = false_sharing ? "false-sharing" : "padded";
+  trace.block_size = 16;
+  trace.per_proc.resize(2);
+  // Two counters: in the false-sharing variant they sit in one block; in
+  // the padded variant each gets its own.
+  const Addr counter0 = 0;
+  const Addr counter1 = false_sharing ? 8 : 16;
+  for (int round = 0; round < 2000; ++round) {
+    trace.per_proc[0].push_back(TraceEvent::read(counter0));
+    trace.per_proc[0].push_back(TraceEvent::write(counter0));
+    trace.per_proc[0].push_back(TraceEvent::think(5));
+    trace.per_proc[1].push_back(TraceEvent::read(counter1));
+    trace.per_proc[1].push_back(TraceEvent::write(counter1));
+    trace.per_proc[1].push_back(TraceEvent::think(5));
+  }
+  // A closing barrier keeps both processors' lifetimes aligned.
+  trace.per_proc[0].push_back(TraceEvent::barrier(0));
+  trace.per_proc[1].push_back(TraceEvent::barrier(0));
+  return trace;
+}
+
+RunResult replay(const ProgramTrace& trace) {
+  SystemConfig config;
+  config.num_procs = 2;
+  config.cache_lines_per_proc = 64;
+  config.cache_assoc = 4;
+  config.scheme = SchemeConfig::full(2);
+  CoherenceSystem system(config);
+  Engine engine(system, trace);
+  return engine.run();
+}
+
+}  // namespace
+
+int main() {
+  TextTable table;
+  table.header({"variant", "exec cycles", "total msgs",
+                "ownership transfers"});
+  for (const bool false_sharing : {true, false}) {
+    ProgramTrace trace = make_trace(false_sharing);
+
+    // Validate, save, reload — the same path an externally captured trace
+    // would take.
+    std::string error;
+    if (!validate_trace(trace, &error)) {
+      std::cerr << "trace invalid: " << error << "\n";
+      return 1;
+    }
+    const std::string path = "/tmp/dircc_custom_" + trace.app_name + ".trc";
+    if (!save_trace(path, trace)) {
+      std::cerr << "could not write " << path << "\n";
+      return 1;
+    }
+    ProgramTrace loaded;
+    if (!load_trace(path, loaded)) {
+      std::cerr << "could not reload " << path << "\n";
+      return 1;
+    }
+    std::remove(path.c_str());
+
+    const RunResult result = replay(loaded);
+    table.row({loaded.app_name, fmt_count(result.exec_cycles),
+               fmt_count(result.total_messages().total()),
+               fmt_count(result.protocol.ownership_transfers)});
+  }
+  table.print(std::cout);
+  std::cout << "\nThe false-sharing variant ping-pongs ownership of one "
+               "block on every round;\npadding the counters to separate "
+               "blocks removes nearly all coherence traffic.\n";
+  return 0;
+}

@@ -1,0 +1,286 @@
+// dircc_sim: general-purpose command-line simulator driver.
+//
+// Runs any built-in application (or a trace file captured with the library)
+// on any machine/scheme/sparse configuration and prints a full report —
+// the tool a downstream user reaches for before scripting the C++ API.
+//
+//   $ ./dircc_sim --app locus --scheme cv --pointers 3 --region 2
+//   $ ./dircc_sim --app lu --sparse --size-factor 1 --policy lru
+//   $ ./dircc_sim --trace my.trc --scheme full
+//   $ ./dircc_sim --app mp3d --sci            # linked-list baseline
+//   $ ./dircc_sim --app mp3d --rc --l1-lines 64 --json out.json
+//   $ ./dircc_sim --help
+#include <fstream>
+#include <iostream>
+
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "protocol/system.hpp"
+#include "sci/sci_system.hpp"
+#include "sim/engine.hpp"
+#include "sim/report.hpp"
+#include "trace/generators.hpp"
+#include "trace/trace_file.hpp"
+#include "trace/validate.hpp"
+
+namespace {
+
+using namespace dircc;
+
+bool pick_app(const std::string& name, AppKind& app) {
+  if (name == "lu") {
+    app = AppKind::kLu;
+  } else if (name == "dwf") {
+    app = AppKind::kDwf;
+  } else if (name == "mp3d") {
+    app = AppKind::kMp3d;
+  } else if (name == "locus") {
+    app = AppKind::kLocusRoute;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+bool pick_scheme(const std::string& name, int nodes, int pointers, int region,
+                 SchemeConfig& scheme) {
+  if (name == "full") {
+    scheme = SchemeConfig::full(nodes);
+  } else if (name == "cv") {
+    scheme = SchemeConfig::coarse(nodes, pointers, region);
+  } else if (name == "b") {
+    scheme = SchemeConfig::broadcast(nodes, pointers);
+  } else if (name == "nb") {
+    scheme = SchemeConfig::no_broadcast(nodes, pointers);
+  } else if (name == "x") {
+    scheme = SchemeConfig::superset(nodes, pointers < 2 ? 2 : pointers);
+  } else {
+    return false;
+  }
+  return true;
+}
+
+bool pick_policy(const std::string& name, ReplPolicy& policy) {
+  if (name == "lru") {
+    policy = ReplPolicy::kLru;
+  } else if (name == "random") {
+    policy = ReplPolicy::kRandom;
+  } else if (name == "lra") {
+    policy = ReplPolicy::kLra;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliParser cli;
+  cli.add_option("app", "mp3d", "workload: lu | dwf | mp3d | locus");
+  cli.add_option("trace", "", "replay a trace file instead of --app");
+  cli.add_option("scale", "0.5", "workload scale factor (0, 1]");
+  cli.add_option("procs", "32", "processor count");
+  cli.add_option("cluster", "1", "processors per cluster");
+  cli.add_option("scheme", "cv", "directory scheme: full | cv | b | nb | x");
+  cli.add_option("pointers", "3", "pointers per entry (limited schemes)");
+  cli.add_option("region", "2", "coarse-vector region size");
+  cli.add_option("cache-lines", "1024", "cache lines per processor");
+  cli.add_option("cache-assoc", "4", "cache associativity");
+  cli.add_flag("sparse", "use a sparse directory");
+  cli.add_option("size-factor", "1", "sparse entries / total cache lines");
+  cli.add_option("sparse-assoc", "4", "sparse directory associativity");
+  cli.add_option("policy", "random", "sparse replacement: lru|random|lra");
+  cli.add_option("per-hop", "0", "extra cycles per mesh hop");
+  cli.add_option("seed", "1990", "workload seed");
+  cli.add_option("save-trace", "", "write the generated trace to a file");
+  cli.add_option("l1-lines", "0", "first-level cache lines (0 = one level)");
+  cli.add_option("group", "1", "blocks sharing one wide directory entry");
+  cli.add_flag("hints", "send replacement hints for displaced shared lines");
+  cli.add_flag("rc", "release-consistency write buffering");
+  cli.add_flag("contention", "model home-directory occupancy queueing");
+  cli.add_flag("sci", "use the SCI linked-list directory instead");
+  cli.add_option("json", "", "append a machine-readable report to a file");
+
+  if (!cli.parse(argc, argv)) {
+    std::cerr << cli.error() << "\n" << cli.usage("dircc_sim");
+    return 1;
+  }
+  if (cli.help_requested()) {
+    std::cout << cli.usage("dircc_sim");
+    return 0;
+  }
+
+  const int procs = static_cast<int>(cli.get_int("procs"));
+  const int per_cluster = static_cast<int>(cli.get_int("cluster"));
+  if (procs < 1 || per_cluster < 1 || procs % per_cluster != 0) {
+    std::cerr << "invalid --procs/--cluster combination\n";
+    return 1;
+  }
+  const int clusters = procs / per_cluster;
+
+  SchemeConfig scheme;
+  if (!pick_scheme(cli.get("scheme"), clusters,
+                   static_cast<int>(cli.get_int("pointers")),
+                   static_cast<int>(cli.get_int("region")), scheme)) {
+    std::cerr << "unknown --scheme " << cli.get("scheme") << "\n";
+    return 1;
+  }
+
+  ProgramTrace trace;
+  if (!cli.get("trace").empty()) {
+    if (!load_trace(cli.get("trace"), trace)) {
+      std::cerr << "failed to load trace " << cli.get("trace") << "\n";
+      return 1;
+    }
+    if (trace.num_procs() != procs) {
+      std::cerr << "trace has " << trace.num_procs()
+                << " processors; pass --procs " << trace.num_procs() << "\n";
+      return 1;
+    }
+  } else {
+    AppKind app;
+    if (!pick_app(cli.get("app"), app)) {
+      std::cerr << "unknown --app " << cli.get("app") << "\n";
+      return 1;
+    }
+    trace = generate_app(app, procs, 16,
+                         static_cast<std::uint64_t>(cli.get_int("seed")),
+                         cli.get_double("scale"));
+  }
+  std::string trace_error;
+  if (!validate_trace(trace, &trace_error)) {
+    std::cerr << "trace is malformed: " << trace_error << "\n";
+    return 1;
+  }
+  if (!cli.get("save-trace").empty() &&
+      !save_trace(cli.get("save-trace"), trace)) {
+    std::cerr << "failed to save trace to " << cli.get("save-trace") << "\n";
+    return 1;
+  }
+
+  EngineConfig engine_config;
+  engine_config.release_consistency = cli.get_flag("rc");
+
+  if (cli.get_flag("sci")) {
+    if (per_cluster != 1) {
+      std::cerr << "--sci models one processor per cluster\n";
+      return 1;
+    }
+    SciConfig sci_config;
+    sci_config.num_procs = procs;
+    sci_config.cache_lines_per_proc =
+        static_cast<std::uint64_t>(cli.get_int("cache-lines"));
+    sci_config.cache_assoc = static_cast<int>(cli.get_int("cache-assoc"));
+    sci_config.block_size = trace.block_size;
+    SciSystem system(sci_config);
+    Engine engine(system, trace, engine_config);
+    const RunResult result = engine.run();
+    std::cout << "workload " << trace.app_name << " ("
+              << fmt_count(trace.total_events())
+              << " events) on SCI linked-list directory, " << procs
+              << " processors\n\n";
+    TextTable table;
+    table.header({"metric", "value"});
+    table.row({"execution cycles", fmt_count(result.exec_cycles)});
+    table.row({"total messages", fmt_count(result.total_messages().total())});
+    table.row({"invalidations + acks",
+               fmt_count(result.total_messages().inv_plus_ack())});
+    table.row({"serialized purge cycles",
+               fmt_count(system.sci_stats().serialized_cycles)});
+    table.row({"unlink operations",
+               fmt_count(system.sci_stats().unlink_operations)});
+    table.print(std::cout);
+    if (!cli.get("json").empty()) {
+      RunReport report(trace.app_name, result);
+      report.add_field("organization", std::string("sci"));
+      std::ofstream out(cli.get("json"), std::ios::app);
+      report.write_json(out);
+      out << '\n';
+    }
+    return 0;
+  }
+
+  SystemConfig config;
+  config.num_procs = procs;
+  config.procs_per_cluster = per_cluster;
+  config.cache_lines_per_proc =
+      static_cast<std::uint64_t>(cli.get_int("cache-lines"));
+  config.cache_assoc = static_cast<int>(cli.get_int("cache-assoc"));
+  config.block_size = trace.block_size;
+  config.scheme = scheme;
+  config.latency.per_hop =
+      static_cast<Cycle>(cli.get_int("per-hop"));
+  config.l1_lines_per_proc =
+      static_cast<std::uint64_t>(cli.get_int("l1-lines"));
+  config.blocks_per_group = static_cast<int>(cli.get_int("group"));
+  config.replacement_hints = cli.get_flag("hints");
+  config.model_contention = cli.get_flag("contention");
+  if (cli.get_flag("sparse")) {
+    ReplPolicy policy;
+    if (!pick_policy(cli.get("policy"), policy)) {
+      std::cerr << "unknown --policy " << cli.get("policy") << "\n";
+      return 1;
+    }
+    const std::uint64_t total_lines =
+        config.cache_lines_per_proc * static_cast<std::uint64_t>(procs);
+    const auto assoc =
+        static_cast<std::uint64_t>(cli.get_int("sparse-assoc"));
+    std::uint64_t per_home = total_lines *
+                             static_cast<std::uint64_t>(
+                                 cli.get_int("size-factor")) /
+                             static_cast<std::uint64_t>(clusters);
+    per_home = ceil_div(per_home, assoc) * assoc;
+    config.store.sparse = true;
+    config.store.sparse_entries = per_home;
+    config.store.sparse_assoc = static_cast<int>(assoc);
+    config.store.policy = policy;
+  }
+
+  CoherenceSystem system(config);
+  Engine engine(system, trace, engine_config);
+  const RunResult result = engine.run();
+
+  if (!cli.get("json").empty()) {
+    RunReport report(trace.app_name, result);
+    report.add_field("organization", system.format().name());
+    std::ofstream out(cli.get("json"), std::ios::app);
+    report.write_json(out);
+    out << '\n';
+  }
+
+  std::cout << "workload " << trace.app_name << " ("
+            << fmt_count(trace.total_events()) << " events) on "
+            << clusters << " clusters x " << per_cluster << " procs, scheme "
+            << system.format().name()
+            << (config.store.sparse ? " (sparse)" : "") << "\n\n";
+  TextTable table;
+  table.header({"metric", "value"});
+  table.row({"execution cycles", fmt_count(result.exec_cycles)});
+  const MessageCounters total = result.total_messages();
+  table.row({"requests (incl. writebacks)",
+             fmt_count(total.requests_with_writebacks())});
+  table.row({"replies", fmt_count(total.get(MsgClass::kReply))});
+  table.row({"invalidations + acks", fmt_count(total.inv_plus_ack())});
+  table.row({"total messages", fmt_count(total.total())});
+  table.row({"extraneous invalidations",
+             fmt_count(result.protocol.extraneous_invalidations)});
+  table.row({"invalidation events",
+             fmt_count(result.protocol.inval_distribution.events())});
+  table.row({"mean invals/event",
+             fmt(result.protocol.inval_distribution.mean(), 2)});
+  table.row({"ownership transfers",
+             fmt_count(result.protocol.ownership_transfers)});
+  table.row({"sparse replacements",
+             fmt_count(result.protocol.sparse_replacements)});
+  table.row({"cache read hit rate",
+             fmt(100.0 * static_cast<double>(result.cache.read_hits) /
+                     static_cast<double>(result.cache.read_hits +
+                                         result.cache.read_misses + 1),
+                 1) +
+                 "%"});
+  table.row({"lock acquires", fmt_count(result.sync.lock_acquires)});
+  table.row({"barrier episodes", fmt_count(result.sync.barrier_episodes)});
+  table.print(std::cout);
+  return 0;
+}

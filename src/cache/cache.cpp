@@ -1,0 +1,156 @@
+#include "cache/cache.hpp"
+
+#include "common/ensure.hpp"
+
+namespace dircc {
+
+Cache::Cache(std::uint64_t num_lines, int associativity)
+    : num_sets_(0), assoc_(associativity) {
+  ensure(associativity >= 1, "cache associativity must be >= 1");
+  ensure(num_lines >= static_cast<std::uint64_t>(associativity) &&
+             num_lines % static_cast<std::uint64_t>(associativity) == 0,
+         "cache line count must be a positive multiple of associativity");
+  num_sets_ = num_lines / static_cast<std::uint64_t>(associativity);
+  ways_.resize(num_lines);
+}
+
+Cache::Way* Cache::probe_way(BlockAddr block) {
+  const std::uint64_t base = set_of(block) * static_cast<std::uint64_t>(assoc_);
+  for (int w = 0; w < assoc_; ++w) {
+    Way& way = ways_[base + static_cast<std::uint64_t>(w)];
+    if (way.valid && way.block == block) {
+      return &way;
+    }
+  }
+  return nullptr;
+}
+
+const Cache::Way* Cache::probe_way(BlockAddr block) const {
+  return const_cast<Cache*>(this)->probe_way(block);
+}
+
+LineState Cache::probe(BlockAddr block) const {
+  const Way* way = probe_way(block);
+  return way == nullptr ? LineState::kInvalid : way->state;
+}
+
+bool Cache::read_lookup(BlockAddr block) {
+  Way* way = probe_way(block);
+  if (way == nullptr) {
+    ++stats_.read_misses;
+    return false;
+  }
+  way->last_use = ++stamp_;
+  ++stats_.read_hits;
+  return true;
+}
+
+Cache::WriteLookup Cache::write_lookup(BlockAddr block) {
+  Way* way = probe_way(block);
+  if (way == nullptr) {
+    ++stats_.write_misses;
+    return WriteLookup::kMiss;
+  }
+  way->last_use = ++stamp_;
+  if (way->state == LineState::kModified) {
+    ++stats_.write_hits;
+    return WriteLookup::kHitModified;
+  }
+  ++stats_.write_upgrades;
+  return WriteLookup::kHitShared;
+}
+
+void Cache::fill(BlockAddr block, LineState state, std::uint32_t version,
+                 std::optional<EvictedLine>& evicted) {
+  evicted.reset();
+  ensure(state != LineState::kInvalid, "cannot fill an Invalid line");
+  ensure(probe_way(block) == nullptr, "fill of a block already present");
+  const std::uint64_t base = set_of(block) * static_cast<std::uint64_t>(assoc_);
+  // Prefer a free way; otherwise displace the LRU way.
+  Way* target = nullptr;
+  for (int w = 0; w < assoc_; ++w) {
+    Way& way = ways_[base + static_cast<std::uint64_t>(w)];
+    if (!way.valid) {
+      target = &way;
+      break;
+    }
+    if (target == nullptr || way.last_use < target->last_use) {
+      target = &way;
+    }
+  }
+  if (target->valid) {
+    const bool dirty = target->state == LineState::kModified;
+    evicted = EvictedLine{target->block, target->version, dirty};
+    if (dirty) {
+      ++stats_.evictions_dirty;
+    } else {
+      ++stats_.evictions_clean;
+    }
+  } else {
+    ++valid_;
+  }
+  target->valid = true;
+  target->block = block;
+  target->state = state;
+  target->version = version;
+  target->last_use = ++stamp_;
+}
+
+void Cache::upgrade(BlockAddr block, std::uint32_t version) {
+  Way* way = probe_way(block);
+  ensure(way != nullptr && way->state == LineState::kShared,
+         "upgrade requires a Shared line");
+  way->state = LineState::kModified;
+  way->version = version;
+  way->last_use = ++stamp_;
+}
+
+void Cache::write_touch(BlockAddr block, std::uint32_t version) {
+  Way* way = probe_way(block);
+  ensure(way != nullptr && way->state == LineState::kModified,
+         "write_touch requires a Modified line");
+  way->version = version;
+  way->last_use = ++stamp_;
+}
+
+bool Cache::refresh(BlockAddr block, std::uint32_t version) {
+  Way* way = probe_way(block);
+  if (way == nullptr) {
+    return false;
+  }
+  way->version = version;
+  way->last_use = ++stamp_;
+  return true;
+}
+
+Cache::InvalidateResult Cache::invalidate(BlockAddr block) {
+  Way* way = probe_way(block);
+  if (way == nullptr) {
+    ++stats_.invalidations_empty;
+    return {};
+  }
+  ++stats_.invalidations_received;
+  InvalidateResult result{true, way->state == LineState::kModified,
+                          way->version};
+  way->valid = false;
+  way->state = LineState::kInvalid;
+  ensure(valid_ > 0, "cache valid-line underflow");
+  --valid_;
+  return result;
+}
+
+std::uint32_t Cache::downgrade(BlockAddr block) {
+  Way* way = probe_way(block);
+  ensure(way != nullptr && way->state == LineState::kModified,
+         "downgrade requires a Modified line");
+  way->state = LineState::kShared;
+  return way->version;
+}
+
+std::uint32_t Cache::version_of(BlockAddr block) const {
+  const Way* way = probe_way(block);
+  ensure(way != nullptr, "version_of on an absent block");
+  return way->version;
+}
+
+}  // namespace dircc

@@ -1,0 +1,119 @@
+// Private processor cache model.
+//
+// Each simulated processor has one set-associative write-back cache (it
+// stands for the DASH secondary cache, which is the coherence point). Lines
+// carry MSI-style states plus a version number used by the value-coherence
+// property checks: every committed write increments the block's global
+// version, and a correct protocol must only ever let a read observe the
+// latest version.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace dircc {
+
+/// Cache line states (MSI; Exclusive-clean is folded into Modified the way
+/// the DASH directory treats "dirty": the owner may write without a further
+/// directory transaction).
+enum class LineState : std::uint8_t { kInvalid, kShared, kModified };
+
+/// A dirty line displaced by a fill; the protocol turns it into a writeback.
+struct EvictedLine {
+  BlockAddr block = 0;
+  std::uint32_t version = 0;
+  bool dirty = false;
+};
+
+/// Per-cache event counters.
+struct CacheStats {
+  std::uint64_t read_hits = 0;
+  std::uint64_t read_misses = 0;
+  std::uint64_t write_hits = 0;        ///< hits on a Modified line
+  std::uint64_t write_upgrades = 0;    ///< hits on a Shared line
+  std::uint64_t write_misses = 0;
+  std::uint64_t evictions_clean = 0;
+  std::uint64_t evictions_dirty = 0;
+  std::uint64_t invalidations_received = 0;  ///< line present and killed
+  std::uint64_t invalidations_empty = 0;     ///< extraneous (no copy held)
+};
+
+/// Set-associative LRU cache over block addresses.
+class Cache {
+ public:
+  /// `num_lines` total lines across `associativity`-way sets; `num_lines`
+  /// must be a positive multiple of `associativity`.
+  Cache(std::uint64_t num_lines, int associativity);
+
+  /// State of `block` in this cache (kInvalid when absent). No LRU update.
+  LineState probe(BlockAddr block) const;
+
+  /// Looks up `block` for a read; returns true and refreshes LRU on a hit.
+  bool read_lookup(BlockAddr block);
+
+  /// Looks up `block` for a write. Distinguishes the three outcomes the
+  /// protocol cares about.
+  enum class WriteLookup { kMiss, kHitShared, kHitModified };
+  WriteLookup write_lookup(BlockAddr block);
+
+  /// Installs `block` in `state` with `version`, possibly displacing a
+  /// dirty line (returned via `evicted`). The block must not be present.
+  void fill(BlockAddr block, LineState state, std::uint32_t version,
+            std::optional<EvictedLine>& evicted);
+
+  /// Promotes a Shared line to Modified and bumps its version.
+  void upgrade(BlockAddr block, std::uint32_t version);
+
+  /// Records a new version on an already-Modified line (a write hit).
+  void write_touch(BlockAddr block, std::uint32_t version);
+
+  /// Updates the version of a line if present, any state (used by
+  /// write-through first-level caches). Returns whether the line was there.
+  bool refresh(BlockAddr block, std::uint32_t version);
+
+  /// Removes `block` if present. Returns what was there (for dirty flushes
+  /// and for counting extraneous invalidations).
+  struct InvalidateResult {
+    bool had_copy = false;
+    bool was_dirty = false;
+    std::uint32_t version = 0;
+  };
+  InvalidateResult invalidate(BlockAddr block);
+
+  /// Demotes a Modified line to Shared (sharing writeback). Returns the
+  /// version being written back. The line must be present and Modified.
+  std::uint32_t downgrade(BlockAddr block);
+
+  /// Version held for `block`; the block must be present.
+  std::uint32_t version_of(BlockAddr block) const;
+
+  std::uint64_t num_lines() const { return ways_.size(); }
+  int associativity() const { return assoc_; }
+  std::uint64_t lines_valid() const { return valid_; }
+  const CacheStats& stats() const { return stats_; }
+
+ private:
+  struct Way {
+    bool valid = false;
+    BlockAddr block = 0;
+    LineState state = LineState::kInvalid;
+    std::uint32_t version = 0;
+    std::uint64_t last_use = 0;
+  };
+
+  std::uint64_t set_of(BlockAddr block) const { return block % num_sets_; }
+  Way* probe_way(BlockAddr block);
+  const Way* probe_way(BlockAddr block) const;
+
+  std::uint64_t num_sets_;
+  int assoc_;
+  std::uint64_t stamp_ = 0;
+  std::uint64_t valid_ = 0;
+  CacheStats stats_;
+  std::vector<Way> ways_;
+};
+
+}  // namespace dircc

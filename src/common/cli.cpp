@@ -1,0 +1,101 @@
+#include "common/cli.hpp"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "common/ensure.hpp"
+
+namespace dircc {
+
+void CliParser::add_option(std::string name, std::string default_value,
+                           std::string help) {
+  ensure(!options_.count(name), "duplicate option");
+  order_.push_back(name);
+  options_[std::move(name)] = Option{std::move(default_value),
+                                     std::move(help), false};
+}
+
+void CliParser::add_flag(std::string name, std::string help) {
+  ensure(!options_.count(name), "duplicate option");
+  order_.push_back(name);
+  options_[std::move(name)] = Option{"false", std::move(help), true};
+}
+
+bool CliParser::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      help_requested_ = true;
+      return true;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      error_ = "unexpected positional argument: " + arg;
+      return false;
+    }
+    arg = arg.substr(2);
+    std::string value;
+    bool has_value = false;
+    if (const auto eq = arg.find('='); eq != std::string::npos) {
+      value = arg.substr(eq + 1);
+      arg = arg.substr(0, eq);
+      has_value = true;
+    }
+    const auto it = options_.find(arg);
+    if (it == options_.end()) {
+      error_ = "unknown option: --" + arg;
+      return false;
+    }
+    if (it->second.is_flag) {
+      if (has_value) {
+        error_ = "flag --" + arg + " does not take a value";
+        return false;
+      }
+      values_[arg] = "true";
+      continue;
+    }
+    if (!has_value) {
+      if (i + 1 >= argc) {
+        error_ = "option --" + arg + " needs a value";
+        return false;
+      }
+      value = argv[++i];
+    }
+    values_[arg] = value;
+  }
+  return true;
+}
+
+std::string CliParser::get(const std::string& name) const {
+  const auto defined = options_.find(name);
+  ensure(defined != options_.end(), "undeclared option queried");
+  const auto it = values_.find(name);
+  return it == values_.end() ? defined->second.default_value : it->second;
+}
+
+std::int64_t CliParser::get_int(const std::string& name) const {
+  return std::strtoll(get(name).c_str(), nullptr, 10);
+}
+
+double CliParser::get_double(const std::string& name) const {
+  return std::strtod(get(name).c_str(), nullptr);
+}
+
+bool CliParser::get_flag(const std::string& name) const {
+  return get(name) == "true";
+}
+
+std::string CliParser::usage(const std::string& program) const {
+  std::ostringstream out;
+  out << "usage: " << program << " [options]\n";
+  for (const std::string& name : order_) {
+    const Option& option = options_.at(name);
+    out << "  --" << name;
+    if (!option.is_flag) {
+      out << " <value> (default: " << option.default_value << ")";
+    }
+    out << "\n      " << option.help << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace dircc

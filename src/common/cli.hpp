@@ -1,0 +1,51 @@
+// Minimal command-line option parser for the example drivers and tools.
+//
+// Supports "--key value", "--key=value" and boolean "--flag" arguments,
+// with typed accessors and an automatically generated usage string. Not a
+// general-purpose library — just enough for reproducible experiment
+// drivers without external dependencies.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace dircc {
+
+class CliParser {
+ public:
+  /// Declares an option with a default value and help text.
+  void add_option(std::string name, std::string default_value,
+                  std::string help);
+  void add_flag(std::string name, std::string help);
+
+  /// Parses argv. Returns false (and fills error()) on unknown options or
+  /// missing values; "--help" sets help_requested().
+  bool parse(int argc, const char* const* argv);
+
+  std::string get(const std::string& name) const;
+  std::int64_t get_int(const std::string& name) const;
+  double get_double(const std::string& name) const;
+  bool get_flag(const std::string& name) const;
+
+  bool help_requested() const { return help_requested_; }
+  const std::string& error() const { return error_; }
+
+  /// Renders option help, one line per option.
+  std::string usage(const std::string& program) const;
+
+ private:
+  struct Option {
+    std::string default_value;
+    std::string help;
+    bool is_flag = false;
+  };
+  std::map<std::string, Option> options_;
+  std::vector<std::string> order_;
+  std::map<std::string, std::string> values_;
+  bool help_requested_ = false;
+  std::string error_;
+};
+
+}  // namespace dircc

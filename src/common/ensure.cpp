@@ -1,0 +1,16 @@
+#include "common/ensure.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace dircc {
+
+void ensure_failed(std::string_view message,
+                   const std::source_location& where) {
+  std::fprintf(stderr, "dircc invariant violated at %s:%u: %.*s\n",
+               where.file_name(), static_cast<unsigned>(where.line()),
+               static_cast<int>(message.size()), message.data());
+  std::abort();
+}
+
+}  // namespace dircc

@@ -1,0 +1,25 @@
+// Lightweight invariant checking used throughout the library.
+//
+// dircc::ensure() is always on (the simulator is a measurement instrument; a
+// silently-corrupted run is worse than an aborted one). The checks guard
+// protocol invariants, not hot arithmetic, so the cost is negligible.
+#pragma once
+
+#include <source_location>
+#include <string_view>
+
+namespace dircc {
+
+[[noreturn]] void ensure_failed(std::string_view message,
+                                const std::source_location& where);
+
+/// Aborts with a diagnostic when `condition` is false.
+inline void ensure(
+    bool condition, std::string_view message,
+    const std::source_location& where = std::source_location::current()) {
+  if (!condition) {
+    ensure_failed(message, where);
+  }
+}
+
+}  // namespace dircc

@@ -1,0 +1,125 @@
+// EntryBits: the raw state word of one directory entry.
+//
+// Every directory scheme in the paper reinterprets the *same* fixed budget of
+// state bits: as a full bit vector (Dir_P), as an array of node pointers
+// (Dir_iB / Dir_iNB / Dir_iX before overflow), as a coarse bit vector
+// (Dir_iCV_r after overflow), or as a composite value/don't-care pointer pair
+// (Dir_iX after overflow). EntryBits provides the untyped 256-bit storage plus
+// the bit and bit-field accessors those reinterpretations need.
+#pragma once
+
+#include <array>
+#include <bit>
+#include <cstdint>
+
+#include "common/ensure.hpp"
+#include "common/types.hpp"
+
+namespace dircc {
+
+/// 256 bits of per-entry directory state, addressable as single bits or as
+/// arbitrary-width little-endian bit fields.
+class EntryBits {
+ public:
+  static constexpr int kBits = 256;
+  static constexpr int kWords = kBits / 64;
+
+  constexpr EntryBits() = default;
+
+  /// Clears all bits.
+  void reset() { words_.fill(0); }
+
+  /// Sets bit `pos`.
+  void set(int pos) {
+    check_pos(pos);
+    words_[static_cast<std::size_t>(pos >> 6)] |= bit_mask(pos);
+  }
+
+  /// Clears bit `pos`.
+  void clear(int pos) {
+    check_pos(pos);
+    words_[static_cast<std::size_t>(pos >> 6)] &= ~bit_mask(pos);
+  }
+
+  /// Reads bit `pos`.
+  bool test(int pos) const {
+    check_pos(pos);
+    return (words_[static_cast<std::size_t>(pos >> 6)] & bit_mask(pos)) != 0;
+  }
+
+  /// Number of set bits across the whole word.
+  int popcount() const {
+    int total = 0;
+    for (std::uint64_t w : words_) {
+      total += std::popcount(w);
+    }
+    return total;
+  }
+
+  /// True when no bit is set.
+  bool none() const {
+    for (std::uint64_t w : words_) {
+      if (w != 0) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  /// Index of the lowest set bit at or above `from`, or -1 when none.
+  int find_next(int from) const {
+    if (from >= kBits) {
+      return -1;
+    }
+    int word = from >> 6;
+    std::uint64_t masked =
+        words_[static_cast<std::size_t>(word)] & (~std::uint64_t{0} << (from & 63));
+    while (true) {
+      if (masked != 0) {
+        return word * 64 + std::countr_zero(masked);
+      }
+      if (++word >= kWords) {
+        return -1;
+      }
+      masked = words_[static_cast<std::size_t>(word)];
+    }
+  }
+
+  /// Reads a little-endian bit field of `width` bits starting at `pos`.
+  /// `width` must be <= 32 (node pointers never exceed log2(kMaxNodes) bits)
+  /// and may be 0, in which case the result is 0.
+  std::uint32_t get_field(int pos, int width) const {
+    ensure(width >= 0 && width <= 32, "field width out of range");
+    std::uint32_t value = 0;
+    for (int i = 0; i < width; ++i) {
+      if (test(pos + i)) {
+        value |= std::uint32_t{1} << i;
+      }
+    }
+    return value;
+  }
+
+  /// Writes a little-endian bit field of `width` bits starting at `pos`.
+  void set_field(int pos, int width, std::uint32_t value) {
+    ensure(width >= 0 && width <= 32, "field width out of range");
+    for (int i = 0; i < width; ++i) {
+      if ((value >> i) & 1u) {
+        set(pos + i);
+      } else {
+        clear(pos + i);
+      }
+    }
+  }
+
+  friend bool operator==(const EntryBits&, const EntryBits&) = default;
+
+ private:
+  static void check_pos(int pos) {
+    ensure(pos >= 0 && pos < kBits, "EntryBits position out of range");
+  }
+  static std::uint64_t bit_mask(int pos) { return std::uint64_t{1} << (pos & 63); }
+
+  std::array<std::uint64_t, kWords> words_{};
+};
+
+}  // namespace dircc

@@ -1,0 +1,94 @@
+// Deterministic pseudo-random number generation.
+//
+// All stochastic choices in the library (random sharer sets for the Figure 2
+// model, random sparse-directory replacement, workload randomness in the
+// trace generators) flow through Xoshiro256** seeded via SplitMix64, so every
+// experiment is exactly reproducible from its seed.
+#pragma once
+
+#include <cstdint>
+
+#include "common/ensure.hpp"
+
+namespace dircc {
+
+/// SplitMix64: used only to expand a user seed into Xoshiro state.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Xoshiro256**: fast, high-quality, 2^256-1 period.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x1990'0815ULL) {
+    SplitMix64 mixer(seed);
+    for (auto& word : state_) {
+      word = mixer.next();
+    }
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~result_type{0}; }
+
+  result_type operator()() { return next(); }
+
+  std::uint64_t next() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). Uses rejection to avoid modulo bias.
+  std::uint64_t below(std::uint64_t bound) {
+    ensure(bound > 0, "Rng::below requires a positive bound");
+    const std::uint64_t threshold = (~bound + 1) % bound;  // 2^64 mod bound
+    while (true) {
+      const std::uint64_t sample = next();
+      if (sample >= threshold) {
+        return sample % bound;
+      }
+    }
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::uint64_t between(std::uint64_t lo, std::uint64_t hi) {
+    ensure(lo <= hi, "Rng::between requires lo <= hi");
+    return lo + below(hi - lo + 1);
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial with success probability p.
+  bool chance(double p) { return uniform() < p; }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4];
+};
+
+}  // namespace dircc

@@ -1,0 +1,70 @@
+#include "common/stats.hpp"
+
+namespace dircc {
+
+void Histogram::add(std::uint64_t value, std::uint64_t count) {
+  if (value >= bins_.size()) {
+    bins_.resize(value + 1, 0);
+  }
+  bins_[value] += count;
+  events_ += count;
+  total_ += value * count;
+}
+
+double Histogram::mean() const {
+  if (events_ == 0) {
+    return 0.0;
+  }
+  return static_cast<double>(total_) / static_cast<double>(events_);
+}
+
+std::uint64_t Histogram::count_at(std::uint64_t value) const {
+  if (value >= bins_.size()) {
+    return 0;
+  }
+  return bins_[value];
+}
+
+double Histogram::fraction_at(std::uint64_t value) const {
+  if (events_ == 0) {
+    return 0.0;
+  }
+  return static_cast<double>(count_at(value)) / static_cast<double>(events_);
+}
+
+std::uint64_t Histogram::max_value() const {
+  for (std::size_t i = bins_.size(); i > 0; --i) {
+    if (bins_[i - 1] != 0) {
+      return i - 1;
+    }
+  }
+  return 0;
+}
+
+void Histogram::merge(const Histogram& other) {
+  for (std::size_t i = 0; i < other.bins_.size(); ++i) {
+    if (other.bins_[i] != 0) {
+      add(i, other.bins_[i]);
+    }
+  }
+}
+
+void Histogram::clear() {
+  bins_.clear();
+  events_ = 0;
+  total_ = 0;
+}
+
+void OnlineStats::add(double sample) {
+  if (count_ == 0) {
+    min_ = sample;
+    max_ = sample;
+  } else {
+    if (sample < min_) min_ = sample;
+    if (sample > max_) max_ = sample;
+  }
+  ++count_;
+  mean_ += (sample - mean_) / static_cast<double>(count_);
+}
+
+}  // namespace dircc

@@ -1,0 +1,65 @@
+// Statistics primitives: histograms (the paper's invalidation distributions,
+// Figures 3-6) and online means.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace dircc {
+
+/// Histogram over small non-negative integer samples (e.g. the number of
+/// invalidations sent per write event). Bins grow on demand.
+class Histogram {
+ public:
+  /// Records one sample of `value`.
+  void add(std::uint64_t value, std::uint64_t count = 1);
+
+  /// Number of recorded samples.
+  std::uint64_t events() const { return events_; }
+
+  /// Sum over all samples (e.g. total invalidations).
+  std::uint64_t total() const { return total_; }
+
+  /// Mean sample value; 0 when empty.
+  double mean() const;
+
+  /// Count of samples equal to `value`.
+  std::uint64_t count_at(std::uint64_t value) const;
+
+  /// Fraction of samples equal to `value`; 0 when empty.
+  double fraction_at(std::uint64_t value) const;
+
+  /// Largest recorded value (0 when empty).
+  std::uint64_t max_value() const;
+
+  /// Merges another histogram into this one.
+  void merge(const Histogram& other);
+
+  /// Drops all samples.
+  void clear();
+
+  const std::vector<std::uint64_t>& bins() const { return bins_; }
+
+ private:
+  std::vector<std::uint64_t> bins_;
+  std::uint64_t events_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+/// Numerically stable online mean/min/max accumulator.
+class OnlineStats {
+ public:
+  void add(double sample);
+  std::uint64_t count() const { return count_; }
+  double mean() const { return count_ == 0 ? 0.0 : mean_; }
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  std::uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace dircc

@@ -1,0 +1,77 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+
+namespace dircc {
+
+void TextTable::header(std::vector<std::string> cells) {
+  rows_.insert(rows_.begin(), Row{std::move(cells), false});
+  has_header_ = true;
+}
+
+void TextTable::row(std::vector<std::string> cells) {
+  rows_.push_back(Row{std::move(cells), false});
+}
+
+void TextTable::rule() { rows_.push_back(Row{{}, true}); }
+
+void TextTable::print(std::ostream& out) const {
+  std::size_t columns = 0;
+  for (const Row& r : rows_) {
+    columns = std::max(columns, r.cells.size());
+  }
+  std::vector<std::size_t> widths(columns, 0);
+  for (const Row& r : rows_) {
+    for (std::size_t c = 0; c < r.cells.size(); ++c) {
+      widths[c] = std::max(widths[c], r.cells[c].size());
+    }
+  }
+  auto print_rule = [&] {
+    for (std::size_t c = 0; c < columns; ++c) {
+      out << '+' << std::string(widths[c] + 2, '-');
+    }
+    out << "+\n";
+  };
+  bool printed_header = false;
+  for (const Row& r : rows_) {
+    if (r.is_rule) {
+      print_rule();
+      continue;
+    }
+    for (std::size_t c = 0; c < columns; ++c) {
+      const std::string& cell = c < r.cells.size() ? r.cells[c] : std::string();
+      out << "| " << cell << std::string(widths[c] - cell.size() + 1, ' ');
+    }
+    out << "|\n";
+    if (has_header_ && !printed_header) {
+      print_rule();
+      printed_header = true;
+    }
+  }
+}
+
+std::string fmt(double value, int digits) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof buffer, "%.*f", digits, value);
+  return buffer;
+}
+
+std::string fmt_count(std::uint64_t value) {
+  std::string digits = std::to_string(value);
+  std::string result;
+  int since_sep = 0;
+  for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+    if (since_sep == 3) {
+      result.push_back(',');
+      since_sep = 0;
+    }
+    result.push_back(*it);
+    ++since_sep;
+  }
+  std::reverse(result.begin(), result.end());
+  return result;
+}
+
+}  // namespace dircc

@@ -1,0 +1,41 @@
+// Fixed-width text table printer used by the benchmark harnesses to emit
+// paper-style rows (Table 1, Table 2, Figures 2-14 series).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace dircc {
+
+/// Accumulates rows of cells and prints them with aligned columns.
+class TextTable {
+ public:
+  /// Sets the header row.
+  void header(std::vector<std::string> cells);
+
+  /// Appends a data row.
+  void row(std::vector<std::string> cells);
+
+  /// Appends a horizontal rule.
+  void rule();
+
+  /// Renders the table to `out`.
+  void print(std::ostream& out) const;
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool is_rule = false;
+  };
+  std::vector<Row> rows_;
+  bool has_header_ = false;
+};
+
+/// Formats a double with `digits` decimals.
+std::string fmt(double value, int digits = 2);
+
+/// Formats an integer with thousands separators (1,234,567).
+std::string fmt_count(std::uint64_t value);
+
+}  // namespace dircc

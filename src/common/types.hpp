@@ -1,0 +1,61 @@
+// Fundamental identifier and quantity types shared by every dircc subsystem.
+//
+// The simulator models a DASH-style machine: processors are grouped into
+// clusters, the directory tracks sharers at *cluster* granularity (as in the
+// DASH prototype, where the intra-cluster bus keeps the caches within a
+// cluster coherent), and memory is interleaved across clusters at cache-block
+// granularity.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace dircc {
+
+/// Identifies one processor (equivalently: one private cache).
+using ProcId = std::uint16_t;
+
+/// Identifies one processing node (cluster). The directory tracks clusters.
+using NodeId = std::uint16_t;
+
+/// Byte address in the simulated physical address space.
+using Addr = std::uint64_t;
+
+/// Cache-block index: Addr >> log2(block size).
+using BlockAddr = std::uint64_t;
+
+/// Simulated processor cycles.
+using Cycle = std::uint64_t;
+
+/// Sentinel for "no node".
+inline constexpr NodeId kNoNode = std::numeric_limits<NodeId>::max();
+
+/// Sentinel for "no processor".
+inline constexpr ProcId kNoProc = std::numeric_limits<ProcId>::max();
+
+/// Hard upper bound on cluster count supported by the in-entry bit storage
+/// (EntryBits holds 256 bits, enough for a full vector over 256 clusters).
+inline constexpr int kMaxNodes = 256;
+
+/// Ceiling of log2 for directory pointer widths. log2_ceil(1) == 0.
+constexpr int log2_ceil(std::uint64_t value) {
+  int bits = 0;
+  std::uint64_t capacity = 1;
+  while (capacity < value) {
+    capacity <<= 1;
+    ++bits;
+  }
+  return bits;
+}
+
+/// Integer ceiling division.
+constexpr std::uint64_t ceil_div(std::uint64_t a, std::uint64_t b) {
+  return (a + b - 1) / b;
+}
+
+/// True when value is a power of two (and nonzero).
+constexpr bool is_pow2(std::uint64_t value) {
+  return value != 0 && (value & (value - 1)) == 0;
+}
+
+}  // namespace dircc

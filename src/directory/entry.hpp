@@ -1,0 +1,84 @@
+// A directory entry: the per-block coherence state kept at the home cluster.
+//
+// Entries can optionally track a *group* of consecutive home-local blocks
+// (Section 7's "make multiple memory blocks share one wide entry"): the
+// sharer field is shared by the whole group while each block keeps its own
+// state and dirty owner. With the default group size of 1 the extra slots
+// are unused and `state`/`owner` describe the single block.
+#pragma once
+
+#include <array>
+
+#include "directory/format.hpp"
+
+namespace dircc {
+
+/// Block state as seen by the home directory.
+enum class DirState : std::uint8_t {
+  kUncached,  ///< no cache holds the block; memory is up to date
+  kShared,    ///< >= 1 clusters hold read-only copies; memory up to date
+  kDirty,     ///< exactly one cluster owns a modified copy; memory stale
+};
+
+/// Largest supported tracking-group size.
+inline constexpr int kMaxGroupBlocks = 8;
+
+/// One directory entry. For kShared the sharer set lives in `sharers`
+/// (interpreted by the directory's SharerFormat); for kDirty the single
+/// owner is stored precisely per block, since every scheme has room for at
+/// least one exact pointer.
+///
+/// When an entry tracks a group, `sharers` is the *union* of the sharer
+/// sets of every kShared block in the group — always a superset per block,
+/// at the price of extraneous invalidations when one block is written.
+struct DirEntry {
+  DirState state = DirState::kUncached;  ///< state of group sub-block 0
+  NodeId owner = kNoNode;                ///< owner of group sub-block 0
+  SharerRepr sharers;
+  /// Sub-blocks 1..kMaxGroupBlocks-1 (grouped entries only).
+  std::array<DirState, kMaxGroupBlocks - 1> extra_state{};
+  std::array<NodeId, kMaxGroupBlocks - 1> extra_owner{};
+
+  DirState& state_of(int sub) {
+    return sub == 0 ? state : extra_state[static_cast<std::size_t>(sub - 1)];
+  }
+  DirState state_of(int sub) const {
+    return sub == 0 ? state : extra_state[static_cast<std::size_t>(sub - 1)];
+  }
+  NodeId& owner_of(int sub) {
+    return sub == 0 ? owner : extra_owner[static_cast<std::size_t>(sub - 1)];
+  }
+  NodeId owner_of(int sub) const {
+    return sub == 0 ? owner : extra_owner[static_cast<std::size_t>(sub - 1)];
+  }
+
+  /// True when any sub-block in [0, group_size) is in `wanted` state.
+  bool any_in_state(DirState wanted, int group_size, int exclude_sub) const {
+    for (int sub = 0; sub < group_size; ++sub) {
+      if (sub != exclude_sub && state_of(sub) == wanted) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// True when every sub-block in [0, group_size) is kUncached.
+  bool all_uncached(int group_size) const {
+    for (int sub = 0; sub < group_size; ++sub) {
+      if (state_of(sub) != DirState::kUncached) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  void reset() {
+    state = DirState::kUncached;
+    owner = kNoNode;
+    sharers.reset();
+    extra_state.fill(DirState::kUncached);
+    extra_owner.fill(kNoNode);
+  }
+};
+
+}  // namespace dircc

@@ -1,0 +1,508 @@
+#include "directory/format.hpp"
+
+#include "common/ensure.hpp"
+#include "directory/overflow_format.hpp"
+
+namespace dircc {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Shared helpers for pointer-array representations.
+//
+// Pointers are stored as consecutive little-endian fields of width
+// log2_ceil(num_nodes) at the base of the entry bits.
+// ---------------------------------------------------------------------------
+
+class PointerOps {
+ public:
+  PointerOps(int num_nodes, int num_pointers)
+      : width_(log2_ceil(static_cast<std::uint64_t>(num_nodes))),
+        count_(num_pointers) {}
+
+  int width() const { return width_; }
+  int count() const { return count_; }
+  int bits() const { return width_ * count_; }
+
+  NodeId get(const SharerRepr& repr, int slot) const {
+    return static_cast<NodeId>(repr.bits.get_field(slot * width_, width_));
+  }
+
+  void set(SharerRepr& repr, int slot, NodeId node) const {
+    repr.bits.set_field(slot * width_, width_, node);
+  }
+
+  /// Index of `node` among the in-use pointers, or -1.
+  int find(const SharerRepr& repr, NodeId node) const {
+    for (int slot = 0; slot < repr.ptr_count; ++slot) {
+      if (get(repr, slot) == node) {
+        return slot;
+      }
+    }
+    return -1;
+  }
+
+  /// Removes the pointer at `slot` by moving the last pointer into it.
+  void remove_at(SharerRepr& repr, int slot) const {
+    const int last = repr.ptr_count - 1;
+    if (slot != last) {
+      set(repr, slot, get(repr, last));
+    }
+    set(repr, last, 0);
+    --repr.ptr_count;
+  }
+
+  void collect(const SharerRepr& repr, NodeId exclude,
+               std::vector<NodeId>& out) const {
+    for (int slot = 0; slot < repr.ptr_count; ++slot) {
+      const NodeId node = get(repr, slot);
+      if (node != exclude) {
+        out.push_back(node);
+      }
+    }
+  }
+
+ private:
+  int width_;
+  int count_;
+};
+
+// ---------------------------------------------------------------------------
+// Dir_P — full bit vector.
+// ---------------------------------------------------------------------------
+
+class FullBitVectorFormat final : public SharerFormat {
+ public:
+  explicit FullBitVectorFormat(int num_nodes) : SharerFormat(num_nodes) {}
+
+  SchemeKind kind() const override { return SchemeKind::kFullBitVector; }
+  std::string name() const override {
+    return "Dir" + std::to_string(num_nodes_);
+  }
+  int state_bits() const override { return num_nodes_; }
+
+  NodeId add_sharer(SharerRepr& repr, NodeId node) const override {
+    repr.bits.set(node);
+    return kNoNode;
+  }
+
+  void remove_sharer(SharerRepr& repr, NodeId node) const override {
+    repr.bits.clear(node);
+  }
+
+  void collect_targets(const SharerRepr& repr, NodeId exclude,
+                       std::vector<NodeId>& out) const override {
+    for (int pos = repr.bits.find_next(0); pos >= 0;
+         pos = repr.bits.find_next(pos + 1)) {
+      if (static_cast<NodeId>(pos) != exclude) {
+        out.push_back(static_cast<NodeId>(pos));
+      }
+    }
+  }
+
+  bool maybe_sharer(const SharerRepr& repr, NodeId node) const override {
+    return repr.bits.test(node);
+  }
+
+  bool known_empty(const SharerRepr& repr) const override {
+    return repr.bits.none();
+  }
+
+  bool precise(const SharerRepr&) const override { return true; }
+};
+
+// ---------------------------------------------------------------------------
+// Dir_iB — limited pointers with broadcast bit.
+// ---------------------------------------------------------------------------
+
+class LimitedBroadcastFormat final : public SharerFormat {
+ public:
+  LimitedBroadcastFormat(int num_nodes, int num_pointers)
+      : SharerFormat(num_nodes), ptrs_(num_nodes, num_pointers) {}
+
+  SchemeKind kind() const override { return SchemeKind::kLimitedBroadcast; }
+  std::string name() const override {
+    return "Dir" + std::to_string(ptrs_.count()) + "B";
+  }
+  int state_bits() const override { return ptrs_.bits() + 1; }
+
+  NodeId add_sharer(SharerRepr& repr, NodeId node) const override {
+    if (repr.overflowed || ptrs_.find(repr, node) >= 0) {
+      return kNoNode;
+    }
+    if (repr.ptr_count < ptrs_.count()) {
+      ptrs_.set(repr, repr.ptr_count, node);
+      ++repr.ptr_count;
+      return kNoNode;
+    }
+    // Pointer overflow: set the broadcast bit. The pointers become moot.
+    repr.overflowed = true;
+    return kNoNode;
+  }
+
+  void remove_sharer(SharerRepr& repr, NodeId node) const override {
+    if (repr.overflowed) {
+      return;  // broadcast mode cannot shrink
+    }
+    const int slot = ptrs_.find(repr, node);
+    if (slot >= 0) {
+      ptrs_.remove_at(repr, slot);
+    }
+  }
+
+  void collect_targets(const SharerRepr& repr, NodeId exclude,
+                       std::vector<NodeId>& out) const override {
+    if (!repr.overflowed) {
+      ptrs_.collect(repr, exclude, out);
+      return;
+    }
+    for (int node = 0; node < num_nodes_; ++node) {
+      if (static_cast<NodeId>(node) != exclude) {
+        out.push_back(static_cast<NodeId>(node));
+      }
+    }
+  }
+
+  bool maybe_sharer(const SharerRepr& repr, NodeId node) const override {
+    return repr.overflowed || ptrs_.find(repr, node) >= 0;
+  }
+
+  bool known_empty(const SharerRepr& repr) const override {
+    return !repr.overflowed && repr.ptr_count == 0;
+  }
+
+  bool precise(const SharerRepr& repr) const override {
+    return !repr.overflowed;
+  }
+
+ private:
+  PointerOps ptrs_;
+};
+
+// ---------------------------------------------------------------------------
+// Dir_iNB — limited pointers without broadcast: displace on overflow.
+// ---------------------------------------------------------------------------
+
+class LimitedNoBroadcastFormat final : public SharerFormat {
+ public:
+  LimitedNoBroadcastFormat(int num_nodes, int num_pointers)
+      : SharerFormat(num_nodes), ptrs_(num_nodes, num_pointers) {}
+
+  SchemeKind kind() const override { return SchemeKind::kLimitedNoBroadcast; }
+  std::string name() const override {
+    return "Dir" + std::to_string(ptrs_.count()) + "NB";
+  }
+  int state_bits() const override { return ptrs_.bits(); }
+
+  NodeId add_sharer(SharerRepr& repr, NodeId node) const override {
+    if (ptrs_.find(repr, node) >= 0) {
+      return kNoNode;
+    }
+    if (repr.ptr_count < ptrs_.count()) {
+      ptrs_.set(repr, repr.ptr_count, node);
+      ++repr.ptr_count;
+      return kNoNode;
+    }
+    // No room and broadcast is disallowed: displace an existing sharer.
+    // A rotating victim slot avoids pathologically displacing the same
+    // cluster over and over.
+    const int victim_slot = repr.rotor % ptrs_.count();
+    repr.rotor = static_cast<std::uint8_t>(repr.rotor + 1);
+    const NodeId displaced = ptrs_.get(repr, victim_slot);
+    ptrs_.set(repr, victim_slot, node);
+    return displaced;
+  }
+
+  void remove_sharer(SharerRepr& repr, NodeId node) const override {
+    const int slot = ptrs_.find(repr, node);
+    if (slot >= 0) {
+      ptrs_.remove_at(repr, slot);
+    }
+  }
+
+  void collect_targets(const SharerRepr& repr, NodeId exclude,
+                       std::vector<NodeId>& out) const override {
+    ptrs_.collect(repr, exclude, out);
+  }
+
+  bool maybe_sharer(const SharerRepr& repr, NodeId node) const override {
+    return ptrs_.find(repr, node) >= 0;
+  }
+
+  bool known_empty(const SharerRepr& repr) const override {
+    return repr.ptr_count == 0;
+  }
+
+  bool precise(const SharerRepr&) const override { return true; }
+
+ private:
+  PointerOps ptrs_;
+};
+
+// ---------------------------------------------------------------------------
+// Dir_iX — superset scheme: pointers collapse into one composite pointer.
+//
+// In composite mode the entry stores a value pattern V and a don't-care mask
+// M: node n is a potential sharer iff (n ^ V) & ~M == 0. V lives in pointer
+// slot 0's bit range, M in slot 1's — the scheme needs i >= 2.
+// ---------------------------------------------------------------------------
+
+class SupersetFormat final : public SharerFormat {
+ public:
+  SupersetFormat(int num_nodes, int num_pointers)
+      : SharerFormat(num_nodes), ptrs_(num_nodes, num_pointers) {
+    ensure(num_pointers >= 2, "Dir_iX needs at least two pointers");
+  }
+
+  SchemeKind kind() const override { return SchemeKind::kSuperset; }
+  std::string name() const override {
+    return "Dir" + std::to_string(ptrs_.count()) + "X";
+  }
+  int state_bits() const override { return ptrs_.bits() + 1; }
+
+  NodeId add_sharer(SharerRepr& repr, NodeId node) const override {
+    if (repr.overflowed) {
+      merge_composite(repr, node);
+      return kNoNode;
+    }
+    if (ptrs_.find(repr, node) >= 0) {
+      return kNoNode;
+    }
+    if (repr.ptr_count < ptrs_.count()) {
+      ptrs_.set(repr, repr.ptr_count, node);
+      ++repr.ptr_count;
+      return kNoNode;
+    }
+    // Overflow: collapse every pointer plus the new node into V / M.
+    std::uint32_t value = ptrs_.get(repr, 0);
+    std::uint32_t mask = 0;
+    for (int slot = 1; slot < repr.ptr_count; ++slot) {
+      mask |= value ^ ptrs_.get(repr, slot);
+    }
+    mask |= value ^ node;
+    repr.bits.reset();
+    repr.overflowed = true;
+    set_value(repr, value);
+    set_mask(repr, mask);
+    return kNoNode;
+  }
+
+  void remove_sharer(SharerRepr& repr, NodeId node) const override {
+    if (repr.overflowed) {
+      return;  // composite mode cannot shrink
+    }
+    const int slot = ptrs_.find(repr, node);
+    if (slot >= 0) {
+      ptrs_.remove_at(repr, slot);
+    }
+  }
+
+  void collect_targets(const SharerRepr& repr, NodeId exclude,
+                       std::vector<NodeId>& out) const override {
+    if (!repr.overflowed) {
+      ptrs_.collect(repr, exclude, out);
+      return;
+    }
+    const std::uint32_t value = get_value(repr);
+    const std::uint32_t mask = get_mask(repr);
+    for (int node = 0; node < num_nodes_; ++node) {
+      const auto candidate = static_cast<std::uint32_t>(node);
+      if (((candidate ^ value) & ~mask) == 0 &&
+          static_cast<NodeId>(node) != exclude) {
+        out.push_back(static_cast<NodeId>(node));
+      }
+    }
+  }
+
+  bool maybe_sharer(const SharerRepr& repr, NodeId node) const override {
+    if (!repr.overflowed) {
+      return ptrs_.find(repr, node) >= 0;
+    }
+    return ((static_cast<std::uint32_t>(node) ^ get_value(repr)) &
+            ~get_mask(repr)) == 0;
+  }
+
+  bool known_empty(const SharerRepr& repr) const override {
+    return !repr.overflowed && repr.ptr_count == 0;
+  }
+
+  bool precise(const SharerRepr& repr) const override {
+    return !repr.overflowed;
+  }
+
+ private:
+  void merge_composite(SharerRepr& repr, NodeId node) const {
+    const std::uint32_t value = get_value(repr);
+    std::uint32_t mask = get_mask(repr);
+    mask |= value ^ static_cast<std::uint32_t>(node);
+    set_mask(repr, mask);
+  }
+
+  std::uint32_t get_value(const SharerRepr& repr) const {
+    return repr.bits.get_field(0, ptrs_.width());
+  }
+  void set_value(SharerRepr& repr, std::uint32_t value) const {
+    repr.bits.set_field(0, ptrs_.width(), value);
+  }
+  std::uint32_t get_mask(const SharerRepr& repr) const {
+    return repr.bits.get_field(ptrs_.width(), ptrs_.width());
+  }
+  void set_mask(SharerRepr& repr, std::uint32_t mask) const {
+    repr.bits.set_field(ptrs_.width(), ptrs_.width(), mask);
+  }
+
+  PointerOps ptrs_;
+};
+
+// ---------------------------------------------------------------------------
+// Dir_iCV_r — coarse vector (the paper's first proposal, Section 4.1).
+// ---------------------------------------------------------------------------
+
+class CoarseVectorFormat final : public SharerFormat {
+ public:
+  CoarseVectorFormat(int num_nodes, int num_pointers, int region_size)
+      : SharerFormat(num_nodes),
+        ptrs_(num_nodes, num_pointers),
+        region_size_(region_size),
+        num_regions_(static_cast<int>(
+            ceil_div(static_cast<std::uint64_t>(num_nodes),
+                     static_cast<std::uint64_t>(region_size)))) {
+    ensure(region_size >= 1, "coarse vector region size must be >= 1");
+    ensure(num_regions_ <= EntryBits::kBits,
+           "coarse vector does not fit in the entry state word");
+  }
+
+  SchemeKind kind() const override { return SchemeKind::kCoarseVector; }
+  std::string name() const override {
+    return "Dir" + std::to_string(ptrs_.count()) + "CV" +
+           std::to_string(region_size_);
+  }
+  int state_bits() const override {
+    // Pointers and the coarse vector share the same memory; the entry needs
+    // the larger of the two plus one mode bit.
+    const int ptr_bits = ptrs_.bits();
+    return (ptr_bits > num_regions_ ? ptr_bits : num_regions_) + 1;
+  }
+
+  NodeId add_sharer(SharerRepr& repr, NodeId node) const override {
+    if (repr.overflowed) {
+      repr.bits.set(region_of(node));
+      return kNoNode;
+    }
+    if (ptrs_.find(repr, node) >= 0) {
+      return kNoNode;
+    }
+    if (repr.ptr_count < ptrs_.count()) {
+      ptrs_.set(repr, repr.ptr_count, node);
+      ++repr.ptr_count;
+      return kNoNode;
+    }
+    // Pointer overflow: reinterpret the entry as a coarse bit vector over
+    // regions of region_size_ clusters, seeded from the existing pointers.
+    NodeId pointees[kMaxNodes];
+    const int count = repr.ptr_count;
+    for (int slot = 0; slot < count; ++slot) {
+      pointees[slot] = ptrs_.get(repr, slot);
+    }
+    repr.bits.reset();
+    repr.overflowed = true;
+    for (int slot = 0; slot < count; ++slot) {
+      repr.bits.set(region_of(pointees[slot]));
+    }
+    repr.bits.set(region_of(node));
+    return kNoNode;
+  }
+
+  void remove_sharer(SharerRepr& repr, NodeId node) const override {
+    if (repr.overflowed) {
+      return;  // a region bit may cover other sharers; stay conservative
+    }
+    const int slot = ptrs_.find(repr, node);
+    if (slot >= 0) {
+      ptrs_.remove_at(repr, slot);
+    }
+  }
+
+  void collect_targets(const SharerRepr& repr, NodeId exclude,
+                       std::vector<NodeId>& out) const override {
+    if (!repr.overflowed) {
+      ptrs_.collect(repr, exclude, out);
+      return;
+    }
+    for (int region = repr.bits.find_next(0); region >= 0;
+         region = repr.bits.find_next(region + 1)) {
+      const int first = region * region_size_;
+      const int last = first + region_size_ < num_nodes_
+                           ? first + region_size_
+                           : num_nodes_;
+      for (int node = first; node < last; ++node) {
+        if (static_cast<NodeId>(node) != exclude) {
+          out.push_back(static_cast<NodeId>(node));
+        }
+      }
+    }
+  }
+
+  bool maybe_sharer(const SharerRepr& repr, NodeId node) const override {
+    if (!repr.overflowed) {
+      return ptrs_.find(repr, node) >= 0;
+    }
+    return repr.bits.test(region_of(node));
+  }
+
+  bool known_empty(const SharerRepr& repr) const override {
+    if (!repr.overflowed) {
+      return repr.ptr_count == 0;
+    }
+    return repr.bits.none();
+  }
+
+  bool precise(const SharerRepr& repr) const override {
+    return !repr.overflowed;
+  }
+
+  int region_size() const { return region_size_; }
+  int num_regions() const { return num_regions_; }
+
+ private:
+  int region_of(NodeId node) const { return node / region_size_; }
+
+  PointerOps ptrs_;
+  int region_size_;
+  int num_regions_;
+};
+
+}  // namespace
+
+SharerFormat::SharerFormat(int num_nodes) : num_nodes_(num_nodes) {
+  ensure(num_nodes >= 1 && num_nodes <= kMaxNodes,
+         "node count outside supported range");
+}
+
+std::unique_ptr<SharerFormat> make_format(const SchemeConfig& config) {
+  switch (config.kind) {
+    case SchemeKind::kFullBitVector:
+      return std::make_unique<FullBitVectorFormat>(config.num_nodes);
+    case SchemeKind::kLimitedBroadcast:
+      ensure(config.num_pointers >= 1, "Dir_iB needs at least one pointer");
+      return std::make_unique<LimitedBroadcastFormat>(config.num_nodes,
+                                                      config.num_pointers);
+    case SchemeKind::kLimitedNoBroadcast:
+      ensure(config.num_pointers >= 1, "Dir_iNB needs at least one pointer");
+      return std::make_unique<LimitedNoBroadcastFormat>(config.num_nodes,
+                                                        config.num_pointers);
+    case SchemeKind::kSuperset:
+      return std::make_unique<SupersetFormat>(config.num_nodes,
+                                              config.num_pointers);
+    case SchemeKind::kCoarseVector:
+      ensure(config.num_pointers >= 1, "Dir_iCV needs at least one pointer");
+      return std::make_unique<CoarseVectorFormat>(
+          config.num_nodes, config.num_pointers, config.region_size);
+    case SchemeKind::kOverflowCache:
+      return std::make_unique<OverflowCacheFormat>(
+          config.num_nodes, config.num_pointers, config.pool_entries);
+  }
+  ensure(false, "unknown scheme kind");
+  return nullptr;
+}
+
+}  // namespace dircc

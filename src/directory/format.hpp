@@ -1,0 +1,136 @@
+// Directory sharer-set formats (Section 3 and 4.1 of the paper).
+//
+// A directory entry must record which clusters may hold a cached copy of a
+// memory block. All schemes studied in the paper fit the same interface:
+//
+//  * Dir_P      — full bit vector, one bit per cluster (exact).
+//  * Dir_iB     — i pointers; on overflow set a broadcast bit.
+//  * Dir_iNB    — i pointers; on overflow displace an existing sharer
+//                 (the displaced cluster must be invalidated by the caller).
+//  * Dir_iX     — i pointers; on overflow collapse into one composite
+//                 pointer whose bits may be 0, 1 or X ("both").
+//  * Dir_iCV_r  — i pointers; on overflow reinterpret the same bits as a
+//                 coarse bit vector, one bit per region of r clusters.
+//
+// A SharerFormat is a flyweight: one instance per directory, operating on
+// per-entry SharerRepr state. Formats may *overestimate* the sharer set
+// (extraneous invalidations) but must never underestimate it — that is the
+// superset-safety invariant the protocol and the tests rely on.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/entry_bits.hpp"
+#include "common/types.hpp"
+
+namespace dircc {
+
+/// Which of the paper's schemes a directory uses.
+enum class SchemeKind {
+  kFullBitVector,
+  kLimitedBroadcast,
+  kLimitedNoBroadcast,
+  kSuperset,
+  kCoarseVector,
+  /// Section 7 extension (after Archibald's suggestion the paper cites):
+  /// small per-block entries that overflow into a shared cache of wide
+  /// full-bit-vector entries; when that cache in turn overflows, the
+  /// displaced block degrades to broadcast.
+  kOverflowCache,
+};
+
+/// Static configuration of a scheme.
+struct SchemeConfig {
+  SchemeKind kind = SchemeKind::kFullBitVector;
+  int num_nodes = 0;     ///< clusters tracked by the directory
+  int num_pointers = 3;  ///< i — pointers per entry (limited schemes)
+  int region_size = 2;   ///< r — clusters per coarse-vector bit
+  int pool_entries = 256;  ///< wide entries in the overflow cache (Dir_iOV)
+
+  static SchemeConfig full(int nodes) {
+    return {SchemeKind::kFullBitVector, nodes, 0, 0};
+  }
+  static SchemeConfig broadcast(int nodes, int pointers) {
+    return {SchemeKind::kLimitedBroadcast, nodes, pointers, 0};
+  }
+  static SchemeConfig no_broadcast(int nodes, int pointers) {
+    return {SchemeKind::kLimitedNoBroadcast, nodes, pointers, 0};
+  }
+  static SchemeConfig superset(int nodes, int pointers = 2) {
+    return {SchemeKind::kSuperset, nodes, pointers, 0};
+  }
+  static SchemeConfig coarse(int nodes, int pointers, int region) {
+    return {SchemeKind::kCoarseVector, nodes, pointers, region};
+  }
+  static SchemeConfig overflow(int nodes, int pointers, int pool) {
+    return {SchemeKind::kOverflowCache, nodes, pointers, 0, pool};
+  }
+};
+
+/// Per-entry sharer-tracking state. The interpretation of `bits` depends on
+/// the format and on `overflowed`.
+struct SharerRepr {
+  EntryBits bits;
+  std::uint8_t ptr_count = 0;  ///< pointers in use (limited schemes)
+  std::uint8_t rotor = 0;      ///< Dir_iNB displacement rotor
+  bool overflowed = false;     ///< broadcast / composite / coarse mode
+
+  void reset() {
+    bits.reset();
+    ptr_count = 0;
+    rotor = 0;
+    overflowed = false;
+  }
+};
+
+/// Flyweight operations on SharerRepr for one scheme.
+class SharerFormat {
+ public:
+  virtual ~SharerFormat() = default;
+
+  virtual SchemeKind kind() const = 0;
+
+  /// Paper-style name, e.g. "Dir32", "Dir3B", "Dir3CV2".
+  virtual std::string name() const = 0;
+
+  /// Clusters this format tracks.
+  int num_nodes() const { return num_nodes_; }
+
+  /// Sharer-tracking state bits one entry consumes (excluding the dirty bit
+  /// and any sparse-directory tag), as accounted in Sections 3 and 5.
+  virtual int state_bits() const = 0;
+
+  /// Records `node` as a sharer. Returns a displaced sharer that the caller
+  /// must invalidate (Dir_iNB pointer overflow), or kNoNode.
+  virtual NodeId add_sharer(SharerRepr& repr, NodeId node) const = 0;
+
+  /// Best-effort removal of `node` (e.g. after a writeback). Imprecise
+  /// representations may be unable to remove and must stay conservative.
+  virtual void remove_sharer(SharerRepr& repr, NodeId node) const = 0;
+
+  /// Appends every cluster that may hold a copy, except `exclude`
+  /// (pass kNoNode to include all). This is the invalidation-target set.
+  virtual void collect_targets(const SharerRepr& repr, NodeId exclude,
+                               std::vector<NodeId>& out) const = 0;
+
+  /// True when `node` might hold a copy according to the representation.
+  virtual bool maybe_sharer(const SharerRepr& repr, NodeId node) const = 0;
+
+  /// True when the representation provably tracks no sharers.
+  virtual bool known_empty(const SharerRepr& repr) const = 0;
+
+  /// True when the representation is exact (no extraneous targets).
+  virtual bool precise(const SharerRepr& repr) const = 0;
+
+ protected:
+  explicit SharerFormat(int num_nodes);
+
+  int num_nodes_;
+};
+
+/// Builds the format object for `config` (validates the configuration).
+std::unique_ptr<SharerFormat> make_format(const SchemeConfig& config);
+
+}  // namespace dircc

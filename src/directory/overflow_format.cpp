@@ -1,0 +1,255 @@
+#include "directory/overflow_format.hpp"
+
+#include "common/ensure.hpp"
+
+namespace dircc {
+
+OverflowCacheFormat::OverflowCacheFormat(int num_nodes, int num_pointers,
+                                         int pool_entries)
+    : SharerFormat(num_nodes), num_pointers_(num_pointers) {
+  ensure(num_pointers >= 1, "Dir_iOV needs at least one inline pointer");
+  ensure(pool_entries >= 1, "overflow pool needs at least one entry");
+  // The handle (32-bit slot + 32-bit generation) reuses the entry bits; it
+  // must fit regardless of the inline pointer budget.
+  pool_.resize(static_cast<std::size_t>(pool_entries));
+}
+
+std::string OverflowCacheFormat::name() const {
+  return "Dir" + std::to_string(num_pointers_) + "OV";
+}
+
+int OverflowCacheFormat::state_bits() const {
+  // Inline pointers plus two mode bits; the handle fits in the pointer
+  // space of any realistic configuration (a hardware design would size the
+  // slot index to log2(pool), far below our modeling-convenience 64 bits).
+  const int ptr_bits = num_pointers_ * ptr_width();
+  const int handle_bits =
+      log2_ceil(static_cast<std::uint64_t>(pool_.size())) + 8;
+  return (ptr_bits > handle_bits ? ptr_bits : handle_bits) + 2;
+}
+
+std::uint64_t OverflowCacheFormat::pool_state_bits() const {
+  return static_cast<std::uint64_t>(pool_.size()) *
+         static_cast<std::uint64_t>(num_nodes_);
+}
+
+int OverflowCacheFormat::ptr_width() const {
+  return log2_ceil(static_cast<std::uint64_t>(num_nodes_));
+}
+
+NodeId OverflowCacheFormat::get_ptr(const SharerRepr& repr, int slot) const {
+  return static_cast<NodeId>(
+      repr.bits.get_field(slot * ptr_width(), ptr_width()));
+}
+
+void OverflowCacheFormat::set_ptr(SharerRepr& repr, int slot,
+                                  NodeId node) const {
+  repr.bits.set_field(slot * ptr_width(), ptr_width(), node);
+}
+
+int OverflowCacheFormat::find_ptr(const SharerRepr& repr, NodeId node) const {
+  for (int slot = 0; slot < repr.ptr_count; ++slot) {
+    if (get_ptr(repr, slot) == node) {
+      return slot;
+    }
+  }
+  return -1;
+}
+
+OverflowCacheFormat::WideEntry* OverflowCacheFormat::resolve(
+    const SharerRepr& repr) const {
+  WideEntry& entry = pool_[handle_slot(repr)];
+  if (!entry.in_use || entry.generation != handle_generation(repr)) {
+    return nullptr;  // the pool re-assigned this slot
+  }
+  entry.last_use = ++stamp_;
+  return &entry;
+}
+
+OverflowCacheFormat::WideEntry* OverflowCacheFormat::allocate_wide(
+    SharerRepr& repr) const {
+  ++allocations_;
+  std::size_t victim = 0;
+  bool found_free = false;
+  for (std::size_t slot = 0; slot < pool_.size(); ++slot) {
+    if (!pool_[slot].in_use) {
+      victim = slot;
+      found_free = true;
+      break;
+    }
+    if (pool_[slot].last_use < pool_[victim].last_use) {
+      victim = slot;
+    }
+  }
+  WideEntry& entry = pool_[victim];
+  if (!found_free) {
+    // Whatever block held this wide entry will see the generation bump and
+    // degrade to broadcast on its next directory operation.
+    ++evictions_;
+  }
+  entry.in_use = true;
+  ++entry.generation;
+  entry.vector.reset();
+  entry.last_use = ++stamp_;
+  repr.bits.reset();
+  repr.bits.set_field(0, 32, static_cast<std::uint32_t>(victim));
+  repr.bits.set_field(32, 32, entry.generation);
+  repr.rotor = kWide;
+  repr.overflowed = true;
+  return &entry;
+}
+
+void OverflowCacheFormat::degrade_to_broadcast(SharerRepr& repr) const {
+  ++degradations_;
+  repr.bits.reset();
+  repr.rotor = kBroadcast;
+  repr.overflowed = true;
+}
+
+void OverflowCacheFormat::collect_all(NodeId exclude,
+                                      std::vector<NodeId>& out) const {
+  for (int node = 0; node < num_nodes_; ++node) {
+    if (static_cast<NodeId>(node) != exclude) {
+      out.push_back(static_cast<NodeId>(node));
+    }
+  }
+}
+
+NodeId OverflowCacheFormat::add_sharer(SharerRepr& repr, NodeId node) const {
+  switch (repr.rotor) {
+    case kInline: {
+      if (find_ptr(repr, node) >= 0) {
+        return kNoNode;
+      }
+      if (repr.ptr_count < num_pointers_) {
+        set_ptr(repr, repr.ptr_count, node);
+        ++repr.ptr_count;
+        return kNoNode;
+      }
+      // Inline overflow: move every pointer plus the new node into a wide
+      // pool entry.
+      NodeId pointees[kMaxNodes];
+      const int count = repr.ptr_count;
+      for (int slot = 0; slot < count; ++slot) {
+        pointees[slot] = get_ptr(repr, slot);
+      }
+      WideEntry* wide = allocate_wide(repr);
+      for (int slot = 0; slot < count; ++slot) {
+        wide->vector.set(pointees[slot]);
+      }
+      wide->vector.set(node);
+      repr.ptr_count = 0;
+      return kNoNode;
+    }
+    case kWide: {
+      if (WideEntry* wide = resolve(repr)) {
+        wide->vector.set(node);
+        return kNoNode;
+      }
+      degrade_to_broadcast(repr);
+      return kNoNode;
+    }
+    default:
+      return kNoNode;  // broadcast already covers everyone
+  }
+}
+
+void OverflowCacheFormat::remove_sharer(SharerRepr& repr, NodeId node) const {
+  switch (repr.rotor) {
+    case kInline: {
+      const int slot = find_ptr(repr, node);
+      if (slot >= 0) {
+        const int last = repr.ptr_count - 1;
+        if (slot != last) {
+          set_ptr(repr, slot, get_ptr(repr, last));
+        }
+        set_ptr(repr, last, 0);
+        --repr.ptr_count;
+      }
+      return;
+    }
+    case kWide: {
+      if (WideEntry* wide = resolve(repr)) {
+        wide->vector.clear(node);  // wide entries stay exact
+      } else {
+        degrade_to_broadcast(repr);
+      }
+      return;
+    }
+    default:
+      return;
+  }
+}
+
+void OverflowCacheFormat::collect_targets(const SharerRepr& repr,
+                                          NodeId exclude,
+                                          std::vector<NodeId>& out) const {
+  switch (repr.rotor) {
+    case kInline:
+      for (int slot = 0; slot < repr.ptr_count; ++slot) {
+        const NodeId node = get_ptr(repr, slot);
+        if (node != exclude) {
+          out.push_back(node);
+        }
+      }
+      return;
+    case kWide: {
+      if (const WideEntry* wide = resolve(repr)) {
+        for (int pos = wide->vector.find_next(0); pos >= 0;
+             pos = wide->vector.find_next(pos + 1)) {
+          if (static_cast<NodeId>(pos) != exclude) {
+            out.push_back(static_cast<NodeId>(pos));
+          }
+        }
+        return;
+      }
+      collect_all(exclude, out);
+      return;
+    }
+    default:
+      collect_all(exclude, out);
+      return;
+  }
+}
+
+bool OverflowCacheFormat::maybe_sharer(const SharerRepr& repr,
+                                       NodeId node) const {
+  switch (repr.rotor) {
+    case kInline:
+      return find_ptr(repr, node) >= 0;
+    case kWide:
+      if (const WideEntry* wide = resolve(repr)) {
+        return wide->vector.test(node);
+      }
+      return true;  // stale handle: conservative
+    default:
+      return true;
+  }
+}
+
+bool OverflowCacheFormat::known_empty(const SharerRepr& repr) const {
+  switch (repr.rotor) {
+    case kInline:
+      return repr.ptr_count == 0;
+    case kWide:
+      if (const WideEntry* wide = resolve(repr)) {
+        return wide->vector.none();
+      }
+      return false;
+    default:
+      return false;
+  }
+}
+
+bool OverflowCacheFormat::precise(const SharerRepr& repr) const {
+  switch (repr.rotor) {
+    case kInline:
+      return true;
+    case kWide:
+      return resolve(repr) != nullptr;
+    default:
+      return false;
+  }
+}
+
+}  // namespace dircc

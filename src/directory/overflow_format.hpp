@@ -1,0 +1,86 @@
+// Dir_iOV — overflow-cache directory format (Section 7 extension).
+//
+// Each entry holds i exact pointers. On pointer overflow the sharer set
+// moves into a shared pool of wide full-bit-vector entries; the per-block
+// entry keeps only a handle (slot + generation). When the pool itself
+// overflows, the least-recently-used wide entry is re-assigned and any
+// block still holding a handle to it detects the generation mismatch and
+// degrades to broadcast semantics — conservative, so superset safety is
+// preserved.
+//
+// The pool is owned by the format instance, which models one machine-wide
+// overflow cache. The simulation is single-threaded; pool bookkeeping uses
+// mutable state behind the const SharerFormat interface.
+#pragma once
+
+#include <vector>
+
+#include "directory/format.hpp"
+
+namespace dircc {
+
+class OverflowCacheFormat final : public SharerFormat {
+ public:
+  OverflowCacheFormat(int num_nodes, int num_pointers, int pool_entries);
+
+  SchemeKind kind() const override { return SchemeKind::kOverflowCache; }
+  std::string name() const override;
+  int state_bits() const override;
+
+  NodeId add_sharer(SharerRepr& repr, NodeId node) const override;
+  void remove_sharer(SharerRepr& repr, NodeId node) const override;
+  void collect_targets(const SharerRepr& repr, NodeId exclude,
+                       std::vector<NodeId>& out) const override;
+  bool maybe_sharer(const SharerRepr& repr, NodeId node) const override;
+  bool known_empty(const SharerRepr& repr) const override;
+  bool precise(const SharerRepr& repr) const override;
+
+  /// Total bits of the shared wide-entry pool (for storage accounting).
+  std::uint64_t pool_state_bits() const;
+
+  /// Observability for tests and benches.
+  int pool_entries() const { return static_cast<int>(pool_.size()); }
+  std::uint64_t pool_allocations() const { return allocations_; }
+  std::uint64_t pool_evictions() const { return evictions_; }
+  std::uint64_t broadcast_degradations() const { return degradations_; }
+
+ private:
+  // Entry modes, stored in SharerRepr::rotor.
+  static constexpr std::uint8_t kInline = 0;
+  static constexpr std::uint8_t kWide = 1;
+  static constexpr std::uint8_t kBroadcast = 2;
+
+  struct WideEntry {
+    EntryBits vector;
+    std::uint32_t generation = 0;
+    std::uint64_t last_use = 0;
+    bool in_use = false;
+  };
+
+  int ptr_width() const;
+  NodeId get_ptr(const SharerRepr& repr, int slot) const;
+  void set_ptr(SharerRepr& repr, int slot, NodeId node) const;
+  int find_ptr(const SharerRepr& repr, NodeId node) const;
+
+  std::uint32_t handle_slot(const SharerRepr& repr) const {
+    return repr.bits.get_field(0, 32);
+  }
+  std::uint32_t handle_generation(const SharerRepr& repr) const {
+    return repr.bits.get_field(32, 32);
+  }
+  /// The wide entry a handle refers to, or nullptr if it was re-assigned.
+  WideEntry* resolve(const SharerRepr& repr) const;
+  /// Allocates a wide entry (evicting LRU if needed); writes the handle.
+  WideEntry* allocate_wide(SharerRepr& repr) const;
+  void degrade_to_broadcast(SharerRepr& repr) const;
+  void collect_all(NodeId exclude, std::vector<NodeId>& out) const;
+
+  int num_pointers_;
+  mutable std::vector<WideEntry> pool_;
+  mutable std::uint64_t stamp_ = 0;
+  mutable std::uint64_t allocations_ = 0;
+  mutable std::uint64_t evictions_ = 0;
+  mutable std::uint64_t degradations_ = 0;
+};
+
+}  // namespace dircc

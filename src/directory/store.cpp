@@ -1,0 +1,180 @@
+#include "directory/store.hpp"
+
+#include "common/ensure.hpp"
+
+namespace dircc {
+
+const char* repl_policy_name(ReplPolicy policy) {
+  switch (policy) {
+    case ReplPolicy::kLru:
+      return "LRU";
+    case ReplPolicy::kRandom:
+      return "Rand";
+    case ReplPolicy::kLra:
+      return "LRA";
+  }
+  return "?";
+}
+
+// ---------------------------------------------------------------------------
+// FullDirectoryStore
+// ---------------------------------------------------------------------------
+
+DirEntry* FullDirectoryStore::find(BlockAddr block) {
+  ++stats_.lookups;
+  auto it = entries_.find(block);
+  if (it == entries_.end()) {
+    return nullptr;
+  }
+  ++stats_.hits;
+  return &it->second;
+}
+
+DirEntry* FullDirectoryStore::find_or_alloc(
+    BlockAddr block, std::optional<VictimEntry>& victim) {
+  ++stats_.lookups;
+  victim.reset();
+  auto [it, inserted] = entries_.try_emplace(block);
+  if (inserted) {
+    ++stats_.allocations;
+  } else {
+    ++stats_.hits;
+  }
+  return &it->second;
+}
+
+void FullDirectoryStore::release(BlockAddr block) { entries_.erase(block); }
+
+// ---------------------------------------------------------------------------
+// SparseDirectoryStore
+// ---------------------------------------------------------------------------
+
+SparseDirectoryStore::SparseDirectoryStore(std::uint64_t num_entries,
+                                           int associativity,
+                                           ReplPolicy policy,
+                                           std::uint64_t seed,
+                                           std::uint64_t index_divisor)
+    : num_sets_(0),
+      index_divisor_(index_divisor),
+      assoc_(associativity),
+      policy_(policy),
+      rng_(seed) {
+  ensure(associativity >= 1, "sparse directory associativity must be >= 1");
+  ensure(index_divisor >= 1, "index divisor must be >= 1");
+  ensure(num_entries >= static_cast<std::uint64_t>(associativity) &&
+             num_entries % static_cast<std::uint64_t>(associativity) == 0,
+         "sparse entry count must be a positive multiple of associativity");
+  num_sets_ = num_entries / static_cast<std::uint64_t>(associativity);
+  ways_.resize(num_entries);
+}
+
+SparseDirectoryStore::Way* SparseDirectoryStore::probe(BlockAddr block) {
+  const std::uint64_t base = set_of(block) * static_cast<std::uint64_t>(assoc_);
+  for (int w = 0; w < assoc_; ++w) {
+    Way& way = ways_[base + static_cast<std::uint64_t>(w)];
+    if (way.valid && way.block == block) {
+      return &way;
+    }
+  }
+  return nullptr;
+}
+
+DirEntry* SparseDirectoryStore::find(BlockAddr block) {
+  ++stats_.lookups;
+  Way* way = probe(block);
+  if (way == nullptr) {
+    return nullptr;
+  }
+  ++stats_.hits;
+  way->last_use = ++stamp_;
+  return &way->entry;
+}
+
+int SparseDirectoryStore::pick_victim(std::uint64_t set) {
+  const std::uint64_t base = set * static_cast<std::uint64_t>(assoc_);
+  switch (policy_) {
+    case ReplPolicy::kRandom:
+      return static_cast<int>(rng_.below(static_cast<std::uint64_t>(assoc_)));
+    case ReplPolicy::kLru: {
+      int best = 0;
+      for (int w = 1; w < assoc_; ++w) {
+        if (ways_[base + static_cast<std::uint64_t>(w)].last_use <
+            ways_[base + static_cast<std::uint64_t>(best)].last_use) {
+          best = w;
+        }
+      }
+      return best;
+    }
+    case ReplPolicy::kLra: {
+      int best = 0;
+      for (int w = 1; w < assoc_; ++w) {
+        if (ways_[base + static_cast<std::uint64_t>(w)].alloc_time <
+            ways_[base + static_cast<std::uint64_t>(best)].alloc_time) {
+          best = w;
+        }
+      }
+      return best;
+    }
+  }
+  return 0;
+}
+
+DirEntry* SparseDirectoryStore::find_or_alloc(
+    BlockAddr block, std::optional<VictimEntry>& victim) {
+  victim.reset();
+  ++stats_.lookups;
+  if (Way* way = probe(block)) {
+    ++stats_.hits;
+    way->last_use = ++stamp_;
+    return &way->entry;
+  }
+  ++stats_.allocations;
+  const std::uint64_t set = set_of(block);
+  const std::uint64_t base = set * static_cast<std::uint64_t>(assoc_);
+  // Prefer a free way.
+  for (int w = 0; w < assoc_; ++w) {
+    Way& way = ways_[base + static_cast<std::uint64_t>(w)];
+    if (!way.valid) {
+      way.valid = true;
+      way.block = block;
+      way.last_use = ++stamp_;
+      way.alloc_time = stamp_;
+      way.entry.reset();
+      ++live_;
+      return &way.entry;
+    }
+  }
+  // Set full: displace a victim. The caller invalidates its copies.
+  ++stats_.replacements;
+  Way& way = ways_[base + static_cast<std::uint64_t>(pick_victim(set))];
+  victim = VictimEntry{way.block, way.entry};
+  way.block = block;
+  way.last_use = ++stamp_;
+  way.alloc_time = stamp_;
+  way.entry.reset();
+  return &way.entry;
+}
+
+void SparseDirectoryStore::release(BlockAddr block) {
+  if (Way* way = probe(block)) {
+    way->valid = false;
+    way->entry.reset();
+    ensure(live_ > 0, "sparse live-entry underflow");
+    --live_;
+  }
+}
+
+std::uint64_t SparseDirectoryStore::capacity_entries() const {
+  return num_sets_ * static_cast<std::uint64_t>(assoc_);
+}
+
+std::unique_ptr<DirectoryStore> make_store(const StoreConfig& config) {
+  if (!config.sparse) {
+    return std::make_unique<FullDirectoryStore>();
+  }
+  return std::make_unique<SparseDirectoryStore>(
+      config.sparse_entries, config.sparse_assoc, config.policy, config.seed,
+      config.index_divisor);
+}
+
+}  // namespace dircc

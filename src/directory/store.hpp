@@ -1,0 +1,154 @@
+// Directory entry storage (Section 4.2 of the paper).
+//
+// FullDirectoryStore models the conventional organization: one entry per
+// main-memory block, never replaced. SparseDirectoryStore models the paper's
+// proposal: a set-associative cache of entries with no backing store — when a
+// set is full, a victim entry is reclaimed and the caller must invalidate
+// every cached copy the victim tracked before reusing it.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "directory/entry.hpp"
+
+namespace dircc {
+
+/// Replacement policies evaluated in Figure 14.
+enum class ReplPolicy : std::uint8_t {
+  kLru,     ///< least recently used (best, hardest to build)
+  kRandom,  ///< random (cheapest, second best)
+  kLra,     ///< least recently allocated (worst of the three)
+};
+
+const char* repl_policy_name(ReplPolicy policy);
+
+/// An entry displaced from a sparse directory. The protocol must invalidate
+/// all copies it tracks before the replacement is complete.
+struct VictimEntry {
+  BlockAddr block = 0;
+  DirEntry entry;
+};
+
+/// Counters common to both store kinds.
+struct StoreStats {
+  std::uint64_t lookups = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t allocations = 0;
+  std::uint64_t replacements = 0;
+};
+
+/// Abstract directory storage for one home cluster's memory slice.
+class DirectoryStore {
+ public:
+  virtual ~DirectoryStore() = default;
+
+  /// Returns the live entry for `block`, or nullptr. Counts as an access
+  /// for LRU recency.
+  virtual DirEntry* find(BlockAddr block) = 0;
+
+  /// Returns the entry for `block`, allocating one if absent. When the
+  /// allocation displaces a victim, `victim` receives it; the returned
+  /// entry is reset to kUncached in that case.
+  virtual DirEntry* find_or_alloc(BlockAddr block,
+                                  std::optional<VictimEntry>& victim) = 0;
+
+  /// Frees the entry for `block` (it transitioned to kUncached).
+  virtual void release(BlockAddr block) = 0;
+
+  /// Entry capacity; 0 means unbounded (full directory).
+  virtual std::uint64_t capacity_entries() const = 0;
+
+  /// Live entries currently allocated.
+  virtual std::uint64_t live_entries() const = 0;
+
+  const StoreStats& stats() const { return stats_; }
+
+ protected:
+  StoreStats stats_;
+};
+
+/// One entry per memory block, allocated on demand, never displaced.
+class FullDirectoryStore final : public DirectoryStore {
+ public:
+  DirEntry* find(BlockAddr block) override;
+  DirEntry* find_or_alloc(BlockAddr block,
+                          std::optional<VictimEntry>& victim) override;
+  void release(BlockAddr block) override;
+  std::uint64_t capacity_entries() const override { return 0; }
+  std::uint64_t live_entries() const override { return entries_.size(); }
+
+ private:
+  std::unordered_map<BlockAddr, DirEntry> entries_;
+};
+
+/// Set-associative directory cache without a backing store.
+class SparseDirectoryStore final : public DirectoryStore {
+ public:
+  /// `num_entries` total entries, organized as `num_entries / associativity`
+  /// sets. `num_entries` must be a positive multiple of `associativity`.
+  ///
+  /// `index_divisor` converts a global block number into this directory's
+  /// local index space before set selection. Memory is interleaved across
+  /// clusters at block granularity (home = block % clusters), so the blocks
+  /// homed here are every `clusters`-th block; indexing sets by
+  /// block/clusters — the home-local block number, exactly the address bits
+  /// a real home directory would use — keeps them spread over all sets.
+  /// With the default divisor of 1 the raw block number indexes directly.
+  SparseDirectoryStore(std::uint64_t num_entries, int associativity,
+                       ReplPolicy policy, std::uint64_t seed,
+                       std::uint64_t index_divisor = 1);
+
+  DirEntry* find(BlockAddr block) override;
+  DirEntry* find_or_alloc(BlockAddr block,
+                          std::optional<VictimEntry>& victim) override;
+  void release(BlockAddr block) override;
+  std::uint64_t capacity_entries() const override;
+  std::uint64_t live_entries() const override { return live_; }
+
+  int associativity() const { return assoc_; }
+  ReplPolicy policy() const { return policy_; }
+
+ private:
+  struct Way {
+    bool valid = false;
+    BlockAddr block = 0;
+    std::uint64_t last_use = 0;   ///< LRU stamp, updated on every access
+    std::uint64_t alloc_time = 0; ///< LRA stamp, set only at allocation
+    DirEntry entry;
+  };
+
+  std::uint64_t set_of(BlockAddr block) const {
+    return (block / index_divisor_) % num_sets_;
+  }
+  Way* probe(BlockAddr block);
+  int pick_victim(std::uint64_t set);
+
+  std::uint64_t num_sets_;
+  std::uint64_t index_divisor_;
+  int assoc_;
+  ReplPolicy policy_;
+  Rng rng_;
+  std::uint64_t stamp_ = 0;
+  std::uint64_t live_ = 0;
+  std::vector<Way> ways_;  // num_sets_ * assoc_, set-major
+};
+
+/// Configuration + factory covering both store kinds, so the protocol layer
+/// can be organized around one type.
+struct StoreConfig {
+  bool sparse = false;
+  std::uint64_t sparse_entries = 0;  ///< per home cluster
+  int sparse_assoc = 4;
+  ReplPolicy policy = ReplPolicy::kRandom;
+  std::uint64_t seed = 1;
+  std::uint64_t index_divisor = 1;  ///< set by the protocol: cluster count
+};
+
+std::unique_ptr<DirectoryStore> make_store(const StoreConfig& config);
+
+}  // namespace dircc

@@ -1,0 +1,102 @@
+#include "model/invalidation_model.hpp"
+
+#include <numeric>
+#include <vector>
+
+#include "common/ensure.hpp"
+#include "common/rng.hpp"
+
+namespace dircc {
+
+namespace {
+
+/// C(a, s) / C(b, s) without overflow, for 0 <= a <= b.
+double choose_ratio(int a, int b, int s) {
+  if (s > a) {
+    return 0.0;
+  }
+  double ratio = 1.0;
+  for (int j = 0; j < s; ++j) {
+    ratio *= static_cast<double>(a - j) / static_cast<double>(b - j);
+  }
+  return ratio;
+}
+
+}  // namespace
+
+double expected_invalidations_full(int sharers) {
+  return static_cast<double>(sharers);
+}
+
+double expected_invalidations_broadcast(int num_nodes, int pointers,
+                                        int sharers) {
+  if (sharers <= pointers) {
+    return static_cast<double>(sharers);
+  }
+  return static_cast<double>(num_nodes - 1);
+}
+
+double expected_invalidations_no_broadcast(int pointers, int sharers) {
+  return static_cast<double>(sharers < pointers ? sharers : pointers);
+}
+
+double expected_invalidations_coarse(int num_nodes, int pointers,
+                                     int region_size, int sharers) {
+  ensure(region_size >= 1 && num_nodes % region_size == 0,
+         "closed form needs equal-sized regions");
+  ensure(sharers < num_nodes, "need room for a distinct writer");
+  if (sharers <= pointers) {
+    return static_cast<double>(sharers);  // still precise
+  }
+  const int regions = num_nodes / region_size;
+  const int pool = num_nodes - 1;  // candidate sharers exclude the writer
+  // A region away from the writer is invalidated unless none of its
+  // region_size slots drew a sharer; the writer's own region has only
+  // region_size - 1 slots and the writer itself is never a target.
+  const double p_other =
+      1.0 - choose_ratio(pool - region_size, pool, sharers);
+  const double p_writer_region =
+      1.0 - choose_ratio(pool - (region_size - 1), pool, sharers);
+  return static_cast<double>(regions - 1) *
+             static_cast<double>(region_size) * p_other +
+         static_cast<double>(region_size - 1) * p_writer_region;
+}
+
+double InvalidationModel::mean_invalidations(const SchemeConfig& scheme,
+                                             int sharers) const {
+  ensure(sharers >= 0 && sharers < scheme.num_nodes,
+         "sharer count must leave room for a distinct writer");
+  const auto format = make_format(scheme);
+  Rng rng(seed ^ (static_cast<std::uint64_t>(sharers) << 32));
+
+  std::vector<NodeId> nodes(static_cast<std::size_t>(scheme.num_nodes));
+  std::iota(nodes.begin(), nodes.end(), NodeId{0});
+  std::vector<NodeId> targets;
+  SharerRepr repr;
+
+  std::uint64_t total = 0;
+  for (int t = 0; t < trials; ++t) {
+    // Partial Fisher-Yates: the first `sharers`+1 slots become the random
+    // distinct clusters; slot `sharers` is the writer.
+    for (int i = 0; i <= sharers; ++i) {
+      const auto j = static_cast<std::size_t>(
+          rng.between(static_cast<std::uint64_t>(i),
+                      static_cast<std::uint64_t>(scheme.num_nodes - 1)));
+      std::swap(nodes[static_cast<std::size_t>(i)], nodes[j]);
+    }
+    const NodeId writer = nodes[static_cast<std::size_t>(sharers)];
+    repr.reset();
+    for (int i = 0; i < sharers; ++i) {
+      // A displaced sharer (Dir_iNB) no longer holds a copy, so it simply
+      // drops out of the tracked set; the model charges no invalidation
+      // here because Figure 2 counts write-time invalidations only.
+      (void)format->add_sharer(repr, nodes[static_cast<std::size_t>(i)]);
+    }
+    targets.clear();
+    format->collect_targets(repr, writer, targets);
+    total += targets.size();
+  }
+  return static_cast<double>(total) / static_cast<double>(trials);
+}
+
+}  // namespace dircc

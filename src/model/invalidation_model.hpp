@@ -1,0 +1,45 @@
+// Monte-Carlo invalidation model (Figure 2 of the paper).
+//
+// For a block shared by s randomly chosen clusters, how many invalidations
+// does each directory scheme send when a distinct cluster writes it? The
+// full bit vector sends exactly s (the intrinsic minimum); the limited
+// schemes overshoot by the amount their representation has blurred.
+#pragma once
+
+#include <cstdint>
+
+#include "directory/format.hpp"
+
+namespace dircc {
+
+struct InvalidationModel {
+  int trials = 20000;
+  std::uint64_t seed = 7;
+
+  /// Mean invalidations sent on a write to a block with `sharers` distinct
+  /// random sharers (the writer is a further distinct cluster), under
+  /// `scheme`. Sharers are inserted in random order, as in the paper's
+  /// "randomly chosen for each invalidation event" methodology.
+  double mean_invalidations(const SchemeConfig& scheme, int sharers) const;
+};
+
+// Closed-form expectations for the same experiment (writer and sharers
+// uniformly random and distinct). These cross-check the Monte-Carlo model
+// and give the exact curves of Figure 2 without sampling noise.
+
+/// Dir_P: exactly the sharer count.
+double expected_invalidations_full(int sharers);
+
+/// Dir_iB: s for s <= i, otherwise broadcast to everyone but the writer.
+double expected_invalidations_broadcast(int num_nodes, int pointers,
+                                        int sharers);
+
+/// Dir_iNB: the tracked set never exceeds the pointer count.
+double expected_invalidations_no_broadcast(int pointers, int sharers);
+
+/// Dir_iCV_r via hypergeometric region occupancy. Requires region_size to
+/// divide num_nodes (equal regions).
+double expected_invalidations_coarse(int num_nodes, int pointers,
+                                     int region_size, int sharers);
+
+}  // namespace dircc

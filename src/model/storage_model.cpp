@@ -1,0 +1,40 @@
+#include "model/storage_model.hpp"
+
+#include "common/ensure.hpp"
+
+namespace dircc {
+
+int MachineModel::bits_per_entry() const {
+  ensure(scheme.num_nodes == clusters(),
+         "scheme node count must equal the cluster count");
+  ensure(blocks_per_entry >= 1, "blocks_per_entry must be positive");
+  const auto format = make_format(scheme);
+  if (blocks_per_entry == 1) {
+    return format->state_bits() + 1 /*dirty*/ + tag_bits();
+  }
+  // Grouped entry: shared sharer field + per-block 2-bit state and dirty
+  // owner pointer.
+  const int owner_bits =
+      log2_ceil(static_cast<std::uint64_t>(clusters()));
+  return format->state_bits() +
+         blocks_per_entry * (2 + owner_bits) + tag_bits();
+}
+
+double MachineModel::savings_vs_full_bit_vector() const {
+  MachineModel baseline = *this;
+  baseline.scheme = SchemeConfig::full(clusters());
+  baseline.sparsity = 1;
+  baseline.blocks_per_entry = 1;
+  return static_cast<double>(baseline.directory_bits()) /
+         static_cast<double>(directory_bits());
+}
+
+std::string MachineModel::describe_scheme() const {
+  const auto format = make_format(scheme);
+  if (sparsity == 1) {
+    return format->name();
+  }
+  return "sparse(" + std::to_string(sparsity) + ") " + format->name();
+}
+
+}  // namespace dircc

@@ -1,0 +1,77 @@
+// Directory storage model (Sections 3, 4.2 and Table 1).
+//
+// Computes the directory memory a machine configuration needs — per-entry
+// state bits for each scheme, sparse-directory tag bits, and the resulting
+// overhead relative to main memory — reproducing Table 1 and the Section 5
+// "savings factor of 54" arithmetic.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "directory/format.hpp"
+
+namespace dircc {
+
+struct MachineModel {
+  int processors = 64;
+  int procs_per_cluster = 4;
+  std::uint64_t mem_bytes_per_proc = 16ULL << 20;    ///< 16 MB
+  std::uint64_t cache_bytes_per_proc = 256ULL << 10; ///< 256 KB
+  int block_size = 16;
+  SchemeConfig scheme;  ///< scheme.num_nodes must equal clusters()
+  int sparsity = 1;     ///< memory blocks per directory entry; 1 = full
+  /// Blocks sharing one wide entry (Section 7 grouping). Each grouped
+  /// block needs its own 2-bit state and dirty-owner pointer next to the
+  /// shared sharer field; with the default of 1 the classic
+  /// one-dirty-bit-per-entry accounting applies.
+  int blocks_per_entry = 1;
+
+  int clusters() const { return processors / procs_per_cluster; }
+  std::uint64_t total_mem_bytes() const {
+    return mem_bytes_per_proc * static_cast<std::uint64_t>(processors);
+  }
+  std::uint64_t total_cache_bytes() const {
+    return cache_bytes_per_proc * static_cast<std::uint64_t>(processors);
+  }
+  std::uint64_t total_mem_blocks() const {
+    return total_mem_bytes() / static_cast<std::uint64_t>(block_size);
+  }
+  std::uint64_t total_cache_blocks() const {
+    return total_cache_bytes() / static_cast<std::uint64_t>(block_size);
+  }
+
+  /// Directory entries across the whole machine.
+  std::uint64_t directory_entries() const {
+    return total_mem_blocks() / static_cast<std::uint64_t>(sparsity) /
+           static_cast<std::uint64_t>(blocks_per_entry);
+  }
+
+  /// Sparse directories address 1/sparsity of the blocks per entry slot, so
+  /// a tag of log2(sparsity) bits disambiguates (Section 6: "a full bit
+  /// vector directory with sparsity 64 requires ... 6 bits of tag").
+  int tag_bits() const { return log2_ceil(static_cast<std::uint64_t>(sparsity)); }
+
+  /// Sharer state + 1 dirty bit + sparse tag.
+  int bits_per_entry() const;
+
+  /// Total directory bits for the machine.
+  std::uint64_t directory_bits() const {
+    return directory_entries() * static_cast<std::uint64_t>(bits_per_entry());
+  }
+
+  /// Directory memory as a fraction of main memory.
+  double overhead_fraction() const {
+    return static_cast<double>(directory_bits()) /
+           static_cast<double>(total_mem_bytes() * 8);
+  }
+
+  /// Storage ratio versus the non-sparse full-bit-vector organization on
+  /// the same machine (the paper's "savings factor").
+  double savings_vs_full_bit_vector() const;
+
+  /// Scheme display name, e.g. "sparse(4) Dir8CV4".
+  std::string describe_scheme() const;
+};
+
+}  // namespace dircc

@@ -1,0 +1,46 @@
+// Transaction latency model, calibrated to the DASH prototype numbers the
+// paper quotes in Section 5: local bus accesses on the order of 23 processor
+// cycles, remote accesses involving two clusters about 60 cycles, and remote
+// accesses involving three clusters about 80 cycles.
+//
+// Latencies are per *transaction leg*; the protocol composes them. An
+// optional per-hop term lets studies add mesh-distance sensitivity (off by
+// default so the defaults reproduce the paper's flat figures).
+#pragma once
+
+#include "common/types.hpp"
+#include "network/mesh.hpp"
+
+namespace dircc {
+
+struct LatencyModel {
+  Cycle cache_hit = 1;        ///< hit in the first-level cache
+  Cycle l2_hit = 8;           ///< hit in the secondary cache (two-level
+                              ///< hierarchies only; single-level machines
+                              ///< pay cache_hit)
+  Cycle local_access = 23;    ///< miss satisfied within the local cluster
+  Cycle remote_2cluster = 60; ///< miss involving two clusters (local+home)
+  Cycle remote_3cluster = 80; ///< miss involving three clusters (dirty fwd)
+  Cycle invalidation_round = 40;  ///< extra cycles until all acks arrive
+  Cycle per_invalidation = 2; ///< directory occupancy per invalidation sent:
+                              ///< a write completes only when every ack is
+                              ///< in, so wide invalidation sets stall the
+                              ///< writer longer
+  Cycle per_hop = 0;          ///< optional mesh-distance increment per hop
+  Cycle dir_occupancy = 6;    ///< home-controller busy time per transaction
+                              ///< (only used when contention is modeled)
+
+  /// Latency of a transaction touching `distinct_clusters` (1, 2 or 3)
+  /// with `total_hops` total mesh hops on its critical path.
+  Cycle transaction(int distinct_clusters, int total_hops) const {
+    Cycle base = local_access;
+    if (distinct_clusters == 2) {
+      base = remote_2cluster;
+    } else if (distinct_clusters >= 3) {
+      base = remote_3cluster;
+    }
+    return base + per_hop * static_cast<Cycle>(total_hops);
+  }
+};
+
+}  // namespace dircc

@@ -1,0 +1,60 @@
+#include "network/mesh.hpp"
+
+#include "common/ensure.hpp"
+#include "network/message.hpp"
+
+namespace dircc {
+
+const char* msg_class_name(MsgClass cls) {
+  switch (cls) {
+    case MsgClass::kRequest:
+      return "request";
+    case MsgClass::kReply:
+      return "reply";
+    case MsgClass::kInvalidation:
+      return "invalidation";
+    case MsgClass::kAck:
+      return "ack";
+    case MsgClass::kWriteback:
+      return "writeback";
+  }
+  return "?";
+}
+
+namespace {
+int most_square_width(int num_nodes) {
+  int width = 1;
+  for (int w = 1; w * w <= num_nodes; ++w) {
+    if (num_nodes % w == 0) {
+      width = w;
+    }
+  }
+  return num_nodes / width;  // the wider dimension
+}
+}  // namespace
+
+MeshTopology::MeshTopology(int num_nodes)
+    : width_(most_square_width(num_nodes)),
+      height_(num_nodes / most_square_width(num_nodes)),
+      num_nodes_(num_nodes) {
+  ensure(num_nodes >= 1, "mesh needs at least one node");
+  ensure(width_ * height_ == num_nodes, "mesh factorization failed");
+}
+
+MeshTopology::MeshTopology(int width, int height)
+    : width_(width), height_(height), num_nodes_(width * height) {
+  ensure(width >= 1 && height >= 1, "mesh dimensions must be positive");
+}
+
+int MeshTopology::hops(NodeId from, NodeId to) const {
+  ensure(from < num_nodes_ && to < num_nodes_, "mesh node out of range");
+  const int fx = from % width_;
+  const int fy = from / width_;
+  const int tx = to % width_;
+  const int ty = to / width_;
+  const int dx = fx > tx ? fx - tx : tx - fx;
+  const int dy = fy > ty ? fy - ty : ty - fy;
+  return dx + dy;
+}
+
+}  // namespace dircc

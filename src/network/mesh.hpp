@@ -1,0 +1,33 @@
+// 2-D mesh interconnect topology (the DASH cluster network).
+#pragma once
+
+#include "common/types.hpp"
+
+namespace dircc {
+
+/// Clusters laid out row-major on a width x height grid; distances are
+/// Manhattan hop counts (DASH used a pair of wormhole-routed 2-D meshes).
+class MeshTopology {
+ public:
+  /// Builds the most-square mesh holding `num_nodes` clusters.
+  explicit MeshTopology(int num_nodes);
+
+  MeshTopology(int width, int height);
+
+  int num_nodes() const { return num_nodes_; }
+  int width() const { return width_; }
+  int height() const { return height_; }
+
+  /// Manhattan distance between two clusters.
+  int hops(NodeId from, NodeId to) const;
+
+  /// Largest hop count on the mesh (network diameter).
+  int diameter() const { return (width_ - 1) + (height_ - 1); }
+
+ private:
+  int width_;
+  int height_;
+  int num_nodes_;
+};
+
+}  // namespace dircc

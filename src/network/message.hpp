@@ -1,0 +1,57 @@
+// Message taxonomy and traffic accounting.
+//
+// The simulator counts messages in the four classes the paper reports
+// (Section 5): requests (including forwarded requests), replies,
+// invalidations and acknowledgements — plus writebacks, which the paper
+// folds into the request class when plotting. All counts are inter-cluster
+// messages; intra-cluster bus transactions are free.
+#pragma once
+
+#include <cstdint>
+
+namespace dircc {
+
+enum class MsgClass : std::uint8_t {
+  kRequest,       ///< cache -> directory (or forwarded directory -> owner)
+  kReply,         ///< directory/owner -> cache: data and/or ownership
+  kInvalidation,  ///< directory -> remote cluster
+  kAck,           ///< remote cluster -> requester/RAC
+  kWriteback,     ///< cache -> home memory (dirty displacement / sharing WB)
+};
+
+inline constexpr int kNumMsgClasses = 5;
+
+const char* msg_class_name(MsgClass cls);
+
+/// Per-class message counters.
+struct MessageCounters {
+  std::uint64_t counts[kNumMsgClasses] = {};
+
+  void add(MsgClass cls, std::uint64_t n = 1) {
+    counts[static_cast<int>(cls)] += n;
+  }
+  std::uint64_t get(MsgClass cls) const {
+    return counts[static_cast<int>(cls)];
+  }
+  std::uint64_t total() const {
+    std::uint64_t sum = 0;
+    for (std::uint64_t c : counts) {
+      sum += c;
+    }
+    return sum;
+  }
+  /// The paper's plotted breakdown: requests include writebacks.
+  std::uint64_t requests_with_writebacks() const {
+    return get(MsgClass::kRequest) + get(MsgClass::kWriteback);
+  }
+  std::uint64_t inv_plus_ack() const {
+    return get(MsgClass::kInvalidation) + get(MsgClass::kAck);
+  }
+  void merge(const MessageCounters& other) {
+    for (int i = 0; i < kNumMsgClasses; ++i) {
+      counts[i] += other.counts[i];
+    }
+  }
+};
+
+}  // namespace dircc

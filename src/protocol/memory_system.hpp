@@ -1,0 +1,50 @@
+// MemorySystem: the contract between the event-driven engine and a
+// simulated memory hierarchy.
+//
+// Two implementations exist: CoherenceSystem (the memory-based directory
+// protocols the paper evaluates) and SciSystem (the cache-based
+// linked-list directory class of Section 3.3, built as a comparison
+// baseline). Both consume one access at a time and account messages into
+// the same ProtocolStats, so every harness can run either.
+#pragma once
+
+#include "cache/cache.hpp"
+#include "common/stats.hpp"
+#include "common/types.hpp"
+#include "network/message.hpp"
+
+namespace dircc {
+
+struct ProtocolStats;  // defined in protocol/system.hpp
+
+class MemorySystem {
+ public:
+  virtual ~MemorySystem() = default;
+
+  /// Performs one shared-data access issued at absolute time `now` and
+  /// returns its latency in cycles. `now` only matters to systems that
+  /// model resource contention (directory/bus occupancy); the default of 0
+  /// keeps contention-free use sites simple.
+  virtual Cycle access(ProcId proc, BlockAddr block, bool is_write,
+                       Cycle now) = 0;
+
+  /// Contention-free convenience overload.
+  Cycle access(ProcId proc, BlockAddr block, bool is_write) {
+    return access(proc, block, is_write, 0);
+  }
+
+  virtual int num_procs() const = 0;
+  virtual int block_size() const = 0;
+  virtual NodeId cluster_of(ProcId proc) const = 0;
+
+  virtual const ProtocolStats& stats() const = 0;
+  virtual CacheStats aggregate_cache_stats() const = 0;
+
+  /// Byte-address convenience used by the engine.
+  Cycle access_addr(ProcId proc, Addr addr, bool is_write, Cycle now = 0) {
+    return access(proc, addr / static_cast<Addr>(block_size()), is_write,
+                  now);
+  }
+};
+
+}  // namespace dircc

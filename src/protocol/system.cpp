@@ -1,0 +1,689 @@
+#include "protocol/system.hpp"
+
+#include "common/ensure.hpp"
+
+namespace dircc {
+
+CoherenceSystem::CoherenceSystem(const SystemConfig& config)
+    : config_(config),
+      num_clusters_(config.num_clusters()),
+      format_(make_format(config.scheme)),
+      mesh_(config.num_clusters()) {
+  ensure(config.num_procs >= 1, "need at least one processor");
+  ensure(config.procs_per_cluster >= 1 &&
+             config.num_procs % config.procs_per_cluster == 0,
+         "processor count must be a multiple of the cluster size");
+  ensure(config.scheme.num_nodes == num_clusters_,
+         "scheme node count must equal the cluster count");
+  ensure(is_pow2(static_cast<std::uint64_t>(config.block_size)),
+         "block size must be a power of two");
+  ensure(config.blocks_per_group >= 1 &&
+             config.blocks_per_group <= kMaxGroupBlocks,
+         "blocks_per_group outside supported range");
+  caches_.reserve(static_cast<std::size_t>(config.num_procs));
+  for (int p = 0; p < config.num_procs; ++p) {
+    caches_.emplace_back(config.cache_lines_per_proc, config.cache_assoc);
+  }
+  if (config.l1_lines_per_proc > 0) {
+    ensure(config.l1_lines_per_proc <= config.cache_lines_per_proc,
+           "the first-level cache cannot exceed the coherence cache");
+    l1_.reserve(static_cast<std::size_t>(config.num_procs));
+    for (int p = 0; p < config.num_procs; ++p) {
+      l1_.emplace_back(config.l1_lines_per_proc, config.l1_assoc);
+    }
+  }
+  directories_.reserve(static_cast<std::size_t>(num_clusters_));
+  for (int h = 0; h < num_clusters_; ++h) {
+    StoreConfig store = config.store;
+    store.seed = config.seed + 0x9e3779b9ULL * static_cast<std::uint64_t>(h);
+    // Memory is block-interleaved across clusters, so this home's blocks
+    // are every num_clusters-th one (and tracking keys every group-th of
+    // those); index its sparse sets by the home-local tracking number.
+    store.index_divisor = static_cast<std::uint64_t>(num_clusters_) *
+                          static_cast<std::uint64_t>(config.blocks_per_group);
+    directories_.push_back(make_store(store));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Version tracking (value-coherence instrumentation)
+// ---------------------------------------------------------------------------
+
+std::uint32_t CoherenceSystem::memory_version(BlockAddr block) const {
+  auto it = memory_.find(block);
+  return it == memory_.end() ? 0 : it->second;
+}
+
+void CoherenceSystem::set_memory_version(BlockAddr block,
+                                         std::uint32_t version) {
+  memory_[block] = version;
+}
+
+std::uint32_t CoherenceSystem::bump_latest(BlockAddr block) {
+  return ++latest_[block];
+}
+
+std::uint32_t CoherenceSystem::latest_version(BlockAddr block) const {
+  auto it = latest_.find(block);
+  return it == latest_.end() ? 0 : it->second;
+}
+
+void CoherenceSystem::check_version(BlockAddr block,
+                                    std::uint32_t observed) const {
+  if (config_.validate) {
+    ensure(observed == latest_version(block),
+           "coherence violation: a read observed a stale version");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Message accounting
+// ---------------------------------------------------------------------------
+
+void CoherenceSystem::count_msg(MsgClass cls, NodeId from, NodeId to) {
+  if (from != to) {
+    stats_.messages.add(cls);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Invalidation machinery
+// ---------------------------------------------------------------------------
+
+Cache::InvalidateResult CoherenceSystem::invalidate_line(std::size_t proc,
+                                                         BlockAddr block) {
+  if (!l1_.empty()) {
+    l1_[proc].invalidate(block);  // inclusion: the L1 copy dies too
+  }
+  return caches_[proc].invalidate(block);
+}
+
+void CoherenceSystem::fill_l1(ProcId proc, BlockAddr block,
+                              std::uint32_t version) {
+  if (l1_.empty()) {
+    return;
+  }
+  // The L1 is a write-through subset of the L2: displaced lines drop
+  // silently and carry nothing back.
+  std::optional<EvictedLine> displaced;
+  if (l1_[proc].probe(block) == LineState::kInvalid) {
+    l1_[proc].fill(block, LineState::kShared, version, displaced);
+  } else {
+    l1_[proc].refresh(block, version);
+  }
+}
+
+bool CoherenceSystem::invalidate_cluster(NodeId target, BlockAddr block) {
+  bool any_copy = false;
+  const int first = target * config_.procs_per_cluster;
+  for (int q = first; q < first + config_.procs_per_cluster; ++q) {
+    const auto result = invalidate_line(static_cast<std::size_t>(q), block);
+    any_copy = any_copy || result.had_copy;
+  }
+  return any_copy;
+}
+
+CoherenceSystem::TargetOutcome CoherenceSystem::send_invalidations(
+    const std::vector<NodeId>& targets, NodeId home, NodeId ack_sink,
+    BlockAddr block) {
+  TargetOutcome outcome;
+  for (NodeId t : targets) {
+    const bool had_copy = invalidate_cluster(t, block);
+    if (!had_copy) {
+      ++stats_.extraneous_invalidations;
+    }
+    // The home invalidates its own cluster over the bus (no network
+    // message); every other target costs one invalidation message and one
+    // acknowledgement back to the sink.
+    if (t != home) {
+      count_msg(MsgClass::kInvalidation, home, t);
+      ++outcome.network_invalidations;
+    }
+    if (t != ack_sink) {
+      count_msg(MsgClass::kAck, t, ack_sink);
+      ++outcome.network_acks;
+    }
+  }
+  return outcome;
+}
+
+Cycle CoherenceSystem::reclaim_victim(NodeId home, const VictimEntry& victim) {
+  ++stats_.sparse_replacements;
+  Cycle cost = 0;
+  bool collected = false;
+  for (int sub = 0; sub < config_.blocks_per_group; ++sub) {
+    const BlockAddr block = block_at(victim.block, sub);
+    switch (victim.entry.state_of(sub)) {
+      case DirState::kUncached:
+        break;
+      case DirState::kShared: {
+        if (!collected) {
+          target_scratch_.clear();
+          format_->collect_targets(victim.entry.sharers, kNoNode,
+                                   target_scratch_);
+          collected = true;
+        }
+        // Acks for replacement invalidations return to the home's RAC.
+        const auto outcome =
+            send_invalidations(target_scratch_, home, home, block);
+        stats_.sparse_replacement_invals +=
+            static_cast<std::uint64_t>(outcome.network_invalidations);
+        // The home directory is busy streaming out the victim's
+        // invalidations before it can service the displacing request.
+        cost += config_.latency.per_invalidation *
+                static_cast<Cycle>(outcome.network_invalidations);
+        break;
+      }
+      case DirState::kDirty: {
+        // Pull the dirty copy back to memory, then kill it.
+        const NodeId owner = victim.entry.owner_of(sub);
+        count_msg(MsgClass::kRequest, home, owner);
+        bool found_dirty = false;
+        const int first = owner * config_.procs_per_cluster;
+        for (int q = first; q < first + config_.procs_per_cluster; ++q) {
+          auto result = invalidate_line(static_cast<std::size_t>(q), block);
+          if (result.had_copy) {
+            found_dirty = true;
+            set_memory_version(block, result.version);
+          }
+        }
+        ensure(found_dirty, "dirty sparse victim had no cached copy");
+        count_msg(MsgClass::kWriteback, owner, home);
+        ++stats_.sparse_replacement_invals;
+        // Fetching the dirty data back is a full remote round trip.
+        cost += config_.latency.remote_2cluster;
+        break;
+      }
+    }
+  }
+  return cost;
+}
+
+void CoherenceSystem::reset_union_if_sole(DirEntry& entry, int sub) {
+  if (!entry.any_in_state(DirState::kShared, config_.blocks_per_group, sub)) {
+    entry.sharers.reset();
+  }
+}
+
+int CoherenceSystem::add_sharer_handling_displacement(DirEntry& entry,
+                                                      BlockAddr key,
+                                                      NodeId node,
+                                                      NodeId home) {
+  const NodeId displaced = format_->add_sharer(entry.sharers, node);
+  if (displaced == kNoNode || displaced == node) {
+    return 0;
+  }
+  // Dir_iNB pointer overflow: invalidate the displaced cluster so no block
+  // is cached in more places than there are pointers. These are the
+  // read-caused invalidations of Fig. 4. The shared field covers every
+  // Shared sub-block of a grouped entry, so all of them must go.
+  ++stats_.nb_read_displacements;
+  int net_invals = 0;
+  for (int s = 0; s < config_.blocks_per_group; ++s) {
+    if (entry.state_of(s) != DirState::kShared) {
+      continue;
+    }
+    const bool had_copy = invalidate_cluster(displaced, block_at(key, s));
+    if (!had_copy) {
+      ++stats_.extraneous_invalidations;
+    }
+    if (displaced != home) {
+      count_msg(MsgClass::kInvalidation, home, displaced);
+      ++net_invals;
+    }
+    count_msg(MsgClass::kAck, displaced, home);
+  }
+  stats_.inval_distribution.add(static_cast<std::uint64_t>(net_invals));
+  return net_invals;
+}
+
+// ---------------------------------------------------------------------------
+// Cache fills, evictions, sibling scrubbing
+// ---------------------------------------------------------------------------
+
+void CoherenceSystem::handle_eviction(ProcId proc, const EvictedLine& evicted) {
+  if (!l1_.empty()) {
+    l1_[proc].invalidate(evicted.block);  // maintain inclusion
+  }
+  if (!evicted.dirty) {
+    // By default shared lines are replaced silently; the directory keeps a
+    // stale sharer pointer, which is safe (superset) and matches the
+    // hardware. With replacement hints on, the home is told so it can
+    // prune the sharer — valuable for sparse directories, whose stale
+    // entries otherwise pin capacity.
+    if (!config_.replacement_hints) {
+      return;
+    }
+    const NodeId c = cluster_of(proc);
+    const BlockAddr key = group_key(evicted.block);
+    // At cluster granularity the hint is only valid once no cache in this
+    // cluster holds *any* block the shared sharer field covers.
+    const int first = c * config_.procs_per_cluster;
+    for (int q = first; q < first + config_.procs_per_cluster; ++q) {
+      for (int sub = 0; sub < config_.blocks_per_group; ++sub) {
+        if (caches_[static_cast<std::size_t>(q)].probe(block_at(key, sub)) !=
+            LineState::kInvalid) {
+          return;
+        }
+      }
+    }
+    const NodeId h = home_of(evicted.block);
+    ++stats_.replacement_hints_sent;
+    count_msg(MsgClass::kRequest, c, h);
+    DirEntry* entry = directories_[h]->find(key);
+    if (entry != nullptr &&
+        entry->state_of(sub_of(evicted.block)) == DirState::kShared) {
+      format_->remove_sharer(entry->sharers, c);
+      if (format_->known_empty(entry->sharers) &&
+          !entry->any_in_state(DirState::kDirty, config_.blocks_per_group,
+                               -1)) {
+        entry->reset();
+        directories_[h]->release(key);
+      }
+    }
+    return;
+  }
+  ++stats_.dirty_eviction_writebacks;
+  const NodeId c = cluster_of(proc);
+  const NodeId h = home_of(evicted.block);
+  const BlockAddr key = group_key(evicted.block);
+  const int sub = sub_of(evicted.block);
+  count_msg(MsgClass::kWriteback, c, h);
+  set_memory_version(evicted.block, evicted.version);
+  DirEntry* entry = directories_[h]->find(key);
+  ensure(entry != nullptr, "writeback found no directory entry");
+  ensure(entry->state_of(sub) == DirState::kDirty &&
+             entry->owner_of(sub) == c,
+         "writeback from a non-owner");
+  entry->state_of(sub) = DirState::kUncached;
+  entry->owner_of(sub) = kNoNode;
+  if (entry->all_uncached(config_.blocks_per_group)) {
+    entry->reset();
+    directories_[h]->release(key);
+  }
+}
+
+void CoherenceSystem::fill_cache(ProcId proc, BlockAddr block, LineState state,
+                                 std::uint32_t version) {
+  std::optional<EvictedLine> evicted;
+  caches_[proc].fill(block, state, version, evicted);
+  if (evicted) {
+    handle_eviction(proc, *evicted);
+  }
+}
+
+void CoherenceSystem::scrub_cluster_siblings(ProcId writer, BlockAddr block) {
+  const NodeId c = cluster_of(writer);
+  const int first = c * config_.procs_per_cluster;
+  for (int q = first; q < first + config_.procs_per_cluster; ++q) {
+    if (q != static_cast<int>(writer)) {
+      invalidate_line(static_cast<std::size_t>(q), block);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Intra-cluster snooping
+// ---------------------------------------------------------------------------
+
+bool CoherenceSystem::snoop_service(ProcId proc, BlockAddr block, bool is_write,
+                                    Cycle& latency) {
+  if (config_.procs_per_cluster == 1) {
+    return false;
+  }
+  const NodeId c = cluster_of(proc);
+  const NodeId h = home_of(block);
+  const int first = c * config_.procs_per_cluster;
+  ProcId holder = kNoProc;
+  LineState holder_state = LineState::kInvalid;
+  for (int q = first; q < first + config_.procs_per_cluster; ++q) {
+    if (q == static_cast<int>(proc)) {
+      continue;
+    }
+    const LineState st = caches_[static_cast<std::size_t>(q)].probe(block);
+    if (st == LineState::kModified) {
+      holder = static_cast<ProcId>(q);
+      holder_state = st;
+      break;
+    }
+    if (st == LineState::kShared && holder == kNoProc) {
+      holder = static_cast<ProcId>(q);
+      holder_state = st;
+    }
+  }
+  if (holder == kNoProc) {
+    return false;
+  }
+  if (!is_write) {
+    if (holder_state == LineState::kModified) {
+      // A dirty sibling supplies the data; a sharing writeback updates the
+      // home memory and demotes the directory entry to Shared so a later
+      // remote read is not forwarded to a cluster with no dirty copy.
+      const std::uint32_t version = caches_[holder].downgrade(block);
+      ++stats_.sharing_writebacks;
+      count_msg(MsgClass::kWriteback, c, h);
+      set_memory_version(block, version);
+      DirEntry* entry = directories_[h]->find(group_key(block));
+      const int sub = sub_of(block);
+      ensure(entry != nullptr && entry->state_of(sub) == DirState::kDirty &&
+                 entry->owner_of(sub) == c,
+             "sibling dirty copy without a matching directory entry");
+      entry->owner_of(sub) = kNoNode;
+      reset_union_if_sole(*entry, sub);
+      entry->state_of(sub) = DirState::kShared;
+      add_sharer_handling_displacement(*entry, group_key(block), c, h);
+      fill_cache(proc, block, LineState::kShared, version);
+      fill_l1(proc, block, version);
+      check_version(block, version);
+    } else {
+      fill_cache(proc, block, LineState::kShared,
+                 caches_[holder].version_of(block));
+      fill_l1(proc, block, caches_[holder].version_of(block));
+      check_version(block, caches_[holder].version_of(block));
+    }
+    latency = config_.latency.local_access;
+    ++stats_.local_transactions;
+    return true;
+  }
+  // Write: only a dirty sibling lets us skip the directory — ownership
+  // stays within this cluster, so the directory entry is already correct.
+  if (holder_state != LineState::kModified) {
+    return false;
+  }
+  const auto result = invalidate_line(holder, block);
+  ensure(result.had_copy && result.was_dirty, "snoop lost the dirty copy");
+  const std::uint32_t version = bump_latest(block);
+  scrub_cluster_siblings(proc, block);
+  fill_cache(proc, block, LineState::kModified, version);
+  if (!l1_.empty()) {
+    l1_[proc].refresh(block, version);
+  }
+  latency = config_.latency.local_access;
+  ++stats_.local_transactions;
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Latency bookkeeping
+// ---------------------------------------------------------------------------
+
+Cycle CoherenceSystem::finish_transaction(NodeId c, NodeId h, NodeId o,
+                                          bool had_invals) {
+  int distinct = 1;
+  int hops = 0;
+  if (o == kNoNode) {
+    if (c != h) {
+      distinct = 2;
+      hops = 2 * mesh_.hops(c, h);
+    }
+  } else {
+    // Count distinct clusters among {c, h, o}.
+    distinct = 1 + (h != c ? 1 : 0) + (o != c && o != h ? 1 : 0);
+    hops = mesh_.hops(c, h) + mesh_.hops(h, o) + mesh_.hops(o, c);
+  }
+  if (distinct == 1) {
+    ++stats_.local_transactions;
+  } else if (distinct == 2) {
+    ++stats_.remote2_transactions;
+  } else {
+    ++stats_.remote3_transactions;
+  }
+  Cycle latency = config_.latency.transaction(distinct, hops);
+  if (had_invals) {
+    latency += config_.latency.invalidation_round;
+  }
+  return latency;
+}
+
+// ---------------------------------------------------------------------------
+// The access path
+// ---------------------------------------------------------------------------
+
+Cycle CoherenceSystem::access(ProcId proc, BlockAddr block, bool is_write,
+                              Cycle now) {
+  if (!config_.model_contention) {
+    return access_internal(proc, block, is_write);
+  }
+  // Contention model: a directory transaction occupies the home controller
+  // for a base time plus a share per message it emits; requests arriving
+  // while it is busy queue behind it. Cache hits and intra-cluster snoop
+  // service bypass the directory and never queue.
+  const std::uint64_t txns_before =
+      stats_.read_transactions + stats_.write_transactions;
+  const std::uint64_t msgs_before = stats_.messages.total();
+  const Cycle base = access_internal(proc, block, is_write);
+  if (stats_.read_transactions + stats_.write_transactions == txns_before) {
+    return base;
+  }
+  const std::uint64_t emitted = stats_.messages.total() - msgs_before;
+  if (home_busy_until_.empty()) {
+    home_busy_until_.assign(static_cast<std::size_t>(num_clusters_), 0);
+  }
+  Cycle& busy = home_busy_until_[home_of(block)];
+  const Cycle start = now < busy ? busy : now;
+  const Cycle wait = start - now;
+  stats_.contention_wait_cycles += wait;
+  busy = start + config_.latency.dir_occupancy +
+         config_.latency.per_invalidation * static_cast<Cycle>(emitted);
+  return wait + base;
+}
+
+Cycle CoherenceSystem::access_internal(ProcId proc, BlockAddr block,
+                                       bool is_write) {
+  ensure(proc < static_cast<ProcId>(config_.num_procs),
+         "processor id out of range");
+  ++stats_.accesses;
+  Cache& cache = caches_[proc];
+  const NodeId c = cluster_of(proc);
+  const NodeId h = home_of(block);
+
+  if (!is_write) {
+    if (!l1_.empty() && l1_[proc].read_lookup(block)) {
+      ++stats_.cache_hits;
+      check_version(block, l1_[proc].version_of(block));
+      return config_.latency.cache_hit;
+    }
+    if (cache.read_lookup(block)) {
+      ++stats_.cache_hits;
+      check_version(block, cache.version_of(block));
+      fill_l1(proc, block, cache.version_of(block));
+      return l1_.empty() ? config_.latency.cache_hit
+                         : config_.latency.l2_hit;
+    }
+  } else {
+    switch (cache.write_lookup(block)) {
+      case Cache::WriteLookup::kHitModified: {
+        ++stats_.cache_hits;
+        // Owner writes again: bump the version in place. No transaction
+        // (the write-through L1, if any, is refreshed and the write pays
+        // the L2 access it writes through to).
+        const std::uint32_t version = bump_latest(block);
+        cache.write_touch(block, version);
+        if (!l1_.empty()) {
+          l1_[proc].refresh(block, version);
+          return config_.latency.l2_hit;
+        }
+        return config_.latency.cache_hit;
+      }
+      case Cache::WriteLookup::kHitShared:
+      case Cache::WriteLookup::kMiss:
+        break;
+    }
+  }
+
+  // Miss (or upgrade): try the intra-cluster bus first.
+  Cycle snoop_latency = 0;
+  if (cache.probe(block) == LineState::kInvalid &&
+      snoop_service(proc, block, is_write, snoop_latency)) {
+    return snoop_latency;
+  }
+
+  // Directory transaction at the home cluster.
+  count_msg(MsgClass::kRequest, c, h);
+  const BlockAddr key = group_key(block);
+  const int sub = sub_of(block);
+  std::optional<VictimEntry> victim;
+  DirEntry* entry = directories_[h]->find_or_alloc(key, victim);
+  // Sparse-directory replacement work delays the transaction that forced it.
+  const Cycle reclaim_cost = victim ? reclaim_victim(h, *victim) : 0;
+
+  if (!is_write) {
+    ++stats_.read_transactions;
+    switch (entry->state_of(sub)) {
+      case DirState::kUncached: {
+        reset_union_if_sole(*entry, sub);
+        entry->state_of(sub) = DirState::kShared;
+        const int uncached_invals =
+            add_sharer_handling_displacement(*entry, key, c, h);
+        const std::uint32_t version = memory_version(block);
+        count_msg(MsgClass::kReply, h, c);
+        fill_cache(proc, block, LineState::kShared, version);
+        fill_l1(proc, block, version);
+        check_version(block, version);
+        return reclaim_cost +
+               finish_transaction(c, h, kNoNode, uncached_invals > 0);
+      }
+      case DirState::kShared: {
+        const bool displaced_inval =
+            add_sharer_handling_displacement(*entry, key, c, h) > 0;
+        const std::uint32_t version = memory_version(block);
+        count_msg(MsgClass::kReply, h, c);
+        fill_cache(proc, block, LineState::kShared, version);
+        fill_l1(proc, block, version);
+        check_version(block, version);
+        return reclaim_cost + finish_transaction(c, h, kNoNode, displaced_inval);
+      }
+      case DirState::kDirty: {
+        const NodeId o = entry->owner_of(sub);
+        ensure(o != c, "dirty-at-requester read miss must be snoop-served");
+        // Forward to the owner; the owner replies to the requester and
+        // sends a sharing writeback to the home.
+        count_msg(MsgClass::kRequest, h, o);
+        std::uint32_t version = 0;
+        bool found = false;
+        const int first = o * config_.procs_per_cluster;
+        for (int q = first; q < first + config_.procs_per_cluster; ++q) {
+          if (caches_[static_cast<std::size_t>(q)].probe(block) ==
+              LineState::kModified) {
+            version = caches_[static_cast<std::size_t>(q)].downgrade(block);
+            found = true;
+            break;
+          }
+        }
+        ensure(found, "directory owner held no dirty copy");
+        ++stats_.sharing_writebacks;
+        count_msg(MsgClass::kWriteback, o, h);
+        set_memory_version(block, version);
+        count_msg(MsgClass::kReply, o, c);
+        entry->owner_of(sub) = kNoNode;
+        reset_union_if_sole(*entry, sub);
+        entry->state_of(sub) = DirState::kShared;
+        add_sharer_handling_displacement(*entry, key, o, h);
+        add_sharer_handling_displacement(*entry, key, c, h);
+        fill_cache(proc, block, LineState::kShared, version);
+        fill_l1(proc, block, version);
+        check_version(block, version);
+        return reclaim_cost + finish_transaction(c, h, o, false);
+      }
+    }
+    ensure(false, "unreachable read state");
+  }
+
+  // Write transaction.
+  ++stats_.write_transactions;
+  switch (entry->state_of(sub)) {
+    case DirState::kUncached: {
+      entry->state_of(sub) = DirState::kDirty;
+      entry->owner_of(sub) = c;
+      reset_union_if_sole(*entry, sub);
+      count_msg(MsgClass::kReply, h, c);
+      stats_.inval_distribution.add(0);
+      const std::uint32_t version = bump_latest(block);
+      scrub_cluster_siblings(proc, block);
+      fill_cache(proc, block, LineState::kModified, version);
+      if (!l1_.empty()) {
+        l1_[proc].refresh(block, version);
+      }
+      return reclaim_cost + finish_transaction(c, h, kNoNode, false);
+    }
+    case DirState::kShared: {
+      target_scratch_.clear();
+      format_->collect_targets(entry->sharers, c, target_scratch_);
+      const auto outcome = send_invalidations(target_scratch_, h, c, block);
+      stats_.inval_distribution.add(
+          static_cast<std::uint64_t>(outcome.network_invalidations));
+      entry->state_of(sub) = DirState::kDirty;
+      entry->owner_of(sub) = c;
+      reset_union_if_sole(*entry, sub);
+      count_msg(MsgClass::kReply, h, c);  // ownership (+ data on a miss)
+      const std::uint32_t version = bump_latest(block);
+      scrub_cluster_siblings(proc, block);
+      if (cache.probe(block) == LineState::kShared) {
+        cache.upgrade(block, version);
+      } else {
+        fill_cache(proc, block, LineState::kModified, version);
+      }
+      if (!l1_.empty()) {
+        l1_[proc].refresh(block, version);
+      }
+      // The write completes when every ack has arrived; wide target sets
+      // keep the writer (and the directory) busy longer.
+      return reclaim_cost +
+             config_.latency.per_invalidation *
+                 static_cast<Cycle>(outcome.network_invalidations) +
+             finish_transaction(c, h, kNoNode,
+                                outcome.network_invalidations > 0);
+    }
+    case DirState::kDirty: {
+      const NodeId o = entry->owner_of(sub);
+      ensure(o != c, "dirty-at-requester write must be snoop-served");
+      ++stats_.ownership_transfers;
+      // Forward; the owner hands the (modified) data straight to the new
+      // owner and confirms the transfer to the home. This is not an
+      // invalidation event (Section 6.1).
+      count_msg(MsgClass::kRequest, h, o);
+      const bool had = invalidate_cluster(o, block);
+      ensure(had, "directory owner held no copy on transfer");
+      count_msg(MsgClass::kReply, o, c);
+      count_msg(MsgClass::kAck, o, h);
+      entry->owner_of(sub) = c;
+      const std::uint32_t version = bump_latest(block);
+      scrub_cluster_siblings(proc, block);
+      fill_cache(proc, block, LineState::kModified, version);
+      if (!l1_.empty()) {
+        l1_[proc].refresh(block, version);
+      }
+      return reclaim_cost + finish_transaction(c, h, o, false);
+    }
+  }
+  ensure(false, "unreachable write state");
+  return 0;
+}
+
+const DirEntry* CoherenceSystem::peek_entry(BlockAddr block) const {
+  const NodeId h = home_of(block);
+  // find() is non-const because of LRU bookkeeping; peeking is a test-only
+  // path, so the recency perturbation is acceptable and documented. With
+  // grouped tracking the returned entry covers the whole group; use
+  // state_of(sub_of(block)) for the per-block view.
+  return const_cast<DirectoryStore&>(*directories_[h]).find(group_key(block));
+}
+
+CacheStats CoherenceSystem::aggregate_cache_stats() const {
+  CacheStats total;
+  for (const Cache& cache : caches_) {
+    const CacheStats& s = cache.stats();
+    total.read_hits += s.read_hits;
+    total.read_misses += s.read_misses;
+    total.write_hits += s.write_hits;
+    total.write_upgrades += s.write_upgrades;
+    total.write_misses += s.write_misses;
+    total.evictions_clean += s.evictions_clean;
+    total.evictions_dirty += s.evictions_dirty;
+    total.invalidations_received += s.invalidations_received;
+    total.invalidations_empty += s.invalidations_empty;
+  }
+  return total;
+}
+
+}  // namespace dircc

@@ -1,0 +1,256 @@
+// CoherenceSystem: the DASH-style directory-based invalidation protocol.
+//
+// This is the machine model of Section 2 of the paper: processors grouped
+// into clusters, memory (and the corresponding directory slice) interleaved
+// across clusters at block granularity, a snoopy bus inside each cluster and
+// point-to-point coherence messages between clusters.
+//
+// The system is driven one memory access at a time. Each access runs the
+// complete coherence transaction atomically against the architectural state
+// (caches, directories, memory versions), counts every inter-cluster message
+// it generates, and returns the access latency in processor cycles. The
+// event-driven simulator (src/sim) interleaves per-processor access streams
+// by timestamp on top of this.
+//
+// Protocol summary (Section 2):
+//  * Read miss, block clean/shared at home  -> 2-cluster transaction.
+//  * Read miss, block dirty in a third cluster -> request forwarded to the
+//    owner, which replies to the requester and sends a sharing writeback to
+//    the home (3-cluster transaction).
+//  * Write (miss or upgrade) -> home sends invalidations to every cluster
+//    the directory entry names, returns an ownership reply carrying the
+//    invalidation count; each invalidated cluster acks the requester; the
+//    write completes when all acks arrive.
+//  * Sparse-directory entry replacement -> every copy tracked by the victim
+//    entry is invalidated (acks collected by the home's Remote Access Cache)
+//    before the entry is reused; a dirty victim is first written back.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "cache/cache.hpp"
+#include "common/stats.hpp"
+#include "directory/format.hpp"
+#include "directory/store.hpp"
+#include "network/latency.hpp"
+#include "network/mesh.hpp"
+#include "network/message.hpp"
+#include "protocol/memory_system.hpp"
+
+namespace dircc {
+
+/// Full machine configuration.
+struct SystemConfig {
+  int num_procs = 32;
+  int procs_per_cluster = 1;
+  std::uint64_t cache_lines_per_proc = 1024;  ///< lines, not bytes
+  int cache_assoc = 4;
+  /// Optional write-through first-level cache in front of the coherence
+  /// point (the DASH primary/secondary split of Section 5). 0 disables it;
+  /// when enabled, reads hitting the L1 cost `latency.cache_hit`, L2 hits
+  /// cost `latency.l2_hit`, and inclusion is maintained (invalidations and
+  /// L2 evictions also kill the L1 copy).
+  std::uint64_t l1_lines_per_proc = 0;
+  int l1_assoc = 4;
+  int block_size = 16;  ///< bytes; used for Addr -> BlockAddr conversion
+  SchemeConfig scheme = SchemeConfig::full(32);
+  StoreConfig store;  ///< sparse_entries is interpreted *per home cluster*
+  /// Consecutive home-local blocks tracked by one directory entry
+  /// (Section 7: "make multiple memory blocks share one wide entry").
+  /// The group shares one sharer field — the union of each member's
+  /// sharers — while each block keeps its own state and dirty owner.
+  /// 1 (the default) is the paper's per-block organization.
+  int blocks_per_group = 1;
+  LatencyModel latency;
+  bool validate = true;  ///< run value-coherence checks on every access
+  /// Send a replacement hint to the home when a *shared* line is displaced,
+  /// so precise directory representations can drop the stale sharer (and a
+  /// sparse directory can free entries whose last copy is gone). Costs one
+  /// network message per hint; off in the paper's baseline protocol
+  /// (Section 7 discusses the trade-off space).
+  bool replacement_hints = false;
+  /// Model home-directory occupancy: each directory transaction holds the
+  /// home's controller for `latency.dir_occupancy` cycles plus
+  /// `latency.per_invalidation` per message it emits; concurrent requests
+  /// to a busy home queue behind it. Off by default — the paper's
+  /// simulator (one processor per cluster, underutilized buses) is also
+  /// contention-free, and Section 6.2 notes real machines would amplify
+  /// the message-count differences; this switch quantifies that remark.
+  bool model_contention = false;
+  std::uint64_t seed = 1;
+
+  int num_clusters() const { return num_procs / procs_per_cluster; }
+};
+
+/// Everything the benchmarks report.
+struct ProtocolStats {
+  MessageCounters messages;
+  Histogram inval_distribution;  ///< network invalidations per write event
+  std::uint64_t accesses = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t read_transactions = 0;
+  std::uint64_t write_transactions = 0;
+  std::uint64_t ownership_transfers = 0;      ///< writes to dirty blocks
+  std::uint64_t extraneous_invalidations = 0; ///< target held no copy
+  std::uint64_t nb_read_displacements = 0;    ///< Dir_iNB pointer evictions
+  std::uint64_t sharing_writebacks = 0;
+  std::uint64_t dirty_eviction_writebacks = 0;
+  std::uint64_t sparse_replacements = 0;
+  std::uint64_t sparse_replacement_invals = 0;
+  std::uint64_t replacement_hints_sent = 0;
+  std::uint64_t local_transactions = 0;
+  std::uint64_t remote2_transactions = 0;
+  std::uint64_t remote3_transactions = 0;
+  Cycle contention_wait_cycles = 0;  ///< queueing at busy home directories
+};
+
+/// The simulated machine.
+class CoherenceSystem final : public MemorySystem {
+ public:
+  explicit CoherenceSystem(const SystemConfig& config);
+
+  /// Performs one shared-data access by processor `proc` to `block` and
+  /// returns its latency. All protocol side effects (invalidations,
+  /// writebacks, sparse replacements) happen synchronously. With
+  /// `model_contention`, `now` feeds the home-directory occupancy queue.
+  Cycle access(ProcId proc, BlockAddr block, bool is_write,
+               Cycle now) override;
+  using MemorySystem::access;
+
+  const SystemConfig& config() const { return config_; }
+  const ProtocolStats& stats() const override { return stats_; }
+  const SharerFormat& format() const { return *format_; }
+
+  int num_procs() const override { return config_.num_procs; }
+  int block_size() const override { return config_.block_size; }
+  NodeId cluster_of(ProcId proc) const override {
+    return static_cast<NodeId>(proc / config_.procs_per_cluster);
+  }
+  NodeId home_of(BlockAddr block) const {
+    return static_cast<NodeId>(block %
+                               static_cast<BlockAddr>(num_clusters_));
+  }
+
+  /// Directory tracking unit for `block`: the group's base block address.
+  BlockAddr group_key(BlockAddr block) const {
+    if (config_.blocks_per_group == 1) {
+      return block;
+    }
+    const auto clusters = static_cast<BlockAddr>(num_clusters_);
+    const BlockAddr local = block / clusters;
+    const auto group = static_cast<BlockAddr>(config_.blocks_per_group);
+    return (local - local % group) * clusters + home_of(block);
+  }
+  /// Position of `block` within its tracking group.
+  int sub_of(BlockAddr block) const {
+    return static_cast<int>(
+        (block / static_cast<BlockAddr>(num_clusters_)) %
+        static_cast<BlockAddr>(config_.blocks_per_group));
+  }
+  /// Block address of group member `sub` given the group's base key.
+  BlockAddr block_at(BlockAddr key, int sub) const {
+    return key + static_cast<BlockAddr>(sub) *
+                     static_cast<BlockAddr>(num_clusters_);
+  }
+
+  // --- introspection for tests and invariant checks ---
+  const Cache& cache(ProcId proc) const { return caches_[proc]; }
+  bool two_level() const { return !l1_.empty(); }
+  /// First-level cache (two-level configurations only).
+  const Cache& l1_cache(ProcId proc) const { return l1_[proc]; }
+  const DirectoryStore& directory(NodeId home) const {
+    return *directories_[home];
+  }
+  /// Directory entry for `block`, or nullptr (does not disturb LRU state).
+  const DirEntry* peek_entry(BlockAddr block) const;
+  /// Latest committed version of `block` (0 if never written).
+  std::uint32_t latest_version(BlockAddr block) const;
+  /// Aggregated per-cache statistics.
+  CacheStats aggregate_cache_stats() const override;
+
+ private:
+  struct TargetOutcome {
+    int network_invalidations = 0;
+    int network_acks = 0;
+  };
+
+  // Invalidates one processor's copy in both cache levels (inclusion).
+  Cache::InvalidateResult invalidate_line(std::size_t proc, BlockAddr block);
+
+  // Fills the first-level cache after a read (no-op when single-level).
+  void fill_l1(ProcId proc, BlockAddr block, std::uint32_t version);
+
+  // Invalidates every copy of `block` held inside cluster `target` (bus
+  // broadcast within the cluster). Returns true when at least one cache
+  // held a copy.
+  bool invalidate_cluster(NodeId target, BlockAddr block);
+
+  // Sends invalidations for `targets`, acks routed to `ack_sink`.
+  // Counts messages and extraneous invalidations; returns network totals.
+  TargetOutcome send_invalidations(const std::vector<NodeId>& targets,
+                                   NodeId home, NodeId ack_sink,
+                                   BlockAddr block);
+
+  // Reclaims a displaced sparse-directory entry (Section 4.2 / Section 7:
+  // the RAC collects the acks). Returns the directory-occupancy cycles the
+  // reclamation adds to the transaction that triggered it.
+  Cycle reclaim_victim(NodeId home, const VictimEntry& victim);
+
+  // Handles a dirty line displaced from `proc`'s cache by a fill.
+  void handle_eviction(ProcId proc, const EvictedLine& evicted);
+
+  // Installs `block` into `proc`'s cache and processes any displaced line.
+  void fill_cache(ProcId proc, BlockAddr block, LineState state,
+                  std::uint32_t version);
+
+  // Kills stale copies in the writer's own cluster (bus invalidation).
+  void scrub_cluster_siblings(ProcId writer, BlockAddr block);
+
+  // Intra-cluster snoop service for a miss; returns true when satisfied
+  // locally without a directory transaction.
+  bool snoop_service(ProcId proc, BlockAddr block, bool is_write,
+                     Cycle& latency);
+
+  // Resets the group's shared sharer field unless another sub-block still
+  // relies on it.
+  void reset_union_if_sole(DirEntry& entry, int sub);
+
+  // Adds `node` to the entry's sharer field, handling a Dir_iNB pointer
+  // displacement: the displaced cluster is invalidated for every Shared
+  // sub-block the field covers (grouped entries share one field, so a
+  // displacement can be triggered by any member). Returns the number of
+  // network invalidations sent (0 when nothing was displaced).
+  int add_sharer_handling_displacement(DirEntry& entry, BlockAddr key,
+                                       NodeId node, NodeId home);
+
+  // Latency bookkeeping.
+  Cycle finish_transaction(NodeId c, NodeId h, NodeId o, bool had_invals);
+
+  // The contention-free protocol body (all side effects and base latency).
+  Cycle access_internal(ProcId proc, BlockAddr block, bool is_write);
+
+  void count_msg(MsgClass cls, NodeId from, NodeId to);
+
+  std::uint32_t memory_version(BlockAddr block) const;
+  void set_memory_version(BlockAddr block, std::uint32_t version);
+  std::uint32_t bump_latest(BlockAddr block);
+  void check_version(BlockAddr block, std::uint32_t observed) const;
+
+  SystemConfig config_;
+  int num_clusters_;
+  std::unique_ptr<SharerFormat> format_;
+  std::vector<Cache> caches_;
+  std::vector<Cache> l1_;
+  std::vector<std::unique_ptr<DirectoryStore>> directories_;
+  MeshTopology mesh_;
+  std::unordered_map<BlockAddr, std::uint32_t> latest_;
+  std::unordered_map<BlockAddr, std::uint32_t> memory_;
+  std::vector<Cycle> home_busy_until_;
+  ProtocolStats stats_;
+  std::vector<NodeId> target_scratch_;
+};
+
+}  // namespace dircc

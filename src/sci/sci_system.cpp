@@ -1,0 +1,323 @@
+#include "sci/sci_system.hpp"
+
+#include <algorithm>
+
+#include "common/ensure.hpp"
+
+namespace dircc {
+
+/// One block's sharing list, head first. `dirty` implies a single element
+/// whose cache holds the line Modified.
+struct SciSystem::BlockList {
+  std::vector<NodeId> nodes;
+  bool dirty = false;
+
+  bool contains(NodeId node) const {
+    return std::find(nodes.begin(), nodes.end(), node) != nodes.end();
+  }
+};
+
+SciSystem::SciSystem(const SciConfig& config) : config_(config) {
+  ensure(config.num_procs >= 1, "need at least one processor");
+  ensure(is_pow2(static_cast<std::uint64_t>(config.block_size)),
+         "block size must be a power of two");
+  caches_.reserve(static_cast<std::size_t>(config.num_procs));
+  for (int p = 0; p < config.num_procs; ++p) {
+    caches_.emplace_back(config.cache_lines_per_proc, config.cache_assoc);
+  }
+}
+
+SciSystem::~SciSystem() = default;
+
+int SciSystem::pointer_bits_per_line() const {
+  // Forward and back pointer per cache line, kept in cache-speed SRAM —
+  // the storage-scaling advantage (and cost) the paper discusses.
+  return 2 * log2_ceil(static_cast<std::uint64_t>(config_.num_procs));
+}
+
+// ---------------------------------------------------------------------------
+// Bookkeeping
+// ---------------------------------------------------------------------------
+
+void SciSystem::count_msg(MsgClass cls, NodeId from, NodeId to) {
+  if (from != to) {
+    stats_.messages.add(cls);
+  }
+}
+
+std::uint32_t SciSystem::memory_version(BlockAddr block) const {
+  auto it = memory_.find(block);
+  return it == memory_.end() ? 0 : it->second;
+}
+
+std::uint32_t SciSystem::bump_latest(BlockAddr block) {
+  return ++latest_[block];
+}
+
+std::uint32_t SciSystem::latest_version(BlockAddr block) const {
+  auto it = latest_.find(block);
+  return it == latest_.end() ? 0 : it->second;
+}
+
+void SciSystem::check_version(BlockAddr block,
+                              std::uint32_t observed) const {
+  if (config_.validate) {
+    ensure(observed == latest_version(block),
+           "SCI coherence violation: a read observed a stale version");
+  }
+}
+
+std::vector<NodeId> SciSystem::list_of(BlockAddr block) const {
+  auto it = lists_.find(block);
+  return it == lists_.end() ? std::vector<NodeId>{} : it->second.nodes;
+}
+
+bool SciSystem::dirty_at_head(BlockAddr block) const {
+  auto it = lists_.find(block);
+  return it != lists_.end() && it->second.dirty;
+}
+
+CacheStats SciSystem::aggregate_cache_stats() const {
+  CacheStats total;
+  for (const Cache& cache : caches_) {
+    const CacheStats& s = cache.stats();
+    total.read_hits += s.read_hits;
+    total.read_misses += s.read_misses;
+    total.write_hits += s.write_hits;
+    total.write_upgrades += s.write_upgrades;
+    total.write_misses += s.write_misses;
+    total.evictions_clean += s.evictions_clean;
+    total.evictions_dirty += s.evictions_dirty;
+    total.invalidations_received += s.invalidations_received;
+    total.invalidations_empty += s.invalidations_empty;
+  }
+  return total;
+}
+
+// ---------------------------------------------------------------------------
+// List surgery
+// ---------------------------------------------------------------------------
+
+void SciSystem::unlink(BlockList& list, BlockAddr block, NodeId node) {
+  const auto it = std::find(list.nodes.begin(), list.nodes.end(), node);
+  ensure(it != list.nodes.end(), "unlink of a node not on the list");
+  const NodeId h = home_of(block);
+  ++sci_stats_.unlink_operations;
+  // Neighbour pointer updates: the departing node tells its predecessor
+  // (or the home, when it is the head) and its successor.
+  if (it == list.nodes.begin()) {
+    count_msg(MsgClass::kRequest, node, h);  // move memory's head pointer
+    count_msg(MsgClass::kAck, h, node);
+  } else {
+    const NodeId prev = *(it - 1);
+    count_msg(MsgClass::kRequest, node, prev);
+    count_msg(MsgClass::kAck, prev, node);
+  }
+  if (it + 1 != list.nodes.end()) {
+    const NodeId next = *(it + 1);
+    count_msg(MsgClass::kRequest, node, next);
+    count_msg(MsgClass::kAck, next, node);
+  }
+  list.nodes.erase(it);
+}
+
+Cycle SciSystem::purge_successors(BlockList& list, BlockAddr block,
+                                  NodeId head) {
+  ensure(!list.nodes.empty() && list.nodes.front() == head,
+         "purge must start from the head");
+  Cycle added = 0;
+  std::uint64_t purged = 0;
+  // "The list is unraveled one by one": each invalidation learns the next
+  // pointer only from the previous ack, so the round trips serialize.
+  for (std::size_t i = 1; i < list.nodes.size(); ++i) {
+    const NodeId victim = list.nodes[i];
+    const auto result = caches_[victim].invalidate(block);
+    ensure(result.had_copy, "SCI list member held no copy");
+    count_msg(MsgClass::kInvalidation, head, victim);
+    count_msg(MsgClass::kAck, victim, head);
+    added += config_.purge_round;
+    ++purged;
+  }
+  sci_stats_.purge_lengths.add(purged);
+  sci_stats_.serialized_cycles += added;
+  stats_.inval_distribution.add(purged);
+  list.nodes.resize(1);
+  return added;
+}
+
+void SciSystem::handle_eviction(ProcId proc, const EvictedLine& evicted) {
+  auto it = lists_.find(evicted.block);
+  ensure(it != lists_.end(), "evicted line had no sharing list");
+  BlockList& list = it->second;
+  const NodeId h = home_of(evicted.block);
+  if (evicted.dirty) {
+    ensure(list.dirty && list.nodes.size() == 1 &&
+               list.nodes.front() == proc,
+           "dirty eviction from a non-head");
+    ++stats_.dirty_eviction_writebacks;
+    count_msg(MsgClass::kWriteback, proc, h);
+    memory_[evicted.block] = evicted.version;
+    lists_.erase(it);
+    return;
+  }
+  // A shared line cannot be dropped silently: unlink from the list.
+  unlink(list, evicted.block, proc);
+  if (list.nodes.empty()) {
+    lists_.erase(it);
+  }
+}
+
+void SciSystem::fill_cache(ProcId proc, BlockAddr block, LineState state,
+                           std::uint32_t version) {
+  std::optional<EvictedLine> evicted;
+  caches_[proc].fill(block, state, version, evicted);
+  if (evicted) {
+    handle_eviction(proc, *evicted);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// The access path
+// ---------------------------------------------------------------------------
+
+Cycle SciSystem::access(ProcId proc, BlockAddr block, bool is_write,
+                        Cycle /*now*/) {
+  ensure(proc < static_cast<ProcId>(config_.num_procs),
+         "processor id out of range");
+  ++stats_.accesses;
+  Cache& cache = caches_[proc];
+  const NodeId c = proc;
+  const NodeId h = home_of(block);
+  const LatencyModel& lat = config_.latency;
+
+  if (!is_write) {
+    if (cache.read_lookup(block)) {
+      ++stats_.cache_hits;
+      check_version(block, cache.version_of(block));
+      return lat.cache_hit;
+    }
+    ++stats_.read_transactions;
+    count_msg(MsgClass::kRequest, c, h);
+    BlockList& list = lists_[block];
+    ensure(!list.contains(c), "reader already on the list after a miss");
+    if (list.nodes.empty()) {
+      // Memory supplies; requester starts the list.
+      count_msg(MsgClass::kReply, h, c);
+      list.nodes.push_back(c);
+      const std::uint32_t version = memory_version(block);
+      fill_cache(proc, block, LineState::kShared, version);
+      check_version(block, version);
+      return c == h ? lat.local_access : lat.remote_2cluster;
+    }
+    if (list.dirty) {
+      // Home hands back the head pointer; the head supplies the data,
+      // downgrades, and refreshes memory.
+      const NodeId head = list.nodes.front();
+      ++sci_stats_.head_supplies;
+      count_msg(MsgClass::kReply, h, c);       // head pointer
+      count_msg(MsgClass::kRequest, c, head);  // data request
+      const std::uint32_t version = caches_[head].downgrade(block);
+      ++stats_.sharing_writebacks;
+      count_msg(MsgClass::kWriteback, head, h);
+      memory_[block] = version;
+      count_msg(MsgClass::kReply, head, c);
+      list.dirty = false;
+      list.nodes.insert(list.nodes.begin(), c);
+      fill_cache(proc, block, LineState::kShared, version);
+      check_version(block, version);
+      const int distinct = 1 + (h != c ? 1 : 0) + (head != c && head != h);
+      return lat.transaction(distinct, 0);
+    }
+    // Shared list: memory supplies; the requester prepends itself, which
+    // needs one extra round trip to link to the old head.
+    const NodeId old_head = list.nodes.front();
+    count_msg(MsgClass::kReply, h, c);
+    count_msg(MsgClass::kRequest, c, old_head);
+    count_msg(MsgClass::kAck, old_head, c);
+    list.nodes.insert(list.nodes.begin(), c);
+    const std::uint32_t version = memory_version(block);
+    fill_cache(proc, block, LineState::kShared, version);
+    check_version(block, version);
+    return (c == h ? lat.local_access : lat.remote_2cluster) +
+           config_.prepend_round;
+  }
+
+  // Write.
+  switch (cache.write_lookup(block)) {
+    case Cache::WriteLookup::kHitModified: {
+      ++stats_.cache_hits;
+      cache.write_touch(block, bump_latest(block));
+      return lat.cache_hit;
+    }
+    case Cache::WriteLookup::kHitShared:
+    case Cache::WriteLookup::kMiss:
+      break;
+  }
+  ++stats_.write_transactions;
+  count_msg(MsgClass::kRequest, c, h);
+  BlockList& list = lists_[block];
+
+  if (list.nodes.empty()) {
+    count_msg(MsgClass::kReply, h, c);
+    list.nodes.push_back(c);
+    list.dirty = true;
+    stats_.inval_distribution.add(0);
+    sci_stats_.purge_lengths.add(0);
+    const std::uint32_t version = bump_latest(block);
+    fill_cache(proc, block, LineState::kModified, version);
+    return c == h ? lat.local_access : lat.remote_2cluster;
+  }
+
+  if (list.dirty) {
+    // Ownership transfer from the current (sole) head.
+    const NodeId old_head = list.nodes.front();
+    ensure(old_head != c, "dirty-at-requester write must be a cache hit");
+    ++stats_.ownership_transfers;
+    count_msg(MsgClass::kRequest, h, old_head);
+    const auto result = caches_[old_head].invalidate(block);
+    ensure(result.had_copy && result.was_dirty,
+           "SCI head lost its dirty copy");
+    count_msg(MsgClass::kReply, old_head, c);
+    count_msg(MsgClass::kAck, old_head, h);  // head pointer update
+    list.nodes.front() = c;
+    const std::uint32_t version = bump_latest(block);
+    fill_cache(proc, block, LineState::kModified, version);
+    const int distinct = 1 + (h != c ? 1 : 0) + (old_head != c && old_head != h);
+    return lat.transaction(distinct, 0);
+  }
+
+  // Shared list: the writer must be (or become) the head, then unravel
+  // the list serially.
+  Cycle extra = 0;
+  if (!list.contains(c)) {
+    // Attach at the head first (as on a read miss).
+    count_msg(MsgClass::kReply, h, c);
+    count_msg(MsgClass::kRequest, c, list.nodes.front());
+    count_msg(MsgClass::kAck, list.nodes.front(), c);
+    list.nodes.insert(list.nodes.begin(), c);
+    extra += config_.prepend_round;
+  } else if (list.nodes.front() != c) {
+    // Mid-list writer: unlink, then re-attach at the head.
+    unlink(list, block, c);
+    count_msg(MsgClass::kReply, h, c);
+    if (!list.nodes.empty()) {
+      count_msg(MsgClass::kRequest, c, list.nodes.front());
+      count_msg(MsgClass::kAck, list.nodes.front(), c);
+    }
+    list.nodes.insert(list.nodes.begin(), c);
+    extra += config_.prepend_round;
+  } else {
+    count_msg(MsgClass::kReply, h, c);  // write permission from home
+  }
+  extra += purge_successors(list, block, c);
+  list.dirty = true;
+  const std::uint32_t version = bump_latest(block);
+  if (cache.probe(block) == LineState::kShared) {
+    cache.upgrade(block, version);
+  } else {
+    fill_cache(proc, block, LineState::kModified, version);
+  }
+  return (c == h ? lat.local_access : lat.remote_2cluster) + extra;
+}
+
+}  // namespace dircc

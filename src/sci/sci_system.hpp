@@ -1,0 +1,128 @@
+// SciSystem — cache-based linked-list directory coherence (Section 3.3).
+//
+// The third class of directory schemes the paper discusses: instead of a
+// sharer record next to memory, each memory block's directory entry is a
+// doubly-linked list threaded through the sharing caches. Memory holds only
+// the head (and tail) pointer; each cache line carries forward/back
+// pointers to the rest of the list, as in the IEEE Scalable Coherent
+// Interface the paper cites.
+//
+// Protocol, following the paper's description:
+//  * A read attaches the requester at the *head* of the list: the home
+//    replies with the data and the old head id, and the requester links
+//    itself to the old head (one extra round trip).
+//  * A write makes the requester the head, then "the list is unraveled one
+//    by one as all the copies in the caches are invalidated one after
+//    another" — each successor is invalidated with a serial round trip,
+//    because the next pointer is only learned from each ack. This is the
+//    paper's first qualitative disadvantage: serialized invalidations.
+//  * A cache displacing a line cannot do so silently: it must unlink from
+//    the list, costing messages to its neighbours (and to the home when
+//    the head leaves). Second disadvantage: replacement traffic.
+//  * In exchange, the directory state scales with cache size by
+//    construction and the list is always exact — no extraneous
+//    invalidations, and (third point in the paper) the pointer storage
+//    must be fast SRAM next to the caches rather than DRAM.
+//
+// This implementation models lists at the same cluster granularity as the
+// memory-based protocols (one processor per cluster is required, which is
+// also the configuration the paper simulates).
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "protocol/system.hpp"
+
+namespace dircc {
+
+/// SCI-specific latency/configuration knobs on top of the base machine.
+struct SciConfig {
+  int num_procs = 32;
+  std::uint64_t cache_lines_per_proc = 1024;
+  int cache_assoc = 4;
+  int block_size = 16;
+  LatencyModel latency;
+  /// Round trip to link the new head to the old one on a read.
+  Cycle prepend_round = 40;
+  /// Serial round trip per invalidated list element on a write.
+  Cycle purge_round = 40;
+  bool validate = true;
+};
+
+/// Counters specific to the linked-list organization.
+struct SciStats {
+  Histogram purge_lengths;            ///< list elements invalidated per write
+  std::uint64_t unlink_operations = 0;    ///< replacements that had to unlink
+  std::uint64_t serialized_cycles = 0;    ///< cycles spent walking lists
+  std::uint64_t head_supplies = 0;        ///< reads served by a dirty head
+};
+
+class SciSystem final : public MemorySystem {
+ public:
+  explicit SciSystem(const SciConfig& config);
+  ~SciSystem() override;
+
+  /// `now` is accepted for interface compatibility; the SCI model is
+  /// contention-free (like the paper's own simulator).
+  Cycle access(ProcId proc, BlockAddr block, bool is_write,
+               Cycle now) override;
+  using MemorySystem::access;
+
+  int num_procs() const override { return config_.num_procs; }
+  int block_size() const override { return config_.block_size; }
+  NodeId cluster_of(ProcId proc) const override {
+    return static_cast<NodeId>(proc);
+  }
+
+  const ProtocolStats& stats() const override { return stats_; }
+  const SciStats& sci_stats() const { return sci_stats_; }
+  CacheStats aggregate_cache_stats() const override;
+  const SciConfig& config() const { return config_; }
+
+  /// Pointer storage per cache line: forward + back pointer.
+  int pointer_bits_per_line() const;
+
+  // --- introspection for tests ---
+  const Cache& cache(ProcId proc) const { return caches_[proc]; }
+  /// Sharing list for `block`, head first; empty when uncached.
+  std::vector<NodeId> list_of(BlockAddr block) const;
+  /// True when the head holds the block modified.
+  bool dirty_at_head(BlockAddr block) const;
+  std::uint32_t latest_version(BlockAddr block) const;
+
+ private:
+  struct BlockList;
+
+  NodeId home_of(BlockAddr block) const {
+    return static_cast<NodeId>(
+        block % static_cast<BlockAddr>(config_.num_procs));
+  }
+
+  void count_msg(MsgClass cls, NodeId from, NodeId to);
+  std::uint32_t memory_version(BlockAddr block) const;
+  std::uint32_t bump_latest(BlockAddr block);
+  void check_version(BlockAddr block, std::uint32_t observed) const;
+
+  // Unlinks `node` from `block`'s list, counting the neighbour updates.
+  // `list` must currently contain `node`.
+  void unlink(BlockList& list, BlockAddr block, NodeId node);
+  // Invalidates every list element after the head, serially. Returns the
+  // added latency and records the purge length.
+  Cycle purge_successors(BlockList& list, BlockAddr block, NodeId head);
+  // Handles a line displaced from `proc`'s cache (mandatory unlink).
+  void handle_eviction(ProcId proc, const EvictedLine& evicted);
+  void fill_cache(ProcId proc, BlockAddr block, LineState state,
+                  std::uint32_t version);
+
+  SciConfig config_;
+  std::vector<Cache> caches_;
+  std::unordered_map<BlockAddr, BlockList> lists_;
+  std::unordered_map<BlockAddr, std::uint32_t> latest_;
+  std::unordered_map<BlockAddr, std::uint32_t> memory_;
+  ProtocolStats stats_;
+  SciStats sci_stats_;
+};
+
+}  // namespace dircc

@@ -1,0 +1,248 @@
+#include "sim/engine.hpp"
+
+#include <algorithm>
+
+#include "common/ensure.hpp"
+
+namespace dircc {
+namespace {
+
+// std::push_heap/pop_heap build a max-heap; we want the *earliest* event,
+// with proc id as a deterministic tie-break.
+struct LaterEvent {
+  bool operator()(const std::pair<Cycle, ProcId>& a,
+                  const std::pair<Cycle, ProcId>& b) const {
+    if (a.first != b.first) {
+      return a.first > b.first;
+    }
+    return a.second > b.second;
+  }
+};
+
+}  // namespace
+
+Engine::Engine(MemorySystem& system, const ProgramTrace& trace,
+               EngineConfig config)
+    : system_(system), trace_(trace), config_(config) {
+  ensure(trace.num_procs() == system.num_procs(),
+         "trace and system disagree on the processor count");
+  ensure(trace.block_size == system.block_size(),
+         "trace and system disagree on the block size");
+  const auto procs = static_cast<std::size_t>(trace.num_procs());
+  cursor_.assign(procs, 0);
+  finish_time_.assign(procs, 0);
+  write_buffer_.assign(procs, {});
+}
+
+Cycle Engine::drained(ProcId proc, Cycle now) {
+  auto& buffer = write_buffer_[proc];
+  if (buffer.empty()) {
+    return now;
+  }
+  Cycle done = now;
+  for (const Cycle completion : buffer) {
+    done = std::max(done, completion);
+  }
+  buffer.clear();
+  if (done > now) {
+    sync_.fence_wait_cycles += done - now;
+  }
+  return done;
+}
+
+void Engine::schedule(ProcId proc, Cycle when) {
+  heap_.emplace_back(when, proc);
+  std::push_heap(heap_.begin(), heap_.end(), LaterEvent{});
+}
+
+void Engine::wake(ProcId proc, Cycle when) {
+  --blocked_;
+  if (cursor_[proc] < trace_.per_proc[proc].size()) {
+    schedule(proc, when);
+  } else {
+    finish_time_[proc] = std::max(when, drained(proc, when));
+    ++finished_;
+  }
+}
+
+void Engine::sync_msg(MsgClass cls, std::uint64_t n) {
+  if (config_.count_sync_messages) {
+    sync_.messages.add(cls, n);
+  }
+}
+
+void Engine::handle_unlock(LockState& lock, Cycle now) {
+  sync_msg(MsgClass::kRequest);  // release notification to the lock home
+  if (lock.waiters.empty()) {
+    lock.held = false;
+    lock.holder = kNoProc;
+    return;
+  }
+  if (!config_.region_grant_locks) {
+    // Precise grant: hand the lock to the head waiter.
+    const ProcId next = lock.waiters.front();
+    lock.waiters.pop_front();
+    lock.holder = next;
+    sync_msg(MsgClass::kReply);  // grant
+    wake(next, now + config_.grant_cost);
+    ++sync_.lock_acquires;
+    return;
+  }
+  // Coarse-vector grant (Section 7): the directory only knows the region of
+  // the head waiter, so every queued processor in that region is woken; one
+  // wins, the rest re-queue after a wasted round trip.
+  const ProcId head = lock.waiters.front();
+  const int region_size = std::max(1, config_.lock_region_size);
+  const int head_region = system_.cluster_of(head) / region_size;
+  lock.waiters.pop_front();
+  lock.holder = head;
+  sync_msg(MsgClass::kReply);  // wakeup that wins the lock
+  wake(head, now + config_.grant_cost);
+  ++sync_.lock_acquires;
+  for (const ProcId waiter : lock.waiters) {
+    if (system_.cluster_of(waiter) / region_size == head_region) {
+      // Woken, retried, lost: one wakeup reply plus one failed re-acquire.
+      sync_msg(MsgClass::kReply);
+      sync_msg(MsgClass::kRequest);
+      ++sync_.lock_retries;
+    }
+  }
+}
+
+RunResult Engine::run() {
+  const int procs = trace_.num_procs();
+  for (int p = 0; p < procs; ++p) {
+    if (trace_.per_proc[static_cast<std::size_t>(p)].empty()) {
+      ++finished_;
+    } else {
+      schedule(static_cast<ProcId>(p), 0);
+    }
+  }
+
+  while (!heap_.empty()) {
+    std::pop_heap(heap_.begin(), heap_.end(), LaterEvent{});
+    const auto [now, proc] = heap_.back();
+    heap_.pop_back();
+
+    const auto& stream = trace_.per_proc[proc];
+    ensure(cursor_[proc] < stream.size(), "processor scheduled past its trace");
+    const TraceEvent& ev = stream[cursor_[proc]++];
+    Cycle resume = now + config_.issue_cost;
+    bool runnable = true;
+
+    switch (ev.kind) {
+      case TraceEvent::Kind::kRead:
+        resume += system_.access_addr(proc, ev.addr, false, now);
+        break;
+      case TraceEvent::Kind::kWrite: {
+        const Cycle lat = system_.access_addr(proc, ev.addr, true, now);
+        if (!config_.release_consistency) {
+          resume += lat;
+          break;
+        }
+        // Release consistency: the write retires into the buffer and the
+        // processor moves on; the transactions drain concurrently in the
+        // background (the RAC tracks each one's outstanding acks).
+        auto& buffer = write_buffer_[proc];
+        std::erase_if(buffer,
+                      [now](Cycle completion) { return completion <= now; });
+        Cycle start = now;
+        if (static_cast<int>(buffer.size()) >= config_.write_buffer_depth) {
+          // Buffer full: wait until the earliest outstanding write lands.
+          ++sync_.buffer_stalls;
+          auto earliest = std::min_element(buffer.begin(), buffer.end());
+          start = *earliest;
+          buffer.erase(earliest);
+          resume = start + config_.issue_cost;
+        } else {
+          ++sync_.buffered_writes;
+        }
+        buffer.push_back(start + lat);
+        resume += config_.write_buffer_cost;
+        break;
+      }
+      case TraceEvent::Kind::kThink:
+        resume += ev.arg;
+        break;
+      case TraceEvent::Kind::kLock: {
+        LockState& lock = locks_[ev.addr];
+        sync_msg(MsgClass::kRequest);
+        if (!lock.held) {
+          lock.held = true;
+          lock.holder = proc;
+          sync_msg(MsgClass::kReply);
+          resume += config_.lock_cost;
+          ++sync_.lock_acquires;
+        } else {
+          ++sync_.lock_contended;
+          lock.waiters.push_back(proc);
+          runnable = false;  // resumed by a future unlock
+          ++blocked_;
+        }
+        break;
+      }
+      case TraceEvent::Kind::kUnlock: {
+        auto it = locks_.find(ev.addr);
+        ensure(it != locks_.end() && it->second.held &&
+                   it->second.holder == proc,
+               "unlock of a lock not held by this processor");
+        // A release fences: buffered writes must be globally performed
+        // before the lock is handed on.
+        const Cycle eff = drained(proc, now);
+        handle_unlock(it->second, eff);
+        resume = eff + config_.issue_cost + config_.unlock_cost;
+        break;
+      }
+      case TraceEvent::Kind::kBarrier: {
+        BarrierState& barrier = barriers_[ev.addr];
+        sync_msg(MsgClass::kRequest);  // arrival
+        const Cycle eff = drained(proc, now);  // barriers fence too
+        barrier.latest_arrival = std::max(barrier.latest_arrival, eff);
+        barrier.waiters.push_back(proc);
+        if (++barrier.arrived < procs) {
+          runnable = false;
+          ++blocked_;
+        } else {
+          // Last arrival: release everyone (including this processor).
+          const Cycle release = barrier.latest_arrival + config_.barrier_cost;
+          sync_msg(MsgClass::kReply,
+                   static_cast<std::uint64_t>(barrier.waiters.size()));
+          for (const ProcId waiter : barrier.waiters) {
+            if (waiter != proc) {
+              wake(waiter, release);
+            }
+          }
+          ++sync_.barrier_episodes;
+          barriers_.erase(ev.addr);
+          resume = release;
+        }
+        break;
+      }
+    }
+
+    if (runnable) {
+      if (cursor_[proc] < stream.size()) {
+        schedule(proc, resume);
+      } else {
+        // The last buffered writes must land before the processor is done.
+        finish_time_[proc] = std::max(resume, drained(proc, resume));
+        ++finished_;
+      }
+    }
+  }
+
+  // A blocked processor at drain time means a malformed trace (mismatched
+  // barriers or an unlock that never comes).
+  ensure(finished_ == procs && blocked_ == 0,
+         "simulation deadlock: trace synchronization is malformed");
+
+  RunResult result;
+  result.exec_cycles =
+      *std::max_element(finish_time_.begin(), finish_time_.end());
+  result.protocol = system_.stats();
+  result.sync = sync_;
+  result.cache = system_.aggregate_cache_stats();
+  return result;
+}
+
+}  // namespace dircc

@@ -1,0 +1,124 @@
+// Event-driven multiprocessor simulation engine.
+//
+// Replays a ProgramTrace against a CoherenceSystem the way the paper's
+// Tango-coupled simulator does (Section 5): each processor advances through
+// its reference stream, every access's latency feeds back into that
+// processor's clock, and processors interleave in global simulated-time
+// order — so contention and sharing interleavings are timing-accurate.
+//
+// Synchronization is modeled natively:
+//  * Barriers — a processor arriving at a barrier blocks until every
+//    processor has arrived; all resume after a fixed release latency.
+//  * Locks — queue-based locks as in DASH. By default a release grants the
+//    lock to exactly one waiter. With `region_grant_locks`, the engine
+//    models the coarse-vector lock-grant of Section 7: the directory only
+//    knows the *region* of queued clusters, so a release wakes every waiter
+//    in the head waiter's region and all but one retry.
+#pragma once
+
+#include "network/message.hpp"
+#include "protocol/system.hpp"
+#include "trace/event.hpp"
+
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+namespace dircc {
+
+/// Engine knobs (latency costs are in processor cycles).
+struct EngineConfig {
+  Cycle issue_cost = 1;    ///< per-event pipeline cost
+  Cycle barrier_cost = 60; ///< last-arrival to release
+  Cycle lock_cost = 60;    ///< uncontended acquire round trip
+  Cycle unlock_cost = 23;  ///< release (fire and forget)
+  Cycle grant_cost = 60;   ///< release to granted-waiter resumption
+  bool region_grant_locks = false;  ///< Section 7 coarse-vector grant
+  int lock_region_size = 2;         ///< clusters per lock-grant region
+  bool count_sync_messages = true;
+  /// DASH-style release consistency: writes retire into a write buffer and
+  /// the processor continues after `write_buffer_cost` cycles instead of
+  /// stalling for the ownership reply and acknowledgements. Buffered
+  /// writes drain in order; a full buffer stalls the issuer, and lock
+  /// releases and barriers fence (wait for the buffer to drain). Off by
+  /// default: the processor stalls for every write's full latency, which
+  /// is the conservative model the headline figures use.
+  bool release_consistency = false;
+  int write_buffer_depth = 4;
+  Cycle write_buffer_cost = 2;  ///< issue-side cost of a buffered write
+};
+
+/// Synchronization-side statistics.
+struct SyncStats {
+  MessageCounters messages;
+  std::uint64_t barrier_episodes = 0;
+  std::uint64_t lock_acquires = 0;
+  std::uint64_t lock_contended = 0;  ///< acquires that had to queue
+  std::uint64_t lock_retries = 0;    ///< region-grant wakeups that lost
+  std::uint64_t buffered_writes = 0; ///< writes hidden by the write buffer
+  std::uint64_t buffer_stalls = 0;   ///< issues that found the buffer full
+  Cycle fence_wait_cycles = 0;       ///< release/barrier drain waits
+};
+
+/// Everything a simulation run produces.
+struct RunResult {
+  Cycle exec_cycles = 0;  ///< time at which the last processor finished
+  ProtocolStats protocol;
+  SyncStats sync;
+  CacheStats cache;
+
+  /// Data+coherence messages (protocol) plus synchronization messages.
+  MessageCounters total_messages() const {
+    MessageCounters total = protocol.messages;
+    total.merge(sync.messages);
+    return total;
+  }
+};
+
+/// Drives one trace through one memory system (directory-based or
+/// linked-list). Single-shot: construct, run().
+class Engine {
+ public:
+  Engine(MemorySystem& system, const ProgramTrace& trace,
+         EngineConfig config = {});
+
+  RunResult run();
+
+ private:
+  struct LockState {
+    bool held = false;
+    ProcId holder = kNoProc;
+    std::deque<ProcId> waiters;
+  };
+  struct BarrierState {
+    int arrived = 0;
+    Cycle latest_arrival = 0;
+    std::vector<ProcId> waiters;
+  };
+
+  void schedule(ProcId proc, Cycle when);
+  /// Resumes a processor that was blocked on a lock or barrier.
+  void wake(ProcId proc, Cycle when);
+  void sync_msg(MsgClass cls, std::uint64_t n = 1);
+  void handle_unlock(LockState& lock, Cycle now);
+  /// Waits for the processor's buffered writes to drain (fence semantics).
+  Cycle drained(ProcId proc, Cycle now);
+
+  MemorySystem& system_;
+  const ProgramTrace& trace_;
+  EngineConfig config_;
+
+  // Min-heap of (resume time, proc), tie-broken by proc id for determinism.
+  std::vector<std::pair<Cycle, ProcId>> heap_;
+  std::vector<std::size_t> cursor_;
+  std::vector<Cycle> finish_time_;
+  /// Completion times of in-flight buffered writes, oldest first.
+  std::vector<std::deque<Cycle>> write_buffer_;
+  std::unordered_map<Addr, LockState> locks_;
+  std::unordered_map<Addr, BarrierState> barriers_;
+  SyncStats sync_;
+  int finished_ = 0;
+  int blocked_ = 0;
+};
+
+}  // namespace dircc

@@ -1,0 +1,142 @@
+#include "sim/report.hpp"
+
+#include <cstdio>
+#include <ostream>
+
+#include "common/ensure.hpp"
+
+namespace dircc {
+namespace {
+
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char ch : text) {
+    switch (ch) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += ch;
+    }
+  }
+  return out;
+}
+
+std::string render_double(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof buffer, "%.6g", value);
+  return buffer;
+}
+
+}  // namespace
+
+RunReport::RunReport(std::string label, const RunResult& result) {
+  add_field("label", std::move(label));
+  add_field("exec_cycles", result.exec_cycles);
+  const MessageCounters total = result.total_messages();
+  add_field("msgs_total", total.total());
+  add_field("msgs_requests_wb", total.requests_with_writebacks());
+  add_field("msgs_replies", total.get(MsgClass::kReply));
+  add_field("msgs_inv_ack", total.inv_plus_ack());
+  add_field("inval_events", result.protocol.inval_distribution.events());
+  add_field("inval_mean", result.protocol.inval_distribution.mean());
+  add_field("extraneous_invals", result.protocol.extraneous_invalidations);
+  add_field("ownership_transfers", result.protocol.ownership_transfers);
+  add_field("sparse_replacements", result.protocol.sparse_replacements);
+  add_field("sparse_repl_invals", result.protocol.sparse_replacement_invals);
+  add_field("replacement_hints", result.protocol.replacement_hints_sent);
+  add_field("cache_read_hits", result.cache.read_hits);
+  add_field("cache_read_misses", result.cache.read_misses);
+  add_field("lock_acquires", result.sync.lock_acquires);
+  add_field("lock_retries", result.sync.lock_retries);
+  add_field("barriers", result.sync.barrier_episodes);
+  add_field("buffered_writes", result.sync.buffered_writes);
+}
+
+void RunReport::add_field(std::string key, std::string value) {
+  fields_.push_back({std::move(key), json_escape(value), true});
+}
+
+void RunReport::add_field(std::string key, std::uint64_t value) {
+  fields_.push_back({std::move(key), std::to_string(value), false});
+}
+
+void RunReport::add_field(std::string key, double value) {
+  fields_.push_back({std::move(key), render_double(value), false});
+}
+
+void RunReport::write_json(std::ostream& out) const {
+  out << '{';
+  bool first = true;
+  for (const Field& field : fields_) {
+    if (!first) {
+      out << ", ";
+    }
+    first = false;
+    out << '"' << json_escape(field.key) << "\": ";
+    if (field.quoted) {
+      out << '"' << field.rendered << '"';
+    } else {
+      out << field.rendered;
+    }
+  }
+  out << '}';
+}
+
+std::vector<std::string> RunReport::csv_header() const {
+  std::vector<std::string> header;
+  header.reserve(fields_.size());
+  for (const Field& field : fields_) {
+    header.push_back(field.key);
+  }
+  return header;
+}
+
+std::vector<std::string> RunReport::csv_row() const {
+  std::vector<std::string> row;
+  row.reserve(fields_.size());
+  for (const Field& field : fields_) {
+    row.push_back(field.rendered);
+  }
+  return row;
+}
+
+void write_json_array(std::ostream& out, const std::vector<RunReport>& runs) {
+  out << "[\n";
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    out << "  ";
+    runs[i].write_json(out);
+    if (i + 1 < runs.size()) {
+      out << ',';
+    }
+    out << '\n';
+  }
+  out << "]\n";
+}
+
+void write_csv(std::ostream& out, const std::vector<RunReport>& runs) {
+  if (runs.empty()) {
+    return;
+  }
+  const auto header = runs.front().csv_header();
+  for (std::size_t c = 0; c < header.size(); ++c) {
+    out << header[c] << (c + 1 < header.size() ? "," : "\n");
+  }
+  for (const RunReport& run : runs) {
+    const auto row = run.csv_row();
+    ensure(row.size() == header.size(),
+           "CSV reports must share one field shape");
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out << row[c] << (c + 1 < row.size() ? "," : "\n");
+    }
+  }
+}
+
+}  // namespace dircc

@@ -1,0 +1,52 @@
+// Machine-readable run reports.
+//
+// Serializes a RunResult (plus the configuration that produced it) as JSON
+// or appends one CSV row per run, so experiment sweeps can be plotted
+// without scraping the human-oriented tables.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sim/engine.hpp"
+
+namespace dircc {
+
+/// A flat key/value view of one run: label plus every metric worth
+/// plotting. Values are rendered as JSON numbers (cycle counts and message
+/// counts are integers; means are doubles).
+class RunReport {
+ public:
+  RunReport(std::string label, const RunResult& result);
+
+  /// Adds a custom dimension (e.g. "scheme" -> "Dir3CV2").
+  void add_field(std::string key, std::string value);
+  void add_field(std::string key, std::uint64_t value);
+  void add_field(std::string key, double value);
+
+  /// Writes `{"label": ..., "exec_cycles": ..., ...}`.
+  void write_json(std::ostream& out) const;
+
+  /// Column names in CSV order.
+  std::vector<std::string> csv_header() const;
+  /// One CSV row matching csv_header().
+  std::vector<std::string> csv_row() const;
+
+ private:
+  struct Field {
+    std::string key;
+    std::string rendered;  ///< JSON-compatible rendering
+    bool quoted;
+  };
+  std::vector<Field> fields_;
+};
+
+/// Writes a JSON array of reports.
+void write_json_array(std::ostream& out, const std::vector<RunReport>& runs);
+
+/// Writes a CSV table (header from the first report; all reports must
+/// share one shape).
+void write_csv(std::ostream& out, const std::vector<RunReport>& runs);
+
+}  // namespace dircc

@@ -1,0 +1,39 @@
+#include "trace/event.hpp"
+
+#include <unordered_set>
+
+namespace dircc {
+
+TraceCharacteristics characterize(const ProgramTrace& trace) {
+  TraceCharacteristics c;
+  std::unordered_set<BlockAddr> blocks;
+  const auto block_size = static_cast<Addr>(trace.block_size);
+  for (const auto& stream : trace.per_proc) {
+    for (const TraceEvent& ev : stream) {
+      switch (ev.kind) {
+        case TraceEvent::Kind::kRead:
+          ++c.shared_reads;
+          blocks.insert(ev.addr / block_size);
+          break;
+        case TraceEvent::Kind::kWrite:
+          ++c.shared_writes;
+          blocks.insert(ev.addr / block_size);
+          break;
+        case TraceEvent::Kind::kLock:
+        case TraceEvent::Kind::kUnlock:
+        case TraceEvent::Kind::kBarrier:
+          ++c.sync_ops;
+          break;
+        case TraceEvent::Kind::kThink:
+          break;
+      }
+    }
+  }
+  c.shared_refs = c.shared_reads + c.shared_writes;
+  c.distinct_blocks = blocks.size();
+  c.shared_mbytes = static_cast<double>(c.distinct_blocks) *
+                    static_cast<double>(trace.block_size) / (1024.0 * 1024.0);
+  return c;
+}
+
+}  // namespace dircc

@@ -1,0 +1,73 @@
+// Memory-reference trace model.
+//
+// The paper drives its DASH simulator with Tango-generated global event
+// streams: shared reads, shared writes and synchronization operations
+// (Section 5). We reproduce the same abstraction: a ProgramTrace holds one
+// event stream per processor; the event-driven engine (src/sim) interleaves
+// them by simulated time.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace dircc {
+
+/// One global event in a processor's reference stream.
+struct TraceEvent {
+  enum class Kind : std::uint8_t {
+    kRead,     ///< shared-data read of `addr`
+    kWrite,    ///< shared-data write of `addr`
+    kLock,     ///< acquire lock `addr` (lock id, not a memory address)
+    kUnlock,   ///< release lock `addr`
+    kBarrier,  ///< global barrier `addr` (barrier id)
+    kThink,    ///< local computation for `arg` cycles
+  };
+
+  Kind kind = Kind::kRead;
+  Addr addr = 0;
+  std::uint32_t arg = 0;
+
+  static TraceEvent read(Addr a) { return {Kind::kRead, a, 0}; }
+  static TraceEvent write(Addr a) { return {Kind::kWrite, a, 0}; }
+  static TraceEvent lock(Addr id) { return {Kind::kLock, id, 0}; }
+  static TraceEvent unlock(Addr id) { return {Kind::kUnlock, id, 0}; }
+  static TraceEvent barrier(Addr id) { return {Kind::kBarrier, id, 0}; }
+  static TraceEvent think(std::uint32_t cycles) {
+    return {Kind::kThink, 0, cycles};
+  }
+
+  friend bool operator==(const TraceEvent&, const TraceEvent&) = default;
+};
+
+/// A complete multiprocessor reference trace.
+struct ProgramTrace {
+  std::string app_name;
+  int block_size = 16;
+  std::vector<std::vector<TraceEvent>> per_proc;
+
+  int num_procs() const { return static_cast<int>(per_proc.size()); }
+  std::uint64_t total_events() const {
+    std::uint64_t n = 0;
+    for (const auto& stream : per_proc) {
+      n += stream.size();
+    }
+    return n;
+  }
+};
+
+/// Aggregate characteristics in the shape of the paper's Table 2.
+struct TraceCharacteristics {
+  std::uint64_t shared_refs = 0;   ///< reads + writes
+  std::uint64_t shared_reads = 0;
+  std::uint64_t shared_writes = 0;
+  std::uint64_t sync_ops = 0;      ///< lock + unlock + barrier events
+  std::uint64_t distinct_blocks = 0;
+  double shared_mbytes = 0.0;      ///< distinct blocks x block size
+};
+
+TraceCharacteristics characterize(const ProgramTrace& trace);
+
+}  // namespace dircc

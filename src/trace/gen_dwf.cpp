@@ -1,0 +1,83 @@
+#include "common/ensure.hpp"
+#include "common/rng.hpp"
+#include "trace/generators.hpp"
+#include "trace/layout.hpp"
+
+namespace dircc {
+
+ProgramTrace generate_dwf(const DwfConfig& config) {
+  ensure(config.procs >= 1, "DWF needs at least one processor");
+  ensure(config.seq_length % config.block_size == 0,
+         "DWF sequence length must be a whole number of blocks");
+  ensure(config.pattern_rows >= 1 && config.num_sequences >= 1,
+         "DWF needs a pattern and a library");
+
+  ProgramTrace trace;
+  trace.app_name = "DWF";
+  trace.block_size = config.block_size;
+  trace.per_proc.assign(static_cast<std::size_t>(config.procs), {});
+
+  AddressLayout layout(config.block_size);
+  // One block per pattern row: the pattern and its score column are tiny,
+  // read-only and consulted by every process for every DP row — the
+  // "constantly read by all" arrays of Section 6.2.
+  const Region pattern = layout.alloc(
+      "pattern", static_cast<Addr>(config.pattern_rows) *
+                     static_cast<Addr>(config.block_size));
+  const Region library = layout.alloc(
+      "library", static_cast<Addr>(config.num_sequences) *
+                     static_cast<Addr>(config.seq_length));
+  // Per-process private DP rows (current + previous), reused per sequence.
+  const Region dp = layout.alloc(
+      "dp_rows", static_cast<Addr>(config.procs) * 2 *
+                     static_cast<Addr>(config.seq_length) * 2);
+  // One global best-score record, lock-protected.
+  const Region best = layout.alloc("best_score",
+                                   static_cast<Addr>(config.block_size));
+  constexpr Addr kBestLock = 0;
+
+  const int lib_blocks = config.seq_length / config.block_size;
+  const Addr dp_row_bytes = static_cast<Addr>(config.seq_length) * 2;
+
+  Rng rng(config.seed);
+  for (int s = 0; s < config.num_sequences; ++s) {
+    const int p = s % config.procs;
+    auto& stream = trace.per_proc[static_cast<std::size_t>(p)];
+    const Addr seq_base = static_cast<Addr>(s) *
+                          static_cast<Addr>(config.seq_length);
+    const Addr dp_base = static_cast<Addr>(p) * 2 * dp_row_bytes;
+    for (int r = 0; r < config.pattern_rows; ++r) {
+      const Addr pattern_row = static_cast<Addr>(r) *
+                               static_cast<Addr>(config.block_size);
+      const Addr prev_row = dp_base + static_cast<Addr>(r % 2) * dp_row_bytes;
+      const Addr cur_row =
+          dp_base + static_cast<Addr>((r + 1) % 2) * dp_row_bytes;
+      for (int lb = 0; lb < lib_blocks; ++lb) {
+        const Addr off = static_cast<Addr>(lb) *
+                         static_cast<Addr>(config.block_size);
+        // Consult the pattern row for every DP cell batch (read-only,
+        // shared by every process — the Section 6.2 arrays that make
+        // Dir_iNB shuttle copies around).
+        stream.push_back(TraceEvent::read(pattern.at(pattern_row)));
+        stream.push_back(TraceEvent::read(library.at(seq_base + off)));
+        // Wavefront dependency: previous row in, current row out. The DP
+        // cells are 2 bytes each, so a sequence block's worth of cells
+        // spans two DP blocks; touching the first is representative.
+        stream.push_back(TraceEvent::read(dp.at(prev_row + off * 2)));
+        stream.push_back(TraceEvent::write(dp.at(cur_row + off * 2)));
+      }
+      if (rng.chance(0.25)) {
+        stream.push_back(TraceEvent::think(
+            static_cast<std::uint32_t>(rng.between(1, 4))));
+      }
+    }
+    // Publish the sequence score under the global lock.
+    stream.push_back(TraceEvent::lock(kBestLock));
+    stream.push_back(TraceEvent::read(best.at(0)));
+    stream.push_back(TraceEvent::write(best.at(0)));
+    stream.push_back(TraceEvent::unlock(kBestLock));
+  }
+  return trace;
+}
+
+}  // namespace dircc

@@ -1,0 +1,156 @@
+#include <algorithm>
+#include <vector>
+
+#include "common/ensure.hpp"
+#include "common/rng.hpp"
+#include "trace/generators.hpp"
+#include "trace/layout.hpp"
+
+namespace dircc {
+namespace {
+
+/// Grid geometry: 2-byte cost cells, row-major, so one 16-byte block covers
+/// 8 horizontally adjacent cells.
+struct Grid {
+  const Region& region;
+  int width;
+  int block_size;
+
+  Addr block_at(int x, int y) const {
+    const Addr byte =
+        (static_cast<Addr>(y) * static_cast<Addr>(width) +
+         static_cast<Addr>(x)) *
+        2;
+    return region.at(byte - byte % static_cast<Addr>(block_size));
+  }
+};
+
+/// Emits reads (and optionally read-modify-writes) along an L-shaped route
+/// from (x1,y1) to (x2,y2) with the bend at (x2,y1) or (x1,y2).
+void walk_route(std::vector<TraceEvent>& stream, const Grid& grid, int x1,
+                int y1, int x2, int y2, bool bend_at_x2_first, bool write,
+                int cells_per_block) {
+  const int bend_x = bend_at_x2_first ? x2 : x1;
+  const int bend_y = bend_at_x2_first ? y1 : y2;
+  // Horizontal leg (at y = bend_y's row for the leg that moves in x).
+  const int hx_lo = std::min(x1, x2);
+  const int hx_hi = std::max(x1, x2);
+  const int hy = bend_at_x2_first ? y1 : y2;
+  for (int x = hx_lo; x <= hx_hi; x += cells_per_block) {
+    stream.push_back(TraceEvent::read(grid.block_at(x, hy)));
+    if (write) {
+      stream.push_back(TraceEvent::write(grid.block_at(x, hy)));
+    }
+  }
+  // Vertical leg.
+  const int vy_lo = std::min(y1, y2);
+  const int vy_hi = std::max(y1, y2);
+  for (int y = vy_lo; y <= vy_hi; ++y) {
+    stream.push_back(TraceEvent::read(grid.block_at(bend_x, y)));
+    if (write) {
+      stream.push_back(TraceEvent::write(grid.block_at(bend_x, y)));
+    }
+  }
+  (void)bend_y;
+}
+
+}  // namespace
+
+ProgramTrace generate_locusroute(const LocusConfig& config) {
+  ensure(config.procs >= 1, "LocusRoute needs at least one processor");
+  ensure(config.regions >= 1 && config.grid_w % config.regions == 0,
+         "grid width must divide evenly into regions");
+  ensure(config.block_size % 2 == 0, "cost cells are 2 bytes");
+
+  ProgramTrace trace;
+  trace.app_name = "LocusRoute";
+  trace.block_size = config.block_size;
+  trace.per_proc.assign(static_cast<std::size_t>(config.procs), {});
+
+  AddressLayout layout(config.block_size);
+  const Region grid_region = layout.alloc(
+      "cost_grid", static_cast<Addr>(config.grid_w) *
+                       static_cast<Addr>(config.grid_h) * 2);
+  // Global routing parameters: a handful of blocks read by every processor
+  // for every wire and occasionally rewritten — the source of the rare
+  // very-wide invalidations in the Figure 3 distribution tail.
+  const Region global_table = layout.alloc(
+      "global_table", 8 * static_cast<Addr>(config.block_size));
+  // One density counter block per region, lock-protected.
+  const Region density = layout.alloc(
+      "density", static_cast<Addr>(config.regions) *
+                     static_cast<Addr>(config.block_size));
+
+  const Grid grid{grid_region, config.grid_w, config.block_size};
+  const int cells_per_block = config.block_size / 2;
+  const int strip_w = config.grid_w / config.regions;
+  const int procs_per_region =
+      std::max(1, config.procs / config.regions);
+
+  Rng rng(config.seed);
+  for (int w = 0; w < config.wires; ++w) {
+    // Wires are placed in a geographic region; the processors assigned to
+    // that region take them round-robin (static schedule standing in for
+    // the original's work queue).
+    const int region = static_cast<int>(
+        rng.below(static_cast<std::uint64_t>(config.regions)));
+    const int lane = static_cast<int>(
+        rng.below(static_cast<std::uint64_t>(procs_per_region)));
+    const int p = (region * procs_per_region + lane) % config.procs;
+    auto& stream = trace.per_proc[static_cast<std::size_t>(p)];
+
+    const bool crosses = rng.chance(config.cross_region_prob) &&
+                         region + 1 < config.regions;
+    const int x_lo = region * strip_w;
+    const int x_hi = (crosses ? region + 2 : region + 1) * strip_w - 1;
+    auto rand_x = [&] {
+      return x_lo + static_cast<int>(rng.below(
+                        static_cast<std::uint64_t>(x_hi - x_lo + 1)));
+    };
+    auto rand_y = [&] {
+      return static_cast<int>(
+          rng.below(static_cast<std::uint64_t>(config.grid_h)));
+    };
+    const int x1 = rand_x();
+    const int y1 = rand_y();
+    const int x2 = rand_x();
+    const int y2 = rand_y();
+
+    // Consult the global routing parameters.
+    stream.push_back(TraceEvent::read(global_table.at(
+        rng.below(8) * static_cast<std::uint64_t>(config.block_size))));
+
+    // Evaluate both L-shaped candidates (cost reads only)...
+    walk_route(stream, grid, x1, y1, x2, y2, true, false, cells_per_block);
+    walk_route(stream, grid, x1, y1, x2, y2, false, false, cells_per_block);
+    // ...then commit the cheaper-looking one with read-modify-writes of the
+    // occupancy counters along it.
+    const bool choose_first = rng.chance(0.5);
+    walk_route(stream, grid, x1, y1, x2, y2, choose_first, true,
+               cells_per_block);
+
+    // Update the region's density tally under its lock.
+    stream.push_back(TraceEvent::lock(static_cast<Addr>(region)));
+    stream.push_back(TraceEvent::read(
+        density.at(static_cast<Addr>(region) *
+                   static_cast<Addr>(config.block_size))));
+    stream.push_back(TraceEvent::write(
+        density.at(static_cast<Addr>(region) *
+                   static_cast<Addr>(config.block_size))));
+    stream.push_back(TraceEvent::unlock(static_cast<Addr>(region)));
+
+    // Rarely, a wire forces a global parameter update (e.g. a new maximum
+    // congestion estimate) — a write to a block read by all processors.
+    if (rng.chance(config.global_update_prob)) {
+      stream.push_back(TraceEvent::write(global_table.at(
+          rng.below(8) * static_cast<std::uint64_t>(config.block_size))));
+    }
+    if (rng.chance(0.3)) {
+      stream.push_back(
+          TraceEvent::think(static_cast<std::uint32_t>(rng.between(2, 8))));
+    }
+  }
+  return trace;
+}
+
+}  // namespace dircc

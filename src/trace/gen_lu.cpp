@@ -1,0 +1,112 @@
+#include "common/ensure.hpp"
+#include "trace/generators.hpp"
+#include "trace/layout.hpp"
+
+namespace dircc {
+namespace {
+
+/// Per-column block walker: the matrix is column-major with 8-byte
+/// elements, so each column is a block-aligned run of n*8 bytes.
+class ColumnBlocks {
+ public:
+  ColumnBlocks(const Region& matrix, int n, int block_size)
+      : matrix_(matrix),
+        n_(n),
+        elems_per_block_(block_size / 8),
+        block_size_(block_size) {}
+
+  /// Byte address of the block holding rows [row, row+elems_per_block) of
+  /// column `col`.
+  Addr block_addr(int col, int row) const {
+    const Addr elem = static_cast<Addr>(col) * static_cast<Addr>(n_) +
+                      static_cast<Addr>(row);
+    const Addr byte = elem * 8;
+    return matrix_.at(byte - byte % static_cast<Addr>(block_size_));
+  }
+
+  int first_block_row(int row) const {
+    return row - row % elems_per_block_;
+  }
+  int elems_per_block() const { return elems_per_block_; }
+
+ private:
+  const Region& matrix_;
+  int n_;
+  int elems_per_block_;
+  int block_size_;
+};
+
+}  // namespace
+
+ProgramTrace generate_lu(const LuConfig& config) {
+  ensure(config.procs >= 1, "LU needs at least one processor");
+  ensure(config.block_size % 8 == 0 && config.block_size >= 8,
+         "LU block size must hold whole 8-byte elements");
+  ensure(config.n >= 2, "LU matrix must be at least 2x2");
+
+  ProgramTrace trace;
+  trace.app_name = "LU";
+  trace.block_size = config.block_size;
+  trace.per_proc.assign(static_cast<std::size_t>(config.procs), {});
+
+  AddressLayout layout(config.block_size);
+  const Region matrix = layout.alloc(
+      "matrix", static_cast<Addr>(config.n) * static_cast<Addr>(config.n) * 8);
+  // Per-step pivot bookkeeping (pivot value, column norm): written by the
+  // pivot owner each step and read by everyone afterwards — so each write
+  // invalidates the full sharer set from the previous step. This is the
+  // small wide-invalidation component visible in the paper's LU traffic.
+  const Region step_info =
+      layout.alloc("step_info", static_cast<Addr>(config.block_size));
+  ColumnBlocks blocks(matrix, config.n, config.block_size);
+
+  const int n = config.n;
+  const int procs = config.procs;
+  auto owner_of = [procs](int col) { return col % procs; };
+
+  Addr barrier_id = 0;
+  for (int k = 0; k < n; ++k) {
+    // Pivot step: the owner normalizes column k below the diagonal.
+    {
+      auto& stream = trace.per_proc[static_cast<std::size_t>(owner_of(k))];
+      stream.push_back(TraceEvent::read(blocks.block_addr(k, k)));
+      for (int row = blocks.first_block_row(k); row < n;
+           row += blocks.elems_per_block()) {
+        stream.push_back(TraceEvent::read(blocks.block_addr(k, row)));
+        stream.push_back(TraceEvent::write(blocks.block_addr(k, row)));
+        stream.push_back(TraceEvent::think(2));
+      }
+      stream.push_back(TraceEvent::write(step_info.at(0)));
+    }
+    // Everyone waits for the pivot column.
+    for (auto& stream : trace.per_proc) {
+      stream.push_back(TraceEvent::barrier(barrier_id));
+    }
+    ++barrier_id;
+    // All processors consult the step's pivot bookkeeping.
+    for (auto& stream : trace.per_proc) {
+      stream.push_back(TraceEvent::read(step_info.at(0)));
+    }
+    // Update step: each processor folds the pivot column into every later
+    // column it owns. The pivot column is read by *all* processors here —
+    // the wide read-sharing that breaks Dir_iNB (Section 6.2).
+    for (int j = k + 1; j < n; ++j) {
+      auto& stream = trace.per_proc[static_cast<std::size_t>(owner_of(j))];
+      for (int row = blocks.first_block_row(k); row < n;
+           row += blocks.elems_per_block()) {
+        stream.push_back(TraceEvent::read(blocks.block_addr(k, row)));
+        stream.push_back(TraceEvent::read(blocks.block_addr(j, row)));
+        stream.push_back(TraceEvent::write(blocks.block_addr(j, row)));
+      }
+      stream.push_back(TraceEvent::think(4));
+    }
+    // Step barrier before the next pivot.
+    for (auto& stream : trace.per_proc) {
+      stream.push_back(TraceEvent::barrier(barrier_id));
+    }
+    ++barrier_id;
+  }
+  return trace;
+}
+
+}  // namespace dircc

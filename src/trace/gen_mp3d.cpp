@@ -1,0 +1,126 @@
+#include <vector>
+
+#include "common/ensure.hpp"
+#include "common/rng.hpp"
+#include "trace/generators.hpp"
+#include "trace/layout.hpp"
+
+namespace dircc {
+namespace {
+
+/// Fixed-point particle kinematics: positions and velocities are tracked in
+/// 1/1024ths of a cell so the generator is exactly deterministic.
+struct Particle {
+  std::int64_t pos[3];
+  std::int64_t vel[3];
+};
+
+}  // namespace
+
+ProgramTrace generate_mp3d(const Mp3dConfig& config) {
+  ensure(config.procs >= 1, "MP3D needs at least one processor");
+  ensure(config.particles >= config.procs, "MP3D needs particles to move");
+  ensure(config.cells_per_axis >= 2, "MP3D space grid too small");
+
+  ProgramTrace trace;
+  trace.app_name = "MP3D";
+  trace.block_size = config.block_size;
+  trace.per_proc.assign(static_cast<std::size_t>(config.procs), {});
+
+  const int axis = config.cells_per_axis;
+  const std::int64_t scale = 1024;
+  const std::int64_t span = static_cast<std::int64_t>(axis) * scale;
+
+  AddressLayout layout(config.block_size);
+  // Each particle record is two blocks (position/velocity + bookkeeping).
+  const Region particles = layout.alloc(
+      "particles", static_cast<Addr>(config.particles) * 2 *
+                       static_cast<Addr>(config.block_size));
+  // One block per space cell.
+  const Region cells = layout.alloc(
+      "cells", static_cast<Addr>(axis) * static_cast<Addr>(axis) *
+                   static_cast<Addr>(axis) *
+                   static_cast<Addr>(config.block_size));
+  // Global reservoir counters, lock-protected.
+  const Region reservoir =
+      layout.alloc("reservoir", static_cast<Addr>(config.block_size));
+  constexpr Addr kReservoirLock = 0;
+
+  auto particle_block = [&](int id, int half) {
+    return particles.at(static_cast<Addr>(id) * 2 *
+                            static_cast<Addr>(config.block_size) +
+                        static_cast<Addr>(half) *
+                            static_cast<Addr>(config.block_size));
+  };
+  auto cell_block = [&](const Particle& particle) {
+    const auto cx = static_cast<Addr>(particle.pos[0] / scale);
+    const auto cy = static_cast<Addr>(particle.pos[1] / scale);
+    const auto cz = static_cast<Addr>(particle.pos[2] / scale);
+    const Addr index =
+        (cz * static_cast<Addr>(axis) + cy) * static_cast<Addr>(axis) + cx;
+    return cells.at(index * static_cast<Addr>(config.block_size));
+  };
+
+  // Deterministic initial state: positions uniform, velocities a slow
+  // drift (a particle crosses a cell in ~6 steps, so cell residency — and
+  // with it the 1-2-processor migratory sharing — persists across steps).
+  Rng init_rng(config.seed);
+  std::vector<Particle> swarm(static_cast<std::size_t>(config.particles));
+  for (Particle& particle : swarm) {
+    for (int d = 0; d < 3; ++d) {
+      particle.pos[d] =
+          static_cast<std::int64_t>(init_rng.below(static_cast<std::uint64_t>(span)));
+      particle.vel[d] =
+          static_cast<std::int64_t>(init_rng.between(0, 340)) - 170;
+    }
+  }
+
+  Rng rng(config.seed ^ 0xabcdef12345ULL);
+  Addr barrier_id = 0;
+  for (int step = 0; step < config.steps; ++step) {
+    for (auto& stream : trace.per_proc) {
+      stream.push_back(TraceEvent::barrier(barrier_id));
+    }
+    ++barrier_id;
+    for (int id = 0; id < config.particles; ++id) {
+      const int p = id % config.procs;
+      auto& stream = trace.per_proc[static_cast<std::size_t>(p)];
+      Particle& particle = swarm[static_cast<std::size_t>(id)];
+      // Move: read the record, advance, write it back.
+      stream.push_back(TraceEvent::read(particle_block(id, 0)));
+      stream.push_back(TraceEvent::read(particle_block(id, 1)));
+      for (int d = 0; d < 3; ++d) {
+        particle.pos[d] = (particle.pos[d] + particle.vel[d] + span) % span;
+      }
+      stream.push_back(TraceEvent::write(particle_block(id, 0)));
+      // Update the occupancy/collision state of the current space cell —
+      // this is the migratory data of Section 6.2.
+      const Addr cell = cell_block(particle);
+      stream.push_back(TraceEvent::read(cell));
+      stream.push_back(TraceEvent::write(cell));
+      // Collisions pair the particle with another one in the same cell;
+      // the partner's record is touched too, which briefly shares a
+      // "private" particle block between two processors.
+      if (rng.chance(config.collision_prob)) {
+        const int partner = static_cast<int>(
+            rng.below(static_cast<std::uint64_t>(config.particles)));
+        stream.push_back(TraceEvent::read(particle_block(partner, 0)));
+        stream.push_back(TraceEvent::write(particle_block(partner, 0)));
+      }
+      if (rng.chance(0.05)) {
+        stream.push_back(TraceEvent::think(
+            static_cast<std::uint32_t>(rng.between(1, 3))));
+      }
+    }
+    // Each processor folds its local tallies into the global reservoir.
+    for (auto& stream : trace.per_proc) {
+      stream.push_back(TraceEvent::lock(kReservoirLock));
+      stream.push_back(TraceEvent::read(reservoir.at(0)));
+      stream.push_back(TraceEvent::write(reservoir.at(0)));
+      stream.push_back(TraceEvent::unlock(kReservoirLock));
+    }
+  }
+  return trace;
+}
+
+}  // namespace dircc

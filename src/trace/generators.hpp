@@ -1,0 +1,91 @@
+// Synthetic application trace generators.
+//
+// The paper drives its simulator with Tango-captured references from four
+// applications (Section 5). Those binaries and the Tango tracer are long
+// gone, so we regenerate the reference streams by executing the same
+// *algorithms* at cache-block granularity (see DESIGN.md, substitutions).
+// What matters for the directory study is each application's sharing
+// pattern, and each generator reproduces its application's pattern
+// structurally:
+//
+//  * LU          — column-blocked LU factorization: the pivot column is
+//                  read by every processor right after the pivot step
+//                  (wide read-sharing; Dir_iNB's worst case), while each
+//                  column is otherwise updated only by its owner.
+//  * DWF         — wavefront string matcher over a gene library: small
+//                  read-only pattern/score tables are read constantly by
+//                  every process; the DP working set is tiny.
+//  * MP3D        — 3-D particle simulator: particles are private, space
+//                  cells migrate between the 1-2 processors whose particles
+//                  currently occupy them (migratory sharing).
+//  * LocusRoute  — standard-cell router: the cost grid is shared by the
+//                  several processors routing wires in the same geographic
+//                  region (writes to ~4-8-sharer blocks; Dir_iB's worst
+//                  case), plus a small widely-read global table.
+#pragma once
+
+#include <cstdint>
+
+#include "trace/event.hpp"
+
+namespace dircc {
+
+/// LU factorization of an n x n matrix, columns interleaved across
+/// processors (SPLASH-style dense LU without pivoting).
+struct LuConfig {
+  int procs = 32;
+  int block_size = 16;
+  int n = 128;  ///< matrix dimension; elements are 8-byte doubles
+  std::uint64_t seed = 1;
+};
+ProgramTrace generate_lu(const LuConfig& config);
+
+/// Gene-database string matching via dynamic-programming wavefront.
+struct DwfConfig {
+  int procs = 32;
+  int block_size = 16;
+  int pattern_rows = 32;    ///< DP rows == pattern elements
+  int seq_length = 128;     ///< bytes per library sequence
+  int num_sequences = 512;  ///< library size; distributed round-robin
+  std::uint64_t seed = 2;
+};
+ProgramTrace generate_dwf(const DwfConfig& config);
+
+/// Rarefied-airflow particle simulation on a 3-D space grid.
+struct Mp3dConfig {
+  int procs = 32;
+  int block_size = 16;
+  int particles = 8192;
+  int cells_per_axis = 16;  ///< space grid is cells^3
+  int steps = 24;
+  double collision_prob = 0.2;
+  std::uint64_t seed = 3;
+};
+ProgramTrace generate_mp3d(const Mp3dConfig& config);
+
+/// Standard-cell routing over a shared cost grid split into geographic
+/// regions, several processors per region.
+struct LocusConfig {
+  int procs = 32;
+  int block_size = 16;
+  int grid_w = 512;  ///< routing grid width in cells (2 bytes per cell)
+  int grid_h = 64;
+  int regions = 8;   ///< vertical geographic strips
+  int wires = 6000;
+  double cross_region_prob = 0.1;  ///< wires spanning two regions
+  double global_update_prob = 0.01;  ///< wires that write the global table
+  std::uint64_t seed = 4;
+};
+ProgramTrace generate_locusroute(const LocusConfig& config);
+
+/// The four benchmark applications, for registry-style sweeps.
+enum class AppKind { kLu, kDwf, kMp3d, kLocusRoute };
+
+const char* app_name(AppKind app);
+
+/// Generates `app` with default parameters scaled by `scale` (0 < scale
+/// <= 1 shrinks the problem for quick runs; 1.0 is the benchmark size).
+ProgramTrace generate_app(AppKind app, int procs, int block_size,
+                          std::uint64_t seed, double scale = 1.0);
+
+}  // namespace dircc

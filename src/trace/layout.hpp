@@ -1,0 +1,59 @@
+// Shared address-space layout helper for the trace generators.
+//
+// Generators allocate named regions (matrices, grids, particle arrays) and
+// address them by element; the layout hands out block-aligned byte ranges so
+// distinct data structures never share a cache block (no false sharing
+// between structures — false sharing *within* a structure is part of the
+// modeled behaviour and handled by each generator).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/ensure.hpp"
+#include "common/types.hpp"
+
+namespace dircc {
+
+/// A block-aligned region of the simulated shared address space.
+struct Region {
+  std::string name;
+  Addr base = 0;     ///< byte address, block aligned
+  Addr bytes = 0;    ///< rounded up to whole blocks
+
+  /// Byte address of `offset` within the region (bounds checked).
+  Addr at(Addr offset) const {
+    ensure(offset < bytes, "region offset out of range");
+    return base + offset;
+  }
+};
+
+/// Sequential allocator of block-aligned regions.
+class AddressLayout {
+ public:
+  explicit AddressLayout(int block_size) : block_size_(block_size) {
+    ensure(block_size >= 1, "block size must be positive");
+  }
+
+  /// Allocates `bytes` (rounded up to whole blocks) under `name`.
+  Region alloc(std::string name, Addr bytes) {
+    const Addr rounded =
+        ceil_div(bytes, static_cast<Addr>(block_size_)) *
+        static_cast<Addr>(block_size_);
+    Region region{std::move(name), next_, rounded};
+    next_ += rounded;
+    regions_.push_back(region);
+    return region;
+  }
+
+  int block_size() const { return block_size_; }
+  Addr bytes_allocated() const { return next_; }
+  const std::vector<Region>& regions() const { return regions_; }
+
+ private:
+  int block_size_;
+  Addr next_ = 0;
+  std::vector<Region> regions_;
+};
+
+}  // namespace dircc

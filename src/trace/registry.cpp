@@ -1,0 +1,74 @@
+#include <algorithm>
+#include <cmath>
+
+#include "common/ensure.hpp"
+#include "trace/generators.hpp"
+
+namespace dircc {
+namespace {
+
+int scaled(int value, double scale, int minimum) {
+  const int s = static_cast<int>(std::lround(value * scale));
+  return std::max(minimum, s);
+}
+
+}  // namespace
+
+const char* app_name(AppKind app) {
+  switch (app) {
+    case AppKind::kLu:
+      return "LU";
+    case AppKind::kDwf:
+      return "DWF";
+    case AppKind::kMp3d:
+      return "MP3D";
+    case AppKind::kLocusRoute:
+      return "LocusRoute";
+  }
+  return "?";
+}
+
+ProgramTrace generate_app(AppKind app, int procs, int block_size,
+                          std::uint64_t seed, double scale) {
+  ensure(scale > 0.0 && scale <= 4.0, "trace scale out of range");
+  switch (app) {
+    case AppKind::kLu: {
+      LuConfig config;
+      config.procs = procs;
+      config.block_size = block_size;
+      // n scales with cube-root of the reference-count scale; keep it even
+      // so columns stay block aligned.
+      config.n = scaled(config.n, std::cbrt(scale), 16) & ~1;
+      config.seed = seed;
+      return generate_lu(config);
+    }
+    case AppKind::kDwf: {
+      DwfConfig config;
+      config.procs = procs;
+      config.block_size = block_size;
+      config.num_sequences = scaled(config.num_sequences, scale, procs);
+      config.seed = seed;
+      return generate_dwf(config);
+    }
+    case AppKind::kMp3d: {
+      Mp3dConfig config;
+      config.procs = procs;
+      config.block_size = block_size;
+      config.steps = scaled(config.steps, scale, 2);
+      config.seed = seed;
+      return generate_mp3d(config);
+    }
+    case AppKind::kLocusRoute: {
+      LocusConfig config;
+      config.procs = procs;
+      config.block_size = block_size;
+      config.wires = scaled(config.wires, scale, procs);
+      config.seed = seed;
+      return generate_locusroute(config);
+    }
+  }
+  ensure(false, "unknown application kind");
+  return {};
+}
+
+}  // namespace dircc

@@ -1,0 +1,112 @@
+#include "trace/trace_file.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+namespace dircc {
+namespace {
+
+constexpr char kMagic[4] = {'D', 'T', 'R', 'C'};
+constexpr std::uint32_t kVersion = 1;
+constexpr std::uint64_t kMaxReasonableEvents = 1ULL << 36;
+
+template <typename T>
+void put(std::ostream& out, T value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof value);
+}
+
+template <typename T>
+bool get(std::istream& in, T& value) {
+  in.read(reinterpret_cast<char*>(&value), sizeof value);
+  return static_cast<bool>(in);
+}
+
+struct PackedEvent {
+  std::uint8_t kind;
+  std::uint8_t pad[3];
+  std::uint32_t arg;
+  std::uint64_t addr;
+};
+static_assert(sizeof(PackedEvent) == 16);
+
+}  // namespace
+
+bool write_trace(std::ostream& out, const ProgramTrace& trace) {
+  out.write(kMagic, sizeof kMagic);
+  put(out, kVersion);
+  put(out, static_cast<std::uint32_t>(trace.per_proc.size()));
+  put(out, static_cast<std::uint32_t>(trace.block_size));
+  put(out, static_cast<std::uint32_t>(trace.app_name.size()));
+  out.write(trace.app_name.data(),
+            static_cast<std::streamsize>(trace.app_name.size()));
+  for (const auto& stream : trace.per_proc) {
+    put(out, static_cast<std::uint64_t>(stream.size()));
+    for (const TraceEvent& ev : stream) {
+      PackedEvent packed{static_cast<std::uint8_t>(ev.kind),
+                         {0, 0, 0},
+                         ev.arg,
+                         ev.addr};
+      out.write(reinterpret_cast<const char*>(&packed), sizeof packed);
+    }
+  }
+  return static_cast<bool>(out);
+}
+
+bool read_trace(std::istream& in, ProgramTrace& trace) {
+  char magic[4];
+  in.read(magic, sizeof magic);
+  if (!in || std::memcmp(magic, kMagic, sizeof kMagic) != 0) {
+    return false;
+  }
+  std::uint32_t version = 0;
+  std::uint32_t procs = 0;
+  std::uint32_t block_size = 0;
+  std::uint32_t name_len = 0;
+  if (!get(in, version) || version != kVersion || !get(in, procs) ||
+      !get(in, block_size) || !get(in, name_len)) {
+    return false;
+  }
+  if (block_size == 0 || procs == 0 || procs > 65536 || name_len > 4096) {
+    return false;
+  }
+  trace.app_name.resize(name_len);
+  in.read(trace.app_name.data(), name_len);
+  if (!in) {
+    return false;
+  }
+  trace.block_size = static_cast<int>(block_size);
+  trace.per_proc.assign(procs, {});
+  for (auto& stream : trace.per_proc) {
+    std::uint64_t count = 0;
+    if (!get(in, count) || count > kMaxReasonableEvents) {
+      return false;
+    }
+    stream.resize(count);
+    for (TraceEvent& ev : stream) {
+      PackedEvent packed;
+      in.read(reinterpret_cast<char*>(&packed), sizeof packed);
+      if (!in || packed.kind > static_cast<std::uint8_t>(
+                                   TraceEvent::Kind::kThink)) {
+        return false;
+      }
+      ev.kind = static_cast<TraceEvent::Kind>(packed.kind);
+      ev.arg = packed.arg;
+      ev.addr = packed.addr;
+    }
+  }
+  return true;
+}
+
+bool save_trace(const std::string& path, const ProgramTrace& trace) {
+  std::ofstream out(path, std::ios::binary);
+  return out && write_trace(out, trace);
+}
+
+bool load_trace(const std::string& path, ProgramTrace& trace) {
+  std::ifstream in(path, std::ios::binary);
+  return in && read_trace(in, trace);
+}
+
+}  // namespace dircc

@@ -1,0 +1,34 @@
+// Binary trace file format.
+//
+// Lets users capture generator output (or supply their own traces, e.g.
+// converted from real Tango/SPLASH runs) and replay them through the
+// simulator. Layout, little-endian:
+//
+//   magic   "DTRC"            4 bytes
+//   version u32               (currently 1)
+//   procs   u32
+//   block   u32               block size in bytes
+//   name    u32 length + bytes
+//   per processor: u64 event count, then packed events
+//     {u8 kind, u8 pad[3], u32 arg, u64 addr}
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "trace/event.hpp"
+
+namespace dircc {
+
+/// Serializes `trace` to `out`. Returns false on I/O failure.
+bool write_trace(std::ostream& out, const ProgramTrace& trace);
+
+/// Deserializes a trace from `in`. Returns false on I/O failure or a
+/// malformed stream; `trace` is unspecified in that case.
+bool read_trace(std::istream& in, ProgramTrace& trace);
+
+/// File-path convenience wrappers.
+bool save_trace(const std::string& path, const ProgramTrace& trace);
+bool load_trace(const std::string& path, ProgramTrace& trace);
+
+}  // namespace dircc

@@ -1,0 +1,82 @@
+#include "trace/validate.hpp"
+
+#include <set>
+#include <vector>
+
+namespace dircc {
+namespace {
+
+bool fail(std::string* error, std::string message) {
+  if (error != nullptr) {
+    *error = std::move(message);
+  }
+  return false;
+}
+
+}  // namespace
+
+bool validate_trace(const ProgramTrace& trace, std::string* error) {
+  if (trace.per_proc.empty()) {
+    return fail(error, "trace has no processors");
+  }
+  if (trace.block_size <= 0 || !is_pow2(static_cast<std::uint64_t>(
+                                   trace.block_size))) {
+    return fail(error, "block size must be a positive power of two");
+  }
+  constexpr Addr kAddrLimit = Addr{1} << 48;
+
+  std::vector<std::vector<Addr>> barrier_seq(
+      static_cast<std::size_t>(trace.num_procs()));
+  for (int p = 0; p < trace.num_procs(); ++p) {
+    std::set<Addr> held;
+    for (const TraceEvent& ev : trace.per_proc[static_cast<std::size_t>(p)]) {
+      switch (ev.kind) {
+        case TraceEvent::Kind::kRead:
+        case TraceEvent::Kind::kWrite:
+          if (ev.addr >= kAddrLimit) {
+            return fail(error, "address out of range on processor " +
+                                   std::to_string(p));
+          }
+          break;
+        case TraceEvent::Kind::kLock:
+          if (!held.insert(ev.addr).second) {
+            return fail(error, "processor " + std::to_string(p) +
+                                   " re-acquires lock " +
+                                   std::to_string(ev.addr) +
+                                   " it already holds");
+          }
+          break;
+        case TraceEvent::Kind::kUnlock:
+          if (held.erase(ev.addr) == 0) {
+            return fail(error, "processor " + std::to_string(p) +
+                                   " unlocks lock " + std::to_string(ev.addr) +
+                                   " it does not hold");
+          }
+          break;
+        case TraceEvent::Kind::kBarrier:
+          if (!held.empty()) {
+            return fail(error, "processor " + std::to_string(p) +
+                                   " enters a barrier while holding a lock");
+          }
+          barrier_seq[static_cast<std::size_t>(p)].push_back(ev.addr);
+          break;
+        case TraceEvent::Kind::kThink:
+          break;
+      }
+    }
+    if (!held.empty()) {
+      return fail(error, "processor " + std::to_string(p) +
+                             " ends the trace holding a lock");
+    }
+  }
+  for (int p = 1; p < trace.num_procs(); ++p) {
+    if (barrier_seq[static_cast<std::size_t>(p)] != barrier_seq[0]) {
+      return fail(error,
+                  "barrier sequences differ between processors 0 and " +
+                      std::to_string(p));
+    }
+  }
+  return true;
+}
+
+}  // namespace dircc

@@ -1,0 +1,25 @@
+// Structural validation of a ProgramTrace.
+//
+// The engine deadlocks (by design, with a diagnostic) on malformed
+// synchronization; this validator catches the same problems up front, which
+// matters for traces loaded from files rather than generated in-process.
+#pragma once
+
+#include <string>
+
+#include "trace/event.hpp"
+
+namespace dircc {
+
+/// Checks that
+///  * every Lock is eventually Unlocked by the same processor, with no
+///    nested re-acquisition of a lock a processor already holds,
+///  * every Unlock matches a held lock,
+///  * all processors observe the same sequence of barrier ids (global
+///    barriers), and
+///  * read/write addresses stay within the 2^48 address range the
+///    simulator's home interleaving assumes.
+/// Returns true when the trace is well formed; otherwise fills `error`.
+bool validate_trace(const ProgramTrace& trace, std::string* error = nullptr);
+
+}  // namespace dircc

@@ -1,0 +1,119 @@
+// Processor cache model: MSI line states, LRU replacement, eviction and
+// invalidation behaviour.
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "cache/cache.hpp"
+
+namespace dircc {
+namespace {
+
+TEST(Cache, MissThenHit) {
+  Cache cache(8, 2);
+  EXPECT_FALSE(cache.read_lookup(100));
+  std::optional<EvictedLine> evicted;
+  cache.fill(100, LineState::kShared, 1, evicted);
+  EXPECT_FALSE(evicted.has_value());
+  EXPECT_TRUE(cache.read_lookup(100));
+  EXPECT_EQ(cache.stats().read_misses, 1u);
+  EXPECT_EQ(cache.stats().read_hits, 1u);
+}
+
+TEST(Cache, WriteLookupDistinguishesStates) {
+  Cache cache(8, 2);
+  EXPECT_EQ(cache.write_lookup(1), Cache::WriteLookup::kMiss);
+  std::optional<EvictedLine> evicted;
+  cache.fill(1, LineState::kShared, 0, evicted);
+  EXPECT_EQ(cache.write_lookup(1), Cache::WriteLookup::kHitShared);
+  cache.upgrade(1, 1);
+  EXPECT_EQ(cache.write_lookup(1), Cache::WriteLookup::kHitModified);
+  EXPECT_EQ(cache.stats().write_misses, 1u);
+  EXPECT_EQ(cache.stats().write_upgrades, 1u);
+  EXPECT_EQ(cache.stats().write_hits, 1u);
+}
+
+TEST(Cache, EvictsLruLine) {
+  Cache cache(2, 2);  // one set, two ways
+  std::optional<EvictedLine> evicted;
+  cache.fill(10, LineState::kShared, 0, evicted);
+  cache.fill(11, LineState::kShared, 0, evicted);
+  cache.read_lookup(10);  // 11 becomes LRU
+  cache.fill(12, LineState::kShared, 0, evicted);
+  ASSERT_TRUE(evicted.has_value());
+  EXPECT_EQ(evicted->block, 11u);
+  EXPECT_FALSE(evicted->dirty);
+  EXPECT_EQ(cache.probe(10), LineState::kShared);
+  EXPECT_EQ(cache.probe(11), LineState::kInvalid);
+}
+
+TEST(Cache, DirtyEvictionCarriesVersion) {
+  Cache cache(2, 2);
+  std::optional<EvictedLine> evicted;
+  cache.fill(10, LineState::kModified, 7, evicted);
+  cache.fill(11, LineState::kShared, 0, evicted);
+  cache.fill(12, LineState::kShared, 0, evicted);  // displaces 10 (LRU)
+  ASSERT_TRUE(evicted.has_value());
+  EXPECT_EQ(evicted->block, 10u);
+  EXPECT_TRUE(evicted->dirty);
+  EXPECT_EQ(evicted->version, 7u);
+  EXPECT_EQ(cache.stats().evictions_dirty, 1u);
+}
+
+TEST(Cache, InvalidateReportsStateAndFreesLine) {
+  Cache cache(8, 2);
+  std::optional<EvictedLine> evicted;
+  cache.fill(5, LineState::kModified, 3, evicted);
+  const auto result = cache.invalidate(5);
+  EXPECT_TRUE(result.had_copy);
+  EXPECT_TRUE(result.was_dirty);
+  EXPECT_EQ(result.version, 3u);
+  EXPECT_EQ(cache.probe(5), LineState::kInvalid);
+  EXPECT_EQ(cache.lines_valid(), 0u);
+  // Extraneous invalidation (no copy).
+  const auto again = cache.invalidate(5);
+  EXPECT_FALSE(again.had_copy);
+  EXPECT_EQ(cache.stats().invalidations_received, 1u);
+  EXPECT_EQ(cache.stats().invalidations_empty, 1u);
+}
+
+TEST(Cache, DowngradeKeepsLineShared) {
+  Cache cache(8, 2);
+  std::optional<EvictedLine> evicted;
+  cache.fill(5, LineState::kModified, 9, evicted);
+  EXPECT_EQ(cache.downgrade(5), 9u);
+  EXPECT_EQ(cache.probe(5), LineState::kShared);
+}
+
+TEST(Cache, WriteTouchUpdatesVersion) {
+  Cache cache(8, 2);
+  std::optional<EvictedLine> evicted;
+  cache.fill(5, LineState::kModified, 1, evicted);
+  cache.write_touch(5, 2);
+  EXPECT_EQ(cache.version_of(5), 2u);
+  EXPECT_EQ(cache.probe(5), LineState::kModified);
+}
+
+TEST(Cache, SetsIsolateConflicts) {
+  Cache cache(4, 1);  // 4 direct-mapped sets
+  std::optional<EvictedLine> evicted;
+  cache.fill(0, LineState::kShared, 0, evicted);
+  cache.fill(1, LineState::kShared, 0, evicted);
+  EXPECT_FALSE(evicted.has_value());  // different sets
+  cache.fill(4, LineState::kShared, 0, evicted);  // conflicts with 0
+  ASSERT_TRUE(evicted.has_value());
+  EXPECT_EQ(evicted->block, 0u);
+}
+
+TEST(Cache, UpgradePreservesOccupancy) {
+  Cache cache(4, 2);
+  std::optional<EvictedLine> evicted;
+  cache.fill(3, LineState::kShared, 0, evicted);
+  const auto before = cache.lines_valid();
+  cache.upgrade(3, 1);
+  EXPECT_EQ(cache.lines_valid(), before);
+  EXPECT_EQ(cache.probe(3), LineState::kModified);
+}
+
+}  // namespace
+}  // namespace dircc

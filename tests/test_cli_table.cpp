@@ -1,0 +1,107 @@
+// CliParser and TextTable formatting utilities.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/cli.hpp"
+#include "common/table.hpp"
+
+namespace dircc {
+namespace {
+
+CliParser make_parser() {
+  CliParser cli;
+  cli.add_option("app", "mp3d", "workload");
+  cli.add_option("procs", "32", "processors");
+  cli.add_option("scale", "0.5", "scale");
+  cli.add_flag("sparse", "sparse directory");
+  return cli;
+}
+
+TEST(CliParser, DefaultsApplyWhenUnset) {
+  CliParser cli = make_parser();
+  const char* argv[] = {"prog"};
+  ASSERT_TRUE(cli.parse(1, argv));
+  EXPECT_EQ(cli.get("app"), "mp3d");
+  EXPECT_EQ(cli.get_int("procs"), 32);
+  EXPECT_DOUBLE_EQ(cli.get_double("scale"), 0.5);
+  EXPECT_FALSE(cli.get_flag("sparse"));
+}
+
+TEST(CliParser, ParsesSpaceAndEqualsForms) {
+  CliParser cli = make_parser();
+  const char* argv[] = {"prog", "--app", "lu", "--procs=16", "--sparse"};
+  ASSERT_TRUE(cli.parse(5, argv));
+  EXPECT_EQ(cli.get("app"), "lu");
+  EXPECT_EQ(cli.get_int("procs"), 16);
+  EXPECT_TRUE(cli.get_flag("sparse"));
+}
+
+TEST(CliParser, RejectsUnknownOption) {
+  CliParser cli = make_parser();
+  const char* argv[] = {"prog", "--bogus", "1"};
+  EXPECT_FALSE(cli.parse(3, argv));
+  EXPECT_NE(cli.error().find("bogus"), std::string::npos);
+}
+
+TEST(CliParser, RejectsMissingValue) {
+  CliParser cli = make_parser();
+  const char* argv[] = {"prog", "--app"};
+  EXPECT_FALSE(cli.parse(2, argv));
+}
+
+TEST(CliParser, RejectsValueOnFlag) {
+  CliParser cli = make_parser();
+  const char* argv[] = {"prog", "--sparse=yes"};
+  EXPECT_FALSE(cli.parse(2, argv));
+}
+
+TEST(CliParser, RejectsPositional) {
+  CliParser cli = make_parser();
+  const char* argv[] = {"prog", "stray"};
+  EXPECT_FALSE(cli.parse(2, argv));
+}
+
+TEST(CliParser, HelpShortCircuits) {
+  CliParser cli = make_parser();
+  const char* argv[] = {"prog", "--help"};
+  ASSERT_TRUE(cli.parse(2, argv));
+  EXPECT_TRUE(cli.help_requested());
+  const std::string usage = cli.usage("prog");
+  EXPECT_NE(usage.find("--app"), std::string::npos);
+  EXPECT_NE(usage.find("--sparse"), std::string::npos);
+}
+
+TEST(TextTable, AlignsColumns) {
+  TextTable table;
+  table.header({"a", "long-column"});
+  table.row({"value-1", "x"});
+  std::ostringstream out;
+  table.print(out);
+  const std::string text = out.str();
+  // Header, rule, one row.
+  EXPECT_NE(text.find("| a       | long-column |"), std::string::npos);
+  EXPECT_NE(text.find("| value-1 | x           |"), std::string::npos);
+  EXPECT_NE(text.find("+---------+-------------+"), std::string::npos);
+}
+
+TEST(TextTable, HandlesShortRows) {
+  TextTable table;
+  table.header({"a", "b", "c"});
+  table.row({"1"});
+  std::ostringstream out;
+  table.print(out);
+  EXPECT_NE(out.str().find("| 1 |"), std::string::npos);
+}
+
+TEST(Fmt, FormatsDoublesAndCounts) {
+  EXPECT_EQ(fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt(2.0, 0), "2");
+  EXPECT_EQ(fmt_count(0), "0");
+  EXPECT_EQ(fmt_count(999), "999");
+  EXPECT_EQ(fmt_count(1000), "1,000");
+  EXPECT_EQ(fmt_count(1234567890), "1,234,567,890");
+}
+
+}  // namespace
+}  // namespace dircc

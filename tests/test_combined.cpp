@@ -1,0 +1,119 @@
+// Combined-feature stress tests: every optional mechanism enabled at once
+// (two-level caches, grouped entries, sparse directories, replacement
+// hints, contention model, release consistency, clustered processors),
+// across schemes. Value-coherence validation is on throughout, so these
+// runs are end-to-end correctness proofs of the feature interactions.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "protocol/system.hpp"
+#include "sim/engine.hpp"
+#include "trace/generators.hpp"
+
+namespace dircc {
+namespace {
+
+struct ComboCase {
+  const char* label;
+  SchemeConfig scheme;
+  int procs_per_cluster;
+  int blocks_per_group;
+  bool sparse;
+  bool hints;
+  bool contention;
+  bool two_level;
+};
+
+class CombinedFeatures : public ::testing::TestWithParam<ComboCase> {};
+
+SystemConfig combo_config(const ComboCase& c, int procs) {
+  SystemConfig config;
+  config.num_procs = procs;
+  config.procs_per_cluster = c.procs_per_cluster;
+  config.cache_lines_per_proc = 64;
+  config.cache_assoc = 4;
+  if (c.two_level) {
+    config.l1_lines_per_proc = 16;
+    config.l1_assoc = 2;
+  }
+  config.scheme = c.scheme;
+  config.blocks_per_group = c.blocks_per_group;
+  config.replacement_hints = c.hints;
+  config.model_contention = c.contention;
+  if (c.sparse) {
+    config.store.sparse = true;
+    config.store.sparse_entries = 8;
+    config.store.sparse_assoc = 4;
+    config.store.policy = ReplPolicy::kRandom;
+  }
+  return config;
+}
+
+TEST_P(CombinedFeatures, RandomTrafficRunsCoherently) {
+  const ComboCase& c = GetParam();
+  const int procs = c.scheme.num_nodes * c.procs_per_cluster;
+  SystemConfig config = combo_config(c, procs);
+  CoherenceSystem sys(config);
+  Rng rng(0xc0b0);
+  Cycle now = 0;
+  for (int i = 0; i < 15000; ++i) {
+    const auto proc = static_cast<ProcId>(
+        rng.below(static_cast<std::uint64_t>(procs)));
+    const auto block = static_cast<BlockAddr>(rng.below(1024));
+    now += sys.access(proc, block, rng.chance(0.3), now) / 8;
+  }
+  EXPECT_EQ(sys.stats().accesses, 15000u);
+  if (c.sparse) {
+    EXPECT_GT(sys.stats().sparse_replacements, 0u);
+  }
+  // A tight sparse directory caps the number of cached blocks below cache
+  // capacity, so caches barely evict and hints may legitimately be rare —
+  // only assert hint activity where evictions are plentiful (non-sparse).
+  if (c.hints && !c.sparse) {
+    EXPECT_GT(sys.stats().replacement_hints_sent, 0u);
+  }
+}
+
+TEST_P(CombinedFeatures, ApplicationTraceRunsUnderTheEngine) {
+  const ComboCase& c = GetParam();
+  const int procs = c.scheme.num_nodes * c.procs_per_cluster;
+  SystemConfig config = combo_config(c, procs);
+  CoherenceSystem sys(config);
+  const ProgramTrace trace =
+      generate_app(AppKind::kMp3d, procs, 16, 21, 0.05);
+  EngineConfig engine_config;
+  engine_config.release_consistency = true;
+  Engine engine(sys, trace, engine_config);
+  const RunResult result = engine.run();
+  EXPECT_GT(result.exec_cycles, 0u);
+  EXPECT_GT(result.sync.buffered_writes, 0u);
+  // Acks never undershoot network invalidations (message conservation).
+  EXPECT_LE(result.protocol.messages.get(MsgClass::kInvalidation),
+            result.protocol.messages.get(MsgClass::kAck));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, CombinedFeatures,
+    ::testing::Values(
+        ComboCase{"EverythingFullVector", SchemeConfig::full(8), 1, 2, true,
+                  true, true, true},
+        ComboCase{"EverythingCoarseVector", SchemeConfig::coarse(8, 2, 2), 1,
+                  2, true, true, true, true},
+        ComboCase{"EverythingClustered", SchemeConfig::full(4), 4, 2, true,
+                  true, true, true},
+        ComboCase{"EverythingNoBroadcast", SchemeConfig::no_broadcast(8, 2),
+                  1, 2, true, true, true, true},
+        ComboCase{"EverythingOverflow", SchemeConfig::overflow(8, 2, 4), 1,
+                  2, true, true, true, true},
+        ComboCase{"GroupedEightDeep", SchemeConfig::coarse(8, 2, 2), 1, 8,
+                  true, false, true, true},
+        ComboCase{"HintsAndGroupsNoSparse", SchemeConfig::full(8), 1, 4,
+                  false, true, false, true},
+        ComboCase{"ContentionClusteredSuperset", SchemeConfig::superset(4, 2),
+                  2, 2, true, false, true, false}),
+    [](const ::testing::TestParamInfo<ComboCase>& info) {
+      return std::string(info.param.label);
+    });
+
+}  // namespace
+}  // namespace dircc

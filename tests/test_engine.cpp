@@ -1,0 +1,239 @@
+// Event-driven engine: interleaving, barriers, locks (precise and
+// region-grant), determinism and deadlock detection.
+#include <gtest/gtest.h>
+
+#include "sim/engine.hpp"
+#include "trace/event.hpp"
+
+namespace dircc {
+namespace {
+
+SystemConfig engine_config(int procs = 4) {
+  SystemConfig config;
+  config.num_procs = procs;
+  config.procs_per_cluster = 1;
+  config.cache_lines_per_proc = 64;
+  config.cache_assoc = 4;
+  config.scheme = SchemeConfig::full(procs);
+  return config;
+}
+
+ProgramTrace empty_trace(int procs) {
+  ProgramTrace trace;
+  trace.app_name = "test";
+  trace.block_size = 16;
+  trace.per_proc.assign(static_cast<std::size_t>(procs), {});
+  return trace;
+}
+
+TEST(Engine, EmptyTraceFinishesAtTimeZero) {
+  auto config = engine_config();
+  CoherenceSystem sys(config);
+  ProgramTrace trace = empty_trace(4);
+  Engine engine(sys, trace);
+  const RunResult result = engine.run();
+  EXPECT_EQ(result.exec_cycles, 0u);
+  EXPECT_EQ(result.protocol.accesses, 0u);
+}
+
+TEST(Engine, SerialAccessLatenciesAccumulate) {
+  auto config = engine_config();
+  CoherenceSystem sys(config);
+  ProgramTrace trace = empty_trace(4);
+  // Proc 1: remote read miss (60) then hit (1), each plus 1 issue cycle.
+  trace.per_proc[1].push_back(TraceEvent::read(0));
+  trace.per_proc[1].push_back(TraceEvent::read(0));
+  Engine engine(sys, trace);
+  const RunResult result = engine.run();
+  EXPECT_EQ(result.exec_cycles, (1 + 60) + (1 + 1));
+}
+
+TEST(Engine, ThinkAdvancesTime) {
+  auto config = engine_config();
+  CoherenceSystem sys(config);
+  ProgramTrace trace = empty_trace(4);
+  trace.per_proc[0].push_back(TraceEvent::think(100));
+  Engine engine(sys, trace);
+  EXPECT_EQ(engine.run().exec_cycles, 101u);
+}
+
+TEST(Engine, BarrierSynchronizesAllProcessors) {
+  auto config = engine_config(2);
+  CoherenceSystem sys(config);
+  ProgramTrace trace = empty_trace(2);
+  // Proc 0 arrives late (think 500); proc 1 arrives immediately. Both
+  // leave the barrier together.
+  trace.per_proc[0].push_back(TraceEvent::think(500));
+  trace.per_proc[0].push_back(TraceEvent::barrier(0));
+  trace.per_proc[1].push_back(TraceEvent::barrier(0));
+  trace.per_proc[1].push_back(TraceEvent::think(10));
+  Engine engine(sys, trace);
+  const RunResult result = engine.run();
+  // Proc 1 resumes at (last arrival 502) + barrier_cost 60, then thinks.
+  EXPECT_EQ(result.sync.barrier_episodes, 1u);
+  EXPECT_GE(result.exec_cycles, 502u + 60u + 10u);
+  // 2 arrival requests + 2 release replies.
+  EXPECT_EQ(result.sync.messages.get(MsgClass::kRequest), 2u);
+  EXPECT_EQ(result.sync.messages.get(MsgClass::kReply), 2u);
+}
+
+TEST(Engine, ReusedBarrierIdsFormSuccessiveEpisodes) {
+  auto config = engine_config(2);
+  CoherenceSystem sys(config);
+  ProgramTrace trace = empty_trace(2);
+  for (int round = 0; round < 3; ++round) {
+    trace.per_proc[0].push_back(TraceEvent::barrier(7));
+    trace.per_proc[1].push_back(TraceEvent::barrier(7));
+  }
+  Engine engine(sys, trace);
+  EXPECT_EQ(engine.run().sync.barrier_episodes, 3u);
+}
+
+TEST(Engine, LockProvidesMutualExclusionTiming) {
+  auto config = engine_config(2);
+  CoherenceSystem sys(config);
+  ProgramTrace trace = empty_trace(2);
+  // Both procs do lock; hold (think 200); unlock.
+  for (int p = 0; p < 2; ++p) {
+    trace.per_proc[static_cast<std::size_t>(p)] = {
+        TraceEvent::lock(1), TraceEvent::think(200), TraceEvent::unlock(1)};
+  }
+  Engine engine(sys, trace);
+  const RunResult result = engine.run();
+  EXPECT_EQ(result.sync.lock_acquires, 2u);
+  EXPECT_EQ(result.sync.lock_contended, 1u);
+  // The second holder cannot start its critical section before the first
+  // one releases: total time covers both critical sections.
+  EXPECT_GT(result.exec_cycles, 400u);
+}
+
+TEST(Engine, UncontendedLockIsCheap) {
+  auto config = engine_config(2);
+  CoherenceSystem sys(config);
+  ProgramTrace trace = empty_trace(2);
+  trace.per_proc[0] = {TraceEvent::lock(1), TraceEvent::unlock(1)};
+  trace.per_proc[1] = {TraceEvent::lock(2), TraceEvent::unlock(2)};
+  Engine engine(sys, trace);
+  const RunResult result = engine.run();
+  EXPECT_EQ(result.sync.lock_contended, 0u);
+  EXPECT_EQ(result.sync.lock_acquires, 2u);
+}
+
+TEST(Engine, RegionGrantWakesWholeRegionAndCountsRetries) {
+  auto config = engine_config(4);
+  CoherenceSystem sys(config);
+  ProgramTrace trace = empty_trace(4);
+  for (int p = 0; p < 4; ++p) {
+    trace.per_proc[static_cast<std::size_t>(p)] = {
+        TraceEvent::lock(1), TraceEvent::think(50), TraceEvent::unlock(1)};
+  }
+  EngineConfig engine_cfg;
+  engine_cfg.region_grant_locks = true;
+  engine_cfg.lock_region_size = 4;  // all four clusters in one region
+  Engine engine(sys, trace, engine_cfg);
+  const RunResult result = engine.run();
+  EXPECT_EQ(result.sync.lock_acquires, 4u);
+  // With everyone in one region, each release wakes all remaining waiters:
+  // 2 losers on the first release, 1 on the second.
+  EXPECT_EQ(result.sync.lock_retries, 3u);
+}
+
+TEST(Engine, PreciseGrantHasNoRetries) {
+  auto config = engine_config(4);
+  CoherenceSystem sys(config);
+  ProgramTrace trace = empty_trace(4);
+  for (int p = 0; p < 4; ++p) {
+    trace.per_proc[static_cast<std::size_t>(p)] = {
+        TraceEvent::lock(1), TraceEvent::think(50), TraceEvent::unlock(1)};
+  }
+  Engine engine(sys, trace);
+  const RunResult result = engine.run();
+  EXPECT_EQ(result.sync.lock_retries, 0u);
+}
+
+TEST(Engine, LockAsFinalEventStillTerminates) {
+  auto config = engine_config(2);
+  CoherenceSystem sys(config);
+  ProgramTrace trace = empty_trace(2);
+  // Proc 1 blocks on the lock as its last event; proc 0 releases. The
+  // grant must retire proc 1 even though it has nothing left to run.
+  trace.per_proc[0] = {TraceEvent::lock(1), TraceEvent::think(100),
+                       TraceEvent::unlock(1)};
+  trace.per_proc[1] = {TraceEvent::think(1), TraceEvent::lock(1)};
+  Engine engine(sys, trace);
+  const RunResult result = engine.run();
+  EXPECT_EQ(result.sync.lock_acquires, 2u);
+}
+
+TEST(Engine, DeterministicAcrossIdenticalRuns) {
+  auto make_result = [] {
+    auto config = engine_config(4);
+    CoherenceSystem sys(config);
+    ProgramTrace trace = empty_trace(4);
+    for (int p = 0; p < 4; ++p) {
+      auto& stream = trace.per_proc[static_cast<std::size_t>(p)];
+      for (int i = 0; i < 50; ++i) {
+        stream.push_back(TraceEvent::read(static_cast<Addr>((p + i) % 7) * 16));
+        stream.push_back(
+            TraceEvent::write(static_cast<Addr>((p * i) % 5) * 16));
+      }
+    }
+    Engine engine(sys, trace);
+    return engine.run();
+  };
+  const RunResult a = make_result();
+  const RunResult b = make_result();
+  EXPECT_EQ(a.exec_cycles, b.exec_cycles);
+  EXPECT_EQ(a.protocol.messages.total(), b.protocol.messages.total());
+  EXPECT_EQ(a.protocol.inval_distribution.total(),
+            b.protocol.inval_distribution.total());
+}
+
+TEST(Engine, ContendedSharingInterleavesByTime) {
+  auto config = engine_config(4);
+  CoherenceSystem sys(config);
+  ProgramTrace trace = empty_trace(4);
+  // All four processors ping-pong writes to one block: every write after
+  // the first is an ownership transfer.
+  for (int round = 0; round < 5; ++round) {
+    for (int p = 0; p < 4; ++p) {
+      trace.per_proc[static_cast<std::size_t>(p)].push_back(
+          TraceEvent::write(0));
+      trace.per_proc[static_cast<std::size_t>(p)].push_back(
+          TraceEvent::think(static_cast<std::uint32_t>(10 + 3 * p)));
+    }
+  }
+  Engine engine(sys, trace);
+  const RunResult result = engine.run();
+  EXPECT_GT(result.protocol.ownership_transfers, 10u);
+  EXPECT_EQ(result.protocol.accesses, 20u);
+}
+
+TEST(EngineDeathTest, MismatchedBarrierDeadlocks) {
+  EXPECT_DEATH(
+      {
+        auto config = engine_config(2);
+        CoherenceSystem sys(config);
+        ProgramTrace trace = empty_trace(2);
+        trace.per_proc[0] = {TraceEvent::barrier(0)};  // proc 1 never arrives
+        Engine engine(sys, trace);
+        engine.run();
+      },
+      "deadlock");
+}
+
+TEST(EngineDeathTest, UnlockWithoutHoldAborts) {
+  EXPECT_DEATH(
+      {
+        auto config = engine_config(2);
+        CoherenceSystem sys(config);
+        ProgramTrace trace = empty_trace(2);
+        trace.per_proc[0] = {TraceEvent::unlock(1)};
+        Engine engine(sys, trace);
+        engine.run();
+      },
+      "unlock");
+}
+
+}  // namespace
+}  // namespace dircc

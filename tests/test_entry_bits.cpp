@@ -1,0 +1,126 @@
+// EntryBits: bit and bit-field semantics that every directory format
+// representation is built on.
+#include <gtest/gtest.h>
+
+#include "common/entry_bits.hpp"
+
+namespace dircc {
+namespace {
+
+TEST(EntryBits, StartsEmpty) {
+  EntryBits bits;
+  EXPECT_TRUE(bits.none());
+  EXPECT_EQ(bits.popcount(), 0);
+  EXPECT_EQ(bits.find_next(0), -1);
+}
+
+TEST(EntryBits, SetTestClearSingleBit) {
+  EntryBits bits;
+  bits.set(5);
+  EXPECT_TRUE(bits.test(5));
+  EXPECT_FALSE(bits.test(4));
+  EXPECT_FALSE(bits.none());
+  bits.clear(5);
+  EXPECT_FALSE(bits.test(5));
+  EXPECT_TRUE(bits.none());
+}
+
+TEST(EntryBits, WorksAcrossWordBoundaries) {
+  EntryBits bits;
+  for (int pos : {0, 63, 64, 127, 128, 191, 192, 255}) {
+    bits.set(pos);
+  }
+  EXPECT_EQ(bits.popcount(), 8);
+  for (int pos : {0, 63, 64, 127, 128, 191, 192, 255}) {
+    EXPECT_TRUE(bits.test(pos)) << pos;
+  }
+  EXPECT_FALSE(bits.test(1));
+  EXPECT_FALSE(bits.test(65));
+}
+
+TEST(EntryBits, FindNextWalksSetBits) {
+  EntryBits bits;
+  bits.set(3);
+  bits.set(64);
+  bits.set(200);
+  EXPECT_EQ(bits.find_next(0), 3);
+  EXPECT_EQ(bits.find_next(4), 64);
+  EXPECT_EQ(bits.find_next(64), 64);
+  EXPECT_EQ(bits.find_next(65), 200);
+  EXPECT_EQ(bits.find_next(201), -1);
+}
+
+TEST(EntryBits, ResetClearsEverything) {
+  EntryBits bits;
+  bits.set(17);
+  bits.set(200);
+  bits.reset();
+  EXPECT_TRUE(bits.none());
+}
+
+TEST(EntryBits, FieldRoundTrips) {
+  EntryBits bits;
+  bits.set_field(10, 8, 0xA5);
+  EXPECT_EQ(bits.get_field(10, 8), 0xA5u);
+  // Adjacent fields do not interfere.
+  bits.set_field(18, 8, 0x3C);
+  EXPECT_EQ(bits.get_field(10, 8), 0xA5u);
+  EXPECT_EQ(bits.get_field(18, 8), 0x3Cu);
+  // Overwrite clears stale bits.
+  bits.set_field(10, 8, 0x01);
+  EXPECT_EQ(bits.get_field(10, 8), 0x01u);
+}
+
+TEST(EntryBits, FieldAcrossWordBoundary) {
+  EntryBits bits;
+  bits.set_field(60, 8, 0xFF);
+  EXPECT_EQ(bits.get_field(60, 8), 0xFFu);
+  EXPECT_TRUE(bits.test(63));
+  EXPECT_TRUE(bits.test(64));
+  bits.set_field(60, 8, 0x80);
+  EXPECT_EQ(bits.get_field(60, 8), 0x80u);
+  EXPECT_FALSE(bits.test(63));
+}
+
+TEST(EntryBits, ZeroWidthFieldIsZero) {
+  EntryBits bits;
+  EXPECT_EQ(bits.get_field(0, 0), 0u);
+  bits.set_field(0, 0, 0);  // no-op, must not crash
+  EXPECT_TRUE(bits.none());
+}
+
+TEST(EntryBits, EqualityComparesContent) {
+  EntryBits a;
+  EntryBits b;
+  EXPECT_EQ(a, b);
+  a.set(100);
+  EXPECT_NE(a, b);
+  b.set(100);
+  EXPECT_EQ(a, b);
+}
+
+TEST(Log2Ceil, KnownValues) {
+  EXPECT_EQ(log2_ceil(1), 0);
+  EXPECT_EQ(log2_ceil(2), 1);
+  EXPECT_EQ(log2_ceil(3), 2);
+  EXPECT_EQ(log2_ceil(32), 5);
+  EXPECT_EQ(log2_ceil(33), 6);
+  EXPECT_EQ(log2_ceil(256), 8);
+}
+
+TEST(CeilDiv, KnownValues) {
+  EXPECT_EQ(ceil_div(0, 4), 0u);
+  EXPECT_EQ(ceil_div(1, 4), 1u);
+  EXPECT_EQ(ceil_div(4, 4), 1u);
+  EXPECT_EQ(ceil_div(5, 4), 2u);
+}
+
+TEST(IsPow2, KnownValues) {
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(16));
+  EXPECT_FALSE(is_pow2(24));
+}
+
+}  // namespace
+}  // namespace dircc

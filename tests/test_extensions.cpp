@@ -1,0 +1,282 @@
+// Section 7 extensions: the overflow-cache directory format (Dir_iOV) and
+// replacement hints.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/rng.hpp"
+#include "directory/overflow_format.hpp"
+#include "protocol/system.hpp"
+#include "sim/engine.hpp"
+#include "trace/generators.hpp"
+
+namespace dircc {
+namespace {
+
+std::vector<NodeId> targets_of(const SharerFormat& format,
+                               const SharerRepr& repr,
+                               NodeId exclude = kNoNode) {
+  std::vector<NodeId> out;
+  format.collect_targets(repr, exclude, out);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// OverflowCacheFormat
+// ---------------------------------------------------------------------------
+
+TEST(OverflowCache, InlinePointersStayExact) {
+  OverflowCacheFormat format(32, 2, 8);
+  SharerRepr repr;
+  format.add_sharer(repr, 3);
+  format.add_sharer(repr, 9);
+  EXPECT_TRUE(format.precise(repr));
+  EXPECT_EQ(targets_of(format, repr), (std::vector<NodeId>{3, 9}));
+  format.remove_sharer(repr, 3);
+  EXPECT_EQ(targets_of(format, repr), (std::vector<NodeId>{9}));
+  EXPECT_EQ(format.pool_allocations(), 0u);
+}
+
+TEST(OverflowCache, OverflowMovesIntoWideEntryExactly) {
+  OverflowCacheFormat format(32, 2, 8);
+  SharerRepr repr;
+  format.add_sharer(repr, 3);
+  format.add_sharer(repr, 9);
+  format.add_sharer(repr, 20);  // overflow -> wide entry
+  EXPECT_EQ(format.pool_allocations(), 1u);
+  EXPECT_TRUE(format.precise(repr));  // wide entries are full vectors
+  EXPECT_EQ(targets_of(format, repr), (std::vector<NodeId>{3, 9, 20}));
+  format.add_sharer(repr, 31);
+  EXPECT_EQ(targets_of(format, repr), (std::vector<NodeId>{3, 9, 20, 31}));
+  // Wide entries even support exact removal.
+  format.remove_sharer(repr, 9);
+  EXPECT_EQ(targets_of(format, repr), (std::vector<NodeId>{3, 20, 31}));
+  EXPECT_TRUE(format.maybe_sharer(repr, 20));
+  EXPECT_FALSE(format.maybe_sharer(repr, 9));
+}
+
+TEST(OverflowCache, PoolEvictionDegradesVictimToBroadcast) {
+  OverflowCacheFormat format(16, 1, 2);  // pool of just two wide entries
+  SharerRepr a;
+  SharerRepr b;
+  SharerRepr c;
+  // Overflow three blocks: the third allocation must evict the LRU (a).
+  format.add_sharer(a, 0);
+  format.add_sharer(a, 1);  // a -> wide
+  format.add_sharer(b, 2);
+  format.add_sharer(b, 3);  // b -> wide
+  format.add_sharer(c, 4);
+  format.add_sharer(c, 5);  // c -> wide, evicting a's slot
+  EXPECT_EQ(format.pool_evictions(), 1u);
+  // a's handle is stale: conservative broadcast, never losing sharers.
+  EXPECT_FALSE(format.precise(a));
+  EXPECT_EQ(targets_of(format, a).size(), 16u);
+  EXPECT_TRUE(format.maybe_sharer(a, 0));
+  // b and c still resolve exactly.
+  EXPECT_EQ(targets_of(format, b), (std::vector<NodeId>{2, 3}));
+  EXPECT_EQ(targets_of(format, c), (std::vector<NodeId>{4, 5}));
+}
+
+TEST(OverflowCache, StaleHandleDegradesOnNextOperation) {
+  OverflowCacheFormat format(16, 1, 1);  // single-slot pool
+  SharerRepr a;
+  SharerRepr b;
+  format.add_sharer(a, 0);
+  format.add_sharer(a, 1);  // a -> wide slot 0
+  format.add_sharer(b, 2);
+  format.add_sharer(b, 3);  // b evicts a from slot 0
+  format.add_sharer(a, 4);  // a detects the stale handle
+  EXPECT_GE(format.broadcast_degradations(), 1u);
+  EXPECT_EQ(targets_of(format, a).size(), 16u);
+}
+
+TEST(OverflowCache, SupersetSafetyUnderRandomChurn) {
+  OverflowCacheFormat format(32, 2, 4);  // deliberately small pool
+  Rng rng(0xabcdULL);
+  std::vector<SharerRepr> reprs(12);
+  std::vector<std::set<NodeId>> live(12);
+  for (int step = 0; step < 4000; ++step) {
+    const auto e = static_cast<std::size_t>(rng.below(12));
+    const auto node = static_cast<NodeId>(rng.below(32));
+    if (rng.chance(0.8)) {
+      format.add_sharer(reprs[e], node);
+      live[e].insert(node);
+    } else if (!live[e].empty()) {
+      format.remove_sharer(reprs[e], *live[e].begin());
+      live[e].erase(live[e].begin());
+    }
+    if (step % 50 == 0) {
+      for (std::size_t i = 0; i < reprs.size(); ++i) {
+        const auto targets = targets_of(format, reprs[i]);
+        for (NodeId n : live[i]) {
+          ASSERT_TRUE(std::binary_search(targets.begin(), targets.end(), n))
+              << "entry " << i << " lost sharer " << n;
+        }
+      }
+    }
+  }
+}
+
+TEST(OverflowCache, MakeFormatBuildsIt) {
+  auto format = make_format(SchemeConfig::overflow(32, 2, 64));
+  EXPECT_EQ(format->kind(), SchemeKind::kOverflowCache);
+  EXPECT_EQ(format->name(), "Dir2OV");
+}
+
+TEST(OverflowCache, WorksAsSystemScheme) {
+  SystemConfig config;
+  config.num_procs = 16;
+  config.cache_lines_per_proc = 128;
+  config.cache_assoc = 4;
+  config.scheme = SchemeConfig::overflow(16, 2, 32);
+  CoherenceSystem sys(config);
+  // Wide sharing then a write: OV should behave like the full vector.
+  for (int p = 0; p < 16; ++p) {
+    sys.access(static_cast<ProcId>(p), 0, false);
+  }
+  sys.access(0, 0, true);
+  EXPECT_EQ(sys.stats().extraneous_invalidations, 0u);
+  for (int p = 1; p < 16; ++p) {
+    EXPECT_EQ(sys.cache(static_cast<ProcId>(p)).probe(0),
+              LineState::kInvalid);
+  }
+}
+
+TEST(OverflowCache, EndToEndMatchesFullVectorWhenPoolIsLarge) {
+  const ProgramTrace trace = generate_app(AppKind::kLocusRoute, 16, 16, 7,
+                                          0.1);
+  auto run = [&](SchemeConfig scheme) {
+    SystemConfig config;
+    config.num_procs = 16;
+    config.cache_lines_per_proc = 256;
+    config.cache_assoc = 4;
+    config.scheme = scheme;
+    CoherenceSystem sys(config);
+    Engine engine(sys, trace);
+    return engine.run();
+  };
+  const RunResult full = run(SchemeConfig::full(16));
+  const RunResult ov = run(SchemeConfig::overflow(16, 2, 4096));
+  // With an ample pool, Dir2OV tracks sharers exactly: identical traffic.
+  EXPECT_EQ(ov.protocol.messages.total(), full.protocol.messages.total());
+  EXPECT_EQ(ov.protocol.inval_distribution.total(),
+            full.protocol.inval_distribution.total());
+}
+
+TEST(OverflowCache, TinyPoolCostsMoreThanLargePool) {
+  const ProgramTrace trace = generate_app(AppKind::kLocusRoute, 16, 16, 7,
+                                          0.1);
+  auto run = [&](int pool) {
+    SystemConfig config;
+    config.num_procs = 16;
+    config.cache_lines_per_proc = 256;
+    config.cache_assoc = 4;
+    config.scheme = SchemeConfig::overflow(16, 2, pool);
+    CoherenceSystem sys(config);
+    Engine engine(sys, trace);
+    return engine.run();
+  };
+  const RunResult large = run(4096);
+  const RunResult tiny = run(4);
+  EXPECT_GT(tiny.protocol.messages.inv_plus_ack(),
+            large.protocol.messages.inv_plus_ack());
+}
+
+// ---------------------------------------------------------------------------
+// Replacement hints
+// ---------------------------------------------------------------------------
+
+SystemConfig hint_config(bool hints) {
+  SystemConfig config;
+  config.num_procs = 4;
+  config.cache_lines_per_proc = 4;
+  config.cache_assoc = 1;  // force conflict evictions
+  config.scheme = SchemeConfig::full(4);
+  config.replacement_hints = hints;
+  return config;
+}
+
+TEST(ReplacementHints, PruneStaleSharers) {
+  CoherenceSystem sys(hint_config(true));
+  sys.access(1, 0, false);   // cluster 1 shares block 0
+  sys.access(1, 4, false);   // conflicting fill evicts block 0 -> hint
+  EXPECT_EQ(sys.stats().replacement_hints_sent, 1u);
+  // The entry lost its only sharer and was released.
+  EXPECT_EQ(sys.peek_entry(0), nullptr);
+  // A later write finds no one to invalidate.
+  sys.access(2, 0, true);
+  EXPECT_EQ(sys.stats().extraneous_invalidations, 0u);
+}
+
+TEST(ReplacementHints, OffByDefaultLeavesStaleSharers) {
+  CoherenceSystem sys(hint_config(false));
+  sys.access(1, 0, false);
+  sys.access(1, 4, false);
+  EXPECT_EQ(sys.stats().replacement_hints_sent, 0u);
+  ASSERT_NE(sys.peek_entry(0), nullptr);
+  sys.access(2, 0, true);
+  EXPECT_EQ(sys.stats().extraneous_invalidations, 1u);
+}
+
+TEST(ReplacementHints, HintCostsOneMessage) {
+  CoherenceSystem sys(hint_config(true));
+  sys.access(1, 0, false);
+  const auto before = sys.stats().messages.get(MsgClass::kRequest);
+  sys.access(1, 4, false);
+  // One request for the miss plus one hint.
+  EXPECT_EQ(sys.stats().messages.get(MsgClass::kRequest), before + 2);
+}
+
+TEST(ReplacementHints, EndToEndReducesExtraneousInvalidations) {
+  const ProgramTrace trace = generate_app(AppKind::kLocusRoute, 16, 16, 7,
+                                          0.2);
+  auto run = [&](bool hints) {
+    SystemConfig config;
+    config.num_procs = 16;
+    config.cache_lines_per_proc = 64;  // small: plenty of shared evictions
+    config.cache_assoc = 4;
+    config.scheme = SchemeConfig::full(16);
+    config.replacement_hints = hints;
+    CoherenceSystem sys(config);
+    Engine engine(sys, trace);
+    return engine.run();
+  };
+  const RunResult off = run(false);
+  const RunResult on = run(true);
+  EXPECT_LT(on.protocol.extraneous_invalidations,
+            off.protocol.extraneous_invalidations / 2);
+  EXPECT_GT(on.protocol.replacement_hints_sent, 0u);
+}
+
+TEST(ReplacementHints, CoherentUnderRandomTraffic) {
+  SystemConfig config = hint_config(true);
+  config.num_procs = 8;
+  config.scheme = SchemeConfig::full(8);
+  CoherenceSystem sys(config);
+  Rng rng(0x17ULL);
+  for (int i = 0; i < 5000; ++i) {
+    sys.access(static_cast<ProcId>(rng.below(8)),
+               static_cast<BlockAddr>(rng.below(32)), rng.chance(0.3));
+  }
+  // validate=true would have aborted on any stale read.
+  EXPECT_GT(sys.stats().replacement_hints_sent, 0u);
+}
+
+TEST(ReplacementHints, WorkWithSparseDirectories) {
+  SystemConfig config = hint_config(true);
+  config.store.sparse = true;
+  config.store.sparse_entries = 4;
+  config.store.sparse_assoc = 4;
+  CoherenceSystem sys(config);
+  Rng rng(0x23ULL);
+  for (int i = 0; i < 5000; ++i) {
+    sys.access(static_cast<ProcId>(rng.below(4)),
+               static_cast<BlockAddr>(rng.below(24)), rng.chance(0.3));
+  }
+  EXPECT_GT(sys.stats().replacement_hints_sent, 0u);
+}
+
+}  // namespace
+}  // namespace dircc

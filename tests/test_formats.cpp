@@ -1,0 +1,396 @@
+// Directory sharer-format semantics: the exact behaviour of Dir_P, Dir_iB,
+// Dir_iNB, Dir_iX and Dir_iCV_r, including the overflow transitions, plus a
+// randomized superset-safety property sweep across all schemes.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "directory/format.hpp"
+
+namespace dircc {
+namespace {
+
+std::vector<NodeId> targets_of(const SharerFormat& format,
+                               const SharerRepr& repr,
+                               NodeId exclude = kNoNode) {
+  std::vector<NodeId> out;
+  format.collect_targets(repr, exclude, out);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Full bit vector
+// ---------------------------------------------------------------------------
+
+TEST(FullBitVector, TracksExactSet) {
+  auto format = make_format(SchemeConfig::full(32));
+  SharerRepr repr;
+  EXPECT_TRUE(format->known_empty(repr));
+  format->add_sharer(repr, 3);
+  format->add_sharer(repr, 17);
+  format->add_sharer(repr, 31);
+  EXPECT_EQ(targets_of(*format, repr), (std::vector<NodeId>{3, 17, 31}));
+  EXPECT_TRUE(format->maybe_sharer(repr, 17));
+  EXPECT_FALSE(format->maybe_sharer(repr, 16));
+  EXPECT_TRUE(format->precise(repr));
+  format->remove_sharer(repr, 17);
+  EXPECT_EQ(targets_of(*format, repr), (std::vector<NodeId>{3, 31}));
+  format->remove_sharer(repr, 3);
+  format->remove_sharer(repr, 31);
+  EXPECT_TRUE(format->known_empty(repr));
+}
+
+TEST(FullBitVector, ExcludeDropsOnlyThatNode) {
+  auto format = make_format(SchemeConfig::full(8));
+  SharerRepr repr;
+  for (NodeId n : {1, 2, 5}) {
+    format->add_sharer(repr, n);
+  }
+  EXPECT_EQ(targets_of(*format, repr, 2), (std::vector<NodeId>{1, 5}));
+}
+
+TEST(FullBitVector, NameAndBits) {
+  auto format = make_format(SchemeConfig::full(32));
+  EXPECT_EQ(format->name(), "Dir32");
+  EXPECT_EQ(format->state_bits(), 32);
+}
+
+TEST(FullBitVector, AddIsIdempotent) {
+  auto format = make_format(SchemeConfig::full(16));
+  SharerRepr repr;
+  format->add_sharer(repr, 9);
+  format->add_sharer(repr, 9);
+  EXPECT_EQ(targets_of(*format, repr), (std::vector<NodeId>{9}));
+}
+
+// ---------------------------------------------------------------------------
+// Dir_iB — limited pointers with broadcast
+// ---------------------------------------------------------------------------
+
+TEST(LimitedBroadcast, PreciseUntilOverflow) {
+  auto format = make_format(SchemeConfig::broadcast(32, 3));
+  SharerRepr repr;
+  format->add_sharer(repr, 4);
+  format->add_sharer(repr, 8);
+  format->add_sharer(repr, 12);
+  EXPECT_TRUE(format->precise(repr));
+  EXPECT_EQ(targets_of(*format, repr), (std::vector<NodeId>{4, 8, 12}));
+}
+
+TEST(LimitedBroadcast, OverflowBroadcastsToAllButWriter) {
+  auto format = make_format(SchemeConfig::broadcast(32, 3));
+  SharerRepr repr;
+  for (NodeId n : {4, 8, 12, 16}) {
+    EXPECT_EQ(format->add_sharer(repr, n), kNoNode);
+  }
+  EXPECT_FALSE(format->precise(repr));
+  const auto targets = targets_of(*format, repr, 7);
+  EXPECT_EQ(targets.size(), 31u);  // everyone except the excluded writer
+  EXPECT_TRUE(format->maybe_sharer(repr, 0));
+  EXPECT_FALSE(format->known_empty(repr));
+}
+
+TEST(LimitedBroadcast, RemoveWorksOnlyWhilePrecise) {
+  auto format = make_format(SchemeConfig::broadcast(32, 3));
+  SharerRepr repr;
+  format->add_sharer(repr, 1);
+  format->add_sharer(repr, 2);
+  format->remove_sharer(repr, 1);
+  EXPECT_EQ(targets_of(*format, repr), (std::vector<NodeId>{2}));
+  format->add_sharer(repr, 3);
+  format->add_sharer(repr, 4);
+  format->add_sharer(repr, 5);  // overflow
+  format->remove_sharer(repr, 2);
+  EXPECT_EQ(targets_of(*format, repr).size(), 32u);  // still broadcast
+}
+
+TEST(LimitedBroadcast, StateBitsCountPointersPlusBroadcastBit) {
+  auto format = make_format(SchemeConfig::broadcast(32, 3));
+  EXPECT_EQ(format->state_bits(), 3 * 5 + 1);
+  EXPECT_EQ(format->name(), "Dir3B");
+}
+
+// ---------------------------------------------------------------------------
+// Dir_iNB — limited pointers, no broadcast
+// ---------------------------------------------------------------------------
+
+TEST(LimitedNoBroadcast, DisplacesWhenFull) {
+  auto format = make_format(SchemeConfig::no_broadcast(32, 3));
+  SharerRepr repr;
+  EXPECT_EQ(format->add_sharer(repr, 1), kNoNode);
+  EXPECT_EQ(format->add_sharer(repr, 2), kNoNode);
+  EXPECT_EQ(format->add_sharer(repr, 3), kNoNode);
+  const NodeId displaced = format->add_sharer(repr, 4);
+  EXPECT_NE(displaced, kNoNode);
+  EXPECT_NE(displaced, NodeId{4});
+  // The displaced node is gone, the new one is present, size stays 3.
+  const auto targets = targets_of(*format, repr);
+  EXPECT_EQ(targets.size(), 3u);
+  EXPECT_TRUE(std::count(targets.begin(), targets.end(), 4));
+  EXPECT_FALSE(std::count(targets.begin(), targets.end(), displaced));
+}
+
+TEST(LimitedNoBroadcast, NeverExceedsPointerCount) {
+  auto format = make_format(SchemeConfig::no_broadcast(16, 2));
+  SharerRepr repr;
+  for (NodeId n = 0; n < 10; ++n) {
+    format->add_sharer(repr, n);
+    EXPECT_LE(targets_of(*format, repr).size(), 2u);
+  }
+  EXPECT_TRUE(format->precise(repr));
+}
+
+TEST(LimitedNoBroadcast, RotorSpreadsDisplacements) {
+  auto format = make_format(SchemeConfig::no_broadcast(32, 3));
+  SharerRepr repr;
+  format->add_sharer(repr, 1);
+  format->add_sharer(repr, 2);
+  format->add_sharer(repr, 3);
+  const NodeId first = format->add_sharer(repr, 4);
+  const NodeId second = format->add_sharer(repr, 5);
+  EXPECT_NE(first, second);  // consecutive overflows hit different victims
+}
+
+TEST(LimitedNoBroadcast, AddExistingSharerIsNoOp) {
+  auto format = make_format(SchemeConfig::no_broadcast(32, 3));
+  SharerRepr repr;
+  format->add_sharer(repr, 1);
+  format->add_sharer(repr, 2);
+  format->add_sharer(repr, 3);
+  EXPECT_EQ(format->add_sharer(repr, 2), kNoNode);
+  EXPECT_EQ(targets_of(*format, repr), (std::vector<NodeId>{1, 2, 3}));
+}
+
+// ---------------------------------------------------------------------------
+// Dir_iX — superset / composite pointer
+// ---------------------------------------------------------------------------
+
+TEST(Superset, CompositeCoversAllInsertedNodes) {
+  auto format = make_format(SchemeConfig::superset(32));
+  SharerRepr repr;
+  const std::vector<NodeId> sharers{5, 9, 20};
+  for (NodeId n : sharers) {
+    format->add_sharer(repr, n);
+  }
+  const auto targets = targets_of(*format, repr);
+  for (NodeId n : sharers) {
+    EXPECT_TRUE(std::count(targets.begin(), targets.end(), n)) << n;
+  }
+}
+
+TEST(Superset, CompositeIsSupersetNotExact) {
+  auto format = make_format(SchemeConfig::superset(32));
+  SharerRepr repr;
+  // 0b00101 and 0b01001 and 0b10001 differ in bits 2,3,4 ->
+  // composite = 0bXXX01, which matches 8 nodes.
+  format->add_sharer(repr, 0b00101);
+  format->add_sharer(repr, 0b01001);
+  format->add_sharer(repr, 0b10001);
+  EXPECT_FALSE(format->precise(repr));
+  const auto targets = targets_of(*format, repr);
+  EXPECT_EQ(targets.size(), 8u);
+  for (NodeId n : targets) {
+    EXPECT_EQ(n & 0b11u, 0b01u) << n;  // low bits pinned
+  }
+}
+
+TEST(Superset, DegradesTowardBroadcastWithManySharers) {
+  auto format = make_format(SchemeConfig::superset(32));
+  SharerRepr repr;
+  // Nodes 0 and 31 disagree in every bit: composite becomes all-X.
+  format->add_sharer(repr, 0);
+  format->add_sharer(repr, 31);
+  format->add_sharer(repr, 1);
+  EXPECT_EQ(targets_of(*format, repr).size(), 32u);
+}
+
+TEST(Superset, TwoPointersStayPrecise) {
+  auto format = make_format(SchemeConfig::superset(32));
+  SharerRepr repr;
+  format->add_sharer(repr, 7);
+  format->add_sharer(repr, 23);
+  EXPECT_TRUE(format->precise(repr));
+  EXPECT_EQ(targets_of(*format, repr), (std::vector<NodeId>{7, 23}));
+}
+
+// ---------------------------------------------------------------------------
+// Dir_iCV_r — coarse vector
+// ---------------------------------------------------------------------------
+
+TEST(CoarseVector, PreciseUntilOverflow) {
+  auto format = make_format(SchemeConfig::coarse(32, 3, 2));
+  SharerRepr repr;
+  format->add_sharer(repr, 0);
+  format->add_sharer(repr, 10);
+  format->add_sharer(repr, 21);
+  EXPECT_TRUE(format->precise(repr));
+  EXPECT_EQ(targets_of(*format, repr), (std::vector<NodeId>{0, 10, 21}));
+}
+
+TEST(CoarseVector, OverflowSwitchesToRegions) {
+  auto format = make_format(SchemeConfig::coarse(32, 3, 2));
+  SharerRepr repr;
+  format->add_sharer(repr, 0);   // region 0 -> {0,1}
+  format->add_sharer(repr, 10);  // region 5 -> {10,11}
+  format->add_sharer(repr, 21);  // region 10 -> {20,21}
+  format->add_sharer(repr, 30);  // overflow; region 15 -> {30,31}
+  EXPECT_FALSE(format->precise(repr));
+  EXPECT_EQ(targets_of(*format, repr),
+            (std::vector<NodeId>{0, 1, 10, 11, 20, 21, 30, 31}));
+  EXPECT_TRUE(format->maybe_sharer(repr, 11));   // same region as 10
+  EXPECT_FALSE(format->maybe_sharer(repr, 12));  // untouched region
+}
+
+TEST(CoarseVector, CoarseModeAddSetsOneRegionBit) {
+  auto format = make_format(SchemeConfig::coarse(32, 1, 4));
+  SharerRepr repr;
+  format->add_sharer(repr, 0);
+  format->add_sharer(repr, 5);  // overflow with i=1
+  EXPECT_EQ(targets_of(*format, repr),
+            (std::vector<NodeId>{0, 1, 2, 3, 4, 5, 6, 7}));
+  format->add_sharer(repr, 17);
+  EXPECT_EQ(targets_of(*format, repr).size(), 12u);
+}
+
+TEST(CoarseVector, RegionAtTailIsClipped) {
+  // 10 nodes, region size 4 -> last region covers only nodes 8..9.
+  auto format = make_format(SchemeConfig::coarse(10, 1, 4));
+  SharerRepr repr;
+  format->add_sharer(repr, 0);
+  format->add_sharer(repr, 9);  // overflow
+  EXPECT_EQ(targets_of(*format, repr),
+            (std::vector<NodeId>{0, 1, 2, 3, 8, 9}));
+}
+
+TEST(CoarseVector, NeverBroadcastsUnlessAllRegionsSet) {
+  auto format = make_format(SchemeConfig::coarse(32, 3, 2));
+  SharerRepr repr;
+  for (NodeId n = 0; n < 8; ++n) {
+    format->add_sharer(repr, n);  // regions 0..3 only
+  }
+  EXPECT_EQ(targets_of(*format, repr).size(), 8u);  // not 32
+}
+
+TEST(CoarseVector, StateBitsAreMaxOfModesPlusFlag) {
+  // Dir3CV2 over 32 nodes: pointers 3*5=15, coarse 16 -> 17 bits.
+  auto format = make_format(SchemeConfig::coarse(32, 3, 2));
+  EXPECT_EQ(format->state_bits(), 17);
+  EXPECT_EQ(format->name(), "Dir3CV2");
+  // Dir8CV4 over 256 nodes: pointers 8*8=64, coarse 64 -> 65 bits.
+  auto big = make_format(SchemeConfig::coarse(256, 8, 4));
+  EXPECT_EQ(big->state_bits(), 65);
+}
+
+TEST(CoarseVector, ExcludeDropsOnlyWriter) {
+  auto format = make_format(SchemeConfig::coarse(32, 3, 2));
+  SharerRepr repr;
+  for (NodeId n : {0, 10, 21, 30}) {
+    format->add_sharer(repr, n);  // overflowed
+  }
+  const auto targets = targets_of(*format, repr, 1);  // writer in region 0
+  EXPECT_EQ(targets.size(), 7u);
+  EXPECT_FALSE(std::count(targets.begin(), targets.end(), 1));
+  EXPECT_TRUE(std::count(targets.begin(), targets.end(), 0));
+}
+
+// ---------------------------------------------------------------------------
+// Property sweep: superset safety and writer exclusion for every scheme.
+// ---------------------------------------------------------------------------
+
+struct SchemeCase {
+  const char* label;
+  SchemeConfig config;
+};
+
+class FormatProperty : public ::testing::TestWithParam<SchemeCase> {};
+
+TEST_P(FormatProperty, TargetsAlwaysCoverLiveSharers) {
+  const SchemeConfig config = GetParam().config;
+  auto format = make_format(config);
+  Rng rng(0xfeedULL);
+  for (int round = 0; round < 200; ++round) {
+    SharerRepr repr;
+    std::set<NodeId> live;
+    const int inserts = 1 + static_cast<int>(rng.below(
+                                static_cast<std::uint64_t>(config.num_nodes)));
+    for (int i = 0; i < inserts; ++i) {
+      const auto node = static_cast<NodeId>(
+          rng.below(static_cast<std::uint64_t>(config.num_nodes)));
+      const NodeId displaced = format->add_sharer(repr, node);
+      live.insert(node);
+      if (displaced != kNoNode) {
+        live.erase(displaced);  // Dir_iNB invalidated that copy
+      }
+    }
+    // Occasionally remove a live sharer (models a precise writeback).
+    if (!live.empty() && rng.chance(0.5)) {
+      const NodeId gone = *live.begin();
+      format->remove_sharer(repr, gone);
+      // Imprecise modes may keep it as a target — that is allowed; only
+      // precise modes must actually drop it, which the superset check
+      // below does not require. Either way `gone` no longer holds a copy.
+      live.erase(gone);
+    }
+    std::vector<NodeId> targets;
+    format->collect_targets(repr, kNoNode, targets);
+    const std::set<NodeId> target_set(targets.begin(), targets.end());
+    EXPECT_EQ(target_set.size(), targets.size())
+        << GetParam().label << ": duplicate targets";
+    for (NodeId n : live) {
+      EXPECT_TRUE(target_set.count(n))
+          << GetParam().label << ": live sharer " << n << " not covered";
+      EXPECT_TRUE(format->maybe_sharer(repr, n)) << GetParam().label;
+    }
+    // Writer exclusion.
+    if (!live.empty()) {
+      const NodeId writer = *live.rbegin();
+      std::vector<NodeId> excl;
+      format->collect_targets(repr, writer, excl);
+      EXPECT_FALSE(std::count(excl.begin(), excl.end(), writer))
+          << GetParam().label;
+    }
+    // known_empty must never be claimed while a copy is live.
+    if (!live.empty()) {
+      EXPECT_FALSE(format->known_empty(repr)) << GetParam().label;
+    }
+  }
+}
+
+TEST_P(FormatProperty, TargetsNeverExceedNodeCount) {
+  const SchemeConfig config = GetParam().config;
+  auto format = make_format(config);
+  SharerRepr repr;
+  for (int n = 0; n < config.num_nodes; ++n) {
+    format->add_sharer(repr, static_cast<NodeId>(n));
+  }
+  std::vector<NodeId> targets;
+  format->collect_targets(repr, kNoNode, targets);
+  EXPECT_LE(targets.size(), static_cast<std::size_t>(config.num_nodes));
+  for (NodeId t : targets) {
+    EXPECT_LT(t, config.num_nodes);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSchemes, FormatProperty,
+    ::testing::Values(
+        SchemeCase{"Dir32", SchemeConfig::full(32)},
+        SchemeCase{"Dir64", SchemeConfig::full(64)},
+        SchemeCase{"Dir3B", SchemeConfig::broadcast(32, 3)},
+        SchemeCase{"Dir1B", SchemeConfig::broadcast(16, 1)},
+        SchemeCase{"Dir3NB", SchemeConfig::no_broadcast(32, 3)},
+        SchemeCase{"Dir2X", SchemeConfig::superset(32)},
+        SchemeCase{"Dir3CV2", SchemeConfig::coarse(32, 3, 2)},
+        SchemeCase{"Dir3CV4_64", SchemeConfig::coarse(64, 3, 4)},
+        SchemeCase{"Dir8CV4_256", SchemeConfig::coarse(256, 8, 4)},
+        SchemeCase{"Dir1CV7_29", SchemeConfig::coarse(29, 1, 7)}),
+    [](const ::testing::TestParamInfo<SchemeCase>& info) {
+      return std::string(info.param.label);
+    });
+
+}  // namespace
+}  // namespace dircc

@@ -1,0 +1,306 @@
+// Cross-module property tests: randomized traffic and real application
+// traces driven through the full protocol stack, checking the global
+// coherence invariants of DESIGN.md under every scheme and store flavour.
+//
+// Note the value-coherence invariant (reads always observe the latest
+// version) is *always* on: SystemConfig::validate defaults to true and any
+// violation aborts the process, so every run below doubles as a coherence
+// check of millions of accesses.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "protocol/system.hpp"
+#include "sim/engine.hpp"
+#include "trace/generators.hpp"
+
+namespace dircc {
+namespace {
+
+struct StackCase {
+  const char* label;
+  SchemeConfig scheme;
+  bool sparse;
+  ReplPolicy policy;
+};
+
+class ProtocolStack : public ::testing::TestWithParam<StackCase> {};
+
+SystemConfig stack_config(const StackCase& c) {
+  SystemConfig config;
+  config.num_procs = c.scheme.num_nodes;
+  config.procs_per_cluster = 1;
+  config.cache_lines_per_proc = 32;
+  config.cache_assoc = 4;
+  config.scheme = c.scheme;
+  if (c.sparse) {
+    config.store.sparse = true;
+    // Deliberately tight: half the per-cluster cache lines, to force
+    // replacements constantly.
+    config.store.sparse_entries = 16;
+    config.store.sparse_assoc = 4;
+    config.store.policy = c.policy;
+  }
+  return config;
+}
+
+/// Checks the global invariants for one block.
+void check_block_invariants(const CoherenceSystem& sys, BlockAddr block,
+                            const char* label) {
+  const SystemConfig& config = sys.config();
+  std::vector<NodeId> clusters_with_copy;
+  int modified_lines = 0;
+  int valid_lines = 0;
+  NodeId modified_cluster = kNoNode;
+  for (int p = 0; p < config.num_procs; ++p) {
+    const LineState st = sys.cache(static_cast<ProcId>(p)).probe(block);
+    if (st == LineState::kInvalid) {
+      continue;
+    }
+    ++valid_lines;
+    const NodeId cluster = sys.cluster_of(static_cast<ProcId>(p));
+    clusters_with_copy.push_back(cluster);
+    if (st == LineState::kModified) {
+      ++modified_lines;
+      modified_cluster = cluster;
+    }
+  }
+  // Single-writer: a Modified line is the only valid copy machine-wide.
+  if (modified_lines > 0) {
+    ASSERT_EQ(modified_lines, 1) << label << " block " << block;
+    ASSERT_EQ(valid_lines, 1) << label << " block " << block;
+  }
+  const DirEntry* entry = sys.peek_entry(block);
+  if (valid_lines == 0) {
+    return;  // entry may be live-but-stale; that is allowed
+  }
+  // Sparse residency: any cached block has a live directory entry.
+  ASSERT_NE(entry, nullptr) << label << " block " << block;
+  if (modified_lines == 1) {
+    ASSERT_EQ(entry->state, DirState::kDirty) << label << " block " << block;
+    ASSERT_EQ(entry->owner, modified_cluster) << label << " block " << block;
+    return;
+  }
+  // Superset safety: every cluster holding a copy is a possible sharer.
+  ASSERT_EQ(entry->state, DirState::kShared) << label << " block " << block;
+  for (NodeId cluster : clusters_with_copy) {
+    ASSERT_TRUE(sys.format().maybe_sharer(entry->sharers, cluster))
+        << label << " block " << block << " cluster " << cluster;
+  }
+}
+
+TEST_P(ProtocolStack, RandomTrafficKeepsInvariants) {
+  const StackCase& c = GetParam();
+  SystemConfig config = stack_config(c);
+  CoherenceSystem sys(config);
+  Rng rng(0x5eedULL);
+  constexpr int kBlocks = 24;
+  constexpr int kAccesses = 6000;
+  for (int i = 0; i < kAccesses; ++i) {
+    const auto proc = static_cast<ProcId>(
+        rng.below(static_cast<std::uint64_t>(config.num_procs)));
+    const auto block = static_cast<BlockAddr>(rng.below(kBlocks));
+    const bool is_write = rng.chance(0.3);
+    sys.access(proc, block, is_write);
+    if (i % 100 == 99) {
+      for (BlockAddr b = 0; b < kBlocks; ++b) {
+        check_block_invariants(sys, b, c.label);
+      }
+    }
+  }
+  // Message conservation: every network invalidation produces an ack (acks
+  // can exceed invalidations because home-cluster targets are invalidated
+  // over the bus yet still ack the requester across the network).
+  const auto& msgs = sys.stats().messages;
+  EXPECT_LE(msgs.get(MsgClass::kInvalidation), msgs.get(MsgClass::kAck));
+  EXPECT_GT(sys.stats().accesses, 0u);
+}
+
+TEST_P(ProtocolStack, HotBlockWriteStormStaysCoherent) {
+  const StackCase& c = GetParam();
+  SystemConfig config = stack_config(c);
+  CoherenceSystem sys(config);
+  // Everyone reads, then one writes, repeatedly: the classic wide-sharing
+  // invalidation pattern. Version validation (always on) plus the final
+  // invariant check prove nobody kept a stale copy.
+  for (int round = 0; round < 40; ++round) {
+    for (int p = 0; p < config.num_procs; ++p) {
+      sys.access(static_cast<ProcId>(p), 0, false);
+    }
+    const auto writer =
+        static_cast<ProcId>(round % config.num_procs);
+    sys.access(writer, 0, true);
+    for (int p = 0; p < config.num_procs; ++p) {
+      if (p != writer) {
+        EXPECT_EQ(sys.cache(static_cast<ProcId>(p)).probe(0),
+                  LineState::kInvalid)
+            << c.label;
+      }
+    }
+    check_block_invariants(sys, 0, c.label);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SchemesAndStores, ProtocolStack,
+    ::testing::Values(
+        StackCase{"Full32", SchemeConfig::full(32), false, ReplPolicy::kLru},
+        StackCase{"Full32SparseLRU", SchemeConfig::full(32), true,
+                  ReplPolicy::kLru},
+        StackCase{"Full32SparseRand", SchemeConfig::full(32), true,
+                  ReplPolicy::kRandom},
+        StackCase{"Full32SparseLRA", SchemeConfig::full(32), true,
+                  ReplPolicy::kLra},
+        StackCase{"B3", SchemeConfig::broadcast(32, 3), false,
+                  ReplPolicy::kLru},
+        StackCase{"B3Sparse", SchemeConfig::broadcast(32, 3), true,
+                  ReplPolicy::kRandom},
+        StackCase{"NB3", SchemeConfig::no_broadcast(32, 3), false,
+                  ReplPolicy::kLru},
+        StackCase{"NB3Sparse", SchemeConfig::no_broadcast(32, 3), true,
+                  ReplPolicy::kRandom},
+        StackCase{"X3", SchemeConfig::superset(32, 3), false,
+                  ReplPolicy::kLru},
+        StackCase{"CV32", SchemeConfig::coarse(32, 3, 2), false,
+                  ReplPolicy::kLru},
+        StackCase{"CV32Sparse", SchemeConfig::coarse(32, 3, 2), true,
+                  ReplPolicy::kRandom},
+        StackCase{"CV16r4", SchemeConfig::coarse(16, 2, 4), false,
+                  ReplPolicy::kLru},
+        StackCase{"OV32", SchemeConfig::overflow(32, 2, 8), false,
+                  ReplPolicy::kLru},
+        StackCase{"OV32Sparse", SchemeConfig::overflow(32, 2, 8), true,
+                  ReplPolicy::kRandom}),
+    [](const ::testing::TestParamInfo<StackCase>& info) {
+      return std::string(info.param.label);
+    });
+
+// ---------------------------------------------------------------------------
+// End-to-end application runs (value validation on throughout)
+// ---------------------------------------------------------------------------
+
+RunResult run_app(AppKind app, SchemeConfig scheme, double scale = 0.1) {
+  SystemConfig config;
+  config.num_procs = 16;
+  config.procs_per_cluster = 1;
+  config.cache_lines_per_proc = 256;
+  config.cache_assoc = 4;
+  config.scheme = scheme;
+  CoherenceSystem sys(config);
+  const ProgramTrace trace = generate_app(app, 16, 16, 11, scale);
+  Engine engine(sys, trace);
+  return engine.run();
+}
+
+TEST(EndToEnd, LuNoBroadcastChurnsWhereOthersDoNot) {
+  const RunResult full = run_app(AppKind::kLu, SchemeConfig::full(16));
+  const RunResult nb =
+      run_app(AppKind::kLu, SchemeConfig::no_broadcast(16, 3));
+  const RunResult cv = run_app(AppKind::kLu, SchemeConfig::coarse(16, 3, 2));
+  // Dir_iNB's pointer displacement on the widely-read pivot column floods
+  // the machine with invalidations and extra re-read traffic (Fig. 7).
+  EXPECT_GT(nb.protocol.messages.inv_plus_ack(),
+            4 * full.protocol.messages.inv_plus_ack());
+  EXPECT_GT(nb.protocol.messages.total(),
+            full.protocol.messages.total() * 3 / 2);
+  // The coarse vector stays close to the full vector.
+  EXPECT_LT(cv.protocol.messages.total(),
+            full.protocol.messages.total() * 6 / 5);
+  EXPECT_LE(full.exec_cycles, nb.exec_cycles);
+}
+
+TEST(EndToEnd, Mp3dIsInsensitiveToTheScheme) {
+  const RunResult full = run_app(AppKind::kMp3d, SchemeConfig::full(16));
+  const RunResult b = run_app(AppKind::kMp3d, SchemeConfig::broadcast(16, 3));
+  const RunResult nb =
+      run_app(AppKind::kMp3d, SchemeConfig::no_broadcast(16, 3));
+  // Migratory 1-2 sharer data: every scheme handles it (Fig. 9).
+  EXPECT_NEAR(static_cast<double>(b.protocol.messages.total()),
+              static_cast<double>(full.protocol.messages.total()),
+              0.05 * static_cast<double>(full.protocol.messages.total()));
+  EXPECT_NEAR(static_cast<double>(nb.exec_cycles),
+              static_cast<double>(full.exec_cycles),
+              0.05 * static_cast<double>(full.exec_cycles));
+}
+
+TEST(EndToEnd, LocusRouteBroadcastPaysForMidSizeSharing) {
+  const RunResult full =
+      run_app(AppKind::kLocusRoute, SchemeConfig::full(16), 0.2);
+  const RunResult b =
+      run_app(AppKind::kLocusRoute, SchemeConfig::broadcast(16, 3), 0.2);
+  const RunResult cv =
+      run_app(AppKind::kLocusRoute, SchemeConfig::coarse(16, 3, 2), 0.2);
+  // Writes to ~4-8-sharer grid blocks overflow three pointers and force
+  // broadcasts; the coarse vector sends far fewer invalidations (Fig. 10).
+  EXPECT_GT(b.protocol.messages.inv_plus_ack(),
+            cv.protocol.messages.inv_plus_ack());
+  EXPECT_GE(b.protocol.inval_distribution.mean(),
+            cv.protocol.inval_distribution.mean());
+  EXPECT_GE(cv.protocol.inval_distribution.mean(),
+            full.protocol.inval_distribution.mean() - 1e-9);
+}
+
+TEST(EndToEnd, CoarseVectorNeverWorseThanBroadcastAcrossApps) {
+  for (AppKind app : {AppKind::kLu, AppKind::kDwf, AppKind::kMp3d,
+                      AppKind::kLocusRoute}) {
+    const RunResult b = run_app(app, SchemeConfig::broadcast(16, 3));
+    const RunResult cv = run_app(app, SchemeConfig::coarse(16, 3, 2));
+    EXPECT_LE(cv.protocol.messages.inv_plus_ack(),
+              b.protocol.messages.inv_plus_ack() + 5)
+        << app_name(app);
+  }
+}
+
+TEST(EndToEnd, SparseDirectoryAddsBoundedTraffic) {
+  // Section 6.3 / abstract: sparse directories add modest traffic. With a
+  // sparse directory as large as the caches (size factor 1) the added
+  // traffic stays within a few tens of percent on MP3D.
+  SystemConfig config;
+  config.num_procs = 16;
+  config.procs_per_cluster = 1;
+  config.cache_lines_per_proc = 64;
+  config.cache_assoc = 4;
+  config.scheme = SchemeConfig::full(16);
+
+  CoherenceSystem dense_sys(config);
+  const ProgramTrace trace = generate_app(AppKind::kMp3d, 16, 16, 11, 0.1);
+  Engine dense_engine(dense_sys, trace);
+  const RunResult dense = dense_engine.run();
+
+  config.store.sparse = true;
+  config.store.sparse_entries =
+      config.cache_lines_per_proc;  // size factor 1 (16 homes x 64)
+  config.store.sparse_assoc = 4;
+  config.store.policy = ReplPolicy::kRandom;
+  CoherenceSystem sparse_sys(config);
+  Engine sparse_engine(sparse_sys, trace);
+  const RunResult sparse = sparse_engine.run();
+
+  EXPECT_GT(sparse_sys.stats().sparse_replacements, 0u);
+  EXPECT_LT(static_cast<double>(sparse.protocol.messages.total()),
+            1.35 * static_cast<double>(dense.protocol.messages.total()));
+  EXPECT_LT(static_cast<double>(sparse.exec_cycles),
+            1.25 * static_cast<double>(dense.exec_cycles));
+}
+
+TEST(EndToEnd, ClusteredDashPrototypeRunsCoherently) {
+  // 16 processors as 4 clusters of 4 (DASH prototype shape), full vector.
+  SystemConfig config;
+  config.num_procs = 16;
+  config.procs_per_cluster = 4;
+  config.cache_lines_per_proc = 256;
+  config.cache_assoc = 4;
+  config.scheme = SchemeConfig::full(4);
+  CoherenceSystem sys(config);
+  const ProgramTrace trace = generate_app(AppKind::kMp3d, 16, 16, 11, 0.1);
+  Engine engine(sys, trace);
+  const RunResult result = engine.run();
+  EXPECT_GT(result.protocol.accesses, 10000u);
+  // Intra-cluster sharing must have produced message-free transactions.
+  EXPECT_GT(result.protocol.local_transactions, 0u);
+}
+
+}  // namespace
+}  // namespace dircc

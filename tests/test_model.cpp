@@ -1,0 +1,205 @@
+// Analytic models: the Figure 2 Monte-Carlo invalidation model and the
+// Table 1 storage model.
+#include <gtest/gtest.h>
+
+#include "model/invalidation_model.hpp"
+#include "model/storage_model.hpp"
+
+namespace dircc {
+namespace {
+
+TEST(InvalidationModel, FullVectorIsExactlyTheSharerCount) {
+  InvalidationModel model;
+  model.trials = 500;
+  for (int s : {0, 1, 5, 17, 31}) {
+    EXPECT_DOUBLE_EQ(model.mean_invalidations(SchemeConfig::full(32), s),
+                     static_cast<double>(s));
+  }
+}
+
+TEST(InvalidationModel, BroadcastMatchesClosedForm) {
+  InvalidationModel model;
+  model.trials = 500;
+  const auto scheme = SchemeConfig::broadcast(32, 3);
+  // Within pointer capacity: exact.
+  EXPECT_DOUBLE_EQ(model.mean_invalidations(scheme, 2), 2.0);
+  EXPECT_DOUBLE_EQ(model.mean_invalidations(scheme, 3), 3.0);
+  // Beyond: broadcast to everyone but the writer.
+  EXPECT_DOUBLE_EQ(model.mean_invalidations(scheme, 4), 31.0);
+  EXPECT_DOUBLE_EQ(model.mean_invalidations(scheme, 20), 31.0);
+}
+
+TEST(InvalidationModel, CoarseVectorBetweenFullAndBroadcast) {
+  InvalidationModel model;
+  model.trials = 2000;
+  const auto full = SchemeConfig::full(32);
+  const auto cv = SchemeConfig::coarse(32, 3, 2);
+  const auto b = SchemeConfig::broadcast(32, 3);
+  for (int s : {4, 8, 12, 16, 24}) {
+    const double mean_full = model.mean_invalidations(full, s);
+    const double mean_cv = model.mean_invalidations(cv, s);
+    const double mean_b = model.mean_invalidations(b, s);
+    EXPECT_GE(mean_cv, mean_full) << "s=" << s;
+    EXPECT_LE(mean_cv, mean_b) << "s=" << s;
+  }
+}
+
+TEST(InvalidationModel, CoarseVectorBoundedByRegionArithmetic) {
+  InvalidationModel model;
+  model.trials = 2000;
+  const auto cv = SchemeConfig::coarse(32, 3, 2);
+  // s sharers set at most s region bits -> at most 2s targets (minus the
+  // writer if it lands in a covered region, but never more than 2s).
+  for (int s : {4, 6, 10}) {
+    EXPECT_LE(model.mean_invalidations(cv, s), 2.0 * s + 1e-9);
+  }
+}
+
+TEST(InvalidationModel, SupersetIsAlmostBroadcast) {
+  // Section 4.1: "the superset scheme is only marginally better than the
+  // broadcast scheme".
+  InvalidationModel model;
+  model.trials = 2000;
+  const auto x = SchemeConfig::superset(32, 3);
+  const auto b = SchemeConfig::broadcast(32, 3);
+  const auto cv = SchemeConfig::coarse(32, 3, 2);
+  for (int s : {8, 16}) {
+    const double mean_x = model.mean_invalidations(x, s);
+    EXPECT_LE(mean_x, model.mean_invalidations(b, s) + 1e-9);
+    EXPECT_GT(mean_x, model.mean_invalidations(cv, s)) << "s=" << s;
+    EXPECT_GT(mean_x, 20.0) << "s=" << s;  // close to broadcast already
+  }
+}
+
+TEST(InvalidationModel, NoBroadcastNeverExceedsPointerCount) {
+  InvalidationModel model;
+  model.trials = 500;
+  const auto nb = SchemeConfig::no_broadcast(32, 3);
+  for (int s : {1, 3, 10, 25}) {
+    EXPECT_LE(model.mean_invalidations(nb, s), 3.0 + 1e-9);
+  }
+}
+
+TEST(InvalidationModel, DeterministicForFixedSeed) {
+  InvalidationModel model;
+  model.trials = 300;
+  const auto cv = SchemeConfig::coarse(32, 3, 2);
+  EXPECT_DOUBLE_EQ(model.mean_invalidations(cv, 9),
+                   model.mean_invalidations(cv, 9));
+}
+
+// ---------------------------------------------------------------------------
+// Closed forms vs the Monte Carlo
+// ---------------------------------------------------------------------------
+
+TEST(ClosedForms, MatchTrivialSchemes) {
+  EXPECT_DOUBLE_EQ(expected_invalidations_full(13), 13.0);
+  EXPECT_DOUBLE_EQ(expected_invalidations_broadcast(32, 3, 3), 3.0);
+  EXPECT_DOUBLE_EQ(expected_invalidations_broadcast(32, 3, 4), 31.0);
+  EXPECT_DOUBLE_EQ(expected_invalidations_no_broadcast(3, 2), 2.0);
+  EXPECT_DOUBLE_EQ(expected_invalidations_no_broadcast(3, 20), 3.0);
+}
+
+TEST(ClosedForms, CoarseVectorEdgeValues) {
+  // One sharer under the pointer budget: exact.
+  EXPECT_DOUBLE_EQ(expected_invalidations_coarse(32, 3, 2, 2), 2.0);
+  // Every node but the writer shares: the whole machine minus the writer.
+  EXPECT_NEAR(expected_invalidations_coarse(32, 3, 2, 31), 31.0, 1e-9);
+}
+
+TEST(ClosedForms, CoarseVectorMatchesMonteCarlo) {
+  InvalidationModel model;
+  model.trials = 40000;
+  const auto cv = SchemeConfig::coarse(32, 3, 2);
+  for (int s : {4, 7, 12, 20, 28}) {
+    const double mc = model.mean_invalidations(cv, s);
+    const double exact = expected_invalidations_coarse(32, 3, 2, s);
+    EXPECT_NEAR(mc, exact, 0.05 * exact + 0.05) << "s=" << s;
+  }
+}
+
+TEST(ClosedForms, CoarseVectorMatchesMonteCarloWideRegions) {
+  InvalidationModel model;
+  model.trials = 40000;
+  const auto cv = SchemeConfig::coarse(64, 3, 4);
+  for (int s : {4, 10, 30}) {
+    const double mc = model.mean_invalidations(cv, s);
+    const double exact = expected_invalidations_coarse(64, 3, 4, s);
+    EXPECT_NEAR(mc, exact, 0.05 * exact + 0.05) << "s=" << s;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Storage model — Table 1 and the Section 5 arithmetic
+// ---------------------------------------------------------------------------
+
+MachineModel dash_machine(int procs, SchemeConfig scheme, int sparsity) {
+  MachineModel m;
+  m.processors = procs;
+  m.procs_per_cluster = 4;
+  m.scheme = scheme;
+  m.sparsity = sparsity;
+  return m;
+}
+
+TEST(StorageModel, Table1Row1DashPrototype) {
+  const MachineModel m = dash_machine(64, SchemeConfig::full(16), 1);
+  EXPECT_EQ(m.clusters(), 16);
+  EXPECT_EQ(m.bits_per_entry(), 17);  // 16-bit vector + dirty
+  EXPECT_NEAR(m.overhead_fraction(), 0.133, 0.001);
+}
+
+TEST(StorageModel, Table1Row2SparseFullVector) {
+  const MachineModel m = dash_machine(256, SchemeConfig::full(64), 4);
+  EXPECT_EQ(m.bits_per_entry(), 64 + 1 + 2);
+  EXPECT_NEAR(m.overhead_fraction(), 0.131, 0.001);
+}
+
+TEST(StorageModel, Table1Row3SparseCoarseVector) {
+  const MachineModel m =
+      dash_machine(1024, SchemeConfig::coarse(256, 8, 4), 4);
+  EXPECT_EQ(m.bits_per_entry(), 65 + 1 + 2);
+  EXPECT_NEAR(m.overhead_fraction(), 0.133, 0.001);
+}
+
+TEST(StorageModel, Section5SavingsFactorIs54) {
+  // "a full bit vector directory with sparsity 64 requires 32 bits ...,
+  // 1 dirty bit, and 6 bits of tag. Instead of 33 bits per 16-byte block
+  // we now have 39 bits for every 64 blocks, a savings factor of 54."
+  const MachineModel m = dash_machine(128, SchemeConfig::full(32), 64);
+  EXPECT_EQ(m.tag_bits(), 6);
+  EXPECT_EQ(m.bits_per_entry(), 39);
+  EXPECT_NEAR(m.savings_vs_full_bit_vector(), 54.15, 0.1);
+}
+
+TEST(StorageModel, OverheadScalesWithSchemeBits) {
+  const MachineModel full = dash_machine(1024, SchemeConfig::full(256), 1);
+  const MachineModel cv =
+      dash_machine(1024, SchemeConfig::coarse(256, 8, 4), 1);
+  EXPECT_GT(full.overhead_fraction(), cv.overhead_fraction() * 3);
+}
+
+TEST(StorageModel, SparsitySavesOneToTwoOrdersOfMagnitude) {
+  // The headline claim: sparse directories cut directory memory by 1-2
+  // orders of magnitude depending on sparsity.
+  const MachineModel s16 = dash_machine(256, SchemeConfig::full(64), 16);
+  const MachineModel s64 = dash_machine(256, SchemeConfig::full(64), 64);
+  EXPECT_GT(s16.savings_vs_full_bit_vector(), 10.0);
+  EXPECT_GT(s64.savings_vs_full_bit_vector(), 50.0);
+}
+
+TEST(StorageModel, DescribeScheme) {
+  EXPECT_EQ(dash_machine(64, SchemeConfig::full(16), 1).describe_scheme(),
+            "Dir16");
+  EXPECT_EQ(
+      dash_machine(1024, SchemeConfig::coarse(256, 8, 4), 4).describe_scheme(),
+      "sparse(4) Dir8CV4");
+}
+
+TEST(StorageModel, EntryCountsFollowSparsity) {
+  const MachineModel m = dash_machine(64, SchemeConfig::full(16), 4);
+  EXPECT_EQ(m.directory_entries(), m.total_mem_blocks() / 4);
+}
+
+}  // namespace
+}  // namespace dircc

@@ -1,0 +1,91 @@
+// Mesh topology, message accounting and the latency model.
+#include <gtest/gtest.h>
+
+#include "network/latency.hpp"
+#include "network/mesh.hpp"
+#include "network/message.hpp"
+
+namespace dircc {
+namespace {
+
+TEST(Mesh, FactorsMostSquare) {
+  MeshTopology m16(16);
+  EXPECT_EQ(m16.width() * m16.height(), 16);
+  EXPECT_EQ(m16.width(), 4);
+  EXPECT_EQ(m16.height(), 4);
+
+  MeshTopology m32(32);
+  EXPECT_EQ(m32.width() * m32.height(), 32);
+  EXPECT_EQ(m32.width(), 8);
+  EXPECT_EQ(m32.height(), 4);
+}
+
+TEST(Mesh, HopsAreManhattan) {
+  MeshTopology mesh(4, 4);
+  EXPECT_EQ(mesh.hops(0, 0), 0);
+  EXPECT_EQ(mesh.hops(0, 3), 3);   // same row
+  EXPECT_EQ(mesh.hops(0, 12), 3);  // same column
+  EXPECT_EQ(mesh.hops(0, 15), 6);  // opposite corner = diameter
+  EXPECT_EQ(mesh.hops(5, 10), 2);
+  EXPECT_EQ(mesh.diameter(), 6);
+}
+
+TEST(Mesh, HopsAreSymmetric) {
+  MeshTopology mesh(8, 4);
+  for (NodeId a = 0; a < 32; a += 5) {
+    for (NodeId b = 0; b < 32; b += 7) {
+      EXPECT_EQ(mesh.hops(a, b), mesh.hops(b, a));
+    }
+  }
+}
+
+TEST(Mesh, SingleNodeDegenerate) {
+  MeshTopology mesh(1);
+  EXPECT_EQ(mesh.hops(0, 0), 0);
+  EXPECT_EQ(mesh.diameter(), 0);
+}
+
+TEST(MessageCounters, AddsAndTotals) {
+  MessageCounters counters;
+  counters.add(MsgClass::kRequest, 3);
+  counters.add(MsgClass::kReply, 2);
+  counters.add(MsgClass::kInvalidation);
+  counters.add(MsgClass::kAck);
+  counters.add(MsgClass::kWriteback, 5);
+  EXPECT_EQ(counters.total(), 12u);
+  EXPECT_EQ(counters.requests_with_writebacks(), 8u);
+  EXPECT_EQ(counters.inv_plus_ack(), 2u);
+}
+
+TEST(MessageCounters, MergeCombines) {
+  MessageCounters a;
+  MessageCounters b;
+  a.add(MsgClass::kRequest);
+  b.add(MsgClass::kRequest, 2);
+  b.add(MsgClass::kAck);
+  a.merge(b);
+  EXPECT_EQ(a.get(MsgClass::kRequest), 3u);
+  EXPECT_EQ(a.get(MsgClass::kAck), 1u);
+}
+
+TEST(MsgClassName, Covers) {
+  EXPECT_STREQ(msg_class_name(MsgClass::kRequest), "request");
+  EXPECT_STREQ(msg_class_name(MsgClass::kWriteback), "writeback");
+}
+
+TEST(LatencyModel, PaperCalibratedDefaults) {
+  LatencyModel lat;
+  EXPECT_EQ(lat.transaction(1, 0), 23u);
+  EXPECT_EQ(lat.transaction(2, 4), 60u);
+  EXPECT_EQ(lat.transaction(3, 6), 80u);
+}
+
+TEST(LatencyModel, PerHopTermScalesWithDistance) {
+  LatencyModel lat;
+  lat.per_hop = 2;
+  EXPECT_EQ(lat.transaction(2, 4), 60u + 8u);
+  EXPECT_EQ(lat.transaction(3, 10), 80u + 20u);
+}
+
+}  // namespace
+}  // namespace dircc

@@ -1,0 +1,398 @@
+// CoherenceSystem: directed protocol-transaction scenarios.
+//
+// Conventions used throughout: 4 clusters x 1 processor, full bit vector
+// unless stated. Block addresses are chosen so home_of(b) == b % 4; block 0
+// is homed at cluster 0, block 1 at cluster 1, etc.
+#include <gtest/gtest.h>
+
+#include "protocol/system.hpp"
+
+namespace dircc {
+namespace {
+
+SystemConfig small_config(SchemeConfig scheme, int procs = 4) {
+  SystemConfig config;
+  config.num_procs = procs;
+  config.procs_per_cluster = 1;
+  config.cache_lines_per_proc = 64;
+  config.cache_assoc = 4;
+  config.scheme = scheme;
+  return config;
+}
+
+TEST(Protocol, ReadMissCleanRemoteIsTwoClusterTransaction) {
+  CoherenceSystem sys(small_config(SchemeConfig::full(4)));
+  // Proc 1 reads block 0 (home = cluster 0).
+  const Cycle lat = sys.access(1, 0, false);
+  EXPECT_EQ(lat, sys.config().latency.remote_2cluster);
+  EXPECT_EQ(sys.stats().messages.get(MsgClass::kRequest), 1u);
+  EXPECT_EQ(sys.stats().messages.get(MsgClass::kReply), 1u);
+  EXPECT_EQ(sys.stats().messages.total(), 2u);
+  const DirEntry* entry = sys.peek_entry(0);
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->state, DirState::kShared);
+  EXPECT_TRUE(sys.format().maybe_sharer(entry->sharers, 1));
+}
+
+TEST(Protocol, ReadMissAtHomeIsLocalAndFree) {
+  CoherenceSystem sys(small_config(SchemeConfig::full(4)));
+  const Cycle lat = sys.access(0, 0, false);  // home cluster reads its block
+  EXPECT_EQ(lat, sys.config().latency.local_access);
+  EXPECT_EQ(sys.stats().messages.total(), 0u);
+}
+
+TEST(Protocol, ReadHitIsOneCycle) {
+  CoherenceSystem sys(small_config(SchemeConfig::full(4)));
+  sys.access(1, 0, false);
+  const Cycle lat = sys.access(1, 0, false);
+  EXPECT_EQ(lat, sys.config().latency.cache_hit);
+  EXPECT_EQ(sys.stats().cache_hits, 1u);
+}
+
+TEST(Protocol, ReadOfDirtyBlockForwardsToOwner) {
+  CoherenceSystem sys(small_config(SchemeConfig::full(4)));
+  sys.access(2, 0, true);  // proc 2 owns block 0 dirty
+  const auto base = sys.stats().messages;
+  const Cycle lat = sys.access(1, 0, false);  // three distinct clusters
+  EXPECT_EQ(lat, sys.config().latency.remote_3cluster);
+  const auto& msgs = sys.stats().messages;
+  // Request (1->0), forwarded request (0->2), reply (2->1),
+  // sharing writeback (2->0).
+  EXPECT_EQ(msgs.get(MsgClass::kRequest) - base.get(MsgClass::kRequest), 2u);
+  EXPECT_EQ(msgs.get(MsgClass::kReply) - base.get(MsgClass::kReply), 1u);
+  EXPECT_EQ(msgs.get(MsgClass::kWriteback) - base.get(MsgClass::kWriteback),
+            1u);
+  EXPECT_EQ(sys.stats().sharing_writebacks, 1u);
+  // Both clusters now share; the entry is clean.
+  const DirEntry* entry = sys.peek_entry(0);
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->state, DirState::kShared);
+  EXPECT_TRUE(sys.format().maybe_sharer(entry->sharers, 1));
+  EXPECT_TRUE(sys.format().maybe_sharer(entry->sharers, 2));
+  EXPECT_EQ(sys.cache(2).probe(0), LineState::kShared);
+}
+
+TEST(Protocol, WriteToSharedInvalidatesEverySharer) {
+  CoherenceSystem sys(small_config(SchemeConfig::full(4)));
+  sys.access(1, 0, false);
+  sys.access(2, 0, false);
+  sys.access(3, 0, false);
+  const auto base = sys.stats().messages;
+  const Cycle lat = sys.access(1, 0, true);  // upgrade by proc 1
+  // Sharers {1,2,3}; targets exclude the writer -> invalidate 2 and 3.
+  const auto& msgs = sys.stats().messages;
+  EXPECT_EQ(msgs.get(MsgClass::kInvalidation) -
+                base.get(MsgClass::kInvalidation),
+            2u);
+  EXPECT_EQ(msgs.get(MsgClass::kAck) - base.get(MsgClass::kAck), 2u);
+  EXPECT_EQ(lat, sys.config().latency.remote_2cluster +
+                     sys.config().latency.invalidation_round +
+                     2 * sys.config().latency.per_invalidation);
+  EXPECT_EQ(sys.cache(2).probe(0), LineState::kInvalid);
+  EXPECT_EQ(sys.cache(3).probe(0), LineState::kInvalid);
+  EXPECT_EQ(sys.cache(1).probe(0), LineState::kModified);
+  const DirEntry* entry = sys.peek_entry(0);
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->state, DirState::kDirty);
+  EXPECT_EQ(entry->owner, 1);
+  // The invalidation event was recorded with 2 network invalidations.
+  EXPECT_EQ(sys.stats().inval_distribution.count_at(2), 1u);
+}
+
+TEST(Protocol, WriteToUncachedRecordsZeroInvalidationEvent) {
+  CoherenceSystem sys(small_config(SchemeConfig::full(4)));
+  sys.access(1, 0, true);
+  EXPECT_EQ(sys.stats().inval_distribution.events(), 1u);
+  EXPECT_EQ(sys.stats().inval_distribution.count_at(0), 1u);
+}
+
+TEST(Protocol, MigratoryWriteTransfersOwnershipWithoutInvalEvent) {
+  CoherenceSystem sys(small_config(SchemeConfig::full(4)));
+  sys.access(1, 0, true);
+  const auto events_before = sys.stats().inval_distribution.events();
+  const Cycle lat = sys.access(2, 0, true);  // dirty at 1, home 0: 3 clusters
+  EXPECT_EQ(lat, sys.config().latency.remote_3cluster);
+  EXPECT_EQ(sys.stats().ownership_transfers, 1u);
+  // Ownership transfer is not an invalidation event (Section 6.1).
+  EXPECT_EQ(sys.stats().inval_distribution.events(), events_before);
+  EXPECT_EQ(sys.cache(1).probe(0), LineState::kInvalid);
+  EXPECT_EQ(sys.cache(2).probe(0), LineState::kModified);
+  const DirEntry* entry = sys.peek_entry(0);
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->state, DirState::kDirty);
+  EXPECT_EQ(entry->owner, 2);
+}
+
+TEST(Protocol, WriteHitModifiedIsFreeAndBumpsVersion) {
+  CoherenceSystem sys(small_config(SchemeConfig::full(4)));
+  sys.access(1, 0, true);
+  const auto msgs_before = sys.stats().messages.total();
+  const Cycle lat = sys.access(1, 0, true);
+  EXPECT_EQ(lat, sys.config().latency.cache_hit);
+  EXPECT_EQ(sys.stats().messages.total(), msgs_before);
+  EXPECT_EQ(sys.latest_version(0), 2u);
+  EXPECT_EQ(sys.cache(1).version_of(0), 2u);
+}
+
+TEST(Protocol, HomeSharerInvalidationCostsNoNetworkMessage) {
+  CoherenceSystem sys(small_config(SchemeConfig::full(4)));
+  sys.access(0, 0, false);  // home cluster itself shares block 0
+  sys.access(1, 0, false);
+  const auto base = sys.stats().messages;
+  sys.access(1, 0, true);  // invalidate sharer set {0}; 0 is the home
+  const auto& msgs = sys.stats().messages;
+  // The home kills its local copy over the bus: no invalidation message,
+  // but the ack to the requester still crosses the network.
+  EXPECT_EQ(msgs.get(MsgClass::kInvalidation) -
+                base.get(MsgClass::kInvalidation),
+            0u);
+  EXPECT_EQ(msgs.get(MsgClass::kAck) - base.get(MsgClass::kAck), 1u);
+  EXPECT_EQ(sys.cache(0).probe(0), LineState::kInvalid);
+  EXPECT_EQ(sys.stats().inval_distribution.count_at(0), 1u);
+}
+
+TEST(Protocol, CoarseVectorSendsExtraneousInvalidationsAfterOverflow) {
+  // 8 clusters, Dir1CV2: one pointer, then regions of two.
+  auto config = small_config(SchemeConfig::coarse(8, 1, 2), 8);
+  CoherenceSystem sys(config);
+  sys.access(2, 0, false);  // pointer: {2}
+  sys.access(4, 0, false);  // overflow -> regions {2,3} and {4,5}
+  const auto base = sys.stats().messages;
+  sys.access(7, 0, true);
+  const auto& msgs = sys.stats().messages;
+  // Targets are clusters 2,3,4,5; 3 and 5 hold nothing -> extraneous.
+  EXPECT_EQ(msgs.get(MsgClass::kInvalidation) -
+                base.get(MsgClass::kInvalidation),
+            4u);
+  EXPECT_EQ(sys.stats().extraneous_invalidations, 2u);
+  EXPECT_EQ(sys.cache(2).probe(0), LineState::kInvalid);
+  EXPECT_EQ(sys.cache(4).probe(0), LineState::kInvalid);
+}
+
+TEST(Protocol, NoBroadcastDisplacementInvalidatesOnRead) {
+  auto config = small_config(SchemeConfig::no_broadcast(8, 2), 8);
+  CoherenceSystem sys(config);
+  sys.access(1, 0, false);
+  sys.access(2, 0, false);
+  const auto base = sys.stats().messages;
+  sys.access(3, 0, false);  // pointer overflow displaces 1 or 2
+  EXPECT_EQ(sys.stats().nb_read_displacements, 1u);
+  const auto& msgs = sys.stats().messages;
+  EXPECT_EQ(msgs.get(MsgClass::kInvalidation) -
+                base.get(MsgClass::kInvalidation),
+            1u);
+  // Exactly one of the two early readers lost its copy.
+  const int live = (sys.cache(1).probe(0) != LineState::kInvalid ? 1 : 0) +
+                   (sys.cache(2).probe(0) != LineState::kInvalid ? 1 : 0);
+  EXPECT_EQ(live, 1);
+  EXPECT_EQ(sys.cache(3).probe(0), LineState::kShared);
+}
+
+TEST(Protocol, DirtyEvictionWritesBackAndFreesDirectoryEntry) {
+  auto config = small_config(SchemeConfig::full(4));
+  config.cache_lines_per_proc = 4;
+  config.cache_assoc = 1;  // direct mapped: blocks 0 and 4 conflict
+  CoherenceSystem sys(config);
+  sys.access(1, 0, true);  // dirty block 0 in proc 1
+  const auto base = sys.stats().messages;
+  sys.access(1, 4, false);  // fills the same set, evicting dirty block 0
+  EXPECT_EQ(sys.stats().dirty_eviction_writebacks, 1u);
+  EXPECT_EQ(sys.stats().messages.get(MsgClass::kWriteback) -
+                base.get(MsgClass::kWriteback),
+            1u);
+  EXPECT_EQ(sys.peek_entry(0), nullptr);  // entry released
+  // Memory now holds the latest version: a fresh read observes it.
+  sys.access(2, 0, false);
+  EXPECT_EQ(sys.cache(2).version_of(0), sys.latest_version(0));
+}
+
+TEST(Protocol, SharedEvictionIsSilentAndLeavesStaleSharer) {
+  auto config = small_config(SchemeConfig::full(4));
+  config.cache_lines_per_proc = 4;
+  config.cache_assoc = 1;
+  CoherenceSystem sys(config);
+  sys.access(1, 0, false);
+  const auto msgs_before = sys.stats().messages.total();
+  sys.access(1, 4, false);  // silently displaces the shared copy of 0
+  EXPECT_EQ(sys.stats().messages.total(), msgs_before + 2);  // just the miss
+  const DirEntry* entry = sys.peek_entry(0);
+  ASSERT_NE(entry, nullptr);  // stale sharer kept (superset-safe)
+  EXPECT_TRUE(sys.format().maybe_sharer(entry->sharers, 1));
+  // A later write sends an extraneous invalidation to cluster 1.
+  sys.access(2, 0, true);
+  EXPECT_EQ(sys.stats().extraneous_invalidations, 1u);
+}
+
+TEST(Protocol, UpgradeKeepsDataAndOnlyInvalidatesOthers) {
+  CoherenceSystem sys(small_config(SchemeConfig::full(4)));
+  sys.access(1, 0, false);
+  sys.access(2, 0, false);
+  sys.access(1, 0, true);  // proc 1 upgrades its Shared copy
+  EXPECT_EQ(sys.cache(1).probe(0), LineState::kModified);
+  EXPECT_EQ(sys.cache(2).probe(0), LineState::kInvalid);
+  EXPECT_EQ(sys.aggregate_cache_stats().write_upgrades, 1u);
+}
+
+TEST(Protocol, VersionsFlowThroughMigration) {
+  CoherenceSystem sys(small_config(SchemeConfig::full(4)));
+  sys.access(1, 0, true);   // v1 at proc 1
+  sys.access(1, 0, true);   // v2
+  sys.access(2, 0, true);   // transfer -> v3 at proc 2
+  sys.access(3, 0, false);  // sharing writeback, read observes v3
+  EXPECT_EQ(sys.latest_version(0), 3u);
+  EXPECT_EQ(sys.cache(3).version_of(0), 3u);
+  sys.access(1, 0, false);
+  EXPECT_EQ(sys.cache(1).version_of(0), 3u);
+}
+
+TEST(Protocol, PerHopLatencyRespondsToMeshDistance) {
+  auto config = small_config(SchemeConfig::full(16), 16);
+  config.latency.per_hop = 3;
+  CoherenceSystem sys(config);
+  // 16 clusters in a 4x4 mesh. Proc 1 reads block 0: hops(1,0)=1, round
+  // trip = 2 hops.
+  const Cycle near = sys.access(1, 0, false);
+  EXPECT_EQ(near, sys.config().latency.remote_2cluster + 3 * 2);
+  // Proc 15 (corner) reads block 0 (other corner): hops = 6, round 12.
+  const Cycle far = sys.access(15, 0, false);
+  EXPECT_EQ(far, sys.config().latency.remote_2cluster + 3 * 12);
+}
+
+// ---------------------------------------------------------------------------
+// Clustered mode (4 processors per cluster, DASH prototype style)
+// ---------------------------------------------------------------------------
+
+SystemConfig clustered_config() {
+  SystemConfig config;
+  config.num_procs = 8;
+  config.procs_per_cluster = 4;  // 2 clusters
+  config.cache_lines_per_proc = 64;
+  config.cache_assoc = 4;
+  config.scheme = SchemeConfig::full(2);
+  return config;
+}
+
+TEST(ProtocolClustered, SiblingSharedCopyServedByBusWithNoMessages) {
+  CoherenceSystem sys(clustered_config());
+  sys.access(0, 1, false);  // proc 0 (cluster 0) reads block 1 (home 1)
+  const auto msgs_before = sys.stats().messages.total();
+  const Cycle lat = sys.access(1, 1, false);  // sibling has it Shared
+  EXPECT_EQ(lat, sys.config().latency.local_access);
+  EXPECT_EQ(sys.stats().messages.total(), msgs_before);
+  EXPECT_EQ(sys.cache(1).probe(1), LineState::kShared);
+}
+
+TEST(ProtocolClustered, SiblingDirtyReadTriggersSharingWriteback) {
+  CoherenceSystem sys(clustered_config());
+  sys.access(0, 1, true);  // proc 0 dirty block 1 (home = cluster 1)
+  const Cycle lat = sys.access(1, 1, false);  // sibling read
+  EXPECT_EQ(lat, sys.config().latency.local_access);
+  EXPECT_EQ(sys.stats().sharing_writebacks, 1u);
+  EXPECT_EQ(sys.cache(0).probe(1), LineState::kShared);
+  EXPECT_EQ(sys.cache(1).probe(1), LineState::kShared);
+  const DirEntry* entry = sys.peek_entry(1);
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->state, DirState::kShared);
+}
+
+TEST(ProtocolClustered, SiblingDirtyWriteTransfersWithinCluster) {
+  CoherenceSystem sys(clustered_config());
+  sys.access(0, 1, true);
+  const auto msgs_before = sys.stats().messages.total();
+  const Cycle lat = sys.access(1, 1, true);  // cluster-internal transfer
+  EXPECT_EQ(lat, sys.config().latency.local_access);
+  EXPECT_EQ(sys.stats().messages.total(), msgs_before);
+  EXPECT_EQ(sys.cache(0).probe(1), LineState::kInvalid);
+  EXPECT_EQ(sys.cache(1).probe(1), LineState::kModified);
+  // Directory still shows cluster 0 as the dirty owner.
+  const DirEntry* entry = sys.peek_entry(1);
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->state, DirState::kDirty);
+  EXPECT_EQ(entry->owner, 0);
+}
+
+TEST(ProtocolClustered, WriteScrubsSiblingsOverTheBus) {
+  CoherenceSystem sys(clustered_config());
+  sys.access(0, 1, false);  // two siblings share
+  sys.access(1, 1, false);
+  sys.access(4, 1, false);  // remote cluster shares too
+  sys.access(0, 1, true);   // proc 0 writes
+  EXPECT_EQ(sys.cache(1).probe(1), LineState::kInvalid);  // sibling scrubbed
+  EXPECT_EQ(sys.cache(4).probe(1), LineState::kInvalid);  // remote killed
+  EXPECT_EQ(sys.cache(0).probe(1), LineState::kModified);
+}
+
+// ---------------------------------------------------------------------------
+// Sparse directory replacement behaviour
+// ---------------------------------------------------------------------------
+
+SystemConfig sparse_config(int entries_per_home) {
+  SystemConfig config;
+  config.num_procs = 4;
+  config.procs_per_cluster = 1;
+  config.cache_lines_per_proc = 64;
+  config.cache_assoc = 4;
+  config.scheme = SchemeConfig::full(4);
+  config.store.sparse = true;
+  config.store.sparse_entries = static_cast<std::uint64_t>(entries_per_home);
+  config.store.sparse_assoc = entries_per_home;  // one fully-assoc set
+  config.store.policy = ReplPolicy::kLru;
+  return config;
+}
+
+TEST(ProtocolSparse, SharedVictimReclamationInvalidatesAllCopies) {
+  CoherenceSystem sys(sparse_config(2));
+  // Home 0 blocks: 0, 4, 8. Fill the two entries with shared blocks.
+  sys.access(1, 0, false);
+  sys.access(2, 0, false);
+  sys.access(1, 4, false);
+  const auto base = sys.stats().messages;
+  sys.access(3, 8, false);  // displaces the LRU entry (block 0)
+  EXPECT_EQ(sys.stats().sparse_replacements, 1u);
+  // Both copies of block 0 were invalidated.
+  EXPECT_EQ(sys.cache(1).probe(0), LineState::kInvalid);
+  EXPECT_EQ(sys.cache(2).probe(0), LineState::kInvalid);
+  EXPECT_EQ(sys.stats().sparse_replacement_invals, 2u);
+  const auto& msgs = sys.stats().messages;
+  EXPECT_EQ(msgs.get(MsgClass::kInvalidation) -
+                base.get(MsgClass::kInvalidation),
+            2u);
+  // Acks return to the home's RAC.
+  EXPECT_EQ(msgs.get(MsgClass::kAck) - base.get(MsgClass::kAck), 2u);
+}
+
+TEST(ProtocolSparse, DirtyVictimIsWrittenBackBeforeReuse) {
+  CoherenceSystem sys(sparse_config(2));
+  sys.access(1, 0, true);  // dirty block 0, v1
+  sys.access(2, 4, false);
+  sys.access(3, 8, false);  // displaces block 0 (dirty)
+  EXPECT_EQ(sys.cache(1).probe(0), LineState::kInvalid);
+  EXPECT_EQ(sys.stats().sparse_replacements, 1u);
+  // The dirty data reached memory: a later read sees version 1.
+  sys.access(2, 0, false);
+  EXPECT_EQ(sys.cache(2).version_of(0), 1u);
+}
+
+TEST(ProtocolSparse, ReplacedBlockCanReturnLater) {
+  CoherenceSystem sys(sparse_config(2));
+  sys.access(1, 0, false);
+  sys.access(1, 4, false);
+  sys.access(1, 8, false);   // 0 displaced
+  sys.access(1, 0, false);   // 0 comes back (displacing another)
+  EXPECT_EQ(sys.cache(1).probe(0), LineState::kShared);
+  const DirEntry* entry = sys.peek_entry(0);
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->state, DirState::kShared);
+}
+
+TEST(ProtocolSparse, ReplacementStatsAccumulate) {
+  CoherenceSystem sys(sparse_config(2));
+  sys.access(1, 0, false);
+  sys.access(1, 4, false);
+  sys.access(1, 8, false);
+  EXPECT_EQ(sys.stats().sparse_replacements, 1u);
+  EXPECT_GE(sys.stats().sparse_replacement_invals, 1u);
+}
+
+}  // namespace
+}  // namespace dircc

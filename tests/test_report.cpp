@@ -1,0 +1,96 @@
+// RunReport JSON/CSV serialization.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+
+#include "protocol/system.hpp"
+#include "sim/engine.hpp"
+#include "sim/report.hpp"
+#include "trace/generators.hpp"
+
+namespace dircc {
+namespace {
+
+RunResult sample_result() {
+  SystemConfig config;
+  config.num_procs = 4;
+  config.cache_lines_per_proc = 64;
+  config.cache_assoc = 4;
+  config.scheme = SchemeConfig::full(4);
+  CoherenceSystem sys(config);
+  ProgramTrace trace;
+  trace.block_size = 16;
+  trace.per_proc.assign(4, {});
+  trace.per_proc[0] = {TraceEvent::write(0), TraceEvent::read(16)};
+  trace.per_proc[1] = {TraceEvent::read(0)};
+  Engine engine(sys, trace);
+  return engine.run();
+}
+
+TEST(RunReport, JsonHasCoreMetrics) {
+  const RunResult result = sample_result();
+  RunReport report("smoke", result);
+  report.add_field("scheme", std::string("Dir4"));
+  std::ostringstream out;
+  report.write_json(out);
+  const std::string json = out.str();
+  EXPECT_NE(json.find("\"label\": \"smoke\""), std::string::npos);
+  EXPECT_NE(json.find("\"exec_cycles\": " +
+                      std::to_string(result.exec_cycles)),
+            std::string::npos);
+  EXPECT_NE(json.find("\"msgs_total\": "), std::string::npos);
+  EXPECT_NE(json.find("\"scheme\": \"Dir4\""), std::string::npos);
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+}
+
+TEST(RunReport, JsonEscapesStrings) {
+  RunReport report("with \"quotes\"\nand newline", sample_result());
+  std::ostringstream out;
+  report.write_json(out);
+  EXPECT_NE(out.str().find("with \\\"quotes\\\"\\nand newline"),
+            std::string::npos);
+}
+
+TEST(RunReport, JsonArrayIsWellFormedish) {
+  const RunResult result = sample_result();
+  std::vector<RunReport> runs{RunReport("a", result), RunReport("b", result)};
+  std::ostringstream out;
+  write_json_array(out, runs);
+  const std::string json = out.str();
+  EXPECT_EQ(json.find('['), 0u);
+  EXPECT_NE(json.find("},\n"), std::string::npos);
+  EXPECT_NE(json.find("]\n"), std::string::npos);
+}
+
+TEST(RunReport, CsvHeaderMatchesRows) {
+  const RunResult result = sample_result();
+  RunReport a("a", result);
+  RunReport b("b", result);
+  a.add_field("extra", std::uint64_t{1});
+  b.add_field("extra", std::uint64_t{2});
+  std::ostringstream out;
+  write_csv(out, {a, b});
+  const std::string csv = out.str();
+  // header + 2 rows
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 3);
+  EXPECT_EQ(csv.find("label,exec_cycles"), 0u);
+  // Every line has the same number of commas.
+  std::istringstream lines(csv);
+  std::string line;
+  std::getline(lines, line);
+  const auto commas = std::count(line.begin(), line.end(), ',');
+  while (std::getline(lines, line)) {
+    EXPECT_EQ(std::count(line.begin(), line.end(), ','), commas);
+  }
+}
+
+TEST(RunReport, EmptyCsvWritesNothing) {
+  std::ostringstream out;
+  write_csv(out, {});
+  EXPECT_TRUE(out.str().empty());
+}
+
+}  // namespace
+}  // namespace dircc

@@ -1,0 +1,247 @@
+// Reproduction regression tests: pin the *shapes* each paper figure/table
+// claims, on scaled-down versions of the bench workloads, so a refactor
+// that silently breaks a result fails CI rather than EXPERIMENTS.md.
+#include <gtest/gtest.h>
+
+#include "model/invalidation_model.hpp"
+#include "model/storage_model.hpp"
+#include "protocol/system.hpp"
+#include "sim/engine.hpp"
+#include "trace/generators.hpp"
+
+namespace dircc {
+namespace {
+
+RunResult run(const ProgramTrace& trace, SchemeConfig scheme,
+              std::uint64_t cache_lines = 512,
+              int sparse_size_factor = 0,
+              ReplPolicy policy = ReplPolicy::kRandom,
+              int sparse_assoc = 4) {
+  SystemConfig config;
+  config.num_procs = trace.num_procs();
+  config.procs_per_cluster = 1;
+  config.cache_lines_per_proc = cache_lines;
+  config.cache_assoc = 4;
+  config.scheme = scheme;
+  if (sparse_size_factor > 0) {
+    const std::uint64_t total =
+        cache_lines * static_cast<std::uint64_t>(trace.num_procs());
+    std::uint64_t per_home =
+        total * static_cast<std::uint64_t>(sparse_size_factor) /
+        static_cast<std::uint64_t>(trace.num_procs());
+    per_home = ceil_div(per_home, static_cast<std::uint64_t>(sparse_assoc)) *
+               static_cast<std::uint64_t>(sparse_assoc);
+    config.store.sparse = true;
+    config.store.sparse_entries = per_home;
+    config.store.sparse_assoc = sparse_assoc;
+    config.store.policy = policy;
+  }
+  CoherenceSystem system(config);
+  Engine engine(system, trace);
+  return engine.run();
+}
+
+// ---------------------------------------------------------------------------
+// Figure 2 shapes
+// ---------------------------------------------------------------------------
+
+TEST(ReproFig2, OrderingAtModerateSharing) {
+  InvalidationModel model;
+  model.trials = 1500;
+  for (int s : {5, 9, 14}) {
+    const double full =
+        model.mean_invalidations(SchemeConfig::full(32), s);
+    const double cv =
+        model.mean_invalidations(SchemeConfig::coarse(32, 3, 2), s);
+    const double x =
+        model.mean_invalidations(SchemeConfig::superset(32, 3), s);
+    const double b =
+        model.mean_invalidations(SchemeConfig::broadcast(32, 3), s);
+    EXPECT_LT(full, cv);
+    EXPECT_LT(cv, x);
+    EXPECT_LE(x, b);
+    // The coarse vector stays much closer to the ideal than to broadcast.
+    EXPECT_LT(cv - full, b - cv) << "s=" << s;
+  }
+}
+
+TEST(ReproFig2, BroadcastKneeAtPointerCount) {
+  InvalidationModel model;
+  model.trials = 200;
+  const auto b = SchemeConfig::broadcast(32, 3);
+  EXPECT_DOUBLE_EQ(model.mean_invalidations(b, 3), 3.0);
+  EXPECT_DOUBLE_EQ(model.mean_invalidations(b, 4), 31.0);
+}
+
+// ---------------------------------------------------------------------------
+// Table 1 / Section 5 arithmetic (also covered in test_model; pinned here
+// as the headline storage claim)
+// ---------------------------------------------------------------------------
+
+TEST(ReproTable1, SparseSavesOneToTwoOrdersOfMagnitude) {
+  MachineModel m;
+  m.processors = 128;
+  m.procs_per_cluster = 4;
+  m.scheme = SchemeConfig::full(32);
+  m.sparsity = 64;
+  EXPECT_NEAR(m.savings_vs_full_bit_vector(), 54.2, 0.2);
+  EXPECT_GE(m.savings_vs_full_bit_vector(), 10.0);   // one order
+  EXPECT_LE(m.savings_vs_full_bit_vector(), 100.0);  // within two
+}
+
+// ---------------------------------------------------------------------------
+// Figures 3-6 shapes (LocusRoute invalidation distributions)
+// ---------------------------------------------------------------------------
+
+class ReproInvalDist : public ::testing::Test {
+ protected:
+  static const ProgramTrace& trace() {
+    static const ProgramTrace t =
+        generate_app(AppKind::kLocusRoute, 32, 16, 1990, 0.3);
+    return t;
+  }
+};
+
+TEST_F(ReproInvalDist, FullVectorMeanNearOne) {
+  const RunResult r = run(trace(), SchemeConfig::full(32));
+  EXPECT_GT(r.protocol.inval_distribution.mean(), 0.5);
+  EXPECT_LT(r.protocol.inval_distribution.mean(), 1.5);
+}
+
+TEST_F(ReproInvalDist, NoBroadcastHasMoreEventsAllSmall) {
+  const RunResult full = run(trace(), SchemeConfig::full(32));
+  const RunResult nb = run(trace(), SchemeConfig::no_broadcast(32, 3));
+  EXPECT_GT(nb.protocol.inval_distribution.events(),
+            full.protocol.inval_distribution.events());
+  EXPECT_LE(nb.protocol.inval_distribution.max_value(), 3u);
+}
+
+TEST_F(ReproInvalDist, BroadcastSpikesAtThirty) {
+  const RunResult b = run(trace(), SchemeConfig::broadcast(32, 3));
+  const Histogram& dist = b.protocol.inval_distribution;
+  // "For most broadcasts, 30 clusters have to be invalidated, since the
+  // home cluster and the new owning cluster do not require one."
+  EXPECT_GT(dist.count_at(30), 0u);
+  std::uint64_t mid = 0;  // nothing between the small cases and the spike
+  for (std::uint64_t v = 6; v < 28; ++v) {
+    mid += dist.count_at(v);
+  }
+  EXPECT_EQ(mid, 0u);
+  EXPECT_GT(dist.count_at(30), 10 * (mid + 1));
+}
+
+TEST_F(ReproInvalDist, CoarseVectorFillsTheTailWithoutBroadcast) {
+  const RunResult cv = run(trace(), SchemeConfig::coarse(32, 3, 2));
+  const Histogram& dist = cv.protocol.inval_distribution;
+  // Region granularity: events above the pointer count exist but the
+  // broadcast spike does not.
+  std::uint64_t above_pointers = 0;
+  for (std::uint64_t v = 4; v <= dist.max_value(); ++v) {
+    above_pointers += dist.count_at(v);
+  }
+  EXPECT_GT(above_pointers, 0u);
+  EXPECT_LT(dist.count_at(30) + dist.count_at(31),
+            above_pointers / 4 + 1);
+  const RunResult b = run(trace(), SchemeConfig::broadcast(32, 3));
+  EXPECT_LT(dist.mean(), b.protocol.inval_distribution.mean());
+}
+
+// ---------------------------------------------------------------------------
+// Figures 7-10 headline orderings
+// ---------------------------------------------------------------------------
+
+TEST(ReproFig7to10, CoarseVectorAlwaysClosestToFull) {
+  for (AppKind app : {AppKind::kLu, AppKind::kDwf, AppKind::kMp3d,
+                      AppKind::kLocusRoute}) {
+    const ProgramTrace trace = generate_app(app, 32, 16, 1990, 0.15);
+    const auto full = run(trace, SchemeConfig::full(32));
+    const auto cv = run(trace, SchemeConfig::coarse(32, 3, 2));
+    const auto b = run(trace, SchemeConfig::broadcast(32, 3));
+    const auto nb = run(trace, SchemeConfig::no_broadcast(32, 3));
+    const auto total = [](const RunResult& r) {
+      return static_cast<double>(r.protocol.messages.total());
+    };
+    // CV within 5% of full on every app...
+    EXPECT_LT(total(cv), 1.05 * total(full)) << app_name(app);
+    // ...and never worse than the other limited schemes.
+    EXPECT_LE(total(cv), total(b) * 1.001) << app_name(app);
+    EXPECT_LE(total(cv), total(nb) * 1.001) << app_name(app);
+  }
+}
+
+TEST(ReproFig10, LocusRouteIsTheAppWhereNbBeatsB) {
+  const ProgramTrace locus =
+      generate_app(AppKind::kLocusRoute, 32, 16, 1990, 0.3);
+  const auto b = run(locus, SchemeConfig::broadcast(32, 3));
+  const auto nb = run(locus, SchemeConfig::no_broadcast(32, 3));
+  EXPECT_LT(nb.protocol.messages.total(), b.protocol.messages.total());
+
+  const ProgramTrace lu = generate_app(AppKind::kLu, 32, 16, 1990, 0.15);
+  const auto lu_b = run(lu, SchemeConfig::broadcast(32, 3));
+  const auto lu_nb = run(lu, SchemeConfig::no_broadcast(32, 3));
+  EXPECT_GT(lu_nb.protocol.messages.total(),
+            lu_b.protocol.messages.total());
+}
+
+// ---------------------------------------------------------------------------
+// Figures 11-13 shapes
+// ---------------------------------------------------------------------------
+
+TEST(ReproFig11, SizeFactorOneCostsLittleTwoCostsLess) {
+  LuConfig lu;
+  lu.procs = 32;
+  lu.n = 96;
+  lu.seed = 1990;
+  const ProgramTrace trace = generate_lu(lu);
+  const auto dense = run(trace, SchemeConfig::full(32), 48);
+  const auto sf1 = run(trace, SchemeConfig::full(32), 48, 1);
+  const auto sf4 = run(trace, SchemeConfig::full(32), 48, 4);
+  const auto exec = [](const RunResult& r) {
+    return static_cast<double>(r.exec_cycles);
+  };
+  EXPECT_GT(sf1.protocol.sparse_replacements, 0u);
+  // "only a few percent" at bench scale; this scaled-down test config has
+  // a harsher data-set/cache ratio, so allow a wider margin while still
+  // catching pathological blowups.
+  EXPECT_LT(exec(sf1), 1.3 * exec(dense));
+  EXPECT_LE(exec(sf4), exec(sf1));
+  EXPECT_LE(sf4.protocol.messages.total(), sf1.protocol.messages.total());
+}
+
+TEST(ReproFig13, AssociativityHelpsMonotonically) {
+  LuConfig lu;
+  lu.procs = 32;
+  lu.n = 96;
+  lu.seed = 1990;
+  const ProgramTrace trace = generate_lu(lu);
+  const auto a1 =
+      run(trace, SchemeConfig::full(32), 48, 1, ReplPolicy::kRandom, 1);
+  const auto a2 =
+      run(trace, SchemeConfig::full(32), 48, 1, ReplPolicy::kRandom, 2);
+  const auto a4 =
+      run(trace, SchemeConfig::full(32), 48, 1, ReplPolicy::kRandom, 4);
+  EXPECT_GE(a1.protocol.sparse_replacements,
+            a2.protocol.sparse_replacements);
+  EXPECT_GE(a2.protocol.sparse_replacements,
+            a4.protocol.sparse_replacements);
+  EXPECT_GE(a1.protocol.messages.total(), a4.protocol.messages.total());
+}
+
+TEST(ReproFig14, LruBeatsTheFieldOnDwf) {
+  DwfConfig dwf;
+  dwf.procs = 32;
+  dwf.num_sequences = 192;
+  dwf.seed = 1990;
+  const ProgramTrace trace = generate_dwf(dwf);
+  const auto lru =
+      run(trace, SchemeConfig::full(32), 48, 1, ReplPolicy::kLru);
+  const auto rnd =
+      run(trace, SchemeConfig::full(32), 48, 1, ReplPolicy::kRandom);
+  const auto lra =
+      run(trace, SchemeConfig::full(32), 48, 1, ReplPolicy::kLra);
+  EXPECT_LE(lru.protocol.messages.total(), rnd.protocol.messages.total());
+  EXPECT_LE(lru.protocol.messages.total(), lra.protocol.messages.total());
+}
+
+}  // namespace
+}  // namespace dircc

@@ -1,0 +1,134 @@
+// RNG determinism/uniformity and statistics primitives.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+
+namespace dircc {
+namespace {
+
+TEST(Rng, DeterministicFromSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next(), b.next());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next() == b.next()) {
+      ++equal;
+    }
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.below(13), 13u);
+  }
+}
+
+TEST(Rng, BelowIsRoughlyUniform) {
+  Rng rng(11);
+  constexpr int kBuckets = 8;
+  constexpr int kSamples = 80000;
+  int counts[kBuckets] = {};
+  for (int i = 0; i < kSamples; ++i) {
+    ++counts[rng.below(kBuckets)];
+  }
+  for (int count : counts) {
+    // Expected 10000 per bucket; allow 5% deviation.
+    EXPECT_NEAR(count, kSamples / kBuckets, kSamples / kBuckets / 20);
+  }
+}
+
+TEST(Rng, BetweenIsInclusive) {
+  Rng rng(3);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.between(4, 6);
+    EXPECT_GE(v, 4u);
+    EXPECT_LE(v, 6u);
+    saw_lo = saw_lo || v == 4;
+    saw_hi = saw_hi || v == 6;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(5);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Histogram, EmptyIsZero) {
+  Histogram h;
+  EXPECT_EQ(h.events(), 0u);
+  EXPECT_EQ(h.total(), 0u);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.count_at(3), 0u);
+  EXPECT_EQ(h.max_value(), 0u);
+}
+
+TEST(Histogram, AccumulatesMeanAndTotal) {
+  Histogram h;
+  h.add(0);
+  h.add(0);
+  h.add(3);
+  h.add(5, 2);
+  EXPECT_EQ(h.events(), 5u);
+  EXPECT_EQ(h.total(), 13u);
+  EXPECT_DOUBLE_EQ(h.mean(), 13.0 / 5.0);
+  EXPECT_EQ(h.count_at(0), 2u);
+  EXPECT_EQ(h.count_at(5), 2u);
+  EXPECT_EQ(h.max_value(), 5u);
+  EXPECT_DOUBLE_EQ(h.fraction_at(0), 0.4);
+}
+
+TEST(Histogram, MergeCombines) {
+  Histogram a;
+  Histogram b;
+  a.add(1);
+  b.add(2);
+  b.add(2);
+  a.merge(b);
+  EXPECT_EQ(a.events(), 3u);
+  EXPECT_EQ(a.total(), 5u);
+  EXPECT_EQ(a.count_at(2), 2u);
+}
+
+TEST(Histogram, ClearResets) {
+  Histogram h;
+  h.add(4);
+  h.clear();
+  EXPECT_EQ(h.events(), 0u);
+  EXPECT_EQ(h.total(), 0u);
+}
+
+TEST(OnlineStats, TracksMeanMinMax) {
+  OnlineStats s;
+  s.add(2.0);
+  s.add(4.0);
+  s.add(9.0);
+  EXPECT_EQ(s.count(), 3u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+}  // namespace
+}  // namespace dircc

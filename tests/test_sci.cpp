@@ -1,0 +1,229 @@
+// SciSystem: the cache-based linked-list directory (Section 3.3).
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "sci/sci_system.hpp"
+#include "sim/engine.hpp"
+#include "trace/generators.hpp"
+
+namespace dircc {
+namespace {
+
+SciConfig small_sci(int procs = 8) {
+  SciConfig config;
+  config.num_procs = procs;
+  config.cache_lines_per_proc = 64;
+  config.cache_assoc = 4;
+  return config;
+}
+
+TEST(Sci, ReadersPrependToTheList) {
+  SciSystem sys(small_sci());
+  sys.access(1, 0, false);
+  sys.access(2, 0, false);
+  sys.access(3, 0, false);
+  EXPECT_EQ(sys.list_of(0), (std::vector<NodeId>{3, 2, 1}));
+  EXPECT_FALSE(sys.dirty_at_head(0));
+  EXPECT_EQ(sys.cache(1).probe(0), LineState::kShared);
+  EXPECT_EQ(sys.cache(3).probe(0), LineState::kShared);
+}
+
+TEST(Sci, FirstReadComesFromMemoryWithTwoMessages) {
+  SciSystem sys(small_sci());
+  const Cycle lat = sys.access(1, 0, false);
+  EXPECT_EQ(lat, sys.config().latency.remote_2cluster);
+  EXPECT_EQ(sys.stats().messages.total(), 2u);  // request + reply
+}
+
+TEST(Sci, LaterReadsPayThePrependRoundTrip) {
+  SciSystem sys(small_sci());
+  sys.access(1, 0, false);
+  const auto msgs_before = sys.stats().messages.total();
+  const Cycle lat = sys.access(2, 0, false);
+  EXPECT_EQ(lat, sys.config().latency.remote_2cluster +
+                     sys.config().prepend_round);
+  // request + reply + link request + link ack
+  EXPECT_EQ(sys.stats().messages.total(), msgs_before + 4);
+}
+
+TEST(Sci, WriteUnravelsTheListSerially) {
+  SciSystem sys(small_sci());
+  for (ProcId p = 1; p <= 4; ++p) {
+    sys.access(p, 0, false);
+  }
+  const Cycle lat = sys.access(4, 0, true);  // head writes (upgrade)
+  // Three successors, each a serial purge round.
+  EXPECT_EQ(lat, sys.config().latency.remote_2cluster +
+                     3 * sys.config().purge_round);
+  EXPECT_EQ(sys.list_of(0), (std::vector<NodeId>{4}));
+  EXPECT_TRUE(sys.dirty_at_head(0));
+  for (ProcId p = 1; p <= 3; ++p) {
+    EXPECT_EQ(sys.cache(p).probe(0), LineState::kInvalid);
+  }
+  EXPECT_EQ(sys.sci_stats().purge_lengths.max_value(), 3u);
+  EXPECT_EQ(sys.sci_stats().serialized_cycles,
+            3 * sys.config().purge_round);
+}
+
+TEST(Sci, PurgeLatencyGrowsLinearlyWithSharers) {
+  // The paper's key disadvantage: serial invalidations. Compare purge
+  // latency after 2 vs 6 sharers.
+  auto write_latency_after = [](int readers) {
+    SciSystem sys(small_sci());
+    for (int p = 1; p <= readers; ++p) {
+      sys.access(static_cast<ProcId>(p), 0, false);
+    }
+    return sys.access(static_cast<ProcId>(readers), 0, true);
+  };
+  const Cycle small = write_latency_after(2);
+  const Cycle large = write_latency_after(6);
+  EXPECT_EQ(large - small, 4 * SciConfig{}.purge_round);
+}
+
+TEST(Sci, MidListWriterUnlinksAndPurges) {
+  SciSystem sys(small_sci());
+  sys.access(1, 0, false);
+  sys.access(2, 0, false);
+  sys.access(3, 0, false);  // list [3,2,1]
+  sys.access(2, 0, true);   // mid-list writer
+  EXPECT_EQ(sys.list_of(0), (std::vector<NodeId>{2}));
+  EXPECT_TRUE(sys.dirty_at_head(0));
+  EXPECT_EQ(sys.cache(1).probe(0), LineState::kInvalid);
+  EXPECT_EQ(sys.cache(3).probe(0), LineState::kInvalid);
+  EXPECT_EQ(sys.cache(2).probe(0), LineState::kModified);
+  EXPECT_GT(sys.sci_stats().unlink_operations, 0u);
+}
+
+TEST(Sci, DirtyHeadSuppliesReaders) {
+  SciSystem sys(small_sci());
+  sys.access(1, 0, true);   // dirty at 1
+  sys.access(2, 0, false);  // head supplies, downgrades, memory refreshed
+  EXPECT_EQ(sys.list_of(0), (std::vector<NodeId>{2, 1}));
+  EXPECT_FALSE(sys.dirty_at_head(0));
+  EXPECT_EQ(sys.cache(1).probe(0), LineState::kShared);
+  EXPECT_EQ(sys.cache(2).version_of(0), 1u);
+  EXPECT_EQ(sys.sci_stats().head_supplies, 1u);
+}
+
+TEST(Sci, OwnershipTransfersBetweenWriters) {
+  SciSystem sys(small_sci());
+  sys.access(1, 0, true);
+  sys.access(2, 0, true);
+  EXPECT_EQ(sys.list_of(0), (std::vector<NodeId>{2}));
+  EXPECT_TRUE(sys.dirty_at_head(0));
+  EXPECT_EQ(sys.cache(1).probe(0), LineState::kInvalid);
+  EXPECT_EQ(sys.stats().ownership_transfers, 1u);
+  EXPECT_EQ(sys.latest_version(0), 2u);
+}
+
+TEST(Sci, ReplacementMustUnlink) {
+  SciConfig config = small_sci();
+  config.cache_lines_per_proc = 4;
+  config.cache_assoc = 1;  // blocks 0 and 4 conflict
+  SciSystem sys(config);
+  sys.access(1, 0, false);
+  sys.access(2, 0, false);  // list [2,1]
+  const auto msgs_before = sys.stats().messages.total();
+  sys.access(1, 4, false);  // displaces 1's copy of block 0 -> unlink
+  EXPECT_EQ(sys.list_of(0), (std::vector<NodeId>{2}));
+  EXPECT_GT(sys.sci_stats().unlink_operations, 0u);
+  // Miss (2 msgs) + unlink neighbour update (request+ack).
+  EXPECT_GE(sys.stats().messages.total(), msgs_before + 4);
+}
+
+TEST(Sci, DirtyReplacementWritesBack) {
+  SciConfig config = small_sci();
+  config.cache_lines_per_proc = 4;
+  config.cache_assoc = 1;
+  SciSystem sys(config);
+  sys.access(1, 0, true);   // dirty block 0
+  sys.access(1, 4, false);  // conflicting fill
+  EXPECT_TRUE(sys.list_of(0).empty());
+  EXPECT_EQ(sys.stats().dirty_eviction_writebacks, 1u);
+  sys.access(2, 0, false);  // fresh read sees the written-back version
+  EXPECT_EQ(sys.cache(2).version_of(0), 1u);
+}
+
+TEST(Sci, NoExtraneousInvalidationsEver) {
+  // The list is exact: every invalidation hits a real copy.
+  SciSystem sys(small_sci());
+  Rng rng(0x5c1);
+  for (int i = 0; i < 20000; ++i) {
+    sys.access(static_cast<ProcId>(rng.below(8)),
+               static_cast<BlockAddr>(rng.below(32)), rng.chance(0.3));
+  }
+  EXPECT_EQ(sys.aggregate_cache_stats().invalidations_empty, 0u);
+  EXPECT_GT(sys.stats().messages.inv_plus_ack(), 0u);
+}
+
+TEST(Sci, RandomTrafficStaysCoherent) {
+  // validate=true aborts on stale reads; also check list/cache agreement.
+  SciSystem sys(small_sci());
+  Rng rng(0x5c2);
+  for (int i = 0; i < 10000; ++i) {
+    sys.access(static_cast<ProcId>(rng.below(8)),
+               static_cast<BlockAddr>(rng.below(24)), rng.chance(0.3));
+    if (i % 250 == 249) {
+      for (BlockAddr b = 0; b < 24; ++b) {
+        const auto list = sys.list_of(b);
+        for (int p = 0; p < 8; ++p) {
+          const bool cached = sys.cache(static_cast<ProcId>(p)).probe(b) !=
+                              LineState::kInvalid;
+          const bool listed =
+              std::find(list.begin(), list.end(), static_cast<NodeId>(p)) !=
+              list.end();
+          ASSERT_EQ(cached, listed)
+              << "block " << b << " proc " << p << ": list and caches "
+              << "disagree";
+        }
+      }
+    }
+  }
+}
+
+TEST(Sci, PointerStorageScalesWithMachineSize) {
+  EXPECT_EQ(SciSystem(small_sci(8)).pointer_bits_per_line(), 6);
+  EXPECT_EQ(SciSystem(small_sci(64)).pointer_bits_per_line(), 12);
+  EXPECT_EQ(SciSystem(small_sci(256)).pointer_bits_per_line(), 16);
+}
+
+TEST(Sci, RunsUnderTheEngineEndToEnd) {
+  SciConfig config = small_sci(16);
+  config.cache_lines_per_proc = 256;
+  SciSystem sys(config);
+  const ProgramTrace trace = generate_app(AppKind::kMp3d, 16, 16, 11, 0.1);
+  Engine engine(sys, trace);
+  const RunResult result = engine.run();
+  EXPECT_GT(result.protocol.accesses, 10000u);
+  EXPECT_GT(result.exec_cycles, 0u);
+  EXPECT_EQ(sys.aggregate_cache_stats().invalidations_empty, 0u);
+}
+
+TEST(Sci, SerializationHurtsWideSharingVersusDirectory) {
+  // Writes to widely shared blocks: SCI pays a serial round trip per
+  // sharer; the memory-based directory overlaps its invalidations.
+  const int procs = 16;
+  SciConfig sci_config = small_sci(procs);
+  sci_config.cache_lines_per_proc = 64;
+  SciSystem sci(sci_config);
+
+  SystemConfig dir_config;
+  dir_config.num_procs = procs;
+  dir_config.cache_lines_per_proc = 64;
+  dir_config.cache_assoc = 4;
+  dir_config.scheme = SchemeConfig::full(procs);
+  CoherenceSystem dir(dir_config);
+
+  Cycle sci_write = 0;
+  Cycle dir_write = 0;
+  for (int p = 0; p < procs; ++p) {
+    sci.access(static_cast<ProcId>(p), 0, false);
+    dir.access(static_cast<ProcId>(p), 0, false);
+  }
+  sci_write = sci.access(0, 0, true);
+  dir_write = dir.access(0, 0, true);
+  EXPECT_GT(sci_write, 2 * dir_write);
+}
+
+}  // namespace
+}  // namespace dircc

@@ -1,0 +1,221 @@
+// Directory stores: full (entry per block) and sparse (set-associative cache
+// without backing store), including victim selection policies.
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <set>
+
+#include "directory/store.hpp"
+
+namespace dircc {
+namespace {
+
+TEST(FullStore, AllocatesOnDemandAndNeverEvicts) {
+  FullDirectoryStore store;
+  std::optional<VictimEntry> victim;
+  for (BlockAddr b = 0; b < 1000; ++b) {
+    DirEntry* entry = store.find_or_alloc(b, victim);
+    ASSERT_NE(entry, nullptr);
+    EXPECT_FALSE(victim.has_value());
+    entry->state = DirState::kShared;
+  }
+  EXPECT_EQ(store.live_entries(), 1000u);
+  EXPECT_EQ(store.capacity_entries(), 0u);
+  for (BlockAddr b = 0; b < 1000; ++b) {
+    ASSERT_NE(store.find(b), nullptr);
+    EXPECT_EQ(store.find(b)->state, DirState::kShared);
+  }
+}
+
+TEST(FullStore, FindMissesUnallocated) {
+  FullDirectoryStore store;
+  EXPECT_EQ(store.find(42), nullptr);
+}
+
+TEST(FullStore, ReleaseFreesEntry) {
+  FullDirectoryStore store;
+  std::optional<VictimEntry> victim;
+  store.find_or_alloc(7, victim);
+  EXPECT_NE(store.find(7), nullptr);
+  store.release(7);
+  EXPECT_EQ(store.find(7), nullptr);
+  EXPECT_EQ(store.live_entries(), 0u);
+}
+
+TEST(FullStore, StatsCountHitsAndAllocations) {
+  FullDirectoryStore store;
+  std::optional<VictimEntry> victim;
+  store.find_or_alloc(1, victim);
+  store.find_or_alloc(1, victim);
+  store.find(1);
+  store.find(2);
+  EXPECT_EQ(store.stats().allocations, 1u);
+  EXPECT_EQ(store.stats().hits, 2u);
+  EXPECT_EQ(store.stats().lookups, 4u);
+}
+
+TEST(SparseStore, FillsFreeWaysBeforeEvicting) {
+  SparseDirectoryStore store(8, 4, ReplPolicy::kLru, 1);  // 2 sets x 4 ways
+  std::optional<VictimEntry> victim;
+  // Blocks 0,2,4,6 map to set 0; fill all four ways.
+  for (BlockAddr b : {0, 2, 4, 6}) {
+    store.find_or_alloc(b, victim);
+    EXPECT_FALSE(victim.has_value()) << b;
+  }
+  EXPECT_EQ(store.live_entries(), 4u);
+  // A fifth block in set 0 must displace something.
+  store.find_or_alloc(8, victim);
+  ASSERT_TRUE(victim.has_value());
+  EXPECT_EQ(store.stats().replacements, 1u);
+  // Set 1 is still empty: no eviction there.
+  store.find_or_alloc(1, victim);
+  EXPECT_FALSE(victim.has_value());
+}
+
+TEST(SparseStore, LruEvictsLeastRecentlyUsed) {
+  SparseDirectoryStore store(4, 4, ReplPolicy::kLru, 1);  // 1 set x 4 ways
+  std::optional<VictimEntry> victim;
+  for (BlockAddr b : {10, 11, 12, 13}) {
+    store.find_or_alloc(b, victim);
+  }
+  // Touch everything except 11.
+  store.find(10);
+  store.find(12);
+  store.find(13);
+  store.find_or_alloc(14, victim);
+  ASSERT_TRUE(victim.has_value());
+  EXPECT_EQ(victim->block, 11u);
+}
+
+TEST(SparseStore, LraEvictsOldestAllocationEvenIfHot) {
+  SparseDirectoryStore store(4, 4, ReplPolicy::kLra, 1);
+  std::optional<VictimEntry> victim;
+  for (BlockAddr b : {10, 11, 12, 13}) {
+    store.find_or_alloc(b, victim);
+  }
+  // Keep 10 (the oldest allocation) hot — LRA ignores that.
+  store.find(10);
+  store.find(10);
+  store.find_or_alloc(14, victim);
+  ASSERT_TRUE(victim.has_value());
+  EXPECT_EQ(victim->block, 10u);
+}
+
+TEST(SparseStore, RandomPolicyIsDeterministicPerSeed) {
+  std::optional<VictimEntry> victim_a;
+  std::optional<VictimEntry> victim_b;
+  for (int trial = 0; trial < 3; ++trial) {
+    SparseDirectoryStore a(4, 4, ReplPolicy::kRandom, 99);
+    SparseDirectoryStore b(4, 4, ReplPolicy::kRandom, 99);
+    for (BlockAddr blk : {10, 11, 12, 13, 14}) {
+      a.find_or_alloc(blk, victim_a);
+      b.find_or_alloc(blk, victim_b);
+    }
+    ASSERT_TRUE(victim_a.has_value());
+    ASSERT_TRUE(victim_b.has_value());
+    EXPECT_EQ(victim_a->block, victim_b->block);
+  }
+}
+
+TEST(SparseStore, VictimCarriesItsDirectoryState) {
+  SparseDirectoryStore store(4, 4, ReplPolicy::kLru, 1);
+  std::optional<VictimEntry> victim;
+  DirEntry* entry = store.find_or_alloc(10, victim);
+  entry->state = DirState::kDirty;
+  entry->owner = 5;
+  for (BlockAddr b : {11, 12, 13}) {
+    store.find_or_alloc(b, victim);
+  }
+  store.find_or_alloc(14, victim);
+  ASSERT_TRUE(victim.has_value());
+  EXPECT_EQ(victim->block, 10u);
+  EXPECT_EQ(victim->entry.state, DirState::kDirty);
+  EXPECT_EQ(victim->entry.owner, 5);
+  // The recycled slot must be clean.
+  EXPECT_EQ(store.find(14)->state, DirState::kUncached);
+  // The displaced block is gone.
+  EXPECT_EQ(store.find(10), nullptr);
+}
+
+TEST(SparseStore, ReleaseMakesRoom) {
+  SparseDirectoryStore store(4, 4, ReplPolicy::kLru, 1);
+  std::optional<VictimEntry> victim;
+  for (BlockAddr b : {10, 11, 12, 13}) {
+    store.find_or_alloc(b, victim);
+  }
+  store.release(12);
+  EXPECT_EQ(store.live_entries(), 3u);
+  store.find_or_alloc(14, victim);
+  EXPECT_FALSE(victim.has_value());  // reused the freed way
+  EXPECT_EQ(store.live_entries(), 4u);
+}
+
+TEST(SparseStore, DirectMappedConflictsImmediately) {
+  SparseDirectoryStore store(4, 1, ReplPolicy::kLru, 1);  // 4 sets x 1 way
+  std::optional<VictimEntry> victim;
+  store.find_or_alloc(0, victim);
+  store.find_or_alloc(4, victim);  // same set as 0
+  ASSERT_TRUE(victim.has_value());
+  EXPECT_EQ(victim->block, 0u);
+}
+
+TEST(SparseStore, CapacityReportsConfiguredEntries) {
+  SparseDirectoryStore store(64, 4, ReplPolicy::kRandom, 1);
+  EXPECT_EQ(store.capacity_entries(), 64u);
+  EXPECT_EQ(store.associativity(), 4);
+}
+
+TEST(SparseStore, HigherAssociativityAvoidsConflicts) {
+  // Same capacity, different associativity; a cyclic conflict pattern
+  // thrashes the direct-mapped store but fits in the 4-way one.
+  SparseDirectoryStore direct(4, 1, ReplPolicy::kLru, 1);
+  SparseDirectoryStore assoc4(4, 4, ReplPolicy::kLru, 1);
+  std::optional<VictimEntry> victim;
+  for (int round = 0; round < 10; ++round) {
+    for (BlockAddr b : {0, 4, 8}) {  // all collide in the direct store
+      direct.find_or_alloc(b, victim);
+      assoc4.find_or_alloc(b, victim);
+    }
+  }
+  EXPECT_GT(direct.stats().replacements, 20u);
+  EXPECT_EQ(assoc4.stats().replacements, 0u);
+}
+
+TEST(SparseStore, IndexDivisorSpreadsInterleavedBlocks) {
+  // Blocks homed at one cluster of a 32-cluster machine are every 32nd
+  // block. Without the divisor they collide into gcd-limited sets; with
+  // divisor 32 they use all sets.
+  constexpr int kClusters = 32;
+  SparseDirectoryStore naive(64, 4, ReplPolicy::kLru, 1, 1);
+  SparseDirectoryStore local(64, 4, ReplPolicy::kLru, 1, kClusters);
+  std::optional<VictimEntry> victim;
+  for (BlockAddr i = 0; i < 48; ++i) {
+    naive.find_or_alloc(i * kClusters, victim);   // home-0 blocks
+    local.find_or_alloc(i * kClusters, victim);
+  }
+  // 48 blocks into 64 entries: the local-index store fits them all.
+  EXPECT_EQ(local.stats().replacements, 0u);
+  EXPECT_GT(naive.stats().replacements, 0u);
+}
+
+TEST(ReplPolicyName, Covers) {
+  EXPECT_STREQ(repl_policy_name(ReplPolicy::kLru), "LRU");
+  EXPECT_STREQ(repl_policy_name(ReplPolicy::kRandom), "Rand");
+  EXPECT_STREQ(repl_policy_name(ReplPolicy::kLra), "LRA");
+}
+
+TEST(MakeStore, BuildsConfiguredKind) {
+  StoreConfig full_config;
+  auto full = make_store(full_config);
+  EXPECT_EQ(full->capacity_entries(), 0u);
+
+  StoreConfig sparse_config;
+  sparse_config.sparse = true;
+  sparse_config.sparse_entries = 128;
+  sparse_config.sparse_assoc = 4;
+  auto sparse = make_store(sparse_config);
+  EXPECT_EQ(sparse->capacity_entries(), 128u);
+}
+
+}  // namespace
+}  // namespace dircc

@@ -1,0 +1,326 @@
+// Trace substrate: generators (determinism, structure, sharing patterns),
+// layout, validation and the binary file format.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "trace/generators.hpp"
+#include "trace/layout.hpp"
+#include "trace/trace_file.hpp"
+#include "trace/validate.hpp"
+
+namespace dircc {
+namespace {
+
+// ---------------------------------------------------------------------------
+// AddressLayout
+// ---------------------------------------------------------------------------
+
+TEST(AddressLayout, RegionsAreBlockAlignedAndDisjoint) {
+  AddressLayout layout(16);
+  const Region a = layout.alloc("a", 10);   // rounds to 16
+  const Region b = layout.alloc("b", 100);  // rounds to 112
+  EXPECT_EQ(a.base % 16, 0u);
+  EXPECT_EQ(a.bytes, 16u);
+  EXPECT_EQ(b.base, 16u);
+  EXPECT_EQ(b.bytes, 112u);
+  EXPECT_EQ(layout.bytes_allocated(), 128u);
+  EXPECT_EQ(a.at(5), 5u);
+  EXPECT_EQ(b.at(0), 16u);
+}
+
+// ---------------------------------------------------------------------------
+// Generators — common properties, parameterized over the four applications
+// ---------------------------------------------------------------------------
+
+class GeneratorProperty : public ::testing::TestWithParam<AppKind> {};
+
+TEST_P(GeneratorProperty, DeterministicFromSeed) {
+  const ProgramTrace a = generate_app(GetParam(), 8, 16, 5, 0.05);
+  const ProgramTrace b = generate_app(GetParam(), 8, 16, 5, 0.05);
+  ASSERT_EQ(a.per_proc.size(), b.per_proc.size());
+  for (std::size_t p = 0; p < a.per_proc.size(); ++p) {
+    EXPECT_EQ(a.per_proc[p], b.per_proc[p]) << "proc " << p;
+  }
+}
+
+TEST_P(GeneratorProperty, ValidatesStructurally) {
+  const ProgramTrace trace = generate_app(GetParam(), 8, 16, 5, 0.05);
+  std::string error;
+  EXPECT_TRUE(validate_trace(trace, &error)) << error;
+}
+
+TEST_P(GeneratorProperty, EveryProcessorParticipates) {
+  const ProgramTrace trace = generate_app(GetParam(), 8, 16, 5, 0.1);
+  for (const auto& stream : trace.per_proc) {
+    EXPECT_FALSE(stream.empty());
+  }
+}
+
+TEST_P(GeneratorProperty, CharacteristicsAreSane) {
+  const ProgramTrace trace = generate_app(GetParam(), 8, 16, 5, 0.1);
+  const TraceCharacteristics c = characterize(trace);
+  EXPECT_GT(c.shared_reads, 0u);
+  EXPECT_GT(c.shared_writes, 0u);
+  EXPECT_GT(c.shared_reads, c.shared_writes / 4)
+      << "reads should not be dwarfed by writes";
+  EXPECT_GT(c.distinct_blocks, 10u);
+  EXPECT_EQ(c.shared_refs, c.shared_reads + c.shared_writes);
+}
+
+TEST_P(GeneratorProperty, ScaleShrinksTheTrace) {
+  const ProgramTrace small = generate_app(GetParam(), 8, 16, 5, 0.05);
+  const ProgramTrace large = generate_app(GetParam(), 8, 16, 5, 0.3);
+  EXPECT_LT(small.total_events(), large.total_events());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllApps, GeneratorProperty,
+                         ::testing::Values(AppKind::kLu, AppKind::kDwf,
+                                           AppKind::kMp3d,
+                                           AppKind::kLocusRoute),
+                         [](const ::testing::TestParamInfo<AppKind>& info) {
+                           return app_name(info.param);
+                         });
+
+// ---------------------------------------------------------------------------
+// Generator-specific sharing-pattern checks
+// ---------------------------------------------------------------------------
+
+TEST(LuGenerator, PivotColumnIsReadByEveryProcessor) {
+  LuConfig config;
+  config.procs = 8;
+  config.n = 32;
+  const ProgramTrace trace = generate_lu(config);
+  // Column 0 occupies the first n*8 bytes. After the first pivot step,
+  // every processor owning later columns must read it.
+  const Addr col0_end = 32 * 8;
+  int readers = 0;
+  for (const auto& stream : trace.per_proc) {
+    bool reads_col0 = false;
+    for (const TraceEvent& ev : stream) {
+      if (ev.kind == TraceEvent::Kind::kRead && ev.addr < col0_end) {
+        reads_col0 = true;
+        break;
+      }
+    }
+    readers += reads_col0 ? 1 : 0;
+  }
+  EXPECT_EQ(readers, 8);
+}
+
+TEST(LuGenerator, ColumnsAreWrittenOnlyByTheirOwner) {
+  LuConfig config;
+  config.procs = 4;
+  config.n = 16;
+  const ProgramTrace trace = generate_lu(config);
+  const Addr matrix_bytes = 16 * 16 * 8;  // writes past this are the
+                                          // shared step-info block
+  for (int p = 0; p < config.procs; ++p) {
+    for (const TraceEvent& ev :
+         trace.per_proc[static_cast<std::size_t>(p)]) {
+      if (ev.kind != TraceEvent::Kind::kWrite || ev.addr >= matrix_bytes) {
+        continue;
+      }
+      const int col = static_cast<int>(ev.addr / (16 * 8));
+      EXPECT_EQ(col % config.procs, p) << "column " << col;
+    }
+  }
+}
+
+TEST(LuGenerator, BarriersSeparateEveryStep) {
+  LuConfig config;
+  config.procs = 4;
+  config.n = 16;
+  const ProgramTrace trace = generate_lu(config);
+  std::uint64_t barriers = 0;
+  for (const TraceEvent& ev : trace.per_proc[0]) {
+    if (ev.kind == TraceEvent::Kind::kBarrier) {
+      ++barriers;
+    }
+  }
+  EXPECT_EQ(barriers, 2u * 16u);
+}
+
+TEST(DwfGenerator, PatternBlocksAreReadByAllAndNeverWritten) {
+  DwfConfig config;
+  config.procs = 8;
+  config.num_sequences = 64;
+  const ProgramTrace trace = generate_dwf(config);
+  const Addr pattern_end =
+      static_cast<Addr>(config.pattern_rows) * config.block_size;
+  for (const auto& stream : trace.per_proc) {
+    bool reads_pattern = false;
+    for (const TraceEvent& ev : stream) {
+      if (ev.addr < pattern_end) {
+        EXPECT_NE(ev.kind, TraceEvent::Kind::kWrite)
+            << "pattern is read-only";
+        if (ev.kind == TraceEvent::Kind::kRead) {
+          reads_pattern = true;
+        }
+      }
+    }
+    EXPECT_TRUE(reads_pattern);
+  }
+}
+
+TEST(Mp3dGenerator, ParticleBlocksAreMostlyPrivate) {
+  Mp3dConfig config;
+  config.procs = 8;
+  config.particles = 256;
+  config.steps = 4;
+  config.collision_prob = 0.0;  // isolate the no-collision structure
+  const ProgramTrace trace = generate_mp3d(config);
+  // With no collisions, a particle block is touched by exactly one
+  // processor (its owner).
+  const Addr particle_bytes =
+      static_cast<Addr>(config.particles) * 2 * config.block_size;
+  std::set<std::pair<Addr, int>> touches;
+  std::set<Addr> particle_blocks;
+  for (int p = 0; p < config.procs; ++p) {
+    for (const TraceEvent& ev :
+         trace.per_proc[static_cast<std::size_t>(p)]) {
+      if ((ev.kind == TraceEvent::Kind::kRead ||
+           ev.kind == TraceEvent::Kind::kWrite) &&
+          ev.addr < particle_bytes) {
+        touches.insert({ev.addr / 16, p});
+        particle_blocks.insert(ev.addr / 16);
+      }
+    }
+  }
+  EXPECT_EQ(touches.size(), particle_blocks.size())
+      << "some particle block was touched by more than one processor";
+}
+
+TEST(Mp3dGenerator, CellsMigrateBetweenProcessors) {
+  Mp3dConfig config;
+  config.procs = 8;
+  config.particles = 2048;
+  config.steps = 8;
+  const ProgramTrace trace = generate_mp3d(config);
+  // Cell blocks live after the particle region; count how many processors
+  // write each cell block over the run — migratory cells see >= 2.
+  const Addr particle_bytes =
+      static_cast<Addr>(config.particles) * 2 * config.block_size;
+  const Addr cells_bytes = 16ULL * 16 * 16 * config.block_size;
+  std::map<Addr, std::set<int>> writers;
+  for (int p = 0; p < config.procs; ++p) {
+    for (const TraceEvent& ev :
+         trace.per_proc[static_cast<std::size_t>(p)]) {
+      if (ev.kind == TraceEvent::Kind::kWrite && ev.addr >= particle_bytes &&
+          ev.addr < particle_bytes + cells_bytes) {
+        writers[ev.addr / 16].insert(p);
+      }
+    }
+  }
+  ASSERT_FALSE(writers.empty());
+  int multi = 0;
+  for (const auto& [block, procs] : writers) {
+    if (procs.size() >= 2) {
+      ++multi;
+    }
+  }
+  EXPECT_GT(multi, static_cast<int>(writers.size()) / 4)
+      << "cells should be shared between processors";
+}
+
+TEST(LocusGenerator, GridWritesComeFromFewProcessorsPerBlock) {
+  LocusConfig config;
+  config.procs = 16;
+  config.regions = 8;
+  config.wires = 800;
+  const ProgramTrace trace = generate_locusroute(config);
+  const Addr grid_bytes =
+      static_cast<Addr>(config.grid_w) * config.grid_h * 2;
+  std::map<Addr, std::set<int>> writers;
+  for (int p = 0; p < config.procs; ++p) {
+    for (const TraceEvent& ev :
+         trace.per_proc[static_cast<std::size_t>(p)]) {
+      if (ev.kind == TraceEvent::Kind::kWrite && ev.addr < grid_bytes) {
+        writers[ev.addr / 16].insert(p);
+      }
+    }
+  }
+  ASSERT_FALSE(writers.empty());
+  double total = 0;
+  for (const auto& [block, procs] : writers) {
+    total += static_cast<double>(procs.size());
+  }
+  const double mean_writers = total / static_cast<double>(writers.size());
+  // Region sharing: more than one writer on average, far fewer than all 16.
+  EXPECT_GT(mean_writers, 1.05);
+  EXPECT_LT(mean_writers, 8.0);
+}
+
+// ---------------------------------------------------------------------------
+// Trace file round trip
+// ---------------------------------------------------------------------------
+
+TEST(TraceFile, RoundTripsExactly) {
+  const ProgramTrace original = generate_app(AppKind::kMp3d, 4, 16, 9, 0.05);
+  std::stringstream buffer;
+  ASSERT_TRUE(write_trace(buffer, original));
+  ProgramTrace loaded;
+  ASSERT_TRUE(read_trace(buffer, loaded));
+  EXPECT_EQ(loaded.app_name, original.app_name);
+  EXPECT_EQ(loaded.block_size, original.block_size);
+  ASSERT_EQ(loaded.per_proc.size(), original.per_proc.size());
+  for (std::size_t p = 0; p < original.per_proc.size(); ++p) {
+    EXPECT_EQ(loaded.per_proc[p], original.per_proc[p]);
+  }
+}
+
+TEST(TraceFile, RejectsGarbage) {
+  std::stringstream buffer("this is not a trace file at all");
+  ProgramTrace trace;
+  EXPECT_FALSE(read_trace(buffer, trace));
+}
+
+TEST(TraceFile, RejectsTruncatedStream) {
+  const ProgramTrace original = generate_app(AppKind::kDwf, 2, 16, 9, 0.05);
+  std::stringstream buffer;
+  ASSERT_TRUE(write_trace(buffer, original));
+  const std::string bytes = buffer.str();
+  std::stringstream truncated(bytes.substr(0, bytes.size() / 2));
+  ProgramTrace trace;
+  EXPECT_FALSE(read_trace(truncated, trace));
+}
+
+// ---------------------------------------------------------------------------
+// Validator diagnostics
+// ---------------------------------------------------------------------------
+
+TEST(ValidateTrace, CatchesUnbalancedLock) {
+  ProgramTrace trace;
+  trace.per_proc = {{TraceEvent::lock(1)}};
+  std::string error;
+  EXPECT_FALSE(validate_trace(trace, &error));
+  EXPECT_NE(error.find("lock"), std::string::npos);
+}
+
+TEST(ValidateTrace, CatchesForeignUnlock) {
+  ProgramTrace trace;
+  trace.per_proc = {{TraceEvent::unlock(1)}};
+  EXPECT_FALSE(validate_trace(trace));
+}
+
+TEST(ValidateTrace, CatchesBarrierMismatch) {
+  ProgramTrace trace;
+  trace.per_proc = {{TraceEvent::barrier(0)}, {TraceEvent::barrier(1)}};
+  std::string error;
+  EXPECT_FALSE(validate_trace(trace, &error));
+  EXPECT_NE(error.find("arrier"), std::string::npos);
+}
+
+TEST(ValidateTrace, AcceptsWellFormedTrace) {
+  ProgramTrace trace;
+  trace.per_proc = {
+      {TraceEvent::lock(1), TraceEvent::read(0), TraceEvent::unlock(1),
+       TraceEvent::barrier(0)},
+      {TraceEvent::write(16), TraceEvent::barrier(0)}};
+  EXPECT_TRUE(validate_trace(trace));
+}
+
+}  // namespace
+}  // namespace dircc

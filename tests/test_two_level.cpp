@@ -1,0 +1,168 @@
+// Two-level cache hierarchy: write-through L1 over the coherence-point L2
+// (the DASH primary/secondary split of Section 5), with inclusion.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "protocol/system.hpp"
+#include "sim/engine.hpp"
+#include "trace/generators.hpp"
+
+namespace dircc {
+namespace {
+
+SystemConfig two_level_config(int procs = 4) {
+  SystemConfig config;
+  config.num_procs = procs;
+  config.procs_per_cluster = 1;
+  config.cache_lines_per_proc = 64;
+  config.cache_assoc = 4;
+  config.l1_lines_per_proc = 8;
+  config.l1_assoc = 2;
+  config.scheme = SchemeConfig::full(procs);
+  return config;
+}
+
+TEST(TwoLevel, ReadLatencyTiersL1L2Remote) {
+  CoherenceSystem sys(two_level_config());
+  const Cycle miss = sys.access(1, 0, false);  // remote fill
+  EXPECT_EQ(miss, sys.config().latency.remote_2cluster);
+  const Cycle l1 = sys.access(1, 0, false);  // L1 hit
+  EXPECT_EQ(l1, sys.config().latency.cache_hit);
+  // Push the block out of the tiny L1 (8 lines, 2-way: 4 sets; blocks 0,
+  // 8, 16 collide in set 0) but keep it in the L2.
+  sys.access(1, 8, false);
+  sys.access(1, 16, false);
+  ASSERT_EQ(sys.l1_cache(1).probe(0), LineState::kInvalid);
+  ASSERT_EQ(sys.cache(1).probe(0), LineState::kShared);
+  const Cycle l2 = sys.access(1, 0, false);
+  EXPECT_EQ(l2, sys.config().latency.l2_hit);
+}
+
+TEST(TwoLevel, SingleLevelKeepsOldLatency) {
+  SystemConfig config = two_level_config();
+  config.l1_lines_per_proc = 0;
+  CoherenceSystem sys(config);
+  sys.access(1, 0, false);
+  EXPECT_EQ(sys.access(1, 0, false), sys.config().latency.cache_hit);
+  EXPECT_FALSE(sys.two_level());
+}
+
+TEST(TwoLevel, InvalidationKillsBothLevels) {
+  CoherenceSystem sys(two_level_config());
+  sys.access(1, 0, false);
+  ASSERT_EQ(sys.l1_cache(1).probe(0), LineState::kShared);
+  sys.access(2, 0, true);  // remote write invalidates cluster 1
+  EXPECT_EQ(sys.l1_cache(1).probe(0), LineState::kInvalid);
+  EXPECT_EQ(sys.cache(1).probe(0), LineState::kInvalid);
+  // A re-read misses all the way to the directory and sees the new value.
+  sys.access(1, 0, false);
+  EXPECT_EQ(sys.l1_cache(1).version_of(0), 1u);
+}
+
+TEST(TwoLevel, WriteThroughRefreshesTheWritersL1) {
+  CoherenceSystem sys(two_level_config());
+  sys.access(1, 0, false);  // L1 + L2 copies, version 0
+  sys.access(1, 0, true);   // upgrade; write-through updates L1
+  ASSERT_EQ(sys.l1_cache(1).probe(0), LineState::kShared);
+  EXPECT_EQ(sys.l1_cache(1).version_of(0), 1u);
+  // The L1 hit after the write observes the fresh version (validated).
+  EXPECT_EQ(sys.access(1, 0, false), sys.config().latency.cache_hit);
+}
+
+TEST(TwoLevel, RepeatedWritesPayTheL2WriteThrough) {
+  CoherenceSystem sys(two_level_config());
+  sys.access(1, 0, true);
+  const Cycle write_hit = sys.access(1, 0, true);
+  EXPECT_EQ(write_hit, sys.config().latency.l2_hit);
+}
+
+TEST(TwoLevel, L2EvictionMaintainsInclusion) {
+  SystemConfig config = two_level_config();
+  config.cache_lines_per_proc = 4;
+  config.cache_assoc = 1;  // L2: blocks 0 and 4 conflict
+  config.l1_lines_per_proc = 4;
+  config.l1_assoc = 4;     // L1 fully associative: would keep both
+  CoherenceSystem sys(config);
+  sys.access(1, 0, false);
+  ASSERT_EQ(sys.l1_cache(1).probe(0), LineState::kShared);
+  sys.access(1, 4, false);  // L2 displaces block 0
+  EXPECT_EQ(sys.cache(1).probe(0), LineState::kInvalid);
+  EXPECT_EQ(sys.l1_cache(1).probe(0), LineState::kInvalid)
+      << "inclusion violated: L1 kept a line the L2 displaced";
+}
+
+TEST(TwoLevel, RandomTrafficStaysCoherent) {
+  // Version validation runs on every L1 hit; any stale L1 line aborts.
+  SystemConfig config = two_level_config(8);
+  config.scheme = SchemeConfig::coarse(8, 2, 2);
+  CoherenceSystem sys(config);
+  Rng rng(0x11ca);
+  for (int i = 0; i < 20000; ++i) {
+    sys.access(static_cast<ProcId>(rng.below(8)),
+               static_cast<BlockAddr>(rng.below(48)), rng.chance(0.3));
+  }
+  // L1 subset invariant at the end.
+  for (int p = 0; p < 8; ++p) {
+    for (BlockAddr b = 0; b < 48; ++b) {
+      if (sys.l1_cache(static_cast<ProcId>(p)).probe(b) !=
+          LineState::kInvalid) {
+        EXPECT_NE(sys.cache(static_cast<ProcId>(p)).probe(b),
+                  LineState::kInvalid)
+            << "L1 holds block " << b << " the L2 does not";
+      }
+    }
+  }
+}
+
+TEST(TwoLevel, ClusteredModeWorksWithL1s) {
+  SystemConfig config = two_level_config(8);
+  config.procs_per_cluster = 4;
+  config.scheme = SchemeConfig::full(2);
+  CoherenceSystem sys(config);
+  Rng rng(0x11cb);
+  for (int i = 0; i < 10000; ++i) {
+    sys.access(static_cast<ProcId>(rng.below(8)),
+               static_cast<BlockAddr>(rng.below(32)), rng.chance(0.3));
+  }
+  EXPECT_GT(sys.stats().local_transactions, 0u);
+}
+
+TEST(TwoLevel, EndToEndAppRunBenefitsFromL1) {
+  const ProgramTrace trace = generate_app(AppKind::kDwf, 16, 16, 3, 0.1);
+  auto run = [&](std::uint64_t l1_lines) {
+    SystemConfig config;
+    config.num_procs = 16;
+    config.cache_lines_per_proc = 512;
+    config.cache_assoc = 4;
+    config.l1_lines_per_proc = l1_lines;
+    config.scheme = SchemeConfig::full(16);
+    CoherenceSystem sys(config);
+    Engine engine(sys, trace);
+    return engine.run();
+  };
+  const RunResult without = run(0);
+  const RunResult with = run(64);
+  // Same messages (the L1 is invisible to the protocol)...
+  EXPECT_EQ(with.protocol.messages.total(),
+            without.protocol.messages.total());
+  // ...same execution time too, since single-level machines already charge
+  // cache_hit for every hit; the L1 matters once L2 hits cost l2_hit.
+  auto run_slow_l2 = [&](std::uint64_t l1_lines) {
+    SystemConfig config;
+    config.num_procs = 16;
+    config.cache_lines_per_proc = 512;
+    config.cache_assoc = 4;
+    config.l1_lines_per_proc = l1_lines;
+    config.latency.l2_hit = 8;
+    config.scheme = SchemeConfig::full(16);
+    CoherenceSystem sys(config);
+    Engine engine(sys, trace);
+    return engine.run();
+  };
+  const RunResult small_l1 = run_slow_l2(16);
+  const RunResult big_l1 = run_slow_l2(256);
+  EXPECT_LT(big_l1.exec_cycles, small_l1.exec_cycles);
+}
+
+}  // namespace
+}  // namespace dircc
