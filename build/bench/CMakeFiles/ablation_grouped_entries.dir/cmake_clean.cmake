@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_grouped_entries.dir/ablation_grouped_entries.cpp.o"
+  "CMakeFiles/ablation_grouped_entries.dir/ablation_grouped_entries.cpp.o.d"
+  "ablation_grouped_entries"
+  "ablation_grouped_entries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_grouped_entries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_lock_grant.dir/ablation_lock_grant.cpp.o"
+  "CMakeFiles/ablation_lock_grant.dir/ablation_lock_grant.cpp.o.d"
+  "ablation_lock_grant"
+  "ablation_lock_grant.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_lock_grant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_overflow_cache.dir/ablation_overflow_cache.cpp.o"
+  "CMakeFiles/ablation_overflow_cache.dir/ablation_overflow_cache.cpp.o.d"
+  "ablation_overflow_cache"
+  "ablation_overflow_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_overflow_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

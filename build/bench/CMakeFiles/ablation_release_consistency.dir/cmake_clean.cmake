@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_release_consistency.dir/ablation_release_consistency.cpp.o"
+  "CMakeFiles/ablation_release_consistency.dir/ablation_release_consistency.cpp.o.d"
+  "ablation_release_consistency"
+  "ablation_release_consistency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_release_consistency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_replacement_hints.dir/ablation_replacement_hints.cpp.o"
+  "CMakeFiles/ablation_replacement_hints.dir/ablation_replacement_hints.cpp.o.d"
+  "ablation_replacement_hints"
+  "ablation_replacement_hints.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_replacement_hints.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baseline_sci.dir/baseline_sci.cpp.o"
+  "CMakeFiles/baseline_sci.dir/baseline_sci.cpp.o.d"
+  "baseline_sci"
+  "baseline_sci.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseline_sci.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

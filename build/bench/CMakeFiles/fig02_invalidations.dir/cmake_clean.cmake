@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_invalidations.dir/fig02_invalidations.cpp.o"
+  "CMakeFiles/fig02_invalidations.dir/fig02_invalidations.cpp.o.d"
+  "fig02_invalidations"
+  "fig02_invalidations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_invalidations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

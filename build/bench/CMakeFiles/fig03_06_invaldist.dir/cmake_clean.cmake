@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_06_invaldist.dir/fig03_06_invaldist.cpp.o"
+  "CMakeFiles/fig03_06_invaldist.dir/fig03_06_invaldist.cpp.o.d"
+  "fig03_06_invaldist"
+  "fig03_06_invaldist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_06_invaldist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig07_10_schemes.cpp" "bench/CMakeFiles/fig07_10_schemes.dir/fig07_10_schemes.cpp.o" "gcc" "bench/CMakeFiles/fig07_10_schemes.dir/fig07_10_schemes.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/dircc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/dircc_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/sci/CMakeFiles/dircc_sci.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/dircc_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/protocol/CMakeFiles/dircc_protocol.dir/DependInfo.cmake"
+  "/root/repo/build/src/directory/CMakeFiles/dircc_directory.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/dircc_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/network/CMakeFiles/dircc_network.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dircc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_10_schemes.dir/fig07_10_schemes.cpp.o"
+  "CMakeFiles/fig07_10_schemes.dir/fig07_10_schemes.cpp.o.d"
+  "fig07_10_schemes"
+  "fig07_10_schemes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_10_schemes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

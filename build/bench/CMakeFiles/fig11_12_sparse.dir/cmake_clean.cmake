@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_12_sparse.dir/fig11_12_sparse.cpp.o"
+  "CMakeFiles/fig11_12_sparse.dir/fig11_12_sparse.cpp.o.d"
+  "fig11_12_sparse"
+  "fig11_12_sparse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_12_sparse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

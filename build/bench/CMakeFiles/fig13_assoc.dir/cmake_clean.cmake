@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_assoc.dir/fig13_assoc.cpp.o"
+  "CMakeFiles/fig13_assoc.dir/fig13_assoc.cpp.o.d"
+  "fig13_assoc"
+  "fig13_assoc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_assoc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

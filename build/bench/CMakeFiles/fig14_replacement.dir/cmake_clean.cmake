@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_replacement.dir/fig14_replacement.cpp.o"
+  "CMakeFiles/fig14_replacement.dir/fig14_replacement.cpp.o.d"
+  "fig14_replacement"
+  "fig14_replacement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_replacement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

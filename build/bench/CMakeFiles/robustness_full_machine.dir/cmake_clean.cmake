@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/robustness_full_machine.dir/robustness_full_machine.cpp.o"
+  "CMakeFiles/robustness_full_machine.dir/robustness_full_machine.cpp.o.d"
+  "robustness_full_machine"
+  "robustness_full_machine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/robustness_full_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

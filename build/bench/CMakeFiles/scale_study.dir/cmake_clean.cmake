@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scale_study.dir/scale_study.cpp.o"
+  "CMakeFiles/scale_study.dir/scale_study.cpp.o.d"
+  "scale_study"
+  "scale_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scale_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

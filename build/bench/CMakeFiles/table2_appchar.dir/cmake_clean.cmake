@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_appchar.dir/table2_appchar.cpp.o"
+  "CMakeFiles/table2_appchar.dir/table2_appchar.cpp.o.d"
+  "table2_appchar"
+  "table2_appchar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_appchar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

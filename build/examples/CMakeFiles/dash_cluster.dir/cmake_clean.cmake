@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dash_cluster.dir/dash_cluster.cpp.o"
+  "CMakeFiles/dash_cluster.dir/dash_cluster.cpp.o.d"
+  "dash_cluster"
+  "dash_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dash_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

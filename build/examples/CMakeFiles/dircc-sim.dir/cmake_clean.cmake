@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dircc-sim.dir/dircc_sim.cpp.o"
+  "CMakeFiles/dircc-sim.dir/dircc_sim.cpp.o.d"
+  "dircc-sim"
+  "dircc-sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dircc-sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

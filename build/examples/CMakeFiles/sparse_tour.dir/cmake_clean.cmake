@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sparse_tour.dir/sparse_tour.cpp.o"
+  "CMakeFiles/sparse_tour.dir/sparse_tour.cpp.o.d"
+  "sparse_tour"
+  "sparse_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sparse_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dircc_cache.dir/cache.cpp.o"
+  "CMakeFiles/dircc_cache.dir/cache.cpp.o.d"
+  "libdircc_cache.a"
+  "libdircc_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dircc_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dircc_common.dir/cli.cpp.o"
+  "CMakeFiles/dircc_common.dir/cli.cpp.o.d"
+  "CMakeFiles/dircc_common.dir/ensure.cpp.o"
+  "CMakeFiles/dircc_common.dir/ensure.cpp.o.d"
+  "CMakeFiles/dircc_common.dir/stats.cpp.o"
+  "CMakeFiles/dircc_common.dir/stats.cpp.o.d"
+  "CMakeFiles/dircc_common.dir/table.cpp.o"
+  "CMakeFiles/dircc_common.dir/table.cpp.o.d"
+  "libdircc_common.a"
+  "libdircc_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dircc_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

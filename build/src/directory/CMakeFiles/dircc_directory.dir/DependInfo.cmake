@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/directory/format.cpp" "src/directory/CMakeFiles/dircc_directory.dir/format.cpp.o" "gcc" "src/directory/CMakeFiles/dircc_directory.dir/format.cpp.o.d"
+  "/root/repo/src/directory/overflow_format.cpp" "src/directory/CMakeFiles/dircc_directory.dir/overflow_format.cpp.o" "gcc" "src/directory/CMakeFiles/dircc_directory.dir/overflow_format.cpp.o.d"
+  "/root/repo/src/directory/store.cpp" "src/directory/CMakeFiles/dircc_directory.dir/store.cpp.o" "gcc" "src/directory/CMakeFiles/dircc_directory.dir/store.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dircc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

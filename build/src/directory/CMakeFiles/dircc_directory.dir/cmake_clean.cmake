@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dircc_directory.dir/format.cpp.o"
+  "CMakeFiles/dircc_directory.dir/format.cpp.o.d"
+  "CMakeFiles/dircc_directory.dir/overflow_format.cpp.o"
+  "CMakeFiles/dircc_directory.dir/overflow_format.cpp.o.d"
+  "CMakeFiles/dircc_directory.dir/store.cpp.o"
+  "CMakeFiles/dircc_directory.dir/store.cpp.o.d"
+  "libdircc_directory.a"
+  "libdircc_directory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dircc_directory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

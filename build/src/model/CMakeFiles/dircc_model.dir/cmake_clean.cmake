@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dircc_model.dir/invalidation_model.cpp.o"
+  "CMakeFiles/dircc_model.dir/invalidation_model.cpp.o.d"
+  "CMakeFiles/dircc_model.dir/storage_model.cpp.o"
+  "CMakeFiles/dircc_model.dir/storage_model.cpp.o.d"
+  "libdircc_model.a"
+  "libdircc_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dircc_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dircc_network.dir/mesh.cpp.o"
+  "CMakeFiles/dircc_network.dir/mesh.cpp.o.d"
+  "libdircc_network.a"
+  "libdircc_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dircc_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dircc_protocol.dir/system.cpp.o"
+  "CMakeFiles/dircc_protocol.dir/system.cpp.o.d"
+  "libdircc_protocol.a"
+  "libdircc_protocol.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dircc_protocol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

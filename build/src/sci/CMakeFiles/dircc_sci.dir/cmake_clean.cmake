@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dircc_sci.dir/sci_system.cpp.o"
+  "CMakeFiles/dircc_sci.dir/sci_system.cpp.o.d"
+  "libdircc_sci.a"
+  "libdircc_sci.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dircc_sci.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdircc_sci.a"
+)

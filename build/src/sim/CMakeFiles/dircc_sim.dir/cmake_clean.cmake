@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dircc_sim.dir/engine.cpp.o"
+  "CMakeFiles/dircc_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/dircc_sim.dir/report.cpp.o"
+  "CMakeFiles/dircc_sim.dir/report.cpp.o.d"
+  "libdircc_sim.a"
+  "libdircc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dircc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

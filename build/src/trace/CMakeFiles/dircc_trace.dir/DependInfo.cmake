@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/event.cpp" "src/trace/CMakeFiles/dircc_trace.dir/event.cpp.o" "gcc" "src/trace/CMakeFiles/dircc_trace.dir/event.cpp.o.d"
+  "/root/repo/src/trace/gen_dwf.cpp" "src/trace/CMakeFiles/dircc_trace.dir/gen_dwf.cpp.o" "gcc" "src/trace/CMakeFiles/dircc_trace.dir/gen_dwf.cpp.o.d"
+  "/root/repo/src/trace/gen_locus.cpp" "src/trace/CMakeFiles/dircc_trace.dir/gen_locus.cpp.o" "gcc" "src/trace/CMakeFiles/dircc_trace.dir/gen_locus.cpp.o.d"
+  "/root/repo/src/trace/gen_lu.cpp" "src/trace/CMakeFiles/dircc_trace.dir/gen_lu.cpp.o" "gcc" "src/trace/CMakeFiles/dircc_trace.dir/gen_lu.cpp.o.d"
+  "/root/repo/src/trace/gen_mp3d.cpp" "src/trace/CMakeFiles/dircc_trace.dir/gen_mp3d.cpp.o" "gcc" "src/trace/CMakeFiles/dircc_trace.dir/gen_mp3d.cpp.o.d"
+  "/root/repo/src/trace/registry.cpp" "src/trace/CMakeFiles/dircc_trace.dir/registry.cpp.o" "gcc" "src/trace/CMakeFiles/dircc_trace.dir/registry.cpp.o.d"
+  "/root/repo/src/trace/trace_file.cpp" "src/trace/CMakeFiles/dircc_trace.dir/trace_file.cpp.o" "gcc" "src/trace/CMakeFiles/dircc_trace.dir/trace_file.cpp.o.d"
+  "/root/repo/src/trace/validate.cpp" "src/trace/CMakeFiles/dircc_trace.dir/validate.cpp.o" "gcc" "src/trace/CMakeFiles/dircc_trace.dir/validate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dircc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dircc_trace.dir/event.cpp.o"
+  "CMakeFiles/dircc_trace.dir/event.cpp.o.d"
+  "CMakeFiles/dircc_trace.dir/gen_dwf.cpp.o"
+  "CMakeFiles/dircc_trace.dir/gen_dwf.cpp.o.d"
+  "CMakeFiles/dircc_trace.dir/gen_locus.cpp.o"
+  "CMakeFiles/dircc_trace.dir/gen_locus.cpp.o.d"
+  "CMakeFiles/dircc_trace.dir/gen_lu.cpp.o"
+  "CMakeFiles/dircc_trace.dir/gen_lu.cpp.o.d"
+  "CMakeFiles/dircc_trace.dir/gen_mp3d.cpp.o"
+  "CMakeFiles/dircc_trace.dir/gen_mp3d.cpp.o.d"
+  "CMakeFiles/dircc_trace.dir/registry.cpp.o"
+  "CMakeFiles/dircc_trace.dir/registry.cpp.o.d"
+  "CMakeFiles/dircc_trace.dir/trace_file.cpp.o"
+  "CMakeFiles/dircc_trace.dir/trace_file.cpp.o.d"
+  "CMakeFiles/dircc_trace.dir/validate.cpp.o"
+  "CMakeFiles/dircc_trace.dir/validate.cpp.o.d"
+  "libdircc_trace.a"
+  "libdircc_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dircc_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

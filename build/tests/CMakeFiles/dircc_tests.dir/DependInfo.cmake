@@ -1,0 +1,48 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_cache.cpp" "tests/CMakeFiles/dircc_tests.dir/test_cache.cpp.o" "gcc" "tests/CMakeFiles/dircc_tests.dir/test_cache.cpp.o.d"
+  "/root/repo/tests/test_cli_table.cpp" "tests/CMakeFiles/dircc_tests.dir/test_cli_table.cpp.o" "gcc" "tests/CMakeFiles/dircc_tests.dir/test_cli_table.cpp.o.d"
+  "/root/repo/tests/test_combined.cpp" "tests/CMakeFiles/dircc_tests.dir/test_combined.cpp.o" "gcc" "tests/CMakeFiles/dircc_tests.dir/test_combined.cpp.o.d"
+  "/root/repo/tests/test_contention.cpp" "tests/CMakeFiles/dircc_tests.dir/test_contention.cpp.o" "gcc" "tests/CMakeFiles/dircc_tests.dir/test_contention.cpp.o.d"
+  "/root/repo/tests/test_engine.cpp" "tests/CMakeFiles/dircc_tests.dir/test_engine.cpp.o" "gcc" "tests/CMakeFiles/dircc_tests.dir/test_engine.cpp.o.d"
+  "/root/repo/tests/test_entry_bits.cpp" "tests/CMakeFiles/dircc_tests.dir/test_entry_bits.cpp.o" "gcc" "tests/CMakeFiles/dircc_tests.dir/test_entry_bits.cpp.o.d"
+  "/root/repo/tests/test_extensions.cpp" "tests/CMakeFiles/dircc_tests.dir/test_extensions.cpp.o" "gcc" "tests/CMakeFiles/dircc_tests.dir/test_extensions.cpp.o.d"
+  "/root/repo/tests/test_formats.cpp" "tests/CMakeFiles/dircc_tests.dir/test_formats.cpp.o" "gcc" "tests/CMakeFiles/dircc_tests.dir/test_formats.cpp.o.d"
+  "/root/repo/tests/test_grouped.cpp" "tests/CMakeFiles/dircc_tests.dir/test_grouped.cpp.o" "gcc" "tests/CMakeFiles/dircc_tests.dir/test_grouped.cpp.o.d"
+  "/root/repo/tests/test_integration.cpp" "tests/CMakeFiles/dircc_tests.dir/test_integration.cpp.o" "gcc" "tests/CMakeFiles/dircc_tests.dir/test_integration.cpp.o.d"
+  "/root/repo/tests/test_model.cpp" "tests/CMakeFiles/dircc_tests.dir/test_model.cpp.o" "gcc" "tests/CMakeFiles/dircc_tests.dir/test_model.cpp.o.d"
+  "/root/repo/tests/test_network.cpp" "tests/CMakeFiles/dircc_tests.dir/test_network.cpp.o" "gcc" "tests/CMakeFiles/dircc_tests.dir/test_network.cpp.o.d"
+  "/root/repo/tests/test_protocol.cpp" "tests/CMakeFiles/dircc_tests.dir/test_protocol.cpp.o" "gcc" "tests/CMakeFiles/dircc_tests.dir/test_protocol.cpp.o.d"
+  "/root/repo/tests/test_release_consistency.cpp" "tests/CMakeFiles/dircc_tests.dir/test_release_consistency.cpp.o" "gcc" "tests/CMakeFiles/dircc_tests.dir/test_release_consistency.cpp.o.d"
+  "/root/repo/tests/test_report.cpp" "tests/CMakeFiles/dircc_tests.dir/test_report.cpp.o" "gcc" "tests/CMakeFiles/dircc_tests.dir/test_report.cpp.o.d"
+  "/root/repo/tests/test_reproduction.cpp" "tests/CMakeFiles/dircc_tests.dir/test_reproduction.cpp.o" "gcc" "tests/CMakeFiles/dircc_tests.dir/test_reproduction.cpp.o.d"
+  "/root/repo/tests/test_rng_stats.cpp" "tests/CMakeFiles/dircc_tests.dir/test_rng_stats.cpp.o" "gcc" "tests/CMakeFiles/dircc_tests.dir/test_rng_stats.cpp.o.d"
+  "/root/repo/tests/test_sci.cpp" "tests/CMakeFiles/dircc_tests.dir/test_sci.cpp.o" "gcc" "tests/CMakeFiles/dircc_tests.dir/test_sci.cpp.o.d"
+  "/root/repo/tests/test_store.cpp" "tests/CMakeFiles/dircc_tests.dir/test_store.cpp.o" "gcc" "tests/CMakeFiles/dircc_tests.dir/test_store.cpp.o.d"
+  "/root/repo/tests/test_trace.cpp" "tests/CMakeFiles/dircc_tests.dir/test_trace.cpp.o" "gcc" "tests/CMakeFiles/dircc_tests.dir/test_trace.cpp.o.d"
+  "/root/repo/tests/test_two_level.cpp" "tests/CMakeFiles/dircc_tests.dir/test_two_level.cpp.o" "gcc" "tests/CMakeFiles/dircc_tests.dir/test_two_level.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/model/CMakeFiles/dircc_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dircc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sci/CMakeFiles/dircc_sci.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/dircc_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/protocol/CMakeFiles/dircc_protocol.dir/DependInfo.cmake"
+  "/root/repo/build/src/directory/CMakeFiles/dircc_directory.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/dircc_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/network/CMakeFiles/dircc_network.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dircc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
