@@ -8,10 +8,17 @@
 // comparisons (who wins, by what factor) are the reproduction target.
 #pragma once
 
+#include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <string>
+#include <vector>
 
+#include "common/cli.hpp"
+#include "common/ensure.hpp"
 #include "common/table.hpp"
+#include "harness/sink.hpp"
+#include "harness/sweep.hpp"
 #include "protocol/system.hpp"
 #include "sim/engine.hpp"
 #include "trace/generators.hpp"
@@ -83,6 +90,57 @@ inline std::string pct(double value, double baseline) {
 
 inline std::string pct(std::uint64_t value, std::uint64_t baseline) {
   return pct(static_cast<double>(value), static_cast<double>(baseline));
+}
+
+/// Options shared by every sweep-harness-backed figure binary.
+struct HarnessOptions {
+  int threads = 0;        ///< worker threads; 0 = hardware concurrency
+  std::string json_path;  ///< empty = no JSON; "-" = stdout
+  bool omit_timing = false;
+};
+
+/// Parses --threads/--json/--omit-timing (the figure binaries stay
+/// argument-free by default: every option has a default).
+inline HarnessOptions parse_harness_options(int argc,
+                                            const char* const* argv) {
+  CliParser cli;
+  cli.add_option("threads", "0",
+                 "sweep worker threads (0 = hardware concurrency)");
+  cli.add_option("json", "",
+                 "write per-cell JSON Lines here ('-' = stdout)");
+  cli.add_flag("omit-timing",
+               "omit per-cell wall-clock from the JSON records");
+  if (!cli.parse(argc, argv)) {
+    std::cerr << cli.error() << "\n" << cli.usage(argv[0]);
+    std::exit(2);
+  }
+  if (cli.help_requested()) {
+    std::cout << cli.usage(argv[0]);
+    std::exit(0);
+  }
+  HarnessOptions options;
+  options.threads = static_cast<int>(cli.get_int("threads"));
+  options.json_path = cli.get("json");
+  options.omit_timing = cli.get_flag("omit-timing");
+  return options;
+}
+
+/// Emits the sweep's JSON records where the options ask (no-op when no
+/// --json was given).
+inline void emit_json(const HarnessOptions& options,
+                      const std::vector<harness::CellResult>& results) {
+  if (options.json_path.empty()) {
+    return;
+  }
+  harness::SinkOptions sink;
+  sink.include_timing = !options.omit_timing;
+  if (options.json_path == "-") {
+    harness::write_results_jsonl(std::cout, results, sink);
+    return;
+  }
+  std::ofstream out(options.json_path);
+  ensure(static_cast<bool>(out), "cannot open the --json output path");
+  harness::write_results_jsonl(out, results, sink);
 }
 
 }  // namespace dircc::bench

@@ -10,13 +10,19 @@
 //  * LocusRoute (Fig.10) — Dir3B broadcasts on ~4-8-sharer writes; the only
 //                          app where Dir3NB beats Dir3B; Dir3CV2 stays
 //                          within ~12% of the full vector's traffic.
+//
+// Runs the 4-app x 4-scheme grid on the sweep harness: each app's trace is
+// generated once and shared, and the 16 cells execute concurrently
+// (--threads N; --json PATH dumps per-cell records).
 #include <iostream>
 
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dircc;
   using namespace dircc::bench;
+
+  const HarnessOptions options = parse_harness_options(argc, argv);
 
   struct Panel {
     const char* figure;
@@ -31,26 +37,44 @@ int main() {
   const SchemeConfig schemes[] = {scheme_full(), scheme_cv(), scheme_b(),
                                   scheme_nb()};
 
+  std::vector<harness::SweepCell> cells;
   for (const Panel& panel : panels) {
-    const ProgramTrace trace =
-        generate_app(panel.app, kProcs, kBlockSize, kSeed, 1.0);
-    std::cout << panel.figure << ": performance for " << trace.app_name
-              << " (normalized to " << make_format(scheme_full())->name()
-              << " = 100)\n\n";
+    for (const SchemeConfig& scheme : schemes) {
+      const std::string scheme_name = make_format(scheme)->name();
+      harness::SweepCell cell;
+      cell.key = std::string("fig07_10/app=") + app_name(panel.app) +
+                 "/scheme=" + scheme_name;
+      cell.fields = {{"app", app_name(panel.app)}, {"scheme", scheme_name}};
+      cell.trace =
+          harness::app_trace(panel.app, kProcs, kBlockSize, kSeed, 1.0);
+      cell.system = machine(scheme);
+      cells.push_back(std::move(cell));
+    }
+  }
 
-    RunResult baseline;
+  harness::SweepRunner runner(options.threads);
+  const std::vector<harness::CellResult> results = runner.run(cells);
+
+  constexpr int kSchemes = 4;
+  for (std::size_t p = 0; p < std::size(panels); ++p) {
+    const Panel& panel = panels[p];
+    // The full bit vector is the first cell of each panel's row block.
+    const RunResult& baseline = results[p * kSchemes].result;
+    std::cout << panel.figure << ": performance for "
+              << app_name(panel.app) << " (normalized to "
+              << make_format(scheme_full())->name() << " = 100)\n\n";
+
     TextTable table;
     table.header({"scheme", "exec time", "requests+wb", "replies",
                   "inv+ack", "total msgs", "extraneous", "inval events",
                   "mean invals"});
-    for (const SchemeConfig& scheme : schemes) {
-      const RunResult result = run_trace(machine(scheme), trace);
-      if (scheme.kind == SchemeKind::kFullBitVector) {
-        baseline = result;
-      }
+    for (int s = 0; s < kSchemes; ++s) {
+      const harness::CellResult& cell = results[p * kSchemes +
+                                                static_cast<std::size_t>(s)];
+      const RunResult& result = cell.result;
       const MessageCounters& m = result.protocol.messages;
       const MessageCounters& bm = baseline.protocol.messages;
-      table.row({make_format(scheme)->name(),
+      table.row({make_format(schemes[s])->name(),
                  pct(result.exec_cycles, baseline.exec_cycles),
                  pct(m.requests_with_writebacks(),
                      bm.requests_with_writebacks()),
@@ -64,5 +88,7 @@ int main() {
     table.print(std::cout);
     std::cout << "\n";
   }
+
+  emit_json(options, results);
   return 0;
 }

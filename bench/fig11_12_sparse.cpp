@@ -13,6 +13,9 @@
 // widely-shared pivot column re-trigger pointer overflow, and subsequent
 // writes/replacements broadcast (Dir_B) instead of invalidating a few
 // regions (Dir_CV).
+//
+// Each panel's 12 cells run concurrently on the sweep harness; the
+// non-sparse full-bit-vector cell doubles as the normalization baseline.
 #include <iostream>
 
 #include "bench_common.hpp"
@@ -22,31 +25,54 @@ namespace {
 using namespace dircc;
 using namespace dircc::bench;
 
-void panel(const char* figure, const ProgramTrace& trace,
-           std::uint64_t cache_lines_per_proc) {
+constexpr int kSizeFactors[] = {1, 2, 4, 0};  // 0 = non-sparse
+
+std::vector<harness::SweepCell> panel_cells(
+    const char* grid, const harness::TraceSpec& trace,
+    std::uint64_t cache_lines_per_proc) {
   const SchemeConfig schemes[] = {scheme_full(), scheme_cv(), scheme_b()};
-
-  std::cout << figure << ": sparse directory performance for "
-            << trace.app_name << " (caches scaled to "
-            << cache_lines_per_proc << " lines/proc; normalized to the "
-            << "non-sparse full bit vector = 100)\n\n";
-
-  const RunResult baseline =
-      run_trace(machine(scheme_full(), cache_lines_per_proc), trace);
-
-  TextTable table;
-  table.header({"scheme", "size factor", "exec time", "total msgs",
-                "inv+ack", "dir replacements", "repl invals"});
+  std::vector<harness::SweepCell> cells;
   for (const SchemeConfig& scheme : schemes) {
-    for (int size_factor : {1, 2, 4, 0}) {  // 0 = non-sparse
+    for (int size_factor : kSizeFactors) {
       SystemConfig config = machine(scheme, cache_lines_per_proc);
       if (size_factor != 0) {
         make_sparse(config, size_factor, 4, ReplPolicy::kRandom);
       }
-      const RunResult result = run_trace(config, trace);
+      const std::string scheme_name = make_format(scheme)->name();
       const std::string sf =
           size_factor == 0 ? "non-sparse" : std::to_string(size_factor);
-      table.row({make_format(scheme)->name(), sf,
+      harness::SweepCell cell;
+      cell.key = std::string(grid) + "/scheme=" + scheme_name +
+                 "/size_factor=" + sf;
+      cell.fields = {{"scheme", scheme_name}, {"size_factor", sf}};
+      cell.trace = trace;
+      cell.system = config;
+      cells.push_back(std::move(cell));
+    }
+  }
+  return cells;
+}
+
+void panel(const char* figure, const char* trace_name,
+           std::uint64_t cache_lines_per_proc,
+           const std::vector<harness::CellResult>& results) {
+  std::cout << figure << ": sparse directory performance for " << trace_name
+            << " (caches scaled to " << cache_lines_per_proc
+            << " lines/proc; normalized to the "
+            << "non-sparse full bit vector = 100)\n\n";
+
+  // The full-scheme/non-sparse cell is row 3 of the first scheme block.
+  const RunResult& baseline = results[3].result;
+
+  TextTable table;
+  table.header({"scheme", "size factor", "exec time", "total msgs",
+                "inv+ack", "dir replacements", "repl invals"});
+  std::size_t index = 0;
+  for (int scheme = 0; scheme < 3; ++scheme) {
+    for (std::size_t sf = 0; sf < std::size(kSizeFactors); ++sf) {
+      const harness::CellResult& cell = results[index++];
+      const RunResult& result = cell.result;
+      table.row({cell.fields[0].second, cell.fields[1].second,
                  pct(result.exec_cycles, baseline.exec_cycles),
                  pct(result.protocol.messages.total(),
                      baseline.protocol.messages.total()),
@@ -63,7 +89,9 @@ void panel(const char* figure, const ProgramTrace& trace,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const HarnessOptions options = parse_harness_options(argc, argv);
+
   // LU with a 160x160 matrix: 12,800 shared blocks versus 32 x 128 = 4,096
   // cache lines (data set ~3x the cache space).
   LuConfig lu;
@@ -71,13 +99,28 @@ int main() {
   lu.block_size = kBlockSize;
   lu.n = 160;
   lu.seed = kSeed;
-  panel("Figure 11", generate_lu(lu), 48);
 
   // DWF: ~5,200 shared blocks versus 32 x 96 = 3,072 cache lines.
   DwfConfig dwf;
   dwf.procs = kProcs;
   dwf.block_size = kBlockSize;
   dwf.seed = kSeed;
-  panel("Figure 12", generate_dwf(dwf), 96);
+
+  std::vector<harness::SweepCell> cells =
+      panel_cells("fig11", harness::lu_trace(lu), 48);
+  const std::vector<harness::SweepCell> dwf_cells =
+      panel_cells("fig12", harness::dwf_trace(dwf), 96);
+  cells.insert(cells.end(), dwf_cells.begin(), dwf_cells.end());
+
+  harness::SweepRunner runner(options.threads);
+  const std::vector<harness::CellResult> results = runner.run(cells);
+  const std::size_t per_panel = 12;
+
+  panel("Figure 11", "LU", 48,
+        {results.begin(), results.begin() + per_panel});
+  panel("Figure 12", "DWF", 96,
+        {results.begin() + per_panel, results.end()});
+
+  emit_json(options, results);
   return 0;
 }

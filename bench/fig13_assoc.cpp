@@ -6,24 +6,54 @@
 // slightly better than 2, which beats direct-mapped by a larger margin —
 // conflicting active blocks keep knocking each other out of a
 // direct-mapped sparse directory.
+//
+// The 10 cells (9 sparse + the non-sparse baseline) share one LU trace
+// and run concurrently on the sweep harness.
 #include <iostream>
 
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dircc;
   using namespace dircc::bench;
+
+  const HarnessOptions options = parse_harness_options(argc, argv);
 
   LuConfig lu;
   lu.procs = kProcs;
   lu.block_size = kBlockSize;
   lu.n = 160;
   lu.seed = kSeed;
-  const ProgramTrace trace = generate_lu(lu);
   constexpr std::uint64_t kCacheLines = 192;
+  const harness::TraceSpec trace = harness::lu_trace(lu);
 
-  const RunResult baseline =
-      run_trace(machine(scheme_full(), kCacheLines), trace);
+  std::vector<harness::SweepCell> cells;
+  {
+    harness::SweepCell base;
+    base.key = "fig13/size_factor=non-sparse/assoc=-";
+    base.fields = {{"size_factor", "non-sparse"}, {"assoc", "-"}};
+    base.trace = trace;
+    base.system = machine(scheme_full(), kCacheLines);
+    cells.push_back(std::move(base));
+  }
+  for (int size_factor : {1, 2, 4}) {
+    for (int assoc : {1, 2, 4}) {
+      SystemConfig config = machine(scheme_full(), kCacheLines);
+      make_sparse(config, size_factor, assoc, ReplPolicy::kRandom);
+      harness::SweepCell cell;
+      cell.key = "fig13/size_factor=" + std::to_string(size_factor) +
+                 "/assoc=" + std::to_string(assoc);
+      cell.fields = {{"size_factor", std::to_string(size_factor)},
+                     {"assoc", std::to_string(assoc)}};
+      cell.trace = trace;
+      cell.system = config;
+      cells.push_back(std::move(cell));
+    }
+  }
+
+  harness::SweepRunner runner(options.threads);
+  const std::vector<harness::CellResult> results = runner.run(cells);
+  const RunResult& baseline = results[0].result;
 
   std::cout << "Figure 13: effect of associativity in the sparse directory "
                "(LU, full bit vector; traffic normalized to non-sparse = "
@@ -31,20 +61,21 @@ int main() {
   TextTable table;
   table.header({"size factor", "assoc", "total msgs", "inv+ack",
                 "dir replacements"});
-  for (int size_factor : {1, 2, 4}) {
-    for (int assoc : {1, 2, 4}) {
-      SystemConfig config = machine(scheme_full(), kCacheLines);
-      make_sparse(config, size_factor, assoc, ReplPolicy::kRandom);
-      const RunResult result = run_trace(config, trace);
-      table.row({std::to_string(size_factor), std::to_string(assoc),
-                 pct(result.protocol.messages.total(),
-                     baseline.protocol.messages.total()),
-                 pct(result.protocol.messages.inv_plus_ack(),
-                     baseline.protocol.messages.inv_plus_ack()),
-                 fmt_count(result.protocol.sparse_replacements)});
+  for (std::size_t i = 1; i < results.size(); ++i) {
+    const harness::CellResult& cell = results[i];
+    const RunResult& result = cell.result;
+    table.row({cell.fields[0].second, cell.fields[1].second,
+               pct(result.protocol.messages.total(),
+                   baseline.protocol.messages.total()),
+               pct(result.protocol.messages.inv_plus_ack(),
+                   baseline.protocol.messages.inv_plus_ack()),
+               fmt_count(result.protocol.sparse_replacements)});
+    if (i % 3 == 0) {
+      table.rule();
     }
-    table.rule();
   }
   table.print(std::cout);
+
+  emit_json(options, results);
   return 0;
 }

@@ -8,14 +8,65 @@
 // directories (constant ~13% overhead), and running MP3D at every size to
 // show the coarse vector's traffic staying within a whisker of the full
 // vector's as the machine grows.
+//
+// The ten simulation cells (five machine sizes x {full, coarse vector})
+// run concurrently on the sweep harness; the storage-model arithmetic is
+// computed inline while printing.
 #include <iostream>
 
 #include "bench_common.hpp"
 #include "model/storage_model.hpp"
 
-int main() {
-  using namespace dircc;
-  using namespace dircc::bench;
+namespace {
+
+using namespace dircc;
+using namespace dircc::bench;
+
+constexpr int kClusterCounts[] = {16, 32, 64, 128, 256};
+
+SchemeConfig cv_scheme_for(int clusters) {
+  // Size the coarse vector like the paper: ~2 bytes of pointer state.
+  const int pointers = clusters <= 32 ? 3 : 8;
+  const int region = clusters <= 32 ? 2 : clusters / 64 * 4;
+  return SchemeConfig::coarse(clusters, pointers, region < 2 ? 2 : region);
+}
+
+SystemConfig scale_machine(int clusters, SchemeConfig scheme) {
+  SystemConfig config;
+  config.num_procs = clusters;
+  config.cache_lines_per_proc = 256;
+  config.cache_assoc = 4;
+  config.scheme = scheme;
+  return config;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const HarnessOptions options = parse_harness_options(argc, argv);
+
+  std::vector<harness::SweepCell> cells;
+  for (int clusters : kClusterCounts) {
+    // Traffic: MP3D with one processor per cluster at every size.
+    const harness::TraceSpec trace =
+        harness::app_trace(AppKind::kMp3d, clusters, kBlockSize, kSeed, 0.25);
+    const SchemeConfig schemes[] = {SchemeConfig::full(clusters),
+                                    cv_scheme_for(clusters)};
+    for (const SchemeConfig& scheme : schemes) {
+      const std::string scheme_name = make_format(scheme)->name();
+      harness::SweepCell cell;
+      cell.key = "scale/clusters=" + std::to_string(clusters) +
+                 "/scheme=" + scheme_name;
+      cell.fields = {{"clusters", std::to_string(clusters)},
+                     {"scheme", scheme_name}};
+      cell.trace = trace;
+      cell.system = scale_machine(clusters, scheme);
+      cells.push_back(std::move(cell));
+    }
+  }
+
+  harness::SweepRunner runner(options.threads);
+  const std::vector<harness::CellResult> results = runner.run(cells);
 
   std::cout << "Scale study: directory overhead and traffic, 16 to 256 "
                "clusters\n\n";
@@ -23,34 +74,21 @@ int main() {
   table.header({"clusters", "Dir_P overhead", "sparse(4) CV overhead",
                 "CV scheme", "MP3D msgs vs full", "mean invals (full)",
                 "mean invals (CV)"});
-  for (int clusters : {16, 32, 64, 128, 256}) {
+  for (std::size_t c = 0; c < std::size(kClusterCounts); ++c) {
+    const int clusters = kClusterCounts[c];
     // Storage: 4 processors per cluster, 16 MB / 256 KB per processor.
     MachineModel full;
     full.processors = clusters * 4;
     full.procs_per_cluster = 4;
     full.scheme = SchemeConfig::full(clusters);
 
-    // Size the coarse vector like the paper: ~2 bytes of pointer state.
-    const int pointers = clusters <= 32 ? 3 : 8;
-    const int region = clusters <= 32 ? 2 : clusters / 64 * 4;
-    const SchemeConfig cv_scheme = SchemeConfig::coarse(
-        clusters, pointers, region < 2 ? 2 : region);
+    const SchemeConfig cv_scheme = cv_scheme_for(clusters);
     MachineModel cv = full;
     cv.scheme = cv_scheme;
     cv.sparsity = 4;
 
-    // Traffic: MP3D with one processor per cluster at every size.
-    const ProgramTrace trace =
-        generate_app(AppKind::kMp3d, clusters, kBlockSize, kSeed, 0.25);
-    SystemConfig full_config;
-    full_config.num_procs = clusters;
-    full_config.cache_lines_per_proc = 256;
-    full_config.cache_assoc = 4;
-    full_config.scheme = SchemeConfig::full(clusters);
-    const RunResult full_run = run_trace(full_config, trace);
-    SystemConfig cv_config = full_config;
-    cv_config.scheme = cv_scheme;
-    const RunResult cv_run = run_trace(cv_config, trace);
+    const RunResult& full_run = results[c * 2].result;
+    const RunResult& cv_run = results[c * 2 + 1].result;
 
     table.row({std::to_string(clusters),
                fmt(full.overhead_fraction() * 100, 1) + "%",
@@ -66,5 +104,7 @@ int main() {
                "count (quadratic in total\nstate); sparse coarse vectors "
                "hold ~13% at every size with near-identical\ntraffic on "
                "migratory workloads.\n";
+
+  emit_json(options, results);
   return 0;
 }

@@ -1,0 +1,179 @@
+// sweep_grid: general design-space sweep driver over the benchmark grids.
+//
+// Expands an (apps x schemes x sparse size factors x associativities) grid
+// from the command line, runs every cell concurrently on the sweep harness
+// (each cell owns its CoherenceSystem + Engine; traces are generated once
+// and shared), and emits one JSON record per cell plus an optional summary
+// table. Records are stably sorted by cell key and — with --omit-timing —
+// byte-identical for any thread count, which is the determinism check CI
+// runs.
+//
+// Examples:
+//   sweep_grid --threads 4 --json results.jsonl
+//   sweep_grid --apps lu,mp3d --schemes full,cv --size-factors 0,1,2,4
+//              --assocs 1,4 --scale 0.25 --table   (one command line)
+#include <iostream>
+#include <sstream>
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace dircc;
+using namespace dircc::bench;
+
+std::vector<std::string> split_list(const std::string& text) {
+  std::vector<std::string> out;
+  std::istringstream in(text);
+  std::string item;
+  while (std::getline(in, item, ',')) {
+    if (!item.empty()) {
+      out.push_back(item);
+    }
+  }
+  return out;
+}
+
+AppKind parse_app(const std::string& name) {
+  if (name == "lu") return AppKind::kLu;
+  if (name == "dwf") return AppKind::kDwf;
+  if (name == "mp3d") return AppKind::kMp3d;
+  if (name == "locus") return AppKind::kLocusRoute;
+  ensure(false, "unknown app (expected lu, dwf, mp3d or locus)");
+  return AppKind::kLu;
+}
+
+SchemeConfig parse_scheme(const std::string& name, int clusters) {
+  if (name == "full") return SchemeConfig::full(clusters);
+  if (name == "cv") return SchemeConfig::coarse(clusters, 3, 2);
+  if (name == "b") return SchemeConfig::broadcast(clusters, 3);
+  if (name == "nb") return SchemeConfig::no_broadcast(clusters, 3);
+  ensure(false, "unknown scheme (expected full, cv, b or nb)");
+  return SchemeConfig::full(clusters);
+}
+
+ReplPolicy parse_policy(const std::string& name) {
+  if (name == "rand") return ReplPolicy::kRandom;
+  if (name == "lru") return ReplPolicy::kLru;
+  if (name == "lra") return ReplPolicy::kLra;
+  ensure(false, "unknown replacement policy (expected rand, lru or lra)");
+  return ReplPolicy::kRandom;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliParser cli;
+  cli.add_option("apps", "lu,dwf,mp3d,locus",
+                 "comma-separated applications (lu,dwf,mp3d,locus)");
+  cli.add_option("schemes", "full,cv,b,nb",
+                 "comma-separated directory schemes (full,cv,b,nb)");
+  cli.add_option("size-factors", "0",
+                 "sparse size factors; 0 = non-sparse (e.g. 0,1,2,4)");
+  cli.add_option("assocs", "4",
+                 "sparse directory associativities (e.g. 1,2,4)");
+  cli.add_option("policy", "rand",
+                 "sparse replacement policy (rand, lru, lra)");
+  cli.add_option("procs", "32", "processors (one per cluster)");
+  cli.add_option("cache-lines", "1024", "cache lines per processor");
+  cli.add_option("scale", "1.0", "trace problem-size scale (0 < s <= 4)");
+  cli.add_option("seed", "1990", "base seed for traces and per-cell seeds");
+  cli.add_option("threads", "0",
+                 "sweep worker threads (0 = hardware concurrency)");
+  cli.add_option("json", "-",
+                 "JSON Lines output path ('-' = stdout, '' = none)");
+  cli.add_flag("omit-timing",
+               "omit per-cell wall-clock from the JSON records");
+  cli.add_flag("table", "also print a human-readable summary table");
+  if (!cli.parse(argc, argv)) {
+    std::cerr << cli.error() << "\n" << cli.usage(argv[0]);
+    return 2;
+  }
+  if (cli.help_requested()) {
+    std::cout << cli.usage(argv[0]);
+    return 0;
+  }
+
+  const int procs = static_cast<int>(cli.get_int("procs"));
+  const auto cache_lines =
+      static_cast<std::uint64_t>(cli.get_int("cache-lines"));
+  const double scale = cli.get_double("scale");
+  const auto base_seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+  const ReplPolicy policy = parse_policy(cli.get("policy"));
+
+  // Expand the grid in a fixed nesting order so cell definition order (and
+  // with it the JSON sort keys and per-cell seeds) depends only on the
+  // spec. Non-sparse cells ignore associativity and are emitted once.
+  std::vector<harness::SweepCell> cells;
+  for (const std::string& app_token : split_list(cli.get("apps"))) {
+    const AppKind app = parse_app(app_token);
+    const harness::TraceSpec trace =
+        harness::app_trace(app, procs, kBlockSize, base_seed, scale);
+    for (const std::string& scheme_token : split_list(cli.get("schemes"))) {
+      const SchemeConfig scheme = parse_scheme(scheme_token, procs);
+      const std::string scheme_name = make_format(scheme)->name();
+      for (const std::string& sf_token : split_list(cli.get("size-factors"))) {
+        const int size_factor = std::stoi(sf_token);
+        std::vector<std::string> assoc_tokens =
+            split_list(cli.get("assocs"));
+        if (size_factor == 0) {
+          assoc_tokens = {"-"};
+        }
+        for (const std::string& assoc_token : assoc_tokens) {
+          SystemConfig config;
+          config.num_procs = procs;
+          config.procs_per_cluster = 1;
+          config.cache_lines_per_proc = cache_lines;
+          config.cache_assoc = 4;
+          config.block_size = kBlockSize;
+          config.scheme = scheme;
+          if (size_factor != 0) {
+            make_sparse(config, size_factor, std::stoi(assoc_token), policy);
+          }
+          harness::SweepCell cell;
+          cell.key = std::string("grid/app=") + app_name(app) +
+                     "/scheme=" + scheme_name +
+                     "/size_factor=" + sf_token + "/assoc=" + assoc_token;
+          cell.fields = {{"app", app_name(app)},
+                         {"scheme", scheme_name},
+                         {"size_factor", sf_token},
+                         {"assoc", assoc_token}};
+          cell.trace = trace;
+          cell.system = config;
+          // Deterministic per-cell seeding: a pure function of the base
+          // seed and the cell key, independent of thread count and
+          // completion order.
+          cell.system.seed = harness::cell_seed(base_seed, cell.key);
+          cells.push_back(std::move(cell));
+        }
+      }
+    }
+  }
+  ensure(!cells.empty(), "the grid spec expands to zero cells");
+
+  harness::SweepRunner runner(static_cast<int>(cli.get_int("threads")));
+  const std::vector<harness::CellResult> results = runner.run(cells);
+
+  if (cli.get_flag("table")) {
+    TextTable table;
+    table.header({"app", "scheme", "size factor", "assoc", "exec cycles",
+                  "total msgs", "inv+ack", "dir replacements"});
+    for (const harness::CellResult& cell : results) {
+      const RunResult& r = cell.result;
+      table.row({cell.fields[0].second, cell.fields[1].second,
+                 cell.fields[2].second, cell.fields[3].second,
+                 fmt_count(r.exec_cycles),
+                 fmt_count(r.protocol.messages.total()),
+                 fmt_count(r.protocol.messages.inv_plus_ack()),
+                 fmt_count(r.protocol.sparse_replacements)});
+    }
+    table.print(std::cout);
+    std::cout << "\n";
+  }
+
+  HarnessOptions emit;
+  emit.json_path = cli.get("json");
+  emit.omit_timing = cli.get_flag("omit-timing");
+  emit_json(emit, results);
+  return 0;
+}

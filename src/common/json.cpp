@@ -1,0 +1,149 @@
+#include "common/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+
+#include "common/ensure.hpp"
+
+namespace dircc {
+
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char ch : text) {
+    switch (ch) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof buffer, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(ch)));
+          out += buffer;
+        } else {
+          out += ch;
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_number(double value) {
+  ensure(std::isfinite(value), "JSON numbers must be finite");
+  char buffer[64];
+  std::snprintf(buffer, sizeof buffer, "%.6g", value);
+  return buffer;
+}
+
+void JsonWriter::element() {
+  if (stack_.empty()) {
+    return;  // top-level value
+  }
+  Level& level = stack_.back();
+  if (level.scope == Scope::kObject) {
+    ensure(key_pending_, "JSON object members need key() before value()");
+    key_pending_ = false;
+    return;
+  }
+  if (level.has_elements) {
+    out_ << ',';
+  }
+  level.has_elements = true;
+}
+
+void JsonWriter::raw(const std::string& text) { out_ << text; }
+
+JsonWriter& JsonWriter::begin_object() {
+  element();
+  stack_.push_back({Scope::kObject});
+  out_ << '{';
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  ensure(!stack_.empty() && stack_.back().scope == Scope::kObject &&
+             !key_pending_,
+         "unbalanced JSON end_object");
+  stack_.pop_back();
+  out_ << '}';
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  element();
+  stack_.push_back({Scope::kArray});
+  out_ << '[';
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  ensure(!stack_.empty() && stack_.back().scope == Scope::kArray,
+         "unbalanced JSON end_array");
+  stack_.pop_back();
+  out_ << ']';
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(const std::string& name) {
+  ensure(!stack_.empty() && stack_.back().scope == Scope::kObject &&
+             !key_pending_,
+         "JSON key() outside an object");
+  Level& level = stack_.back();
+  if (level.has_elements) {
+    out_ << ',';
+  }
+  level.has_elements = true;
+  key_pending_ = true;
+  out_ << '"' << json_escape(name) << "\":";
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const std::string& text) {
+  element();
+  out_ << '"' << json_escape(text) << '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const char* text) {
+  return value(std::string(text));
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t number) {
+  element();
+  out_ << number;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t number) {
+  element();
+  out_ << number;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double number) {
+  element();
+  raw(json_number(number));
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool flag) {
+  element();
+  out_ << (flag ? "true" : "false");
+  return *this;
+}
+
+}  // namespace dircc

@@ -1,0 +1,71 @@
+// Minimal deterministic JSON emission.
+//
+// The sweep harness (src/harness) and the run reports (src/sim/report)
+// emit machine-readable records whose byte-for-byte stability matters:
+// the determinism check diffs the JSON of a multi-threaded sweep against
+// a single-threaded one. Everything here renders exactly what it is told,
+// in call order, with no locale dependence and no incidental whitespace —
+// the same call sequence always produces the same bytes.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace dircc {
+
+/// Escapes `text` for inclusion inside a JSON string literal (quotes,
+/// backslashes, and control characters; everything else passes through).
+std::string json_escape(const std::string& text);
+
+/// Renders a double as a JSON number ("%.6g"; non-finite values are
+/// rejected — the simulator never produces them legitimately).
+std::string json_number(double value);
+
+/// Streaming writer for nested JSON objects and arrays. Commas and
+/// key/value separators are managed automatically; calls must form a
+/// well-nested document (enforced with dircc::ensure).
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& out) : out_(out) {}
+
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Emits the key of the next object member.
+  JsonWriter& key(const std::string& name);
+
+  JsonWriter& value(const std::string& text);
+  JsonWriter& value(const char* text);
+  JsonWriter& value(std::uint64_t number);
+  JsonWriter& value(std::int64_t number);
+  JsonWriter& value(double number);
+  JsonWriter& value(bool flag);
+
+  /// key() + value() in one call.
+  template <typename T>
+  JsonWriter& field(const std::string& name, const T& v) {
+    key(name);
+    return value(v);
+  }
+
+ private:
+  enum class Scope : std::uint8_t { kObject, kArray };
+
+  // Emits the separator a new element needs, and validates nesting.
+  void element();
+  void raw(const std::string& text);
+
+  std::ostream& out_;
+  struct Level {
+    Scope scope;
+    bool has_elements = false;
+  };
+  std::vector<Level> stack_;
+  bool key_pending_ = false;
+};
+
+}  // namespace dircc

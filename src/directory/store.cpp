@@ -43,7 +43,14 @@ DirEntry* FullDirectoryStore::find_or_alloc(
   return &it->second;
 }
 
-void FullDirectoryStore::release(BlockAddr block) { entries_.erase(block); }
+void FullDirectoryStore::release(BlockAddr block) {
+  // Releasing probes the directory just like find(); count it so the
+  // hit-rate denominators match across all probe paths.
+  ++stats_.lookups;
+  if (entries_.erase(block) != 0) {
+    ++stats_.hits;
+  }
+}
 
 // ---------------------------------------------------------------------------
 // SparseDirectoryStore
@@ -156,7 +163,9 @@ DirEntry* SparseDirectoryStore::find_or_alloc(
 }
 
 void SparseDirectoryStore::release(BlockAddr block) {
+  ++stats_.lookups;
   if (Way* way = probe(block)) {
+    ++stats_.hits;
     way->valid = false;
     way->entry.reset();
     ensure(live_ > 0, "sparse live-entry underflow");

@@ -1,0 +1,32 @@
+// Structured results sink for sweep runs.
+//
+// Emits one machine-readable JSON record per grid cell — its identity key,
+// the label dimensions, every RunResult counter, and (optionally) the
+// cell's wall-clock — as JSON Lines, sorted by cell key. With timing
+// omitted, the bytes depend only on the grid spec and the simulation
+// results, so diffing a 2-thread sweep against a 1-thread sweep is the
+// determinism check.
+#pragma once
+
+#include <iosfwd>
+#include <vector>
+
+#include "harness/sweep.hpp"
+
+namespace dircc::harness {
+
+struct SinkOptions {
+  /// Include per-cell wall-clock ("wall_ms"). Leave off when the output
+  /// feeds a byte-identity comparison.
+  bool include_timing = true;
+};
+
+/// Writes one cell's record as a single-line JSON object (no newline).
+void write_cell_json(std::ostream& out, const CellResult& cell,
+                     const SinkOptions& options = {});
+
+/// Writes all records as JSON Lines, stably sorted by cell key.
+void write_results_jsonl(std::ostream& out, std::vector<CellResult> results,
+                         const SinkOptions& options = {});
+
+}  // namespace dircc::harness

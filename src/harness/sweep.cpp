@@ -1,0 +1,88 @@
+#include "harness/sweep.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <unordered_set>
+
+#include "common/ensure.hpp"
+
+namespace dircc::harness {
+
+std::uint64_t cell_seed(std::uint64_t base_seed, const std::string& key) {
+  // FNV-1a over the key bytes, then a splitmix64 finalizer mixing in the
+  // base seed. Fully specified (unlike std::hash) so the derivation is
+  // stable across platforms and runs.
+  std::uint64_t hash = 14695981039346656037ull;
+  for (const char ch : key) {
+    hash ^= static_cast<unsigned char>(ch);
+    hash *= 1099511628211ull;
+  }
+  std::uint64_t z = hash + base_seed + 0x9e3779b97f4a7c15ull;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  z = z ^ (z >> 31);
+  // The simulator treats seeds as opaque; avoid 0 only to keep weak PRNG
+  // states out of the picture entirely.
+  return z == 0 ? 1 : z;
+}
+
+SweepRunner::SweepRunner(int threads) : threads_(threads) {
+  if (threads_ <= 0) {
+    threads_ = static_cast<int>(std::thread::hardware_concurrency());
+  }
+  if (threads_ <= 0) {
+    threads_ = 1;
+  }
+}
+
+std::vector<CellResult> SweepRunner::run(const std::vector<SweepCell>& cells) {
+  std::unordered_set<std::string> keys;
+  for (const SweepCell& cell : cells) {
+    ensure(keys.insert(cell.key).second, "sweep cell keys must be unique");
+  }
+
+  std::vector<CellResult> results(cells.size());
+  std::atomic<std::size_t> next{0};
+
+  auto worker = [&] {
+    for (;;) {
+      const std::size_t index = next.fetch_add(1, std::memory_order_relaxed);
+      if (index >= cells.size()) {
+        return;
+      }
+      const SweepCell& cell = cells[index];
+      const auto trace = cache_.get(cell.trace);
+      const auto start = std::chrono::steady_clock::now();
+      // Each cell owns its full machine: no state crosses cells, so the
+      // simulation is oblivious to which thread runs it and when.
+      CoherenceSystem system(cell.system);
+      Engine engine(system, *trace, cell.engine);
+      CellResult& out = results[index];
+      out.result = engine.run();
+      const auto stop = std::chrono::steady_clock::now();
+      out.key = cell.key;
+      out.fields = cell.fields;
+      out.wall_ms =
+          std::chrono::duration<double, std::milli>(stop - start).count();
+    }
+  };
+
+  const int pool = std::min<int>(threads_, static_cast<int>(cells.size()));
+  if (pool <= 1) {
+    worker();
+    return results;
+  }
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(pool));
+  for (int t = 0; t < pool; ++t) {
+    threads.emplace_back(worker);
+  }
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+  return results;
+}
+
+}  // namespace dircc::harness

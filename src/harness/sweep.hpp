@@ -1,0 +1,67 @@
+// Thread-pooled sweep runner for simulation grids.
+//
+// The paper's figures are grids of independent simulations (app trace x
+// machine configuration x engine configuration). Each grid cell owns its
+// CoherenceSystem and Engine, so cells share no mutable state and can run
+// on any number of threads; the only shared object is the immutable trace
+// cache. Results land in cell-definition order regardless of which thread
+// finishes first, and every source of randomness is seeded from the grid
+// spec alone — a sweep is bit-identical across thread counts and runs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "harness/trace_cache.hpp"
+#include "protocol/system.hpp"
+#include "sim/engine.hpp"
+
+namespace dircc::harness {
+
+/// One independent simulation in a sweep grid.
+struct SweepCell {
+  /// Stable unique identity: the JSON sort key and the seed derivation
+  /// input. Convention: "<grid>/dim1=a/dim2=b".
+  std::string key;
+  /// Label dimensions emitted verbatim into the cell's JSON record
+  /// (e.g. {"app","LU"}, {"scheme","Dir3CV2"}).
+  std::vector<std::pair<std::string, std::string>> fields;
+  TraceSpec trace;
+  SystemConfig system;
+  EngineConfig engine;
+};
+
+/// A finished cell: its identity plus everything the run produced.
+struct CellResult {
+  std::string key;
+  std::vector<std::pair<std::string, std::string>> fields;
+  RunResult result;
+  double wall_ms = 0.0;  ///< this cell's wall-clock, excluded from identity
+};
+
+/// Deterministically derives a per-cell seed from the sweep's base seed and
+/// the cell key (FNV-1a over the key, splitmix64 finalizer). Depends only
+/// on the grid spec — never on thread count or completion order.
+std::uint64_t cell_seed(std::uint64_t base_seed, const std::string& key);
+
+/// Runs grid cells concurrently on a fixed-size thread pool.
+class SweepRunner {
+ public:
+  /// `threads` <= 0 selects the hardware concurrency.
+  explicit SweepRunner(int threads = 0);
+
+  /// Executes every cell and returns results in cell-definition order.
+  /// Cell keys must be unique (checked).
+  std::vector<CellResult> run(const std::vector<SweepCell>& cells);
+
+  int threads() const { return threads_; }
+  TraceCache& trace_cache() { return cache_; }
+
+ private:
+  int threads_;
+  TraceCache cache_;
+};
+
+}  // namespace dircc::harness

@@ -1,0 +1,95 @@
+#include "harness/trace_cache.hpp"
+
+#include <sstream>
+
+#include "common/ensure.hpp"
+
+namespace dircc::harness {
+namespace {
+
+std::string scale_token(double scale) {
+  // Canonical, locale-free rendering so equal scales key identically.
+  std::ostringstream out;
+  out << scale;
+  return out.str();
+}
+
+}  // namespace
+
+TraceSpec app_trace(AppKind app, int procs, int block_size,
+                    std::uint64_t seed, double scale) {
+  std::ostringstream key;
+  key << "app:" << app_name(app) << "(procs=" << procs
+      << ",block=" << block_size << ",seed=" << seed
+      << ",scale=" << scale_token(scale) << ")";
+  return {key.str(), [app, procs, block_size, seed, scale] {
+            return generate_app(app, procs, block_size, seed, scale);
+          }};
+}
+
+TraceSpec lu_trace(const LuConfig& config) {
+  std::ostringstream key;
+  key << "lu(procs=" << config.procs << ",block=" << config.block_size
+      << ",n=" << config.n << ",seed=" << config.seed << ")";
+  return {key.str(), [config] { return generate_lu(config); }};
+}
+
+TraceSpec dwf_trace(const DwfConfig& config) {
+  std::ostringstream key;
+  key << "dwf(procs=" << config.procs << ",block=" << config.block_size
+      << ",rows=" << config.pattern_rows << ",len=" << config.seq_length
+      << ",seqs=" << config.num_sequences << ",seed=" << config.seed << ")";
+  return {key.str(), [config] { return generate_dwf(config); }};
+}
+
+TraceSpec mp3d_trace(const Mp3dConfig& config) {
+  std::ostringstream key;
+  key << "mp3d(procs=" << config.procs << ",block=" << config.block_size
+      << ",particles=" << config.particles << ",cells=" << config.cells_per_axis
+      << ",steps=" << config.steps
+      << ",collide=" << scale_token(config.collision_prob)
+      << ",seed=" << config.seed << ")";
+  return {key.str(), [config] { return generate_mp3d(config); }};
+}
+
+TraceSpec locus_trace(const LocusConfig& config) {
+  std::ostringstream key;
+  key << "locus(procs=" << config.procs << ",block=" << config.block_size
+      << ",w=" << config.grid_w << ",h=" << config.grid_h
+      << ",regions=" << config.regions << ",wires=" << config.wires
+      << ",cross=" << scale_token(config.cross_region_prob)
+      << ",global=" << scale_token(config.global_update_prob)
+      << ",seed=" << config.seed << ")";
+  return {key.str(), [config] { return generate_locusroute(config); }};
+}
+
+std::shared_ptr<const ProgramTrace> TraceCache::get(const TraceSpec& spec) {
+  ensure(static_cast<bool>(spec.build), "TraceSpec has no builder");
+  std::promise<std::shared_ptr<const ProgramTrace>> promise;
+  TraceFuture future;
+  bool builder = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = traces_.find(spec.key);
+    if (it == traces_.end()) {
+      future = promise.get_future().share();
+      traces_.emplace(spec.key, future);
+      builder = true;
+    } else {
+      future = it->second;
+    }
+  }
+  if (builder) {
+    // Built outside the lock: distinct traces generate concurrently, and
+    // only callers that need *this* trace wait on it.
+    promise.set_value(std::make_shared<const ProgramTrace>(spec.build()));
+  }
+  return future.get();
+}
+
+std::size_t TraceCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return traces_.size();
+}
+
+}  // namespace dircc::harness

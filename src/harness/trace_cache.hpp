@@ -1,0 +1,58 @@
+// Shared immutable trace cache for sweep grids.
+//
+// Every figure in the paper is a grid of independent simulations over the
+// same four application traces; regenerating an identical ProgramTrace per
+// grid cell dominated the serial harnesses' runtime. The cache builds each
+// distinct trace exactly once — keyed by generator name + parameters — and
+// hands out shared `const` references, safe to read concurrently from any
+// number of sweep workers.
+#pragma once
+
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "trace/generators.hpp"
+
+namespace dircc::harness {
+
+/// A deferred trace: a canonical cache key (generator name + every
+/// parameter that affects the output) plus the builder that produces it.
+/// Two specs with equal keys must build identical traces.
+struct TraceSpec {
+  std::string key;
+  std::function<ProgramTrace()> build;
+};
+
+/// Spec for one of the four registry applications at a given scale.
+TraceSpec app_trace(AppKind app, int procs, int block_size,
+                    std::uint64_t seed, double scale = 1.0);
+
+/// Specs for explicitly parameterized generators (the sparse figures use
+/// non-default problem sizes).
+TraceSpec lu_trace(const LuConfig& config);
+TraceSpec dwf_trace(const DwfConfig& config);
+TraceSpec mp3d_trace(const Mp3dConfig& config);
+TraceSpec locus_trace(const LocusConfig& config);
+
+/// Thread-safe build-once cache. The first caller for a key builds the
+/// trace (outside the cache lock, so distinct traces generate in
+/// parallel); everyone else blocks on that build and shares the result.
+class TraceCache {
+ public:
+  std::shared_ptr<const ProgramTrace> get(const TraceSpec& spec);
+
+  /// Distinct traces built (or being built) so far.
+  std::size_t size() const;
+
+ private:
+  using TraceFuture = std::shared_future<std::shared_ptr<const ProgramTrace>>;
+
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, TraceFuture> traces_;
+};
+
+}  // namespace dircc::harness

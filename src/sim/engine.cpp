@@ -115,6 +115,7 @@ RunResult Engine::run() {
     if (trace_.per_proc[static_cast<std::size_t>(p)].empty()) {
       ++finished_;
     } else {
+      ++participants_;
       schedule(static_cast<ProcId>(p), 0);
     }
   }
@@ -149,14 +150,16 @@ RunResult Engine::run() {
         Cycle start = now;
         if (static_cast<int>(buffer.size()) >= config_.write_buffer_depth) {
           // Buffer full: wait until the earliest outstanding write lands.
+          // The stalled write still retires into the buffer, so it counts
+          // as buffered too — `buffered_writes` is every RC write and
+          // `buffer_stalls` the subset that found the buffer full.
           ++sync_.buffer_stalls;
           auto earliest = std::min_element(buffer.begin(), buffer.end());
           start = *earliest;
           buffer.erase(earliest);
           resume = start + config_.issue_cost;
-        } else {
-          ++sync_.buffered_writes;
         }
+        ++sync_.buffered_writes;
         buffer.push_back(start + lat);
         resume += config_.write_buffer_cost;
         break;
@@ -199,7 +202,10 @@ RunResult Engine::run() {
         const Cycle eff = drained(proc, now);  // barriers fence too
         barrier.latest_arrival = std::max(barrier.latest_arrival, eff);
         barrier.waiters.push_back(proc);
-        if (++barrier.arrived < procs) {
+        // Only processors with a reference stream ever reach a barrier; a
+        // processor with an empty stream finishes at t=0 and must not be
+        // waited for, or the episode deadlocks.
+        if (++barrier.arrived < participants_) {
           runnable = false;
           ++blocked_;
         } else {

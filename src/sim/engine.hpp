@@ -8,7 +8,8 @@
 //
 // Synchronization is modeled natively:
 //  * Barriers — a processor arriving at a barrier blocks until every
-//    processor has arrived; all resume after a fixed release latency.
+//    participating processor (one with a non-empty stream) has arrived;
+//    all resume after a fixed release latency.
 //  * Locks — queue-based locks as in DASH. By default a release grants the
 //    lock to exactly one waiter. With `region_grant_locks`, the engine
 //    models the coarse-vector lock-grant of Section 7: the directory only
@@ -55,8 +56,10 @@ struct SyncStats {
   std::uint64_t lock_acquires = 0;
   std::uint64_t lock_contended = 0;  ///< acquires that had to queue
   std::uint64_t lock_retries = 0;    ///< region-grant wakeups that lost
-  std::uint64_t buffered_writes = 0; ///< writes hidden by the write buffer
-  std::uint64_t buffer_stalls = 0;   ///< issues that found the buffer full
+  /// Every write that retired into the write buffer (all RC-mode writes,
+  /// including the ones that first stalled on a full buffer).
+  std::uint64_t buffered_writes = 0;
+  std::uint64_t buffer_stalls = 0;   ///< subset that found the buffer full
   Cycle fence_wait_cycles = 0;       ///< release/barrier drain waits
 };
 
@@ -119,6 +122,8 @@ class Engine {
   SyncStats sync_;
   int finished_ = 0;
   int blocked_ = 0;
+  /// Processors with a non-empty stream; barriers wait for exactly these.
+  int participants_ = 0;
 };
 
 }  // namespace dircc

@@ -1,41 +1,11 @@
 #include "sim/report.hpp"
 
-#include <cstdio>
 #include <ostream>
 
 #include "common/ensure.hpp"
+#include "common/json.hpp"
 
 namespace dircc {
-namespace {
-
-std::string json_escape(const std::string& text) {
-  std::string out;
-  out.reserve(text.size());
-  for (char ch : text) {
-    switch (ch) {
-      case '"':
-        out += "\\\"";
-        break;
-      case '\\':
-        out += "\\\\";
-        break;
-      case '\n':
-        out += "\\n";
-        break;
-      default:
-        out += ch;
-    }
-  }
-  return out;
-}
-
-std::string render_double(double value) {
-  char buffer[64];
-  std::snprintf(buffer, sizeof buffer, "%.6g", value);
-  return buffer;
-}
-
-}  // namespace
 
 RunReport::RunReport(std::string label, const RunResult& result) {
   add_field("label", std::move(label));
@@ -69,7 +39,7 @@ void RunReport::add_field(std::string key, std::uint64_t value) {
 }
 
 void RunReport::add_field(std::string key, double value) {
-  fields_.push_back({std::move(key), render_double(value), false});
+  fields_.push_back({std::move(key), json_number(value), false});
 }
 
 void RunReport::write_json(std::ostream& out) const {

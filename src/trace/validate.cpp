@@ -69,11 +69,21 @@ bool validate_trace(const ProgramTrace& trace, std::string* error) {
                              " ends the trace holding a lock");
     }
   }
-  for (int p = 1; p < trace.num_procs(); ++p) {
-    if (barrier_seq[static_cast<std::size_t>(p)] != barrier_seq[0]) {
-      return fail(error,
-                  "barrier sequences differ between processors 0 and " +
-                      std::to_string(p));
+  // Barrier sequences must agree across participating processors. A
+  // processor with an empty stream finishes before any barrier opens and is
+  // not waited for (see Engine), so it is exempt from the cross-check.
+  int reference = -1;
+  for (int p = 0; p < trace.num_procs(); ++p) {
+    if (trace.per_proc[static_cast<std::size_t>(p)].empty()) {
+      continue;
+    }
+    if (reference < 0) {
+      reference = p;
+    } else if (barrier_seq[static_cast<std::size_t>(p)] !=
+               barrier_seq[static_cast<std::size_t>(reference)]) {
+      return fail(error, "barrier sequences differ between processors " +
+                             std::to_string(reference) + " and " +
+                             std::to_string(p));
     }
   }
   return true;

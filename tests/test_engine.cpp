@@ -77,6 +77,28 @@ TEST(Engine, BarrierSynchronizesAllProcessors) {
   EXPECT_EQ(result.sync.messages.get(MsgClass::kReply), 2u);
 }
 
+TEST(Engine, BarrierWithIdleProcessorCompletes) {
+  auto config = engine_config(4);
+  CoherenceSystem sys(config);
+  ProgramTrace trace = empty_trace(4);
+  // Proc 3 has no references at all: it finishes at t=0 and never arrives
+  // at the barrier, so the episode must release on the three participants
+  // instead of waiting for a fourth arrival that never comes.
+  for (int p = 0; p < 3; ++p) {
+    trace.per_proc[static_cast<std::size_t>(p)] = {
+        TraceEvent::think(static_cast<std::uint32_t>(10 * (p + 1))),
+        TraceEvent::barrier(0), TraceEvent::think(5)};
+  }
+  Engine engine(sys, trace);
+  const RunResult result = engine.run();
+  EXPECT_EQ(result.sync.barrier_episodes, 1u);
+  // 3 arrival requests + 3 release replies — the idle processor sends none.
+  EXPECT_EQ(result.sync.messages.get(MsgClass::kRequest), 3u);
+  EXPECT_EQ(result.sync.messages.get(MsgClass::kReply), 3u);
+  // Last arrival at 31, release 60 later, think 5 after that.
+  EXPECT_GE(result.exec_cycles, 31u + 60u + 5u);
+}
+
 TEST(Engine, ReusedBarrierIdsFormSuccessiveEpisodes) {
   auto config = engine_config(2);
   CoherenceSystem sys(config);
@@ -215,7 +237,11 @@ TEST(EngineDeathTest, MismatchedBarrierDeadlocks) {
         auto config = engine_config(2);
         CoherenceSystem sys(config);
         ProgramTrace trace = empty_trace(2);
-        trace.per_proc[0] = {TraceEvent::barrier(0)};  // proc 1 never arrives
+        // Proc 1 participates (non-empty stream) but never reaches the
+        // barrier — a genuinely malformed trace. (An *idle* processor with
+        // an empty stream is legal; see BarrierWithIdleProcessorCompletes.)
+        trace.per_proc[0] = {TraceEvent::barrier(0)};
+        trace.per_proc[1] = {TraceEvent::think(5)};
         Engine engine(sys, trace);
         engine.run();
       },

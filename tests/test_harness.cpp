@@ -1,0 +1,199 @@
+// Sweep harness: trace cache build-once semantics, deterministic per-cell
+// seeding, thread-count-invariant results, and the JSON results sink.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <sstream>
+#include <thread>
+
+#include "harness/sink.hpp"
+#include "harness/sweep.hpp"
+
+namespace dircc::harness {
+namespace {
+
+ProgramTrace tiny_trace(int procs) {
+  ProgramTrace trace;
+  trace.app_name = "tiny";
+  trace.block_size = 16;
+  trace.per_proc.assign(static_cast<std::size_t>(procs), {});
+  for (int p = 0; p < procs; ++p) {
+    auto& stream = trace.per_proc[static_cast<std::size_t>(p)];
+    for (int i = 0; i < 40; ++i) {
+      stream.push_back(TraceEvent::read(static_cast<Addr>((p + i) % 9) * 16));
+      stream.push_back(TraceEvent::write(static_cast<Addr>((p * i) % 5) * 16));
+    }
+  }
+  return trace;
+}
+
+TEST(TraceCache, BuildsEachKeyOnce) {
+  TraceCache cache;
+  std::atomic<int> builds{0};
+  TraceSpec spec{"tiny(p=4)", [&builds] {
+                   ++builds;
+                   return tiny_trace(4);
+                 }};
+  const auto first = cache.get(spec);
+  const auto second = cache.get(spec);
+  EXPECT_EQ(builds.load(), 1);
+  EXPECT_EQ(first.get(), second.get());  // shared, not copied
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(TraceCache, ConcurrentGetsShareOneBuild) {
+  TraceCache cache;
+  std::atomic<int> builds{0};
+  TraceSpec spec{"tiny(p=2)", [&builds] {
+                   ++builds;
+                   return tiny_trace(2);
+                 }};
+  std::vector<std::thread> threads;
+  std::vector<std::shared_ptr<const ProgramTrace>> seen(8);
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back(
+        [&cache, &spec, &seen, t] { seen[static_cast<std::size_t>(t)] = cache.get(spec); });
+  }
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+  EXPECT_EQ(builds.load(), 1);
+  for (const auto& trace : seen) {
+    EXPECT_EQ(trace.get(), seen.front().get());
+  }
+}
+
+TEST(TraceCache, DistinctKeysBuildDistinctTraces) {
+  TraceCache cache;
+  const auto a = cache.get(app_trace(AppKind::kMp3d, 4, 16, 3, 0.05));
+  const auto b = cache.get(app_trace(AppKind::kMp3d, 4, 16, 4, 0.05));
+  EXPECT_NE(a.get(), b.get());
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(CellSeed, IsStableAndKeyDependent) {
+  EXPECT_EQ(cell_seed(1990, "grid/a"), cell_seed(1990, "grid/a"));
+  EXPECT_NE(cell_seed(1990, "grid/a"), cell_seed(1990, "grid/b"));
+  EXPECT_NE(cell_seed(1990, "grid/a"), cell_seed(1991, "grid/a"));
+  EXPECT_NE(cell_seed(1990, "grid/a"), 0u);
+}
+
+std::vector<SweepCell> small_grid() {
+  std::vector<SweepCell> cells;
+  const SchemeConfig schemes[] = {SchemeConfig::full(8),
+                                  SchemeConfig::coarse(8, 3, 2)};
+  for (const SchemeConfig& scheme : schemes) {
+    for (int size_factor : {0, 1}) {
+      SystemConfig config;
+      config.num_procs = 8;
+      config.cache_lines_per_proc = 64;
+      config.cache_assoc = 4;
+      config.scheme = scheme;
+      if (size_factor != 0) {
+        config.store.sparse = true;
+        config.store.sparse_entries = 64;
+        config.store.sparse_assoc = 4;
+      }
+      SweepCell cell;
+      cell.key = "test/scheme=" + std::to_string(scheme.num_pointers) +
+                 "/sf=" + std::to_string(size_factor);
+      cell.fields = {{"sf", std::to_string(size_factor)}};
+      cell.trace = app_trace(AppKind::kMp3d, 8, 16, 3, 0.05);
+      cell.system = config;
+      cell.system.seed = cell_seed(1990, cell.key);
+      cells.push_back(std::move(cell));
+    }
+  }
+  return cells;
+}
+
+TEST(SweepRunner, ResultsArriveInCellOrder) {
+  const std::vector<SweepCell> cells = small_grid();
+  SweepRunner runner(4);
+  const std::vector<CellResult> results = runner.run(cells);
+  ASSERT_EQ(results.size(), cells.size());
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    EXPECT_EQ(results[i].key, cells[i].key);
+    EXPECT_GT(results[i].result.protocol.accesses, 0u);
+  }
+}
+
+TEST(SweepRunner, ThreadCountDoesNotChangeResults) {
+  const std::vector<SweepCell> cells = small_grid();
+  const std::vector<CellResult> serial = SweepRunner(1).run(cells);
+  const std::vector<CellResult> threaded = SweepRunner(4).run(cells);
+  ASSERT_EQ(serial.size(), threaded.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].result.exec_cycles, threaded[i].result.exec_cycles);
+    EXPECT_EQ(serial[i].result.protocol.messages.total(),
+              threaded[i].result.protocol.messages.total());
+    EXPECT_EQ(serial[i].result.protocol.inval_distribution.total(),
+              threaded[i].result.protocol.inval_distribution.total());
+    EXPECT_EQ(serial[i].result.cache.read_misses,
+              threaded[i].result.cache.read_misses);
+  }
+}
+
+TEST(SweepRunner, MatchesADirectSerialRun) {
+  const std::vector<SweepCell> cells = small_grid();
+  const std::vector<CellResult> swept = SweepRunner(3).run(cells);
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const ProgramTrace trace = cells[i].trace.build();
+    CoherenceSystem system(cells[i].system);
+    Engine engine(system, trace, cells[i].engine);
+    const RunResult direct = engine.run();
+    EXPECT_EQ(swept[i].result.exec_cycles, direct.exec_cycles);
+    EXPECT_EQ(swept[i].result.protocol.messages.total(),
+              direct.protocol.messages.total());
+  }
+}
+
+TEST(SweepRunnerDeathTest, RejectsDuplicateCellKeys) {
+  std::vector<SweepCell> cells = small_grid();
+  cells.push_back(cells.front());
+  EXPECT_DEATH(SweepRunner(1).run(cells), "unique");
+}
+
+TEST(Sink, JsonlIsSortedByKeyAndDeterministic) {
+  std::vector<SweepCell> cells = small_grid();
+  // Reverse definition order: the sink must sort by key regardless.
+  std::reverse(cells.begin(), cells.end());
+  SinkOptions options;
+  options.include_timing = false;
+  std::ostringstream a;
+  write_results_jsonl(a, SweepRunner(1).run(cells), options);
+  std::ostringstream b;
+  write_results_jsonl(b, SweepRunner(4).run(cells), options);
+  EXPECT_EQ(a.str(), b.str());  // byte-identical across thread counts
+  // Sorted: each line's key is >= the previous line's key.
+  std::istringstream lines(a.str());
+  std::string line;
+  std::string prev;
+  int count = 0;
+  while (std::getline(lines, line)) {
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+    const auto start = line.find("\"cell\":\"") + 8;
+    const std::string key = line.substr(start, line.find('"', start) - start);
+    EXPECT_LE(prev, key);
+    prev = key;
+    ++count;
+  }
+  EXPECT_EQ(count, 4);
+}
+
+TEST(Sink, TimingFieldIsPresentOnlyWhenAsked) {
+  CellResult cell;
+  cell.key = "k";
+  cell.wall_ms = 1.5;
+  std::ostringstream with;
+  write_cell_json(with, cell, {.include_timing = true});
+  EXPECT_NE(with.str().find("\"wall_ms\""), std::string::npos);
+  std::ostringstream without;
+  write_cell_json(without, cell, {.include_timing = false});
+  EXPECT_EQ(without.str().find("\"wall_ms\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dircc::harness

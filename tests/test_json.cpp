@@ -1,0 +1,87 @@
+// Deterministic JSON emission (common/json).
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/json.hpp"
+
+namespace dircc {
+namespace {
+
+TEST(JsonEscape, HandlesSpecialCharacters) {
+  EXPECT_EQ(json_escape("plain"), "plain");
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(json_escape("a\nb\tc\rd"), "a\\nb\\tc\\rd");
+  EXPECT_EQ(json_escape(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST(JsonNumber, RendersCompactly) {
+  EXPECT_EQ(json_number(0.0), "0");
+  EXPECT_EQ(json_number(1.5), "1.5");
+  EXPECT_EQ(json_number(2.0), "2");
+}
+
+TEST(JsonWriter, FlatObject) {
+  std::ostringstream out;
+  JsonWriter json(out);
+  json.begin_object();
+  json.field("name", std::string("Dir3CV2"));
+  json.field("cycles", std::uint64_t{1234});
+  json.field("mean", 2.5);
+  json.field("sparse", true);
+  json.end_object();
+  EXPECT_EQ(out.str(),
+            "{\"name\":\"Dir3CV2\",\"cycles\":1234,\"mean\":2.5,"
+            "\"sparse\":true}");
+}
+
+TEST(JsonWriter, NestedStructures) {
+  std::ostringstream out;
+  JsonWriter json(out);
+  json.begin_object();
+  json.key("cells");
+  json.begin_array();
+  json.value(std::uint64_t{1});
+  json.value(std::uint64_t{2});
+  json.begin_object();
+  json.field("k", std::string("v"));
+  json.end_object();
+  json.end_array();
+  json.end_object();
+  EXPECT_EQ(out.str(), "{\"cells\":[1,2,{\"k\":\"v\"}]}");
+}
+
+TEST(JsonWriter, EscapesKeys) {
+  std::ostringstream out;
+  JsonWriter json(out);
+  json.begin_object();
+  json.field("we\"ird", std::string("x"));
+  json.end_object();
+  EXPECT_EQ(out.str(), "{\"we\\\"ird\":\"x\"}");
+}
+
+TEST(JsonWriterDeathTest, RejectsValueWithoutKeyInObject) {
+  EXPECT_DEATH(
+      {
+        std::ostringstream out;
+        JsonWriter json(out);
+        json.begin_object();
+        json.value(std::uint64_t{1});
+      },
+      "key");
+}
+
+TEST(JsonWriterDeathTest, RejectsUnbalancedClose) {
+  EXPECT_DEATH(
+      {
+        std::ostringstream out;
+        JsonWriter json(out);
+        json.begin_object();
+        json.end_array();
+      },
+      "unbalanced");
+}
+
+}  // namespace
+}  // namespace dircc

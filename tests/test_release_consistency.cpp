@@ -77,6 +77,22 @@ TEST(ReleaseConsistency, FullBufferStalls) {
   EXPECT_GT(result.sync.buffer_stalls, 0u);
 }
 
+TEST(ReleaseConsistency, StalledWritesStillCountAsBuffered) {
+  // Invariant: every RC-mode write retires into the buffer, so
+  // `buffered_writes` counts all of them and `buffer_stalls` is the subset
+  // that first had to wait for a slot — not a disjoint bucket.
+  const ProgramTrace trace = writes_trace(4, 12);
+  CoherenceSystem sys(rc_system());
+  EngineConfig config;
+  config.release_consistency = true;
+  config.write_buffer_depth = 2;
+  Engine engine(sys, trace, config);
+  const RunResult result = engine.run();
+  EXPECT_EQ(result.sync.buffered_writes, 12u);
+  EXPECT_GT(result.sync.buffer_stalls, 0u);
+  EXPECT_LE(result.sync.buffer_stalls, result.sync.buffered_writes);
+}
+
 TEST(ReleaseConsistency, UnlockFencesBufferedWrites) {
   // Proc 0 writes under a lock then releases; proc 1 acquires and reads.
   // The fence forces the writes to perform before the lock moves, so the

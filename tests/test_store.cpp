@@ -150,6 +150,26 @@ TEST(SparseStore, ReleaseMakesRoom) {
   EXPECT_EQ(store.live_entries(), 4u);
 }
 
+TEST(FullStore, ReleaseCountsLookupsLikeAnyProbe) {
+  FullDirectoryStore store;
+  std::optional<VictimEntry> victim;
+  store.find_or_alloc(7, victim);  // lookup 1, allocation
+  store.release(7);                // lookup 2, hit
+  store.release(7);                // lookup 3, miss (already gone)
+  EXPECT_EQ(store.stats().lookups, 3u);
+  EXPECT_EQ(store.stats().hits, 1u);
+}
+
+TEST(SparseStore, ReleaseCountsLookupsLikeAnyProbe) {
+  SparseDirectoryStore store(4, 4, ReplPolicy::kLru, 1);
+  std::optional<VictimEntry> victim;
+  store.find_or_alloc(10, victim);  // lookup 1, allocation
+  store.release(10);                // lookup 2, hit
+  store.release(10);                // lookup 3, miss (already gone)
+  EXPECT_EQ(store.stats().lookups, 3u);
+  EXPECT_EQ(store.stats().hits, 1u);
+}
+
 TEST(SparseStore, DirectMappedConflictsImmediately) {
   SparseDirectoryStore store(4, 1, ReplPolicy::kLru, 1);  // 4 sets x 1 way
   std::optional<VictimEntry> victim;

@@ -313,6 +313,21 @@ TEST(ValidateTrace, CatchesBarrierMismatch) {
   EXPECT_NE(error.find("arrier"), std::string::npos);
 }
 
+TEST(ValidateTrace, IdleProcessorIsExemptFromBarrierCrossCheck) {
+  // An empty stream finishes before any barrier opens (the engine does not
+  // wait for it), so only participating processors must agree.
+  ProgramTrace trace;
+  trace.per_proc = {{},
+                    {TraceEvent::read(0), TraceEvent::barrier(0)},
+                    {TraceEvent::write(16), TraceEvent::barrier(0)}};
+  EXPECT_TRUE(validate_trace(trace));
+
+  trace.per_proc[2] = {TraceEvent::write(16), TraceEvent::barrier(7)};
+  std::string error;
+  EXPECT_FALSE(validate_trace(trace, &error));
+  EXPECT_NE(error.find("processors 1 and 2"), std::string::npos);
+}
+
 TEST(ValidateTrace, AcceptsWellFormedTrace) {
   ProgramTrace trace;
   trace.per_proc = {
