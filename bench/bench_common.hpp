@@ -8,7 +8,9 @@
 // comparisons (who wins, by what factor) are the reproduction target.
 #pragma once
 
+#include <algorithm>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <string>
@@ -16,11 +18,14 @@
 
 #include "common/cli.hpp"
 #include "common/ensure.hpp"
+#include "common/json.hpp"
 #include "common/table.hpp"
 #include "harness/sink.hpp"
 #include "harness/sweep.hpp"
+#include "obs/metrics.hpp"
 #include "protocol/system.hpp"
 #include "sim/engine.hpp"
+#include "sim/run_metrics.hpp"
 #include "trace/generators.hpp"
 
 namespace dircc::bench {
@@ -97,19 +102,48 @@ struct HarnessOptions {
   int threads = 0;        ///< worker threads; 0 = hardware concurrency
   std::string json_path;  ///< empty = no JSON; "-" = stdout
   bool omit_timing = false;
+  bool progress = false;     ///< live progress/ETA line on stderr
+  std::string trace_out;     ///< directory for per-cell event timelines
+  std::string metrics_path;  ///< metrics+telemetry doc; "-" = stdout
 };
 
-/// Parses --threads/--json/--omit-timing (the figure binaries stay
-/// argument-free by default: every option has a default).
-inline HarnessOptions parse_harness_options(int argc,
-                                            const char* const* argv) {
-  CliParser cli;
+/// Registers the shared observability options on an existing parser, so
+/// sweep_grid (which has its own grid options) and the figure binaries
+/// expose identical flags.
+inline void add_harness_options(CliParser& cli) {
   cli.add_option("threads", "0",
                  "sweep worker threads (0 = hardware concurrency)");
   cli.add_option("json", "",
                  "write per-cell JSON Lines here ('-' = stdout)");
   cli.add_flag("omit-timing",
                "omit per-cell wall-clock from the JSON records");
+  cli.add_flag("progress", "report live sweep progress/ETA on stderr");
+  cli.add_option("trace-out", "",
+                 "write per-cell Chrome-trace timelines into this directory");
+  cli.add_option("metrics", "",
+                 "write sweep telemetry + per-cell metrics JSON here "
+                 "('-' = stdout)");
+}
+
+/// Reads the shared observability options back out of a parsed parser.
+inline HarnessOptions read_harness_options(const CliParser& cli) {
+  HarnessOptions options;
+  options.threads = static_cast<int>(cli.get_int("threads"));
+  options.json_path = cli.get("json");
+  options.omit_timing = cli.get_flag("omit-timing");
+  options.progress = cli.get_flag("progress");
+  options.trace_out = cli.get("trace-out");
+  options.metrics_path = cli.get("metrics");
+  return options;
+}
+
+/// Parses --threads/--json/--omit-timing/--progress/--trace-out/--metrics
+/// (the figure binaries stay argument-free by default: every option has a
+/// default).
+inline HarnessOptions parse_harness_options(int argc,
+                                            const char* const* argv) {
+  CliParser cli;
+  add_harness_options(cli);
   if (!cli.parse(argc, argv)) {
     std::cerr << cli.error() << "\n" << cli.usage(argv[0]);
     std::exit(2);
@@ -118,11 +152,32 @@ inline HarnessOptions parse_harness_options(int argc,
     std::cout << cli.usage(argv[0]);
     std::exit(0);
   }
-  HarnessOptions options;
-  options.threads = static_cast<int>(cli.get_int("threads"));
-  options.json_path = cli.get("json");
-  options.omit_timing = cli.get_flag("omit-timing");
-  return options;
+  return read_harness_options(cli);
+}
+
+/// Sweep knobs implied by the harness options: recording is on exactly
+/// when a --trace-out directory was given.
+inline harness::SweepOptions sweep_options(const HarnessOptions& options) {
+  harness::SweepOptions sweep;
+  sweep.record_traces = !options.trace_out.empty();
+  sweep.progress = options.progress;
+  return sweep;
+}
+
+/// Maps a cell key onto a filesystem-safe stem: every character outside
+/// [A-Za-z0-9._-] becomes '_'. Injective enough in practice (cell keys are
+/// unique and their separators map consistently).
+inline std::string sanitize_key(const std::string& key) {
+  std::string out = key;
+  for (char& ch : out) {
+    const bool safe = (ch >= 'a' && ch <= 'z') || (ch >= 'A' && ch <= 'Z') ||
+                      (ch >= '0' && ch <= '9') || ch == '.' || ch == '_' ||
+                      ch == '-';
+    if (!safe) {
+      ch = '_';
+    }
+  }
+  return out;
 }
 
 /// Emits the sweep's JSON records where the options ask (no-op when no
@@ -141,6 +196,126 @@ inline void emit_json(const HarnessOptions& options,
   std::ofstream out(options.json_path);
   ensure(static_cast<bool>(out), "cannot open the --json output path");
   harness::write_results_jsonl(out, results, sink);
+}
+
+/// Writes each recorded cell timeline into the --trace-out directory as
+/// `<key>.trace.json` (Chrome trace-event format, Perfetto-loadable) and
+/// `<key>.jsonl` (one event per line). No-op without --trace-out.
+inline void emit_traces(const HarnessOptions& options,
+                        const std::vector<harness::CellResult>& results) {
+  if (options.trace_out.empty()) {
+    return;
+  }
+  const std::filesystem::path dir(options.trace_out);
+  std::filesystem::create_directories(dir);
+  for (const harness::CellResult& cell : results) {
+    if (!cell.trace) {
+      continue;
+    }
+    const std::string stem = sanitize_key(cell.key);
+    {
+      std::ofstream out(dir / (stem + ".trace.json"));
+      ensure(static_cast<bool>(out), "cannot open a --trace-out file");
+      cell.trace->write_chrome_json(out);
+    }
+    {
+      std::ofstream out(dir / (stem + ".jsonl"));
+      ensure(static_cast<bool>(out), "cannot open a --trace-out file");
+      cell.trace->write_jsonl(out);
+    }
+  }
+}
+
+/// Renders an OnlineStats summary as a JSON object field.
+inline void emit_stats_field(JsonWriter& json, const std::string& name,
+                             const OnlineStats& stats) {
+  json.key(name);
+  json.begin_object();
+  json.field("count", stats.count());
+  json.field("mean", stats.mean());
+  json.field("stddev", stats.stddev());
+  json.field("min", stats.min());
+  json.field("max", stats.max());
+  json.end_object();
+}
+
+/// Writes the --metrics document: sweep telemetry (wall-clock, pool
+/// utilization, per-cell phase timing stats) plus every cell's metrics
+/// registry. No-op without --metrics.
+inline void emit_metrics(const HarnessOptions& options,
+                         const harness::SweepRunner& runner,
+                         const std::vector<harness::CellResult>& results) {
+  if (options.metrics_path.empty()) {
+    return;
+  }
+  const auto write = [&](std::ostream& out) {
+    const harness::SweepTelemetry& telemetry = runner.telemetry();
+    JsonWriter json(out);
+    json.begin_object();
+    json.key("sweep");
+    json.begin_object();
+    json.field("cells_run", telemetry.cells_run);
+    json.field("threads_used",
+               static_cast<std::uint64_t>(telemetry.threads_used));
+    json.field("wall_ms", telemetry.wall_ms);
+    json.field("utilization", telemetry.utilization());
+    emit_stats_field(json, "cell_ms", telemetry.cell_ms);
+    emit_stats_field(json, "trace_build_ms", telemetry.build_ms);
+    emit_stats_field(json, "sim_ms", telemetry.sim_ms);
+    json.key("thread_busy_ms");
+    json.begin_array();
+    for (const double busy : telemetry.thread_busy_ms) {
+      json.value(busy);
+    }
+    json.end_array();
+    json.end_object();
+    json.key("cells");
+    json.begin_array();
+    std::vector<const harness::CellResult*> sorted;
+    sorted.reserve(results.size());
+    for (const harness::CellResult& cell : results) {
+      sorted.push_back(&cell);
+    }
+    std::sort(sorted.begin(), sorted.end(),
+              [](const harness::CellResult* a, const harness::CellResult* b) {
+                return a->key < b->key;
+              });
+    for (const harness::CellResult* cell : sorted) {
+      json.begin_object();
+      json.field("cell", cell->key);
+      obs::MetricsRegistry registry;
+      register_metrics(registry, cell->result);
+      json.key("metrics");
+      json.begin_object();
+      registry.emit_fields(json);
+      json.end_object();
+      if (cell->trace) {
+        json.field("trace_events", cell->trace->recorded());
+        json.field("trace_dropped", cell->trace->dropped());
+      }
+      json.end_object();
+    }
+    json.end_array();
+    json.end_object();
+    out << '\n';
+  };
+  if (options.metrics_path == "-") {
+    write(std::cout);
+    return;
+  }
+  std::ofstream out(options.metrics_path);
+  ensure(static_cast<bool>(out), "cannot open the --metrics output path");
+  write(out);
+}
+
+/// The one-call tail every harness shares: per-cell JSON Lines, per-cell
+/// timelines, and the sweep metrics document.
+inline void emit_outputs(const HarnessOptions& options,
+                         const harness::SweepRunner& runner,
+                         const std::vector<harness::CellResult>& results) {
+  emit_json(options, results);
+  emit_traces(options, results);
+  emit_metrics(options, runner, results);
 }
 
 }  // namespace dircc::bench

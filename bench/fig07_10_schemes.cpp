@@ -53,7 +53,8 @@ int main(int argc, char** argv) {
   }
 
   harness::SweepRunner runner(options.threads);
-  const std::vector<harness::CellResult> results = runner.run(cells);
+  const std::vector<harness::CellResult> results =
+      runner.run(cells, sweep_options(options));
 
   constexpr int kSchemes = 4;
   for (std::size_t p = 0; p < std::size(panels); ++p) {
@@ -89,6 +90,6 @@ int main(int argc, char** argv) {
     std::cout << "\n";
   }
 
-  emit_json(options, results);
+  emit_outputs(options, runner, results);
   return 0;
 }

@@ -113,7 +113,8 @@ int main(int argc, char** argv) {
   cells.insert(cells.end(), dwf_cells.begin(), dwf_cells.end());
 
   harness::SweepRunner runner(options.threads);
-  const std::vector<harness::CellResult> results = runner.run(cells);
+  const std::vector<harness::CellResult> results =
+      runner.run(cells, sweep_options(options));
   const std::size_t per_panel = 12;
 
   panel("Figure 11", "LU", 48,
@@ -121,6 +122,6 @@ int main(int argc, char** argv) {
   panel("Figure 12", "DWF", 96,
         {results.begin() + per_panel, results.end()});
 
-  emit_json(options, results);
+  emit_outputs(options, runner, results);
   return 0;
 }

@@ -52,7 +52,8 @@ int main(int argc, char** argv) {
   }
 
   harness::SweepRunner runner(options.threads);
-  const std::vector<harness::CellResult> results = runner.run(cells);
+  const std::vector<harness::CellResult> results =
+      runner.run(cells, sweep_options(options));
   const RunResult& baseline = results[0].result;
 
   std::cout << "Figure 13: effect of associativity in the sparse directory "
@@ -76,6 +77,6 @@ int main(int argc, char** argv) {
   }
   table.print(std::cout);
 
-  emit_json(options, results);
+  emit_outputs(options, runner, results);
   return 0;
 }

@@ -66,7 +66,8 @@ int main(int argc, char** argv) {
   }
 
   harness::SweepRunner runner(options.threads);
-  const std::vector<harness::CellResult> results = runner.run(cells);
+  const std::vector<harness::CellResult> results =
+      runner.run(cells, sweep_options(options));
 
   std::cout << "Scale study: directory overhead and traffic, 16 to 256 "
                "clusters\n\n";
@@ -105,6 +106,6 @@ int main(int argc, char** argv) {
                "hold ~13% at every size with near-identical\ntraffic on "
                "migratory workloads.\n";
 
-  emit_json(options, results);
+  emit_outputs(options, runner, results);
   return 0;
 }

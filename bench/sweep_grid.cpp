@@ -84,6 +84,12 @@ int main(int argc, char** argv) {
                  "JSON Lines output path ('-' = stdout, '' = none)");
   cli.add_flag("omit-timing",
                "omit per-cell wall-clock from the JSON records");
+  cli.add_flag("progress", "report live sweep progress/ETA on stderr");
+  cli.add_option("trace-out", "",
+                 "write per-cell Chrome-trace timelines into this directory");
+  cli.add_option("metrics", "",
+                 "write sweep telemetry + per-cell metrics JSON here "
+                 "('-' = stdout)");
   cli.add_flag("table", "also print a human-readable summary table");
   if (!cli.parse(argc, argv)) {
     std::cerr << cli.error() << "\n" << cli.usage(argv[0]);
@@ -151,8 +157,17 @@ int main(int argc, char** argv) {
   }
   ensure(!cells.empty(), "the grid spec expands to zero cells");
 
-  harness::SweepRunner runner(static_cast<int>(cli.get_int("threads")));
-  const std::vector<harness::CellResult> results = runner.run(cells);
+  HarnessOptions options;
+  options.threads = static_cast<int>(cli.get_int("threads"));
+  options.json_path = cli.get("json");
+  options.omit_timing = cli.get_flag("omit-timing");
+  options.progress = cli.get_flag("progress");
+  options.trace_out = cli.get("trace-out");
+  options.metrics_path = cli.get("metrics");
+
+  harness::SweepRunner runner(options.threads);
+  const std::vector<harness::CellResult> results =
+      runner.run(cells, sweep_options(options));
 
   if (cli.get_flag("table")) {
     TextTable table;
@@ -171,9 +186,6 @@ int main(int argc, char** argv) {
     std::cout << "\n";
   }
 
-  HarnessOptions emit;
-  emit.json_path = cli.get("json");
-  emit.omit_timing = cli.get_flag("omit-timing");
-  emit_json(emit, results);
+  emit_outputs(options, runner, results);
   return 0;
 }

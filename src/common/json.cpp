@@ -28,6 +28,12 @@ std::string json_escape(const std::string& text) {
       case '\t':
         out += "\\t";
         break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
       default:
         if (static_cast<unsigned char>(ch) < 0x20) {
           char buffer[8];

@@ -1,5 +1,7 @@
 #include "common/stats.hpp"
 
+#include <cmath>
+
 namespace dircc {
 
 void Histogram::add(std::uint64_t value, std::uint64_t count) {
@@ -64,7 +66,37 @@ void OnlineStats::add(double sample) {
     if (sample > max_) max_ = sample;
   }
   ++count_;
-  mean_ += (sample - mean_) / static_cast<double>(count_);
+  const double delta = sample - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (sample - mean_);
+}
+
+double OnlineStats::variance() const {
+  if (count_ < 2) {
+    return 0.0;
+  }
+  return m2_ / static_cast<double>(count_);
+}
+
+double OnlineStats::stddev() const { return std::sqrt(variance()); }
+
+void OnlineStats::merge(const OnlineStats& other) {
+  if (other.count_ == 0) {
+    return;
+  }
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  if (other.min_ < min_) min_ = other.min_;
+  if (other.max_ > max_) max_ = other.max_;
+  const double total =
+      static_cast<double>(count_) + static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  m2_ += other.m2_ + delta * delta * static_cast<double>(count_) *
+                         static_cast<double>(other.count_) / total;
+  mean_ += delta * static_cast<double>(other.count_) / total;
+  count_ += other.count_;
 }
 
 }  // namespace dircc

@@ -46,7 +46,10 @@ class Histogram {
   std::uint64_t total_ = 0;
 };
 
-/// Numerically stable online mean/min/max accumulator.
+/// Numerically stable online mean/variance/min/max accumulator (Welford's
+/// algorithm). Two accumulators built over disjoint sample streams combine
+/// exactly with merge() (Chan et al.'s count-weighted update), so per-thread
+/// accumulators can be folded into a global one without bias.
 class OnlineStats {
  public:
   void add(double sample);
@@ -55,9 +58,18 @@ class OnlineStats {
   double min() const { return min_; }
   double max() const { return max_; }
 
+  /// Population variance (M2 / count); 0 when fewer than two samples.
+  double variance() const;
+  double stddev() const;
+
+  /// Folds `other` into this accumulator as if its samples had been add()ed
+  /// here. Count-weighted, so merge order does not matter.
+  void merge(const OnlineStats& other);
+
  private:
   std::uint64_t count_ = 0;
   double mean_ = 0.0;
+  double m2_ = 0.0;
   double min_ = 0.0;
   double max_ = 0.0;
 };

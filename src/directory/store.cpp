@@ -155,6 +155,11 @@ DirEntry* SparseDirectoryStore::find_or_alloc(
   ++stats_.replacements;
   Way& way = ways_[base + static_cast<std::uint64_t>(pick_victim(set))];
   victim = VictimEntry{way.block, way.entry};
+  if (obs_on(obs::EvClass::kSparse)) {
+    recorder_->record_home(obs_home_,
+                           {obs_now_, 0, way.block, set,
+                            obs::EvType::kSparseVictim});
+  }
   way.block = block;
   way.last_use = ++stamp_;
   way.alloc_time = stamp_;

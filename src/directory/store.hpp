@@ -15,6 +15,7 @@
 
 #include "common/rng.hpp"
 #include "directory/entry.hpp"
+#include "obs/trace_recorder.hpp"
 
 namespace dircc {
 
@@ -68,8 +69,29 @@ class DirectoryStore {
 
   const StoreStats& stats() const { return stats_; }
 
+  /// Attaches the run's timeline recorder; `home` names this store's lane.
+  /// Store-level events (sparse victimizations) are stamped with the time
+  /// last passed to obs_tick().
+  void attach_obs(obs::TraceRecorder* recorder, NodeId home) {
+    recorder_ = recorder;
+    obs_home_ = home;
+  }
+
+  /// Sets the simulated time for subsequent store-level events. Called by
+  /// the protocol before each directory transaction (stores have no clock
+  /// of their own).
+  void obs_tick(Cycle now) { obs_now_ = now; }
+
  protected:
+  /// Recording gate; constant-folds to false when DIRCC_OBS=0.
+  bool obs_on(obs::EvClass cls) const {
+    return obs::compiled() && recorder_ != nullptr && recorder_->wants(cls);
+  }
+
   StoreStats stats_;
+  obs::TraceRecorder* recorder_ = nullptr;
+  NodeId obs_home_ = 0;
+  Cycle obs_now_ = 0;
 };
 
 /// One entry per memory block, allocated on demand, never displaced.

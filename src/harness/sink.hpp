@@ -1,8 +1,10 @@
 // Structured results sink for sweep runs.
 //
 // Emits one machine-readable JSON record per grid cell — its identity key,
-// the label dimensions, every RunResult counter, and (optionally) the
-// cell's wall-clock — as JSON Lines, sorted by cell key. With timing
+// the label dimensions, every RunResult counter (sourced through the
+// obs::MetricsRegistry, so newly registered counters appear automatically),
+// and (optionally) the cell's wall-clock split into trace-build and
+// simulate phases — as JSON Lines, sorted by cell key. With timing
 // omitted, the bytes depend only on the grid spec and the simulation
 // results, so diffing a 2-thread sweep against a 1-thread sweep is the
 // determinism check.

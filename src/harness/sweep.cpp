@@ -3,12 +3,26 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <iostream>
+#include <mutex>
 #include <thread>
 #include <unordered_set>
 
 #include "common/ensure.hpp"
 
 namespace dircc::harness {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_between(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double, std::milli>(b - a).count();
+}
+
+}  // namespace
 
 std::uint64_t cell_seed(std::uint64_t base_seed, const std::string& key) {
   // FNV-1a over the key bytes, then a splitmix64 finalizer mixing in the
@@ -28,6 +42,17 @@ std::uint64_t cell_seed(std::uint64_t base_seed, const std::string& key) {
   return z == 0 ? 1 : z;
 }
 
+double SweepTelemetry::utilization() const {
+  if (wall_ms <= 0.0 || thread_busy_ms.empty()) {
+    return 0.0;
+  }
+  double busy = 0.0;
+  for (const double t : thread_busy_ms) {
+    busy += t;
+  }
+  return busy / (wall_ms * static_cast<double>(thread_busy_ms.size()));
+}
+
 SweepRunner::SweepRunner(int threads) : threads_(threads) {
   if (threads_ <= 0) {
     threads_ = static_cast<int>(std::thread::hardware_concurrency());
@@ -38,49 +63,167 @@ SweepRunner::SweepRunner(int threads) : threads_(threads) {
 }
 
 std::vector<CellResult> SweepRunner::run(const std::vector<SweepCell>& cells) {
+  return run(cells, SweepOptions{});
+}
+
+std::vector<CellResult> SweepRunner::run(const std::vector<SweepCell>& cells,
+                                         const SweepOptions& options) {
   std::unordered_set<std::string> keys;
   for (const SweepCell& cell : cells) {
     ensure(keys.insert(cell.key).second, "sweep cell keys must be unique");
   }
 
+  const int pool = std::min<int>(threads_, static_cast<int>(cells.size()));
+  telemetry_ = SweepTelemetry{};
+  telemetry_.threads_used = std::max(pool, 1);
+  telemetry_.cells_run = cells.size();
+  telemetry_.thread_busy_ms.assign(
+      static_cast<std::size_t>(std::max(pool, 1)), 0.0);
+
   std::vector<CellResult> results(cells.size());
   std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> done{0};
+  // Busy nanoseconds per worker, readable by the progress reporter while
+  // the workers run.
+  std::vector<std::atomic<std::uint64_t>> busy_ns(
+      static_cast<std::size_t>(std::max(pool, 1)));
+  std::mutex telemetry_mu;
+  const auto sweep_start = Clock::now();
 
-  auto worker = [&] {
+  auto worker = [&](int worker_index) {
+    // Worker-local accumulators; merged count-weighted into the sweep
+    // telemetry at worker exit (the OnlineStats::merge satellite).
+    OnlineStats local_cell_ms;
+    OnlineStats local_build_ms;
+    OnlineStats local_sim_ms;
     for (;;) {
       const std::size_t index = next.fetch_add(1, std::memory_order_relaxed);
       if (index >= cells.size()) {
-        return;
+        break;
       }
       const SweepCell& cell = cells[index];
+      const auto start = Clock::now();
       const auto trace = cache_.get(cell.trace);
-      const auto start = std::chrono::steady_clock::now();
+      const auto built = Clock::now();
       // Each cell owns its full machine: no state crosses cells, so the
       // simulation is oblivious to which thread runs it and when.
       CoherenceSystem system(cell.system);
-      Engine engine(system, *trace, cell.engine);
+      std::shared_ptr<obs::TraceRecorder> recorder;
+      if (options.record_traces) {
+        recorder = std::make_shared<obs::TraceRecorder>(
+            cell.system.num_procs, cell.system.num_clusters(),
+            options.trace_config);
+      }
+      Engine engine(system, *trace, cell.engine, recorder.get());
       CellResult& out = results[index];
       out.result = engine.run();
-      const auto stop = std::chrono::steady_clock::now();
+      const auto stop = Clock::now();
       out.key = cell.key;
       out.fields = cell.fields;
-      out.wall_ms =
-          std::chrono::duration<double, std::milli>(stop - start).count();
+      out.trace = std::move(recorder);
+      out.wall_ms = ms_between(start, stop);
+      out.trace_build_ms = ms_between(start, built);
+      out.sim_ms = ms_between(built, stop);
+      local_cell_ms.add(out.wall_ms);
+      local_build_ms.add(out.trace_build_ms);
+      local_sim_ms.add(out.sim_ms);
+      busy_ns[static_cast<std::size_t>(worker_index)].fetch_add(
+          static_cast<std::uint64_t>(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(stop -
+                                                                   start)
+                  .count()),
+          std::memory_order_relaxed);
+      done.fetch_add(1, std::memory_order_release);
     }
+    std::lock_guard<std::mutex> lock(telemetry_mu);
+    telemetry_.cell_ms.merge(local_cell_ms);
+    telemetry_.build_ms.merge(local_build_ms);
+    telemetry_.sim_ms.merge(local_sim_ms);
   };
 
-  const int pool = std::min<int>(threads_, static_cast<int>(cells.size()));
+  // Progress reporter: a low-frequency monitor thread, stopped via a
+  // condition variable so the sweep never waits out a poll interval.
+  std::mutex progress_mu;
+  std::condition_variable progress_cv;
+  bool finished = false;
+  std::thread reporter;
+  if (options.progress) {
+    std::ostream* out =
+        options.progress_out != nullptr ? options.progress_out : &std::cerr;
+    reporter = std::thread([&, out, pool] {
+      const auto fmt_line = [&](bool final_line) {
+        const std::size_t n = done.load(std::memory_order_acquire);
+        const double elapsed = ms_between(sweep_start, Clock::now());
+        double busy = 0.0;
+        for (const auto& b : busy_ns) {
+          busy += static_cast<double>(b.load(std::memory_order_relaxed));
+        }
+        const double util =
+            elapsed > 0.0
+                ? busy / 1e6 / (elapsed * static_cast<double>(pool))
+                : 0.0;
+        // ETA from mean cell cost so far, spread over the pool.
+        double eta_s = -1.0;
+        if (n > 0 && n < cells.size()) {
+          const double mean_ms = busy / 1e6 / static_cast<double>(n);
+          eta_s = mean_ms * static_cast<double>(cells.size() - n) /
+                  static_cast<double>(pool) / 1000.0;
+        }
+        char line[160];
+        if (eta_s >= 0.0) {
+          std::snprintf(line, sizeof line,
+                        "\r[sweep] %zu/%zu cells | elapsed %.1fs | "
+                        "eta %.1fs | util %3.0f%%  ",
+                        n, cells.size(), elapsed / 1000.0, eta_s,
+                        100.0 * util);
+        } else {
+          std::snprintf(line, sizeof line,
+                        "\r[sweep] %zu/%zu cells | elapsed %.1fs | "
+                        "util %3.0f%%  ",
+                        n, cells.size(), elapsed / 1000.0, 100.0 * util);
+        }
+        (*out) << line;
+        if (final_line) {
+          (*out) << '\n';
+        }
+        out->flush();
+      };
+      std::unique_lock<std::mutex> lock(progress_mu);
+      while (!finished) {
+        fmt_line(false);
+        progress_cv.wait_for(lock, std::chrono::milliseconds(200),
+                             [&] { return finished; });
+      }
+      fmt_line(true);
+    });
+  }
+
   if (pool <= 1) {
-    worker();
-    return results;
+    worker(0);
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(pool));
+    for (int t = 0; t < pool; ++t) {
+      threads.emplace_back(worker, t);
+    }
+    for (std::thread& thread : threads) {
+      thread.join();
+    }
   }
-  std::vector<std::thread> threads;
-  threads.reserve(static_cast<std::size_t>(pool));
-  for (int t = 0; t < pool; ++t) {
-    threads.emplace_back(worker);
+
+  if (reporter.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(progress_mu);
+      finished = true;
+    }
+    progress_cv.notify_all();
+    reporter.join();
   }
-  for (std::thread& thread : threads) {
-    thread.join();
+
+  telemetry_.wall_ms = ms_between(sweep_start, Clock::now());
+  for (std::size_t t = 0; t < busy_ns.size(); ++t) {
+    telemetry_.thread_busy_ms[t] =
+        static_cast<double>(busy_ns[t].load(std::memory_order_relaxed)) / 1e6;
   }
   return results;
 }

@@ -7,14 +7,24 @@
 // cache. Results land in cell-definition order regardless of which thread
 // finishes first, and every source of randomness is seeded from the grid
 // spec alone — a sweep is bit-identical across thread counts and runs.
+//
+// Observability: the runner can attach a per-cell obs::TraceRecorder
+// (simulated-time timelines, equally thread-count-invariant), splits each
+// cell's wall-clock into its trace-build and simulate phases, and gathers
+// sweep-wide telemetry (per-thread utilization, per-cell timing stats,
+// live progress/ETA reporting).
 #pragma once
 
 #include <cstdint>
+#include <iosfwd>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "common/stats.hpp"
 #include "harness/trace_cache.hpp"
+#include "obs/trace_recorder.hpp"
 #include "protocol/system.hpp"
 #include "sim/engine.hpp"
 
@@ -38,7 +48,38 @@ struct CellResult {
   std::string key;
   std::vector<std::pair<std::string, std::string>> fields;
   RunResult result;
-  double wall_ms = 0.0;  ///< this cell's wall-clock, excluded from identity
+  double wall_ms = 0.0;        ///< whole cell wall-clock (build + simulate)
+  double trace_build_ms = 0.0; ///< trace generation / cache-lookup phase
+  double sim_ms = 0.0;         ///< system construction + engine run phase
+  /// Per-cell event timeline; null unless SweepOptions::record_traces.
+  std::shared_ptr<obs::TraceRecorder> trace;
+};
+
+/// Per-run knobs for a sweep (all off by default — the plain run() keeps
+/// its original behavior).
+struct SweepOptions {
+  /// Attach an obs::TraceRecorder to every cell (CellResult::trace).
+  bool record_traces = false;
+  obs::TraceRecorderConfig trace_config;
+  /// Report live progress (cells done, ETA, pool utilization) while the
+  /// sweep runs. Written to `progress_out` (default std::cerr); carriage-
+  /// return updates, one final newline. Never part of result identity.
+  bool progress = false;
+  std::ostream* progress_out = nullptr;
+};
+
+/// What a sweep cost, measured while it ran. Timing only — never part of
+/// the deterministic result identity.
+struct SweepTelemetry {
+  double wall_ms = 0.0;       ///< whole sweep, including pool start/join
+  int threads_used = 0;       ///< actual pool size for this run
+  std::uint64_t cells_run = 0;
+  OnlineStats cell_ms;        ///< per-cell total wall-clock
+  OnlineStats build_ms;       ///< per-cell trace-build phase
+  OnlineStats sim_ms;         ///< per-cell simulate phase
+  std::vector<double> thread_busy_ms;  ///< busy time per pool worker
+  /// Mean fraction of the sweep's wall-clock the workers spent simulating.
+  double utilization() const;
 };
 
 /// Deterministically derives a per-cell seed from the sweep's base seed and
@@ -55,6 +96,11 @@ class SweepRunner {
   /// Executes every cell and returns results in cell-definition order.
   /// Cell keys must be unique (checked).
   std::vector<CellResult> run(const std::vector<SweepCell>& cells);
+  std::vector<CellResult> run(const std::vector<SweepCell>& cells,
+                              const SweepOptions& options);
+
+  /// Telemetry of the most recent run() (empty before the first run).
+  const SweepTelemetry& telemetry() const { return telemetry_; }
 
   int threads() const { return threads_; }
   TraceCache& trace_cache() { return cache_; }
@@ -62,6 +108,7 @@ class SweepRunner {
  private:
   int threads_;
   TraceCache cache_;
+  SweepTelemetry telemetry_;
 };
 
 }  // namespace dircc::harness

@@ -1,0 +1,133 @@
+#include "obs/metrics.hpp"
+
+#include <ostream>
+
+#include "common/ensure.hpp"
+#include "common/json.hpp"
+
+namespace dircc::obs {
+
+MetricsSnapshot diff(const MetricsSnapshot& before,
+                     const MetricsSnapshot& after) {
+  MetricsSnapshot out;
+  for (const auto& [name, value] : after.counters) {
+    const auto it = before.counters.find(name);
+    const std::uint64_t base = it == before.counters.end() ? 0 : it->second;
+    ensure(value >= base, "metrics diff: a counter went backwards");
+    out.counters.emplace(name, value - base);
+  }
+  out.gauges = after.gauges;
+  return out;
+}
+
+MetricsRegistry::Metric& MetricsRegistry::slot(const std::string& name,
+                                               Kind kind) {
+  Metric& metric = metrics_[name];
+  if (metric.kind != kind) {
+    ensure(metric.count == 0 && metric.value == 0.0 && metric.hist == nullptr,
+           "metric re-registered under a different kind");
+    metric.kind = kind;
+  }
+  return metric;
+}
+
+void MetricsRegistry::add(const std::string& name, std::uint64_t delta) {
+  slot(name, Kind::kCounter).count += delta;
+}
+
+void MetricsRegistry::set(const std::string& name, std::uint64_t value) {
+  slot(name, Kind::kCounter).count = value;
+}
+
+void MetricsRegistry::set_gauge(const std::string& name, double value) {
+  slot(name, Kind::kGauge).value = value;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  Metric& metric = slot(name, Kind::kHistogram);
+  if (metric.hist == nullptr) {
+    metric.hist = std::make_unique<Histogram>();
+  }
+  return *metric.hist;
+}
+
+std::uint64_t MetricsRegistry::counter(const std::string& name) const {
+  const auto it = metrics_.find(name);
+  return it != metrics_.end() && it->second.kind == Kind::kCounter
+             ? it->second.count
+             : 0;
+}
+
+double MetricsRegistry::gauge(const std::string& name) const {
+  const auto it = metrics_.find(name);
+  return it != metrics_.end() && it->second.kind == Kind::kGauge
+             ? it->second.value
+             : 0.0;
+}
+
+const Histogram* MetricsRegistry::find_histogram(
+    const std::string& name) const {
+  const auto it = metrics_.find(name);
+  return it != metrics_.end() && it->second.kind == Kind::kHistogram
+             ? it->second.hist.get()
+             : nullptr;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  MetricsSnapshot snap;
+  for (const auto& [name, metric] : metrics_) {
+    switch (metric.kind) {
+      case Kind::kCounter:
+        snap.counters.emplace(name, metric.count);
+        break;
+      case Kind::kGauge:
+        snap.gauges.emplace(name, metric.value);
+        break;
+      case Kind::kHistogram:
+        // Histograms contribute their scalar summary so diffs stay cheap.
+        snap.counters.emplace(name + ".events", metric.hist->events());
+        snap.counters.emplace(name + ".total", metric.hist->total());
+        break;
+    }
+  }
+  return snap;
+}
+
+void MetricsRegistry::emit_fields(JsonWriter& json) const {
+  for (const auto& [name, metric] : metrics_) {
+    switch (metric.kind) {
+      case Kind::kCounter:
+        json.field(name, metric.count);
+        break;
+      case Kind::kGauge:
+        json.field(name, metric.value);
+        break;
+      case Kind::kHistogram: {
+        const Histogram& h = *metric.hist;
+        json.key(name);
+        json.begin_object();
+        json.field("events", h.events());
+        json.field("total", h.total());
+        json.field("mean", h.mean());
+        json.field("max", h.max_value());
+        json.key("bins");
+        json.begin_array();
+        for (const std::uint64_t bin : h.bins()) {
+          json.value(bin);
+        }
+        json.end_array();
+        json.end_object();
+        break;
+      }
+    }
+  }
+}
+
+void MetricsRegistry::write_json(std::ostream& out) const {
+  JsonWriter json(out);
+  json.begin_object();
+  emit_fields(json);
+  json.end_object();
+}
+
+}  // namespace dircc::obs

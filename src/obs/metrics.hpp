@@ -1,0 +1,91 @@
+// MetricsRegistry: named counters, gauges and histograms with snapshot/diff
+// and deterministic JSON export.
+//
+// The registry replaces ad-hoc stat plumbing between the simulator and its
+// sinks: a stats struct registers every field once (see sim/run_metrics) and
+// each sink — the JSONL records, the --metrics export, a future dashboard —
+// iterates the registry instead of naming fields by hand, so a new counter
+// appears everywhere for free. Metrics are stored name-sorted, so iteration
+// (and with it every export) is byte-deterministic.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/stats.hpp"
+
+namespace dircc {
+class JsonWriter;
+}
+
+namespace dircc::obs {
+
+/// A point-in-time copy of the scalar metrics (histograms are summarized by
+/// their event/total counters at registration time, not snapshotted).
+struct MetricsSnapshot {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, double> gauges;
+};
+
+/// `after - before` for every counter (names absent from `before` count
+/// from zero); gauges take their `after` value. Names only in `before`
+/// are dropped — a diff describes what the interval produced.
+MetricsSnapshot diff(const MetricsSnapshot& before,
+                     const MetricsSnapshot& after);
+
+class MetricsRegistry {
+ public:
+  /// Increments (creating at zero) the named counter.
+  void add(const std::string& name, std::uint64_t delta = 1);
+
+  /// Sets the named counter to an absolute value.
+  void set(const std::string& name, std::uint64_t value);
+
+  /// Sets the named gauge (a point-in-time double, e.g. a mean or a ratio).
+  void set_gauge(const std::string& name, double value);
+
+  /// Returns the named histogram, creating an empty one on first use.
+  Histogram& histogram(const std::string& name);
+
+  /// Counter value; 0 when absent (or registered as a different kind).
+  std::uint64_t counter(const std::string& name) const;
+
+  /// Gauge value; 0.0 when absent (or registered as a different kind).
+  double gauge(const std::string& name) const;
+
+  /// Histogram lookup without creation; nullptr when absent.
+  const Histogram* find_histogram(const std::string& name) const;
+
+  std::size_t size() const { return metrics_.size(); }
+  bool empty() const { return metrics_.empty(); }
+
+  MetricsSnapshot snapshot() const;
+
+  /// Writes the registry as one standalone JSON object, metrics as members
+  /// in name order. Histograms render as
+  /// {"events":N,"total":N,"mean":x,"max":N,"bins":[...]}.
+  void write_json(std::ostream& out) const;
+
+  /// Emits every metric as a field into an already-open JSON object (the
+  /// harness sink appends registry fields to each cell record this way).
+  void emit_fields(JsonWriter& json) const;
+
+ private:
+  enum class Kind : std::uint8_t { kCounter, kGauge, kHistogram };
+  struct Metric {
+    Kind kind = Kind::kCounter;
+    std::uint64_t count = 0;
+    double value = 0.0;
+    std::unique_ptr<Histogram> hist;
+  };
+
+  Metric& slot(const std::string& name, Kind kind);
+
+  // Name-sorted so iteration order (and JSON output) is deterministic.
+  std::map<std::string, Metric> metrics_;
+};
+
+}  // namespace dircc::obs

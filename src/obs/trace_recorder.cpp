@@ -1,0 +1,238 @@
+#include "obs/trace_recorder.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <string>
+
+#include "common/ensure.hpp"
+#include "common/json.hpp"
+
+namespace dircc::obs {
+
+const char* ev_type_name(EvType type) {
+  switch (type) {
+    case EvType::kStallLock: return "stall.lock";
+    case EvType::kStallBarrier: return "stall.barrier";
+    case EvType::kBarrierEpisode: return "barrier.episode";
+    case EvType::kLockQueue: return "lock.queue";
+    case EvType::kLockGrant: return "lock.grant";
+    case EvType::kLockRetry: return "lock.retry";
+    case EvType::kInvalFanout: return "inval.fanout";
+    case EvType::kSparseVictim: return "sparse.victim";
+    case EvType::kPtrOverflow: return "ptr.overflow";
+  }
+  return "unknown";
+}
+
+EvClass ev_class_of(EvType type) {
+  switch (type) {
+    case EvType::kStallLock:
+    case EvType::kStallBarrier:
+      return EvClass::kStall;
+    case EvType::kBarrierEpisode:
+      return EvClass::kBarrier;
+    case EvType::kLockQueue:
+    case EvType::kLockGrant:
+    case EvType::kLockRetry:
+      return EvClass::kLock;
+    case EvType::kInvalFanout:
+      return EvClass::kInval;
+    case EvType::kSparseVictim:
+      return EvClass::kSparse;
+    case EvType::kPtrOverflow:
+      return EvClass::kOverflow;
+  }
+  return EvClass::kStall;
+}
+
+namespace {
+
+/// The two argument names an event type carries, for self-describing
+/// exports ("" = unused).
+struct ArgNames {
+  const char* a0;
+  const char* a1;
+};
+
+ArgNames ev_arg_names(EvType type) {
+  switch (type) {
+    case EvType::kStallLock: return {"lock", ""};
+    case EvType::kStallBarrier: return {"barrier", ""};
+    case EvType::kBarrierEpisode: return {"barrier", "procs"};
+    case EvType::kLockQueue: return {"lock", ""};
+    case EvType::kLockGrant: return {"lock", "contended"};
+    case EvType::kLockRetry: return {"lock", ""};
+    case EvType::kInvalFanout: return {"block", "invals"};
+    case EvType::kSparseVictim: return {"victim_key", "set"};
+    case EvType::kPtrOverflow: return {"group_key", "node"};
+  }
+  return {"a0", "a1"};
+}
+
+}  // namespace
+
+TraceRecorder::TraceRecorder(int num_procs, int num_homes,
+                             TraceRecorderConfig config)
+    : num_procs_(num_procs), num_homes_(num_homes), config_(config) {
+  ensure(num_procs >= 1 && num_homes >= 0, "recorder needs at least one lane");
+  ensure(config_.ring_capacity >= 1, "ring capacity must be positive");
+  lanes_.resize(static_cast<std::size_t>(num_procs + num_homes));
+}
+
+void TraceRecorder::push(std::uint32_t lane, const ObsEvent& event) {
+  Ring& ring = lanes_[lane];
+  if (ring.buffer.size() < config_.ring_capacity) {
+    ring.buffer.push_back(event);
+  } else {
+    // Drop-oldest: overwrite the slot the next sequence number maps to.
+    ring.buffer[ring.pushed % config_.ring_capacity] = event;
+  }
+  ++ring.pushed;
+}
+
+void TraceRecorder::record_proc(ProcId proc, const ObsEvent& event) {
+  ensure(proc < static_cast<ProcId>(num_procs_), "recorder proc out of range");
+  push(proc, event);
+}
+
+void TraceRecorder::record_home(NodeId home, const ObsEvent& event) {
+  ensure(home < static_cast<NodeId>(num_homes_), "recorder home out of range");
+  push(static_cast<std::uint32_t>(num_procs_) + home, event);
+}
+
+std::uint64_t TraceRecorder::recorded() const {
+  std::uint64_t n = 0;
+  for (const Ring& ring : lanes_) {
+    n += ring.buffer.size();
+  }
+  return n;
+}
+
+std::uint64_t TraceRecorder::dropped() const {
+  std::uint64_t n = 0;
+  for (const Ring& ring : lanes_) {
+    n += ring.pushed - ring.buffer.size();
+  }
+  return n;
+}
+
+std::vector<TraceRecorder::Keyed> TraceRecorder::sorted_events() const {
+  std::vector<Keyed> out;
+  out.reserve(static_cast<std::size_t>(recorded()));
+  for (std::uint32_t lane = 0; lane < lanes_.size(); ++lane) {
+    const Ring& ring = lanes_[lane];
+    const std::uint64_t retained = ring.buffer.size();
+    const std::uint64_t first_seq = ring.pushed - retained;
+    for (std::uint64_t i = 0; i < retained; ++i) {
+      const std::uint64_t seq = first_seq + i;
+      out.push_back({ring.buffer[seq % config_.ring_capacity], lane, seq});
+    }
+  }
+  // (ts, lane, seq) is a total order — lane+seq are unique — so the export
+  // byte stream is fully determined by the recording.
+  std::sort(out.begin(), out.end(), [](const Keyed& a, const Keyed& b) {
+    if (a.event.ts != b.event.ts) return a.event.ts < b.event.ts;
+    if (a.lane != b.lane) return a.lane < b.lane;
+    return a.seq < b.seq;
+  });
+  return out;
+}
+
+void TraceRecorder::write_chrome_json(std::ostream& out) const {
+  JsonWriter json(out);
+  json.begin_object();
+  json.field("displayTimeUnit", "ms");
+  json.key("otherData");
+  json.begin_object();
+  json.field("clock", "simulated cycles (1 cycle = 1us)");
+  json.field("events_retained", recorded());
+  json.field("events_dropped", dropped());
+  json.end_object();
+  json.key("traceEvents");
+  json.begin_array();
+
+  // Metadata: name the two processes and every lane.
+  const auto meta = [&json](const char* what, std::uint64_t pid,
+                            std::int64_t tid, const std::string& name) {
+    json.begin_object();
+    json.field("name", what);
+    json.field("ph", "M");
+    json.field("pid", pid);
+    if (tid >= 0) {
+      json.field("tid", static_cast<std::uint64_t>(tid));
+    }
+    json.key("args").begin_object().field("name", name).end_object();
+    json.end_object();
+  };
+  meta("process_name", 0, -1, "processors");
+  for (int p = 0; p < num_procs_; ++p) {
+    meta("thread_name", 0, p, "proc " + std::to_string(p));
+  }
+  if (num_homes_ > 0) {
+    meta("process_name", 1, -1, "home directories");
+    for (int h = 0; h < num_homes_; ++h) {
+      meta("thread_name", 1, h, "home " + std::to_string(h));
+    }
+  }
+
+  for (const Keyed& keyed : sorted_events()) {
+    const ObsEvent& ev = keyed.event;
+    const bool is_home = keyed.lane >= static_cast<std::uint32_t>(num_procs_);
+    const std::uint64_t tid =
+        is_home ? keyed.lane - static_cast<std::uint32_t>(num_procs_)
+                : keyed.lane;
+    json.begin_object();
+    json.field("name", ev_type_name(ev.type));
+    json.field("cat", "sim");
+    json.field("ph", ev.dur > 0 ? "X" : "i");
+    json.field("ts", ev.ts);
+    if (ev.dur > 0) {
+      json.field("dur", ev.dur);
+    } else {
+      json.field("s", "t");  // instant scoped to its thread lane
+    }
+    json.field("pid", std::uint64_t{is_home ? 1u : 0u});
+    json.field("tid", tid);
+    const ArgNames names = ev_arg_names(ev.type);
+    json.key("args");
+    json.begin_object();
+    if (names.a0[0] != '\0') {
+      json.field(names.a0, ev.a0);
+    }
+    if (names.a1[0] != '\0') {
+      json.field(names.a1, ev.a1);
+    }
+    json.end_object();
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+}
+
+void TraceRecorder::write_jsonl(std::ostream& out) const {
+  for (const Keyed& keyed : sorted_events()) {
+    const ObsEvent& ev = keyed.event;
+    const bool is_home = keyed.lane >= static_cast<std::uint32_t>(num_procs_);
+    const std::uint64_t index =
+        is_home ? keyed.lane - static_cast<std::uint32_t>(num_procs_)
+                : keyed.lane;
+    JsonWriter json(out);
+    json.begin_object();
+    json.field("ts", ev.ts);
+    json.field("dur", ev.dur);
+    json.field("lane",
+               (is_home ? "home" : "proc") + std::to_string(index));
+    json.field("type", ev_type_name(ev.type));
+    const ArgNames names = ev_arg_names(ev.type);
+    if (names.a0[0] != '\0') {
+      json.field(names.a0, ev.a0);
+    }
+    if (names.a1[0] != '\0') {
+      json.field(names.a1, ev.a1);
+    }
+    json.end_object();
+    out << '\n';
+  }
+}
+
+}  // namespace dircc::obs

@@ -1,0 +1,135 @@
+// TraceRecorder: structured per-event timeline of one simulation run.
+//
+// The engine and the directory layer emit timestamped events — processor
+// stall/resume spans, barrier episodes, lock queue/grant/retry, invalidation
+// fan-out, sparse-entry victimization, limited-pointer overflow transitions —
+// into fixed-capacity per-lane ring buffers (one lane per processor, one per
+// home directory). Timestamps are simulated `Cycle` time, never wall clock,
+// so a recording is bit-identical across sweep thread counts like everything
+// else in the harness. Recordings export as Chrome trace-event JSON
+// (loadable in Perfetto / chrome://tracing, one cycle rendered as one
+// microsecond) or as JSONL, one event object per line.
+//
+// Instrumentation is compile-time gated: build with -DDIRCC_OBS=0 and every
+// emission site in the hot path constant-folds away (see obs::compiled()),
+// leaving the simulator bit-identical to an uninstrumented build.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "common/types.hpp"
+
+#ifndef DIRCC_OBS
+#define DIRCC_OBS 1
+#endif
+
+namespace dircc::obs {
+
+/// True when instrumentation is compiled in. Emission sites guard with
+/// `if (obs::compiled() && recorder != nullptr && recorder->wants(...))`;
+/// at DIRCC_OBS=0 the whole branch is dead code.
+constexpr bool compiled() { return DIRCC_OBS != 0; }
+
+/// Event classes, used as a recording filter (bitmask).
+enum class EvClass : std::uint8_t {
+  kStall = 0,     ///< processor blocked on a lock or barrier (span)
+  kBarrier = 1,   ///< barrier episodes
+  kLock = 2,      ///< lock queue/grant/retry
+  kInval = 3,     ///< invalidation fan-out at a home directory
+  kSparse = 4,    ///< sparse-directory entry victimization
+  kOverflow = 5,  ///< limited-pointer overflow transitions (B/CV/X modes)
+};
+
+inline constexpr std::uint32_t bit(EvClass cls) {
+  return 1u << static_cast<unsigned>(cls);
+}
+inline constexpr std::uint32_t kAllClasses = (1u << 6) - 1;
+
+/// Concrete event types. Each belongs to exactly one EvClass.
+enum class EvType : std::uint8_t {
+  kStallLock,       ///< span: blocked on a lock       (a0 = lock id)
+  kStallBarrier,    ///< span: blocked at a barrier    (a0 = barrier id)
+  kBarrierEpisode,  ///< span: first arrival → release (a0 = id, a1 = procs)
+  kLockQueue,       ///< instant: acquire had to queue (a0 = lock id)
+  kLockGrant,       ///< instant: lock granted  (a0 = id, a1 = 1 if contended)
+  kLockRetry,       ///< instant: region-grant wakeup lost (a0 = lock id)
+  kInvalFanout,     ///< instant: invals sent (a0 = block, a1 = net invals)
+  kSparseVictim,    ///< instant: entry displaced (a0 = victim key, a1 = set)
+  kPtrOverflow,     ///< instant: entry left precise mode (a0 = key, a1 = node)
+};
+
+const char* ev_type_name(EvType type);
+EvClass ev_class_of(EvType type);
+
+/// One recorded event. `dur == 0` renders as an instant; otherwise as a
+/// complete span [ts, ts+dur]. `a0`/`a1` are type-specific arguments.
+struct ObsEvent {
+  Cycle ts = 0;
+  Cycle dur = 0;
+  std::uint64_t a0 = 0;
+  std::uint64_t a1 = 0;
+  EvType type = EvType::kLockGrant;
+};
+
+struct TraceRecorderConfig {
+  /// Events retained per lane; when a lane overflows the oldest events are
+  /// dropped (drop counts are reported in the export metadata).
+  std::uint32_t ring_capacity = 1u << 15;
+  /// Bitmask over EvClass; events of unselected classes are never recorded.
+  std::uint32_t class_mask = kAllClasses;
+};
+
+/// Per-run event recorder. One instance per simulation (per sweep cell);
+/// not thread-safe — a cell is always simulated by exactly one thread.
+class TraceRecorder {
+ public:
+  TraceRecorder(int num_procs, int num_homes, TraceRecorderConfig config = {});
+
+  bool wants(EvClass cls) const {
+    return compiled() && (config_.class_mask & bit(cls)) != 0;
+  }
+
+  void record_proc(ProcId proc, const ObsEvent& event);
+  void record_home(NodeId home, const ObsEvent& event);
+
+  int num_procs() const { return num_procs_; }
+  int num_homes() const { return num_homes_; }
+  /// Events currently retained across all lanes.
+  std::uint64_t recorded() const;
+  /// Events lost to ring overflow across all lanes.
+  std::uint64_t dropped() const;
+
+  /// Chrome trace-event JSON: {"displayTimeUnit":...,"traceEvents":[...]}.
+  /// Processors are pid 0, home directories pid 1; one simulated cycle is
+  /// rendered as one microsecond.
+  void write_chrome_json(std::ostream& out) const;
+
+  /// One JSON object per line: {"ts":..,"dur":..,"lane":"proc3"|"home2",
+  /// "type":..,"a0":..,"a1":..}.
+  void write_jsonl(std::ostream& out) const;
+
+ private:
+  struct Ring {
+    std::vector<ObsEvent> buffer;  ///< ring storage, capacity-bounded
+    std::uint64_t pushed = 0;      ///< total events ever recorded
+  };
+  /// A retained event joined with its lane and per-lane sequence number,
+  /// the deterministic export sort key.
+  struct Keyed {
+    ObsEvent event;
+    std::uint32_t lane = 0;
+    std::uint64_t seq = 0;
+  };
+
+  void push(std::uint32_t lane, const ObsEvent& event);
+  std::vector<Keyed> sorted_events() const;
+
+  int num_procs_;
+  int num_homes_;
+  TraceRecorderConfig config_;
+  std::vector<Ring> lanes_;  ///< procs first, then homes
+};
+
+}  // namespace dircc::obs

@@ -15,6 +15,10 @@
 
 namespace dircc {
 
+namespace obs {
+class TraceRecorder;
+}
+
 struct ProtocolStats;  // defined in protocol/system.hpp
 
 class MemorySystem {
@@ -39,6 +43,11 @@ class MemorySystem {
 
   virtual const ProtocolStats& stats() const = 0;
   virtual CacheStats aggregate_cache_stats() const = 0;
+
+  /// Attaches a per-run event recorder (src/obs). Systems that do not emit
+  /// events ignore it; nullptr detaches. The engine forwards its recorder
+  /// here so one wiring point covers the whole machine.
+  virtual void attach_recorder(obs::TraceRecorder* /*recorder*/) {}
 
   /// Byte-address convenience used by the engine.
   Cycle access_addr(ProcId proc, Addr addr, bool is_write, Cycle now = 0) {

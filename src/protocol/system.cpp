@@ -77,6 +77,21 @@ void CoherenceSystem::check_version(BlockAddr block,
 }
 
 // ---------------------------------------------------------------------------
+// Observability wiring
+// ---------------------------------------------------------------------------
+
+void CoherenceSystem::attach_recorder(obs::TraceRecorder* recorder) {
+  if (!obs::compiled()) {
+    return;
+  }
+  recorder_ = recorder;
+  for (int h = 0; h < num_clusters_; ++h) {
+    directories_[static_cast<std::size_t>(h)]->attach_obs(
+        recorder, static_cast<NodeId>(h));
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Message accounting
 // ---------------------------------------------------------------------------
 
@@ -144,6 +159,12 @@ CoherenceSystem::TargetOutcome CoherenceSystem::send_invalidations(
       ++outcome.network_acks;
     }
   }
+  if (obs_on(obs::EvClass::kInval) && outcome.network_invalidations > 0) {
+    recorder_->record_home(
+        home, {obs_now_, 0, block,
+               static_cast<std::uint64_t>(outcome.network_invalidations),
+               obs::EvType::kInvalFanout});
+  }
   return outcome;
 }
 
@@ -209,7 +230,15 @@ int CoherenceSystem::add_sharer_handling_displacement(DirEntry& entry,
                                                       BlockAddr key,
                                                       NodeId node,
                                                       NodeId home) {
+  const bool was_precise = !entry.sharers.overflowed;
   const NodeId displaced = format_->add_sharer(entry.sharers, node);
+  if (obs_on(obs::EvClass::kOverflow) && was_precise &&
+      entry.sharers.overflowed) {
+    // The entry left precise pointer mode (broadcast bit, composite
+    // pointer, or coarse-vector reinterpretation, depending on scheme).
+    recorder_->record_home(home, {obs_now_, 0, key, node,
+                                  obs::EvType::kPtrOverflow});
+  }
   if (displaced == kNoNode || displaced == node) {
     return 0;
   }
@@ -234,6 +263,11 @@ int CoherenceSystem::add_sharer_handling_displacement(DirEntry& entry,
     count_msg(MsgClass::kAck, displaced, home);
   }
   stats_.inval_distribution.add(static_cast<std::uint64_t>(net_invals));
+  if (obs_on(obs::EvClass::kInval) && net_invals > 0) {
+    recorder_->record_home(home, {obs_now_, 0, key,
+                                  static_cast<std::uint64_t>(net_invals),
+                                  obs::EvType::kInvalFanout});
+  }
   return net_invals;
 }
 
@@ -441,6 +475,9 @@ Cycle CoherenceSystem::finish_transaction(NodeId c, NodeId h, NodeId o,
 
 Cycle CoherenceSystem::access(ProcId proc, BlockAddr block, bool is_write,
                               Cycle now) {
+  if (obs::compiled() && recorder_ != nullptr) {
+    obs_now_ = now;  // protocol-side events carry the access's issue time
+  }
   if (!config_.model_contention) {
     return access_internal(proc, block, is_write);
   }
@@ -522,6 +559,9 @@ Cycle CoherenceSystem::access_internal(ProcId proc, BlockAddr block,
   count_msg(MsgClass::kRequest, c, h);
   const BlockAddr key = group_key(block);
   const int sub = sub_of(block);
+  if (obs::compiled() && recorder_ != nullptr) {
+    directories_[h]->obs_tick(obs_now_);  // timestamp store-level events
+  }
   std::optional<VictimEntry> victim;
   DirEntry* entry = directories_[h]->find_or_alloc(key, victim);
   // Sparse-directory replacement work delays the transaction that forced it.

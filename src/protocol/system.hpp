@@ -38,6 +38,7 @@
 #include "network/latency.hpp"
 #include "network/mesh.hpp"
 #include "network/message.hpp"
+#include "obs/trace_recorder.hpp"
 #include "protocol/memory_system.hpp"
 
 namespace dircc {
@@ -171,7 +172,16 @@ class CoherenceSystem final : public MemorySystem {
   /// Aggregated per-cache statistics.
   CacheStats aggregate_cache_stats() const override;
 
+  /// Wires the timeline recorder into the protocol and every home
+  /// directory store (invalidation fan-out, overflow transitions, sparse
+  /// victimizations). Event timestamps use the `now` each access carries.
+  void attach_recorder(obs::TraceRecorder* recorder) override;
+
  private:
+  /// Recording gate; constant-folds to false when DIRCC_OBS=0.
+  bool obs_on(obs::EvClass cls) const {
+    return obs::compiled() && recorder_ != nullptr && recorder_->wants(cls);
+  }
   struct TargetOutcome {
     int network_invalidations = 0;
     int network_acks = 0;
@@ -251,6 +261,9 @@ class CoherenceSystem final : public MemorySystem {
   std::vector<Cycle> home_busy_until_;
   ProtocolStats stats_;
   std::vector<NodeId> target_scratch_;
+  obs::TraceRecorder* recorder_ = nullptr;
+  /// Issue time of the access in flight; timestamps protocol-side events.
+  Cycle obs_now_ = 0;
 };
 
 }  // namespace dircc

@@ -22,8 +22,8 @@ struct LaterEvent {
 }  // namespace
 
 Engine::Engine(MemorySystem& system, const ProgramTrace& trace,
-               EngineConfig config)
-    : system_(system), trace_(trace), config_(config) {
+               EngineConfig config, obs::TraceRecorder* recorder)
+    : system_(system), trace_(trace), config_(config), recorder_(recorder) {
   ensure(trace.num_procs() == system.num_procs(),
          "trace and system disagree on the processor count");
   ensure(trace.block_size == system.block_size(),
@@ -32,6 +32,21 @@ Engine::Engine(MemorySystem& system, const ProgramTrace& trace,
   cursor_.assign(procs, 0);
   finish_time_.assign(procs, 0);
   write_buffer_.assign(procs, {});
+  if (obs::compiled() && recorder_ != nullptr) {
+    stall_.assign(procs, {});
+    system_.attach_recorder(recorder_);
+  }
+}
+
+void Engine::obs_block(ProcId proc, Cycle now, obs::EvType kind, Addr addr) {
+  if (!obs_on(obs::EvClass::kStall)) {
+    return;
+  }
+  PendingStall& stall = stall_[proc];
+  stall.since = now;
+  stall.addr = addr;
+  stall.kind = kind;
+  stall.active = true;
 }
 
 Cycle Engine::drained(ProcId proc, Cycle now) {
@@ -57,6 +72,12 @@ void Engine::schedule(ProcId proc, Cycle when) {
 
 void Engine::wake(ProcId proc, Cycle when) {
   --blocked_;
+  if (obs_on(obs::EvClass::kStall) && stall_[proc].active) {
+    PendingStall& stall = stall_[proc];
+    stall.active = false;
+    recorder_->record_proc(
+        proc, {stall.since, when - stall.since, stall.addr, 0, stall.kind});
+  }
   if (cursor_[proc] < trace_.per_proc[proc].size()) {
     schedule(proc, when);
   } else {
@@ -71,19 +92,24 @@ void Engine::sync_msg(MsgClass cls, std::uint64_t n) {
   }
 }
 
-void Engine::handle_unlock(LockState& lock, Cycle now) {
+void Engine::handle_unlock(Addr addr, LockState& lock, Cycle now) {
   sync_msg(MsgClass::kRequest);  // release notification to the lock home
   if (lock.waiters.empty()) {
     lock.held = false;
     lock.holder = kNoProc;
     return;
   }
+  const bool obs_lock = obs_on(obs::EvClass::kLock);
   if (!config_.region_grant_locks) {
     // Precise grant: hand the lock to the head waiter.
     const ProcId next = lock.waiters.front();
     lock.waiters.pop_front();
     lock.holder = next;
     sync_msg(MsgClass::kReply);  // grant
+    if (obs_lock) {
+      recorder_->record_proc(next, {now + config_.grant_cost, 0, addr, 1,
+                                    obs::EvType::kLockGrant});
+    }
     wake(next, now + config_.grant_cost);
     ++sync_.lock_acquires;
     return;
@@ -97,6 +123,10 @@ void Engine::handle_unlock(LockState& lock, Cycle now) {
   lock.waiters.pop_front();
   lock.holder = head;
   sync_msg(MsgClass::kReply);  // wakeup that wins the lock
+  if (obs_lock) {
+    recorder_->record_proc(head, {now + config_.grant_cost, 0, addr, 1,
+                                  obs::EvType::kLockGrant});
+  }
   wake(head, now + config_.grant_cost);
   ++sync_.lock_acquires;
   for (const ProcId waiter : lock.waiters) {
@@ -105,6 +135,10 @@ void Engine::handle_unlock(LockState& lock, Cycle now) {
       sync_msg(MsgClass::kReply);
       sync_msg(MsgClass::kRequest);
       ++sync_.lock_retries;
+      if (obs_lock) {
+        recorder_->record_proc(waiter, {now + config_.grant_cost, 0, addr, 0,
+                                        obs::EvType::kLockRetry});
+      }
     }
   }
 }
@@ -176,11 +210,20 @@ RunResult Engine::run() {
           sync_msg(MsgClass::kReply);
           resume += config_.lock_cost;
           ++sync_.lock_acquires;
+          if (obs_on(obs::EvClass::kLock)) {
+            recorder_->record_proc(
+                proc, {now, 0, ev.addr, 0, obs::EvType::kLockGrant});
+          }
         } else {
           ++sync_.lock_contended;
           lock.waiters.push_back(proc);
           runnable = false;  // resumed by a future unlock
           ++blocked_;
+          if (obs_on(obs::EvClass::kLock)) {
+            recorder_->record_proc(
+                proc, {now, 0, ev.addr, 0, obs::EvType::kLockQueue});
+          }
+          obs_block(proc, now, obs::EvType::kStallLock, ev.addr);
         }
         break;
       }
@@ -192,7 +235,7 @@ RunResult Engine::run() {
         // A release fences: buffered writes must be globally performed
         // before the lock is handed on.
         const Cycle eff = drained(proc, now);
-        handle_unlock(it->second, eff);
+        handle_unlock(ev.addr, it->second, eff);
         resume = eff + config_.issue_cost + config_.unlock_cost;
         break;
       }
@@ -200,6 +243,9 @@ RunResult Engine::run() {
         BarrierState& barrier = barriers_[ev.addr];
         sync_msg(MsgClass::kRequest);  // arrival
         const Cycle eff = drained(proc, now);  // barriers fence too
+        if (barrier.arrived == 0) {
+          barrier.first_arrival = eff;
+        }
         barrier.latest_arrival = std::max(barrier.latest_arrival, eff);
         barrier.waiters.push_back(proc);
         // Only processors with a reference stream ever reach a barrier; a
@@ -208,11 +254,20 @@ RunResult Engine::run() {
         if (++barrier.arrived < participants_) {
           runnable = false;
           ++blocked_;
+          obs_block(proc, eff, obs::EvType::kStallBarrier, ev.addr);
         } else {
           // Last arrival: release everyone (including this processor).
           const Cycle release = barrier.latest_arrival + config_.barrier_cost;
           sync_msg(MsgClass::kReply,
                    static_cast<std::uint64_t>(barrier.waiters.size()));
+          if (obs_on(obs::EvClass::kBarrier)) {
+            // The episode spans first arrival → release, recorded on the
+            // releasing (last-arriving) processor's lane.
+            recorder_->record_proc(
+                proc, {barrier.first_arrival, release - barrier.first_arrival,
+                       ev.addr, barrier.waiters.size(),
+                       obs::EvType::kBarrierEpisode});
+          }
           for (const ProcId waiter : barrier.waiters) {
             if (waiter != proc) {
               wake(waiter, release);

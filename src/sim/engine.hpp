@@ -18,6 +18,7 @@
 #pragma once
 
 #include "network/message.hpp"
+#include "obs/trace_recorder.hpp"
 #include "protocol/system.hpp"
 #include "trace/event.hpp"
 
@@ -82,8 +83,11 @@ struct RunResult {
 /// linked-list). Single-shot: construct, run().
 class Engine {
  public:
+  /// `recorder` (optional) receives stall/lock/barrier timeline events from
+  /// the engine and is forwarded to the memory system for protocol-level
+  /// events. The caller keeps ownership; it must outlive run().
   Engine(MemorySystem& system, const ProgramTrace& trace,
-         EngineConfig config = {});
+         EngineConfig config = {}, obs::TraceRecorder* recorder = nullptr);
 
   RunResult run();
 
@@ -95,6 +99,7 @@ class Engine {
   };
   struct BarrierState {
     int arrived = 0;
+    Cycle first_arrival = 0;  ///< episode start for the timeline recorder
     Cycle latest_arrival = 0;
     std::vector<ProcId> waiters;
   };
@@ -103,9 +108,17 @@ class Engine {
   /// Resumes a processor that was blocked on a lock or barrier.
   void wake(ProcId proc, Cycle when);
   void sync_msg(MsgClass cls, std::uint64_t n = 1);
-  void handle_unlock(LockState& lock, Cycle now);
+  void handle_unlock(Addr addr, LockState& lock, Cycle now);
   /// Waits for the processor's buffered writes to drain (fence semantics).
   Cycle drained(ProcId proc, Cycle now);
+
+  /// True when `cls` events should be recorded. Constant-folds to false
+  /// when instrumentation is compiled out (DIRCC_OBS=0).
+  bool obs_on(obs::EvClass cls) const {
+    return obs::compiled() && recorder_ != nullptr && recorder_->wants(cls);
+  }
+  /// Marks `proc` blocked at `now` for a stall span of `kind`.
+  void obs_block(ProcId proc, Cycle now, obs::EvType kind, Addr addr);
 
   MemorySystem& system_;
   const ProgramTrace& trace_;
@@ -120,6 +133,15 @@ class Engine {
   std::unordered_map<Addr, LockState> locks_;
   std::unordered_map<Addr, BarrierState> barriers_;
   SyncStats sync_;
+  obs::TraceRecorder* recorder_ = nullptr;
+  /// Pending stall spans, indexed by processor (valid while blocked).
+  struct PendingStall {
+    Cycle since = 0;
+    Addr addr = 0;
+    obs::EvType kind = obs::EvType::kStallLock;
+    bool active = false;
+  };
+  std::vector<PendingStall> stall_;
   int finished_ = 0;
   int blocked_ = 0;
   /// Processors with a non-empty stream; barriers wait for exactly these.

@@ -1,0 +1,72 @@
+#include "sim/run_metrics.hpp"
+
+namespace dircc {
+
+void register_metrics(obs::MetricsRegistry& registry,
+                      const MessageCounters& messages,
+                      const std::string& prefix) {
+  registry.set(prefix + "_total", messages.total());
+  registry.set(prefix + "_requests_wb", messages.requests_with_writebacks());
+  registry.set(prefix + "_replies", messages.get(MsgClass::kReply));
+  registry.set(prefix + "_inv_ack", messages.inv_plus_ack());
+}
+
+void register_metrics(obs::MetricsRegistry& registry,
+                      const CacheStats& cache) {
+  registry.set("cache_read_hits", cache.read_hits);
+  registry.set("cache_read_misses", cache.read_misses);
+  registry.set("cache_write_hits", cache.write_hits);
+  registry.set("cache_write_upgrades", cache.write_upgrades);
+  registry.set("cache_write_misses", cache.write_misses);
+  registry.set("cache_evictions_clean", cache.evictions_clean);
+  registry.set("cache_evictions_dirty", cache.evictions_dirty);
+  registry.set("cache_invals_received", cache.invalidations_received);
+  registry.set("cache_invals_empty", cache.invalidations_empty);
+}
+
+void register_metrics(obs::MetricsRegistry& registry, const SyncStats& sync) {
+  registry.set("barrier_episodes", sync.barrier_episodes);
+  registry.set("lock_acquires", sync.lock_acquires);
+  registry.set("lock_contended", sync.lock_contended);
+  registry.set("lock_retries", sync.lock_retries);
+  registry.set("buffered_writes", sync.buffered_writes);
+  registry.set("buffer_stalls", sync.buffer_stalls);
+  registry.set("fence_wait_cycles", sync.fence_wait_cycles);
+}
+
+void register_metrics(obs::MetricsRegistry& registry,
+                      const ProtocolStats& protocol) {
+  registry.set("accesses", protocol.accesses);
+  registry.set("cache_hits", protocol.cache_hits);
+  registry.set("read_transactions", protocol.read_transactions);
+  registry.set("write_transactions", protocol.write_transactions);
+  registry.set("ownership_transfers", protocol.ownership_transfers);
+  registry.set("extraneous_invals", protocol.extraneous_invalidations);
+  registry.set("nb_read_displacements", protocol.nb_read_displacements);
+  registry.set("sharing_writebacks", protocol.sharing_writebacks);
+  registry.set("dirty_eviction_writebacks",
+               protocol.dirty_eviction_writebacks);
+  registry.set("sparse_replacements", protocol.sparse_replacements);
+  registry.set("sparse_repl_invals", protocol.sparse_replacement_invals);
+  registry.set("replacement_hints", protocol.replacement_hints_sent);
+  registry.set("local_transactions", protocol.local_transactions);
+  registry.set("remote2_transactions", protocol.remote2_transactions);
+  registry.set("remote3_transactions", protocol.remote3_transactions);
+  registry.set("contention_wait_cycles", protocol.contention_wait_cycles);
+  registry.set("inval_events", protocol.inval_distribution.events());
+  registry.set("inval_total", protocol.inval_distribution.total());
+  registry.set_gauge("inval_mean", protocol.inval_distribution.mean());
+  registry.histogram("inval_distribution")
+      .merge(protocol.inval_distribution);
+}
+
+void register_metrics(obs::MetricsRegistry& registry,
+                      const RunResult& result) {
+  registry.set("exec_cycles", result.exec_cycles);
+  register_metrics(registry, result.total_messages(), "msgs");
+  register_metrics(registry, result.protocol);
+  register_metrics(registry, result.sync);
+  register_metrics(registry, result.cache);
+}
+
+}  // namespace dircc

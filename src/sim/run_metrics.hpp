@@ -1,0 +1,39 @@
+// Bridges the simulator's stats structs into the obs::MetricsRegistry.
+//
+// Each stats struct registers every one of its fields here, once, under a
+// stable name. Every sink that iterates the registry — the harness JSONL
+// records, the --metrics export — then picks up new counters automatically:
+// add a field to a stats struct, register it in the matching function in
+// run_metrics.cpp, and it appears in every output format with no further
+// plumbing.
+#pragma once
+
+#include "obs/metrics.hpp"
+#include "sim/engine.hpp"
+
+namespace dircc {
+
+/// Registers the five message-class counters plus derived totals under
+/// `prefix` ("msgs_total", "msgs_requests_wb", "msgs_replies",
+/// "msgs_inv_ack" when prefix == "msgs").
+void register_metrics(obs::MetricsRegistry& registry,
+                      const MessageCounters& messages,
+                      const std::string& prefix);
+
+/// Registers every CacheStats field ("cache_*").
+void register_metrics(obs::MetricsRegistry& registry, const CacheStats& cache);
+
+/// Registers every SyncStats field (the engine's synchronization side).
+void register_metrics(obs::MetricsRegistry& registry, const SyncStats& sync);
+
+/// Registers every ProtocolStats field, including the invalidation
+/// distribution as a histogram metric ("inval_distribution") and its
+/// scalar summaries ("inval_events", "inval_total", "inval_mean").
+void register_metrics(obs::MetricsRegistry& registry,
+                      const ProtocolStats& protocol);
+
+/// Registers the complete RunResult: exec_cycles, the combined
+/// protocol+sync message totals, and the three stats structs above.
+void register_metrics(obs::MetricsRegistry& registry, const RunResult& result);
+
+}  // namespace dircc

@@ -183,6 +183,80 @@ TEST(Sink, JsonlIsSortedByKeyAndDeterministic) {
   EXPECT_EQ(count, 4);
 }
 
+TEST(SweepRunner, RecordedTimelinesAreThreadCountInvariant) {
+  // Event timelines carry only simulated-cycle timestamps, so their
+  // exported bytes — like the results themselves — must not depend on how
+  // many worker threads ran the sweep.
+  const std::vector<SweepCell> cells = small_grid();
+  SweepOptions options;
+  options.record_traces = true;
+  const std::vector<CellResult> serial = SweepRunner(1).run(cells, options);
+  const std::vector<CellResult> threaded = SweepRunner(4).run(cells, options);
+  ASSERT_EQ(serial.size(), threaded.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    ASSERT_TRUE(serial[i].trace);
+    ASSERT_TRUE(threaded[i].trace);
+    std::ostringstream a;
+    serial[i].trace->write_chrome_json(a);
+    std::ostringstream b;
+    threaded[i].trace->write_chrome_json(b);
+    EXPECT_EQ(a.str(), b.str()) << cells[i].key;
+    std::ostringstream al;
+    serial[i].trace->write_jsonl(al);
+    std::ostringstream bl;
+    threaded[i].trace->write_jsonl(bl);
+    EXPECT_EQ(al.str(), bl.str()) << cells[i].key;
+    if (obs::compiled()) {
+      // mp3d's trace has locks and barriers; the timeline must not be empty.
+      EXPECT_GT(serial[i].trace->recorded(), 0u) << cells[i].key;
+    }
+  }
+}
+
+TEST(SweepRunner, RecordingDoesNotPerturbResults) {
+  const std::vector<SweepCell> cells = small_grid();
+  SweepOptions options;
+  options.record_traces = true;
+  const std::vector<CellResult> plain = SweepRunner(2).run(cells);
+  const std::vector<CellResult> recorded = SweepRunner(2).run(cells, options);
+  ASSERT_EQ(plain.size(), recorded.size());
+  for (std::size_t i = 0; i < plain.size(); ++i) {
+    EXPECT_EQ(plain[i].result.exec_cycles, recorded[i].result.exec_cycles);
+    EXPECT_EQ(plain[i].result.protocol.messages.total(),
+              recorded[i].result.protocol.messages.total());
+    EXPECT_FALSE(plain[i].trace);  // off by default
+  }
+}
+
+TEST(SweepRunner, TelemetryCoversEveryCell) {
+  const std::vector<SweepCell> cells = small_grid();
+  SweepRunner runner(2);
+  runner.run(cells, {});
+  const SweepTelemetry& telemetry = runner.telemetry();
+  EXPECT_EQ(telemetry.cells_run, cells.size());
+  EXPECT_EQ(telemetry.cell_ms.count(), cells.size());
+  EXPECT_EQ(telemetry.build_ms.count(), cells.size());
+  EXPECT_EQ(telemetry.sim_ms.count(), cells.size());
+  EXPECT_EQ(telemetry.threads_used, 2);
+  EXPECT_EQ(telemetry.thread_busy_ms.size(), 2u);
+  EXPECT_GT(telemetry.wall_ms, 0.0);
+  EXPECT_GE(telemetry.utilization(), 0.0);
+  EXPECT_LE(telemetry.utilization(), 1.0);
+}
+
+TEST(SweepRunner, ProgressReportWritesToTheGivenStream) {
+  const std::vector<SweepCell> cells = small_grid();
+  std::ostringstream progress;
+  SweepOptions options;
+  options.progress = true;
+  options.progress_out = &progress;
+  SweepRunner(2).run(cells, options);
+  const std::string out = progress.str();
+  EXPECT_NE(out.find("[sweep]"), std::string::npos);
+  EXPECT_NE(out.find("4/4 cells"), std::string::npos);
+  EXPECT_EQ(out.back(), '\n');  // reporter closes its line
+}
+
 TEST(Sink, TimingFieldIsPresentOnlyWhenAsked) {
   CellResult cell;
   cell.key = "k";

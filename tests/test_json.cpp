@@ -13,7 +13,22 @@ TEST(JsonEscape, HandlesSpecialCharacters) {
   EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
   EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
   EXPECT_EQ(json_escape("a\nb\tc\rd"), "a\\nb\\tc\\rd");
+  EXPECT_EQ(json_escape("a\bb\fc"), "a\\bb\\fc");
   EXPECT_EQ(json_escape(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST(JsonEscape, EscapesEveryControlCharacter) {
+  // RFC 8259: U+0000 through U+001F must never appear raw in a string.
+  for (int ch = 0x00; ch < 0x20; ++ch) {
+    const std::string escaped = json_escape(std::string(1, static_cast<char>(ch)));
+    ASSERT_GE(escaped.size(), 2u) << "char " << ch;
+    EXPECT_EQ(escaped[0], '\\') << "char " << ch;
+    for (const char out : escaped) {
+      EXPECT_GE(static_cast<unsigned char>(out), 0x20u) << "char " << ch;
+    }
+  }
+  EXPECT_EQ(json_escape(std::string(1, '\0')), "\\u0000");
+  EXPECT_EQ(json_escape(std::string(1, '\x1f')), "\\u001f");
 }
 
 TEST(JsonNumber, RendersCompactly) {
@@ -50,6 +65,19 @@ TEST(JsonWriter, NestedStructures) {
   json.end_array();
   json.end_object();
   EXPECT_EQ(out.str(), "{\"cells\":[1,2,{\"k\":\"v\"}]}");
+}
+
+TEST(JsonWriter, FieldWithEmbeddedControlCharactersStaysValid) {
+  // Regression: a label dimension carrying a newline/tab (e.g. a cell key
+  // built from user input) must round-trip as legal JSON, not raw bytes.
+  std::ostringstream out;
+  JsonWriter json(out);
+  json.begin_object();
+  json.field("note", std::string("line1\nline2\tend"));
+  json.end_object();
+  EXPECT_EQ(out.str(), "{\"note\":\"line1\\nline2\\tend\"}");
+  EXPECT_EQ(out.str().find('\n'), std::string::npos);
+  EXPECT_EQ(out.str().find('\t'), std::string::npos);
 }
 
 TEST(JsonWriter, EscapesKeys) {

@@ -1,0 +1,342 @@
+// Observability layer: metrics registry, trace recorder rings/exports, and
+// end-to-end event emission from an instrumented engine run.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/trace_recorder.hpp"
+#include "protocol/system.hpp"
+#include "sim/engine.hpp"
+#include "trace/event.hpp"
+
+namespace dircc::obs {
+namespace {
+
+TEST(MetricsRegistry, CountersAccumulateAndSet) {
+  MetricsRegistry reg;
+  EXPECT_TRUE(reg.empty());
+  reg.add("hits");
+  reg.add("hits", 4);
+  EXPECT_EQ(reg.counter("hits"), 5u);
+  reg.set("hits", 2);
+  EXPECT_EQ(reg.counter("hits"), 2u);
+  EXPECT_EQ(reg.counter("absent"), 0u);
+  EXPECT_EQ(reg.size(), 1u);
+}
+
+TEST(MetricsRegistry, GaugesHoldDoubles) {
+  MetricsRegistry reg;
+  reg.set_gauge("mean_invals", 2.5);
+  EXPECT_DOUBLE_EQ(reg.gauge("mean_invals"), 2.5);
+  reg.set_gauge("mean_invals", 0.25);
+  EXPECT_DOUBLE_EQ(reg.gauge("mean_invals"), 0.25);
+  EXPECT_DOUBLE_EQ(reg.gauge("absent"), 0.0);
+}
+
+TEST(MetricsRegistry, HistogramsLiveInTheRegistry) {
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("invals");
+  h.add(0, 3);
+  h.add(2);
+  EXPECT_EQ(&reg.histogram("invals"), &h);  // same object on re-lookup
+  const Histogram* found = reg.find_histogram("invals");
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found->events(), 4u);
+  EXPECT_EQ(reg.find_histogram("absent"), nullptr);
+}
+
+TEST(MetricsRegistry, SnapshotAndDiff) {
+  MetricsRegistry reg;
+  reg.set("msgs", 10);
+  reg.set_gauge("ratio", 0.5);
+  const MetricsSnapshot before = reg.snapshot();
+  reg.add("msgs", 7);
+  reg.add("fresh", 3);
+  reg.set_gauge("ratio", 0.75);
+  const MetricsSnapshot after = reg.snapshot();
+  const MetricsSnapshot delta = diff(before, after);
+  EXPECT_EQ(delta.counters.at("msgs"), 7u);
+  EXPECT_EQ(delta.counters.at("fresh"), 3u);  // absent before counts from 0
+  EXPECT_DOUBLE_EQ(delta.gauges.at("ratio"), 0.75);  // gauges: after value
+}
+
+TEST(MetricsRegistry, JsonIsNameSortedAndDeterministic) {
+  MetricsRegistry reg;
+  reg.set("zeta", 1);
+  reg.set("alpha", 2);
+  reg.set_gauge("mid", 1.5);
+  std::ostringstream a;
+  reg.write_json(a);
+  std::ostringstream b;
+  reg.write_json(b);
+  EXPECT_EQ(a.str(), b.str());
+  // Name order, not insertion order.
+  EXPECT_LT(a.str().find("\"alpha\""), a.str().find("\"mid\""));
+  EXPECT_LT(a.str().find("\"mid\""), a.str().find("\"zeta\""));
+  EXPECT_EQ(a.str().front(), '{');
+  EXPECT_EQ(a.str().back(), '}');
+}
+
+TEST(MetricsRegistry, HistogramJsonCarriesBins) {
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("d");
+  h.add(0, 2);
+  h.add(3);
+  std::ostringstream out;
+  reg.write_json(out);
+  EXPECT_NE(out.str().find("\"events\":3"), std::string::npos);
+  EXPECT_NE(out.str().find("\"bins\":[2,0,0,1]"), std::string::npos);
+}
+
+TEST(EvTypes, NamesAndClassesAreConsistent) {
+  EXPECT_STREQ(ev_type_name(EvType::kBarrierEpisode), "barrier.episode");
+  EXPECT_STREQ(ev_type_name(EvType::kInvalFanout), "inval.fanout");
+  EXPECT_EQ(ev_class_of(EvType::kStallLock), EvClass::kStall);
+  EXPECT_EQ(ev_class_of(EvType::kStallBarrier), EvClass::kStall);
+  EXPECT_EQ(ev_class_of(EvType::kLockQueue), EvClass::kLock);
+  EXPECT_EQ(ev_class_of(EvType::kLockGrant), EvClass::kLock);
+  EXPECT_EQ(ev_class_of(EvType::kLockRetry), EvClass::kLock);
+  EXPECT_EQ(ev_class_of(EvType::kBarrierEpisode), EvClass::kBarrier);
+  EXPECT_EQ(ev_class_of(EvType::kInvalFanout), EvClass::kInval);
+  EXPECT_EQ(ev_class_of(EvType::kSparseVictim), EvClass::kSparse);
+  EXPECT_EQ(ev_class_of(EvType::kPtrOverflow), EvClass::kOverflow);
+}
+
+TEST(TraceRecorder, RecordsPerLane) {
+  if (!compiled()) {
+    GTEST_SKIP() << "built with DIRCC_OBS=0";
+  }
+  TraceRecorder rec(2, 1);
+  rec.record_proc(0, {10, 0, 1, 0, EvType::kLockGrant});
+  rec.record_proc(1, {12, 5, 2, 0, EvType::kStallLock});
+  rec.record_home(0, {11, 0, 7, 3, EvType::kInvalFanout});
+  EXPECT_EQ(rec.recorded(), 3u);
+  EXPECT_EQ(rec.dropped(), 0u);
+}
+
+TEST(TraceRecorder, RingDropsOldest) {
+  if (!compiled()) {
+    GTEST_SKIP() << "built with DIRCC_OBS=0";
+  }
+  TraceRecorderConfig config;
+  config.ring_capacity = 4;
+  TraceRecorder rec(1, 0, config);
+  for (Cycle t = 0; t < 10; ++t) {
+    rec.record_proc(0, {t, 0, t, 0, EvType::kLockGrant});
+  }
+  EXPECT_EQ(rec.recorded(), 4u);
+  EXPECT_EQ(rec.dropped(), 6u);
+  std::ostringstream out;
+  rec.write_jsonl(out);
+  // The oldest retained event is ts=6; ts=5 and earlier were overwritten.
+  EXPECT_EQ(out.str().find("\"ts\":5"), std::string::npos);
+  EXPECT_NE(out.str().find("\"ts\":6"), std::string::npos);
+  EXPECT_NE(out.str().find("\"ts\":9"), std::string::npos);
+}
+
+TEST(TraceRecorder, ClassMaskFilters) {
+  TraceRecorderConfig config;
+  config.class_mask = bit(EvClass::kBarrier);
+  TraceRecorder rec(1, 1, config);
+  EXPECT_EQ(rec.wants(EvClass::kBarrier), compiled());
+  EXPECT_FALSE(rec.wants(EvClass::kLock));
+  EXPECT_FALSE(rec.wants(EvClass::kInval));
+}
+
+TEST(TraceRecorder, ExportIsTimestampOrdered) {
+  if (!compiled()) {
+    GTEST_SKIP() << "built with DIRCC_OBS=0";
+  }
+  TraceRecorder rec(2, 1);
+  // Recorded out of timestamp order across lanes.
+  rec.record_proc(1, {30, 0, 0, 0, EvType::kLockGrant});
+  rec.record_home(0, {10, 0, 0, 2, EvType::kInvalFanout});
+  rec.record_proc(0, {20, 0, 0, 0, EvType::kLockQueue});
+  std::ostringstream out;
+  rec.write_jsonl(out);
+  const std::string text = out.str();
+  EXPECT_LT(text.find("\"ts\":10"), text.find("\"ts\":20"));
+  EXPECT_LT(text.find("\"ts\":20"), text.find("\"ts\":30"));
+}
+
+TEST(TraceRecorder, ChromeJsonShape) {
+  TraceRecorder rec(1, 1);
+  if (compiled()) {
+    rec.record_proc(0, {5, 10, 3, 0, EvType::kStallBarrier});
+    rec.record_home(0, {7, 0, 99, 4, EvType::kInvalFanout});
+  }
+  std::ostringstream out;
+  rec.write_chrome_json(out);
+  const std::string text = out.str();
+  // Always a well-formed document with lane metadata, even when empty.
+  EXPECT_NE(text.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(text.find("\"displayTimeUnit\""), std::string::npos);
+  EXPECT_NE(text.find("\"ph\":\"M\""), std::string::npos);
+  if (compiled()) {
+    EXPECT_NE(text.find("\"ph\":\"X\""), std::string::npos);  // the span
+    EXPECT_NE(text.find("\"dur\":10"), std::string::npos);
+    EXPECT_NE(text.find("\"ph\":\"i\""), std::string::npos);  // the instant
+    EXPECT_NE(text.find("\"name\":\"inval.fanout\""), std::string::npos);
+  }
+}
+
+// A two-processor program with a contended lock, a barrier, and a shared
+// block both processors write — enough to exercise every engine-side event
+// class plus invalidation fan-out at the home directory.
+ProgramTrace contended_trace() {
+  ProgramTrace trace;
+  trace.app_name = "obs-smoke";
+  trace.block_size = 16;
+  trace.per_proc.resize(2);
+  constexpr Addr kLock = 0x1000;
+  constexpr Addr kBarrier = 0x2000;
+  constexpr Addr kShared = 0x100;
+  for (int p = 0; p < 2; ++p) {
+    auto& stream = trace.per_proc[static_cast<std::size_t>(p)];
+    for (int i = 0; i < 4; ++i) {
+      stream.push_back(TraceEvent::lock(kLock));
+      stream.push_back(TraceEvent::read(kShared));
+      stream.push_back(TraceEvent::write(kShared));
+      stream.push_back(TraceEvent::unlock(kLock));
+      stream.push_back(TraceEvent::barrier(kBarrier));
+    }
+  }
+  return trace;
+}
+
+TEST(TraceRecorder, EngineRunEmitsSyncAndInvalEvents) {
+  if (!compiled()) {
+    GTEST_SKIP() << "built with DIRCC_OBS=0";
+  }
+  SystemConfig config;
+  config.num_procs = 2;
+  config.cache_lines_per_proc = 16;
+  config.scheme = SchemeConfig::full(2);
+  CoherenceSystem system(config);
+  const ProgramTrace trace = contended_trace();
+  TraceRecorder rec(2, config.num_clusters());
+  Engine engine(system, trace, {}, &rec);
+  const RunResult result = engine.run();
+  EXPECT_GT(result.sync.barrier_episodes, 0u);
+  EXPECT_GT(rec.recorded(), 0u);
+  std::ostringstream out;
+  rec.write_jsonl(out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("\"type\":\"barrier.episode\""), std::string::npos);
+  EXPECT_NE(text.find("\"type\":\"lock.grant\""), std::string::npos);
+  EXPECT_NE(text.find("\"type\":\"inval.fanout\""), std::string::npos);
+  EXPECT_NE(text.find("\"type\":\"stall.barrier\""), std::string::npos);
+}
+
+TEST(TraceRecorder, EngineRespectsClassMask) {
+  if (!compiled()) {
+    GTEST_SKIP() << "built with DIRCC_OBS=0";
+  }
+  SystemConfig config;
+  config.num_procs = 2;
+  config.cache_lines_per_proc = 16;
+  config.scheme = SchemeConfig::full(2);
+  CoherenceSystem system(config);
+  const ProgramTrace trace = contended_trace();
+  TraceRecorderConfig rc;
+  rc.class_mask = bit(EvClass::kBarrier);
+  TraceRecorder rec(2, config.num_clusters(), rc);
+  Engine engine(system, trace, {}, &rec);
+  engine.run();
+  std::ostringstream out;
+  rec.write_jsonl(out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("\"type\":\"barrier.episode\""), std::string::npos);
+  EXPECT_EQ(text.find("\"type\":\"lock."), std::string::npos);
+  EXPECT_EQ(text.find("\"type\":\"inval."), std::string::npos);
+}
+
+TEST(TraceRecorder, RecorderDoesNotChangeSimulation) {
+  SystemConfig config;
+  config.num_procs = 2;
+  config.cache_lines_per_proc = 16;
+  config.scheme = SchemeConfig::full(2);
+  const ProgramTrace trace = contended_trace();
+
+  CoherenceSystem bare_system(config);
+  Engine bare(bare_system, trace);
+  const RunResult without = bare.run();
+
+  CoherenceSystem obs_system(config);
+  TraceRecorder rec(2, config.num_clusters());
+  Engine instrumented(obs_system, trace, {}, &rec);
+  const RunResult with = instrumented.run();
+
+  EXPECT_EQ(without.exec_cycles, with.exec_cycles);
+  EXPECT_EQ(without.protocol.messages.total(), with.protocol.messages.total());
+  EXPECT_EQ(without.sync.lock_contended, with.sync.lock_contended);
+}
+
+TEST(TraceRecorder, SparseVictimizationIsRecorded) {
+  if (!compiled()) {
+    GTEST_SKIP() << "built with DIRCC_OBS=0";
+  }
+  // A sparse directory far smaller than the working set forces entry
+  // victimization; each displacement must land on the home's lane.
+  SystemConfig config;
+  config.num_procs = 2;
+  config.cache_lines_per_proc = 64;
+  config.scheme = SchemeConfig::full(2);
+  config.store.sparse = true;
+  config.store.sparse_entries = 4;
+  config.store.sparse_assoc = 1;
+  CoherenceSystem system(config);
+
+  ProgramTrace trace;
+  trace.app_name = "sparse-churn";
+  trace.block_size = 16;
+  trace.per_proc.resize(2);
+  for (int p = 0; p < 2; ++p) {
+    auto& stream = trace.per_proc[static_cast<std::size_t>(p)];
+    for (int i = 0; i < 64; ++i) {
+      stream.push_back(TraceEvent::read(static_cast<Addr>(i) * 16));
+    }
+  }
+
+  TraceRecorder rec(2, config.num_clusters());
+  Engine engine(system, trace, {}, &rec);
+  const RunResult result = engine.run();
+  ASSERT_GT(result.protocol.sparse_replacements, 0u);
+  std::ostringstream out;
+  rec.write_jsonl(out);
+  EXPECT_NE(out.str().find("\"type\":\"sparse.victim\""), std::string::npos);
+}
+
+TEST(TraceRecorder, PointerOverflowIsRecorded) {
+  if (!compiled()) {
+    GTEST_SKIP() << "built with DIRCC_OBS=0";
+  }
+  // Four processors read one block under a 1-pointer broadcast scheme: the
+  // second sharer pushes the entry out of precise mode.
+  SystemConfig config;
+  config.num_procs = 4;
+  config.cache_lines_per_proc = 16;
+  config.scheme = SchemeConfig::broadcast(4, 1);
+  CoherenceSystem system(config);
+
+  ProgramTrace trace;
+  trace.app_name = "overflow";
+  trace.block_size = 16;
+  trace.per_proc.resize(4);
+  for (int p = 0; p < 4; ++p) {
+    trace.per_proc[static_cast<std::size_t>(p)].push_back(
+        TraceEvent::read(0x40));
+  }
+
+  TraceRecorder rec(4, config.num_clusters());
+  Engine engine(system, trace, {}, &rec);
+  engine.run();
+  std::ostringstream out;
+  rec.write_jsonl(out);
+  EXPECT_NE(out.str().find("\"type\":\"ptr.overflow\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dircc::obs

@@ -130,5 +130,93 @@ TEST(OnlineStats, TracksMeanMinMax) {
   EXPECT_DOUBLE_EQ(s.max(), 9.0);
 }
 
+TEST(OnlineStats, VarianceMatchesTwoPassFormula) {
+  const double samples[] = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  OnlineStats s;
+  double sum = 0.0;
+  for (const double x : samples) {
+    s.add(x);
+    sum += x;
+  }
+  const double mean = sum / 8.0;
+  double m2 = 0.0;
+  for (const double x : samples) {
+    m2 += (x - mean) * (x - mean);
+  }
+  EXPECT_DOUBLE_EQ(s.mean(), mean);
+  EXPECT_NEAR(s.variance(), m2 / 8.0, 1e-12);
+  EXPECT_NEAR(s.stddev(), 2.0, 1e-12);  // the classic textbook set
+}
+
+TEST(OnlineStats, VarianceIsZeroBelowTwoSamples) {
+  OnlineStats s;
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+  s.add(42.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(OnlineStats, VarianceIsNumericallyStableAtLargeOffsets) {
+  // Naive sum-of-squares cancels catastrophically here; Welford must not.
+  OnlineStats s;
+  const double offset = 1e9;
+  for (const double x : {4.0, 7.0, 13.0, 16.0}) {
+    s.add(offset + x);
+  }
+  EXPECT_NEAR(s.variance(), 22.5, 1e-6);
+}
+
+TEST(OnlineStats, MergeMatchesSequentialAdds) {
+  // Split a sample stream across two accumulators (as the sweep's worker
+  // threads do) and merge: every moment must match the single-stream run.
+  const double samples[] = {1.5, -2.0, 8.25, 3.0, 3.0, -7.5, 0.0, 12.0, 4.5};
+  OnlineStats whole;
+  OnlineStats left;
+  OnlineStats right;
+  int i = 0;
+  for (const double x : samples) {
+    whole.add(x);
+    (i++ < 4 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_NEAR(left.mean(), whole.mean(), 1e-12);
+  EXPECT_NEAR(left.variance(), whole.variance(), 1e-12);
+  EXPECT_DOUBLE_EQ(left.min(), whole.min());
+  EXPECT_DOUBLE_EQ(left.max(), whole.max());
+}
+
+TEST(OnlineStats, MergeWithEmptySides) {
+  OnlineStats filled;
+  filled.add(3.0);
+  filled.add(5.0);
+
+  OnlineStats empty_dst;
+  empty_dst.merge(filled);  // empty <- filled adopts everything
+  EXPECT_EQ(empty_dst.count(), 2u);
+  EXPECT_DOUBLE_EQ(empty_dst.mean(), 4.0);
+  EXPECT_DOUBLE_EQ(empty_dst.min(), 3.0);
+
+  OnlineStats empty_src;
+  filled.merge(empty_src);  // filled <- empty is a no-op
+  EXPECT_EQ(filled.count(), 2u);
+  EXPECT_DOUBLE_EQ(filled.mean(), 4.0);
+}
+
+TEST(OnlineStats, MergeIsCountWeighted) {
+  // Unequal partition sizes: the merged mean must weight by count, not
+  // average the two means.
+  OnlineStats a;
+  a.add(10.0);
+  OnlineStats b;
+  for (int i = 0; i < 9; ++i) {
+    b.add(0.0);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), 10u);
+  EXPECT_NEAR(a.mean(), 1.0, 1e-12);
+  EXPECT_NEAR(a.variance(), 9.0, 1e-12);
+}
+
 }  // namespace
 }  // namespace dircc
