@@ -1,0 +1,462 @@
+// Randomized coherence stress fuzzer (src/check).
+//
+// Sweeps adversarial synthetic traces (hot-block contention, false
+// sharing, lock/barrier storms, eviction pressure sized to force sparse
+// victimization and pointer overflow) over a seed x scheme x configuration
+// grid, with the invariant oracle attached to every cell. Three fault
+// modes seed deliberate protocol mutations — forget a sharer, lose an
+// invalidation, drop a sparse-victim writeback — to prove the oracle
+// catches real coherence bugs; `--faults none` cells must stay clean, and
+// any violation there is a genuine protocol bug.
+//
+// A failing cell can be delta-debugged to a minimal trace (--minimize) and
+// dumped as a replayable trace file plus an event timeline of the final
+// cycles (--dump DIR); --replay FILE re-runs such a trace under the same
+// machine configuration flags.
+#include <iostream>
+#include <map>
+#include <optional>
+#include <sstream>
+
+#include "bench_common.hpp"
+#include "check/fuzz.hpp"
+#include "check/minimize.hpp"
+#include "trace/trace_file.hpp"
+
+namespace {
+
+using namespace dircc;
+using namespace dircc::bench;
+
+std::vector<std::string> split_list(const std::string& text) {
+  std::vector<std::string> out;
+  std::stringstream stream(text);
+  std::string item;
+  while (std::getline(stream, item, ',')) {
+    if (!item.empty()) {
+      out.push_back(item);
+    }
+  }
+  return out;
+}
+
+SchemeConfig scheme_by_name(const std::string& name, int nodes) {
+  if (name == "full") {
+    return SchemeConfig::full(nodes);
+  }
+  if (name == "cv") {
+    return SchemeConfig::coarse(nodes, 3, 2);
+  }
+  if (name == "b") {
+    return SchemeConfig::broadcast(nodes, 3);
+  }
+  if (name == "nb") {
+    return SchemeConfig::no_broadcast(nodes, 3);
+  }
+  std::cerr << "unknown scheme '" << name << "' (full, cv, b, nb)\n";
+  std::exit(2);
+}
+
+check::FaultKind fault_by_name(const std::string& name) {
+  if (name == "none") {
+    return check::FaultKind::kNone;
+  }
+  if (name == "sharer") {
+    return check::FaultKind::kForgetSharer;
+  }
+  if (name == "inval") {
+    return check::FaultKind::kSkipInvalidation;
+  }
+  if (name == "writeback") {
+    return check::FaultKind::kDropVictimWriteback;
+  }
+  std::cerr << "unknown fault '" << name
+            << "' (none, sharer, inval, writeback)\n";
+  std::exit(2);
+}
+
+struct FuzzFlags {
+  HarnessOptions harness;
+  std::vector<std::string> schemes;
+  std::vector<std::string> faults;
+  std::vector<int> sparse_entries;  ///< per home; 0 = full directory
+  int seeds = 8;
+  std::uint64_t seed_base = kSeed;
+  std::uint64_t fault_trigger = 4;
+  int procs = 16;
+  int cache_lines = 16;
+  int l1_lines = 0;
+  int rounds = 4;
+  int units = 40;
+  int hot = 4;
+  int pool = 192;
+  int locks = 4;
+  bool minimize = false;
+  std::string dump_dir;
+  std::string replay_path;
+  bool require_caught = false;
+};
+
+FuzzFlags parse_flags(int argc, const char* const* argv) {
+  CliParser cli;
+  cli.add_option("schemes", "full,cv,b,nb",
+                 "directory schemes to fuzz (full,cv,b,nb)");
+  cli.add_option("faults", "none,sharer,inval,writeback",
+                 "seeded protocol mutations (none,sharer,inval,writeback)");
+  cli.add_option("sparse-entries", "0,8",
+                 "sparse directory entries per home cluster (0 = full "
+                 "directory); undersize it so victimization happens");
+  cli.add_option("seeds", "8", "fuzz trace seeds per grid point");
+  cli.add_option("seed-base", "1990", "first trace seed");
+  cli.add_option("fault-trigger", "4",
+                 "fire the seeded fault on this corrupting opportunity");
+  cli.add_option("procs", "16", "processors (one per cluster)");
+  cli.add_option("cache-lines", "16",
+                 "cache lines per processor (small = eviction pressure)");
+  cli.add_option("l1-lines", "0",
+                 "first-level cache lines per processor (0 = single level)");
+  cli.add_option("rounds", "4", "barrier-delimited rounds per trace");
+  cli.add_option("units", "40", "work units per processor per round");
+  cli.add_option("hot", "4", "hot (contended) blocks");
+  cli.add_option("pool", "192", "scatter-pool blocks");
+  cli.add_option("locks", "4", "locks (each guards a block)");
+  cli.add_flag("minimize",
+               "delta-debug the first failing cell of each fault kind");
+  cli.add_option("dump", "",
+                 "write minimized traces + timelines into this directory");
+  cli.add_option("replay", "",
+                 "replay a dumped trace file under the first "
+                 "scheme/fault/sparse configuration and report");
+  cli.add_flag("require-caught",
+               "exit nonzero unless every injected fault was caught (CI)");
+  add_harness_options(cli);
+  if (!cli.parse(argc, argv)) {
+    std::cerr << cli.error() << "\n" << cli.usage(argv[0]);
+    std::exit(2);
+  }
+  if (cli.help_requested()) {
+    std::cout << cli.usage(argv[0]);
+    std::exit(0);
+  }
+  FuzzFlags flags;
+  flags.harness = read_harness_options(cli);
+  flags.schemes = split_list(cli.get("schemes"));
+  flags.faults = split_list(cli.get("faults"));
+  for (const std::string& item : split_list(cli.get("sparse-entries"))) {
+    flags.sparse_entries.push_back(std::stoi(item));
+  }
+  flags.seeds = static_cast<int>(cli.get_int("seeds"));
+  flags.seed_base = static_cast<std::uint64_t>(cli.get_int("seed-base"));
+  flags.fault_trigger =
+      static_cast<std::uint64_t>(cli.get_int("fault-trigger"));
+  flags.procs = static_cast<int>(cli.get_int("procs"));
+  flags.cache_lines = static_cast<int>(cli.get_int("cache-lines"));
+  flags.l1_lines = static_cast<int>(cli.get_int("l1-lines"));
+  flags.rounds = static_cast<int>(cli.get_int("rounds"));
+  flags.units = static_cast<int>(cli.get_int("units"));
+  flags.hot = static_cast<int>(cli.get_int("hot"));
+  flags.pool = static_cast<int>(cli.get_int("pool"));
+  flags.locks = static_cast<int>(cli.get_int("locks"));
+  flags.minimize = cli.get_flag("minimize");
+  flags.dump_dir = cli.get("dump");
+  flags.replay_path = cli.get("replay");
+  flags.require_caught = cli.get_flag("require-caught");
+  ensure(!flags.schemes.empty() && !flags.faults.empty() &&
+             !flags.sparse_entries.empty() && flags.seeds >= 1,
+         "fuzz grid must be non-empty");
+  return flags;
+}
+
+check::FuzzTraceConfig trace_config(const FuzzFlags& flags,
+                                    std::uint64_t seed) {
+  check::FuzzTraceConfig config;
+  config.procs = flags.procs;
+  config.block_size = kBlockSize;
+  config.rounds = flags.rounds;
+  config.units_per_round = flags.units;
+  config.hot_blocks = flags.hot;
+  config.pool_blocks = flags.pool;
+  config.num_locks = flags.locks;
+  config.seed = seed;
+  return config;
+}
+
+SystemConfig system_config(const FuzzFlags& flags, const std::string& scheme,
+                           check::FaultKind fault, int sparse,
+                           const std::string& key) {
+  SystemConfig config;
+  config.num_procs = flags.procs;
+  config.procs_per_cluster = 1;
+  config.cache_lines_per_proc =
+      static_cast<std::uint64_t>(flags.cache_lines);
+  config.cache_assoc = 2;
+  config.l1_lines_per_proc = static_cast<std::uint64_t>(flags.l1_lines);
+  config.l1_assoc = 2;
+  config.block_size = kBlockSize;
+  config.scheme = scheme_by_name(scheme, flags.procs);
+  if (sparse > 0) {
+    config.store.sparse = true;
+    // Round up to a whole number of 2-way sets.
+    config.store.sparse_entries =
+        static_cast<std::uint64_t>((sparse + 1) / 2 * 2);
+    config.store.sparse_assoc = 2;
+    config.store.policy = ReplPolicy::kRandom;
+  }
+  // Fault runs corrupt state on purpose: the protocol's own [[noreturn]]
+  // value-coherence spot check must stay out of the way — the invariant
+  // oracle is the failure detector here.
+  config.validate = false;
+  config.fault.kind = fault;
+  config.fault.trigger = flags.fault_trigger;
+  config.seed = harness::cell_seed(flags.seed_base, key);
+  return config;
+}
+
+/// Per-cell identity within the grid, recoverable from the key.
+struct CellSpec {
+  std::string scheme;
+  std::string fault;
+  int sparse = 0;
+  std::uint64_t seed = 0;
+};
+
+int replay(const FuzzFlags& flags) {
+  ProgramTrace trace;
+  if (!load_trace(flags.replay_path, trace)) {
+    std::cerr << "cannot load trace file " << flags.replay_path << "\n";
+    return 2;
+  }
+  const std::string& scheme = flags.schemes.front();
+  const check::FaultKind fault = fault_by_name(flags.faults.front());
+  const int sparse = flags.sparse_entries.front();
+  const SystemConfig config =
+      system_config(flags, scheme, fault, sparse,
+                    "replay/" + flags.replay_path);
+  std::cout << "replaying " << flags.replay_path << " ("
+            << trace.total_events() << " events, " << trace.num_procs()
+            << " procs) under scheme=" << scheme
+            << " fault=" << flags.faults.front() << " sparse=" << sparse
+            << "\n";
+  const check::CheckedRun run =
+      check::run_checked(config, EngineConfig{}, trace);
+  std::cout << "accesses=" << run.report.accesses_observed
+            << " audits=" << run.report.audits
+            << " faults_injected=" << run.report.faults_injected
+            << (run.report.halted ? " (halted)" : "") << "\n";
+  if (!run.report.failed()) {
+    std::cout << "no violations\n";
+    return 0;
+  }
+  for (const check::Violation& violation : run.report.violations) {
+    std::cout << "  " << check::violation_to_string(violation) << "\n";
+  }
+  if (run.report.violations_suppressed > 0) {
+    std::cout << "  (+" << run.report.violations_suppressed
+              << " suppressed)\n";
+  }
+  return 0;
+}
+
+void dump_failure(const FuzzFlags& flags, const harness::SweepCell& cell,
+                  const CellSpec& spec, const check::MinimizeResult& min) {
+  const std::filesystem::path dir(flags.dump_dir);
+  std::filesystem::create_directories(dir);
+  const std::string stem = sanitize_key(cell.key);
+  const std::string trace_path = (dir / (stem + ".trace")).string();
+  ensure(save_trace(trace_path, min.trace), "cannot write the trace dump");
+
+  // Re-run the minimized trace with a timeline recorder attached, so the
+  // dump includes the final cycles' event history alongside the trace.
+  obs::TraceRecorder recorder(cell.system.num_procs,
+                              cell.system.num_clusters());
+  const check::CheckedRun rerun = check::run_checked(
+      cell.system, cell.engine, min.trace, check::CheckConfig{}, &recorder);
+  {
+    std::ofstream out(dir / (stem + ".timeline.json"));
+    ensure(static_cast<bool>(out), "cannot write the timeline dump");
+    recorder.write_chrome_json(out);
+  }
+  {
+    std::ofstream out(dir / (stem + ".report.txt"));
+    ensure(static_cast<bool>(out), "cannot write the report dump");
+    out << "cell: " << cell.key << "\n"
+        << "trace: " << trace_path << " (" << min.minimized_events
+        << " events, minimized from " << min.original_events << " in "
+        << min.probes << " probes)\n";
+    for (const check::Violation& violation : rerun.report.violations) {
+      out << check::violation_to_string(violation) << "\n";
+    }
+    out << "replay: fuzz_coherence --replay " << trace_path
+        << " --schemes " << spec.scheme << " --faults " << spec.fault
+        << " --sparse-entries " << spec.sparse << " --fault-trigger "
+        << flags.fault_trigger << " --procs " << flags.procs
+        << " --cache-lines " << flags.cache_lines << " --l1-lines "
+        << flags.l1_lines << "\n";
+  }
+  std::cout << "  dumped " << trace_path << " (+timeline, +report)\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const FuzzFlags flags = parse_flags(argc, argv);
+  if (!flags.replay_path.empty()) {
+    return replay(flags);
+  }
+
+  std::vector<harness::SweepCell> cells;
+  std::vector<CellSpec> specs;
+  for (const std::string& scheme : flags.schemes) {
+    for (const std::string& fault_name : flags.faults) {
+      const check::FaultKind fault = fault_by_name(fault_name);
+      for (const int sparse : flags.sparse_entries) {
+        for (int s = 0; s < flags.seeds; ++s) {
+          const std::uint64_t seed =
+              flags.seed_base + static_cast<std::uint64_t>(s);
+          harness::SweepCell cell;
+          cell.key = "fuzz/scheme=" + scheme + "/fault=" + fault_name +
+                     "/sparse=" + std::to_string(sparse) +
+                     "/seed=" + std::to_string(seed);
+          cell.fields = {{"scheme", scheme},
+                         {"fault", fault_name},
+                         {"sparse", std::to_string(sparse)},
+                         {"seed", std::to_string(seed)}};
+          const check::FuzzTraceConfig tc = trace_config(flags, seed);
+          cell.trace = {check::fuzz_trace_key(tc),
+                        [tc] { return check::generate_fuzz_trace(tc); }};
+          cell.system =
+              system_config(flags, scheme, fault, sparse, cell.key);
+          cells.push_back(std::move(cell));
+          specs.push_back({scheme, fault_name, sparse, seed});
+        }
+      }
+    }
+  }
+
+  harness::SweepRunner runner(flags.harness.threads);
+  harness::SweepOptions options = sweep_options(flags.harness);
+  options.check = true;
+  const std::vector<harness::CellResult> results =
+      runner.run(cells, options);
+
+  if (!check::compiled()) {
+    std::cout << "fuzz_coherence: checking compiled out (DIRCC_CHECK=0); "
+                 "nothing verified\n";
+    return flags.require_caught ? 1 : 0;
+  }
+
+  // Per fault kind: cells run / cells where the fault fired / caught.
+  struct KindTally {
+    int cells = 0;
+    int injected = 0;
+    int caught = 0;
+  };
+  std::map<std::string, KindTally> tally;
+  int clean_failures = 0;
+  int missed_faults = 0;
+  std::map<std::string, std::size_t> first_failure;  // fault -> cell index
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& report = *results[i].check;
+    KindTally& t = tally[specs[i].fault];
+    ++t.cells;
+    const bool injected = report.faults_injected > 0;
+    if (injected) {
+      ++t.injected;
+    }
+    if (report.failed()) {
+      if (specs[i].fault == "none") {
+        // No seeded fault: a violation is a genuine protocol bug.
+        ++clean_failures;
+        std::cout << "GENUINE VIOLATION in " << results[i].key << ":\n  "
+                  << check::violation_to_string(
+                         report.violations.front())
+                  << "\n";
+      } else {
+        ++t.caught;
+        first_failure.emplace(specs[i].fault, i);
+      }
+    } else if (injected) {
+      ++missed_faults;
+      std::cout << "MISSED: fault fired but no violation in "
+                << results[i].key << "\n";
+    }
+  }
+
+  std::cout << "fuzz_coherence: " << results.size() << " cells ("
+            << flags.schemes.size() << " schemes x " << flags.faults.size()
+            << " faults x " << flags.sparse_entries.size() << " sparse x "
+            << flags.seeds << " seeds)\n\n";
+  TextTable table;
+  table.header({"fault", "cells", "injected", "caught"});
+  for (const auto& [fault, t] : tally) {
+    table.row({fault, fmt_count(static_cast<std::uint64_t>(t.cells)),
+               fmt_count(static_cast<std::uint64_t>(t.injected)),
+               fmt_count(static_cast<std::uint64_t>(t.caught))});
+  }
+  table.print(std::cout);
+  std::cout << "\n";
+  for (const auto& [fault, index] : first_failure) {
+    const auto& report = *results[index].check;
+    std::cout << "first " << fault << " failure (" << results[index].key
+              << "):\n  "
+              << check::violation_to_string(report.violations.front())
+              << "\n";
+  }
+
+  if (flags.minimize) {
+    std::cout << "\n";
+    for (const auto& [fault, index] : first_failure) {
+      const harness::SweepCell& cell = cells[index];
+      const ProgramTrace trace = *runner.trace_cache().get(cell.trace);
+      std::cout << "minimizing " << cell.key << " ("
+                << trace.total_events() << " events)...\n";
+      const auto min = check::minimize_failure(trace, cell.system,
+                                               cell.engine, options.check_config);
+      if (!min) {
+        std::cout << "  not reproducible outside the sweep?!\n";
+        continue;
+      }
+      std::cout << "  " << min->original_events << " -> "
+                << min->minimized_events << " events in " << min->probes
+                << " probes; first violation: "
+                << check::violation_to_string(
+                       min->report.violations.front())
+                << "\n";
+      if (!flags.dump_dir.empty()) {
+        dump_failure(flags, cell, specs[index], *min);
+      }
+    }
+  }
+
+  emit_outputs(flags.harness, runner, results);
+
+  if (clean_failures > 0) {
+    std::cerr << "\nFAIL: " << clean_failures
+              << " violation(s) with no seeded fault — genuine protocol "
+                 "bug(s)\n";
+    return 1;
+  }
+  if (flags.require_caught) {
+    bool ok = missed_faults == 0;
+    for (const auto& [fault, t] : tally) {
+      if (fault == "none") {
+        continue;
+      }
+      if (t.injected == 0) {
+        std::cerr << "FAIL: fault '" << fault
+                  << "' never fired anywhere in the grid (raise pressure "
+                     "or lower --fault-trigger)\n";
+        ok = false;
+      }
+    }
+    if (missed_faults > 0) {
+      std::cerr << "FAIL: " << missed_faults
+                << " cell(s) injected a fault the oracle missed\n";
+    }
+    if (!ok) {
+      return 1;
+    }
+    std::cout << "\nall injected faults caught; all clean cells clean\n";
+  }
+  return 0;
+}

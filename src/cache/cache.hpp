@@ -95,6 +95,21 @@ class Cache {
   std::uint64_t lines_valid() const { return valid_; }
   const CacheStats& stats() const { return stats_; }
 
+  /// Read-only view of one valid line, for external auditors (src/check).
+  struct LineView {
+    BlockAddr block = 0;
+    LineState state = LineState::kInvalid;
+    std::uint32_t version = 0;
+  };
+
+  /// Calls `fn(LineView)` for every valid line. No LRU update.
+  template <typename Fn>
+  void for_each_line(Fn&& fn) const {
+    for (const Way& way : ways_) {
+      if (way.valid) fn(LineView{way.block, way.state, way.version});
+    }
+  }
+
  private:
   struct Way {
     bool valid = false;

@@ -1,0 +1,86 @@
+// Compile-time gate and engine-facing hooks of the coherence checking
+// subsystem (src/check).
+//
+// This header is dependency-free on purpose: the protocol and the engine
+// include it to reach the gate, the observer interface and the fault-
+// injection spec without linking against dircc_check (which sits *above*
+// them in the layering — the checker library needs CoherenceSystem and
+// Engine, so the lower layers only see this thin interface).
+//
+// Like the observability layer (DIRCC_OBS), everything is gated on the
+// DIRCC_CHECK compile definition: at -DDIRCC_CHECK=0 every hook site and
+// every fault-injection branch in the simulator constant-folds away and
+// the build is bit-identical to an unchecked one.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+
+#ifndef DIRCC_CHECK
+#define DIRCC_CHECK 1
+#endif
+
+namespace dircc::check {
+
+/// True when the checking subsystem is compiled in. Hook sites guard with
+/// `if (check::compiled() && ...)`; at DIRCC_CHECK=0 the branch is dead.
+constexpr bool compiled() { return DIRCC_CHECK != 0; }
+
+/// What the engine tells an attached checker. Called after each shared-data
+/// access (read or write) has fully completed against the memory system.
+class AccessObserver {
+ public:
+  virtual ~AccessObserver() = default;
+
+  /// `block` is the accessed cache block, `now` the access's issue time.
+  virtual void on_access(ProcId proc, BlockAddr block, bool is_write,
+                         Cycle now) = 0;
+
+  /// When true, the engine stops issuing further events: the run has
+  /// already failed and simulating on would only let the corruption
+  /// cascade into protocol-internal aborts.
+  virtual bool halt_requested() const = 0;
+};
+
+/// Deliberate protocol mutations, used to prove the invariant oracle
+/// catches real coherence bugs (and by the fuzzer as seeded faults).
+enum class FaultKind : std::uint8_t {
+  kNone,
+  /// The directory drops an add_sharer it was told about: a cluster caches
+  /// a read-only copy the sharer field no longer covers (the classic
+  /// "flipped sharer bit").
+  kForgetSharer,
+  /// One invalidation message is lost in the network: the target cluster
+  /// keeps its copy while the writer proceeds to ownership.
+  kSkipInvalidation,
+  /// The writeback of a dirty sparse-directory victim is dropped: the copy
+  /// is invalidated but memory keeps the stale version.
+  kDropVictimWriteback,
+};
+
+constexpr const char* fault_kind_name(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kNone:
+      return "none";
+    case FaultKind::kForgetSharer:
+      return "forget-sharer";
+    case FaultKind::kSkipInvalidation:
+      return "skip-inval";
+    case FaultKind::kDropVictimWriteback:
+      return "drop-victim-writeback";
+  }
+  return "?";
+}
+
+/// One seeded mutation. The fault fires exactly once, on the `trigger`-th
+/// *corrupting* opportunity (occasions where the mutation would be
+/// harmless — e.g. skipping an invalidation to a cluster that holds no
+/// copy — are not counted), so a given (config, trace) pair fails
+/// deterministically.
+struct FaultSpec {
+  FaultKind kind = FaultKind::kNone;
+  std::uint64_t trigger = 1;
+};
+
+}  // namespace dircc::check

@@ -1,0 +1,106 @@
+#include "check/fuzz.hpp"
+
+#include <sstream>
+
+#include "common/ensure.hpp"
+#include "common/rng.hpp"
+
+namespace dircc::check {
+
+std::string fuzz_trace_key(const FuzzTraceConfig& c) {
+  std::ostringstream key;
+  key << "fuzz(procs=" << c.procs << ",block=" << c.block_size
+      << ",rounds=" << c.rounds << ",units=" << c.units_per_round
+      << ",hot=" << c.hot_blocks << ",pool=" << c.pool_blocks
+      << ",locks=" << c.num_locks << ",plock=" << c.p_lock
+      << ",pmigrate=" << c.p_migrate << ",pthink=" << c.p_think
+      << ",phot=" << c.p_hot << ",pwrite=" << c.p_write << ",seed=" << c.seed
+      << ")";
+  return key.str();
+}
+
+ProgramTrace generate_fuzz_trace(const FuzzTraceConfig& c) {
+  ensure(c.procs >= 1, "fuzz trace needs at least one processor");
+  ensure(c.rounds >= 1 && c.units_per_round >= 1,
+         "fuzz trace needs at least one round of at least one unit");
+  ensure(c.hot_blocks >= 1 && c.pool_blocks >= 1,
+         "fuzz trace needs hot and pool blocks");
+  ensure(c.num_locks >= 1, "fuzz trace needs at least one lock");
+  ensure(c.p_lock + c.p_migrate + c.p_think <= 1.0,
+         "fuzz unit probabilities exceed 1");
+
+  // Block-number layout: [hot | lock-guarded | scatter pool].
+  const auto hot_base = BlockAddr{0};
+  const auto lock_base = static_cast<BlockAddr>(c.hot_blocks);
+  const BlockAddr pool_base =
+      lock_base + static_cast<BlockAddr>(c.num_locks);
+  const auto bs = static_cast<Addr>(c.block_size);
+
+  ProgramTrace trace;
+  trace.app_name = "fuzz";
+  trace.block_size = c.block_size;
+  trace.per_proc.resize(static_cast<std::size_t>(c.procs));
+
+  for (int p = 0; p < c.procs; ++p) {
+    // Per-processor deterministic stream: independent of generation order.
+    Rng rng(c.seed + 0x9e3779b97f4a7c15ULL *
+                         (static_cast<std::uint64_t>(p) + 1));
+    auto& stream = trace.per_proc[static_cast<std::size_t>(p)];
+    for (int round = 0; round < c.rounds; ++round) {
+      for (int unit = 0; unit < c.units_per_round; ++unit) {
+        const double roll = rng.uniform();
+        if (roll < c.p_lock) {
+          // Critical section: mutate the lock's guarded block under the
+          // lock (plus an occasional extra read for sharing churn).
+          const std::uint64_t lock = rng.below(
+              static_cast<std::uint64_t>(c.num_locks));
+          const Addr guarded = (lock_base + lock) * bs;
+          stream.push_back(TraceEvent::lock(lock));
+          stream.push_back(TraceEvent::read(guarded));
+          stream.push_back(TraceEvent::write(guarded));
+          if (rng.chance(0.5)) {
+            stream.push_back(TraceEvent::read(guarded));
+          }
+          stream.push_back(TraceEvent::unlock(lock));
+        } else if (roll < c.p_lock + c.p_migrate) {
+          // Migratory pair: read-modify-write of a hot block, the classic
+          // ownership-transfer pattern.
+          const Addr addr =
+              (hot_base + rng.below(static_cast<std::uint64_t>(
+                              c.hot_blocks))) *
+              bs;
+          stream.push_back(TraceEvent::read(addr));
+          stream.push_back(TraceEvent::write(addr));
+        } else if (roll < c.p_lock + c.p_migrate + c.p_think) {
+          stream.push_back(TraceEvent::think(
+              static_cast<std::uint32_t>(rng.between(1, 32))));
+        } else {
+          // Plain access: hot (contention / false sharing via distinct
+          // words of one block) or scatter pool (eviction and
+          // sparse-directory pressure).
+          BlockAddr block;
+          if (rng.chance(c.p_hot)) {
+            block = hot_base +
+                    rng.below(static_cast<std::uint64_t>(c.hot_blocks));
+          } else {
+            block = pool_base +
+                    rng.below(static_cast<std::uint64_t>(c.pool_blocks));
+          }
+          const Addr addr =
+              block * bs +
+              rng.below(static_cast<std::uint64_t>(c.block_size));
+          if (rng.chance(c.p_write)) {
+            stream.push_back(TraceEvent::write(addr));
+          } else {
+            stream.push_back(TraceEvent::read(addr));
+          }
+        }
+      }
+      stream.push_back(
+          TraceEvent::barrier(static_cast<Addr>(round)));
+    }
+  }
+  return trace;
+}
+
+}  // namespace dircc::check

@@ -1,0 +1,50 @@
+// Adversarial synthetic trace generation for the coherence fuzzer.
+//
+// The four application generators (src/trace/generators.hpp) reproduce the
+// paper's workloads; this generator instead *hunts protocol corners*: a few
+// hot blocks hammered by every processor (contention, false sharing,
+// pointer overflow in limited-pointer schemes), a large scatter pool sized
+// against deliberately tiny caches (eviction pressure, sparse-directory
+// victimization), lock-guarded critical sections and migratory read-write
+// pairs (ownership transfer storms), and barrier-delimited rounds so lock
+// bursts never straddle a barrier — a generated trace is always
+// well-formed and deadlock-free by construction.
+//
+// Generation is deterministic per (config, seed): each processor derives
+// its own Rng from the seed, so a trace is reproducible independently of
+// anything else in the process.
+#pragma once
+
+#include <string>
+
+#include "trace/event.hpp"
+
+namespace dircc::check {
+
+struct FuzzTraceConfig {
+  int procs = 16;
+  int block_size = 16;
+  /// Barrier-delimited rounds; every processor ends each round at a
+  /// barrier, so synchronization never crosses round boundaries.
+  int rounds = 4;
+  /// Work units per processor per round (a unit is one access, one
+  /// critical section, one migratory pair, or one think).
+  int units_per_round = 40;
+  int hot_blocks = 4;     ///< heavily contended blocks
+  int pool_blocks = 256;  ///< scatter pool (eviction / sparse pressure)
+  int num_locks = 4;      ///< each guards its own block
+  double p_lock = 0.10;    ///< unit is a lock-guarded critical section
+  double p_migrate = 0.15; ///< unit is a read-then-write migratory pair
+  double p_think = 0.05;   ///< unit is local computation
+  double p_hot = 0.6;      ///< plain access targets a hot block
+  double p_write = 0.4;    ///< plain access is a write
+  std::uint64_t seed = 1;
+};
+
+/// Canonical cache key for a fuzz trace (TraceCache contract: every
+/// parameter that affects the output appears in the key).
+std::string fuzz_trace_key(const FuzzTraceConfig& config);
+
+ProgramTrace generate_fuzz_trace(const FuzzTraceConfig& config);
+
+}  // namespace dircc::check

@@ -1,0 +1,304 @@
+#include "check/invariant_checker.hpp"
+
+#include <sstream>
+
+namespace dircc::check {
+
+const char* violation_kind_name(ViolationKind kind) {
+  switch (kind) {
+    case ViolationKind::kMultipleOwners:
+      return "multiple-owners";
+    case ViolationKind::kSharedWhileDirty:
+      return "shared-while-dirty";
+    case ViolationKind::kForgottenSharer:
+      return "forgotten-sharer";
+    case ViolationKind::kMissingEntry:
+      return "missing-entry";
+    case ViolationKind::kOwnerMismatch:
+      return "owner-mismatch";
+    case ViolationKind::kDirtyNoCopy:
+      return "dirty-no-copy";
+    case ViolationKind::kStaleVersion:
+      return "stale-version";
+    case ViolationKind::kStaleMemory:
+      return "stale-memory";
+    case ViolationKind::kStaleLoad:
+      return "stale-load";
+    case ViolationKind::kRefDivergence:
+      return "ref-divergence";
+    case ViolationKind::kL1Inclusion:
+      return "l1-inclusion";
+  }
+  return "?";
+}
+
+std::string violation_to_string(const Violation& violation) {
+  std::ostringstream out;
+  out << "cycle " << violation.cycle << ": "
+      << violation_kind_name(violation.kind) << " block " << violation.block;
+  if (violation.proc != kNoProc) {
+    out << " proc " << violation.proc;
+  }
+  if (violation.node != kNoNode) {
+    out << " cluster " << violation.node;
+  }
+  if (!violation.detail.empty()) {
+    out << " — " << violation.detail;
+  }
+  return out.str();
+}
+
+InvariantChecker::InvariantChecker(const CoherenceSystem& system,
+                                   CheckConfig config)
+    : system_(system), config_(config) {}
+
+void InvariantChecker::add_violation(Violation violation) {
+  if (report_.violations.size() <
+      static_cast<std::size_t>(config_.max_violations)) {
+    report_.violations.push_back(std::move(violation));
+  } else {
+    ++report_.violations_suppressed;
+  }
+}
+
+void InvariantChecker::on_access(ProcId proc, BlockAddr block, bool is_write,
+                                 Cycle now) {
+  ++report_.accesses_observed;
+  if (is_write) {
+    // Reference model: this write commits version ref; the system must
+    // agree, or the engine and the protocol have lost a write somewhere.
+    const std::uint32_t ref = ++ref_version_[block];
+    if (ref != system_.latest_version(block)) {
+      std::ostringstream detail;
+      detail << "reference version " << ref << " vs system latest "
+             << system_.latest_version(block);
+      add_violation({ViolationKind::kRefDivergence, block, proc,
+                     system_.cluster_of(proc), now, detail.str()});
+    }
+  } else if (config_.check_loads) {
+    // After a read the processor's coherence cache must hold the block at
+    // the reference model's current version.
+    auto it = ref_version_.find(block);
+    const std::uint32_t ref = it == ref_version_.end() ? 0 : it->second;
+    const Cache& cache = system_.cache(proc);
+    if (cache.probe(block) == LineState::kInvalid) {
+      add_violation({ViolationKind::kStaleLoad, block, proc,
+                     system_.cluster_of(proc), now,
+                     "read completed without a cached copy"});
+    } else if (cache.version_of(block) != ref) {
+      std::ostringstream detail;
+      detail << "read observed version " << cache.version_of(block)
+             << ", reference memory holds " << ref;
+      add_violation({ViolationKind::kStaleLoad, block, proc,
+                     system_.cluster_of(proc), now, detail.str()});
+    }
+  }
+  last_now_ = now;
+  if (config_.audit_interval == 0 || now >= next_audit_) {
+    audit(now);
+    next_audit_ = now + config_.audit_interval;
+  }
+}
+
+void InvariantChecker::audit(Cycle now) {
+  ++report_.audits;
+  census_.clear();
+  audit_caches(now);
+  audit_directories(now);
+  audit_memory(now);
+  if (system_.two_level()) {
+    audit_l1(now);
+  }
+}
+
+void InvariantChecker::audit_caches(Cycle now) {
+  const int procs = system_.num_procs();
+  // Pass 1: copy census over every coherence (second-level) cache, with
+  // per-line version and directory-coverage checks.
+  for (int p = 0; p < procs; ++p) {
+    const auto proc = static_cast<ProcId>(p);
+    const NodeId cluster = system_.cluster_of(proc);
+    system_.cache(proc).for_each_line([&](const Cache::LineView& line) {
+      BlockCopies& copies = census_[line.block];
+      if (line.state == LineState::kModified) {
+        ++copies.modified;
+        if (copies.modified > 1) {
+          std::ostringstream detail;
+          detail << "second Modified copy (first at proc " << copies.m_proc
+                 << ")";
+          add_violation({ViolationKind::kMultipleOwners, line.block, proc,
+                         cluster, now, detail.str()});
+        }
+        copies.m_proc = proc;
+      } else {
+        ++copies.shared;
+      }
+
+      // VERSION: every cached copy must carry the latest committed version
+      // (a write invalidates every other copy, so a survivor that lags is
+      // a copy an invalidation never reached).
+      const std::uint32_t latest = system_.latest_version(line.block);
+      if (line.version != latest) {
+        std::ostringstream detail;
+        detail << "cached version " << line.version << " vs latest "
+               << latest;
+        add_violation({ViolationKind::kStaleVersion, line.block, proc,
+                       cluster, now, detail.str()});
+      }
+
+      // COVERAGE + DIRTY (cache side): the directory must know about this
+      // copy. A sparse directory that victimized the entry without
+      // invalidating the copies shows up here as kMissingEntry.
+      const DirEntry* entry = system_.peek_entry(line.block);
+      if (entry == nullptr) {
+        add_violation({ViolationKind::kMissingEntry, line.block, proc,
+                       cluster, now,
+                       "cached copy but no live directory entry"});
+        return;
+      }
+      const int sub = system_.sub_of(line.block);
+      const DirState dir_state = entry->state_of(sub);
+      if (line.state == LineState::kModified) {
+        if (dir_state != DirState::kDirty || entry->owner_of(sub) != cluster) {
+          std::ostringstream detail;
+          detail << "Modified copy but directory says "
+                 << (dir_state == DirState::kDirty ? "Dirty owned by cluster "
+                     : dir_state == DirState::kShared ? "Shared"
+                                                      : "Uncached");
+          if (dir_state == DirState::kDirty) {
+            detail << entry->owner_of(sub);
+          }
+          add_violation({ViolationKind::kOwnerMismatch, line.block, proc,
+                         cluster, now, detail.str()});
+        }
+      } else {
+        if (dir_state != DirState::kShared) {
+          std::ostringstream detail;
+          detail << "Shared copy but directory entry is "
+                 << (dir_state == DirState::kDirty ? "Dirty" : "Uncached");
+          add_violation({ViolationKind::kForgottenSharer, line.block, proc,
+                         cluster, now, detail.str()});
+        } else if (!system_.format().maybe_sharer(entry->sharers, cluster)) {
+          add_violation({ViolationKind::kForgottenSharer, line.block, proc,
+                         cluster, now,
+                         "sharer representation does not cover this "
+                         "cluster's copy"});
+        }
+      }
+    });
+  }
+
+  // Pass 2: cross-copy SWMR — Shared and Modified copies never coexist.
+  for (const auto& [block, copies] : census_) {
+    if (copies.modified > 0 && copies.shared > 0) {
+      std::ostringstream detail;
+      detail << copies.shared << " Shared cop"
+             << (copies.shared == 1 ? "y" : "ies")
+             << " alongside the Modified copy at proc " << copies.m_proc;
+      add_violation({ViolationKind::kSharedWhileDirty, block, copies.m_proc,
+                     system_.cluster_of(copies.m_proc), now, detail.str()});
+    }
+  }
+}
+
+void InvariantChecker::audit_directories(Cycle now) {
+  const int clusters = system_.config().num_clusters();
+  const int group = system_.config().blocks_per_group;
+  for (int h = 0; h < clusters; ++h) {
+    system_.directory(static_cast<NodeId>(h))
+        .for_each_entry([&](BlockAddr key, const DirEntry& entry) {
+          for (int sub = 0; sub < group; ++sub) {
+            if (entry.state_of(sub) != DirState::kDirty) {
+              continue;
+            }
+            // DIRTY (directory side): the named owner must actually hold
+            // the Modified copy.
+            const BlockAddr block = system_.block_at(key, sub);
+            const NodeId owner = entry.owner_of(sub);
+            auto it = census_.find(block);
+            const bool owner_has_m =
+                it != census_.end() && it->second.modified > 0 &&
+                system_.cluster_of(it->second.m_proc) == owner;
+            if (!owner_has_m) {
+              std::ostringstream detail;
+              detail << "directory Dirty owned by cluster " << owner
+                     << " but that cluster holds no Modified copy";
+              add_violation({ViolationKind::kDirtyNoCopy, block, kNoProc,
+                             owner, now, detail.str()});
+            }
+          }
+        });
+  }
+}
+
+void InvariantChecker::audit_memory(Cycle now) {
+  // VERSION (memory side): while a Modified copy exists, memory may lag
+  // (the owner holds the data); once no M copy exists, every writeback
+  // path must have brought memory up to date. A dropped victim writeback
+  // shows up here.
+  for (const auto& [block, ref] : ref_version_) {
+    auto it = census_.find(block);
+    const bool has_m = it != census_.end() && it->second.modified > 0;
+    if (has_m) {
+      continue;
+    }
+    const std::uint32_t mem = system_.memory_version_of(block);
+    const std::uint32_t latest = system_.latest_version(block);
+    if (mem != latest) {
+      std::ostringstream detail;
+      detail << "no Modified copy but memory holds version " << mem
+             << " vs latest " << latest;
+      add_violation({ViolationKind::kStaleMemory, block, kNoProc, kNoNode,
+                     now, detail.str()});
+    }
+  }
+}
+
+void InvariantChecker::audit_l1(Cycle now) {
+  const int procs = system_.num_procs();
+  for (int p = 0; p < procs; ++p) {
+    const auto proc = static_cast<ProcId>(p);
+    const Cache& l2 = system_.cache(proc);
+    system_.l1_cache(proc).for_each_line([&](const Cache::LineView& line) {
+      if (l2.probe(line.block) == LineState::kInvalid) {
+        add_violation({ViolationKind::kL1Inclusion, line.block, proc,
+                       system_.cluster_of(proc), now,
+                       "L1 line with no backing L2 line (inclusion)"});
+      } else if (l2.version_of(line.block) != line.version) {
+        std::ostringstream detail;
+        detail << "L1 version " << line.version << " vs L2 version "
+               << l2.version_of(line.block);
+        add_violation({ViolationKind::kL1Inclusion, line.block, proc,
+                       system_.cluster_of(proc), now, detail.str()});
+      }
+    });
+  }
+}
+
+const CheckReport& InvariantChecker::finish(bool engine_halted) {
+  // When the run completed cleanly, sweep the final state once more (it
+  // may have drifted since the last periodic audit). A halted run already
+  // recorded its violation; re-auditing would just duplicate it.
+  if (!halt_requested()) {
+    audit(last_now_);
+  }
+  report_.halted = engine_halted;
+  report_.faults_injected = system_.faults_injected();
+  return report_;
+}
+
+CheckedRun run_checked(const SystemConfig& system_config,
+                       const EngineConfig& engine_config,
+                       const ProgramTrace& trace,
+                       const CheckConfig& check_config,
+                       obs::TraceRecorder* recorder) {
+  CoherenceSystem system(system_config);
+  InvariantChecker checker(system, check_config);
+  Engine engine(system, trace, engine_config, recorder, &checker);
+  CheckedRun out;
+  out.result = engine.run();
+  out.report = checker.finish(engine.halted_by_checker());
+  return out;
+}
+
+}  // namespace dircc::check

@@ -1,0 +1,169 @@
+// InvariantChecker: the coherence oracle.
+//
+// Attached to an Engine as a check::AccessObserver, it maintains an
+// independent sequential reference model of shared memory (a per-block
+// write counter) and, at configurable cycle granularity, audits the entire
+// architectural state of the CoherenceSystem — every cache line against
+// every directory entry — for the protocol invariants:
+//
+//   SWMR        at most one Modified copy of a block exists, and never
+//               alongside Shared copies (single-writer / multi-reader);
+//   COVERAGE    every cached copy has a live directory entry whose sharer
+//               representation covers the holding cluster (no stale sharer
+//               the directory forgot; sparse entries cover every cached
+//               block);
+//   DIRTY       a directory entry in the Dirty state names an owner that
+//               actually holds the Modified copy (dirty-bit ⇔ exactly one
+//               M copy);
+//   VERSION     every cached copy carries the latest committed version;
+//               when no Modified copy exists, main memory does too (no
+//               lost writeback);
+//   LOADS       every read observes the reference model's current value;
+//   INCLUSION   every first-level line is backed by a second-level line
+//               with the same version (two-level configurations).
+//
+// The checker is read-only over the system (const peeks, no LRU or stats
+// perturbation) and halts the engine at the first violation by default, so
+// a seeded fault is caught at the corrupting access — before the corruption
+// cascades into the protocol's own [[noreturn]] ensure() aborts. Runs that
+// exercise seeded faults must set SystemConfig::validate = false for the
+// same reason.
+//
+// Everything is compile-time gated (DIRCC_CHECK, see check/api.hpp).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "check/api.hpp"
+#include "common/types.hpp"
+#include "protocol/system.hpp"
+#include "sim/engine.hpp"
+
+namespace dircc::check {
+
+/// What went wrong. Each value maps to one invariant in docs/CHECKER.md.
+enum class ViolationKind : std::uint8_t {
+  kMultipleOwners,   ///< SWMR: two Modified copies of one block
+  kSharedWhileDirty, ///< SWMR: Shared copy coexists with a Modified copy
+  kForgottenSharer,  ///< COVERAGE: cached copy the sharer field misses
+  kMissingEntry,     ///< COVERAGE: cached copy with no directory entry
+  kOwnerMismatch,    ///< DIRTY: M copy but directory names another owner
+  kDirtyNoCopy,      ///< DIRTY: directory says Dirty, owner has no M copy
+  kStaleVersion,     ///< VERSION: cached copy behind the latest version
+  kStaleMemory,      ///< VERSION: no M copy yet memory behind latest
+  kStaleLoad,        ///< LOADS: a read observed a stale version
+  kRefDivergence,    ///< LOADS: reference model and system disagree
+  kL1Inclusion,      ///< INCLUSION: L1 line unbacked or version-skewed
+};
+
+const char* violation_kind_name(ViolationKind kind);
+
+/// One invariant failure, pinned to a block and the cycle of the audit (or
+/// access) that exposed it.
+struct Violation {
+  ViolationKind kind = ViolationKind::kMultipleOwners;
+  BlockAddr block = 0;
+  ProcId proc = kNoProc;  ///< offending processor, when one is identifiable
+  NodeId node = kNoNode;  ///< offending cluster, when one is identifiable
+  Cycle cycle = 0;
+  std::string detail;
+};
+
+std::string violation_to_string(const Violation& violation);
+
+struct CheckConfig {
+  /// Cycles between full-state audits; 0 audits after *every* access (the
+  /// fuzzer default — a seeded fault is then caught at the corrupting
+  /// access, before the protocol's own asserts can abort the process).
+  Cycle audit_interval = 0;
+  /// Violations retained in the report; further ones are only counted.
+  std::uint32_t max_violations = 16;
+  /// Stop the engine at the first violation (see Engine::halted_by_checker).
+  bool halt_on_violation = true;
+  /// Check every read against the reference model.
+  bool check_loads = true;
+};
+
+/// Everything one checked run produced.
+struct CheckReport {
+  std::vector<Violation> violations;
+  std::uint64_t accesses_observed = 0;
+  std::uint64_t audits = 0;
+  std::uint64_t faults_injected = 0;  ///< seeded-fault firings (system-side)
+  std::uint64_t violations_suppressed = 0;  ///< beyond max_violations
+  bool halted = false;  ///< the engine stopped before the trace drained
+
+  bool failed() const {
+    return !violations.empty() || violations_suppressed > 0;
+  }
+};
+
+/// The oracle. One instance per run; attach to the Engine as its checker.
+/// The system reference must outlive the checker.
+class InvariantChecker final : public AccessObserver {
+ public:
+  explicit InvariantChecker(const CoherenceSystem& system,
+                            CheckConfig config = {});
+
+  void on_access(ProcId proc, BlockAddr block, bool is_write,
+                 Cycle now) override;
+  bool halt_requested() const override {
+    return config_.halt_on_violation && total_violations() > 0;
+  }
+
+  /// Runs one last full audit (call after Engine::run) and finalizes the
+  /// report's fault/halt bookkeeping.
+  const CheckReport& finish(bool engine_halted);
+
+  const CheckReport& report() const { return report_; }
+
+  /// Full-state audit at time `now`; normally driven by on_access.
+  void audit(Cycle now);
+
+ private:
+  struct BlockCopies {
+    int modified = 0;
+    int shared = 0;
+    ProcId m_proc = kNoProc;  ///< holder of the (last seen) Modified copy
+  };
+
+  void add_violation(Violation violation);
+  std::uint64_t total_violations() const {
+    return static_cast<std::uint64_t>(report_.violations.size()) +
+           report_.violations_suppressed;
+  }
+  void audit_caches(Cycle now);
+  void audit_directories(Cycle now);
+  void audit_memory(Cycle now);
+  void audit_l1(Cycle now);
+
+  const CoherenceSystem& system_;
+  CheckConfig config_;
+  CheckReport report_;
+  /// Reference model: writes observed per block (must track the system's
+  /// committed version exactly).
+  std::unordered_map<BlockAddr, std::uint32_t> ref_version_;
+  /// Scratch for audits: block -> copy census over all coherence caches.
+  std::unordered_map<BlockAddr, BlockCopies> census_;
+  Cycle next_audit_ = 0;
+  Cycle last_now_ = 0;  ///< issue time of the last observed access
+};
+
+/// One-call convenience: build the system, attach a fresh checker, run the
+/// trace, final-audit. `recorder` optionally captures the obs timeline of
+/// the run (useful when dumping a minimized failure).
+struct CheckedRun {
+  RunResult result;
+  CheckReport report;
+};
+
+CheckedRun run_checked(const SystemConfig& system_config,
+                       const EngineConfig& engine_config,
+                       const ProgramTrace& trace,
+                       const CheckConfig& check_config = {},
+                       obs::TraceRecorder* recorder = nullptr);
+
+}  // namespace dircc::check

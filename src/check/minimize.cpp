@@ -1,0 +1,191 @@
+#include "check/minimize.hpp"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "common/ensure.hpp"
+
+namespace dircc::check {
+namespace {
+
+/// One event position in the original trace.
+struct Pos {
+  int proc = 0;
+  std::size_t index = 0;
+};
+
+/// A removable unit: event positions that must be kept or dropped together.
+struct Unit {
+  std::vector<Pos> positions;
+};
+
+/// Splits `trace` into sync-safe units (see the header comment).
+std::vector<Unit> decompose(const ProgramTrace& trace) {
+  std::vector<Unit> units;
+  // Global barrier units: (barrier id, occurrence) -> positions.
+  std::map<std::pair<Addr, int>, Unit> barrier_units;
+  for (int p = 0; p < trace.num_procs(); ++p) {
+    const auto& stream = trace.per_proc[static_cast<std::size_t>(p)];
+    // Held locks awaiting their unlock: lock id -> position of the kLock.
+    std::map<Addr, std::size_t> open_locks;
+    std::map<Addr, int> barrier_count;
+    for (std::size_t i = 0; i < stream.size(); ++i) {
+      const TraceEvent& ev = stream[i];
+      switch (ev.kind) {
+        case TraceEvent::Kind::kRead:
+        case TraceEvent::Kind::kWrite:
+        case TraceEvent::Kind::kThink:
+          units.push_back({{{p, i}}});
+          break;
+        case TraceEvent::Kind::kLock:
+          open_locks[ev.addr] = i;
+          break;
+        case TraceEvent::Kind::kUnlock: {
+          auto it = open_locks.find(ev.addr);
+          ensure(it != open_locks.end(),
+                 "minimizer: unlock without a matching lock");
+          units.push_back({{{p, it->second}, {p, i}}});
+          open_locks.erase(it);
+          break;
+        }
+        case TraceEvent::Kind::kBarrier: {
+          const int occurrence = barrier_count[ev.addr]++;
+          barrier_units[{ev.addr, occurrence}].positions.push_back({p, i});
+          break;
+        }
+      }
+    }
+    ensure(open_locks.empty(), "minimizer: lock without a matching unlock");
+  }
+  for (auto& [key, unit] : barrier_units) {
+    units.push_back(std::move(unit));
+  }
+  return units;
+}
+
+/// Rebuilds a trace from the kept units, preserving per-stream order.
+ProgramTrace rebuild(const ProgramTrace& original,
+                     const std::vector<Unit>& units,
+                     const std::vector<bool>& keep) {
+  // keep_event[proc][index]
+  std::vector<std::vector<bool>> keep_event;
+  keep_event.reserve(original.per_proc.size());
+  for (const auto& stream : original.per_proc) {
+    keep_event.emplace_back(stream.size(), false);
+  }
+  for (std::size_t u = 0; u < units.size(); ++u) {
+    if (!keep[u]) {
+      continue;
+    }
+    for (const Pos& pos : units[u].positions) {
+      keep_event[static_cast<std::size_t>(pos.proc)][pos.index] = true;
+    }
+  }
+  ProgramTrace reduced;
+  reduced.app_name = original.app_name + "/min";
+  reduced.block_size = original.block_size;
+  reduced.per_proc.resize(original.per_proc.size());
+  for (std::size_t p = 0; p < original.per_proc.size(); ++p) {
+    for (std::size_t i = 0; i < original.per_proc[p].size(); ++i) {
+      if (keep_event[p][i]) {
+        reduced.per_proc[p].push_back(original.per_proc[p][i]);
+      }
+    }
+  }
+  return reduced;
+}
+
+}  // namespace
+
+std::optional<MinimizeResult> minimize_failure(
+    const ProgramTrace& trace, const SystemConfig& system_config,
+    const EngineConfig& engine_config, const CheckConfig& check_config,
+    const MinimizeOptions& options) {
+  std::uint64_t probes = 0;
+  const auto probe = [&](const ProgramTrace& candidate) {
+    ++probes;
+    return run_checked(system_config, engine_config, candidate, check_config)
+        .report;
+  };
+
+  const CheckReport original = probe(trace);
+  if (!original.failed()) {
+    return std::nullopt;
+  }
+  const auto target_kind = original.violations.empty()
+                               ? ViolationKind::kMultipleOwners
+                               : original.violations.front().kind;
+  const auto still_fails = [&](const CheckReport& report) {
+    if (!report.failed()) {
+      return false;
+    }
+    if (!options.match_first_kind) {
+      return true;
+    }
+    return !report.violations.empty() &&
+           report.violations.front().kind == target_kind;
+  };
+
+  const std::vector<Unit> units = decompose(trace);
+  std::vector<bool> keep(units.size(), true);
+  std::size_t live = units.size();
+
+  // ddmin: drop chunks of live units; on success restart the pass, on a
+  // full fruitless pass halve the chunk size, stop at chunk size 1.
+  std::size_t chunk = (live + 1) / 2;
+  CheckReport best_report = original;
+  while (chunk >= 1 && probes < options.max_probes) {
+    bool removed_any = false;
+    // Indices of currently-live units, in order.
+    std::vector<std::size_t> live_idx;
+    live_idx.reserve(live);
+    for (std::size_t u = 0; u < units.size(); ++u) {
+      if (keep[u]) {
+        live_idx.push_back(u);
+      }
+    }
+    for (std::size_t start = 0;
+         start < live_idx.size() && probes < options.max_probes;
+         start += chunk) {
+      const std::size_t end = std::min(start + chunk, live_idx.size());
+      if (end - start == live_idx.size()) {
+        continue;  // never probe the empty trace
+      }
+      std::vector<bool> candidate = keep;
+      for (std::size_t k = start; k < end; ++k) {
+        candidate[live_idx[k]] = false;
+      }
+      const CheckReport report =
+          probe(rebuild(trace, units, candidate));
+      if (still_fails(report)) {
+        keep = std::move(candidate);
+        live -= end - start;
+        best_report = report;
+        removed_any = true;
+      }
+    }
+    if (removed_any) {
+      chunk = std::min(chunk, (live + 1) / 2);
+      if (chunk == 0) {
+        break;
+      }
+      continue;  // re-pass at the same granularity over the survivors
+    }
+    if (chunk == 1) {
+      break;
+    }
+    chunk = (chunk + 1) / 2;
+  }
+
+  MinimizeResult result;
+  result.trace = rebuild(trace, units, keep);
+  result.report = best_report;
+  result.original_events = trace.total_events();
+  result.minimized_events = result.trace.total_events();
+  result.probes = probes;
+  return result;
+}
+
+}  // namespace dircc::check

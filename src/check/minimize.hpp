@@ -1,0 +1,57 @@
+// Delta-debugging failure minimizer.
+//
+// Given a trace that fails the invariant oracle under some machine
+// configuration, shrink it to a (locally) minimal event sequence that
+// still fails. Removal operates on *sync-safe units*, so every candidate
+// trace is well-formed by construction and can never deadlock the engine:
+//
+//   * a read/write/think event is a singleton unit;
+//   * a lock and its matching unlock are one unit (removed together);
+//   * the k-th occurrence of barrier id b is one global unit spanning all
+//     processors (the engine releases a barrier when every participating
+//     processor arrives, so occurrences must stay aligned across
+//     processors — this assumes the SPMD barrier structure all of this
+//     repo's generators produce: every non-empty stream meets the same
+//     barrier-id sequence).
+//
+// Classic ddmin: try dropping complement chunks, rerun the checked
+// simulation, keep any reduction that still fails (optionally with the
+// same leading violation kind), halve the chunk size when stuck.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "check/invariant_checker.hpp"
+#include "trace/event.hpp"
+
+namespace dircc::check {
+
+struct MinimizeOptions {
+  /// Budget of checked simulations; minimization stops when exhausted.
+  std::uint64_t max_probes = 2000;
+  /// Require the reduced trace to fail with the same leading violation
+  /// kind as the original failure (prevents shrinking into a different
+  /// bug when several are reachable).
+  bool match_first_kind = true;
+};
+
+struct MinimizeResult {
+  ProgramTrace trace;      ///< the minimized failing trace
+  CheckReport report;      ///< its failure report
+  std::uint64_t original_events = 0;
+  std::uint64_t minimized_events = 0;
+  std::uint64_t probes = 0;  ///< checked simulations spent
+};
+
+/// Shrinks `trace` against (system_config, engine_config, check_config).
+/// Returns nullopt when the original trace does not fail in the first
+/// place. The configs are taken as-is — in particular the seeded
+/// FaultSpec, whose opportunity counting is part of what the reduced
+/// trace must still reproduce.
+std::optional<MinimizeResult> minimize_failure(
+    const ProgramTrace& trace, const SystemConfig& system_config,
+    const EngineConfig& engine_config, const CheckConfig& check_config,
+    const MinimizeOptions& options = {});
+
+}  // namespace dircc::check

@@ -52,6 +52,18 @@ void FullDirectoryStore::release(BlockAddr block) {
   }
 }
 
+const DirEntry* FullDirectoryStore::peek(BlockAddr block) const {
+  auto it = entries_.find(block);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+void FullDirectoryStore::for_each_entry(
+    const std::function<void(BlockAddr, const DirEntry&)>& fn) const {
+  for (const auto& [block, entry] : entries_) {
+    fn(block, entry);
+  }
+}
+
 // ---------------------------------------------------------------------------
 // SparseDirectoryStore
 // ---------------------------------------------------------------------------
@@ -175,6 +187,26 @@ void SparseDirectoryStore::release(BlockAddr block) {
     way->entry.reset();
     ensure(live_ > 0, "sparse live-entry underflow");
     --live_;
+  }
+}
+
+const DirEntry* SparseDirectoryStore::peek(BlockAddr block) const {
+  const std::uint64_t base = set_of(block) * static_cast<std::uint64_t>(assoc_);
+  for (int w = 0; w < assoc_; ++w) {
+    const Way& way = ways_[base + static_cast<std::uint64_t>(w)];
+    if (way.valid && way.block == block) {
+      return &way.entry;
+    }
+  }
+  return nullptr;
+}
+
+void SparseDirectoryStore::for_each_entry(
+    const std::function<void(BlockAddr, const DirEntry&)>& fn) const {
+  for (const Way& way : ways_) {
+    if (way.valid) {
+      fn(way.block, way.entry);
+    }
   }
 }
 

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <unordered_map>
@@ -61,6 +62,15 @@ class DirectoryStore {
   /// Frees the entry for `block` (it transitioned to kUncached).
   virtual void release(BlockAddr block) = 0;
 
+  /// Read-only probe for external auditors (src/check): no stats, no LRU
+  /// recency update. Returns nullptr when `block` has no live entry.
+  virtual const DirEntry* peek(BlockAddr block) const = 0;
+
+  /// Calls `fn(block, entry)` for every live entry, in unspecified order.
+  /// Read-only: no stats, no recency update.
+  virtual void for_each_entry(
+      const std::function<void(BlockAddr, const DirEntry&)>& fn) const = 0;
+
   /// Entry capacity; 0 means unbounded (full directory).
   virtual std::uint64_t capacity_entries() const = 0;
 
@@ -101,6 +111,9 @@ class FullDirectoryStore final : public DirectoryStore {
   DirEntry* find_or_alloc(BlockAddr block,
                           std::optional<VictimEntry>& victim) override;
   void release(BlockAddr block) override;
+  const DirEntry* peek(BlockAddr block) const override;
+  void for_each_entry(const std::function<void(BlockAddr, const DirEntry&)>&
+                          fn) const override;
   std::uint64_t capacity_entries() const override { return 0; }
   std::uint64_t live_entries() const override { return entries_.size(); }
 
@@ -129,6 +142,9 @@ class SparseDirectoryStore final : public DirectoryStore {
   DirEntry* find_or_alloc(BlockAddr block,
                           std::optional<VictimEntry>& victim) override;
   void release(BlockAddr block) override;
+  const DirEntry* peek(BlockAddr block) const override;
+  void for_each_entry(const std::function<void(BlockAddr, const DirEntry&)>&
+                          fn) const override;
   std::uint64_t capacity_entries() const override;
   std::uint64_t live_entries() const override { return live_; }
 

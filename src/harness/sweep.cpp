@@ -114,9 +114,19 @@ std::vector<CellResult> SweepRunner::run(const std::vector<SweepCell>& cells,
             cell.system.num_procs, cell.system.num_clusters(),
             options.trace_config);
       }
-      Engine engine(system, *trace, cell.engine, recorder.get());
+      std::unique_ptr<check::InvariantChecker> checker;
+      if (options.check && check::compiled()) {
+        checker = std::make_unique<check::InvariantChecker>(
+            system, options.check_config);
+      }
+      Engine engine(system, *trace, cell.engine, recorder.get(),
+                    checker.get());
       CellResult& out = results[index];
       out.result = engine.run();
+      if (checker != nullptr) {
+        out.check = std::make_shared<const check::CheckReport>(
+            checker->finish(engine.halted_by_checker()));
+      }
       const auto stop = Clock::now();
       out.key = cell.key;
       out.fields = cell.fields;

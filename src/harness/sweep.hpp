@@ -22,6 +22,7 @@
 #include <utility>
 #include <vector>
 
+#include "check/invariant_checker.hpp"
 #include "common/stats.hpp"
 #include "harness/trace_cache.hpp"
 #include "obs/trace_recorder.hpp"
@@ -53,6 +54,8 @@ struct CellResult {
   double sim_ms = 0.0;         ///< system construction + engine run phase
   /// Per-cell event timeline; null unless SweepOptions::record_traces.
   std::shared_ptr<obs::TraceRecorder> trace;
+  /// Per-cell invariant-oracle report; null unless SweepOptions::check.
+  std::shared_ptr<const check::CheckReport> check;
 };
 
 /// Per-run knobs for a sweep (all off by default — the plain run() keeps
@@ -66,6 +69,11 @@ struct SweepOptions {
   /// return updates, one final newline. Never part of result identity.
   bool progress = false;
   std::ostream* progress_out = nullptr;
+  /// Attach an invariant checker to every cell (CellResult::check). The
+  /// checker may halt a failing cell early; other cells are unaffected.
+  /// No-op when checking is compiled out (DIRCC_CHECK=0).
+  bool check = false;
+  check::CheckConfig check_config;
 };
 
 /// What a sweep cost, measured while it ran. Timing only — never part of

@@ -77,6 +77,33 @@ void CoherenceSystem::check_version(BlockAddr block,
 }
 
 // ---------------------------------------------------------------------------
+// Seeded-fault machinery (src/check validation)
+// ---------------------------------------------------------------------------
+
+bool CoherenceSystem::fault_fires(check::FaultKind kind) {
+  if (!check::compiled() || config_.fault.kind != kind) {
+    return false;
+  }
+  ++fault_opportunities_;
+  if (faults_injected_ > 0 || fault_opportunities_ != config_.fault.trigger) {
+    return false;
+  }
+  ++faults_injected_;
+  return true;
+}
+
+bool CoherenceSystem::cluster_holds_copy(NodeId target, BlockAddr block) const {
+  const int first = target * config_.procs_per_cluster;
+  for (int q = first; q < first + config_.procs_per_cluster; ++q) {
+    if (caches_[static_cast<std::size_t>(q)].probe(block) !=
+        LineState::kInvalid) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
 // Observability wiring
 // ---------------------------------------------------------------------------
 
@@ -143,7 +170,18 @@ CoherenceSystem::TargetOutcome CoherenceSystem::send_invalidations(
     BlockAddr block) {
   TargetOutcome outcome;
   for (NodeId t : targets) {
-    const bool had_copy = invalidate_cluster(t, block);
+    bool had_copy;
+    if (check::compiled() &&
+        config_.fault.kind == check::FaultKind::kSkipInvalidation &&
+        cluster_holds_copy(t, block) &&
+        fault_fires(check::FaultKind::kSkipInvalidation)) {
+      // Seeded fault: the invalidation message is "lost in the network".
+      // The message itself and its ack are still counted below (they were
+      // sent; the loss is silent), but the target keeps its copy.
+      had_copy = true;
+    } else {
+      had_copy = invalidate_cluster(t, block);
+    }
     if (!had_copy) {
       ++stats_.extraneous_invalidations;
     }
@@ -205,7 +243,13 @@ Cycle CoherenceSystem::reclaim_victim(NodeId home, const VictimEntry& victim) {
           auto result = invalidate_line(static_cast<std::size_t>(q), block);
           if (result.had_copy) {
             found_dirty = true;
-            set_memory_version(block, result.version);
+            // Seeded fault: the victim's writeback data never reaches
+            // memory — the copy dies but memory keeps the stale version
+            // (every dirty victim has versions ahead of memory, so this
+            // opportunity always corrupts).
+            if (!fault_fires(check::FaultKind::kDropVictimWriteback)) {
+              set_memory_version(block, result.version);
+            }
           }
         }
         ensure(found_dirty, "dirty sparse victim had no cached copy");
@@ -230,6 +274,15 @@ int CoherenceSystem::add_sharer_handling_displacement(DirEntry& entry,
                                                       BlockAddr key,
                                                       NodeId node,
                                                       NodeId home) {
+  if (check::compiled() &&
+      config_.fault.kind == check::FaultKind::kForgetSharer &&
+      !format_->maybe_sharer(entry.sharers, node) &&
+      fault_fires(check::FaultKind::kForgetSharer)) {
+    // Seeded fault: the directory drops the sharer bit/pointer for `node`
+    // (only fired when the representation does not already cover it, so the
+    // drop is guaranteed to leave an untracked copy).
+    return 0;
+  }
   const bool was_precise = !entry.sharers.overflowed;
   const NodeId displaced = format_->add_sharer(entry.sharers, node);
   if (obs_on(obs::EvClass::kOverflow) && was_precise &&
@@ -701,12 +754,9 @@ Cycle CoherenceSystem::access_internal(ProcId proc, BlockAddr block,
 }
 
 const DirEntry* CoherenceSystem::peek_entry(BlockAddr block) const {
-  const NodeId h = home_of(block);
-  // find() is non-const because of LRU bookkeeping; peeking is a test-only
-  // path, so the recency perturbation is acceptable and documented. With
-  // grouped tracking the returned entry covers the whole group; use
+  // With grouped tracking the returned entry covers the whole group; use
   // state_of(sub_of(block)) for the per-block view.
-  return const_cast<DirectoryStore&>(*directories_[h]).find(group_key(block));
+  return directories_[home_of(block)]->peek(group_key(block));
 }
 
 CacheStats CoherenceSystem::aggregate_cache_stats() const {

@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "cache/cache.hpp"
+#include "check/api.hpp"
 #include "common/stats.hpp"
 #include "directory/format.hpp"
 #include "directory/store.hpp"
@@ -81,6 +82,10 @@ struct SystemConfig {
   /// contention-free, and Section 6.2 notes real machines would amplify
   /// the message-count differences; this switch quantifies that remark.
   bool model_contention = false;
+  /// Seeded protocol mutation for checker validation (src/check). Inert
+  /// (kNone) in all normal runs; every fault site compiles away at
+  /// DIRCC_CHECK=0.
+  check::FaultSpec fault;
   std::uint64_t seed = 1;
 
   int num_clusters() const { return num_procs / procs_per_cluster; }
@@ -169,6 +174,20 @@ class CoherenceSystem final : public MemorySystem {
   const DirEntry* peek_entry(BlockAddr block) const;
   /// Latest committed version of `block` (0 if never written).
   std::uint32_t latest_version(BlockAddr block) const;
+  /// Version last written back to main memory for `block` (0 if never).
+  std::uint32_t memory_version_of(BlockAddr block) const {
+    return memory_version(block);
+  }
+  /// Seeded-fault firings so far (0 unless `config.fault` is set).
+  std::uint64_t faults_injected() const { return faults_injected_; }
+
+  // --- mutable access for oracle unit tests ONLY (tests/test_check.cpp
+  // corrupts live state through these to prove the checker notices) ---
+  Cache& cache_for_test(ProcId proc) { return caches_[proc]; }
+  DirectoryStore& directory_for_test(NodeId home) {
+    return *directories_[home];
+  }
+
   /// Aggregated per-cache statistics.
   CacheStats aggregate_cache_stats() const override;
 
@@ -249,6 +268,16 @@ class CoherenceSystem final : public MemorySystem {
   std::uint32_t bump_latest(BlockAddr block);
   void check_version(BlockAddr block, std::uint32_t observed) const;
 
+  // True when the configured seeded fault fires at this opportunity. Call
+  // it exactly once per *corrupting* opportunity of `kind` (the caller
+  // pre-checks that skipping the action would actually corrupt state).
+  // Constant-folds to false at DIRCC_CHECK=0.
+  bool fault_fires(check::FaultKind kind);
+
+  // True when any cache inside cluster `target` holds `block` (read-only
+  // probe used to decide whether a fault opportunity is corrupting).
+  bool cluster_holds_copy(NodeId target, BlockAddr block) const;
+
   SystemConfig config_;
   int num_clusters_;
   std::unique_ptr<SharerFormat> format_;
@@ -264,6 +293,9 @@ class CoherenceSystem final : public MemorySystem {
   obs::TraceRecorder* recorder_ = nullptr;
   /// Issue time of the access in flight; timestamps protocol-side events.
   Cycle obs_now_ = 0;
+  /// Corrupting opportunities seen for the configured fault kind.
+  std::uint64_t fault_opportunities_ = 0;
+  std::uint64_t faults_injected_ = 0;
 };
 
 }  // namespace dircc

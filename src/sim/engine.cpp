@@ -22,8 +22,13 @@ struct LaterEvent {
 }  // namespace
 
 Engine::Engine(MemorySystem& system, const ProgramTrace& trace,
-               EngineConfig config, obs::TraceRecorder* recorder)
-    : system_(system), trace_(trace), config_(config), recorder_(recorder) {
+               EngineConfig config, obs::TraceRecorder* recorder,
+               check::AccessObserver* checker)
+    : system_(system),
+      trace_(trace),
+      config_(config),
+      recorder_(recorder),
+      checker_(checker) {
   ensure(trace.num_procs() == system.num_procs(),
          "trace and system disagree on the processor count");
   ensure(trace.block_size == system.block_size(),
@@ -168,9 +173,19 @@ RunResult Engine::run() {
     switch (ev.kind) {
       case TraceEvent::Kind::kRead:
         resume += system_.access_addr(proc, ev.addr, false, now);
+        if (check::compiled() && checker_ != nullptr) {
+          checker_->on_access(
+              proc, ev.addr / static_cast<Addr>(system_.block_size()), false,
+              now);
+        }
         break;
       case TraceEvent::Kind::kWrite: {
         const Cycle lat = system_.access_addr(proc, ev.addr, true, now);
+        if (check::compiled() && checker_ != nullptr) {
+          checker_->on_access(
+              proc, ev.addr / static_cast<Addr>(system_.block_size()), true,
+              now);
+        }
         if (!config_.release_consistency) {
           resume += lat;
           break;
@@ -290,11 +305,21 @@ RunResult Engine::run() {
         ++finished_;
       }
     }
+
+    // An attached checker halts the run at the first violation: the state
+    // is already incoherent, and simulating on would only let the
+    // corruption cascade into protocol-internal aborts.
+    if (check::compiled() && checker_ != nullptr &&
+        checker_->halt_requested()) {
+      halted_ = true;
+      break;
+    }
   }
 
   // A blocked processor at drain time means a malformed trace (mismatched
-  // barriers or an unlock that never comes).
-  ensure(finished_ == procs && blocked_ == 0,
+  // barriers or an unlock that never comes) — unless the checker stopped
+  // the run early, in which case in-flight processors are expected.
+  ensure(halted_ || (finished_ == procs && blocked_ == 0),
          "simulation deadlock: trace synchronization is malformed");
 
   RunResult result;

@@ -17,6 +17,7 @@
 //    in the head waiter's region and all but one retry.
 #pragma once
 
+#include "check/api.hpp"
 #include "network/message.hpp"
 #include "obs/trace_recorder.hpp"
 #include "protocol/system.hpp"
@@ -85,11 +86,18 @@ class Engine {
  public:
   /// `recorder` (optional) receives stall/lock/barrier timeline events from
   /// the engine and is forwarded to the memory system for protocol-level
-  /// events. The caller keeps ownership; it must outlive run().
+  /// events. `checker` (optional) is notified after every shared-data
+  /// access and may halt the run (src/check invariant oracle). The caller
+  /// keeps ownership of both; they must outlive run().
   Engine(MemorySystem& system, const ProgramTrace& trace,
-         EngineConfig config = {}, obs::TraceRecorder* recorder = nullptr);
+         EngineConfig config = {}, obs::TraceRecorder* recorder = nullptr,
+         check::AccessObserver* checker = nullptr);
 
   RunResult run();
+
+  /// True when the attached checker stopped the run before the trace
+  /// drained (the RunResult then covers only the simulated prefix).
+  bool halted_by_checker() const { return halted_; }
 
  private:
   struct LockState {
@@ -134,6 +142,8 @@ class Engine {
   std::unordered_map<Addr, BarrierState> barriers_;
   SyncStats sync_;
   obs::TraceRecorder* recorder_ = nullptr;
+  check::AccessObserver* checker_ = nullptr;
+  bool halted_ = false;
   /// Pending stall spans, indexed by processor (valid while blocked).
   struct PendingStall {
     Cycle since = 0;

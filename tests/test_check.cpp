@@ -1,0 +1,318 @@
+// Invariant oracle, fault injection, fuzz generator, and minimizer.
+//
+// The corruption tests mutate live cache/directory state through the
+// *_for_test accessors and assert the oracle reports the exact violation
+// kind at the exact block; the end-to-end tests seed each protocol fault
+// and assert the oracle catches it during a fuzzed run.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "check/fuzz.hpp"
+#include "check/invariant_checker.hpp"
+#include "check/minimize.hpp"
+#include "trace/trace_file.hpp"
+
+namespace dircc::check {
+namespace {
+
+SystemConfig small_config(int procs = 4) {
+  SystemConfig config;
+  config.num_procs = procs;
+  config.procs_per_cluster = 1;
+  config.cache_lines_per_proc = 64;
+  config.cache_assoc = 4;
+  config.scheme = SchemeConfig::full(procs);
+  return config;
+}
+
+/// Fuzz-run machine: small caches so evictions (and with a sparse store,
+/// victimizations) happen constantly.
+SystemConfig fuzz_config(FaultKind kind, std::uint64_t trigger = 1) {
+  SystemConfig config;
+  config.num_procs = 8;
+  config.procs_per_cluster = 1;
+  config.cache_lines_per_proc = 8;
+  config.cache_assoc = 2;
+  config.scheme = SchemeConfig::full(8);
+  // Fault runs corrupt state on purpose; the protocol's own [[noreturn]]
+  // value spot-check must stay out of the oracle's way.
+  config.validate = false;
+  config.fault.kind = kind;
+  config.fault.trigger = trigger;
+  return config;
+}
+
+FuzzTraceConfig small_fuzz_trace() {
+  FuzzTraceConfig tc;
+  tc.procs = 8;
+  tc.rounds = 2;
+  tc.units_per_round = 30;
+  tc.hot_blocks = 4;
+  tc.pool_blocks = 64;
+  tc.seed = 7;
+  return tc;
+}
+
+bool has_kind(const CheckReport& report, ViolationKind kind) {
+  for (const Violation& violation : report.violations) {
+    if (violation.kind == kind) {
+      return true;
+    }
+  }
+  return false;
+}
+
+const Violation* find_kind(const CheckReport& report, ViolationKind kind) {
+  for (const Violation& violation : report.violations) {
+    if (violation.kind == kind) {
+      return &violation;
+    }
+  }
+  return nullptr;
+}
+
+TEST(Checker, CleanFuzzRunHasNoViolations) {
+  if (!compiled()) {
+    GTEST_SKIP() << "checking compiled out (DIRCC_CHECK=0)";
+  }
+  const CheckedRun run = run_checked(fuzz_config(FaultKind::kNone),
+                                     EngineConfig{},
+                                     generate_fuzz_trace(small_fuzz_trace()));
+  EXPECT_FALSE(run.report.failed())
+      << violation_to_string(run.report.violations.front());
+  EXPECT_GT(run.report.accesses_observed, 0u);
+  EXPECT_GT(run.report.audits, 0u);
+  EXPECT_EQ(run.report.faults_injected, 0u);
+  EXPECT_FALSE(run.report.halted);
+}
+
+TEST(Checker, ReportsStaleSharerBitAtTheRightBlock) {
+  if (!compiled()) {
+    GTEST_SKIP() << "checking compiled out (DIRCC_CHECK=0)";
+  }
+  CoherenceSystem sys(small_config());
+  sys.access(1, 0, false);  // proc 1 caches block 0 Shared
+  sys.access(1, 1, false);  // proc 1 caches block 1 Shared (stays intact)
+  // Corrupt: the directory forgets that cluster 1 shares block 0.
+  DirEntry* entry = sys.directory_for_test(0).find(0);
+  ASSERT_NE(entry, nullptr);
+  sys.format().remove_sharer(entry->sharers, 1);
+
+  InvariantChecker checker(sys, CheckConfig{});
+  checker.audit(10);
+  const CheckReport& report = checker.finish(false);
+  ASSERT_TRUE(report.failed());
+  const Violation* violation =
+      find_kind(report, ViolationKind::kForgottenSharer);
+  ASSERT_NE(violation, nullptr) << "expected a forgotten-sharer violation";
+  EXPECT_EQ(violation->block, 0u);
+  EXPECT_EQ(violation->proc, 1);
+  EXPECT_EQ(violation->cycle, 10u);
+  // The untouched block must not be flagged.
+  for (const Violation& v : report.violations) {
+    EXPECT_EQ(v.block, 0u) << violation_to_string(v);
+  }
+}
+
+TEST(Checker, ReportsTwoModifiedCopies) {
+  if (!compiled()) {
+    GTEST_SKIP() << "checking compiled out (DIRCC_CHECK=0)";
+  }
+  CoherenceSystem sys(small_config());
+  sys.access(1, 0, true);  // proc 1 owns block 0 Modified
+  // Corrupt: a second Modified copy appears in proc 2's cache.
+  std::optional<EvictedLine> evicted;
+  sys.cache_for_test(2).fill(0, LineState::kModified, sys.latest_version(0),
+                             evicted);
+
+  InvariantChecker checker(sys, CheckConfig{});
+  checker.audit(20);
+  const CheckReport& report = checker.finish(false);
+  ASSERT_TRUE(report.failed());
+  const Violation* violation =
+      find_kind(report, ViolationKind::kMultipleOwners);
+  ASSERT_NE(violation, nullptr) << "expected a multiple-owners violation";
+  EXPECT_EQ(violation->block, 0u);
+  EXPECT_EQ(violation->cycle, 20u);
+}
+
+TEST(Checker, ReportsSparseEntryDroppedWithoutInvalidation) {
+  if (!compiled()) {
+    GTEST_SKIP() << "checking compiled out (DIRCC_CHECK=0)";
+  }
+  SystemConfig config = small_config();
+  config.store.sparse = true;
+  config.store.sparse_entries = 16;
+  config.store.sparse_assoc = 4;
+  CoherenceSystem sys(config);
+  sys.access(1, 0, false);  // proc 1 caches block 0 Shared
+  // Corrupt: the sparse directory victimizes the entry but "forgets" to
+  // invalidate the cached copy.
+  sys.directory_for_test(0).release(0);
+
+  InvariantChecker checker(sys, CheckConfig{});
+  checker.audit(30);
+  const CheckReport& report = checker.finish(false);
+  ASSERT_TRUE(report.failed());
+  const Violation* violation = find_kind(report, ViolationKind::kMissingEntry);
+  ASSERT_NE(violation, nullptr) << "expected a missing-entry violation";
+  EXPECT_EQ(violation->block, 0u);
+  EXPECT_EQ(violation->proc, 1);
+}
+
+TEST(Checker, CatchesInjectedForgetSharerFault) {
+  if (!compiled()) {
+    GTEST_SKIP() << "checking compiled out (DIRCC_CHECK=0)";
+  }
+  const CheckedRun run =
+      run_checked(fuzz_config(FaultKind::kForgetSharer), EngineConfig{},
+                  generate_fuzz_trace(small_fuzz_trace()));
+  EXPECT_EQ(run.report.faults_injected, 1u);
+  ASSERT_TRUE(run.report.failed()) << "oracle missed the seeded fault";
+  EXPECT_TRUE(run.report.halted);
+}
+
+TEST(Checker, CatchesInjectedSkipInvalidationFault) {
+  if (!compiled()) {
+    GTEST_SKIP() << "checking compiled out (DIRCC_CHECK=0)";
+  }
+  const CheckedRun run =
+      run_checked(fuzz_config(FaultKind::kSkipInvalidation), EngineConfig{},
+                  generate_fuzz_trace(small_fuzz_trace()));
+  EXPECT_EQ(run.report.faults_injected, 1u);
+  ASSERT_TRUE(run.report.failed()) << "oracle missed the seeded fault";
+}
+
+TEST(Checker, CatchesInjectedDroppedWritebackFault) {
+  if (!compiled()) {
+    GTEST_SKIP() << "checking compiled out (DIRCC_CHECK=0)";
+  }
+  // The drop site is the sparse directory's victim-reclaim path, so this
+  // run needs an undersized sparse store under enough write pressure that
+  // dirty entries get victimized no matter how the victim picks fall.
+  SystemConfig config = fuzz_config(FaultKind::kDropVictimWriteback);
+  config.store.sparse = true;
+  config.store.sparse_entries = 4;
+  config.store.sparse_assoc = 2;
+  FuzzTraceConfig tc = small_fuzz_trace();
+  tc.rounds = 4;
+  tc.units_per_round = 40;
+  tc.pool_blocks = 192;
+  tc.p_write = 0.6;
+  const CheckedRun run =
+      run_checked(config, EngineConfig{}, generate_fuzz_trace(tc));
+  EXPECT_EQ(run.report.faults_injected, 1u);
+  ASSERT_TRUE(run.report.failed()) << "oracle missed the seeded fault";
+}
+
+TEST(Checker, FaultInjectionFiresExactlyOnce) {
+  if (!compiled()) {
+    GTEST_SKIP() << "checking compiled out (DIRCC_CHECK=0)";
+  }
+  // halt_on_violation=false lets the run continue past the corruption, so
+  // the fault machinery gets every later opportunity to (wrongly) fire
+  // again.
+  CheckConfig check;
+  check.halt_on_violation = false;
+  const CheckedRun run =
+      run_checked(fuzz_config(FaultKind::kForgetSharer), EngineConfig{},
+                  generate_fuzz_trace(small_fuzz_trace()), check);
+  EXPECT_EQ(run.report.faults_injected, 1u);
+  EXPECT_FALSE(run.report.halted);
+}
+
+TEST(Minimizer, ShrinksAFailingTraceBelowFiftyEvents) {
+  if (!compiled()) {
+    GTEST_SKIP() << "checking compiled out (DIRCC_CHECK=0)";
+  }
+  const ProgramTrace trace = generate_fuzz_trace(small_fuzz_trace());
+  const SystemConfig config = fuzz_config(FaultKind::kForgetSharer);
+  const auto min =
+      minimize_failure(trace, config, EngineConfig{}, CheckConfig{});
+  ASSERT_TRUE(min.has_value()) << "original trace did not fail";
+  EXPECT_EQ(min->original_events, trace.total_events());
+  EXPECT_LT(min->minimized_events, min->original_events);
+  EXPECT_LE(min->minimized_events, 50u);
+  ASSERT_TRUE(min->report.failed());
+  // The minimized trace must reproduce the same first violation kind.
+  const CheckedRun rerun = run_checked(config, EngineConfig{}, min->trace);
+  ASSERT_TRUE(rerun.report.failed());
+  EXPECT_EQ(rerun.report.violations.front().kind,
+            min->report.violations.front().kind);
+}
+
+TEST(Minimizer, ReturnsNulloptWhenTheTraceIsClean) {
+  if (!compiled()) {
+    GTEST_SKIP() << "checking compiled out (DIRCC_CHECK=0)";
+  }
+  const ProgramTrace trace = generate_fuzz_trace(small_fuzz_trace());
+  const auto min = minimize_failure(trace, fuzz_config(FaultKind::kNone),
+                                    EngineConfig{}, CheckConfig{});
+  EXPECT_FALSE(min.has_value());
+}
+
+TEST(Fuzz, TraceGenerationIsDeterministic) {
+  const FuzzTraceConfig tc = small_fuzz_trace();
+  const ProgramTrace a = generate_fuzz_trace(tc);
+  const ProgramTrace b = generate_fuzz_trace(tc);
+  std::ostringstream sa;
+  std::ostringstream sb;
+  ASSERT_TRUE(write_trace(sa, a));
+  ASSERT_TRUE(write_trace(sb, b));
+  EXPECT_EQ(sa.str(), sb.str());
+
+  FuzzTraceConfig other = tc;
+  other.seed = tc.seed + 1;
+  const ProgramTrace c = generate_fuzz_trace(other);
+  std::ostringstream sc;
+  ASSERT_TRUE(write_trace(sc, c));
+  EXPECT_NE(sa.str(), sc.str());
+}
+
+TEST(Fuzz, TraceIsWellFormed) {
+  const FuzzTraceConfig tc = small_fuzz_trace();
+  const ProgramTrace trace = generate_fuzz_trace(tc);
+  EXPECT_EQ(trace.num_procs(), tc.procs);
+  EXPECT_GT(trace.total_events(), 0u);
+  // Every processor hits the same barriers in the same order, and every
+  // lock is released by its taker before the round barrier.
+  for (int p = 0; p < tc.procs; ++p) {
+    int barriers = 0;
+    int held = 0;
+    for (const TraceEvent& ev : trace.per_proc[static_cast<std::size_t>(p)]) {
+      if (ev.kind == TraceEvent::Kind::kBarrier) {
+        EXPECT_EQ(held, 0) << "lock held across a barrier";
+        ++barriers;
+      } else if (ev.kind == TraceEvent::Kind::kLock) {
+        ++held;
+      } else if (ev.kind == TraceEvent::Kind::kUnlock) {
+        --held;
+        EXPECT_GE(held, 0);
+      }
+    }
+    EXPECT_EQ(held, 0);
+    EXPECT_EQ(barriers, tc.rounds);
+  }
+}
+
+TEST(Fuzz, KeyNamesEveryKnob) {
+  FuzzTraceConfig tc;
+  const std::string key = fuzz_trace_key(tc);
+  EXPECT_NE(key.find("procs="), std::string::npos);
+  EXPECT_NE(key.find("seed="), std::string::npos);
+  FuzzTraceConfig other = tc;
+  other.seed += 1;
+  EXPECT_NE(key, fuzz_trace_key(other));
+}
+
+TEST(FaultSpec, KindNamesAreStable) {
+  EXPECT_STREQ(fault_kind_name(FaultKind::kNone), "none");
+  EXPECT_STREQ(fault_kind_name(FaultKind::kForgetSharer), "forget-sharer");
+  EXPECT_STREQ(fault_kind_name(FaultKind::kSkipInvalidation), "skip-inval");
+  EXPECT_STREQ(fault_kind_name(FaultKind::kDropVictimWriteback),
+               "drop-victim-writeback");
+}
+
+}  // namespace
+}  // namespace dircc::check

@@ -1,0 +1,127 @@
+#!/usr/bin/env python3
+"""Documentation consistency checks.
+
+1. Link check: every relative markdown link in every *.md file under the
+   repo must point at a file (or directory) that exists.
+2. Flag check: every CLI flag the docs promise must appear in the
+   corresponding binary's --help output, so the flag tables cannot drift
+   from the binaries again.
+
+Usage: tools/check_docs.py [--build-dir build]
+Exits nonzero listing every problem found.
+"""
+
+import argparse
+import pathlib
+import re
+import subprocess
+import sys
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+SKIP_DIRS = {".git", "build", "build-nocheck", "build-noobs", ".github"}
+
+# The six flags every sweep-harness-backed binary shares (README.md and
+# docs/HARNESS.md both table them).
+SHARED_FLAGS = ["threads", "json", "omit-timing", "progress", "trace-out",
+                "metrics"]
+SWEEP_BINARIES = ["sweep_grid", "fig07_10_schemes", "fig11_12_sparse",
+                  "fig13_assoc", "scale_study", "fuzz_coherence"]
+
+# Binary-specific flags promised by a specific document. Each flag must
+# appear both in that document and in the binary's --help.
+DOCUMENTED_FLAGS = {
+    "sweep_grid": ("docs/HARNESS.md",
+                   ["apps", "schemes", "size-factors", "assocs", "policy",
+                    "procs", "cache-lines", "scale", "seed", "table"]),
+    "fuzz_coherence": ("docs/CHECKER.md",
+                       ["schemes", "faults", "sparse-entries", "seeds",
+                        "seed-base", "fault-trigger", "procs", "rounds",
+                        "units", "hot", "pool", "locks", "cache-lines",
+                        "l1-lines", "minimize", "dump", "replay",
+                        "require-caught"]),
+}
+
+
+def md_files():
+    for path in sorted(REPO.rglob("*.md")):
+        if not any(part in SKIP_DIRS for part in path.parts):
+            yield path
+
+
+def check_links():
+    errors = []
+    for path in md_files():
+        text = path.read_text(encoding="utf-8")
+        # Drop fenced code blocks: links there are illustrative.
+        text = re.sub(r"```.*?```", "", text, flags=re.S)
+        for match in LINK_RE.finditer(text):
+            target = match.group(1)
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            target = target.split("#", 1)[0]
+            if not target:
+                continue  # pure in-page anchor
+            resolved = (path.parent / target).resolve()
+            if not resolved.exists():
+                errors.append(f"{path.relative_to(REPO)}: broken link "
+                              f"-> {match.group(1)}")
+    return errors
+
+
+def help_text(build_dir, binary):
+    exe = build_dir / "bench" / binary
+    if not exe.exists():
+        return None
+    out = subprocess.run([str(exe), "--help"], capture_output=True,
+                         text=True)
+    return out.stdout + out.stderr
+
+
+def check_flags(build_dir):
+    errors = []
+    helps = {}
+    for binary in SWEEP_BINARIES:
+        text = help_text(build_dir, binary)
+        if text is None:
+            errors.append(f"{binary}: not built under {build_dir}/bench")
+            continue
+        helps[binary] = text
+        for flag in SHARED_FLAGS:
+            if f"--{flag}" not in text:
+                errors.append(f"{binary}: documented shared flag --{flag} "
+                              "missing from --help")
+    for binary, (doc, flags) in DOCUMENTED_FLAGS.items():
+        doc_text = (REPO / doc).read_text(encoding="utf-8")
+        for flag in flags:
+            if f"--{flag}" not in doc_text:
+                errors.append(f"{doc}: expected to document --{flag} "
+                              f"of {binary}")
+            if binary in helps and f"--{flag}" not in helps[binary]:
+                errors.append(f"{binary}: documented flag --{flag} "
+                              "missing from --help")
+    return errors
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--build-dir", default="build")
+    parser.add_argument("--links-only", action="store_true",
+                        help="skip the flag-vs---help checks")
+    args = parser.parse_args()
+
+    errors = check_links()
+    if not args.links_only:
+        errors += check_flags(REPO / args.build_dir)
+    for error in errors:
+        print(error, file=sys.stderr)
+    if errors:
+        print(f"{len(errors)} documentation problem(s)", file=sys.stderr)
+        return 1
+    print("docs OK: links resolve, documented flags match --help")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
