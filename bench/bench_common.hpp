@@ -105,7 +105,22 @@ struct HarnessOptions {
   bool progress = false;     ///< live progress/ETA line on stderr
   std::string trace_out;     ///< directory for per-cell event timelines
   std::string metrics_path;  ///< metrics+telemetry doc; "-" = stdout
+  BackendKind backend = BackendKind::kAnalytic;  ///< latency backend
 };
+
+/// Parses a --backend value; exits with a usage error on anything other
+/// than "analytic" or "queued".
+inline BackendKind parse_backend(const std::string& name) {
+  if (name == "analytic") {
+    return BackendKind::kAnalytic;
+  }
+  if (name == "queued") {
+    return BackendKind::kQueued;
+  }
+  std::cerr << "unknown --backend '" << name
+            << "' (expected 'analytic' or 'queued')\n";
+  std::exit(2);
+}
 
 /// Registers the shared observability options on an existing parser, so
 /// sweep_grid (which has its own grid options) and the figure binaries
@@ -123,6 +138,10 @@ inline void add_harness_options(CliParser& cli) {
   cli.add_option("metrics", "",
                  "write sweep telemetry + per-cell metrics JSON here "
                  "('-' = stdout)");
+  cli.add_option("backend", "analytic",
+                 "latency backend: 'analytic' (paper-faithful closed-form, "
+                 "the default) or 'queued' (per-link/per-home FIFO "
+                 "contention)");
 }
 
 /// Reads the shared observability options back out of a parsed parser.
@@ -134,6 +153,7 @@ inline HarnessOptions read_harness_options(const CliParser& cli) {
   options.progress = cli.get_flag("progress");
   options.trace_out = cli.get("trace-out");
   options.metrics_path = cli.get("metrics");
+  options.backend = parse_backend(cli.get("backend"));
   return options;
 }
 
@@ -162,6 +182,16 @@ inline harness::SweepOptions sweep_options(const HarnessOptions& options) {
   sweep.record_traces = !options.trace_out.empty();
   sweep.progress = options.progress;
   return sweep;
+}
+
+/// Applies the selected latency backend to every sweep cell. Kept as a
+/// separate pass (rather than baked into machine()) so the cell grids stay
+/// backend-agnostic and the choice is visibly per sweep, not per helper.
+inline void apply_backend(std::vector<harness::SweepCell>& cells,
+                          const HarnessOptions& options) {
+  for (harness::SweepCell& cell : cells) {
+    cell.system.backend = options.backend;
+  }
 }
 
 /// Maps a cell key onto a filesystem-safe stem: every character outside

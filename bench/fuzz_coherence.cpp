@@ -206,6 +206,7 @@ SystemConfig system_config(const FuzzFlags& flags, const std::string& scheme,
   // value-coherence spot check must stay out of the way — the invariant
   // oracle is the failure detector here.
   config.validate = false;
+  config.backend = flags.harness.backend;
   config.fault.kind = fault;
   config.fault.trigger = flags.fault_trigger;
   config.seed = harness::cell_seed(flags.seed_base, key);

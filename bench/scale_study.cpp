@@ -64,6 +64,7 @@ int main(int argc, char** argv) {
       cells.push_back(std::move(cell));
     }
   }
+  apply_backend(cells, options);
 
   harness::SweepRunner runner(options.threads);
   const std::vector<harness::CellResult> results =

@@ -90,6 +90,10 @@ int main(int argc, char** argv) {
   cli.add_option("metrics", "",
                  "write sweep telemetry + per-cell metrics JSON here "
                  "('-' = stdout)");
+  cli.add_option("backend", "analytic",
+                 "latency backend: 'analytic' (paper-faithful closed-form, "
+                 "the default) or 'queued' (per-link/per-home FIFO "
+                 "contention)");
   cli.add_flag("table", "also print a human-readable summary table");
   if (!cli.parse(argc, argv)) {
     std::cerr << cli.error() << "\n" << cli.usage(argv[0]);
@@ -164,6 +168,8 @@ int main(int argc, char** argv) {
   options.progress = cli.get_flag("progress");
   options.trace_out = cli.get("trace-out");
   options.metrics_path = cli.get("metrics");
+  options.backend = parse_backend(cli.get("backend"));
+  apply_backend(cells, options);
 
   harness::SweepRunner runner(options.threads);
   const std::vector<harness::CellResult> results =

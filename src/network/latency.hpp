@@ -43,4 +43,15 @@ struct LatencyModel {
   }
 };
 
+/// Knobs of the queued latency backend, which layers mesh-link and
+/// home-controller FIFO occupancy on top of the closed-form model. The
+/// queued estimate never undercuts the analytic one (it is taken as a max),
+/// so contention only ever adds latency.
+struct QueuedLatencyConfig {
+  Cycle link_service = 1;  ///< directed-channel occupancy per message
+  Cycle link_transit = 1;  ///< propagation per link crossed
+  Cycle home_service = 6;  ///< home-controller occupancy per message
+                           ///< emitted or absorbed (matches dir_occupancy)
+};
+
 }  // namespace dircc

@@ -46,6 +46,43 @@ MeshTopology::MeshTopology(int width, int height)
   ensure(width >= 1 && height >= 1, "mesh dimensions must be positive");
 }
 
+int MeshTopology::num_links() const {
+  const int horizontal = (width_ - 1) * height_;
+  const int vertical = width_ * (height_ - 1);
+  return 2 * horizontal + 2 * vertical;
+}
+
+void MeshTopology::route_links(NodeId from, NodeId to,
+                               std::vector<LinkId>* out) const {
+  ensure(from < num_nodes_ && to < num_nodes_, "mesh node out of range");
+  const int horizontal = (width_ - 1) * height_;
+  const int vertical = width_ * (height_ - 1);
+  int x = from % width_;
+  int y = from / width_;
+  const int tx = to % width_;
+  const int ty = to / width_;
+  // X first. East link at column x of row y has id y*(width-1)+x; the
+  // matching west link sits `horizontal` later.
+  while (x < tx) {
+    out->push_back(y * (width_ - 1) + x);
+    ++x;
+  }
+  while (x > tx) {
+    out->push_back(horizontal + y * (width_ - 1) + (x - 1));
+    --x;
+  }
+  // Then Y. South link below row y at column x has id 2H + y*width + x; the
+  // matching north link sits `vertical` later.
+  while (y < ty) {
+    out->push_back(2 * horizontal + y * width_ + x);
+    ++y;
+  }
+  while (y > ty) {
+    out->push_back(2 * horizontal + vertical + (y - 1) * width_ + x);
+    --y;
+  }
+}
+
 int MeshTopology::hops(NodeId from, NodeId to) const {
   ensure(from < num_nodes_ && to < num_nodes_, "mesh node out of range");
   const int fx = from % width_;

@@ -1,9 +1,15 @@
 // 2-D mesh interconnect topology (the DASH cluster network).
 #pragma once
 
+#include <vector>
+
 #include "common/types.hpp"
 
 namespace dircc {
+
+/// Directed mesh channel identifier, dense in [0, num_links()). Used by the
+/// queued latency backend to keep one FIFO per physical channel.
+using LinkId = int;
 
 /// Clusters laid out row-major on a width x height grid; distances are
 /// Manhattan hop counts (DASH used a pair of wormhole-routed 2-D meshes).
@@ -23,6 +29,14 @@ class MeshTopology {
 
   /// Largest hop count on the mesh (network diameter).
   int diameter() const { return (width_ - 1) + (height_ - 1); }
+
+  /// Number of directed channels: (width-1)*height east + the same west,
+  /// plus width*(height-1) south + the same north.
+  int num_links() const;
+
+  /// Appends the directed links crossed by an X-then-Y (dimension-ordered)
+  /// route from `from` to `to`. Appends nothing when from == to.
+  void route_links(NodeId from, NodeId to, std::vector<LinkId>* out) const;
 
  private:
   int width_;

@@ -47,10 +47,11 @@ struct MessageCounters {
   std::uint64_t inv_plus_ack() const {
     return get(MsgClass::kInvalidation) + get(MsgClass::kAck);
   }
-  void merge(const MessageCounters& other) {
+  MessageCounters& operator+=(const MessageCounters& other) {
     for (int i = 0; i < kNumMsgClasses; ++i) {
       counts[i] += other.counts[i];
     }
+    return *this;
   }
 };
 

@@ -1,0 +1,44 @@
+// Named transaction routes over the mesh.
+//
+// A directory transaction touches one, two or three distinct clusters
+// (requester, home, dirty owner); its critical path crosses the mesh either
+// as a request/reply round trip (2-party) or as the request → forward →
+// reply-and-writeback triangle (3-party). The hop arithmetic used to be
+// inlined at the protocol's latency call sites; this header is the one
+// shared definition, used both by the closed-form latency math and by the
+// Transaction IR builder.
+#pragma once
+
+#include "common/types.hpp"
+#include "network/mesh.hpp"
+
+namespace dircc {
+
+/// Shape of one transaction's critical path through the mesh.
+struct TransactionRoute {
+  int distinct_clusters = 1;  ///< |{requester, home, owner}| (1, 2 or 3)
+  int total_hops = 0;         ///< mesh hops on the critical path
+};
+
+/// Route of a transaction issued by cluster `c` to home `h`, optionally
+/// forwarded to dirty owner `o` (`kNoNode` for a 2-party transaction).
+/// 2-party: the c→h request plus the h→c reply. 3-party: the c→h request,
+/// the h→o forward and the o→c reply (the o→h sharing writeback is off the
+/// critical path but the paper's 3-cluster latency folds it in).
+inline TransactionRoute transaction_route(const MeshTopology& mesh, NodeId c,
+                                          NodeId h, NodeId o = kNoNode) {
+  TransactionRoute route;
+  if (o == kNoNode) {
+    if (c != h) {
+      route.distinct_clusters = 2;
+      route.total_hops = 2 * mesh.hops(c, h);
+    }
+    return route;
+  }
+  // Count distinct clusters among {c, h, o}.
+  route.distinct_clusters = 1 + (h != c ? 1 : 0) + (o != c && o != h ? 1 : 0);
+  route.total_hops = mesh.hops(c, h) + mesh.hops(h, o) + mesh.hops(o, c);
+  return route;
+}
+
+}  // namespace dircc

@@ -20,6 +20,7 @@ const char* ev_type_name(EvType type) {
     case EvType::kInvalFanout: return "inval.fanout";
     case EvType::kSparseVictim: return "sparse.victim";
     case EvType::kPtrOverflow: return "ptr.overflow";
+    case EvType::kHop: return "msg.hop";
   }
   return "unknown";
 }
@@ -41,6 +42,8 @@ EvClass ev_class_of(EvType type) {
       return EvClass::kSparse;
     case EvType::kPtrOverflow:
       return EvClass::kOverflow;
+    case EvType::kHop:
+      return EvClass::kMsg;
   }
   return EvClass::kStall;
 }
@@ -65,6 +68,7 @@ ArgNames ev_arg_names(EvType type) {
     case EvType::kInvalFanout: return {"block", "invals"};
     case EvType::kSparseVictim: return {"victim_key", "set"};
     case EvType::kPtrOverflow: return {"group_key", "node"};
+    case EvType::kHop: return {"route", "kind"};
   }
   return {"a0", "a1"};
 }

@@ -40,12 +40,13 @@ enum class EvClass : std::uint8_t {
   kInval = 3,     ///< invalidation fan-out at a home directory
   kSparse = 4,    ///< sparse-directory entry victimization
   kOverflow = 5,  ///< limited-pointer overflow transitions (B/CV/X modes)
+  kMsg = 6,       ///< individual coherence-message hops (Transaction IR)
 };
 
 inline constexpr std::uint32_t bit(EvClass cls) {
   return 1u << static_cast<unsigned>(cls);
 }
-inline constexpr std::uint32_t kAllClasses = (1u << 6) - 1;
+inline constexpr std::uint32_t kAllClasses = (1u << 7) - 1;
 
 /// Concrete event types. Each belongs to exactly one EvClass.
 enum class EvType : std::uint8_t {
@@ -58,6 +59,8 @@ enum class EvType : std::uint8_t {
   kInvalFanout,     ///< instant: invals sent (a0 = block, a1 = net invals)
   kSparseVictim,    ///< instant: entry displaced (a0 = victim key, a1 = set)
   kPtrOverflow,     ///< instant: entry left precise mode (a0 = key, a1 = node)
+  kHop,             ///< instant: one network hop of a committed transaction
+                    ///< (a0 = src * 65536 + dst, a1 = HopKind value)
 };
 
 const char* ev_type_name(EvType type);

@@ -1,0 +1,159 @@
+#include "protocol/latency_backend.hpp"
+
+#include "network/route.hpp"
+#include "protocol/system.hpp"
+
+namespace dircc {
+
+const char* backend_kind_name(BackendKind kind) {
+  switch (kind) {
+    case BackendKind::kAnalytic:
+      return "analytic";
+    case BackendKind::kQueued:
+      return "queued";
+  }
+  return "?";
+}
+
+Cycle AnalyticBackend::transaction_latency(const Transaction& txn,
+                                           Cycle /*now*/,
+                                           ProtocolStats& /*stats*/) {
+  if (txn.kind == TxnKind::kLocal) {
+    return latency_.local_access;
+  }
+  const TransactionRoute route =
+      transaction_route(mesh_, txn.requester, txn.home, txn.owner);
+  Cycle total = latency_.transaction(route.distinct_clusters, route.total_hops);
+  if (txn.ack_round) {
+    total += latency_.invalidation_round;
+  }
+  for (const Fanout& fanout : txn.fanouts) {
+    // Write-caused fan-outs stall the writer until every ack is in;
+    // reclaim fan-outs keep the home busy streaming out invalidations.
+    // Dir_iNB pointer displacements are fire-and-forget: the read reply
+    // does not wait on them.
+    if (fanout.cause != FanoutCause::kPointerDisplacement) {
+      total += latency_.per_invalidation *
+               static_cast<Cycle>(fanout.network_invalidations);
+    }
+  }
+  for (const Hop& hop : txn.hops) {
+    // Each dirty sparse victim costs a full remote round trip to pull the
+    // data home — even when the owner is the home cluster itself (the
+    // memory access still happens; only the mesh crossing is free).
+    if (hop.kind == HopKind::kVictimWriteback) {
+      total += latency_.remote_2cluster;
+    }
+  }
+  return total;
+}
+
+QueuedBackend::QueuedBackend(const MeshTopology& mesh,
+                             const LatencyModel& latency,
+                             const QueuedLatencyConfig& config)
+    : analytic_(mesh, latency),
+      mesh_(mesh),
+      queued_(config),
+      link_free_(static_cast<std::size_t>(mesh.num_links()), 0),
+      home_free_(static_cast<std::size_t>(mesh.num_nodes()), 0) {}
+
+namespace {
+
+/// Messages a home directory controller *emits*: forwarded requests,
+/// invalidation bursts and sparse-victim fetches all leave through the
+/// controller's outbound port and serialize there.
+bool home_emission(const Hop& hop, NodeId home) {
+  switch (hop.kind) {
+    case HopKind::kForward:
+    case HopKind::kInval:
+    case HopKind::kDisplacementInval:
+    case HopKind::kReclaimInval:
+    case HopKind::kVictimFetch:
+      return true;
+    case HopKind::kReply:
+      return hop.src == home;  // owner replies come from a cache instead
+    default:
+      return false;
+  }
+}
+
+/// Messages a home directory controller *absorbs*: requests, writebacks
+/// and home-bound acks each occupy the controller on arrival.
+bool home_ingest(const Hop& hop) {
+  switch (hop.kind) {
+    case HopKind::kRequest:
+    case HopKind::kSharingWriteback:
+    case HopKind::kVictimWriteback:
+    case HopKind::kEvictionWriteback:
+    case HopKind::kReplacementHint:
+    case HopKind::kTransferAck:
+    case HopKind::kReclaimAck:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+Cycle QueuedBackend::transaction_latency(const Transaction& txn, Cycle now,
+                                         ProtocolStats& stats) {
+  const Cycle analytic = analytic_.transaction_latency(txn, now, stats);
+  if (txn.kind != TxnKind::kDirectory) {
+    return analytic;  // bus-served accesses never touch mesh or home FIFOs
+  }
+  done_.assign(txn.hops.size(), now);
+  Cycle completion = now;
+  for (std::size_t i = 0; i < txn.hops.size(); ++i) {
+    const Hop& hop = txn.hops[i];
+    Cycle t = hop.dep >= 0 ? done_[static_cast<std::size_t>(hop.dep)] : now;
+    if (home_emission(hop, txn.home)) {
+      Cycle& busy = home_free_[hop.src];
+      if (busy > t) {
+        stats.home_wait_cycles += busy - t;
+        t = busy;
+      }
+      t += queued_.home_service;
+      busy = t;
+    }
+    if (hop.src != hop.dst) {
+      links_.clear();
+      mesh_.route_links(hop.src, hop.dst, &links_);
+      for (LinkId link : links_) {
+        Cycle& busy = link_free_[static_cast<std::size_t>(link)];
+        if (busy > t) {
+          stats.link_wait_cycles += busy - t;
+          t = busy;
+        }
+        busy = t + queued_.link_service;
+        t += queued_.link_transit;
+      }
+    }
+    if (home_ingest(hop)) {
+      Cycle& busy = home_free_[hop.dst];
+      if (busy > t) {
+        stats.home_wait_cycles += busy - t;
+        t = busy;
+      }
+      t += queued_.home_service;
+      busy = t;
+    }
+    done_[i] = t;
+    if (t > completion) {
+      completion = t;
+    }
+  }
+  const Cycle walked = completion - now;
+  return walked > analytic ? walked : analytic;
+}
+
+std::unique_ptr<LatencyBackend> make_backend(
+    BackendKind kind, const MeshTopology& mesh, const LatencyModel& latency,
+    const QueuedLatencyConfig& queued) {
+  if (kind == BackendKind::kQueued) {
+    return std::make_unique<QueuedBackend>(mesh, latency, queued);
+  }
+  return std::make_unique<AnalyticBackend>(mesh, latency);
+}
+
+}  // namespace dircc

@@ -1,0 +1,92 @@
+// Latency backends: pluggable interpreters of the Transaction IR.
+//
+// The protocol builds a Transaction (src/protocol/transaction.hpp); a
+// backend turns it into cycles. Two implementations:
+//
+//  * AnalyticBackend — the paper's closed-form model (Section 5 DASH
+//    calibration): a flat cost per 1/2/3-cluster transaction plus fixed
+//    increments for invalidation rounds, fan-out width and sparse-victim
+//    flushes. Stateless, contention-free, and byte-identical to the
+//    pre-IR inlined arithmetic. The default.
+//
+//  * QueuedBackend — layers FIFO occupancy on top: every message crossing
+//    the mesh occupies each directed link it is XY-routed over, and every
+//    message a home directory controller emits or absorbs occupies that
+//    controller. Hops walk the IR's causal DAG, so contended fan-outs
+//    serialize. The result never undercuts the analytic estimate
+//    (latency = max(analytic, queued completion)), which makes latency
+//    monotonically non-decreasing in fan-out width and sparse pressure.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "network/latency.hpp"
+#include "network/mesh.hpp"
+#include "protocol/transaction.hpp"
+
+namespace dircc {
+
+struct ProtocolStats;
+
+/// Which latency backend a CoherenceSystem uses.
+enum class BackendKind : std::uint8_t {
+  kAnalytic,  ///< closed-form model (default; reproduces the paper tables)
+  kQueued,    ///< mesh-link + home-controller FIFO occupancy
+};
+
+const char* backend_kind_name(BackendKind kind);
+
+/// Turns a committed Transaction into an access latency. `now` is the
+/// access's issue time (Cycle); stateful backends key their queues off it.
+class LatencyBackend {
+ public:
+  virtual ~LatencyBackend() = default;
+  virtual const char* name() const = 0;
+  virtual Cycle transaction_latency(const Transaction& txn, Cycle now,
+                                    ProtocolStats& stats) = 0;
+};
+
+/// The paper's closed-form hop-latency math, folded over the IR.
+class AnalyticBackend : public LatencyBackend {
+ public:
+  AnalyticBackend(const MeshTopology& mesh, const LatencyModel& latency)
+      : mesh_(mesh), latency_(latency) {}
+
+  const char* name() const override { return "analytic"; }
+  Cycle transaction_latency(const Transaction& txn, Cycle now,
+                            ProtocolStats& stats) override;
+
+ private:
+  const MeshTopology& mesh_;
+  const LatencyModel& latency_;
+};
+
+/// FIFO-occupancy backend: per-directed-link and per-home-controller
+/// queues, walked over the IR's causal hop DAG.
+class QueuedBackend : public LatencyBackend {
+ public:
+  QueuedBackend(const MeshTopology& mesh, const LatencyModel& latency,
+                const QueuedLatencyConfig& config);
+
+  const char* name() const override { return "queued"; }
+  Cycle transaction_latency(const Transaction& txn, Cycle now,
+                            ProtocolStats& stats) override;
+
+ private:
+  AnalyticBackend analytic_;
+  const MeshTopology& mesh_;
+  QueuedLatencyConfig queued_;
+  std::vector<Cycle> link_free_;  ///< per directed link: busy until
+  std::vector<Cycle> home_free_;  ///< per home controller: busy until
+  std::vector<Cycle> done_;       ///< per hop, scratch for the DAG walk
+  std::vector<LinkId> links_;     ///< route scratch
+};
+
+std::unique_ptr<LatencyBackend> make_backend(BackendKind kind,
+                                             const MeshTopology& mesh,
+                                             const LatencyModel& latency,
+                                             const QueuedLatencyConfig& queued);
+
+}  // namespace dircc

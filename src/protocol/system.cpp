@@ -1,6 +1,7 @@
 #include "protocol/system.hpp"
 
 #include "common/ensure.hpp"
+#include "network/route.hpp"
 
 namespace dircc {
 
@@ -8,7 +9,9 @@ CoherenceSystem::CoherenceSystem(const SystemConfig& config)
     : config_(config),
       num_clusters_(config.num_clusters()),
       format_(make_format(config.scheme)),
-      mesh_(config.num_clusters()) {
+      mesh_(config.num_clusters()),
+      backend_(make_backend(config.backend, mesh_, config_.latency,
+                            config_.queued)) {
   ensure(config.num_procs >= 1, "need at least one processor");
   ensure(config.procs_per_cluster >= 1 &&
              config.num_procs % config.procs_per_cluster == 0,
@@ -119,13 +122,26 @@ void CoherenceSystem::attach_recorder(obs::TraceRecorder* recorder) {
 }
 
 // ---------------------------------------------------------------------------
-// Message accounting
+// Seeded-fault hook for message hops
 // ---------------------------------------------------------------------------
 
-void CoherenceSystem::count_msg(MsgClass cls, NodeId from, NodeId to) {
-  if (from != to) {
-    stats_.messages.add(cls);
+bool CoherenceSystem::fault_drops_hop(HopKind kind, NodeId target,
+                                      BlockAddr block) {
+  if (!check::compiled()) {
+    return false;
   }
+  const check::FaultKind site = hop_fault_site(kind);
+  if (site == check::FaultKind::kNone || config_.fault.kind != site) {
+    return false;
+  }
+  // Skipping an invalidation only corrupts when the target actually holds
+  // a copy; a dropped victim writeback always corrupts (the caller has
+  // already found the dirty copy).
+  if (site == check::FaultKind::kSkipInvalidation &&
+      !cluster_holds_copy(target, block)) {
+    return false;
+  }
+  return fault_fires(site);
 }
 
 // ---------------------------------------------------------------------------
@@ -167,17 +183,16 @@ bool CoherenceSystem::invalidate_cluster(NodeId target, BlockAddr block) {
 
 CoherenceSystem::TargetOutcome CoherenceSystem::send_invalidations(
     const std::vector<NodeId>& targets, NodeId home, NodeId ack_sink,
-    BlockAddr block) {
+    BlockAddr block, HopKind inval_kind, HopKind ack_kind, FanoutCause cause,
+    int dep) {
   TargetOutcome outcome;
+  const int fo = txn_.open_fanout(cause, dep);
   for (NodeId t : targets) {
     bool had_copy;
-    if (check::compiled() &&
-        config_.fault.kind == check::FaultKind::kSkipInvalidation &&
-        cluster_holds_copy(t, block) &&
-        fault_fires(check::FaultKind::kSkipInvalidation)) {
+    if (fault_drops_hop(inval_kind, t, block)) {
       // Seeded fault: the invalidation message is "lost in the network".
-      // The message itself and its ack are still counted below (they were
-      // sent; the loss is silent), but the target keeps its copy.
+      // The hop and its ack are still recorded below (they were sent; the
+      // loss is silent), but the target keeps its copy.
       had_copy = true;
     } else {
       had_copy = invalidate_cluster(t, block);
@@ -185,30 +200,30 @@ CoherenceSystem::TargetOutcome CoherenceSystem::send_invalidations(
     if (!had_copy) {
       ++stats_.extraneous_invalidations;
     }
-    // The home invalidates its own cluster over the bus (no network
-    // message); every other target costs one invalidation message and one
-    // acknowledgement back to the sink.
+    // The home invalidates its own cluster over the bus (a src == dst hop,
+    // free on the network); every other target costs one invalidation
+    // message and one acknowledgement back to the sink.
+    const int iv = txn_.add_hop(inval_kind, home, t, dep, fo);
     if (t != home) {
-      count_msg(MsgClass::kInvalidation, home, t);
+      ++txn_.fanouts[static_cast<std::size_t>(fo)].network_invalidations;
       ++outcome.network_invalidations;
     }
     if (t != ack_sink) {
-      count_msg(MsgClass::kAck, t, ack_sink);
+      txn_.add_hop(ack_kind, t, ack_sink, iv, fo);
+      ++txn_.fanouts[static_cast<std::size_t>(fo)].network_acks;
       ++outcome.network_acks;
     }
   }
-  if (obs_on(obs::EvClass::kInval) && outcome.network_invalidations > 0) {
-    recorder_->record_home(
-        home, {obs_now_, 0, block,
-               static_cast<std::uint64_t>(outcome.network_invalidations),
-               obs::EvType::kInvalFanout});
+  if (outcome.network_invalidations > 0) {
+    txn_.note(static_cast<std::uint8_t>(obs::EvType::kInvalFanout), block,
+              static_cast<std::uint64_t>(outcome.network_invalidations));
   }
   return outcome;
 }
 
-Cycle CoherenceSystem::reclaim_victim(NodeId home, const VictimEntry& victim) {
+void CoherenceSystem::reclaim_victim(NodeId home, const VictimEntry& victim,
+                                     int dep) {
   ++stats_.sparse_replacements;
-  Cycle cost = 0;
   bool collected = false;
   for (int sub = 0; sub < config_.blocks_per_group; ++sub) {
     const BlockAddr block = block_at(victim.block, sub);
@@ -222,21 +237,25 @@ Cycle CoherenceSystem::reclaim_victim(NodeId home, const VictimEntry& victim) {
                                    target_scratch_);
           collected = true;
         }
-        // Acks for replacement invalidations return to the home's RAC.
-        const auto outcome =
-            send_invalidations(target_scratch_, home, home, block);
+        // Acks for replacement invalidations return to the home's RAC. The
+        // fan-out keeps the home busy streaming out invalidations before
+        // it can service the displacing request (the analytic backend
+        // charges per_invalidation per network invalidation).
+        const auto outcome = send_invalidations(
+            target_scratch_, home, home, block, HopKind::kReclaimInval,
+            HopKind::kReclaimAck, FanoutCause::kSparseReclaim, dep);
         stats_.sparse_replacement_invals +=
             static_cast<std::uint64_t>(outcome.network_invalidations);
-        // The home directory is busy streaming out the victim's
-        // invalidations before it can service the displacing request.
-        cost += config_.latency.per_invalidation *
-                static_cast<Cycle>(outcome.network_invalidations);
         break;
       }
       case DirState::kDirty: {
-        // Pull the dirty copy back to memory, then kill it.
+        // Pull the dirty copy back to memory, then kill it. The fetch and
+        // the flush are a full remote round trip even when the owner is
+        // the home cluster itself (the memory access still happens; only
+        // the mesh crossing is free).
         const NodeId owner = victim.entry.owner_of(sub);
-        count_msg(MsgClass::kRequest, home, owner);
+        const int fetch = txn_.add_hop(HopKind::kVictimFetch, home, owner,
+                                       dep);
         bool found_dirty = false;
         const int first = owner * config_.procs_per_cluster;
         for (int q = first; q < first + config_.procs_per_cluster; ++q) {
@@ -247,21 +266,18 @@ Cycle CoherenceSystem::reclaim_victim(NodeId home, const VictimEntry& victim) {
             // memory — the copy dies but memory keeps the stale version
             // (every dirty victim has versions ahead of memory, so this
             // opportunity always corrupts).
-            if (!fault_fires(check::FaultKind::kDropVictimWriteback)) {
+            if (!fault_drops_hop(HopKind::kVictimWriteback, owner, block)) {
               set_memory_version(block, result.version);
             }
           }
         }
         ensure(found_dirty, "dirty sparse victim had no cached copy");
-        count_msg(MsgClass::kWriteback, owner, home);
+        txn_.add_hop(HopKind::kVictimWriteback, owner, home, fetch);
         ++stats_.sparse_replacement_invals;
-        // Fetching the dirty data back is a full remote round trip.
-        cost += config_.latency.remote_2cluster;
         break;
       }
     }
   }
-  return cost;
 }
 
 void CoherenceSystem::reset_union_if_sole(DirEntry& entry, int sub) {
@@ -273,24 +289,24 @@ void CoherenceSystem::reset_union_if_sole(DirEntry& entry, int sub) {
 int CoherenceSystem::add_sharer_handling_displacement(DirEntry& entry,
                                                       BlockAddr key,
                                                       NodeId node,
-                                                      NodeId home) {
+                                                      NodeId home, int dep) {
   if (check::compiled() &&
       config_.fault.kind == check::FaultKind::kForgetSharer &&
       !format_->maybe_sharer(entry.sharers, node) &&
       fault_fires(check::FaultKind::kForgetSharer)) {
     // Seeded fault: the directory drops the sharer bit/pointer for `node`
     // (only fired when the representation does not already cover it, so the
-    // drop is guaranteed to leave an untracked copy).
+    // drop is guaranteed to leave an untracked copy). A directory-state
+    // fault, not a message loss — it stays keyed to this site, not a hop.
     return 0;
   }
   const bool was_precise = !entry.sharers.overflowed;
   const NodeId displaced = format_->add_sharer(entry.sharers, node);
-  if (obs_on(obs::EvClass::kOverflow) && was_precise &&
-      entry.sharers.overflowed) {
+  if (was_precise && entry.sharers.overflowed) {
     // The entry left precise pointer mode (broadcast bit, composite
     // pointer, or coarse-vector reinterpretation, depending on scheme).
-    recorder_->record_home(home, {obs_now_, 0, key, node,
-                                  obs::EvType::kPtrOverflow});
+    txn_.note(static_cast<std::uint8_t>(obs::EvType::kPtrOverflow), key,
+              node);
   }
   if (displaced == kNoNode || displaced == node) {
     return 0;
@@ -300,6 +316,7 @@ int CoherenceSystem::add_sharer_handling_displacement(DirEntry& entry,
   // read-caused invalidations of Fig. 4. The shared field covers every
   // Shared sub-block of a grouped entry, so all of them must go.
   ++stats_.nb_read_displacements;
+  const int fo = txn_.open_fanout(FanoutCause::kPointerDisplacement, dep);
   int net_invals = 0;
   for (int s = 0; s < config_.blocks_per_group; ++s) {
     if (entry.state_of(s) != DirState::kShared) {
@@ -309,17 +326,19 @@ int CoherenceSystem::add_sharer_handling_displacement(DirEntry& entry,
     if (!had_copy) {
       ++stats_.extraneous_invalidations;
     }
+    const int iv =
+        txn_.add_hop(HopKind::kDisplacementInval, home, displaced, dep, fo);
     if (displaced != home) {
-      count_msg(MsgClass::kInvalidation, home, displaced);
+      ++txn_.fanouts[static_cast<std::size_t>(fo)].network_invalidations;
       ++net_invals;
+      ++txn_.fanouts[static_cast<std::size_t>(fo)].network_acks;
     }
-    count_msg(MsgClass::kAck, displaced, home);
+    txn_.add_hop(HopKind::kAck, displaced, home, iv, fo);
   }
   stats_.inval_distribution.add(static_cast<std::uint64_t>(net_invals));
-  if (obs_on(obs::EvClass::kInval) && net_invals > 0) {
-    recorder_->record_home(home, {obs_now_, 0, key,
-                                  static_cast<std::uint64_t>(net_invals),
-                                  obs::EvType::kInvalFanout});
+  if (net_invals > 0) {
+    txn_.note(static_cast<std::uint8_t>(obs::EvType::kInvalFanout), key,
+              static_cast<std::uint64_t>(net_invals));
   }
   return net_invals;
 }
@@ -356,7 +375,7 @@ void CoherenceSystem::handle_eviction(ProcId proc, const EvictedLine& evicted) {
     }
     const NodeId h = home_of(evicted.block);
     ++stats_.replacement_hints_sent;
-    count_msg(MsgClass::kRequest, c, h);
+    txn_.add_hop(HopKind::kReplacementHint, c, h);
     DirEntry* entry = directories_[h]->find(key);
     if (entry != nullptr &&
         entry->state_of(sub_of(evicted.block)) == DirState::kShared) {
@@ -375,7 +394,7 @@ void CoherenceSystem::handle_eviction(ProcId proc, const EvictedLine& evicted) {
   const NodeId h = home_of(evicted.block);
   const BlockAddr key = group_key(evicted.block);
   const int sub = sub_of(evicted.block);
-  count_msg(MsgClass::kWriteback, c, h);
+  txn_.add_hop(HopKind::kEvictionWriteback, c, h);
   set_memory_version(evicted.block, evicted.version);
   DirEntry* entry = directories_[h]->find(key);
   ensure(entry != nullptr, "writeback found no directory entry");
@@ -413,8 +432,8 @@ void CoherenceSystem::scrub_cluster_siblings(ProcId writer, BlockAddr block) {
 // Intra-cluster snooping
 // ---------------------------------------------------------------------------
 
-bool CoherenceSystem::snoop_service(ProcId proc, BlockAddr block, bool is_write,
-                                    Cycle& latency) {
+bool CoherenceSystem::snoop_service(ProcId proc, BlockAddr block,
+                                    bool is_write) {
   if (config_.procs_per_cluster == 1) {
     return false;
   }
@@ -448,7 +467,7 @@ bool CoherenceSystem::snoop_service(ProcId proc, BlockAddr block, bool is_write,
       // remote read is not forwarded to a cluster with no dirty copy.
       const std::uint32_t version = caches_[holder].downgrade(block);
       ++stats_.sharing_writebacks;
-      count_msg(MsgClass::kWriteback, c, h);
+      const int wb = txn_.add_hop(HopKind::kSharingWriteback, c, h);
       set_memory_version(block, version);
       DirEntry* entry = directories_[h]->find(group_key(block));
       const int sub = sub_of(block);
@@ -458,7 +477,7 @@ bool CoherenceSystem::snoop_service(ProcId proc, BlockAddr block, bool is_write,
       entry->owner_of(sub) = kNoNode;
       reset_union_if_sole(*entry, sub);
       entry->state_of(sub) = DirState::kShared;
-      add_sharer_handling_displacement(*entry, group_key(block), c, h);
+      add_sharer_handling_displacement(*entry, group_key(block), c, h, wb);
       fill_cache(proc, block, LineState::kShared, version);
       fill_l1(proc, block, version);
       check_version(block, version);
@@ -468,8 +487,6 @@ bool CoherenceSystem::snoop_service(ProcId proc, BlockAddr block, bool is_write,
       fill_l1(proc, block, caches_[holder].version_of(block));
       check_version(block, caches_[holder].version_of(block));
     }
-    latency = config_.latency.local_access;
-    ++stats_.local_transactions;
     return true;
   }
   // Write: only a dirty sibling lets us skip the directory — ownership
@@ -485,41 +502,60 @@ bool CoherenceSystem::snoop_service(ProcId proc, BlockAddr block, bool is_write,
   if (!l1_.empty()) {
     l1_[proc].refresh(block, version);
   }
-  latency = config_.latency.local_access;
-  ++stats_.local_transactions;
   return true;
 }
 
 // ---------------------------------------------------------------------------
-// Latency bookkeeping
+// Transaction commit: every consumer derives its view from the IR here
 // ---------------------------------------------------------------------------
 
-Cycle CoherenceSystem::finish_transaction(NodeId c, NodeId h, NodeId o,
-                                          bool had_invals) {
-  int distinct = 1;
-  int hops = 0;
-  if (o == kNoNode) {
-    if (c != h) {
-      distinct = 2;
-      hops = 2 * mesh_.hops(c, h);
+void CoherenceSystem::flush_obs() {
+  if (!obs::compiled() || recorder_ == nullptr) {
+    return;
+  }
+  // Deferred protocol events first (in the order the protocol queued
+  // them), then the per-hop spans. Store-level events (sparse victim
+  // selection) were recorded live and carry earlier sequence numbers, so
+  // the exported order matches the protocol's internal order.
+  for (const ObsNote& note : txn_.notes) {
+    const auto type = static_cast<obs::EvType>(note.type);
+    if (recorder_->wants(obs::ev_class_of(type))) {
+      recorder_->record_home(txn_.home, {obs_now_, 0, note.a0, note.a1,
+                                         type});
     }
-  } else {
-    // Count distinct clusters among {c, h, o}.
-    distinct = 1 + (h != c ? 1 : 0) + (o != c && o != h ? 1 : 0);
-    hops = mesh_.hops(c, h) + mesh_.hops(h, o) + mesh_.hops(o, c);
   }
-  if (distinct == 1) {
+  if (recorder_->wants(obs::EvClass::kMsg)) {
+    for (const Hop& hop : txn_.hops) {
+      if (hop.src == hop.dst) {
+        continue;  // bus work, not a network message
+      }
+      recorder_->record_home(
+          txn_.home,
+          {obs_now_, 0,
+           static_cast<std::uint64_t>(hop.src) * 65536u + hop.dst,
+           static_cast<std::uint64_t>(hop.kind), obs::EvType::kHop});
+    }
+  }
+}
+
+Cycle CoherenceSystem::commit(Cycle now) {
+  ensure(txn_.active(), "commit without a transaction in flight");
+  txn_.fold(stats_.messages);
+  if (txn_.kind == TxnKind::kLocal) {
     ++stats_.local_transactions;
-  } else if (distinct == 2) {
-    ++stats_.remote2_transactions;
   } else {
-    ++stats_.remote3_transactions;
+    const TransactionRoute route =
+        transaction_route(mesh_, txn_.requester, txn_.home, txn_.owner);
+    if (route.distinct_clusters == 1) {
+      ++stats_.local_transactions;
+    } else if (route.distinct_clusters == 2) {
+      ++stats_.remote2_transactions;
+    } else {
+      ++stats_.remote3_transactions;
+    }
   }
-  Cycle latency = config_.latency.transaction(distinct, hops);
-  if (had_invals) {
-    latency += config_.latency.invalidation_round;
-  }
-  return latency;
+  flush_obs();
+  return backend_->transaction_latency(txn_, now, stats_);
 }
 
 // ---------------------------------------------------------------------------
@@ -532,16 +568,17 @@ Cycle CoherenceSystem::access(ProcId proc, BlockAddr block, bool is_write,
     obs_now_ = now;  // protocol-side events carry the access's issue time
   }
   if (!config_.model_contention) {
-    return access_internal(proc, block, is_write);
+    return access_internal(proc, block, is_write, now);
   }
-  // Contention model: a directory transaction occupies the home controller
-  // for a base time plus a share per message it emits; requests arriving
-  // while it is busy queue behind it. Cache hits and intra-cluster snoop
-  // service bypass the directory and never queue.
+  // Legacy contention model (kept for comparison; the queued backend is
+  // the message-level version): a directory transaction occupies the home
+  // controller for a base time plus a share per message it emits; requests
+  // arriving while it is busy queue behind it. Cache hits and
+  // intra-cluster snoop service bypass the directory and never queue.
   const std::uint64_t txns_before =
       stats_.read_transactions + stats_.write_transactions;
   const std::uint64_t msgs_before = stats_.messages.total();
-  const Cycle base = access_internal(proc, block, is_write);
+  const Cycle base = access_internal(proc, block, is_write, now);
   if (stats_.read_transactions + stats_.write_transactions == txns_before) {
     return base;
   }
@@ -559,10 +596,11 @@ Cycle CoherenceSystem::access(ProcId proc, BlockAddr block, bool is_write,
 }
 
 Cycle CoherenceSystem::access_internal(ProcId proc, BlockAddr block,
-                                       bool is_write) {
+                                       bool is_write, Cycle now) {
   ensure(proc < static_cast<ProcId>(config_.num_procs),
          "processor id out of range");
   ++stats_.accesses;
+  txn_.reset();  // hits leave it empty (TxnKind::kNone)
   Cache& cache = caches_[proc];
   const NodeId c = cluster_of(proc);
   const NodeId h = home_of(block);
@@ -601,15 +639,22 @@ Cycle CoherenceSystem::access_internal(ProcId proc, BlockAddr block,
     }
   }
 
-  // Miss (or upgrade): try the intra-cluster bus first.
-  Cycle snoop_latency = 0;
+  // Miss (or upgrade): try the intra-cluster bus first. The transaction IR
+  // starts here — bus-served accesses commit as TxnKind::kLocal (their
+  // eviction/writeback/displacement hops still land in the IR).
+  txn_.kind = TxnKind::kLocal;
+  txn_.is_write = is_write;
+  txn_.requester = c;
+  txn_.home = h;
+  txn_.block = block;
   if (cache.probe(block) == LineState::kInvalid &&
-      snoop_service(proc, block, is_write, snoop_latency)) {
-    return snoop_latency;
+      snoop_service(proc, block, is_write)) {
+    return commit(now);
   }
 
   // Directory transaction at the home cluster.
-  count_msg(MsgClass::kRequest, c, h);
+  txn_.kind = TxnKind::kDirectory;
+  const int req = txn_.add_hop(HopKind::kRequest, c, h);
   const BlockAddr key = group_key(block);
   const int sub = sub_of(block);
   if (obs::compiled() && recorder_ != nullptr) {
@@ -618,7 +663,9 @@ Cycle CoherenceSystem::access_internal(ProcId proc, BlockAddr block,
   std::optional<VictimEntry> victim;
   DirEntry* entry = directories_[h]->find_or_alloc(key, victim);
   // Sparse-directory replacement work delays the transaction that forced it.
-  const Cycle reclaim_cost = victim ? reclaim_victim(h, *victim) : 0;
+  if (victim) {
+    reclaim_victim(h, *victim, req);
+  }
 
   if (!is_write) {
     ++stats_.read_transactions;
@@ -627,31 +674,35 @@ Cycle CoherenceSystem::access_internal(ProcId proc, BlockAddr block,
         reset_union_if_sole(*entry, sub);
         entry->state_of(sub) = DirState::kShared;
         const int uncached_invals =
-            add_sharer_handling_displacement(*entry, key, c, h);
+            add_sharer_handling_displacement(*entry, key, c, h, req);
         const std::uint32_t version = memory_version(block);
-        count_msg(MsgClass::kReply, h, c);
+        txn_.add_hop(HopKind::kReply, h, c, req);
         fill_cache(proc, block, LineState::kShared, version);
         fill_l1(proc, block, version);
         check_version(block, version);
-        return reclaim_cost +
-               finish_transaction(c, h, kNoNode, uncached_invals > 0);
+        // A displacement stalls the reply until the displaced copy's ack
+        // is in (the entry must be precise before it grows a new sharer).
+        txn_.ack_round = uncached_invals > 0;
+        return commit(now);
       }
       case DirState::kShared: {
         const bool displaced_inval =
-            add_sharer_handling_displacement(*entry, key, c, h) > 0;
+            add_sharer_handling_displacement(*entry, key, c, h, req) > 0;
         const std::uint32_t version = memory_version(block);
-        count_msg(MsgClass::kReply, h, c);
+        txn_.add_hop(HopKind::kReply, h, c, req);
         fill_cache(proc, block, LineState::kShared, version);
         fill_l1(proc, block, version);
         check_version(block, version);
-        return reclaim_cost + finish_transaction(c, h, kNoNode, displaced_inval);
+        txn_.ack_round = displaced_inval;
+        return commit(now);
       }
       case DirState::kDirty: {
         const NodeId o = entry->owner_of(sub);
         ensure(o != c, "dirty-at-requester read miss must be snoop-served");
         // Forward to the owner; the owner replies to the requester and
         // sends a sharing writeback to the home.
-        count_msg(MsgClass::kRequest, h, o);
+        txn_.owner = o;
+        const int fwd = txn_.add_hop(HopKind::kForward, h, o, req);
         std::uint32_t version = 0;
         bool found = false;
         const int first = o * config_.procs_per_cluster;
@@ -665,18 +716,20 @@ Cycle CoherenceSystem::access_internal(ProcId proc, BlockAddr block,
         }
         ensure(found, "directory owner held no dirty copy");
         ++stats_.sharing_writebacks;
-        count_msg(MsgClass::kWriteback, o, h);
+        const int wb = txn_.add_hop(HopKind::kSharingWriteback, o, h, fwd);
         set_memory_version(block, version);
-        count_msg(MsgClass::kReply, o, c);
+        txn_.add_hop(HopKind::kReply, o, c, fwd);
         entry->owner_of(sub) = kNoNode;
         reset_union_if_sole(*entry, sub);
         entry->state_of(sub) = DirState::kShared;
-        add_sharer_handling_displacement(*entry, key, o, h);
-        add_sharer_handling_displacement(*entry, key, c, h);
+        // Displacements here are fire-and-forget: the 3-party reply does
+        // not wait on them, so ack_round stays false.
+        add_sharer_handling_displacement(*entry, key, o, h, wb);
+        add_sharer_handling_displacement(*entry, key, c, h, wb);
         fill_cache(proc, block, LineState::kShared, version);
         fill_l1(proc, block, version);
         check_version(block, version);
-        return reclaim_cost + finish_transaction(c, h, o, false);
+        return commit(now);
       }
     }
     ensure(false, "unreachable read state");
@@ -689,7 +742,7 @@ Cycle CoherenceSystem::access_internal(ProcId proc, BlockAddr block,
       entry->state_of(sub) = DirState::kDirty;
       entry->owner_of(sub) = c;
       reset_union_if_sole(*entry, sub);
-      count_msg(MsgClass::kReply, h, c);
+      txn_.add_hop(HopKind::kReply, h, c, req);
       stats_.inval_distribution.add(0);
       const std::uint32_t version = bump_latest(block);
       scrub_cluster_siblings(proc, block);
@@ -697,18 +750,20 @@ Cycle CoherenceSystem::access_internal(ProcId proc, BlockAddr block,
       if (!l1_.empty()) {
         l1_[proc].refresh(block, version);
       }
-      return reclaim_cost + finish_transaction(c, h, kNoNode, false);
+      return commit(now);
     }
     case DirState::kShared: {
       target_scratch_.clear();
       format_->collect_targets(entry->sharers, c, target_scratch_);
-      const auto outcome = send_invalidations(target_scratch_, h, c, block);
+      const auto outcome = send_invalidations(
+          target_scratch_, h, c, block, HopKind::kInval, HopKind::kAck,
+          FanoutCause::kWriteShared, req);
       stats_.inval_distribution.add(
           static_cast<std::uint64_t>(outcome.network_invalidations));
       entry->state_of(sub) = DirState::kDirty;
       entry->owner_of(sub) = c;
       reset_union_if_sole(*entry, sub);
-      count_msg(MsgClass::kReply, h, c);  // ownership (+ data on a miss)
+      txn_.add_hop(HopKind::kReply, h, c, req);  // ownership (+ data on miss)
       const std::uint32_t version = bump_latest(block);
       scrub_cluster_siblings(proc, block);
       if (cache.probe(block) == LineState::kShared) {
@@ -721,11 +776,8 @@ Cycle CoherenceSystem::access_internal(ProcId proc, BlockAddr block,
       }
       // The write completes when every ack has arrived; wide target sets
       // keep the writer (and the directory) busy longer.
-      return reclaim_cost +
-             config_.latency.per_invalidation *
-                 static_cast<Cycle>(outcome.network_invalidations) +
-             finish_transaction(c, h, kNoNode,
-                                outcome.network_invalidations > 0);
+      txn_.ack_round = outcome.network_invalidations > 0;
+      return commit(now);
     }
     case DirState::kDirty: {
       const NodeId o = entry->owner_of(sub);
@@ -734,11 +786,12 @@ Cycle CoherenceSystem::access_internal(ProcId proc, BlockAddr block,
       // Forward; the owner hands the (modified) data straight to the new
       // owner and confirms the transfer to the home. This is not an
       // invalidation event (Section 6.1).
-      count_msg(MsgClass::kRequest, h, o);
+      txn_.owner = o;
+      const int fwd = txn_.add_hop(HopKind::kForward, h, o, req);
       const bool had = invalidate_cluster(o, block);
       ensure(had, "directory owner held no copy on transfer");
-      count_msg(MsgClass::kReply, o, c);
-      count_msg(MsgClass::kAck, o, h);
+      txn_.add_hop(HopKind::kReply, o, c, fwd);
+      txn_.add_hop(HopKind::kTransferAck, o, h, fwd);
       entry->owner_of(sub) = c;
       const std::uint32_t version = bump_latest(block);
       scrub_cluster_siblings(proc, block);
@@ -746,7 +799,7 @@ Cycle CoherenceSystem::access_internal(ProcId proc, BlockAddr block,
       if (!l1_.empty()) {
         l1_[proc].refresh(block, version);
       }
-      return reclaim_cost + finish_transaction(c, h, o, false);
+      return commit(now);
     }
   }
   ensure(false, "unreachable write state");

@@ -40,7 +40,9 @@
 #include "network/mesh.hpp"
 #include "network/message.hpp"
 #include "obs/trace_recorder.hpp"
+#include "protocol/latency_backend.hpp"
 #include "protocol/memory_system.hpp"
+#include "protocol/transaction.hpp"
 
 namespace dircc {
 
@@ -82,6 +84,12 @@ struct SystemConfig {
   /// contention-free, and Section 6.2 notes real machines would amplify
   /// the message-count differences; this switch quantifies that remark.
   bool model_contention = false;
+  /// Latency backend interpreting each access's Transaction IR. The
+  /// default analytic backend reproduces the paper's closed-form numbers
+  /// byte-for-byte; the queued backend adds mesh-link and home-controller
+  /// FIFO occupancy (knobs in `queued`).
+  BackendKind backend = BackendKind::kAnalytic;
+  QueuedLatencyConfig queued;
   /// Seeded protocol mutation for checker validation (src/check). Inert
   /// (kNone) in all normal runs; every fault site compiles away at
   /// DIRCC_CHECK=0.
@@ -111,6 +119,8 @@ struct ProtocolStats {
   std::uint64_t remote2_transactions = 0;
   std::uint64_t remote3_transactions = 0;
   Cycle contention_wait_cycles = 0;  ///< queueing at busy home directories
+  Cycle link_wait_cycles = 0;  ///< queued backend: mesh-channel FIFO waits
+  Cycle home_wait_cycles = 0;  ///< queued backend: home-controller FIFO waits
 };
 
 /// The simulated machine.
@@ -181,6 +191,13 @@ class CoherenceSystem final : public MemorySystem {
   /// Seeded-fault firings so far (0 unless `config.fault` is set).
   std::uint64_t faults_injected() const { return faults_injected_; }
 
+  /// IR of the most recently committed transaction (empty — TxnKind::kNone
+  /// — when the last access was a cache hit). Tests and tools inspect this
+  /// to assert exact hop sequences.
+  const Transaction& last_transaction() const { return txn_; }
+  /// The latency backend interpreting the IR ("analytic" or "queued").
+  const LatencyBackend& backend() const { return *backend_; }
+
   // --- mutable access for oracle unit tests ONLY (tests/test_check.cpp
   // corrupts live state through these to prove the checker notices) ---
   Cache& cache_for_test(ProcId proc) { return caches_[proc]; }
@@ -217,16 +234,19 @@ class CoherenceSystem final : public MemorySystem {
   // held a copy.
   bool invalidate_cluster(NodeId target, BlockAddr block);
 
-  // Sends invalidations for `targets`, acks routed to `ack_sink`.
-  // Counts messages and extraneous invalidations; returns network totals.
+  // Sends invalidations for `targets`, acks routed to `ack_sink`, recording
+  // one `inval_kind`/`ack_kind` hop pair per target under a new Fanout of
+  // `cause` depending on hop `dep`. Returns network totals.
   TargetOutcome send_invalidations(const std::vector<NodeId>& targets,
                                    NodeId home, NodeId ack_sink,
-                                   BlockAddr block);
+                                   BlockAddr block, HopKind inval_kind,
+                                   HopKind ack_kind, FanoutCause cause,
+                                   int dep);
 
   // Reclaims a displaced sparse-directory entry (Section 4.2 / Section 7:
-  // the RAC collects the acks). Returns the directory-occupancy cycles the
-  // reclamation adds to the transaction that triggered it.
-  Cycle reclaim_victim(NodeId home, const VictimEntry& victim);
+  // the RAC collects the acks), recording the reclamation's hops as part
+  // of the transaction that forced it (causally after hop `dep`).
+  void reclaim_victim(NodeId home, const VictimEntry& victim, int dep);
 
   // Handles a dirty line displaced from `proc`'s cache by a fill.
   void handle_eviction(ProcId proc, const EvictedLine& evicted);
@@ -239,9 +259,9 @@ class CoherenceSystem final : public MemorySystem {
   void scrub_cluster_siblings(ProcId writer, BlockAddr block);
 
   // Intra-cluster snoop service for a miss; returns true when satisfied
-  // locally without a directory transaction.
-  bool snoop_service(ProcId proc, BlockAddr block, bool is_write,
-                     Cycle& latency);
+  // locally without a directory transaction (the in-flight transaction is
+  // then TxnKind::kLocal).
+  bool snoop_service(ProcId proc, BlockAddr block, bool is_write);
 
   // Resets the group's shared sharer field unless another sub-block still
   // relies on it.
@@ -250,18 +270,23 @@ class CoherenceSystem final : public MemorySystem {
   // Adds `node` to the entry's sharer field, handling a Dir_iNB pointer
   // displacement: the displaced cluster is invalidated for every Shared
   // sub-block the field covers (grouped entries share one field, so a
-  // displacement can be triggered by any member). Returns the number of
-  // network invalidations sent (0 when nothing was displaced).
+  // displacement can be triggered by any member). Displacement hops depend
+  // on `dep`. Returns the number of network invalidations sent (0 when
+  // nothing was displaced).
   int add_sharer_handling_displacement(DirEntry& entry, BlockAddr key,
-                                       NodeId node, NodeId home);
+                                       NodeId node, NodeId home, int dep);
 
-  // Latency bookkeeping.
-  Cycle finish_transaction(NodeId c, NodeId h, NodeId o, bool had_invals);
+  // Commits the in-flight transaction: folds its hops into the message
+  // counters, classifies it (local/2-cluster/3-cluster), flushes deferred
+  // trace events and asks the latency backend for its cost.
+  Cycle commit(Cycle now);
+
+  // Emits the transaction's deferred protocol events and per-hop spans.
+  void flush_obs();
 
   // The contention-free protocol body (all side effects and base latency).
-  Cycle access_internal(ProcId proc, BlockAddr block, bool is_write);
-
-  void count_msg(MsgClass cls, NodeId from, NodeId to);
+  Cycle access_internal(ProcId proc, BlockAddr block, bool is_write,
+                        Cycle now);
 
   std::uint32_t memory_version(BlockAddr block) const;
   void set_memory_version(BlockAddr block, std::uint32_t version);
@@ -273,6 +298,12 @@ class CoherenceSystem final : public MemorySystem {
   // pre-checks that skipping the action would actually corrupt state).
   // Constant-folds to false at DIRCC_CHECK=0.
   bool fault_fires(check::FaultKind kind);
+
+  // Message-loss fault hook, keyed to the hop kind being recorded: true
+  // when the message of this hop is "lost in the network" (the hop is
+  // still recorded and counted — the loss is silent). Constant-folds to
+  // false at DIRCC_CHECK=0.
+  bool fault_drops_hop(HopKind kind, NodeId target, BlockAddr block);
 
   // True when any cache inside cluster `target` holds `block` (read-only
   // probe used to decide whether a fault opportunity is corrupting).
@@ -289,6 +320,9 @@ class CoherenceSystem final : public MemorySystem {
   std::unordered_map<BlockAddr, std::uint32_t> memory_;
   std::vector<Cycle> home_busy_until_;
   ProtocolStats stats_;
+  /// IR of the access in flight (reused across accesses; see commit()).
+  Transaction txn_;
+  std::unique_ptr<LatencyBackend> backend_;
   std::vector<NodeId> target_scratch_;
   obs::TraceRecorder* recorder_ = nullptr;
   /// Issue time of the access in flight; timestamps protocol-side events.

@@ -1,0 +1,141 @@
+#include "protocol/transaction.hpp"
+
+#include <sstream>
+
+#include "check/api.hpp"
+
+namespace dircc {
+
+const char* hop_kind_name(HopKind kind) {
+  switch (kind) {
+    case HopKind::kRequest:
+      return "request";
+    case HopKind::kForward:
+      return "forward";
+    case HopKind::kReply:
+      return "reply";
+    case HopKind::kInval:
+      return "inval";
+    case HopKind::kDisplacementInval:
+      return "displacement-inval";
+    case HopKind::kReclaimInval:
+      return "reclaim-inval";
+    case HopKind::kAck:
+      return "ack";
+    case HopKind::kReclaimAck:
+      return "reclaim-ack";
+    case HopKind::kTransferAck:
+      return "transfer-ack";
+    case HopKind::kSharingWriteback:
+      return "sharing-wb";
+    case HopKind::kVictimFetch:
+      return "victim-fetch";
+    case HopKind::kVictimWriteback:
+      return "victim-wb";
+    case HopKind::kEvictionWriteback:
+      return "eviction-wb";
+    case HopKind::kReplacementHint:
+      return "replacement-hint";
+  }
+  return "?";
+}
+
+MsgClass hop_msg_class(HopKind kind) {
+  switch (kind) {
+    case HopKind::kRequest:
+    case HopKind::kForward:
+    case HopKind::kVictimFetch:
+    case HopKind::kReplacementHint:
+      return MsgClass::kRequest;
+    case HopKind::kReply:
+      return MsgClass::kReply;
+    case HopKind::kInval:
+    case HopKind::kDisplacementInval:
+    case HopKind::kReclaimInval:
+      return MsgClass::kInvalidation;
+    case HopKind::kAck:
+    case HopKind::kReclaimAck:
+    case HopKind::kTransferAck:
+      return MsgClass::kAck;
+    case HopKind::kSharingWriteback:
+    case HopKind::kVictimWriteback:
+    case HopKind::kEvictionWriteback:
+      return MsgClass::kWriteback;
+  }
+  return MsgClass::kRequest;
+}
+
+check::FaultKind hop_fault_site(HopKind kind) {
+  switch (kind) {
+    // Dir_iNB displacement invalidations are generated and consumed inside
+    // the home's sharer-field update, so they are not exposed to the
+    // message-loss fault (matching the pre-IR fault sites exactly —
+    // opportunity counting is part of the deterministic replay contract).
+    case HopKind::kInval:
+    case HopKind::kReclaimInval:
+      return check::FaultKind::kSkipInvalidation;
+    case HopKind::kVictimWriteback:
+      return check::FaultKind::kDropVictimWriteback;
+    default:
+      return check::FaultKind::kNone;
+  }
+}
+
+const char* fanout_cause_name(FanoutCause cause) {
+  switch (cause) {
+    case FanoutCause::kWriteShared:
+      return "write-shared";
+    case FanoutCause::kPointerDisplacement:
+      return "ptr-displacement";
+    case FanoutCause::kSparseReclaim:
+      return "sparse-reclaim";
+  }
+  return "?";
+}
+
+namespace {
+const char* txn_kind_name(TxnKind kind) {
+  switch (kind) {
+    case TxnKind::kNone:
+      return "none";
+    case TxnKind::kLocal:
+      return "local";
+    case TxnKind::kDirectory:
+      return "directory";
+  }
+  return "?";
+}
+}  // namespace
+
+std::string format_transaction(const Transaction& txn) {
+  std::ostringstream out;
+  out << txn_kind_name(txn.kind) << ' ' << (txn.is_write ? "write" : "read")
+      << " c=" << txn.requester << " h=" << txn.home;
+  if (txn.owner != kNoNode) {
+    out << " o=" << txn.owner;
+  }
+  if (txn.ack_round) {
+    out << " ack-round";
+  }
+  out << '\n';
+  for (std::size_t i = 0; i < txn.hops.size(); ++i) {
+    const Hop& hop = txn.hops[i];
+    out << "  " << i << ": " << hop_kind_name(hop.kind) << ' ' << hop.src
+        << "->" << hop.dst;
+    if (hop.src == hop.dst) {
+      out << " (bus)";
+    }
+    if (hop.dep >= 0) {
+      out << " dep=" << hop.dep;
+    }
+    if (hop.fanout >= 0) {
+      out << " fanout=" << hop.fanout << '('
+          << fanout_cause_name(txn.fanouts[static_cast<std::size_t>(
+                 hop.fanout)].cause) << ')';
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace dircc

@@ -1,0 +1,182 @@
+// Transaction IR: the message-level record of one coherence transaction.
+//
+// The protocol body (CoherenceSystem::access_internal) no longer talks to
+// the message counters, the trace recorder or the latency model directly.
+// Instead it *describes* each transaction as an ordered DAG of `Hop`
+// records — one per coherence message, including intra-cluster ones — and
+// every consumer derives its view from that single description:
+//
+//   * MessageCounters      <- fold() over the network hops (src != dst)
+//   * latency              <- a LatencyBackend walking the hops/fan-outs
+//   * TraceRecorder        <- per-hop spans + deferred protocol events
+//   * DIRCC_CHECK faults   <- message-loss faults keyed to hop kinds
+//
+// A Hop's `dep` is the index of the hop that causally precedes it (-1 for
+// the initial request), so backends can replay the transaction's message
+// schedule; `fanout` ties invalidation/ack hops to the Fanout episode that
+// produced them.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "network/message.hpp"
+
+namespace dircc {
+namespace check {
+enum class FaultKind : std::uint8_t;
+}  // namespace check
+
+/// What a coherence message carries — finer-grained than MsgClass so the
+/// consumers can tell (say) a sparse-victim flush from an eviction
+/// writeback, which count identically but cost differently.
+enum class HopKind : std::uint8_t {
+  kRequest,            ///< requester -> home
+  kForward,            ///< home -> dirty owner (forwarded request)
+  kReply,              ///< home/owner -> requester: data and/or ownership
+  kInval,              ///< home -> sharer (write-caused fan-out)
+  kDisplacementInval,  ///< home -> displaced cluster (Dir_iNB overflow)
+  kReclaimInval,       ///< home -> sharer of a sparse victim entry
+  kAck,                ///< invalidated cluster -> requester
+  kReclaimAck,         ///< invalidated cluster -> home RAC
+  kTransferAck,        ///< old owner -> home (ownership transfer confirm)
+  kSharingWriteback,   ///< owner -> home (demotion to Shared)
+  kVictimFetch,        ///< home -> dirty owner of a sparse victim
+  kVictimWriteback,    ///< dirty owner -> home (sparse victim flush)
+  kEvictionWriteback,  ///< cache -> home (dirty line displaced by a fill)
+  kReplacementHint,    ///< cache -> home (shared line displaced, hints on)
+};
+
+inline constexpr int kNumHopKinds = 14;
+
+const char* hop_kind_name(HopKind kind);
+
+/// The traffic class a hop is accounted under (the paper's Section 5
+/// message taxonomy).
+MsgClass hop_msg_class(HopKind kind);
+
+/// The message-loss fault (src/check) that a hop of this kind is exposed
+/// to, or FaultKind::kNone. Directory-state faults (forget-sharer) are not
+/// message losses and stay keyed to their directory call sites.
+check::FaultKind hop_fault_site(HopKind kind);
+
+/// One coherence message. `src == dst` hops are real protocol work served
+/// by the cluster bus: they never count as network traffic, but latency
+/// backends still see them (e.g. a sparse victim fetched from the home's
+/// own cluster still pays the memory round trip).
+struct Hop {
+  HopKind kind = HopKind::kRequest;
+  NodeId src = 0;
+  NodeId dst = 0;
+  std::int16_t dep = -1;     ///< index of the causally preceding hop
+  std::int16_t fanout = -1;  ///< owning Fanout episode, -1 if none
+};
+
+/// Why a burst of invalidations was sent.
+enum class FanoutCause : std::uint8_t {
+  kWriteShared,          ///< write to a Shared block (Fig. 4 write invals)
+  kPointerDisplacement,  ///< Dir_iNB pointer eviction (read-caused invals)
+  kSparseReclaim,        ///< sparse victim entry being scrubbed
+};
+
+const char* fanout_cause_name(FanoutCause cause);
+
+/// One invalidation episode: the set of inval/ack hop pairs sent for one
+/// cause, plus the network totals the latency/stats consumers need.
+struct Fanout {
+  FanoutCause cause = FanoutCause::kWriteShared;
+  std::int16_t dep = -1;         ///< hop the fan-out causally follows
+  int network_invalidations = 0; ///< invals that crossed the mesh
+  int network_acks = 0;          ///< acks that crossed the mesh
+};
+
+/// A protocol-layer trace event whose emission is deferred until the
+/// transaction commits (so the IR stays the single source of truth while
+/// the recorded order matches the protocol's internal order).
+struct ObsNote {
+  std::uint8_t type = 0;  ///< obs::EvType, widened to avoid the include
+  std::uint64_t a0 = 0;
+  std::uint64_t a1 = 0;
+};
+
+/// How an access was resolved.
+enum class TxnKind : std::uint8_t {
+  kNone,       ///< no transaction in flight (cache hit)
+  kLocal,      ///< served by the intra-cluster bus (snoop)
+  kDirectory,  ///< full directory transaction at the home
+};
+
+/// The IR for one access. Built by the protocol body, consumed at commit.
+struct Transaction {
+  TxnKind kind = TxnKind::kNone;
+  bool is_write = false;
+  /// The transaction pays an extra invalidation round before completing
+  /// (the requester waits for acks). Set explicitly by the protocol: a
+  /// 3-party forward does NOT wait on displacement invals it triggered.
+  bool ack_round = false;
+  NodeId requester = kNoNode;
+  NodeId home = kNoNode;
+  NodeId owner = kNoNode;  ///< dirty owner of a 3-party transaction
+  BlockAddr block = 0;
+  std::vector<Hop> hops;
+  std::vector<Fanout> fanouts;
+  std::vector<ObsNote> notes;
+
+  void reset() {
+    kind = TxnKind::kNone;
+    is_write = false;
+    ack_round = false;
+    requester = home = owner = kNoNode;
+    block = 0;
+    hops.clear();
+    fanouts.clear();
+    notes.clear();
+  }
+
+  bool active() const { return kind != TxnKind::kNone; }
+
+  /// Appends a hop and returns its index (usable as a later hop's `dep`).
+  int add_hop(HopKind hop_kind, NodeId src, NodeId dst, int dep = -1,
+              int fanout = -1) {
+    hops.push_back({hop_kind, src, dst, static_cast<std::int16_t>(dep),
+                    static_cast<std::int16_t>(fanout)});
+    return static_cast<int>(hops.size()) - 1;
+  }
+
+  /// Opens a fan-out episode; inval/ack hops tagged with the returned
+  /// index bump its network totals automatically.
+  int open_fanout(FanoutCause cause, int dep) {
+    fanouts.push_back({cause, static_cast<std::int16_t>(dep), 0, 0});
+    return static_cast<int>(fanouts.size()) - 1;
+  }
+
+  void note(std::uint8_t type, std::uint64_t a0, std::uint64_t a1) {
+    notes.push_back({type, a0, a1});
+  }
+
+  /// Network messages (src != dst hops).
+  int network_messages() const {
+    int n = 0;
+    for (const Hop& hop : hops) {
+      n += hop.src != hop.dst ? 1 : 0;
+    }
+    return n;
+  }
+
+  /// Folds the network hops into per-class message counters.
+  void fold(MessageCounters& counters) const {
+    for (const Hop& hop : hops) {
+      if (hop.src != hop.dst) {
+        counters.add(hop_msg_class(hop.kind));
+      }
+    }
+  }
+};
+
+/// Serializes a transaction for golden-shape tests and debugging:
+/// one header line, then one line per hop in emission order.
+std::string format_transaction(const Transaction& txn);
+
+}  // namespace dircc

@@ -75,7 +75,7 @@ struct RunResult {
   /// Data+coherence messages (protocol) plus synchronization messages.
   MessageCounters total_messages() const {
     MessageCounters total = protocol.messages;
-    total.merge(sync.messages);
+    total += sync.messages;
     return total;
   }
 };

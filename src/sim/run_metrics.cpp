@@ -53,6 +53,8 @@ void register_metrics(obs::MetricsRegistry& registry,
   registry.set("remote2_transactions", protocol.remote2_transactions);
   registry.set("remote3_transactions", protocol.remote3_transactions);
   registry.set("contention_wait_cycles", protocol.contention_wait_cycles);
+  registry.set("link_wait_cycles", protocol.link_wait_cycles);
+  registry.set("home_wait_cycles", protocol.home_wait_cycles);
   registry.set("inval_events", protocol.inval_distribution.events());
   registry.set("inval_total", protocol.inval_distribution.total());
   registry.set_gauge("inval_mean", protocol.inval_distribution.mean());

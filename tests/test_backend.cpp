@@ -1,0 +1,168 @@
+// Latency backends over the transaction IR: the analytic backend charges
+// the paper's closed-form costs, the queued backend walks the hop DAG
+// through per-link and per-home FIFOs and can only ever be slower.
+#include <gtest/gtest.h>
+
+#include "check/fuzz.hpp"
+#include "check/invariant_checker.hpp"
+#include "protocol/system.hpp"
+#include "sim/engine.hpp"
+#include "trace/generators.hpp"
+
+namespace dircc {
+namespace {
+
+SystemConfig backend_config(BackendKind backend) {
+  SystemConfig config;
+  config.num_procs = 32;
+  config.cache_lines_per_proc = 64;
+  config.cache_assoc = 4;
+  config.scheme = SchemeConfig::full(32);
+  config.backend = backend;
+  return config;
+}
+
+RunResult run_app(BackendKind backend) {
+  const ProgramTrace trace =
+      generate_app(AppKind::kLocusRoute, 32, 16, 7, 0.25);
+  SystemConfig config = backend_config(backend);
+  config.cache_lines_per_proc = 512;
+  CoherenceSystem sys(config);
+  Engine engine(sys, trace);
+  return engine.run();
+}
+
+TEST(Backend, Names) {
+  CoherenceSystem analytic(backend_config(BackendKind::kAnalytic));
+  CoherenceSystem queued(backend_config(BackendKind::kQueued));
+  EXPECT_STREQ(analytic.backend().name(), "analytic");
+  EXPECT_STREQ(queued.backend().name(), "queued");
+}
+
+TEST(Backend, AnalyticIsTheDefaultAndChargesNoQueueWaits) {
+  SystemConfig config;
+  EXPECT_EQ(config.backend, BackendKind::kAnalytic);
+  const RunResult result = run_app(BackendKind::kAnalytic);
+  EXPECT_EQ(result.protocol.link_wait_cycles, 0u);
+  EXPECT_EQ(result.protocol.home_wait_cycles, 0u);
+}
+
+TEST(Backend, QueuedNeverFasterEndToEnd) {
+  const RunResult analytic = run_app(BackendKind::kAnalytic);
+  const RunResult queued = run_app(BackendKind::kQueued);
+  EXPECT_GE(queued.exec_cycles, analytic.exec_cycles);
+  EXPECT_GT(queued.protocol.link_wait_cycles +
+                queued.protocol.home_wait_cycles,
+            0u);
+}
+
+TEST(Backend, SameAccessSequenceMovesTheSameMessages) {
+  // The backend only prices a transaction; its hop DAG — and with it
+  // every message counter — is identical under both. (End-to-end runs can
+  // differ in counts because latency feeds back into lock and barrier
+  // interleaving; a fixed access sequence removes that.)
+  CoherenceSystem analytic(backend_config(BackendKind::kAnalytic));
+  CoherenceSystem queued(backend_config(BackendKind::kQueued));
+  Cycle t = 0;
+  for (int i = 0; i < 2000; ++i) {
+    const auto proc = static_cast<ProcId>((i * 7) % 32);
+    const BlockAddr block = static_cast<BlockAddr>((i * 13) % 96);
+    const bool is_write = i % 5 == 0;
+    analytic.access(proc, block, is_write, t);
+    queued.access(proc, block, is_write, t);
+    t += 3;
+  }
+  EXPECT_EQ(queued.stats().messages.total(),
+            analytic.stats().messages.total());
+  EXPECT_EQ(queued.stats().messages.inv_plus_ack(),
+            analytic.stats().messages.inv_plus_ack());
+  EXPECT_EQ(queued.stats().messages.get(MsgClass::kWriteback),
+            analytic.stats().messages.get(MsgClass::kWriteback));
+}
+
+TEST(Backend, QueuedIsDeterministic) {
+  const RunResult first = run_app(BackendKind::kQueued);
+  const RunResult second = run_app(BackendKind::kQueued);
+  EXPECT_EQ(first.exec_cycles, second.exec_cycles);
+  EXPECT_EQ(first.protocol.link_wait_cycles,
+            second.protocol.link_wait_cycles);
+  EXPECT_EQ(first.protocol.home_wait_cycles,
+            second.protocol.home_wait_cycles);
+}
+
+// Latency of a write invalidating `sharers` caches, issued long after the
+// warm-up so only the write's own fan-out is measured.
+Cycle write_latency(int sharers, BackendKind backend) {
+  CoherenceSystem sys(backend_config(backend));
+  Cycle t = 0;
+  for (int p = 0; p < sharers; ++p) {
+    sys.access(static_cast<ProcId>(2 + p), 0, false, t);
+    t += 100;
+  }
+  return sys.access(1, 0, true, 1'000'000);
+}
+
+TEST(Backend, QueuedLatencyMonotoneInInvalidationFanout) {
+  Cycle previous = 0;
+  for (const int sharers : {0, 1, 2, 4, 8, 16, 30}) {
+    const Cycle queued = write_latency(sharers, BackendKind::kQueued);
+    EXPECT_GE(queued, previous) << "fan-out " << sharers;
+    EXPECT_GE(queued, write_latency(sharers, BackendKind::kAnalytic))
+        << "fan-out " << sharers;
+    previous = queued;
+  }
+}
+
+// Latency of a read whose sparse miss reclaims a victim entry with
+// `sharers` cached copies (blocks 0/32/64 collide in home 0's one set).
+Cycle reclaim_latency(int sharers, BackendKind backend) {
+  SystemConfig config = backend_config(backend);
+  config.store.sparse = true;
+  config.store.sparse_entries = 2;
+  config.store.sparse_assoc = 2;
+  config.store.policy = ReplPolicy::kLru;
+  CoherenceSystem sys(config);
+  Cycle t = 0;
+  for (int p = 0; p < sharers; ++p) {
+    sys.access(static_cast<ProcId>(2 + p), 0, false, t);
+    t += 100;
+  }
+  sys.access(1, 32, false, 500'000);
+  return sys.access(1, 64, false, 1'000'000);
+}
+
+TEST(Backend, QueuedLatencyMonotoneInSparsePressure) {
+  Cycle previous = 0;
+  for (const int sharers : {0, 1, 2, 4, 8, 16, 30}) {
+    const Cycle queued = reclaim_latency(sharers, BackendKind::kQueued);
+    EXPECT_GE(queued, previous) << "victim sharers " << sharers;
+    EXPECT_GE(queued, reclaim_latency(sharers, BackendKind::kAnalytic))
+        << "victim sharers " << sharers;
+    previous = queued;
+  }
+}
+
+TEST(Backend, CheckerStaysCleanUnderQueued) {
+  check::FuzzTraceConfig tc;
+  tc.procs = 16;
+  tc.block_size = 16;
+  tc.rounds = 4;
+  tc.units_per_round = 40;
+  tc.hot_blocks = 4;
+  tc.pool_blocks = 192;
+  tc.num_locks = 4;
+  tc.seed = 11;
+  const ProgramTrace trace = check::generate_fuzz_trace(tc);
+  SystemConfig config = backend_config(BackendKind::kQueued);
+  config.num_procs = 16;
+  config.cache_lines_per_proc = 16;
+  config.cache_assoc = 2;
+  config.scheme = SchemeConfig::full(16);
+  config.validate = false;
+  const check::CheckedRun run =
+      check::run_checked(config, EngineConfig{}, trace);
+  EXPECT_FALSE(run.report.failed());
+}
+
+}  // namespace
+}  // namespace dircc

@@ -45,6 +45,47 @@ TEST(Mesh, SingleNodeDegenerate) {
   EXPECT_EQ(mesh.diameter(), 0);
 }
 
+TEST(Mesh, NumLinksCountsDirectedChannels) {
+  // 4x2: (w-1)*h = 6 east + 6 west, w*(h-1) = 4 south + 4 north.
+  EXPECT_EQ(MeshTopology(4, 2).num_links(), 20);
+  EXPECT_EQ(MeshTopology(1, 1).num_links(), 0);
+  EXPECT_EQ(MeshTopology(8, 4).num_links(), 2 * 28 + 2 * 24);
+}
+
+TEST(Mesh, RouteLinksAreDimensionOrdered) {
+  MeshTopology mesh(4, 2);
+  std::vector<LinkId> links;
+  // (0,0) -> (1,1): east link 0 of row 0, then south below row 0 at x=1.
+  mesh.route_links(0, 5, &links);
+  EXPECT_EQ(links, (std::vector<LinkId>{0, 13}));
+  links.clear();
+  // The reverse path uses the west and north twins, not the same ids.
+  mesh.route_links(5, 0, &links);
+  EXPECT_EQ(links, (std::vector<LinkId>{9, 16}));
+  links.clear();
+  mesh.route_links(0, 3, &links);
+  EXPECT_EQ(links, (std::vector<LinkId>{0, 1, 2}));
+  links.clear();
+  mesh.route_links(2, 2, &links);
+  EXPECT_TRUE(links.empty());
+}
+
+TEST(Mesh, RouteLinksMatchHopCountsAndStayInRange) {
+  MeshTopology mesh(8, 4);
+  std::vector<LinkId> links;
+  for (NodeId a = 0; a < 32; ++a) {
+    for (NodeId b = 0; b < 32; ++b) {
+      links.clear();
+      mesh.route_links(a, b, &links);
+      EXPECT_EQ(static_cast<int>(links.size()), mesh.hops(a, b));
+      for (const LinkId link : links) {
+        EXPECT_GE(link, 0);
+        EXPECT_LT(link, mesh.num_links());
+      }
+    }
+  }
+}
+
 TEST(MessageCounters, AddsAndTotals) {
   MessageCounters counters;
   counters.add(MsgClass::kRequest, 3);
@@ -57,13 +98,13 @@ TEST(MessageCounters, AddsAndTotals) {
   EXPECT_EQ(counters.inv_plus_ack(), 2u);
 }
 
-TEST(MessageCounters, MergeCombines) {
+TEST(MessageCounters, PlusEqualsCombines) {
   MessageCounters a;
   MessageCounters b;
   a.add(MsgClass::kRequest);
   b.add(MsgClass::kRequest, 2);
   b.add(MsgClass::kAck);
-  a.merge(b);
+  a += b;
   EXPECT_EQ(a.get(MsgClass::kRequest), 3u);
   EXPECT_EQ(a.get(MsgClass::kAck), 1u);
 }

@@ -1,0 +1,117 @@
+// Golden-shape tests for the transaction IR: the protocol layer describes
+// every transaction as an ordered hop DAG, and downstream consumers (the
+// latency backends, the message fold, the obs spans, the fault hooks) see
+// nothing else. These tests pin the exact hop sequences of the canonical
+// transactions so any protocol change that reshapes a transaction is
+// caught as a diff against a readable serialization.
+#include <gtest/gtest.h>
+
+#include "protocol/system.hpp"
+#include "protocol/transaction.hpp"
+
+namespace dircc {
+namespace {
+
+SystemConfig config32() {
+  SystemConfig config;
+  config.num_procs = 32;
+  config.cache_lines_per_proc = 64;
+  config.cache_assoc = 4;
+  config.scheme = SchemeConfig::full(32);
+  return config;
+}
+
+TEST(TransactionIr, TwoClusterCleanRead) {
+  CoherenceSystem sys(config32());
+  sys.access(1, 0, false, 0);
+  EXPECT_EQ(format_transaction(sys.last_transaction()),
+            "directory read c=1 h=0\n"
+            "  0: request 1->0\n"
+            "  1: reply 0->1 dep=0\n");
+}
+
+TEST(TransactionIr, ThreeClusterDirtyRead) {
+  CoherenceSystem sys(config32());
+  sys.access(2, 0, true, 0);  // cluster 2 becomes the dirty owner
+  sys.access(1, 0, false, 100);
+  EXPECT_EQ(format_transaction(sys.last_transaction()),
+            "directory read c=1 h=0 o=2\n"
+            "  0: request 1->0\n"
+            "  1: forward 0->2 dep=0\n"
+            "  2: sharing-wb 2->0 dep=1\n"
+            "  3: reply 2->1 dep=1\n");
+}
+
+TEST(TransactionIr, WriteWithInvalidationFanout) {
+  CoherenceSystem sys(config32());
+  for (ProcId p = 1; p <= 3; ++p) {
+    sys.access(p, 0, false, 0);  // three sharers
+  }
+  sys.access(4, 0, true, 100);
+  EXPECT_EQ(format_transaction(sys.last_transaction()),
+            "directory write c=4 h=0 ack-round\n"
+            "  0: request 4->0\n"
+            "  1: inval 0->1 dep=0 fanout=0(write-shared)\n"
+            "  2: ack 1->4 dep=1 fanout=0(write-shared)\n"
+            "  3: inval 0->2 dep=0 fanout=0(write-shared)\n"
+            "  4: ack 2->4 dep=3 fanout=0(write-shared)\n"
+            "  5: inval 0->3 dep=0 fanout=0(write-shared)\n"
+            "  6: ack 3->4 dep=5 fanout=0(write-shared)\n"
+            "  7: reply 0->4 dep=0\n");
+}
+
+TEST(TransactionIr, SparseVictimReclamationWithDirtyWriteback) {
+  SystemConfig config = config32();
+  config.store.sparse = true;
+  config.store.sparse_entries = 2;
+  config.store.sparse_assoc = 2;
+  config.store.policy = ReplPolicy::kLru;
+  CoherenceSystem sys(config);
+  sys.access(1, 0, true, 0);     // dirty entry, owner cluster 1
+  sys.access(1, 32, false, 10);  // second entry in home 0's only set
+  // A third block at home 0 forces reclamation of the LRU victim (block
+  // 0): fetch the dirty copy back, flush it to memory, then serve the
+  // read that caused it all.
+  sys.access(2, 64, false, 100);
+  EXPECT_EQ(format_transaction(sys.last_transaction()),
+            "directory read c=2 h=0\n"
+            "  0: request 2->0\n"
+            "  1: victim-fetch 0->1 dep=0\n"
+            "  2: victim-wb 1->0 dep=1\n"
+            "  3: reply 0->2 dep=0\n");
+}
+
+TEST(TransactionIr, CacheHitLeavesNoTransaction) {
+  CoherenceSystem sys(config32());
+  sys.access(1, 0, false, 0);
+  sys.access(1, 0, false, 100);  // hit
+  EXPECT_EQ(sys.last_transaction().kind, TxnKind::kNone);
+  EXPECT_FALSE(sys.last_transaction().active());
+}
+
+TEST(TransactionIr, SnoopServedMissCommitsAsLocal) {
+  SystemConfig config = config32();
+  config.num_procs = 4;
+  config.procs_per_cluster = 2;
+  config.scheme = SchemeConfig::full(2);
+  CoherenceSystem sys(config);
+  sys.access(0, 1, false, 0);    // directory fill into cluster 0
+  sys.access(1, 1, false, 100);  // sibling snoop-serves the copy
+  EXPECT_EQ(format_transaction(sys.last_transaction()),
+            "local read c=0 h=1\n");
+}
+
+TEST(TransactionIr, FoldMatchesTheMessageCounters) {
+  CoherenceSystem sys(config32());
+  for (ProcId p = 1; p <= 3; ++p) {
+    sys.access(p, 0, false, 0);
+  }
+  const std::uint64_t before = sys.stats().messages.total();
+  sys.access(4, 0, true, 100);
+  EXPECT_EQ(sys.stats().messages.total() - before,
+            static_cast<std::uint64_t>(
+                sys.last_transaction().network_messages()));
+}
+
+}  // namespace
+}  // namespace dircc

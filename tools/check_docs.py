@@ -22,10 +22,10 @@ REPO = pathlib.Path(__file__).resolve().parent.parent
 LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
 SKIP_DIRS = {".git", "build", "build-nocheck", "build-noobs", ".github"}
 
-# The six flags every sweep-harness-backed binary shares (README.md and
+# The seven flags every sweep-harness-backed binary shares (README.md and
 # docs/HARNESS.md both table them).
 SHARED_FLAGS = ["threads", "json", "omit-timing", "progress", "trace-out",
-                "metrics"]
+                "metrics", "backend"]
 SWEEP_BINARIES = ["sweep_grid", "fig07_10_schemes", "fig11_12_sparse",
                   "fig13_assoc", "scale_study", "fuzz_coherence"]
 
