@@ -1,0 +1,113 @@
+// Simulator-throughput measurement suite (see docs/PERFORMANCE.md).
+//
+// Runs the pinned perf matrix (src/perf) and emits a schema-versioned
+// BENCH_PERF.json plus a human-readable summary table. Unlike every other
+// bench binary this one measures the *simulator*, not the simulated
+// machine: accesses/sec and simulated-cycles/sec of the build and simulate
+// phases, with p50/p95 over --reps repetitions per cell.
+//
+//   perf_suite --matrix fig07_10 --reps 5 --out BENCH_PERF.json
+//   perf_suite --matrix fig07_10 --baseline old/BENCH_PERF.json
+//
+// --baseline embeds a before/after speedup table (per cell and aggregate)
+// computed against a previously emitted document.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "common/cli.hpp"
+#include "common/ensure.hpp"
+#include "perf/perf.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dircc;
+  using namespace dircc::perf;
+
+  CliParser cli;
+  cli.add_option("matrix", "full",
+                 "cell matrix: 'fig07_10' (the Figure 7-10 grid), 'full' "
+                 "(x backend x store) or 'smoke' (reduced CI grid)");
+  cli.add_option("reps", "3", "simulate-phase repetitions per cell");
+  cli.add_option("scale", "1.0", "trace-size multiplier");
+  cli.add_option("seed", "1990", "trace-generator seed");
+  cli.add_option("out", "BENCH_PERF.json",
+                 "write the perf document here ('-' = stdout)");
+  cli.add_option("baseline", "",
+                 "previously emitted BENCH_PERF.json to compare against");
+  cli.add_flag("list", "print the matrix cell keys and exit");
+  cli.add_flag("progress", "report per-cell progress on stderr");
+
+  if (!cli.parse(argc, argv)) {
+    std::cerr << cli.error() << "\n" << cli.usage(argv[0]);
+    return 2;
+  }
+  if (cli.help_requested()) {
+    std::cout << cli.usage(argv[0]);
+    return 0;
+  }
+
+  MatrixOptions options;
+  options.name = cli.get("matrix");
+  options.scale = cli.get_double("scale");
+  options.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+  const int reps = static_cast<int>(cli.get_int("reps"));
+  if (reps <= 0) {
+    std::cerr << "--reps must be positive\n";
+    return 2;
+  }
+
+  const std::vector<PerfCell> cells = perf_matrix(options);
+  if (cli.get_flag("list")) {
+    for (const PerfCell& cell : cells) {
+      std::cout << cell.key << "\n";
+    }
+    return 0;
+  }
+
+  Baseline baseline;
+  bool have_baseline = false;
+  if (const std::string path = cli.get("baseline"); !path.empty()) {
+    std::ifstream in(path);
+    if (!in) {
+      std::cerr << "cannot open --baseline '" << path << "'\n";
+      return 2;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    std::string error;
+    const auto loaded = load_baseline(text.str(), path, &error);
+    if (!loaded) {
+      std::cerr << "--baseline: " << error << "\n";
+      return 2;
+    }
+    baseline = *loaded;
+    have_baseline = true;
+  }
+
+  PerfProgress progress;
+  if (cli.get_flag("progress")) {
+    progress = [](std::size_t done, std::size_t total,
+                  const std::string& key) {
+      if (key.empty()) {
+        std::cerr << "perf: " << done << "/" << total << " cells done\n";
+      } else {
+        std::cerr << "perf: [" << done + 1 << "/" << total << "] " << key
+                  << "\n";
+      }
+    };
+  }
+
+  const PerfReport report = run_matrix(cells, options, reps, progress);
+
+  const std::string out_path = cli.get("out");
+  if (out_path == "-") {
+    write_report(std::cout, report, have_baseline ? &baseline : nullptr);
+  } else {
+    std::ofstream out(out_path);
+    ensure(static_cast<bool>(out), "cannot open the --out path");
+    write_report(out, report, have_baseline ? &baseline : nullptr);
+    print_summary(std::cout, report, have_baseline ? &baseline : nullptr);
+    std::cout << "\nwrote " << out_path << "\n";
+  }
+  return 0;
+}

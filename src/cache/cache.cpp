@@ -11,6 +11,8 @@ Cache::Cache(std::uint64_t num_lines, int associativity)
              num_lines % static_cast<std::uint64_t>(associativity) == 0,
          "cache line count must be a positive multiple of associativity");
   num_sets_ = num_lines / static_cast<std::uint64_t>(associativity);
+  pow2_sets_ = (num_sets_ & (num_sets_ - 1)) == 0;
+  set_mask_ = pow2_sets_ ? num_sets_ - 1 : 0;
   ways_.resize(num_lines);
 }
 

@@ -119,11 +119,17 @@ class Cache {
     std::uint64_t last_use = 0;
   };
 
-  std::uint64_t set_of(BlockAddr block) const { return block % num_sets_; }
+  /// Set index. Every configuration we model has a power-of-two set count,
+  /// so the modulo on the per-access path reduces to a mask.
+  std::uint64_t set_of(BlockAddr block) const {
+    return pow2_sets_ ? (block & set_mask_) : (block % num_sets_);
+  }
   Way* probe_way(BlockAddr block);
   const Way* probe_way(BlockAddr block) const;
 
   std::uint64_t num_sets_;
+  std::uint64_t set_mask_ = 0;
+  bool pow2_sets_ = false;
   int assoc_;
   std::uint64_t stamp_ = 0;
   std::uint64_t valid_ = 0;

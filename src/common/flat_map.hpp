@@ -1,0 +1,208 @@
+// Open-addressing hash map keyed by 64-bit block addresses.
+//
+// The simulator's hottest lookups — directory entries, block version
+// tables — were std::unordered_map, which pays a heap allocation per node
+// and a pointer chase per probe. FlatMap stores slots contiguously with
+// linear probing, so the common hit is one hash, one mask and (almost
+// always) one cache line.
+//
+// Semantics, scoped to what those call sites need:
+//  * find / try_emplace / erase by exact u64 key; every key value is
+//    legal (slot liveness lives in a separate state byte, no reserved
+//    sentinel key).
+//  * erase leaves a tombstone: no slot ever moves except on growth, so
+//    pointers returned by find/try_emplace stay valid until the next
+//    *inserting* call (exactly std::unordered_map's guarantee minus
+//    stability across inserts — callers must not hold references across
+//    try_emplace, and the protocol layer does not).
+//  * Deterministic: the hash is a fixed splitmix64 finalizer and growth
+//    doubles a power-of-two table, so iteration order depends only on the
+//    operation history, never on the platform.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/ensure.hpp"
+
+namespace dircc {
+
+template <typename Value>
+class FlatMap {
+ public:
+  FlatMap() = default;
+
+  /// Pre-sizes the table for `n` live keys without rehashing on the way.
+  void reserve(std::size_t n) {
+    std::size_t needed = kMinCapacity;
+    // Keep the load factor below ~7/8 at n entries.
+    while (needed * 7 / 8 <= n) {
+      needed *= 2;
+    }
+    if (needed > slots_.size()) {
+      rehash(needed);
+    }
+  }
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  Value* find(std::uint64_t key) {
+    if (slots_.empty()) {
+      return nullptr;
+    }
+    for (std::size_t i = index_of(key);; i = next(i)) {
+      const std::uint8_t state = states_[i];
+      if (state == kEmpty) {
+        return nullptr;
+      }
+      if (state == kFull && slots_[i].key == key) {
+        return &slots_[i].value;
+      }
+    }
+  }
+
+  const Value* find(std::uint64_t key) const {
+    return const_cast<FlatMap*>(this)->find(key);
+  }
+
+  /// Returns the value for `key`, default-constructing it when absent.
+  /// `inserted` reports whether a new slot was claimed. The returned
+  /// pointer is invalidated by the next inserting call.
+  Value* try_emplace(std::uint64_t key, bool& inserted) {
+    grow_if_needed();
+    std::size_t tombstone = kNpos;
+    for (std::size_t i = index_of(key);; i = next(i)) {
+      const std::uint8_t state = states_[i];
+      if (state == kFull) {
+        if (slots_[i].key == key) {
+          inserted = false;
+          return &slots_[i].value;
+        }
+        continue;
+      }
+      if (state == kTombstone) {
+        if (tombstone == kNpos) {
+          tombstone = i;
+        }
+        continue;
+      }
+      // Empty: the key is absent. Reuse the first tombstone on the probe
+      // path when there was one (keeps chains short).
+      const std::size_t slot = tombstone != kNpos ? tombstone : i;
+      if (states_[slot] == kTombstone) {
+        --tombstones_;
+      }
+      states_[slot] = kFull;
+      slots_[slot].key = key;
+      slots_[slot].value = Value{};
+      ++size_;
+      inserted = true;
+      return &slots_[slot].value;
+    }
+  }
+
+  /// Removes `key`. Returns true when it was present. No slot moves.
+  bool erase(std::uint64_t key) {
+    if (slots_.empty()) {
+      return false;
+    }
+    for (std::size_t i = index_of(key);; i = next(i)) {
+      const std::uint8_t state = states_[i];
+      if (state == kEmpty) {
+        return false;
+      }
+      if (state == kFull && slots_[i].key == key) {
+        states_[i] = kTombstone;
+        ++tombstones_;
+        --size_;
+        return true;
+      }
+    }
+  }
+
+  /// Calls `fn(key, value)` for every live entry, in slot order.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+      if (states_[i] == kFull) {
+        fn(slots_[i].key, slots_[i].value);
+      }
+    }
+  }
+
+ private:
+  struct Slot {
+    std::uint64_t key = 0;
+    Value value{};
+  };
+
+  static constexpr std::size_t kMinCapacity = 16;
+  static constexpr std::size_t kNpos = static_cast<std::size_t>(-1);
+  static constexpr std::uint8_t kEmpty = 0;
+  static constexpr std::uint8_t kFull = 1;
+  static constexpr std::uint8_t kTombstone = 2;
+
+  static std::size_t hash(std::uint64_t key) {
+    // splitmix64 finalizer: cheap, well-mixed, fully specified.
+    std::uint64_t z = key + 0x9e3779b97f4a7c15ull;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return static_cast<std::size_t>(z ^ (z >> 31));
+  }
+
+  std::size_t index_of(std::uint64_t key) const {
+    return hash(key) & (slots_.size() - 1);
+  }
+  std::size_t next(std::size_t i) const {
+    return (i + 1) & (slots_.size() - 1);
+  }
+
+  void grow_if_needed() {
+    if (slots_.empty()) {
+      rehash(kMinCapacity);
+      return;
+    }
+    // Grow when live + tombstoned slots pass 7/8 of capacity, so probe
+    // chains stay short even under heavy erase churn. Growing on live
+    // count alone sizes the new table (tombstones are dropped by the
+    // rehash).
+    if ((size_ + tombstones_ + 1) * 8 > slots_.size() * 7) {
+      std::size_t target = slots_.size();
+      while ((size_ + 1) * 8 > target * 7 / 2) {
+        target *= 2;
+      }
+      rehash(target);
+    }
+  }
+
+  void rehash(std::size_t new_capacity) {
+    ensure((new_capacity & (new_capacity - 1)) == 0,
+           "FlatMap capacity must be a power of two");
+    std::vector<Slot> old_slots = std::move(slots_);
+    std::vector<std::uint8_t> old_states = std::move(states_);
+    slots_.assign(new_capacity, Slot{});
+    states_.assign(new_capacity, kEmpty);
+    tombstones_ = 0;
+    for (std::size_t i = 0; i < old_slots.size(); ++i) {
+      if (old_states[i] != kFull) {
+        continue;
+      }
+      for (std::size_t j = index_of(old_slots[i].key);; j = next(j)) {
+        if (states_[j] == kEmpty) {
+          states_[j] = kFull;
+          slots_[j] = std::move(old_slots[i]);
+          break;
+        }
+      }
+    }
+  }
+
+  std::vector<Slot> slots_;
+  std::vector<std::uint8_t> states_;
+  std::size_t size_ = 0;
+  std::size_t tombstones_ = 0;
+};
+
+}  // namespace dircc

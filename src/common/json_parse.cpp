@@ -1,0 +1,326 @@
+#include "common/json_parse.hpp"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace dircc {
+
+const JsonValue* JsonValue::find(const std::string& key) const {
+  if (type_ != Type::kObject) {
+    return nullptr;
+  }
+  for (const auto& [name, value] : members_) {
+    if (name == key) {
+      return &value;
+    }
+  }
+  return nullptr;
+}
+
+double JsonValue::number_or(const std::string& key, double fallback) const {
+  const JsonValue* child = find(key);
+  return child != nullptr && child->is_number() ? child->as_number()
+                                                : fallback;
+}
+
+std::string JsonValue::string_or(const std::string& key,
+                                 const std::string& fallback) const {
+  const JsonValue* child = find(key);
+  return child != nullptr && child->is_string() ? child->as_string()
+                                                : fallback;
+}
+
+JsonValue JsonValue::boolean(bool v) {
+  JsonValue out;
+  out.type_ = Type::kBool;
+  out.bool_ = v;
+  return out;
+}
+
+JsonValue JsonValue::number(double v) {
+  JsonValue out;
+  out.type_ = Type::kNumber;
+  out.number_ = v;
+  return out;
+}
+
+JsonValue JsonValue::string(std::string v) {
+  JsonValue out;
+  out.type_ = Type::kString;
+  out.string_ = std::move(v);
+  return out;
+}
+
+JsonValue JsonValue::array(std::vector<JsonValue> v) {
+  JsonValue out;
+  out.type_ = Type::kArray;
+  out.items_ = std::move(v);
+  return out;
+}
+
+JsonValue JsonValue::object(
+    std::vector<std::pair<std::string, JsonValue>> v) {
+  JsonValue out;
+  out.type_ = Type::kObject;
+  out.members_ = std::move(v);
+  return out;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  bool parse(JsonValue& out, std::string* error) {
+    skip_ws();
+    if (!value(out)) {
+      if (error != nullptr) {
+        *error = error_ + " at offset " + std::to_string(pos_);
+      }
+      return false;
+    }
+    skip_ws();
+    if (pos_ != text_.size()) {
+      if (error != nullptr) {
+        *error = "trailing characters at offset " + std::to_string(pos_);
+      }
+      return false;
+    }
+    return true;
+  }
+
+ private:
+  bool fail(const char* message) {
+    if (error_.empty()) {
+      error_ = message;
+    }
+    return false;
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool consume(char ch) {
+    if (pos_ < text_.size() && text_[pos_] == ch) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool literal(const char* word, JsonValue v, JsonValue& out) {
+    std::size_t n = 0;
+    while (word[n] != '\0') {
+      if (pos_ + n >= text_.size() || text_[pos_ + n] != word[n]) {
+        return fail("invalid literal");
+      }
+      ++n;
+    }
+    pos_ += n;
+    out = std::move(v);
+    return true;
+  }
+
+  bool string_body(std::string& out) {
+    // Caller consumed the opening quote.
+    out.clear();
+    while (pos_ < text_.size()) {
+      const char ch = text_[pos_++];
+      if (ch == '"') {
+        return true;
+      }
+      if (ch != '\\') {
+        out.push_back(ch);
+        continue;
+      }
+      if (pos_ >= text_.size()) {
+        break;
+      }
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) {
+            return fail("truncated \\u escape");
+          }
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char hex = text_[pos_++];
+            code <<= 4;
+            if (hex >= '0' && hex <= '9') {
+              code |= static_cast<unsigned>(hex - '0');
+            } else if (hex >= 'a' && hex <= 'f') {
+              code |= static_cast<unsigned>(hex - 'a' + 10);
+            } else if (hex >= 'A' && hex <= 'F') {
+              code |= static_cast<unsigned>(hex - 'A' + 10);
+            } else {
+              return fail("bad \\u escape digit");
+            }
+          }
+          // UTF-8 encode the code point (the writers only emit escapes for
+          // control characters, but accept the full BMP; surrogate pairs
+          // are passed through as two 3-byte sequences, which round-trips
+          // the writer's output byte-for-byte).
+          if (code < 0x80) {
+            out.push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default:
+          return fail("unknown escape");
+      }
+    }
+    return fail("unterminated string");
+  }
+
+  bool number(JsonValue& out) {
+    const std::size_t start = pos_;
+    if (consume('-')) {
+    }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      return fail("expected a value");
+    }
+    const std::string token = text_.substr(start, pos_ - start);
+    char* end = nullptr;
+    const double parsed = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0') {
+      return fail("malformed number");
+    }
+    out = JsonValue::number(parsed);
+    return true;
+  }
+
+  bool value(JsonValue& out) {
+    if (depth_ > 64) {
+      return fail("nesting too deep");
+    }
+    skip_ws();
+    if (pos_ >= text_.size()) {
+      return fail("unexpected end of input");
+    }
+    const char ch = text_[pos_];
+    if (ch == '{') {
+      ++pos_;
+      ++depth_;
+      std::vector<std::pair<std::string, JsonValue>> members;
+      skip_ws();
+      if (!consume('}')) {
+        for (;;) {
+          skip_ws();
+          if (!consume('"')) {
+            return fail("expected an object key");
+          }
+          std::string key;
+          if (!string_body(key)) {
+            return false;
+          }
+          skip_ws();
+          if (!consume(':')) {
+            return fail("expected ':'");
+          }
+          JsonValue member;
+          if (!value(member)) {
+            return false;
+          }
+          members.emplace_back(std::move(key), std::move(member));
+          skip_ws();
+          if (consume(',')) {
+            continue;
+          }
+          if (consume('}')) {
+            break;
+          }
+          return fail("expected ',' or '}'");
+        }
+      }
+      --depth_;
+      out = JsonValue::object(std::move(members));
+      return true;
+    }
+    if (ch == '[') {
+      ++pos_;
+      ++depth_;
+      std::vector<JsonValue> items;
+      skip_ws();
+      if (!consume(']')) {
+        for (;;) {
+          JsonValue item;
+          if (!value(item)) {
+            return false;
+          }
+          items.push_back(std::move(item));
+          skip_ws();
+          if (consume(',')) {
+            continue;
+          }
+          if (consume(']')) {
+            break;
+          }
+          return fail("expected ',' or ']'");
+        }
+      }
+      --depth_;
+      out = JsonValue::array(std::move(items));
+      return true;
+    }
+    if (ch == '"') {
+      ++pos_;
+      std::string body;
+      if (!string_body(body)) {
+        return false;
+      }
+      out = JsonValue::string(std::move(body));
+      return true;
+    }
+    if (ch == 't') {
+      return literal("true", JsonValue::boolean(true), out);
+    }
+    if (ch == 'f') {
+      return literal("false", JsonValue::boolean(false), out);
+    }
+    if (ch == 'n') {
+      return literal("null", JsonValue::null(), out);
+    }
+    return number(out);
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+  int depth_ = 0;
+  std::string error_;
+};
+
+}  // namespace
+
+bool json_parse(const std::string& text, JsonValue& out, std::string* error) {
+  Parser parser(text);
+  return parser.parse(out, error);
+}
+
+}  // namespace dircc

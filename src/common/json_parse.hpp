@@ -1,0 +1,93 @@
+// Minimal JSON parser (DOM-style), the read-side counterpart of
+// common/json.hpp's JsonWriter.
+//
+// The perf suite compares a fresh run against a previously emitted
+// BENCH_PERF.json, and the tests validate emitted documents structurally;
+// both need to *read* JSON, not just write it. This parser covers exactly
+// the JSON the repo's writers produce (objects, arrays, strings with the
+// standard escapes, finite numbers, booleans, null) with no external
+// dependencies. Object members preserve insertion order.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace dircc {
+
+/// One parsed JSON value. A small tagged union; arrays and objects own
+/// their children.
+class JsonValue {
+ public:
+  enum class Type : std::uint8_t {
+    kNull,
+    kBool,
+    kNumber,
+    kString,
+    kArray,
+    kObject,
+  };
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  bool as_bool() const { return bool_; }
+  double as_number() const { return number_; }
+  const std::string& as_string() const { return string_; }
+  const std::vector<JsonValue>& items() const { return items_; }
+  const std::vector<std::pair<std::string, JsonValue>>& members() const {
+    return members_;
+  }
+
+  /// Object member by key, or nullptr (also nullptr on non-objects).
+  const JsonValue* find(const std::string& key) const;
+
+  /// `find` chained through nested objects, e.g. get("aggregate",
+  /// "fig07_10"). Returns nullptr as soon as a link is missing.
+  template <typename... Rest>
+  const JsonValue* get(const std::string& key, const Rest&... rest) const {
+    const JsonValue* child = find(key);
+    if constexpr (sizeof...(rest) == 0) {
+      return child;
+    } else {
+      return child == nullptr ? nullptr : child->get(rest...);
+    }
+  }
+
+  /// Convenience: member `key` as a number, or `fallback` when absent or
+  /// not a number.
+  double number_or(const std::string& key, double fallback) const;
+  /// Convenience: member `key` as a string, or `fallback`.
+  std::string string_or(const std::string& key,
+                        const std::string& fallback) const;
+
+  static JsonValue null() { return JsonValue(); }
+  static JsonValue boolean(bool v);
+  static JsonValue number(double v);
+  static JsonValue string(std::string v);
+  static JsonValue array(std::vector<JsonValue> v);
+  static JsonValue object(std::vector<std::pair<std::string, JsonValue>> v);
+
+ private:
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> items_;
+  std::vector<std::pair<std::string, JsonValue>> members_;
+};
+
+/// Parses `text` as one JSON document. Returns true on success; on failure
+/// fills `error` (when non-null) with a position-annotated message and
+/// leaves `out` unspecified. Trailing non-whitespace is an error.
+bool json_parse(const std::string& text, JsonValue& out,
+                std::string* error = nullptr);
+
+}  // namespace dircc

@@ -1,5 +1,7 @@
 #include "directory/store.hpp"
 
+#include <bit>
+
 #include "common/ensure.hpp"
 
 namespace dircc {
@@ -22,46 +24,44 @@ const char* repl_policy_name(ReplPolicy policy) {
 
 DirEntry* FullDirectoryStore::find(BlockAddr block) {
   ++stats_.lookups;
-  auto it = entries_.find(block);
-  if (it == entries_.end()) {
+  DirEntry* entry = entries_.find(block);
+  if (entry == nullptr) {
     return nullptr;
   }
   ++stats_.hits;
-  return &it->second;
+  return entry;
 }
 
 DirEntry* FullDirectoryStore::find_or_alloc(
     BlockAddr block, std::optional<VictimEntry>& victim) {
   ++stats_.lookups;
   victim.reset();
-  auto [it, inserted] = entries_.try_emplace(block);
+  bool inserted = false;
+  DirEntry* entry = entries_.try_emplace(block, inserted);
   if (inserted) {
     ++stats_.allocations;
   } else {
     ++stats_.hits;
   }
-  return &it->second;
+  return entry;
 }
 
 void FullDirectoryStore::release(BlockAddr block) {
   // Releasing probes the directory just like find(); count it so the
   // hit-rate denominators match across all probe paths.
   ++stats_.lookups;
-  if (entries_.erase(block) != 0) {
+  if (entries_.erase(block)) {
     ++stats_.hits;
   }
 }
 
 const DirEntry* FullDirectoryStore::peek(BlockAddr block) const {
-  auto it = entries_.find(block);
-  return it == entries_.end() ? nullptr : &it->second;
+  return entries_.find(block);
 }
 
 void FullDirectoryStore::for_each_entry(
     const std::function<void(BlockAddr, const DirEntry&)>& fn) const {
-  for (const auto& [block, entry] : entries_) {
-    fn(block, entry);
-  }
+  entries_.for_each(fn);
 }
 
 // ---------------------------------------------------------------------------
@@ -84,6 +84,11 @@ SparseDirectoryStore::SparseDirectoryStore(std::uint64_t num_entries,
              num_entries % static_cast<std::uint64_t>(associativity) == 0,
          "sparse entry count must be a positive multiple of associativity");
   num_sets_ = num_entries / static_cast<std::uint64_t>(associativity);
+  pow2_sets_ = (num_sets_ & (num_sets_ - 1)) == 0;
+  set_mask_ = pow2_sets_ ? num_sets_ - 1 : 0;
+  if ((index_divisor_ & (index_divisor_ - 1)) == 0) {
+    divisor_shift_ = std::countr_zero(index_divisor_);
+  }
   ways_.resize(num_entries);
 }
 

@@ -11,9 +11,9 @@
 #include <functional>
 #include <memory>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
+#include "common/flat_map.hpp"
 #include "common/rng.hpp"
 #include "directory/entry.hpp"
 #include "obs/trace_recorder.hpp"
@@ -105,6 +105,12 @@ class DirectoryStore {
 };
 
 /// One entry per memory block, allocated on demand, never displaced.
+///
+/// Entries live in an open-addressing flat table (common/flat_map.hpp):
+/// the directory lookup is on the simulator's per-transaction hot path.
+/// The pointer returned by find_or_alloc stays valid for the rest of the
+/// access because the protocol performs at most one allocating directory
+/// operation per access — find() and release() never move slots.
 class FullDirectoryStore final : public DirectoryStore {
  public:
   DirEntry* find(BlockAddr block) override;
@@ -118,7 +124,7 @@ class FullDirectoryStore final : public DirectoryStore {
   std::uint64_t live_entries() const override { return entries_.size(); }
 
  private:
-  std::unordered_map<BlockAddr, DirEntry> entries_;
+  FlatMap<DirEntry> entries_;
 };
 
 /// Set-associative directory cache without a backing store.
@@ -160,14 +166,23 @@ class SparseDirectoryStore final : public DirectoryStore {
     DirEntry entry;
   };
 
+  /// Set index. Cluster counts and sparse set counts are powers of two in
+  /// every modeled machine, so the hot path is shift + mask; the general
+  /// divide/modulo stays as the fallback.
   std::uint64_t set_of(BlockAddr block) const {
-    return (block / index_divisor_) % num_sets_;
+    const std::uint64_t local = divisor_shift_ >= 0
+                                    ? block >> divisor_shift_
+                                    : block / index_divisor_;
+    return pow2_sets_ ? (local & set_mask_) : (local % num_sets_);
   }
   Way* probe(BlockAddr block);
   int pick_victim(std::uint64_t set);
 
   std::uint64_t num_sets_;
   std::uint64_t index_divisor_;
+  std::uint64_t set_mask_ = 0;
+  int divisor_shift_ = -1;  ///< log2(index_divisor_), -1 when not pow2
+  bool pow2_sets_ = false;
   int assoc_;
   ReplPolicy policy_;
   Rng rng_;

@@ -88,6 +88,13 @@ std::vector<CellResult> SweepRunner::run(const std::vector<SweepCell>& cells,
   std::vector<std::atomic<std::uint64_t>> busy_ns(
       static_cast<std::size_t>(std::max(pool, 1)));
   std::mutex telemetry_mu;
+  // First exception thrown by any cell (trace build, system construction
+  // or engine run). Workers drain the remaining indices once set — an
+  // exception escaping a thread body would std::terminate the process —
+  // and run() rethrows it after every thread has joined.
+  std::exception_ptr first_error;
+  std::mutex error_mu;
+  std::atomic<bool> failed{false};
   const auto sweep_start = Clock::now();
 
   auto worker = [&](int worker_index) {
@@ -101,49 +108,66 @@ std::vector<CellResult> SweepRunner::run(const std::vector<SweepCell>& cells,
       if (index >= cells.size()) {
         break;
       }
+      if (failed.load(std::memory_order_acquire)) {
+        // Drain without simulating: the sweep's result is already an
+        // exception, so finish fast but let every worker exit its loop.
+        done.fetch_add(1, std::memory_order_release);
+        continue;
+      }
       const SweepCell& cell = cells[index];
-      const auto start = Clock::now();
-      const auto trace = cache_.get(cell.trace);
-      const auto built = Clock::now();
-      // Each cell owns its full machine: no state crosses cells, so the
-      // simulation is oblivious to which thread runs it and when.
-      CoherenceSystem system(cell.system);
-      std::shared_ptr<obs::TraceRecorder> recorder;
-      if (options.record_traces) {
-        recorder = std::make_shared<obs::TraceRecorder>(
-            cell.system.num_procs, cell.system.num_clusters(),
-            options.trace_config);
+      try {
+        const auto start = Clock::now();
+        const auto trace = cache_.get(cell.trace);
+        const auto built = Clock::now();
+        // Each cell owns its full machine: no state crosses cells, so the
+        // simulation is oblivious to which thread runs it and when.
+        CoherenceSystem system(cell.system);
+        std::shared_ptr<obs::TraceRecorder> recorder;
+        if (options.record_traces) {
+          recorder = std::make_shared<obs::TraceRecorder>(
+              cell.system.num_procs, cell.system.num_clusters(),
+              options.trace_config);
+        }
+        std::unique_ptr<check::InvariantChecker> checker;
+        if (options.check && check::compiled()) {
+          checker = std::make_unique<check::InvariantChecker>(
+              system, options.check_config);
+        }
+        Engine engine(system, *trace, cell.engine, recorder.get(),
+                      checker.get());
+        CellResult& out = results[index];
+        out.result = engine.run();
+        if (checker != nullptr) {
+          out.check = std::make_shared<const check::CheckReport>(
+              checker->finish(engine.halted_by_checker()));
+        }
+        const auto stop = Clock::now();
+        out.key = cell.key;
+        out.fields = cell.fields;
+        out.trace = std::move(recorder);
+        out.wall_ms = ms_between(start, stop);
+        out.trace_build_ms = ms_between(start, built);
+        out.sim_ms = ms_between(built, stop);
+        local_cell_ms.add(out.wall_ms);
+        local_build_ms.add(out.trace_build_ms);
+        local_sim_ms.add(out.sim_ms);
+        busy_ns[static_cast<std::size_t>(worker_index)].fetch_add(
+            static_cast<std::uint64_t>(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(stop -
+                                                                     start)
+                    .count()),
+            std::memory_order_relaxed);
+        done.fetch_add(1, std::memory_order_release);
+      } catch (...) {
+        {
+          std::lock_guard<std::mutex> lock(error_mu);
+          if (first_error == nullptr) {
+            first_error = std::current_exception();
+          }
+        }
+        failed.store(true, std::memory_order_release);
+        done.fetch_add(1, std::memory_order_release);
       }
-      std::unique_ptr<check::InvariantChecker> checker;
-      if (options.check && check::compiled()) {
-        checker = std::make_unique<check::InvariantChecker>(
-            system, options.check_config);
-      }
-      Engine engine(system, *trace, cell.engine, recorder.get(),
-                    checker.get());
-      CellResult& out = results[index];
-      out.result = engine.run();
-      if (checker != nullptr) {
-        out.check = std::make_shared<const check::CheckReport>(
-            checker->finish(engine.halted_by_checker()));
-      }
-      const auto stop = Clock::now();
-      out.key = cell.key;
-      out.fields = cell.fields;
-      out.trace = std::move(recorder);
-      out.wall_ms = ms_between(start, stop);
-      out.trace_build_ms = ms_between(start, built);
-      out.sim_ms = ms_between(built, stop);
-      local_cell_ms.add(out.wall_ms);
-      local_build_ms.add(out.trace_build_ms);
-      local_sim_ms.add(out.sim_ms);
-      busy_ns[static_cast<std::size_t>(worker_index)].fetch_add(
-          static_cast<std::uint64_t>(
-              std::chrono::duration_cast<std::chrono::nanoseconds>(stop -
-                                                                   start)
-                  .count()),
-          std::memory_order_relaxed);
-      done.fetch_add(1, std::memory_order_release);
     }
     std::lock_guard<std::mutex> lock(telemetry_mu);
     telemetry_.cell_ms.merge(local_cell_ms);
@@ -234,6 +258,11 @@ std::vector<CellResult> SweepRunner::run(const std::vector<SweepCell>& cells,
   for (std::size_t t = 0; t < busy_ns.size(); ++t) {
     telemetry_.thread_busy_ms[t] =
         static_cast<double>(busy_ns[t].load(std::memory_order_relaxed)) / 1e6;
+  }
+  // Rethrown only here, with the pool joined and the reporter stopped: the
+  // caller sees the first cell's failure, not a terminated process.
+  if (first_error != nullptr) {
+    std::rethrow_exception(first_error);
   }
   return results;
 }

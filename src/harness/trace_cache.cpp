@@ -1,5 +1,6 @@
 #include "harness/trace_cache.hpp"
 
+#include <limits>
 #include <sstream>
 
 #include "common/ensure.hpp"
@@ -9,7 +10,11 @@ namespace {
 
 std::string scale_token(double scale) {
   // Canonical, locale-free rendering so equal scales key identically.
+  // max_digits10 makes the rendering injective over doubles; the default
+  // 6-significant-digit precision folded distinct values (e.g. 0.5 and
+  // 0.5000001) onto one cache key, silently serving the wrong trace.
   std::ostringstream out;
+  out.precision(std::numeric_limits<double>::max_digits10);
   out << scale;
   return out.str();
 }
@@ -82,7 +87,18 @@ std::shared_ptr<const ProgramTrace> TraceCache::get(const TraceSpec& spec) {
   if (builder) {
     // Built outside the lock: distinct traces generate concurrently, and
     // only callers that need *this* trace wait on it.
-    promise.set_value(std::make_shared<const ProgramTrace>(spec.build()));
+    try {
+      promise.set_value(std::make_shared<const ProgramTrace>(spec.build()));
+    } catch (...) {
+      // A throwing builder must not leave a valueless promise behind:
+      // every waiter would see a broken_promise future_error (and the
+      // poisoned entry would fail all future gets for this key). Publish
+      // the real exception to the waiters and drop the entry so a later
+      // get() can retry the build.
+      promise.set_exception(std::current_exception());
+      std::lock_guard<std::mutex> lock(mu_);
+      traces_.erase(spec.key);
+    }
   }
   return future.get();
 }

@@ -39,11 +39,24 @@ MeshTopology::MeshTopology(int num_nodes)
       num_nodes_(num_nodes) {
   ensure(num_nodes >= 1, "mesh needs at least one node");
   ensure(width_ * height_ == num_nodes, "mesh factorization failed");
+  build_coords();
 }
 
 MeshTopology::MeshTopology(int width, int height)
     : width_(width), height_(height), num_nodes_(width * height) {
   ensure(width >= 1 && height >= 1, "mesh dimensions must be positive");
+  build_coords();
+}
+
+void MeshTopology::build_coords() {
+  ensure(width_ <= 65535 && height_ <= 65535,
+         "mesh coordinates must fit 16 bits");
+  x_.resize(static_cast<std::size_t>(num_nodes_));
+  y_.resize(static_cast<std::size_t>(num_nodes_));
+  for (int n = 0; n < num_nodes_; ++n) {
+    x_[static_cast<std::size_t>(n)] = static_cast<std::uint16_t>(n % width_);
+    y_[static_cast<std::size_t>(n)] = static_cast<std::uint16_t>(n / width_);
+  }
 }
 
 int MeshTopology::num_links() const {
@@ -57,10 +70,10 @@ void MeshTopology::route_links(NodeId from, NodeId to,
   ensure(from < num_nodes_ && to < num_nodes_, "mesh node out of range");
   const int horizontal = (width_ - 1) * height_;
   const int vertical = width_ * (height_ - 1);
-  int x = from % width_;
-  int y = from / width_;
-  const int tx = to % width_;
-  const int ty = to / width_;
+  int x = x_[from];
+  int y = y_[from];
+  const int tx = x_[to];
+  const int ty = y_[to];
   // X first. East link at column x of row y has id y*(width-1)+x; the
   // matching west link sits `horizontal` later.
   while (x < tx) {
@@ -81,17 +94,6 @@ void MeshTopology::route_links(NodeId from, NodeId to,
     out->push_back(2 * horizontal + vertical + (y - 1) * width_ + x);
     --y;
   }
-}
-
-int MeshTopology::hops(NodeId from, NodeId to) const {
-  ensure(from < num_nodes_ && to < num_nodes_, "mesh node out of range");
-  const int fx = from % width_;
-  const int fy = from / width_;
-  const int tx = to % width_;
-  const int ty = to / width_;
-  const int dx = fx > tx ? fx - tx : tx - fx;
-  const int dy = fy > ty ? fy - ty : ty - fy;
-  return dx + dy;
 }
 
 }  // namespace dircc

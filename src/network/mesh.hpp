@@ -1,8 +1,10 @@
 // 2-D mesh interconnect topology (the DASH cluster network).
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
+#include "common/ensure.hpp"
 #include "common/types.hpp"
 
 namespace dircc {
@@ -24,8 +26,15 @@ class MeshTopology {
   int width() const { return width_; }
   int height() const { return height_; }
 
-  /// Manhattan distance between two clusters.
-  int hops(NodeId from, NodeId to) const;
+  /// Manhattan distance between two clusters. Called several times per
+  /// directory transaction, so coordinates come from tables built at
+  /// construction instead of a divide/modulo per call.
+  int hops(NodeId from, NodeId to) const {
+    ensure(from < num_nodes_ && to < num_nodes_, "mesh node out of range");
+    const int dx = static_cast<int>(x_[from]) - static_cast<int>(x_[to]);
+    const int dy = static_cast<int>(y_[from]) - static_cast<int>(y_[to]);
+    return (dx < 0 ? -dx : dx) + (dy < 0 ? -dy : dy);
+  }
 
   /// Largest hop count on the mesh (network diameter).
   int diameter() const { return (width_ - 1) + (height_ - 1); }
@@ -39,9 +48,14 @@ class MeshTopology {
   void route_links(NodeId from, NodeId to, std::vector<LinkId>* out) const;
 
  private:
+  void build_coords();
+
   int width_;
   int height_;
   int num_nodes_;
+  // Row-major node coordinates, indexed by NodeId.
+  std::vector<std::uint16_t> x_;
+  std::vector<std::uint16_t> y_;
 };
 
 }  // namespace dircc

@@ -1,0 +1,565 @@
+#include "perf/perf.hpp"
+
+#include <sys/resource.h>
+#include <sys/utsname.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <ctime>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <thread>
+
+#include "common/types.hpp"
+
+#include "common/ensure.hpp"
+#include "common/json.hpp"
+#include "common/table.hpp"
+#include "directory/format.hpp"
+#include "trace/generators.hpp"
+
+namespace dircc::perf {
+
+namespace {
+
+// The paper's Section 5 machine, pinned to the same parameters the bench
+// binaries use so the fig07_10 matrix measures exactly the cells the
+// golden table runs.
+constexpr int kProcs = 32;
+constexpr int kBlockSize = 16;
+
+SystemConfig perf_machine(const SchemeConfig& scheme, std::uint64_t seed) {
+  SystemConfig config;
+  config.num_procs = kProcs;
+  config.procs_per_cluster = 1;
+  config.cache_lines_per_proc = 1024;
+  config.cache_assoc = 4;
+  config.block_size = kBlockSize;
+  config.scheme = scheme;
+  config.seed = seed;
+  return config;
+}
+
+// Sparse directory at size factor 1 (same shaping as bench/make_sparse).
+void make_sparse(SystemConfig& config) {
+  const std::uint64_t total_cache_lines =
+      config.cache_lines_per_proc *
+      static_cast<std::uint64_t>(config.num_procs);
+  const auto clusters = static_cast<std::uint64_t>(config.num_clusters());
+  std::uint64_t per_home = total_cache_lines / clusters;
+  const std::uint64_t assoc = 4;
+  per_home = ceil_div(per_home, assoc) * assoc;
+  config.store.sparse = true;
+  config.store.sparse_entries = per_home;
+  config.store.sparse_assoc = static_cast<int>(assoc);
+  config.store.policy = ReplPolicy::kRandom;
+}
+
+struct SchemeDim {
+  const char* label;
+  SchemeConfig config;
+};
+
+std::vector<SchemeDim> scheme_dims(bool reduced) {
+  std::vector<SchemeDim> dims;
+  dims.push_back({"full", SchemeConfig::full(kProcs)});
+  if (!reduced) {
+    dims.push_back({"cv", SchemeConfig::coarse(kProcs, 3, 2)});
+    dims.push_back({"b", SchemeConfig::broadcast(kProcs, 3)});
+  }
+  dims.push_back({"nb", SchemeConfig::no_broadcast(kProcs, 3)});
+  return dims;
+}
+
+std::vector<AppKind> app_dims(bool reduced) {
+  if (reduced) {
+    return {AppKind::kMp3d, AppKind::kLu};
+  }
+  return {AppKind::kLu, AppKind::kDwf, AppKind::kMp3d, AppKind::kLocusRoute};
+}
+
+double now_ms() {
+  using clock = std::chrono::steady_clock;
+  return std::chrono::duration<double, std::milli>(
+             clock::now().time_since_epoch())
+      .count();
+}
+
+std::string utc_timestamp() {
+  const std::time_t now = std::time(nullptr);
+  std::tm parts{};
+  gmtime_r(&now, &parts);
+  char buffer[32];
+  std::strftime(buffer, sizeof(buffer), "%Y-%m-%dT%H:%M:%SZ", &parts);
+  return buffer;
+}
+
+PerfAggregate aggregate_cells(const std::vector<PerfCellResult>& cells,
+                              const std::string& grid) {
+  PerfAggregate out;
+  for (const PerfCellResult& cell : cells) {
+    if (!grid.empty() && cell.grid != grid) {
+      continue;
+    }
+    ++out.cells;
+    out.accesses += cell.accesses;
+    out.trace_events += cell.trace_events;
+    out.build_ms += cell.build_ms;
+    out.sim_ms += cell.p50_ms;
+  }
+  if (out.sim_ms > 0.0) {
+    out.accesses_per_sec =
+        static_cast<double>(out.accesses) / (out.sim_ms / 1000.0);
+  }
+  return out;
+}
+
+void emit_aggregate(JsonWriter& json, const char* name,
+                    const PerfAggregate& aggregate) {
+  json.key(name);
+  json.begin_object();
+  json.field("cells", aggregate.cells);
+  json.field("accesses", aggregate.accesses);
+  json.field("trace_events", aggregate.trace_events);
+  json.field("build_ms", aggregate.build_ms);
+  json.field("sim_ms", aggregate.sim_ms);
+  json.field("accesses_per_sec", aggregate.accesses_per_sec);
+  json.field("mcycles_per_sec", aggregate.mcycles_per_sec);
+  json.end_object();
+}
+
+std::string fmt_rate(double per_sec) {
+  std::ostringstream out;
+  if (per_sec >= 1e6) {
+    out << std::fixed << std::setprecision(2) << per_sec / 1e6 << "M";
+  } else {
+    out << std::fixed << std::setprecision(1) << per_sec / 1e3 << "k";
+  }
+  return out.str();
+}
+
+std::string fmt_ms(double ms) {
+  std::ostringstream out;
+  out << std::fixed << std::setprecision(2) << ms;
+  return out.str();
+}
+
+}  // namespace
+
+MachineInfo machine_info() {
+  MachineInfo info;
+  utsname names{};
+  if (uname(&names) == 0) {
+    info.os = std::string(names.sysname) + " " + names.release;
+    info.arch = names.machine;
+  } else {
+    info.os = "unknown";
+    info.arch = "unknown";
+  }
+#if defined(__clang__)
+  info.compiler = std::string("clang ") + std::to_string(__clang_major__) +
+                  "." + std::to_string(__clang_minor__);
+#elif defined(__GNUC__)
+  info.compiler = std::string("gcc ") + std::to_string(__GNUC__) + "." +
+                  std::to_string(__GNUC_MINOR__);
+#else
+  info.compiler = "unknown";
+#endif
+#if defined(NDEBUG)
+  info.build_type = "Release";
+#else
+  info.build_type = "Debug";
+#endif
+  info.hardware_threads =
+      static_cast<int>(std::thread::hardware_concurrency());
+  return info;
+}
+
+std::string git_sha() {
+  FILE* pipe = popen("git rev-parse HEAD 2>/dev/null", "r");
+  if (pipe == nullptr) {
+    return "unknown";
+  }
+  char buffer[128] = {};
+  std::string out;
+  if (std::fgets(buffer, sizeof(buffer), pipe) != nullptr) {
+    out = buffer;
+  }
+  pclose(pipe);
+  while (!out.empty() && (out.back() == '\n' || out.back() == '\r')) {
+    out.pop_back();
+  }
+  return out.empty() ? "unknown" : out;
+}
+
+std::uint64_t peak_rss_bytes() {
+  rusage usage{};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) {
+    return 0;
+  }
+  // Linux reports ru_maxrss in kilobytes.
+  return static_cast<std::uint64_t>(usage.ru_maxrss) * 1024;
+}
+
+double percentile(std::vector<double> samples, double q) {
+  if (samples.empty()) {
+    return 0.0;
+  }
+  std::sort(samples.begin(), samples.end());
+  const double rank = q / 100.0 * static_cast<double>(samples.size());
+  auto index = static_cast<std::size_t>(std::ceil(rank));
+  index = index == 0 ? 0 : index - 1;
+  index = std::min(index, samples.size() - 1);
+  return samples[index];
+}
+
+std::vector<PerfCell> perf_matrix(const MatrixOptions& options) {
+  ensure(options.name == "fig07_10" || options.name == "full" ||
+             options.name == "smoke",
+         "unknown perf matrix (expected fig07_10, full or smoke)");
+  const bool reduced = options.name == "smoke";
+  const bool extended = options.name != "fig07_10";
+
+  struct BackendDim {
+    const char* label;
+    BackendKind kind;
+  };
+  std::vector<BackendDim> backends = {{"analytic", BackendKind::kAnalytic}};
+  if (extended) {
+    backends.push_back({"queued", BackendKind::kQueued});
+  }
+  std::vector<const char*> stores = {"dense"};
+  if (extended) {
+    stores.push_back("sparse");
+  }
+
+  std::vector<PerfCell> cells;
+  for (const AppKind app : app_dims(reduced)) {
+    for (const SchemeDim& scheme : scheme_dims(reduced)) {
+      for (const BackendDim& backend : backends) {
+        for (const char* store : stores) {
+          const bool sparse = std::string(store) == "sparse";
+          PerfCell cell;
+          const std::string scheme_name =
+              make_format(scheme.config)->name();
+          cell.key = std::string("perf/app=") + app_name(app) +
+                     "/scheme=" + scheme_name + "/backend=" + backend.label +
+                     "/store=" + store;
+          cell.fields = {{"app", app_name(app)},
+                         {"scheme", scheme_name},
+                         {"backend", backend.label},
+                         {"store", store}};
+          cell.grid = (backend.kind == BackendKind::kAnalytic && !sparse &&
+                       !reduced)
+                          ? "fig07_10"
+                          : "extended";
+          cell.trace = harness::app_trace(app, kProcs, kBlockSize,
+                                          options.seed, options.scale);
+          cell.system = perf_machine(scheme.config, options.seed);
+          cell.system.backend = backend.kind;
+          if (sparse) {
+            make_sparse(cell.system);
+          }
+          cells.push_back(std::move(cell));
+        }
+      }
+    }
+  }
+  return cells;
+}
+
+PerfReport run_matrix(const std::vector<PerfCell>& cells,
+                      const MatrixOptions& options, int reps,
+                      const PerfProgress& progress) {
+  ensure(reps > 0, "perf reps must be positive");
+  PerfReport report;
+  report.matrix = options;
+  report.reps = reps;
+  report.machine = machine_info();
+  report.git = git_sha();
+  report.cells.reserve(cells.size());
+
+  harness::TraceCache cache;
+  std::size_t done = 0;
+  for (const PerfCell& cell : cells) {
+    if (progress) {
+      progress(done, cells.size(), cell.key);
+    }
+    PerfCellResult result;
+    result.key = cell.key;
+    result.fields = cell.fields;
+    result.grid = cell.grid;
+
+    const double build_start = now_ms();
+    const std::shared_ptr<const ProgramTrace> trace = cache.get(cell.trace);
+    result.build_ms = now_ms() - build_start;
+    result.trace_events = trace->total_events();
+    result.trace_bytes = result.trace_events * sizeof(TraceEvent);
+
+    std::vector<double> samples;
+    samples.reserve(static_cast<std::size_t>(reps));
+    for (int rep = 0; rep < reps; ++rep) {
+      const double sim_start = now_ms();
+      CoherenceSystem system(cell.system);
+      Engine engine(system, *trace, cell.engine);
+      const RunResult run = engine.run();
+      const double elapsed = now_ms() - sim_start;
+      samples.push_back(elapsed);
+      result.sim_ms.add(elapsed);
+      if (rep == 0) {
+        result.accesses = run.protocol.accesses;
+        result.sim_cycles = run.exec_cycles;
+      } else {
+        // The simulator is deterministic; a rep that diverges means the
+        // measurement harness itself is broken.
+        ensure(run.exec_cycles == result.sim_cycles,
+               "perf rep diverged from the first repetition");
+      }
+    }
+    result.p50_ms = percentile(samples, 50.0);
+    result.p95_ms = percentile(samples, 95.0);
+    const double p50_sec = result.p50_ms / 1000.0;
+    const double best_sec = result.sim_ms.min() / 1000.0;
+    if (p50_sec > 0.0) {
+      result.accesses_per_sec =
+          static_cast<double>(result.accesses) / p50_sec;
+      result.mcycles_per_sec =
+          static_cast<double>(result.sim_cycles) / p50_sec / 1e6;
+    }
+    if (best_sec > 0.0) {
+      result.best_accesses_per_sec =
+          static_cast<double>(result.accesses) / best_sec;
+    }
+    report.cells.push_back(std::move(result));
+    ++done;
+  }
+  if (progress) {
+    progress(done, cells.size(), "");
+  }
+
+  report.all = aggregate_cells(report.cells, "");
+  report.fig07_10 = aggregate_cells(report.cells, "fig07_10");
+  double cycles = 0.0;
+  double fig_cycles = 0.0;
+  for (const PerfCellResult& cell : report.cells) {
+    cycles += static_cast<double>(cell.sim_cycles);
+    if (cell.grid == "fig07_10") {
+      fig_cycles += static_cast<double>(cell.sim_cycles);
+    }
+  }
+  if (report.all.sim_ms > 0.0) {
+    report.all.mcycles_per_sec = cycles / (report.all.sim_ms / 1000.0) / 1e6;
+  }
+  if (report.fig07_10.sim_ms > 0.0) {
+    report.fig07_10.mcycles_per_sec =
+        fig_cycles / (report.fig07_10.sim_ms / 1000.0) / 1e6;
+  }
+  report.peak_rss = peak_rss_bytes();
+  return report;
+}
+
+std::optional<Baseline> load_baseline(const std::string& text,
+                                      const std::string& path,
+                                      std::string* error) {
+  JsonValue doc;
+  std::string parse_error;
+  if (!json_parse(text, doc, &parse_error)) {
+    if (error != nullptr) {
+      *error = "baseline is not valid JSON: " + parse_error;
+    }
+    return std::nullopt;
+  }
+  if (doc.string_or("schema", "") != kSchemaName) {
+    if (error != nullptr) {
+      *error = "baseline is not a " + std::string(kSchemaName) + " document";
+    }
+    return std::nullopt;
+  }
+  if (static_cast<int>(doc.number_or("schema_version", 0)) !=
+      kSchemaVersion) {
+    if (error != nullptr) {
+      *error = "baseline schema_version mismatch (expected " +
+               std::to_string(kSchemaVersion) + ")";
+    }
+    return std::nullopt;
+  }
+  Baseline baseline;
+  baseline.path = path;
+  baseline.git = doc.string_or("git_sha", "unknown");
+  if (const JsonValue* all = doc.get("aggregate", "all")) {
+    baseline.all_accesses_per_sec = all->number_or("accesses_per_sec", 0.0);
+  }
+  if (const JsonValue* fig = doc.get("aggregate", "fig07_10")) {
+    baseline.fig_accesses_per_sec = fig->number_or("accesses_per_sec", 0.0);
+  }
+  if (const JsonValue* cells = doc.find("cells"); cells != nullptr &&
+                                                  cells->is_array()) {
+    for (const JsonValue& cell : cells->items()) {
+      const std::string key = cell.string_or("key", "");
+      const double rate = cell.number_or("accesses_per_sec", 0.0);
+      if (!key.empty() && rate > 0.0) {
+        baseline.cell_throughput.emplace_back(key, rate);
+      }
+    }
+  }
+  return baseline;
+}
+
+void write_report(std::ostream& out, const PerfReport& report,
+                  const Baseline* baseline) {
+  JsonWriter json(out);
+  json.begin_object();
+  json.field("schema", kSchemaName);
+  json.field("schema_version", static_cast<std::uint64_t>(kSchemaVersion));
+  json.field("generated_utc", utc_timestamp());
+  json.field("git_sha", report.git);
+  json.key("machine");
+  json.begin_object();
+  json.field("os", report.machine.os);
+  json.field("arch", report.machine.arch);
+  json.field("compiler", report.machine.compiler);
+  json.field("build_type", report.machine.build_type);
+  json.field("hardware_threads",
+             static_cast<std::uint64_t>(report.machine.hardware_threads));
+  json.end_object();
+  json.key("config");
+  json.begin_object();
+  json.field("matrix", report.matrix.name);
+  json.field("reps", static_cast<std::uint64_t>(report.reps));
+  json.field("scale", report.matrix.scale);
+  json.field("seed", report.matrix.seed);
+  json.end_object();
+  json.field("peak_rss_bytes", report.peak_rss);
+
+  json.key("cells");
+  json.begin_array();
+  for (const PerfCellResult& cell : report.cells) {
+    json.begin_object();
+    json.field("key", cell.key);
+    for (const auto& [name, value] : cell.fields) {
+      json.field(name, value);
+    }
+    json.field("grid", cell.grid);
+    json.field("accesses", cell.accesses);
+    json.field("trace_events", cell.trace_events);
+    json.field("trace_bytes", cell.trace_bytes);
+    json.field("sim_cycles", cell.sim_cycles);
+    json.field("build_ms", cell.build_ms);
+    json.key("sim_ms");
+    json.begin_object();
+    json.field("count", cell.sim_ms.count());
+    json.field("mean", cell.sim_ms.mean());
+    json.field("stddev", cell.sim_ms.stddev());
+    json.field("min", cell.sim_ms.min());
+    json.field("max", cell.sim_ms.max());
+    json.field("p50", cell.p50_ms);
+    json.field("p95", cell.p95_ms);
+    json.end_object();
+    json.field("accesses_per_sec", cell.accesses_per_sec);
+    json.field("best_accesses_per_sec", cell.best_accesses_per_sec);
+    json.field("mcycles_per_sec", cell.mcycles_per_sec);
+    json.end_object();
+  }
+  json.end_array();
+
+  json.key("aggregate");
+  json.begin_object();
+  emit_aggregate(json, "all", report.all);
+  emit_aggregate(json, "fig07_10", report.fig07_10);
+  json.end_object();
+
+  if (baseline != nullptr) {
+    json.key("baseline");
+    json.begin_object();
+    json.field("path", baseline->path);
+    json.field("git_sha", baseline->git);
+    const auto speedup_block = [&](const char* name, double before,
+                                   double after) {
+      json.key(name);
+      json.begin_object();
+      json.field("before_accesses_per_sec", before);
+      json.field("after_accesses_per_sec", after);
+      json.field("speedup", before > 0.0 ? after / before : 0.0);
+      json.end_object();
+    };
+    speedup_block("all", baseline->all_accesses_per_sec,
+                  report.all.accesses_per_sec);
+    speedup_block("fig07_10", baseline->fig_accesses_per_sec,
+                  report.fig07_10.accesses_per_sec);
+    json.key("cells");
+    json.begin_array();
+    for (const PerfCellResult& cell : report.cells) {
+      const auto match = std::find_if(
+          baseline->cell_throughput.begin(), baseline->cell_throughput.end(),
+          [&](const auto& entry) { return entry.first == cell.key; });
+      if (match == baseline->cell_throughput.end()) {
+        continue;
+      }
+      json.begin_object();
+      json.field("key", cell.key);
+      json.field("before_accesses_per_sec", match->second);
+      json.field("after_accesses_per_sec", cell.accesses_per_sec);
+      json.field("speedup", cell.accesses_per_sec / match->second);
+      json.end_object();
+    }
+    json.end_array();
+    json.end_object();
+  }
+  json.end_object();
+  out << '\n';
+}
+
+void print_summary(std::ostream& out, const PerfReport& report,
+                   const Baseline* baseline) {
+  out << "perf matrix '" << report.matrix.name << "' — "
+      << report.cells.size() << " cells x " << report.reps
+      << " reps, scale " << report.matrix.scale << " (" << report.machine.os
+      << ", " << report.machine.compiler << ", "
+      << report.machine.build_type << ")\n\n";
+
+  TextTable table;
+  table.header({"cell", "accesses", "build ms", "sim p50 ms", "sim p95 ms",
+                "accesses/s"});
+  for (const PerfCellResult& cell : report.cells) {
+    table.row({cell.key, std::to_string(cell.accesses),
+               fmt_ms(cell.build_ms), fmt_ms(cell.p50_ms),
+               fmt_ms(cell.p95_ms), fmt_rate(cell.accesses_per_sec)});
+  }
+  table.print(out);
+
+  out << "\naggregate (sum work / sum p50 time):\n";
+  out << "  all cells: " << fmt_rate(report.all.accesses_per_sec)
+      << " accesses/s over " << fmt_ms(report.all.sim_ms) << " ms\n";
+  if (report.fig07_10.cells > 0) {
+    out << "  fig07_10:  " << fmt_rate(report.fig07_10.accesses_per_sec)
+        << " accesses/s over " << fmt_ms(report.fig07_10.sim_ms) << " ms\n";
+  }
+  out << "  peak RSS:  " << report.peak_rss / (1024 * 1024) << " MiB\n";
+
+  if (baseline != nullptr) {
+    out << "\nvs baseline " << baseline->path << " (" << baseline->git
+        << "):\n";
+    if (baseline->all_accesses_per_sec > 0.0) {
+      out << "  all cells: "
+          << fmt_rate(baseline->all_accesses_per_sec) << " -> "
+          << fmt_rate(report.all.accesses_per_sec) << " accesses/s ("
+          << std::fixed << std::setprecision(2)
+          << report.all.accesses_per_sec / baseline->all_accesses_per_sec
+          << "x)\n";
+    }
+    if (baseline->fig_accesses_per_sec > 0.0 && report.fig07_10.cells > 0) {
+      out << "  fig07_10:  "
+          << fmt_rate(baseline->fig_accesses_per_sec) << " -> "
+          << fmt_rate(report.fig07_10.accesses_per_sec) << " accesses/s ("
+          << std::fixed << std::setprecision(2)
+          << report.fig07_10.accesses_per_sec /
+                 baseline->fig_accesses_per_sec
+          << "x)\n";
+    }
+  }
+}
+
+}  // namespace dircc::perf

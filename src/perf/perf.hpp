@@ -1,0 +1,166 @@
+// Simulator-performance measurement subsystem.
+//
+// The paper-reproduction benches measure the *simulated machine*; nothing
+// in the repo measured the *simulator itself*, so throughput regressions
+// were invisible. This subsystem runs a pinned matrix of (trace generator
+// x scheme x latency backend x directory store) cells, times the
+// trace-build and simulate phases separately, and emits a schema-versioned
+// BENCH_PERF.json (machine info, git sha, per-cell p50/p95, aggregate
+// accesses/sec) that is the repo's performance trajectory: commit one per
+// optimization PR and diff them with --baseline.
+//
+// Measurement discipline: cells run serially (a thread pool would contend
+// with itself and blur per-cell timing), each cell's simulate phase runs
+// `reps` times on the same cached trace, and the matrix is deterministic —
+// cell keys, configs and seeds depend only on (matrix, scale, seed).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/json_parse.hpp"
+#include "common/stats.hpp"
+#include "harness/trace_cache.hpp"
+#include "protocol/system.hpp"
+#include "sim/engine.hpp"
+
+namespace dircc::perf {
+
+/// Where and what this process runs on; recorded so perf numbers are never
+/// compared across machines by accident.
+struct MachineInfo {
+  std::string os;        ///< kernel name + release (uname)
+  std::string arch;      ///< machine architecture (uname)
+  std::string compiler;  ///< compiler id + version (predefined macros)
+  std::string build_type;///< "Release" vs "Debug" (NDEBUG)
+  int hardware_threads = 0;
+};
+
+MachineInfo machine_info();
+
+/// HEAD commit of the repository the process runs in, or "unknown".
+std::string git_sha();
+
+/// Peak resident set size of this process in bytes (0 when unavailable).
+std::uint64_t peak_rss_bytes();
+
+/// Nearest-rank percentile of `samples` (copied; input order preserved).
+/// `q` in [0, 100]. Returns 0 for an empty sample set.
+double percentile(std::vector<double> samples, double q);
+
+/// One cell of the measurement matrix.
+struct PerfCell {
+  std::string key;
+  /// Label dimensions emitted into the cell's JSON record.
+  std::vector<std::pair<std::string, std::string>> fields;
+  /// "fig07_10" for the dense/analytic app x scheme sub-grid (the headline
+  /// aggregate), "extended" otherwise.
+  std::string grid;
+  harness::TraceSpec trace;
+  SystemConfig system;
+  EngineConfig engine;
+};
+
+/// Matrix selection. `name` is one of:
+///  * "fig07_10" — exactly the Figure 7-10 grid: 4 apps x 4 schemes,
+///    analytic backend, full (dense) directory. 16 cells.
+///  * "full"     — fig07_10 crossed with backend {analytic, queued} and
+///    store {dense, sparse}. 64 cells.
+///  * "smoke"    — a reduced 2x2x2x2 grid at quarter scale for CI.
+struct MatrixOptions {
+  std::string name = "full";
+  double scale = 1.0;      ///< trace-size multiplier fed to the generators
+  std::uint64_t seed = 1990;
+};
+
+/// Builds the pinned cell matrix. Deterministic in `options` alone.
+std::vector<PerfCell> perf_matrix(const MatrixOptions& options);
+
+/// Measured numbers for one cell.
+struct PerfCellResult {
+  std::string key;
+  std::vector<std::pair<std::string, std::string>> fields;
+  std::string grid;
+  std::uint64_t accesses = 0;      ///< shared-data accesses per simulate rep
+  std::uint64_t trace_events = 0;  ///< total events in the driving trace
+  std::uint64_t trace_bytes = 0;   ///< resident bytes of the cached trace
+  Cycle sim_cycles = 0;            ///< simulated exec_cycles (rep-invariant)
+  double build_ms = 0.0;           ///< trace build (first touch only)
+  OnlineStats sim_ms;              ///< per-rep simulate wall milliseconds
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  /// accesses / p50 simulate seconds — the cell's throughput headline.
+  double accesses_per_sec = 0.0;
+  /// accesses / min simulate seconds (best rep).
+  double best_accesses_per_sec = 0.0;
+  /// simulated cycles / p50 simulate seconds, in millions.
+  double mcycles_per_sec = 0.0;
+};
+
+/// Throughput over a set of cells (sum of work / sum of p50 time).
+struct PerfAggregate {
+  std::uint64_t cells = 0;
+  std::uint64_t accesses = 0;
+  std::uint64_t trace_events = 0;
+  double build_ms = 0.0;
+  double sim_ms = 0.0;  ///< sum of per-cell p50 simulate ms
+  double accesses_per_sec = 0.0;
+  double mcycles_per_sec = 0.0;
+};
+
+/// One full measurement pass.
+struct PerfReport {
+  MatrixOptions matrix;
+  int reps = 0;
+  MachineInfo machine;
+  std::string git;
+  std::vector<PerfCellResult> cells;
+  PerfAggregate all;       ///< every cell in the matrix
+  PerfAggregate fig07_10;  ///< the grid == "fig07_10" subset
+  std::uint64_t peak_rss = 0;
+};
+
+/// Progress callback: (cells finished, cells total, current key).
+using PerfProgress =
+    std::function<void(std::size_t, std::size_t, const std::string&)>;
+
+/// Runs every cell `reps` times and gathers the report. Serial by design.
+PerfReport run_matrix(const std::vector<PerfCell>& cells,
+                      const MatrixOptions& options, int reps,
+                      const PerfProgress& progress = nullptr);
+
+/// A previously emitted BENCH_PERF.json, loaded for before/after tables.
+struct Baseline {
+  std::string path;
+  std::string git;
+  double all_accesses_per_sec = 0.0;
+  double fig_accesses_per_sec = 0.0;
+  /// key -> accesses_per_sec of the baseline run's cells.
+  std::vector<std::pair<std::string, double>> cell_throughput;
+};
+
+/// Parses `text` (a BENCH_PERF.json document). Returns nullopt and fills
+/// `error` on malformed input or a schema-version mismatch.
+std::optional<Baseline> load_baseline(const std::string& text,
+                                      const std::string& path,
+                                      std::string* error = nullptr);
+
+inline constexpr int kSchemaVersion = 1;
+inline constexpr const char* kSchemaName = "dircc-bench-perf";
+
+/// Writes the schema-versioned BENCH_PERF.json document. When `baseline`
+/// is non-null a "baseline" object with per-cell and aggregate speedups is
+/// included.
+void write_report(std::ostream& out, const PerfReport& report,
+                  const Baseline* baseline);
+
+/// Human-readable summary table (stdout companion of the JSON document).
+void print_summary(std::ostream& out, const PerfReport& report,
+                   const Baseline* baseline);
+
+}  // namespace dircc::perf

@@ -17,12 +17,11 @@ const char* backend_kind_name(BackendKind kind) {
 
 Cycle AnalyticBackend::transaction_latency(const Transaction& txn,
                                            Cycle /*now*/,
-                                           ProtocolStats& /*stats*/) {
+                                           ProtocolStats& /*stats*/,
+                                           const TransactionRoute& route) {
   if (txn.kind == TxnKind::kLocal) {
     return latency_.local_access;
   }
-  const TransactionRoute route =
-      transaction_route(mesh_, txn.requester, txn.home, txn.owner);
   Cycle total = latency_.transaction(route.distinct_clusters, route.total_hops);
   if (txn.ack_round) {
     total += latency_.invalidation_round;
@@ -55,7 +54,13 @@ QueuedBackend::QueuedBackend(const MeshTopology& mesh,
       mesh_(mesh),
       queued_(config),
       link_free_(static_cast<std::size_t>(mesh.num_links()), 0),
-      home_free_(static_cast<std::size_t>(mesh.num_nodes()), 0) {}
+      home_free_(static_cast<std::size_t>(mesh.num_nodes()), 0) {
+  // Scratch reused across transactions: done_ holds one slot per hop and
+  // links_ one route's worth of channels; size both once so the DAG walk
+  // never allocates in steady state.
+  done_.reserve(2 * static_cast<std::size_t>(mesh.num_nodes()) + 8);
+  links_.reserve(static_cast<std::size_t>(mesh.diameter()) + 1);
+}
 
 namespace {
 
@@ -97,8 +102,9 @@ bool home_ingest(const Hop& hop) {
 }  // namespace
 
 Cycle QueuedBackend::transaction_latency(const Transaction& txn, Cycle now,
-                                         ProtocolStats& stats) {
-  const Cycle analytic = analytic_.transaction_latency(txn, now, stats);
+                                         ProtocolStats& stats,
+                                         const TransactionRoute& route) {
+  const Cycle analytic = analytic_.transaction_latency(txn, now, stats, route);
   if (txn.kind != TxnKind::kDirectory) {
     return analytic;  // bus-served accesses never touch mesh or home FIFOs
   }

@@ -24,6 +24,7 @@
 
 #include "network/latency.hpp"
 #include "network/mesh.hpp"
+#include "network/route.hpp"
 #include "protocol/transaction.hpp"
 
 namespace dircc {
@@ -40,12 +41,16 @@ const char* backend_kind_name(BackendKind kind);
 
 /// Turns a committed Transaction into an access latency. `now` is the
 /// access's issue time (Cycle); stateful backends key their queues off it.
+/// `route` is the transaction's critical-path route, already computed by
+/// the committer (which needs it for its own bookkeeping) so backends do
+/// not re-derive it; only directory transactions consult it.
 class LatencyBackend {
  public:
   virtual ~LatencyBackend() = default;
   virtual const char* name() const = 0;
   virtual Cycle transaction_latency(const Transaction& txn, Cycle now,
-                                    ProtocolStats& stats) = 0;
+                                    ProtocolStats& stats,
+                                    const TransactionRoute& route) = 0;
 };
 
 /// The paper's closed-form hop-latency math, folded over the IR.
@@ -56,7 +61,8 @@ class AnalyticBackend : public LatencyBackend {
 
   const char* name() const override { return "analytic"; }
   Cycle transaction_latency(const Transaction& txn, Cycle now,
-                            ProtocolStats& stats) override;
+                            ProtocolStats& stats,
+                            const TransactionRoute& route) override;
 
  private:
   const MeshTopology& mesh_;
@@ -72,7 +78,8 @@ class QueuedBackend : public LatencyBackend {
 
   const char* name() const override { return "queued"; }
   Cycle transaction_latency(const Transaction& txn, Cycle now,
-                            ProtocolStats& stats) override;
+                            ProtocolStats& stats,
+                            const TransactionRoute& route) override;
 
  private:
   AnalyticBackend analytic_;

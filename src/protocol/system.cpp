@@ -1,5 +1,7 @@
 #include "protocol/system.hpp"
 
+#include <bit>
+
 #include "common/ensure.hpp"
 #include "network/route.hpp"
 
@@ -23,6 +25,19 @@ CoherenceSystem::CoherenceSystem(const SystemConfig& config)
   ensure(config.blocks_per_group >= 1 &&
              config.blocks_per_group <= kMaxGroupBlocks,
          "blocks_per_group outside supported range");
+  if (is_pow2(static_cast<std::uint64_t>(num_clusters_))) {
+    cluster_shift_ =
+        std::countr_zero(static_cast<std::uint64_t>(num_clusters_));
+    cluster_mask_ = static_cast<BlockAddr>(num_clusters_) - 1;
+  }
+  if (is_pow2(static_cast<std::uint64_t>(config.procs_per_cluster))) {
+    ppc_shift_ =
+        std::countr_zero(static_cast<std::uint64_t>(config.procs_per_cluster));
+  }
+  if (is_pow2(static_cast<std::uint64_t>(config.blocks_per_group))) {
+    group_shift_ =
+        std::countr_zero(static_cast<std::uint64_t>(config.blocks_per_group));
+  }
   caches_.reserve(static_cast<std::size_t>(config.num_procs));
   for (int p = 0; p < config.num_procs; ++p) {
     caches_.emplace_back(config.cache_lines_per_proc, config.cache_assoc);
@@ -46,6 +61,14 @@ CoherenceSystem::CoherenceSystem(const SystemConfig& config)
                           static_cast<std::uint64_t>(config.blocks_per_group);
     directories_.push_back(make_store(store));
   }
+  // The transaction IR and the invalidation-target scratch are reused
+  // across accesses; size them for a full-machine fan-out up front so the
+  // steady-state access path never allocates.
+  const auto clusters = static_cast<std::size_t>(num_clusters_);
+  txn_.hops.reserve(2 * clusters + 8);
+  txn_.fanouts.reserve(4);
+  txn_.notes.reserve(8);
+  target_scratch_.reserve(clusters);
 }
 
 // ---------------------------------------------------------------------------
@@ -53,22 +76,24 @@ CoherenceSystem::CoherenceSystem(const SystemConfig& config)
 // ---------------------------------------------------------------------------
 
 std::uint32_t CoherenceSystem::memory_version(BlockAddr block) const {
-  auto it = memory_.find(block);
-  return it == memory_.end() ? 0 : it->second;
+  const std::uint32_t* version = memory_.find(block);
+  return version == nullptr ? 0 : *version;
 }
 
 void CoherenceSystem::set_memory_version(BlockAddr block,
                                          std::uint32_t version) {
-  memory_[block] = version;
+  bool inserted = false;
+  *memory_.try_emplace(block, inserted) = version;
 }
 
 std::uint32_t CoherenceSystem::bump_latest(BlockAddr block) {
-  return ++latest_[block];
+  bool inserted = false;
+  return ++*latest_.try_emplace(block, inserted);
 }
 
 std::uint32_t CoherenceSystem::latest_version(BlockAddr block) const {
-  auto it = latest_.find(block);
-  return it == latest_.end() ? 0 : it->second;
+  const std::uint32_t* version = latest_.find(block);
+  return version == nullptr ? 0 : *version;
 }
 
 void CoherenceSystem::check_version(BlockAddr block,
@@ -541,11 +566,13 @@ void CoherenceSystem::flush_obs() {
 Cycle CoherenceSystem::commit(Cycle now) {
   ensure(txn_.active(), "commit without a transaction in flight");
   txn_.fold(stats_.messages);
+  // Computed once here and handed to the backend, which needs the same
+  // route for its latency math.
+  TransactionRoute route;
   if (txn_.kind == TxnKind::kLocal) {
     ++stats_.local_transactions;
   } else {
-    const TransactionRoute route =
-        transaction_route(mesh_, txn_.requester, txn_.home, txn_.owner);
+    route = transaction_route(mesh_, txn_.requester, txn_.home, txn_.owner);
     if (route.distinct_clusters == 1) {
       ++stats_.local_transactions;
     } else if (route.distinct_clusters == 2) {
@@ -555,7 +582,7 @@ Cycle CoherenceSystem::commit(Cycle now) {
     }
   }
   flush_obs();
-  return backend_->transaction_latency(txn_, now, stats_);
+  return backend_->transaction_latency(txn_, now, stats_, route);
 }
 
 // ---------------------------------------------------------------------------

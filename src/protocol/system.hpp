@@ -28,10 +28,10 @@
 
 #include <memory>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
 #include "cache/cache.hpp"
+#include "common/flat_map.hpp"
 #include "check/api.hpp"
 #include "common/stats.hpp"
 #include "directory/format.hpp"
@@ -142,12 +142,25 @@ class CoherenceSystem final : public MemorySystem {
 
   int num_procs() const override { return config_.num_procs; }
   int block_size() const override { return config_.block_size; }
+  // The four address helpers below run on every access. Cluster counts,
+  // cluster sizes and group sizes are powers of two in every machine we
+  // model, so each division/modulo has a shift/mask fast path; the general
+  // arithmetic stays as the fallback.
   NodeId cluster_of(ProcId proc) const override {
-    return static_cast<NodeId>(proc / config_.procs_per_cluster);
+    return static_cast<NodeId>(ppc_shift_ >= 0
+                                   ? proc >> ppc_shift_
+                                   : proc / config_.procs_per_cluster);
   }
   NodeId home_of(BlockAddr block) const {
-    return static_cast<NodeId>(block %
-                               static_cast<BlockAddr>(num_clusters_));
+    return static_cast<NodeId>(
+        cluster_shift_ >= 0 ? block & cluster_mask_
+                            : block % static_cast<BlockAddr>(num_clusters_));
+  }
+  /// Home-local block number: which of this home's blocks `block` is.
+  BlockAddr local_of(BlockAddr block) const {
+    return cluster_shift_ >= 0
+               ? block >> cluster_shift_
+               : block / static_cast<BlockAddr>(num_clusters_);
   }
 
   /// Directory tracking unit for `block`: the group's base block address.
@@ -156,15 +169,18 @@ class CoherenceSystem final : public MemorySystem {
       return block;
     }
     const auto clusters = static_cast<BlockAddr>(num_clusters_);
-    const BlockAddr local = block / clusters;
+    const BlockAddr local = local_of(block);
     const auto group = static_cast<BlockAddr>(config_.blocks_per_group);
-    return (local - local % group) * clusters + home_of(block);
+    const BlockAddr in_group =
+        group_shift_ >= 0 ? local & (group - 1) : local % group;
+    return (local - in_group) * clusters + home_of(block);
   }
   /// Position of `block` within its tracking group.
   int sub_of(BlockAddr block) const {
-    return static_cast<int>(
-        (block / static_cast<BlockAddr>(num_clusters_)) %
-        static_cast<BlockAddr>(config_.blocks_per_group));
+    const BlockAddr local = local_of(block);
+    const auto group = static_cast<BlockAddr>(config_.blocks_per_group);
+    return static_cast<int>(group_shift_ >= 0 ? local & (group - 1)
+                                              : local % group);
   }
   /// Block address of group member `sub` given the group's base key.
   BlockAddr block_at(BlockAddr key, int sub) const {
@@ -311,13 +327,21 @@ class CoherenceSystem final : public MemorySystem {
 
   SystemConfig config_;
   int num_clusters_;
+  // Shift/mask fast paths for the per-access address helpers (-1 shift
+  // means "not a power of two, use the general arithmetic").
+  BlockAddr cluster_mask_ = 0;
+  int cluster_shift_ = -1;
+  int ppc_shift_ = -1;
+  int group_shift_ = -1;
   std::unique_ptr<SharerFormat> format_;
   std::vector<Cache> caches_;
   std::vector<Cache> l1_;
   std::vector<std::unique_ptr<DirectoryStore>> directories_;
   MeshTopology mesh_;
-  std::unordered_map<BlockAddr, std::uint32_t> latest_;
-  std::unordered_map<BlockAddr, std::uint32_t> memory_;
+  // Version tables, consulted on every access (check_version on reads,
+  // bump_latest on writes): flat tables, not node-based maps.
+  FlatMap<std::uint32_t> latest_;
+  FlatMap<std::uint32_t> memory_;
   std::vector<Cycle> home_busy_until_;
   ProtocolStats stats_;
   /// IR of the access in flight (reused across accesses; see commit()).

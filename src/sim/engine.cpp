@@ -1,25 +1,11 @@
 #include "sim/engine.hpp"
 
 #include <algorithm>
+#include <bit>
 
 #include "common/ensure.hpp"
 
 namespace dircc {
-namespace {
-
-// std::push_heap/pop_heap build a max-heap; we want the *earliest* event,
-// with proc id as a deterministic tie-break.
-struct LaterEvent {
-  bool operator()(const std::pair<Cycle, ProcId>& a,
-                  const std::pair<Cycle, ProcId>& b) const {
-    if (a.first != b.first) {
-      return a.first > b.first;
-    }
-    return a.second > b.second;
-  }
-};
-
-}  // namespace
 
 Engine::Engine(MemorySystem& system, const ProgramTrace& trace,
                EngineConfig config, obs::TraceRecorder* recorder,
@@ -34,6 +20,11 @@ Engine::Engine(MemorySystem& system, const ProgramTrace& trace,
   ensure(trace.block_size == system.block_size(),
          "trace and system disagree on the block size");
   const auto procs = static_cast<std::size_t>(trace.num_procs());
+  block_size_ = system.block_size();
+  block_shift_ = (block_size_ & (block_size_ - 1)) == 0
+                     ? std::countr_zero(static_cast<unsigned>(block_size_))
+                     : -1;
+  ready_.init(procs);
   cursor_.assign(procs, 0);
   finish_time_.assign(procs, 0);
   write_buffer_.assign(procs, {});
@@ -71,8 +62,7 @@ Cycle Engine::drained(ProcId proc, Cycle now) {
 }
 
 void Engine::schedule(ProcId proc, Cycle when) {
-  heap_.emplace_back(when, proc);
-  std::push_heap(heap_.begin(), heap_.end(), LaterEvent{});
+  ready_.set(proc, ReadyTree::encode(when, proc));
 }
 
 void Engine::wake(ProcId proc, Cycle when) {
@@ -159,10 +149,13 @@ RunResult Engine::run() {
     }
   }
 
-  while (!heap_.empty()) {
-    std::pop_heap(heap_.begin(), heap_.end(), LaterEvent{});
-    const auto [now, proc] = heap_.back();
-    heap_.pop_back();
+  while (true) {
+    const std::uint64_t head = ready_.min();
+    if (head == ReadyTree::kIdle) {
+      break;  // every processor is finished or blocked
+    }
+    const Cycle now = ReadyTree::when_of(head);
+    const ProcId proc = ReadyTree::proc_of(head);
 
     const auto& stream = trace_.per_proc[proc];
     ensure(cursor_[proc] < stream.size(), "processor scheduled past its trace");
@@ -171,20 +164,19 @@ RunResult Engine::run() {
     bool runnable = true;
 
     switch (ev.kind) {
-      case TraceEvent::Kind::kRead:
-        resume += system_.access_addr(proc, ev.addr, false, now);
+      case TraceEvent::Kind::kRead: {
+        const BlockAddr block = block_of(ev.addr);
+        resume += system_.access(proc, block, false, now);
         if (check::compiled() && checker_ != nullptr) {
-          checker_->on_access(
-              proc, ev.addr / static_cast<Addr>(system_.block_size()), false,
-              now);
+          checker_->on_access(proc, block, false, now);
         }
         break;
+      }
       case TraceEvent::Kind::kWrite: {
-        const Cycle lat = system_.access_addr(proc, ev.addr, true, now);
+        const BlockAddr block = block_of(ev.addr);
+        const Cycle lat = system_.access(proc, block, true, now);
         if (check::compiled() && checker_ != nullptr) {
-          checker_->on_access(
-              proc, ev.addr / static_cast<Addr>(system_.block_size()), true,
-              now);
+          checker_->on_access(proc, block, true, now);
         }
         if (!config_.release_consistency) {
           resume += lat;
@@ -298,12 +290,15 @@ RunResult Engine::run() {
 
     if (runnable) {
       if (cursor_[proc] < stream.size()) {
-        schedule(proc, resume);
+        schedule(proc, resume);  // overwrites this processor's slot
       } else {
         // The last buffered writes must land before the processor is done.
         finish_time_[proc] = std::max(resume, drained(proc, resume));
         ++finished_;
+        ready_.clear(proc);
       }
+    } else {
+      ready_.clear(proc);  // blocked; a future unlock/release wakes it
     }
 
     // An attached checker halts the run at the first violation: the state

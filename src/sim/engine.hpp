@@ -21,6 +21,7 @@
 #include "network/message.hpp"
 #include "obs/trace_recorder.hpp"
 #include "protocol/system.hpp"
+#include "sim/ready_tree.hpp"
 #include "trace/event.hpp"
 
 #include <deque>
@@ -128,12 +129,22 @@ class Engine {
   /// Marks `proc` blocked at `now` for a stall span of `kind`.
   void obs_block(ProcId proc, Cycle now, obs::EvType kind, Addr addr);
 
+  /// Block number for a byte address. The divisor is fixed per run, and in
+  /// every machine we model it is a power of two, so the per-access division
+  /// reduces to a shift.
+  BlockAddr block_of(Addr addr) const {
+    return block_shift_ >= 0 ? addr >> block_shift_
+                             : addr / static_cast<Addr>(block_size_);
+  }
+
   MemorySystem& system_;
   const ProgramTrace& trace_;
   EngineConfig config_;
 
-  // Min-heap of (resume time, proc), tie-broken by proc id for determinism.
-  std::vector<std::pair<Cycle, ProcId>> heap_;
+  // One pending event per processor, popped in (time, proc) order.
+  ReadyTree ready_;
+  int block_size_ = 1;
+  int block_shift_ = 0;  ///< log2(block size), or -1 when not a power of two
   std::vector<std::size_t> cursor_;
   std::vector<Cycle> finish_time_;
   /// Completion times of in-flight buffered writes, oldest first.

@@ -1,0 +1,71 @@
+// Next-event selection for the simulation engine.
+//
+// Each processor has at most one pending event (it executes its reference
+// stream sequentially), so the engine's scheduling problem is "min over P
+// slots", not a general priority queue. ReadyTree keeps one slot per
+// processor in an implicit tournament tree: reading the next event is O(1)
+// at the root and rescheduling a processor updates one leaf-to-root path —
+// no sift-down data movement like the binary heap of (time, proc) pairs it
+// replaces, and single-word comparisons throughout.
+//
+// Determinism: a slot stores (when << 16) | proc, so unsigned comparison
+// orders events by time with processor id as the tie-break — exactly the
+// pop order of the old heap.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/ensure.hpp"
+#include "common/types.hpp"
+
+namespace dircc {
+
+class ReadyTree {
+ public:
+  /// Slot value of a processor with no pending event. Compares after every
+  /// real event, so an all-idle tree reports it as the minimum.
+  static constexpr std::uint64_t kIdle = ~std::uint64_t{0};
+
+  /// Sizes the tree for `procs` slots, all idle.
+  void init(std::size_t procs) {
+    ensure(procs <= 65536, "ready tree encodes processor ids in 16 bits");
+    cap_ = 1;
+    while (cap_ < procs) {
+      cap_ *= 2;
+    }
+    nodes_.assign(2 * cap_, kIdle);
+  }
+
+  static std::uint64_t encode(Cycle when, ProcId proc) {
+    ensure(when < (Cycle{1} << 47),
+           "simulated time overflows the ready-tree encoding");
+    return (when << 16) | proc;
+  }
+  static Cycle when_of(std::uint64_t slot) { return slot >> 16; }
+  static ProcId proc_of(std::uint64_t slot) {
+    return static_cast<ProcId>(slot & 0xffff);
+  }
+
+  /// Smallest live slot, or kIdle when every processor is idle.
+  std::uint64_t min() const { return nodes_[1]; }
+
+  void set(ProcId proc, std::uint64_t slot) {
+    std::size_t i = cap_ + proc;
+    nodes_[i] = slot;
+    while (i > 1) {
+      i >>= 1;
+      const std::uint64_t left = nodes_[2 * i];
+      const std::uint64_t right = nodes_[2 * i + 1];
+      nodes_[i] = left < right ? left : right;
+    }
+  }
+
+  void clear(ProcId proc) { set(proc, kIdle); }
+
+ private:
+  std::size_t cap_ = 1;
+  std::vector<std::uint64_t> nodes_ = std::vector<std::uint64_t>(2, kIdle);
+};
+
+}  // namespace dircc

@@ -16,6 +16,10 @@
 namespace dircc {
 
 /// One global event in a processor's reference stream.
+///
+/// Field order packs the record into 16 bytes (addr, arg, kind) instead of
+/// the 24 a leading one-byte kind forces; the engine streams hundreds of
+/// millions of these, so the layout is memory-bandwidth-relevant.
 struct TraceEvent {
   enum class Kind : std::uint8_t {
     kRead,     ///< shared-data read of `addr`
@@ -26,21 +30,23 @@ struct TraceEvent {
     kThink,    ///< local computation for `arg` cycles
   };
 
-  Kind kind = Kind::kRead;
   Addr addr = 0;
   std::uint32_t arg = 0;
+  Kind kind = Kind::kRead;
 
-  static TraceEvent read(Addr a) { return {Kind::kRead, a, 0}; }
-  static TraceEvent write(Addr a) { return {Kind::kWrite, a, 0}; }
-  static TraceEvent lock(Addr id) { return {Kind::kLock, id, 0}; }
-  static TraceEvent unlock(Addr id) { return {Kind::kUnlock, id, 0}; }
-  static TraceEvent barrier(Addr id) { return {Kind::kBarrier, id, 0}; }
+  static TraceEvent read(Addr a) { return {a, 0, Kind::kRead}; }
+  static TraceEvent write(Addr a) { return {a, 0, Kind::kWrite}; }
+  static TraceEvent lock(Addr id) { return {id, 0, Kind::kLock}; }
+  static TraceEvent unlock(Addr id) { return {id, 0, Kind::kUnlock}; }
+  static TraceEvent barrier(Addr id) { return {id, 0, Kind::kBarrier}; }
   static TraceEvent think(std::uint32_t cycles) {
-    return {Kind::kThink, 0, cycles};
+    return {0, cycles, Kind::kThink};
   }
 
   friend bool operator==(const TraceEvent&, const TraceEvent&) = default;
 };
+
+static_assert(sizeof(TraceEvent) == 16, "TraceEvent must stay a packed 16B");
 
 /// A complete multiprocessor reference trace.
 struct ProgramTrace {

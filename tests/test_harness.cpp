@@ -4,7 +4,9 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <sstream>
+#include <stdexcept>
 #include <thread>
 
 #include "harness/sink.hpp"
@@ -69,6 +71,71 @@ TEST(TraceCache, DistinctKeysBuildDistinctTraces) {
   const auto a = cache.get(app_trace(AppKind::kMp3d, 4, 16, 3, 0.05));
   const auto b = cache.get(app_trace(AppKind::kMp3d, 4, 16, 4, 0.05));
   EXPECT_NE(a.get(), b.get());
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(TraceCache, ThrowingBuilderDoesNotPoisonTheKey) {
+  // A builder that throws must not leave a valueless promise in the cache:
+  // that entry would fail every later get() for the key with a
+  // broken_promise future_error instead of the real exception, and the
+  // build could never be retried.
+  TraceCache cache;
+  int calls = 0;
+  TraceSpec flaky{"flaky-trace", [&calls]() -> ProgramTrace {
+                    if (++calls == 1) {
+                      throw std::runtime_error("generator failed");
+                    }
+                    return tiny_trace(2);
+                  }};
+  EXPECT_THROW(cache.get(flaky), std::runtime_error);
+  EXPECT_EQ(cache.size(), 0u);  // the failed entry was erased
+  const auto trace = cache.get(flaky);  // the retry builds cleanly
+  ASSERT_TRUE(trace);
+  EXPECT_EQ(calls, 2);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(TraceCache, ConcurrentWaitersSeeTheBuildersError) {
+  // Whichever caller wins the build race, every caller must observe the
+  // builder's own exception type — never a future_error.
+  TraceCache cache;
+  TraceSpec failing{"always-throws", []() -> ProgramTrace {
+                      std::this_thread::sleep_for(
+                          std::chrono::milliseconds(20));
+                      throw std::runtime_error("generator failed");
+                    }};
+  std::atomic<int> errors{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&cache, &failing, &errors] {
+      try {
+        cache.get(failing);
+      } catch (const std::runtime_error&) {
+        ++errors;
+      } catch (...) {
+        // Wrong exception type (e.g. broken_promise): not counted.
+      }
+    });
+  }
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+  EXPECT_EQ(errors.load(), 4);
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(TraceSpecKey, NearEqualScalesGetDistinctKeys) {
+  // Keys render doubles at max_digits10: two distinct scales that agree in
+  // their first six significant digits must not collide onto one cache
+  // entry (a collision silently serves the wrong trace to a sweep).
+  const TraceSpec a = app_trace(AppKind::kMp3d, 8, 16, 3, 0.05);
+  const TraceSpec b = app_trace(AppKind::kMp3d, 8, 16, 3, 0.05 + 1e-9);
+  EXPECT_NE(a.key, b.key);
+  // Equal scales still key (and therefore cache) identically.
+  EXPECT_EQ(a.key, app_trace(AppKind::kMp3d, 8, 16, 3, 0.05).key);
+  TraceCache cache;
+  cache.get(a);
+  cache.get(b);
   EXPECT_EQ(cache.size(), 2u);
 }
 
@@ -147,6 +214,35 @@ TEST(SweepRunner, MatchesADirectSerialRun) {
     EXPECT_EQ(swept[i].result.protocol.messages.total(),
               direct.protocol.messages.total());
   }
+}
+
+TEST(SweepRunner, WorkerExceptionIsRethrownAfterTheSweep) {
+  // A throwing cell (here: its trace builder) used to escape the worker
+  // thread's body and std::terminate the whole process. The runner must
+  // instead capture the first error, drain the remaining cells, join the
+  // pool and rethrow to the caller.
+  std::vector<SweepCell> cells = small_grid();
+  cells[1].trace = TraceSpec{"sweep-throwing-trace", []() -> ProgramTrace {
+                               throw std::runtime_error("cell failed");
+                             }};
+  EXPECT_THROW(SweepRunner(2).run(cells), std::runtime_error);
+  EXPECT_THROW(SweepRunner(1).run(cells), std::runtime_error);
+}
+
+TEST(SweepRunner, FailingSweepStopsTheProgressReporter) {
+  std::vector<SweepCell> cells = small_grid();
+  cells.front().trace =
+      TraceSpec{"reporter-throwing-trace", []() -> ProgramTrace {
+                  throw std::runtime_error("cell failed");
+                }};
+  std::ostringstream progress;
+  SweepOptions options;
+  options.progress = true;
+  options.progress_out = &progress;
+  EXPECT_THROW(SweepRunner(2).run(cells, options), std::runtime_error);
+  // The reporter thread was joined and closed its line before the rethrow.
+  ASSERT_FALSE(progress.str().empty());
+  EXPECT_EQ(progress.str().back(), '\n');
 }
 
 TEST(SweepRunnerDeathTest, RejectsDuplicateCellKeys) {

@@ -1,0 +1,252 @@
+// Perf subsystem (src/perf): matrix pinning, measurement equivalence, and
+// the BENCH_PERF.json schema contract.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/json_parse.hpp"
+#include "perf/perf.hpp"
+#include "sim/engine.hpp"
+#include "sim/ready_tree.hpp"
+
+namespace dircc::perf {
+namespace {
+
+MatrixOptions smoke_options() {
+  MatrixOptions options;
+  options.name = "smoke";
+  options.scale = 0.25;
+  return options;
+}
+
+TEST(PerfMatrix, Fig0710GridIsExactlyThePaperGrid) {
+  MatrixOptions options;
+  options.name = "fig07_10";
+  const std::vector<PerfCell> cells = perf_matrix(options);
+  ASSERT_EQ(cells.size(), 16u);  // 4 apps x 4 schemes
+  std::set<std::string> apps;
+  std::set<std::string> schemes;
+  for (const PerfCell& cell : cells) {
+    EXPECT_EQ(cell.grid, "fig07_10") << cell.key;
+    for (const auto& [name, value] : cell.fields) {
+      if (name == "app") {
+        apps.insert(value);
+      } else if (name == "scheme") {
+        schemes.insert(value);
+      } else if (name == "backend") {
+        EXPECT_EQ(value, "analytic") << cell.key;
+      } else if (name == "store") {
+        EXPECT_EQ(value, "dense") << cell.key;
+      }
+    }
+  }
+  EXPECT_EQ(apps.size(), 4u);
+  EXPECT_EQ(schemes.size(), 4u);
+}
+
+TEST(PerfMatrix, FullGridCrossesBackendAndStore) {
+  MatrixOptions options;
+  options.name = "full";
+  const std::vector<PerfCell> cells = perf_matrix(options);
+  ASSERT_EQ(cells.size(), 64u);  // 4 x 4 x 2 backends x 2 stores
+  std::size_t fig = 0;
+  for (const PerfCell& cell : cells) {
+    if (cell.grid == "fig07_10") {
+      ++fig;
+    }
+  }
+  // The analytic/dense quadrant is the paper grid; everything else is
+  // "extended" so the headline aggregate never mixes in queued cells.
+  EXPECT_EQ(fig, 16u);
+}
+
+TEST(PerfMatrix, SmokeGridIsReduced) {
+  const std::vector<PerfCell> cells = perf_matrix(smoke_options());
+  EXPECT_EQ(cells.size(), 16u);  // 2 apps x 2 schemes x 2 backends x 2 stores
+  for (const PerfCell& cell : cells) {
+    EXPECT_EQ(cell.grid, "extended") << cell.key;
+  }
+}
+
+TEST(PerfMatrix, DeterministicInOptionsAlone) {
+  const std::vector<PerfCell> first = perf_matrix(smoke_options());
+  const std::vector<PerfCell> second = perf_matrix(smoke_options());
+  ASSERT_EQ(first.size(), second.size());
+  std::set<std::string> keys;
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(first[i].key, second[i].key);
+    EXPECT_EQ(first[i].trace.key, second[i].trace.key);
+    EXPECT_EQ(first[i].grid, second[i].grid);
+    keys.insert(first[i].key);
+  }
+  EXPECT_EQ(keys.size(), first.size()) << "cell keys must be unique";
+}
+
+TEST(PerfMatrixDeathTest, RejectsUnknownName) {
+  MatrixOptions options;
+  options.name = "nope";
+  EXPECT_DEATH(perf_matrix(options), "unknown perf matrix");
+}
+
+TEST(Percentile, NearestRank) {
+  EXPECT_EQ(percentile({}, 50.0), 0.0);
+  EXPECT_EQ(percentile({7.0}, 50.0), 7.0);
+  EXPECT_EQ(percentile({3.0, 1.0, 2.0}, 50.0), 2.0);
+  EXPECT_EQ(percentile({3.0, 1.0, 2.0}, 0.0), 1.0);
+  EXPECT_EQ(percentile({3.0, 1.0, 2.0}, 100.0), 3.0);
+  EXPECT_EQ(percentile({1.0, 2.0, 3.0, 4.0}, 95.0), 4.0);
+}
+
+TEST(ReadyTreeTest, OrdersByTimeThenProcessor) {
+  ReadyTree tree;
+  tree.init(5);
+  EXPECT_EQ(tree.min(), ReadyTree::kIdle);
+  tree.set(3, ReadyTree::encode(10, 3));
+  tree.set(1, ReadyTree::encode(7, 1));
+  tree.set(4, ReadyTree::encode(7, 4));
+  // Earliest time wins; equal times break ties toward the lower proc id —
+  // the pop order of the (time, proc) heap the tree replaced.
+  EXPECT_EQ(ReadyTree::when_of(tree.min()), Cycle{7});
+  EXPECT_EQ(ReadyTree::proc_of(tree.min()), ProcId{1});
+  tree.clear(1);
+  EXPECT_EQ(ReadyTree::proc_of(tree.min()), ProcId{4});
+  tree.clear(4);
+  EXPECT_EQ(ReadyTree::when_of(tree.min()), Cycle{10});
+  tree.clear(3);
+  EXPECT_EQ(tree.min(), ReadyTree::kIdle);
+}
+
+TEST(ReadyTreeTest, RescheduleOverwritesTheSlot) {
+  ReadyTree tree;
+  tree.init(2);
+  tree.set(0, ReadyTree::encode(100, 0));
+  tree.set(1, ReadyTree::encode(50, 1));
+  EXPECT_EQ(ReadyTree::proc_of(tree.min()), ProcId{1});
+  tree.set(1, ReadyTree::encode(200, 1));
+  EXPECT_EQ(ReadyTree::proc_of(tree.min()), ProcId{0});
+  EXPECT_EQ(ReadyTree::when_of(tree.min()), Cycle{100});
+}
+
+// A two-cell slice of the smoke matrix keeps the measured runtime small
+// while still exercising the full measurement path.
+std::vector<PerfCell> tiny_matrix() {
+  std::vector<PerfCell> cells = perf_matrix(smoke_options());
+  cells.resize(2);
+  return cells;
+}
+
+TEST(RunMatrix, MatchesADirectSimulatorRun) {
+  const std::vector<PerfCell> cells = tiny_matrix();
+  const PerfReport report = run_matrix(cells, smoke_options(), 2);
+  ASSERT_EQ(report.cells.size(), cells.size());
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    // Equivalence guard: the harness must measure exactly the simulator it
+    // claims to — same trace, same config, same result counters.
+    const ProgramTrace trace = cells[i].trace.build();
+    CoherenceSystem system(cells[i].system);
+    Engine engine(system, trace, cells[i].engine);
+    const RunResult run = engine.run();
+    EXPECT_EQ(report.cells[i].accesses, run.protocol.accesses)
+        << cells[i].key;
+    EXPECT_EQ(report.cells[i].sim_cycles, run.exec_cycles) << cells[i].key;
+    EXPECT_EQ(report.cells[i].trace_events, trace.total_events())
+        << cells[i].key;
+    EXPECT_EQ(report.cells[i].sim_ms.count(), 2u) << cells[i].key;
+  }
+  EXPECT_EQ(report.all.cells, cells.size());
+  EXPECT_EQ(report.fig07_10.cells, 0u);  // smoke cells are all "extended"
+}
+
+TEST(WriteReport, EmitsTheVersionedSchema) {
+  const std::vector<PerfCell> cells = tiny_matrix();
+  const PerfReport report = run_matrix(cells, smoke_options(), 1);
+  std::ostringstream out;
+  write_report(out, report, nullptr);
+
+  JsonValue doc;
+  std::string error;
+  ASSERT_TRUE(json_parse(out.str(), doc, &error)) << error;
+  ASSERT_TRUE(doc.is_object());
+  EXPECT_EQ(doc.string_or("schema", ""), kSchemaName);
+  EXPECT_EQ(doc.number_or("schema_version", -1), kSchemaVersion);
+  ASSERT_NE(doc.find("git_sha"), nullptr);
+  ASSERT_NE(doc.get("machine", "compiler"), nullptr);
+  ASSERT_NE(doc.get("machine", "build_type"), nullptr);
+  EXPECT_EQ(doc.get("config", "matrix")->as_string(), "smoke");
+  EXPECT_EQ(doc.get("config", "reps")->as_number(), 1.0);
+
+  const JsonValue* cell_array = doc.find("cells");
+  ASSERT_NE(cell_array, nullptr);
+  ASSERT_TRUE(cell_array->is_array());
+  ASSERT_EQ(cell_array->items().size(), cells.size());
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const JsonValue& cell = cell_array->items()[i];
+    EXPECT_EQ(cell.string_or("key", ""), cells[i].key);
+    ASSERT_NE(cell.get("sim_ms", "p50"), nullptr) << cells[i].key;
+    EXPECT_GT(cell.number_or("accesses", 0.0), 0.0) << cells[i].key;
+    EXPECT_GT(cell.number_or("sim_cycles", 0.0), 0.0) << cells[i].key;
+    EXPECT_GT(cell.number_or("accesses_per_sec", 0.0), 0.0) << cells[i].key;
+  }
+  ASSERT_NE(doc.get("aggregate", "all"), nullptr);
+  ASSERT_NE(doc.get("aggregate", "fig07_10"), nullptr);
+  EXPECT_EQ(doc.get("aggregate", "all", "cells")->as_number(),
+            static_cast<double>(cells.size()));
+  EXPECT_EQ(doc.find("baseline"), nullptr);  // none supplied
+}
+
+TEST(WriteReport, BaselineRoundTripsAndYieldsSpeedups) {
+  const std::vector<PerfCell> cells = tiny_matrix();
+  const PerfReport report = run_matrix(cells, smoke_options(), 1);
+  std::ostringstream first;
+  write_report(first, report, nullptr);
+
+  // A report must load back as its own baseline...
+  std::string error;
+  const std::optional<Baseline> baseline =
+      load_baseline(first.str(), "BENCH_PERF.json", &error);
+  ASSERT_TRUE(baseline.has_value()) << error;
+  EXPECT_EQ(baseline->git, report.git);
+  EXPECT_EQ(baseline->cell_throughput.size(), report.cells.size());
+  // json_number emits 6 significant digits, so the round trip is only
+  // accurate to ~1e-5 relative.
+  EXPECT_NEAR(baseline->all_accesses_per_sec, report.all.accesses_per_sec,
+              report.all.accesses_per_sec * 1e-4);
+
+  // ...and diffing a run against itself reports ~1.0x per cell.
+  std::ostringstream second;
+  write_report(second, report, &*baseline);
+  JsonValue doc;
+  ASSERT_TRUE(json_parse(second.str(), doc, &error)) << error;
+  const JsonValue* speedup = doc.get("baseline", "all", "speedup");
+  ASSERT_NE(speedup, nullptr);
+  EXPECT_NEAR(speedup->as_number(), 1.0, 1e-4);
+  const JsonValue* cell_diffs = doc.get("baseline", "cells");
+  ASSERT_NE(cell_diffs, nullptr);
+  ASSERT_EQ(cell_diffs->items().size(), report.cells.size());
+  for (const JsonValue& cell : cell_diffs->items()) {
+    EXPECT_NEAR(cell.number_or("speedup", 0.0), 1.0, 1e-4);
+  }
+}
+
+TEST(LoadBaseline, RejectsWrongSchema) {
+  std::string error;
+  EXPECT_FALSE(load_baseline("{\"schema\":\"other\",\"schema_version\":1}",
+                             "x.json", &error)
+                   .has_value());
+  EXPECT_FALSE(error.empty());
+  error.clear();
+  EXPECT_FALSE(load_baseline("{\"schema\":\"dircc-bench-perf\","
+                             "\"schema_version\":999}",
+                             "x.json", &error)
+                   .has_value());
+  EXPECT_FALSE(error.empty());
+  error.clear();
+  EXPECT_FALSE(load_baseline("not json", "x.json", &error).has_value());
+  EXPECT_FALSE(error.empty());
+}
+
+}  // namespace
+}  // namespace dircc::perf

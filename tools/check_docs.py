@@ -41,6 +41,12 @@ DOCUMENTED_FLAGS = {
                         "units", "hot", "pool", "locks", "cache-lines",
                         "l1-lines", "minimize", "dump", "replay",
                         "require-caught"]),
+    # perf_suite is deliberately NOT in SWEEP_BINARIES: it measures the
+    # simulator itself and runs serially, so it has none of the shared
+    # sweep flags — only its own, tabled in docs/PERFORMANCE.md.
+    "perf_suite": ("docs/PERFORMANCE.md",
+                   ["matrix", "reps", "scale", "seed", "out", "baseline",
+                    "list", "progress"]),
 }
 
 
@@ -93,6 +99,13 @@ def check_flags(build_dir):
                 errors.append(f"{binary}: documented shared flag --{flag} "
                               "missing from --help")
     for binary, (doc, flags) in DOCUMENTED_FLAGS.items():
+        if binary not in helps:
+            text = help_text(build_dir, binary)
+            if text is None:
+                errors.append(f"{binary}: not built under "
+                              f"{build_dir}/bench")
+            else:
+                helps[binary] = text
         doc_text = (REPO / doc).read_text(encoding="utf-8")
         for flag in flags:
             if f"--{flag}" not in doc_text:
