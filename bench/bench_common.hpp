@@ -9,6 +9,7 @@
 #pragma once
 
 #include <algorithm>
+#include <cerrno>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
@@ -33,6 +34,23 @@ namespace dircc::bench {
 inline constexpr int kProcs = 32;
 inline constexpr int kBlockSize = 16;
 inline constexpr std::uint64_t kSeed = 1990;
+
+/// Strictly parses one token of a comma-list option as an integer: the
+/// whole token must be numeric or this throws CliError naming the option
+/// (rendered as a clean usage error by run_cli). std::stoi would accept
+/// "1.5" as 1 and abort the process on "abc".
+inline std::int64_t parse_int_token(const std::string& option,
+                                    const std::string& token) {
+  errno = 0;
+  char* end = nullptr;
+  const long long value = std::strtoll(token.c_str(), &end, 10);
+  if (token.empty() || end != token.c_str() + token.size() ||
+      errno == ERANGE) {
+    throw CliError("option --" + option + " expects integers, got '" +
+                   token + "'");
+  }
+  return value;
+}
 
 /// The paper's four studied schemes at the ~17-bit directory budget
 /// (Section 5: three pointers, coarse regions of two).

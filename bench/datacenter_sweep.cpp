@@ -1,0 +1,238 @@
+// datacenter_sweep: datacenter workloads x directory schemes x client
+// counts.
+//
+// Sweeps the three datacenter generators (trace/datacenter.hpp) over the
+// paper's directory schemes and a client-count axis, in either of two
+// execution modes:
+//
+//  * --mode materialize — every cell's trace is built once into the shared
+//    TraceCache and cells run concurrently on the sweep harness (exactly
+//    like the figure binaries).
+//  * --mode stream — every cell pulls its events straight from the
+//    streaming EventSource with bounded per-processor lookahead, so memory
+//    stays flat no matter how many events the run replays. Cells run
+//    serially and the binary reports peak RSS; --rss-limit-mb turns that
+//    report into a hard failure bound (the CI streaming smoke check).
+//
+// The two modes replay identical per-processor event streams, so with
+// --omit-timing their --json output is byte-identical — that equivalence
+// is itself a CI check.
+//
+// Examples:
+//   datacenter_sweep --table
+//   datacenter_sweep --workloads kv --clients 4096 --schemes full,cv
+//                    --mode stream --rss-limit-mb 512    (one command line)
+#include <iostream>
+#include <sstream>
+
+#include "bench_common.hpp"
+#include "perf/perf.hpp"
+#include "trace/datacenter.hpp"
+
+namespace {
+
+using namespace dircc;
+using namespace dircc::bench;
+
+std::vector<std::string> split_list(const std::string& text) {
+  std::vector<std::string> out;
+  std::istringstream in(text);
+  std::string item;
+  while (std::getline(in, item, ',')) {
+    if (!item.empty()) {
+      out.push_back(item);
+    }
+  }
+  return out;
+}
+
+DatacenterKind parse_workload(const std::string& name) {
+  if (name == "kv") return DatacenterKind::kKv;
+  if (name == "queue") return DatacenterKind::kQueue;
+  if (name == "oltp") return DatacenterKind::kOltp;
+  ensure(false, "unknown workload (expected kv, queue or oltp)");
+  return DatacenterKind::kKv;
+}
+
+SchemeConfig parse_scheme(const std::string& name, int clusters) {
+  if (name == "full") return SchemeConfig::full(clusters);
+  if (name == "cv") return SchemeConfig::coarse(clusters, 3, 2);
+  if (name == "b") return SchemeConfig::broadcast(clusters, 3);
+  if (name == "nb") return SchemeConfig::no_broadcast(clusters, 3);
+  ensure(false, "unknown scheme (expected full, cv, b or nb)");
+  return SchemeConfig::full(clusters);
+}
+
+/// One grid cell plus the streaming-source recipe the stream mode uses
+/// instead of the cell's TraceSpec.
+struct DcCell {
+  harness::SweepCell cell;
+  DatacenterKind kind;
+  std::uint64_t clients;
+};
+
+}  // namespace
+
+int run_main(int argc, char** argv) {
+  CliParser cli;
+  cli.add_option("workloads", "kv,queue,oltp",
+                 "comma-separated datacenter workloads (kv,queue,oltp)");
+  cli.add_option("schemes", "full,cv,b,nb",
+                 "comma-separated directory schemes (full,cv,b,nb)");
+  cli.add_option("clients", "256",
+                 "comma-separated simulated client counts (e.g. 64,256,1024)");
+  cli.add_option("procs", "32", "processors (one per cluster)");
+  cli.add_option("cache-lines", "1024", "cache lines per processor");
+  cli.add_option("scale", "1.0",
+                 "per-client operation-count multiplier (event-count axis)");
+  cli.add_option("seed", "1990", "base seed for traces and per-cell seeds");
+  cli.add_option("mode", "materialize",
+                 "execution mode: 'materialize' (cached traces, concurrent "
+                 "cells) or 'stream' (bounded-lookahead sources, serial "
+                 "cells, flat memory)");
+  cli.add_option("rss-limit-mb", "0",
+                 "fail (exit 1) if peak RSS exceeds this many MiB "
+                 "(0 = no bound; the CI streaming smoke check)");
+  add_harness_options(cli);
+  cli.add_flag("table", "also print a human-readable summary table");
+  if (!cli.parse(argc, argv)) {
+    std::cerr << cli.error() << "\n" << cli.usage(argv[0]);
+    return 2;
+  }
+  if (cli.help_requested()) {
+    std::cout << cli.usage(argv[0]);
+    return 0;
+  }
+
+  const int procs = static_cast<int>(cli.get_int("procs"));
+  const auto cache_lines =
+      static_cast<std::uint64_t>(cli.get_int("cache-lines"));
+  const double scale = cli.get_double("scale");
+  const auto base_seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+  const auto rss_limit_mb =
+      static_cast<std::uint64_t>(cli.get_int("rss-limit-mb"));
+  const std::string mode = cli.get("mode");
+  ensure(mode == "materialize" || mode == "stream",
+         "unknown --mode (expected 'materialize' or 'stream')");
+
+  // Fixed nesting order: workload x clients x scheme — cell definition
+  // order, JSON sort keys and per-cell seeds depend only on the spec.
+  std::vector<DcCell> grid;
+  for (const std::string& wl_token : split_list(cli.get("workloads"))) {
+    const DatacenterKind kind = parse_workload(wl_token);
+    for (const std::string& clients_token : split_list(cli.get("clients"))) {
+      const std::int64_t parsed = parse_int_token("clients", clients_token);
+      if (parsed < 1) {
+        throw CliError("option --clients entries must be positive, got '" +
+                       clients_token + "'");
+      }
+      const auto clients = static_cast<std::uint64_t>(parsed);
+      for (const std::string& scheme_token :
+           split_list(cli.get("schemes"))) {
+        const SchemeConfig scheme = parse_scheme(scheme_token, procs);
+        const std::string scheme_name = make_format(scheme)->name();
+        SystemConfig config;
+        config.num_procs = procs;
+        config.procs_per_cluster = 1;
+        config.cache_lines_per_proc = cache_lines;
+        config.cache_assoc = 4;
+        config.block_size = kBlockSize;
+        config.scheme = scheme;
+        DcCell dc;
+        dc.kind = kind;
+        dc.clients = clients;
+        dc.cell.key = std::string("dc/app=") + datacenter_name(kind) +
+                      "/clients=" + clients_token +
+                      "/scheme=" + scheme_name;
+        dc.cell.fields = {{"app", datacenter_name(kind)},
+                          {"clients", clients_token},
+                          {"scheme", scheme_name}};
+        dc.cell.trace = harness::datacenter_trace(
+            kind, procs, kBlockSize, clients, base_seed, scale);
+        dc.cell.system = config;
+        dc.cell.system.seed = harness::cell_seed(base_seed, dc.cell.key);
+        grid.push_back(std::move(dc));
+      }
+    }
+  }
+  ensure(!grid.empty(), "the grid spec expands to zero cells");
+
+  HarnessOptions options = read_harness_options(cli);
+  std::vector<harness::SweepCell> cells;
+  cells.reserve(grid.size());
+  for (const DcCell& dc : grid) {
+    cells.push_back(dc.cell);
+  }
+  apply_backend(cells, options);
+
+  harness::SweepRunner runner(options.threads);
+  std::vector<harness::CellResult> results;
+  std::uint64_t events_pulled = 0;
+  if (mode == "materialize") {
+    results = runner.run(cells, sweep_options(options));
+  } else {
+    // Streaming mode: serial cells, each pulling from a fresh bounded-
+    // lookahead source — never a materialized trace. The per-processor
+    // streams are identical to the materialized mode's, so the RunResults
+    // (and with --omit-timing the JSON bytes) match exactly.
+    if (!options.trace_out.empty() || !options.metrics_path.empty()) {
+      std::cerr << "note: --trace-out/--metrics apply to --mode "
+                   "materialize only\n";
+    }
+    results.reserve(cells.size());
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      const DcCell& dc = grid[i];
+      harness::CellResult out;
+      out.key = cells[i].key;
+      out.fields = cells[i].fields;
+      const auto source = make_datacenter_source(
+          dc.kind, procs, kBlockSize, dc.clients, base_seed, scale);
+      CoherenceSystem system(cells[i].system);
+      Engine engine(system, *source, cells[i].engine);
+      out.result = engine.run();
+      events_pulled += source->events_pulled();
+      results.push_back(std::move(out));
+    }
+  }
+
+  if (cli.get_flag("table")) {
+    TextTable table;
+    table.header({"app", "clients", "scheme", "exec cycles", "total msgs",
+                  "inv+ack", "lock acquires"});
+    for (const harness::CellResult& cell : results) {
+      const RunResult& r = cell.result;
+      table.row({cell.fields[0].second, cell.fields[1].second,
+                 cell.fields[2].second, fmt_count(r.exec_cycles),
+                 fmt_count(r.total_messages().total()),
+                 fmt_count(r.protocol.messages.inv_plus_ack()),
+                 fmt_count(r.sync.lock_acquires)});
+    }
+    table.print(std::cout);
+    std::cout << "\n";
+  }
+
+  if (mode == "materialize") {
+    emit_outputs(options, runner, results);
+  } else {
+    emit_json(options, results);
+  }
+
+  // Memory accounting: the whole point of stream mode. Reported in both
+  // modes so the flat-vs-O(events) contrast is one flag flip away.
+  const std::uint64_t peak_mb = perf::peak_rss_bytes() / (1024 * 1024);
+  std::cerr << "peak RSS: " << peak_mb << " MiB";
+  if (mode == "stream") {
+    std::cerr << " (streamed " << events_pulled << " events)";
+  }
+  std::cerr << "\n";
+  if (rss_limit_mb > 0 && peak_mb > rss_limit_mb) {
+    std::cerr << "FAIL: peak RSS " << peak_mb << " MiB exceeds --rss-limit-mb "
+              << rss_limit_mb << "\n";
+    return 1;
+  }
+  return 0;
+}
+
+int main(int argc, char** argv) {
+  return dircc::run_cli([&] { return run_main(argc, argv); });
+}

@@ -299,7 +299,7 @@ void dump_failure(const FuzzFlags& flags, const harness::SweepCell& cell,
 
 }  // namespace
 
-int main(int argc, char** argv) {
+int run_main(int argc, char** argv) {
   const FuzzFlags flags = parse_flags(argc, argv);
   if (!flags.replay_path.empty()) {
     return replay(flags);
@@ -460,4 +460,8 @@ int main(int argc, char** argv) {
     std::cout << "\nall injected faults caught; all clean cells clean\n";
   }
   return 0;
+}
+
+int main(int argc, char** argv) {
+  return dircc::run_cli([&] { return run_main(argc, argv); });
 }

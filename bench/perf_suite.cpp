@@ -19,14 +19,16 @@
 #include "common/ensure.hpp"
 #include "perf/perf.hpp"
 
-int main(int argc, char** argv) {
+int run_main(int argc, char** argv) {
   using namespace dircc;
   using namespace dircc::perf;
 
   CliParser cli;
   cli.add_option("matrix", "full",
                  "cell matrix: 'fig07_10' (the Figure 7-10 grid), 'full' "
-                 "(x backend x store) or 'smoke' (reduced CI grid)");
+                 "(x backend x store), 'smoke' (reduced CI grid) or "
+                 "'streaming' (datacenter workloads through bounded-"
+                 "lookahead sources, with per-cell peak RSS)");
   cli.add_option("reps", "3", "simulate-phase repetitions per cell");
   cli.add_option("scale", "1.0", "trace-size multiplier");
   cli.add_option("seed", "1990", "trace-generator seed");
@@ -110,4 +112,8 @@ int main(int argc, char** argv) {
     std::cout << "\nwrote " << out_path << "\n";
   }
   return 0;
+}
+
+int main(int argc, char** argv) {
+  return dircc::run_cli([&] { return run_main(argc, argv); });
 }

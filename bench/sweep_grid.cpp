@@ -34,13 +34,36 @@ std::vector<std::string> split_list(const std::string& text) {
   return out;
 }
 
-AppKind parse_app(const std::string& name) {
-  if (name == "lu") return AppKind::kLu;
-  if (name == "dwf") return AppKind::kDwf;
-  if (name == "mp3d") return AppKind::kMp3d;
-  if (name == "locus") return AppKind::kLocusRoute;
-  ensure(false, "unknown app (expected lu, dwf, mp3d or locus)");
-  return AppKind::kLu;
+/// Resolves an --apps token against both workload registries: the four
+/// paper applications and the three datacenter generators.
+struct Workload {
+  const char* name;
+  harness::TraceSpec trace;
+};
+
+Workload parse_workload(const std::string& token, int procs,
+                        std::uint64_t clients, std::uint64_t base_seed,
+                        double scale) {
+  if (token == "lu" || token == "dwf" || token == "mp3d" ||
+      token == "locus") {
+    const AppKind app = token == "lu"     ? AppKind::kLu
+                        : token == "dwf"  ? AppKind::kDwf
+                        : token == "mp3d" ? AppKind::kMp3d
+                                          : AppKind::kLocusRoute;
+    return {app_name(app),
+            harness::app_trace(app, procs, kBlockSize, base_seed, scale)};
+  }
+  if (token == "kv" || token == "queue" || token == "oltp") {
+    const DatacenterKind kind = token == "kv"      ? DatacenterKind::kKv
+                                : token == "queue" ? DatacenterKind::kQueue
+                                                   : DatacenterKind::kOltp;
+    return {datacenter_name(kind),
+            harness::datacenter_trace(kind, procs, kBlockSize, clients,
+                                      base_seed, scale)};
+  }
+  ensure(false,
+         "unknown app (expected lu, dwf, mp3d, locus, kv, queue or oltp)");
+  return {"", {}};
 }
 
 SchemeConfig parse_scheme(const std::string& name, int clusters) {
@@ -62,10 +85,14 @@ ReplPolicy parse_policy(const std::string& name) {
 
 }  // namespace
 
-int main(int argc, char** argv) {
+int run_main(int argc, char** argv) {
   CliParser cli;
   cli.add_option("apps", "lu,dwf,mp3d,locus",
-                 "comma-separated applications (lu,dwf,mp3d,locus)");
+                 "comma-separated workloads "
+                 "(lu,dwf,mp3d,locus,kv,queue,oltp)");
+  cli.add_option("clients", "256",
+                 "simulated clients for the datacenter workloads "
+                 "(kv,queue,oltp)");
   cli.add_option("schemes", "full,cv,b,nb",
                  "comma-separated directory schemes (full,cv,b,nb)");
   cli.add_option("size-factors", "0",
@@ -109,6 +136,7 @@ int main(int argc, char** argv) {
       static_cast<std::uint64_t>(cli.get_int("cache-lines"));
   const double scale = cli.get_double("scale");
   const auto base_seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+  const auto clients = static_cast<std::uint64_t>(cli.get_int("clients"));
   const ReplPolicy policy = parse_policy(cli.get("policy"));
 
   // Expand the grid in a fixed nesting order so cell definition order (and
@@ -116,14 +144,14 @@ int main(int argc, char** argv) {
   // spec. Non-sparse cells ignore associativity and are emitted once.
   std::vector<harness::SweepCell> cells;
   for (const std::string& app_token : split_list(cli.get("apps"))) {
-    const AppKind app = parse_app(app_token);
-    const harness::TraceSpec trace =
-        harness::app_trace(app, procs, kBlockSize, base_seed, scale);
+    const Workload workload =
+        parse_workload(app_token, procs, clients, base_seed, scale);
     for (const std::string& scheme_token : split_list(cli.get("schemes"))) {
       const SchemeConfig scheme = parse_scheme(scheme_token, procs);
       const std::string scheme_name = make_format(scheme)->name();
       for (const std::string& sf_token : split_list(cli.get("size-factors"))) {
-        const int size_factor = std::stoi(sf_token);
+        const int size_factor =
+            static_cast<int>(parse_int_token("size-factors", sf_token));
         std::vector<std::string> assoc_tokens =
             split_list(cli.get("assocs"));
         if (size_factor == 0) {
@@ -138,17 +166,20 @@ int main(int argc, char** argv) {
           config.block_size = kBlockSize;
           config.scheme = scheme;
           if (size_factor != 0) {
-            make_sparse(config, size_factor, std::stoi(assoc_token), policy);
+            make_sparse(config, size_factor,
+                        static_cast<int>(parse_int_token("assocs",
+                                                         assoc_token)),
+                        policy);
           }
           harness::SweepCell cell;
-          cell.key = std::string("grid/app=") + app_name(app) +
+          cell.key = std::string("grid/app=") + workload.name +
                      "/scheme=" + scheme_name +
                      "/size_factor=" + sf_token + "/assoc=" + assoc_token;
-          cell.fields = {{"app", app_name(app)},
+          cell.fields = {{"app", workload.name},
                          {"scheme", scheme_name},
                          {"size_factor", sf_token},
                          {"assoc", assoc_token}};
-          cell.trace = trace;
+          cell.trace = workload.trace;
           cell.system = config;
           // Deterministic per-cell seeding: a pure function of the base
           // seed and the cell key, independent of thread count and
@@ -194,4 +225,8 @@ int main(int argc, char** argv) {
 
   emit_outputs(options, runner, results);
   return 0;
+}
+
+int main(int argc, char** argv) {
+  return dircc::run_cli([&] { return run_main(argc, argv); });
 }

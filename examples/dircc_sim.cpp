@@ -75,7 +75,7 @@ bool pick_policy(const std::string& name, ReplPolicy& policy) {
 
 }  // namespace
 
-int main(int argc, char** argv) {
+int run_main(int argc, char** argv) {
   CliParser cli;
   cli.add_option("app", "mp3d", "workload: lu | dwf | mp3d | locus");
   cli.add_option("trace", "", "replay a trace file instead of --app");
@@ -283,4 +283,8 @@ int main(int argc, char** argv) {
   table.row({"barrier episodes", fmt_count(result.sync.barrier_episodes)});
   table.print(std::cout);
   return 0;
+}
+
+int main(int argc, char** argv) {
+  return dircc::run_cli([&] { return run_main(argc, argv); });
 }

@@ -1,11 +1,22 @@
 #include "common/cli.hpp"
 
+#include <cerrno>
 #include <cstdlib>
+#include <iostream>
 #include <sstream>
 
 #include "common/ensure.hpp"
 
 namespace dircc {
+
+int run_cli(const std::function<int()>& body) {
+  try {
+    return body();
+  } catch (const CliError& error) {
+    std::cerr << "error: " << error.what() << "\n";
+    return 2;
+  }
+}
 
 void CliParser::add_option(std::string name, std::string default_value,
                            std::string help) {
@@ -73,11 +84,27 @@ std::string CliParser::get(const std::string& name) const {
 }
 
 std::int64_t CliParser::get_int(const std::string& name) const {
-  return std::strtoll(get(name).c_str(), nullptr, 10);
+  const std::string text = get(name);
+  errno = 0;
+  char* end = nullptr;
+  const long long value = std::strtoll(text.c_str(), &end, 10);
+  if (text.empty() || end != text.c_str() + text.size() || errno == ERANGE) {
+    throw CliError("option --" + name + " expects an integer, got '" + text +
+                   "'");
+  }
+  return value;
 }
 
 double CliParser::get_double(const std::string& name) const {
-  return std::strtod(get(name).c_str(), nullptr);
+  const std::string text = get(name);
+  errno = 0;
+  char* end = nullptr;
+  const double value = std::strtod(text.c_str(), &end);
+  if (text.empty() || end != text.c_str() + text.size() || errno == ERANGE) {
+    throw CliError("option --" + name + " expects a number, got '" + text +
+                   "'");
+  }
+  return value;
 }
 
 bool CliParser::get_flag(const std::string& name) const {

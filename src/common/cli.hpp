@@ -7,11 +7,27 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 namespace dircc {
+
+/// Thrown by the typed accessors when an option's value cannot be
+/// interpreted as the requested type (e.g. --procs=abc via get_int, or
+/// --scale=1.5x via get_double). Previously such values silently parsed
+/// their numeric prefix — "--procs=abc" configured 0 processors.
+class CliError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Wraps a CLI entry point so a CliError surfaces as a normal usage
+/// error on stderr (exit 2) instead of an uncaught-exception abort.
+/// Typical use: `int main(...) { return run_cli([&] { ... }); }`.
+int run_cli(const std::function<int()>& body);
 
 class CliParser {
  public:
@@ -25,6 +41,9 @@ class CliParser {
   bool parse(int argc, const char* const* argv);
 
   std::string get(const std::string& name) const;
+  /// Typed accessors: the whole value must parse as the requested type
+  /// (no trailing garbage, no empty string, no overflow) or they throw
+  /// CliError naming the option and the offending value.
   std::int64_t get_int(const std::string& name) const;
   double get_double(const std::string& name) const;
   bool get_flag(const std::string& name) const;

@@ -68,6 +68,19 @@ TraceSpec locus_trace(const LocusConfig& config) {
   return {key.str(), [config] { return generate_locusroute(config); }};
 }
 
+TraceSpec datacenter_trace(DatacenterKind kind, int procs, int block_size,
+                           std::uint64_t clients, std::uint64_t seed,
+                           double scale) {
+  std::ostringstream key;
+  key << "dc:" << datacenter_name(kind) << "(procs=" << procs
+      << ",block=" << block_size << ",clients=" << clients
+      << ",seed=" << seed << ",scale=" << scale_token(scale) << ")";
+  return {key.str(), [kind, procs, block_size, clients, seed, scale] {
+            return generate_datacenter(kind, procs, block_size, clients,
+                                       seed, scale);
+          }};
+}
+
 std::shared_ptr<const ProgramTrace> TraceCache::get(const TraceSpec& spec) {
   ensure(static_cast<bool>(spec.build), "TraceSpec has no builder");
   std::promise<std::shared_ptr<const ProgramTrace>> promise;

@@ -15,6 +15,7 @@
 #include <string>
 #include <unordered_map>
 
+#include "trace/datacenter.hpp"
 #include "trace/generators.hpp"
 
 namespace dircc::harness {
@@ -37,6 +38,14 @@ TraceSpec lu_trace(const LuConfig& config);
 TraceSpec dwf_trace(const DwfConfig& config);
 TraceSpec mp3d_trace(const Mp3dConfig& config);
 TraceSpec locus_trace(const LocusConfig& config);
+
+/// Spec for a datacenter workload (trace/datacenter.hpp) at a given client
+/// count. Builds the materialized form — identical to draining the
+/// streaming source, so a sweep over cached traces and a streaming run see
+/// the same event streams.
+TraceSpec datacenter_trace(DatacenterKind kind, int procs, int block_size,
+                           std::uint64_t clients, std::uint64_t seed,
+                           double scale = 1.0);
 
 /// Thread-safe build-once cache. The first caller for a key builds the
 /// trace (outside the cache lock, so distinct traces generate in

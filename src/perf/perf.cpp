@@ -19,6 +19,7 @@
 #include "common/json.hpp"
 #include "common/table.hpp"
 #include "directory/format.hpp"
+#include "trace/datacenter.hpp"
 #include "trace/generators.hpp"
 
 namespace dircc::perf {
@@ -218,8 +219,44 @@ double percentile(std::vector<double> samples, double q) {
 
 std::vector<PerfCell> perf_matrix(const MatrixOptions& options) {
   ensure(options.name == "fig07_10" || options.name == "full" ||
-             options.name == "smoke",
-         "unknown perf matrix (expected fig07_10, full or smoke)");
+             options.name == "smoke" || options.name == "streaming",
+         "unknown perf matrix (expected fig07_10, full, smoke or "
+         "streaming)");
+  if (options.name == "streaming") {
+    // Bounded-lookahead cells: throughput of the pull path plus the
+    // flat-memory watermark. Client count is pinned; --scale grows the
+    // event count without touching the data-set shape, which is exactly
+    // the axis the O(1)-memory claim varies.
+    constexpr std::uint64_t kClients = 256;
+    std::vector<PerfCell> cells;
+    for (const DatacenterKind kind :
+         {DatacenterKind::kKv, DatacenterKind::kQueue,
+          DatacenterKind::kOltp}) {
+      for (const SchemeDim& scheme :
+           std::vector<SchemeDim>{{"full", SchemeConfig::full(kProcs)},
+                                  {"nb",
+                                   SchemeConfig::no_broadcast(kProcs, 3)}}) {
+        PerfCell cell;
+        const std::string scheme_name = make_format(scheme.config)->name();
+        cell.key = std::string("perf/stream=") + datacenter_name(kind) +
+                   "/scheme=" + scheme_name;
+        cell.fields = {{"app", datacenter_name(kind)},
+                       {"scheme", scheme_name},
+                       {"backend", "analytic"},
+                       {"store", "dense"}};
+        cell.grid = "streaming";
+        const std::uint64_t seed = options.seed;
+        const double scale = options.scale;
+        cell.stream = [kind, seed, scale] {
+          return make_datacenter_source(kind, kProcs, kBlockSize, kClients,
+                                        seed, scale);
+        };
+        cell.system = perf_machine(scheme.config, options.seed);
+        cells.push_back(std::move(cell));
+      }
+    }
+    return cells;
+  }
   const bool reduced = options.name == "smoke";
   const bool extended = options.name != "fig07_10";
 
@@ -293,18 +330,36 @@ PerfReport run_matrix(const std::vector<PerfCell>& cells,
     result.fields = cell.fields;
     result.grid = cell.grid;
 
-    const double build_start = now_ms();
-    const std::shared_ptr<const ProgramTrace> trace = cache.get(cell.trace);
-    result.build_ms = now_ms() - build_start;
-    result.trace_events = trace->total_events();
-    result.trace_bytes = result.trace_events * sizeof(TraceEvent);
+    std::shared_ptr<const ProgramTrace> trace;
+    if (cell.stream) {
+      // Streaming cell: nothing to build up front — sources are created
+      // per rep (they are single-shot), and the first one's construction
+      // is the build phase.
+      result.trace_bytes = 0;
+    } else {
+      const double build_start = now_ms();
+      trace = cache.get(cell.trace);
+      result.build_ms = now_ms() - build_start;
+      result.trace_events = trace->total_events();
+      result.trace_bytes = result.trace_events * sizeof(TraceEvent);
+    }
 
     std::vector<double> samples;
     samples.reserve(static_cast<std::size_t>(reps));
     for (int rep = 0; rep < reps; ++rep) {
+      std::unique_ptr<EventSource> source;
+      if (cell.stream) {
+        const double build_start = now_ms();
+        source = cell.stream();
+        if (rep == 0) {
+          result.build_ms = now_ms() - build_start;
+        }
+      }
       const double sim_start = now_ms();
       CoherenceSystem system(cell.system);
-      Engine engine(system, *trace, cell.engine);
+      Engine engine = cell.stream
+                          ? Engine(system, *source, cell.engine)
+                          : Engine(system, *trace, cell.engine);
       const RunResult run = engine.run();
       const double elapsed = now_ms() - sim_start;
       samples.push_back(elapsed);
@@ -312,12 +367,18 @@ PerfReport run_matrix(const std::vector<PerfCell>& cells,
       if (rep == 0) {
         result.accesses = run.protocol.accesses;
         result.sim_cycles = run.exec_cycles;
+        if (cell.stream) {
+          result.trace_events = source->events_pulled();
+        }
       } else {
         // The simulator is deterministic; a rep that diverges means the
         // measurement harness itself is broken.
         ensure(run.exec_cycles == result.sim_cycles,
                "perf rep diverged from the first repetition");
       }
+    }
+    if (cell.stream) {
+      result.peak_rss = peak_rss_bytes();
     }
     result.p50_ms = percentile(samples, 50.0);
     result.p95_ms = percentile(samples, 95.0);
@@ -461,6 +522,9 @@ void write_report(std::ostream& out, const PerfReport& report,
     json.field("accesses_per_sec", cell.accesses_per_sec);
     json.field("best_accesses_per_sec", cell.best_accesses_per_sec);
     json.field("mcycles_per_sec", cell.mcycles_per_sec);
+    if (cell.peak_rss > 0) {
+      json.field("peak_rss_bytes", cell.peak_rss);
+    }
     json.end_object();
   }
   json.end_array();
@@ -520,13 +584,28 @@ void print_summary(std::ostream& out, const PerfReport& report,
       << ", " << report.machine.compiler << ", "
       << report.machine.build_type << ")\n\n";
 
+  const bool streaming = std::any_of(
+      report.cells.begin(), report.cells.end(),
+      [](const PerfCellResult& cell) { return cell.peak_rss > 0; });
   TextTable table;
-  table.header({"cell", "accesses", "build ms", "sim p50 ms", "sim p95 ms",
-                "accesses/s"});
+  std::vector<std::string> header = {"cell",       "accesses",
+                                     "build ms",   "sim p50 ms",
+                                     "sim p95 ms", "accesses/s"};
+  if (streaming) {
+    header.push_back("peak RSS MiB");
+  }
+  table.header(header);
   for (const PerfCellResult& cell : report.cells) {
-    table.row({cell.key, std::to_string(cell.accesses),
-               fmt_ms(cell.build_ms), fmt_ms(cell.p50_ms),
-               fmt_ms(cell.p95_ms), fmt_rate(cell.accesses_per_sec)});
+    std::vector<std::string> row = {
+        cell.key,          std::to_string(cell.accesses),
+        fmt_ms(cell.build_ms), fmt_ms(cell.p50_ms),
+        fmt_ms(cell.p95_ms),   fmt_rate(cell.accesses_per_sec)};
+    if (streaming) {
+      row.push_back(cell.peak_rss > 0
+                        ? std::to_string(cell.peak_rss / (1024 * 1024))
+                        : "-");
+    }
+    table.row(row);
   }
   table.print(out);
 

@@ -59,19 +59,30 @@ struct PerfCell {
   /// Label dimensions emitted into the cell's JSON record.
   std::vector<std::pair<std::string, std::string>> fields;
   /// "fig07_10" for the dense/analytic app x scheme sub-grid (the headline
-  /// aggregate), "extended" otherwise.
+  /// aggregate), "streaming" for the bounded-lookahead cells, "extended"
+  /// otherwise.
   std::string grid;
   harness::TraceSpec trace;
+  /// Streaming cell: when set, every rep pulls from a fresh source built by
+  /// this factory instead of a cached trace (`trace` is ignored and nothing
+  /// is materialized). `trace_events` then reports the events pulled and
+  /// the cell records its own peak-RSS watermark — the number the flat-
+  /// memory claim is checked against.
+  std::function<std::unique_ptr<EventSource>()> stream;
   SystemConfig system;
   EngineConfig engine;
 };
 
 /// Matrix selection. `name` is one of:
-///  * "fig07_10" — exactly the Figure 7-10 grid: 4 apps x 4 schemes,
+///  * "fig07_10"  — exactly the Figure 7-10 grid: 4 apps x 4 schemes,
 ///    analytic backend, full (dense) directory. 16 cells.
-///  * "full"     — fig07_10 crossed with backend {analytic, queued} and
+///  * "full"      — fig07_10 crossed with backend {analytic, queued} and
 ///    store {dense, sparse}. 64 cells.
-///  * "smoke"    — a reduced 2x2x2x2 grid at quarter scale for CI.
+///  * "smoke"     — a reduced 2x2x2x2 grid at quarter scale for CI.
+///  * "streaming" — the three datacenter workloads (kv, queue, oltp)
+///    pulled through bounded-lookahead EventSources: 3 workloads x 2
+///    schemes (full, nb), analytic, dense. 6 cells; scale multiplies the
+///    per-client operation count.
 struct MatrixOptions {
   std::string name = "full";
   double scale = 1.0;      ///< trace-size multiplier fed to the generators
@@ -100,6 +111,10 @@ struct PerfCellResult {
   double best_accesses_per_sec = 0.0;
   /// simulated cycles / p50 simulate seconds, in millions.
   double mcycles_per_sec = 0.0;
+  /// Process peak RSS in bytes sampled right after this cell's reps
+  /// (streaming cells only; 0 otherwise). Monotone across the process, so
+  /// a flat sequence over growing event counts demonstrates O(1) memory.
+  std::uint64_t peak_rss = 0;
 };
 
 /// Throughput over a set of cells (sum of work / sum of p50 time).

@@ -10,22 +10,35 @@ namespace dircc {
 Engine::Engine(MemorySystem& system, const ProgramTrace& trace,
                EngineConfig config, obs::TraceRecorder* recorder,
                check::AccessObserver* checker)
+    : Engine(system, std::make_unique<MaterializedSource>(trace), config,
+             recorder, checker) {}
+
+Engine::Engine(MemorySystem& system, EventSource& source, EngineConfig config,
+               obs::TraceRecorder* recorder, check::AccessObserver* checker)
+    : Engine(system, nullptr, config, recorder, checker, &source) {}
+
+Engine::Engine(MemorySystem& system, std::unique_ptr<MaterializedSource> owned,
+               EngineConfig config, obs::TraceRecorder* recorder,
+               check::AccessObserver* checker, EventSource* source)
     : system_(system),
-      trace_(trace),
+      owned_source_(std::move(owned)),
+      source_(source != nullptr ? source : owned_source_.get()),
       config_(config),
       recorder_(recorder),
       checker_(checker) {
-  ensure(trace.num_procs() == system.num_procs(),
+  ensure(source_ != nullptr, "engine needs an event source");
+  ensure(source_->num_procs() == system.num_procs(),
          "trace and system disagree on the processor count");
-  ensure(trace.block_size == system.block_size(),
+  ensure(source_->block_size() == system.block_size(),
          "trace and system disagree on the block size");
-  const auto procs = static_cast<std::size_t>(trace.num_procs());
+  const auto procs = static_cast<std::size_t>(source_->num_procs());
   block_size_ = system.block_size();
   block_shift_ = (block_size_ & (block_size_ - 1)) == 0
                      ? std::countr_zero(static_cast<unsigned>(block_size_))
                      : -1;
   ready_.init(procs);
-  cursor_.assign(procs, 0);
+  pending_.assign(procs, {});
+  has_pending_.assign(procs, 0);
   finish_time_.assign(procs, 0);
   write_buffer_.assign(procs, {});
   if (obs::compiled() && recorder_ != nullptr) {
@@ -73,7 +86,7 @@ void Engine::wake(ProcId proc, Cycle when) {
     recorder_->record_proc(
         proc, {stall.since, when - stall.since, stall.addr, 0, stall.kind});
   }
-  if (cursor_[proc] < trace_.per_proc[proc].size()) {
+  if (has_pending_[proc]) {
     schedule(proc, when);
   } else {
     finish_time_[proc] = std::max(when, drained(proc, when));
@@ -139,13 +152,18 @@ void Engine::handle_unlock(Addr addr, LockState& lock, Cycle now) {
 }
 
 RunResult Engine::run() {
-  const int procs = trace_.num_procs();
+  const int procs = source_->num_procs();
+  // Prime every processor's one-event lookahead. A processor whose source
+  // yields nothing finishes at t=0 and never participates in barriers —
+  // exactly the empty-stream semantics of the materialized path.
   for (int p = 0; p < procs; ++p) {
-    if (trace_.per_proc[static_cast<std::size_t>(p)].empty()) {
+    const auto proc = static_cast<ProcId>(p);
+    pull(proc);
+    if (!has_pending_[proc]) {
       ++finished_;
     } else {
       ++participants_;
-      schedule(static_cast<ProcId>(p), 0);
+      schedule(proc, 0);
     }
   }
 
@@ -157,9 +175,12 @@ RunResult Engine::run() {
     const Cycle now = ReadyTree::when_of(head);
     const ProcId proc = ReadyTree::proc_of(head);
 
-    const auto& stream = trace_.per_proc[proc];
-    ensure(cursor_[proc] < stream.size(), "processor scheduled past its trace");
-    const TraceEvent& ev = stream[cursor_[proc]++];
+    ensure(has_pending_[proc], "processor scheduled past its trace");
+    // Copy out the in-flight event, then refill the lookahead slot — the
+    // only place the engine touches the source, so a streaming producer
+    // sees exactly one pull per consumed event per processor.
+    const TraceEvent ev = pending_[proc];
+    pull(proc);
     Cycle resume = now + config_.issue_cost;
     bool runnable = true;
 
@@ -289,7 +310,7 @@ RunResult Engine::run() {
     }
 
     if (runnable) {
-      if (cursor_[proc] < stream.size()) {
+      if (has_pending_[proc]) {
         schedule(proc, resume);  // overwrites this processor's slot
       } else {
         // The last buffered writes must land before the processor is done.

@@ -23,8 +23,10 @@
 #include "protocol/system.hpp"
 #include "sim/ready_tree.hpp"
 #include "trace/event.hpp"
+#include "trace/event_source.hpp"
 
 #include <deque>
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
@@ -90,8 +92,19 @@ class Engine {
   /// events. `checker` (optional) is notified after every shared-data
   /// access and may halt the run (src/check invariant oracle). The caller
   /// keeps ownership of both; they must outlive run().
+  ///
+  /// This form wraps `trace` in a MaterializedSource internally, so every
+  /// pre-streaming call site behaves exactly as before.
   Engine(MemorySystem& system, const ProgramTrace& trace,
          EngineConfig config = {}, obs::TraceRecorder* recorder = nullptr,
+         check::AccessObserver* checker = nullptr);
+
+  /// Streaming form: pulls events from `source` on demand (one-event
+  /// lookahead per processor beyond the event in flight), so memory stays
+  /// O(source buffers) regardless of how many events the run replays. The
+  /// caller keeps ownership of `source`; it must outlive run().
+  Engine(MemorySystem& system, EventSource& source, EngineConfig config = {},
+         obs::TraceRecorder* recorder = nullptr,
          check::AccessObserver* checker = nullptr);
 
   RunResult run();
@@ -101,6 +114,12 @@ class Engine {
   bool halted_by_checker() const { return halted_; }
 
  private:
+  /// Shared delegate of the two public forms: exactly one of `owned` /
+  /// `source` is non-null.
+  Engine(MemorySystem& system, std::unique_ptr<MaterializedSource> owned,
+         EngineConfig config, obs::TraceRecorder* recorder,
+         check::AccessObserver* checker, EventSource* source = nullptr);
+
   struct LockState {
     bool held = false;
     ProcId holder = kNoProc;
@@ -116,6 +135,10 @@ class Engine {
   void schedule(ProcId proc, Cycle when);
   /// Resumes a processor that was blocked on a lock or barrier.
   void wake(ProcId proc, Cycle when);
+  /// Pulls `proc`'s next event into its lookahead slot.
+  void pull(ProcId proc) {
+    has_pending_[proc] = source_->next(proc, pending_[proc]) ? 1 : 0;
+  }
   void sync_msg(MsgClass cls, std::uint64_t n = 1);
   void handle_unlock(Addr addr, LockState& lock, Cycle now);
   /// Waits for the processor's buffered writes to drain (fence semantics).
@@ -138,14 +161,20 @@ class Engine {
   }
 
   MemorySystem& system_;
-  const ProgramTrace& trace_;
+  /// Set only by the ProgramTrace constructor (the materializing adapter);
+  /// `source_` then points at it.
+  std::unique_ptr<MaterializedSource> owned_source_;
+  EventSource* source_;
   EngineConfig config_;
 
   // One pending event per processor, popped in (time, proc) order.
   ReadyTree ready_;
   int block_size_ = 1;
   int block_shift_ = 0;  ///< log2(block size), or -1 when not a power of two
-  std::vector<std::size_t> cursor_;
+  /// Per-processor one-event lookahead: the next unconsumed event (valid
+  /// while the matching has_pending_ byte is nonzero).
+  std::vector<TraceEvent> pending_;
+  std::vector<char> has_pending_;
   std::vector<Cycle> finish_time_;
   /// Completion times of in-flight buffered writes, oldest first.
   std::vector<std::deque<Cycle>> write_buffer_;

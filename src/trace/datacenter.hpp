@@ -1,0 +1,126 @@
+// Datacenter workload generators (streaming-first).
+//
+// The paper's four SPLASH-era applications reproduce 1990 scientific
+// sharing patterns; the workloads a modern serving stack puts on a shared
+// memory system look different — and stress the directory *harder* in
+// exactly the dimension the paper studies. Three generators, each
+// parameterized by a simulated client count so sweeps can push toward
+// millions of users:
+//
+//  * KV     — Zipf-skewed key-value GET/SET store (think memcached/memec).
+//             A handful of hot keys are read by every front-end processor
+//             and written often enough that every SET invalidates a nearly
+//             full sharer set: the pointer-overflow stress case for
+//             Dir_i B / Dir_i CV_r, far beyond what LU's pivot column does.
+//  * QUEUE  — producer→consumer RPC queues. Payload slots are written by a
+//             producer and read by the consumer that owns the queue:
+//             pairwise/migratory sharing plus lock-protected queue indices.
+//  * OLTP   — lock-heavy transactional row store. Each transaction locks a
+//             Zipf-chosen row, reads it, updates it, releases: migratory
+//             data + heavy lock traffic (MP3D's pattern, scaled up and
+//             contended).
+//
+// Every generator exists in two forms built from one per-processor stream
+// definition, so they agree event for event:
+//  * a streaming EventSource (make_*_source) with O(procs x chunk) memory —
+//    the form billion-access runs use; and
+//  * a materialized ProgramTrace (generate_*) produced by draining the
+//    streaming source — the form sweep grids and the TraceCache consume.
+//
+// Per-processor independence: a processor's stream depends only on the
+// config and its own processor id (clients are dealt round-robin onto
+// processors; all cross-processor contention is resolved by the engine at
+// simulation time, not by the generators). That is what makes bounded-
+// lookahead streaming — and thread-count-invariant results — possible.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "trace/event.hpp"
+#include "trace/event_source.hpp"
+
+namespace dircc {
+
+/// Zipf-skewed key-value GET/SET serving workload.
+struct KvConfig {
+  int procs = 32;
+  int block_size = 16;
+  std::uint64_t clients = 256;       ///< simulated front-end clients
+  std::uint64_t ops_per_client = 64; ///< GET/SET operations per client
+  std::uint64_t keys = 4096;         ///< distinct keys in the store
+  int value_blocks = 4;              ///< cache blocks per value
+  int index_blocks = 8;              ///< widely-read routing/index table
+  double zipf_theta = 0.99;          ///< key skew (0 = uniform; YCSB-like)
+  double get_fraction = 0.9;         ///< remainder are SETs
+  std::uint32_t think_cycles = 4;    ///< client-side work between ops
+  std::uint64_t seed = 11;
+};
+
+/// Producer→consumer RPC queue workload.
+struct QueueConfig {
+  int procs = 32;
+  int block_size = 16;
+  std::uint64_t clients = 256;        ///< RPC client sessions
+  std::uint64_t rpcs_per_client = 32; ///< requests per session
+  int queues = 32;                    ///< queue q is consumed by proc q%procs
+  int slots_per_queue = 16;           ///< payload ring size
+  int payload_blocks = 4;             ///< blocks per message payload
+  std::uint32_t service_cycles = 8;   ///< consumer-side work per message
+  std::uint64_t seed = 12;
+};
+
+/// Lock-heavy migratory OLTP row-store workload.
+struct OltpConfig {
+  int procs = 32;
+  int block_size = 16;
+  std::uint64_t clients = 256;       ///< database connections
+  std::uint64_t txns_per_client = 16;
+  std::uint64_t rows = 1024;         ///< lockable rows
+  int rows_per_txn = 4;              ///< rows touched per transaction
+  int row_blocks = 2;                ///< blocks per row
+  double zipf_theta = 0.8;           ///< row-selection skew
+  double write_fraction = 0.5;       ///< row touches that update the row
+  std::uint32_t think_cycles = 6;    ///< work while holding the row lock
+  std::uint64_t seed = 13;
+};
+
+/// Streaming sources: bounded per-processor lookahead, no O(events) memory.
+std::unique_ptr<EventSource> make_kv_source(const KvConfig& config);
+std::unique_ptr<EventSource> make_queue_source(const QueueConfig& config);
+std::unique_ptr<EventSource> make_oltp_source(const OltpConfig& config);
+
+/// Materialized forms (drain the streaming source): identical streams, for
+/// sweep grids, the TraceCache and the trace-file tools.
+ProgramTrace generate_kv(const KvConfig& config);
+ProgramTrace generate_queue(const QueueConfig& config);
+ProgramTrace generate_oltp(const OltpConfig& config);
+
+/// The three datacenter workloads, for registry-style sweeps.
+enum class DatacenterKind { kKv, kQueue, kOltp };
+
+const char* datacenter_name(DatacenterKind kind);
+
+/// Default-parameter configs for `kind` with the given machine shape and
+/// client count; `scale` multiplies the per-client operation count (the
+/// event-count axis), leaving the data-set shape fixed.
+KvConfig kv_defaults(int procs, int block_size, std::uint64_t clients,
+                     std::uint64_t seed, double scale = 1.0);
+QueueConfig queue_defaults(int procs, int block_size, std::uint64_t clients,
+                           std::uint64_t seed, double scale = 1.0);
+OltpConfig oltp_defaults(int procs, int block_size, std::uint64_t clients,
+                         std::uint64_t seed, double scale = 1.0);
+
+/// Streaming source for `kind` with defaults as above.
+std::unique_ptr<EventSource> make_datacenter_source(DatacenterKind kind,
+                                                    int procs, int block_size,
+                                                    std::uint64_t clients,
+                                                    std::uint64_t seed,
+                                                    double scale = 1.0);
+
+/// Materialized form of make_datacenter_source (identical streams).
+ProgramTrace generate_datacenter(DatacenterKind kind, int procs,
+                                 int block_size, std::uint64_t clients,
+                                 std::uint64_t seed, double scale = 1.0);
+
+}  // namespace dircc

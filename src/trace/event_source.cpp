@@ -1,0 +1,21 @@
+#include "trace/event_source.hpp"
+
+namespace dircc {
+
+ProgramTrace materialize(EventSource& source) {
+  ProgramTrace trace;
+  trace.app_name = source.app_name();
+  trace.block_size = source.block_size();
+  const int procs = source.num_procs();
+  trace.per_proc.assign(static_cast<std::size_t>(procs), {});
+  for (int p = 0; p < procs; ++p) {
+    auto& stream = trace.per_proc[static_cast<std::size_t>(p)];
+    TraceEvent ev;
+    while (source.next(static_cast<ProcId>(p), ev)) {
+      stream.push_back(ev);
+    }
+  }
+  return trace;
+}
+
+}  // namespace dircc

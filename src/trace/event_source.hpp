@@ -1,0 +1,168 @@
+// Streaming event-source interface between trace producers and the engine.
+//
+// The original pipeline materialized a whole ProgramTrace (O(events) memory)
+// before the engine saw the first event, which caps a run at whatever fits
+// in RAM. An EventSource inverts that: the engine *pulls* events one at a
+// time per processor, so a producer only ever needs its bounded per-
+// processor lookahead resident — a billion-access run costs the same memory
+// as a thousand-access one.
+//
+// Two families of sources exist:
+//  * MaterializedSource — adapts an existing ProgramTrace (every SPLASH-era
+//    generator, TraceCache entry and trace file) onto the pull interface.
+//    Replaying through it is byte-identical to the pre-streaming engine.
+//  * BufferedSource — base class for true streaming producers (the
+//    datacenter generators in trace/datacenter.hpp): subclasses refill one
+//    processor's bounded chunk buffer on demand and never hold the full
+//    stream.
+//
+// Contract: per-processor streams are independent — next(p, ...) for
+// different p may be interleaved in any order (the engine pulls in simulated-
+// time order, which is data dependent), and the sequence of events returned
+// for a given processor must not depend on that interleaving.
+#pragma once
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/ensure.hpp"
+#include "trace/event.hpp"
+
+namespace dircc {
+
+/// Pull-based producer of per-processor reference streams.
+class EventSource {
+ public:
+  virtual ~EventSource() = default;
+
+  virtual const std::string& app_name() const = 0;
+  virtual int num_procs() const = 0;
+  virtual int block_size() const = 0;
+
+  /// Pulls the next event of `proc`'s stream into `ev`. Returns false when
+  /// the stream is exhausted (and on every later call for that processor).
+  virtual bool next(ProcId proc, TraceEvent& ev) = 0;
+
+  /// Events handed out so far, across all processors (for throughput and
+  /// progress accounting; monotone, cheap).
+  std::uint64_t events_pulled() const { return pulled_; }
+
+ protected:
+  std::uint64_t pulled_ = 0;
+};
+
+/// Adapter: serves an already-materialized ProgramTrace through the pull
+/// interface. Keeps every existing generator, cache and trace file working
+/// unchanged; replay order and results are identical to indexing the trace
+/// directly.
+class MaterializedSource final : public EventSource {
+ public:
+  /// Non-owning: `trace` must outlive the source.
+  explicit MaterializedSource(const ProgramTrace& trace)
+      : trace_(&trace), cursor_(trace.per_proc.size(), 0) {}
+
+  /// Shared-ownership form for cached traces (harness::TraceCache hands out
+  /// shared_ptr<const ProgramTrace>).
+  explicit MaterializedSource(std::shared_ptr<const ProgramTrace> trace)
+      : owned_(std::move(trace)),
+        trace_(owned_.get()),
+        cursor_(trace_->per_proc.size(), 0) {
+    ensure(trace_ != nullptr, "MaterializedSource needs a trace");
+  }
+
+  const std::string& app_name() const override { return trace_->app_name; }
+  int num_procs() const override { return trace_->num_procs(); }
+  int block_size() const override { return trace_->block_size; }
+
+  bool next(ProcId proc, TraceEvent& ev) override {
+    const auto& stream = trace_->per_proc[proc];
+    std::size_t& cursor = cursor_[proc];
+    if (cursor >= stream.size()) {
+      return false;
+    }
+    ev = stream[cursor++];
+    ++pulled_;
+    return true;
+  }
+
+ private:
+  std::shared_ptr<const ProgramTrace> owned_;
+  const ProgramTrace* trace_;
+  std::vector<std::size_t> cursor_;
+};
+
+/// Base class for streaming producers: maintains one bounded chunk buffer
+/// per processor and asks the subclass to refill it when it drains. Memory
+/// is O(procs x chunk), independent of total event count.
+class BufferedSource : public EventSource {
+ public:
+  BufferedSource(std::string app_name, int procs, int block_size)
+      : app_name_(std::move(app_name)),
+        procs_(procs),
+        block_size_(block_size),
+        buffers_(static_cast<std::size_t>(procs)) {
+    ensure(procs >= 1, "streaming source needs at least one processor");
+    ensure(block_size >= 1, "streaming source needs a positive block size");
+  }
+
+  const std::string& app_name() const override { return app_name_; }
+  int num_procs() const override { return procs_; }
+  int block_size() const override { return block_size_; }
+
+  bool next(ProcId proc, TraceEvent& ev) override {
+    Buffer& buffer = buffers_[proc];
+    if (buffer.pos >= buffer.events.size()) {
+      if (buffer.done) {
+        return false;
+      }
+      buffer.events.clear();
+      buffer.pos = 0;
+      refill(proc, buffer.events);
+      if (buffer.events.empty()) {
+        buffer.done = true;
+        return false;
+      }
+    }
+    ev = buffer.events[buffer.pos++];
+    ++pulled_;
+    return true;
+  }
+
+  /// Largest chunk any refill produced (diagnostic: the lookahead bound).
+  std::size_t max_chunk_events() const {
+    std::size_t max = 0;
+    for (const Buffer& buffer : buffers_) {
+      max = std::max(max, buffer.events.capacity());
+    }
+    return max;
+  }
+
+ protected:
+  /// Appends the next chunk of `proc`'s stream to `out` (empty = stream
+  /// exhausted). Must be a pure function of the source's construction
+  /// parameters and this processor's own progress — never of the other
+  /// processors' pull order.
+  virtual void refill(ProcId proc, std::vector<TraceEvent>& out) = 0;
+
+ private:
+  struct Buffer {
+    std::vector<TraceEvent> events;
+    std::size_t pos = 0;
+    bool done = false;
+  };
+
+  std::string app_name_;
+  int procs_;
+  int block_size_;
+  std::vector<Buffer> buffers_;
+};
+
+/// Drains `source` into a ProgramTrace (the materializing adapter's
+/// inverse). The result is exactly the trace a streaming generator stands
+/// for — used by the TraceSpec builders so sweep grids and the TraceCache
+/// keep working on the new workloads, and by the equivalence tests.
+ProgramTrace materialize(EventSource& source);
+
+}  // namespace dircc

@@ -1,0 +1,488 @@
+// Datacenter workload generators: Zipf key-value serving, producer→consumer
+// RPC queues, and lock-heavy OLTP (see datacenter.hpp for the modeling
+// rationale).
+//
+// Implementation shape: each workload is one BufferedSource subclass whose
+// refill() emits a bounded chunk of whole client operations for one
+// processor, from per-processor state only (own RNG, own counters). The
+// materialized generate_* forms simply drain a fresh source, so the two
+// forms cannot diverge.
+#include "trace/datacenter.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/ensure.hpp"
+#include "common/rng.hpp"
+#include "trace/layout.hpp"
+
+namespace dircc {
+namespace {
+
+/// Operations emitted per refill: the per-processor lookahead bound (times
+/// the handful of events one operation expands to).
+constexpr std::uint64_t kOpsPerChunk = 32;
+
+/// Decorrelates per-processor RNG streams from one base seed.
+std::uint64_t proc_seed(std::uint64_t seed, int proc) {
+  SplitMix64 mixer(seed +
+                   0x9e3779b97f4a7c15ULL *
+                       static_cast<std::uint64_t>(proc + 1));
+  return mixer.next();
+}
+
+/// Clients are dealt round-robin onto processors; processor p serves
+/// clients {c : c % procs == p}.
+std::uint64_t clients_of(std::uint64_t clients, int procs, int proc) {
+  const auto p = static_cast<std::uint64_t>(proc);
+  const auto n = static_cast<std::uint64_t>(procs);
+  return clients / n + (p < clients % n ? 1 : 0);
+}
+
+/// Zipf(theta) rank sampler over [0, n): P(k) ∝ 1/(k+1)^theta, via an
+/// O(n)-memory CDF table and binary search. Memory depends on the data-set
+/// size only, never on the event count.
+class ZipfSampler {
+ public:
+  ZipfSampler(std::uint64_t n, double theta) : cdf_(n) {
+    ensure(n >= 1, "Zipf sampler needs a non-empty domain");
+    ensure(theta >= 0.0, "Zipf theta must be non-negative");
+    double total = 0.0;
+    for (std::uint64_t k = 0; k < n; ++k) {
+      total += 1.0 / std::pow(static_cast<double>(k + 1), theta);
+      cdf_[k] = total;
+    }
+    for (double& value : cdf_) {
+      value /= total;
+    }
+  }
+
+  std::uint64_t sample(Rng& rng) const {
+    const double u = rng.uniform();
+    const auto it = std::upper_bound(cdf_.begin(), cdf_.end(), u);
+    return it == cdf_.end()
+               ? cdf_.size() - 1
+               : static_cast<std::uint64_t>(it - cdf_.begin());
+  }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+// ---------------------------------------------------------------------------
+// KV: Zipf-skewed GET/SET store
+// ---------------------------------------------------------------------------
+
+class KvSource final : public BufferedSource {
+ public:
+  explicit KvSource(const KvConfig& config)
+      : BufferedSource("KV", config.procs, config.block_size),
+        config_(config),
+        zipf_(config.keys, config.zipf_theta),
+        layout_(config.block_size),
+        index_(layout_.alloc("index",
+                             static_cast<Addr>(config.index_blocks) *
+                                 static_cast<Addr>(config.block_size))),
+        values_(layout_.alloc(
+            "values", static_cast<Addr>(config.keys) *
+                          static_cast<Addr>(config.value_blocks) *
+                          static_cast<Addr>(config.block_size))),
+        state_(static_cast<std::size_t>(config.procs)) {
+    ensure(config.procs >= 1, "KV needs at least one processor");
+    ensure(config.keys >= 1, "KV needs at least one key");
+    ensure(config.value_blocks >= 1, "KV values need at least one block");
+    ensure(config.index_blocks >= 1, "KV index needs at least one block");
+    ensure(config.get_fraction >= 0.0 && config.get_fraction <= 1.0,
+           "KV get fraction must be in [0, 1]");
+    for (int p = 0; p < config.procs; ++p) {
+      ProcState& state = state_[static_cast<std::size_t>(p)];
+      state.rng = Rng(proc_seed(config.seed, p));
+      state.ops_left = clients_of(config.clients, config.procs, p) *
+                       config.ops_per_client;
+    }
+  }
+
+ protected:
+  void refill(ProcId proc, std::vector<TraceEvent>& out) override {
+    ProcState& state = state_[proc];
+    const std::uint64_t ops = std::min(state.ops_left, kOpsPerChunk);
+    const auto block = static_cast<Addr>(block_size());
+    for (std::uint64_t op = 0; op < ops; ++op) {
+      const std::uint64_t key = zipf_.sample(state.rng);
+      const bool is_get = state.rng.chance(config_.get_fraction);
+      // Route through the widely-read (read-only) index table first.
+      out.push_back(TraceEvent::read(index_.at(
+          (key % static_cast<std::uint64_t>(config_.index_blocks)) * block)));
+      const Addr value =
+          key * static_cast<Addr>(config_.value_blocks) * block;
+      for (int b = 0; b < config_.value_blocks; ++b) {
+        const Addr addr = values_.at(value + static_cast<Addr>(b) * block);
+        out.push_back(is_get ? TraceEvent::read(addr)
+                             : TraceEvent::write(addr));
+      }
+      out.push_back(TraceEvent::think(config_.think_cycles));
+    }
+    state.ops_left -= ops;
+  }
+
+ private:
+  struct ProcState {
+    Rng rng{0};
+    std::uint64_t ops_left = 0;
+  };
+
+  KvConfig config_;
+  ZipfSampler zipf_;
+  AddressLayout layout_;
+  Region index_;
+  Region values_;
+  std::vector<ProcState> state_;
+};
+
+// ---------------------------------------------------------------------------
+// QUEUE: producer→consumer RPC rings
+// ---------------------------------------------------------------------------
+
+class QueueSource final : public BufferedSource {
+ public:
+  explicit QueueSource(const QueueConfig& config)
+      : BufferedSource("QUEUE", config.procs, config.block_size),
+        config_(config),
+        layout_(config.block_size),
+        meta_(layout_.alloc("meta", static_cast<Addr>(config.queues) *
+                                        static_cast<Addr>(config.block_size))),
+        slots_(layout_.alloc(
+            "slots", static_cast<Addr>(config.queues) *
+                         static_cast<Addr>(config.slots_per_queue) *
+                         static_cast<Addr>(config.payload_blocks) *
+                         static_cast<Addr>(config.block_size))),
+        state_(static_cast<std::size_t>(config.procs)) {
+    ensure(config.procs >= 1, "QUEUE needs at least one processor");
+    ensure(config.queues >= 1, "QUEUE needs at least one queue");
+    ensure(config.slots_per_queue >= 1, "QUEUE rings need at least one slot");
+    ensure(config.payload_blocks >= 1,
+           "QUEUE payloads need at least one block");
+    // Arrival counts per queue, in closed form: client c's i-th RPC goes to
+    // queue (c + i) % queues, so both sides of the stream agree on how many
+    // messages each consumer must drain without any shared counters.
+    const auto queues = static_cast<std::uint64_t>(config.queues);
+    std::vector<std::uint64_t> arrivals(queues, 0);
+    const std::uint64_t base = config.rpcs_per_client / queues;
+    const std::uint64_t rem = config.rpcs_per_client % queues;
+    for (std::uint64_t q = 0; q < queues; ++q) {
+      arrivals[q] = config.clients * base;
+    }
+    // The leftover `rem` RPCs of client c land on queues c, c+1, ...,
+    // c+rem-1 (mod queues): queue q receives one from every client with
+    // (q - c) mod queues < rem.
+    for (std::uint64_t x = 0; x < queues; ++x) {
+      const std::uint64_t clients_at =
+          config.clients / queues + (x < config.clients % queues ? 1 : 0);
+      for (std::uint64_t j = 0; j < rem; ++j) {
+        arrivals[(x + j) % queues] += clients_at;
+      }
+    }
+    for (int p = 0; p < config.procs; ++p) {
+      ProcState& state = state_[static_cast<std::size_t>(p)];
+      state.rng = Rng(proc_seed(config.seed, p));
+      state.nclients = clients_of(config.clients, config.procs, p);
+      state.produce_left = state.nclients * config.rpcs_per_client;
+      // First client on this processor, for the queue rotation.
+      state.next_client = static_cast<std::uint64_t>(p);
+      for (int q = p; q < config.queues; q += config.procs) {
+        state.owned_queues.push_back(q);
+        state.consume_left += arrivals[static_cast<std::uint64_t>(q)];
+      }
+      state.produce_slot.assign(static_cast<std::size_t>(config.queues), 0);
+      state.consume_seq.assign(state.owned_queues.size(), 0);
+    }
+  }
+
+ protected:
+  void refill(ProcId proc, std::vector<TraceEvent>& out) override {
+    ProcState& state = state_[proc];
+    // Alternate one enqueue with one dequeue while both remain, so lock and
+    // payload traffic interleave the way a serving loop's would; the longer
+    // side drains at the end.
+    for (std::uint64_t op = 0; op < kOpsPerChunk; ++op) {
+      if (state.produce_left == 0 && state.consume_left == 0) {
+        return;
+      }
+      if (state.produce_left > 0) {
+        produce(state, out);
+      }
+      if (state.consume_left > 0) {
+        consume(state, out);
+      }
+    }
+  }
+
+ private:
+  struct ProcState {
+    Rng rng{0};
+    std::uint64_t nclients = 0;      ///< clients served by this processor
+    std::uint64_t produce_left = 0;
+    std::uint64_t consume_left = 0;
+    std::uint64_t next_client = 0;   ///< client issuing the next RPC
+    std::uint64_t produce_seq = 0;   ///< RPCs issued so far (rotation index)
+    std::vector<int> owned_queues;   ///< queues this processor consumes
+    std::size_t next_owned = 0;      ///< round-robin cursor into the above
+    std::vector<std::uint64_t> produce_slot;  ///< per-queue next write slot
+    std::vector<std::uint64_t> consume_seq;   ///< per-owned-queue reads done
+  };
+
+  Addr meta_addr(int queue) const {
+    return meta_.at(static_cast<Addr>(queue) *
+                    static_cast<Addr>(block_size()));
+  }
+
+  Addr slot_addr(int queue, std::uint64_t slot, int payload_block) const {
+    const auto block = static_cast<Addr>(block_size());
+    const auto per_queue = static_cast<Addr>(config_.slots_per_queue) *
+                           static_cast<Addr>(config_.payload_blocks) * block;
+    return slots_.at(static_cast<Addr>(queue) * per_queue +
+                     static_cast<Addr>(slot) *
+                         static_cast<Addr>(config_.payload_blocks) * block +
+                     static_cast<Addr>(payload_block) * block);
+  }
+
+  void produce(ProcState& state, std::vector<TraceEvent>& out) {
+    // Client c's i-th RPC targets queue (c + i) % queues — matching the
+    // arrival counts computed in the constructor. This processor's clients
+    // are issued round-robin, so i == produce_seq / nclients.
+    const auto queues = static_cast<std::uint64_t>(config_.queues);
+    const std::uint64_t client = state.next_client;
+    const std::uint64_t turn = state.produce_seq / state.nclients;
+    const int q = static_cast<int>((client + turn) % queues);
+    const std::uint64_t slot =
+        state.produce_slot[static_cast<std::size_t>(q)]++ %
+        static_cast<std::uint64_t>(config_.slots_per_queue);
+    const Addr lock_id = static_cast<Addr>(q);
+    out.push_back(TraceEvent::lock(lock_id));
+    out.push_back(TraceEvent::read(meta_addr(q)));   // load tail index
+    for (int b = 0; b < config_.payload_blocks; ++b) {
+      out.push_back(TraceEvent::write(slot_addr(q, slot, b)));
+    }
+    out.push_back(TraceEvent::write(meta_addr(q)));  // publish new tail
+    out.push_back(TraceEvent::unlock(lock_id));
+    --state.produce_left;
+    ++state.produce_seq;
+    // Advance to this processor's next client (round-robin deal).
+    state.next_client += static_cast<std::uint64_t>(num_procs());
+    if (state.next_client >= config_.clients) {
+      state.next_client %= static_cast<std::uint64_t>(num_procs());
+    }
+  }
+
+  void consume(ProcState& state, std::vector<TraceEvent>& out) {
+    const std::size_t owned = state.next_owned % state.owned_queues.size();
+    state.next_owned = (owned + 1) % state.owned_queues.size();
+    const int q = state.owned_queues[owned];
+    const std::uint64_t slot =
+        state.consume_seq[owned]++ %
+        static_cast<std::uint64_t>(config_.slots_per_queue);
+    const Addr lock_id = static_cast<Addr>(q);
+    out.push_back(TraceEvent::lock(lock_id));
+    out.push_back(TraceEvent::read(meta_addr(q)));   // load head index
+    for (int b = 0; b < config_.payload_blocks; ++b) {
+      out.push_back(TraceEvent::read(slot_addr(q, slot, b)));
+    }
+    out.push_back(TraceEvent::write(meta_addr(q)));  // retire the message
+    out.push_back(TraceEvent::unlock(lock_id));
+    out.push_back(TraceEvent::think(config_.service_cycles));
+    --state.consume_left;
+  }
+
+  QueueConfig config_;
+  AddressLayout layout_;
+  Region meta_;
+  Region slots_;
+  std::vector<ProcState> state_;
+};
+
+// ---------------------------------------------------------------------------
+// OLTP: lock-heavy migratory row store
+// ---------------------------------------------------------------------------
+
+class OltpSource final : public BufferedSource {
+ public:
+  explicit OltpSource(const OltpConfig& config)
+      : BufferedSource("OLTP", config.procs, config.block_size),
+        config_(config),
+        zipf_(config.rows, config.zipf_theta),
+        layout_(config.block_size),
+        rows_(layout_.alloc("rows",
+                            static_cast<Addr>(config.rows) *
+                                static_cast<Addr>(config.row_blocks) *
+                                static_cast<Addr>(config.block_size))),
+        state_(static_cast<std::size_t>(config.procs)) {
+    ensure(config.procs >= 1, "OLTP needs at least one processor");
+    ensure(config.rows >= 1, "OLTP needs at least one row");
+    ensure(config.rows_per_txn >= 1, "OLTP txns must touch at least one row");
+    ensure(config.row_blocks >= 1, "OLTP rows need at least one block");
+    ensure(config.write_fraction >= 0.0 && config.write_fraction <= 1.0,
+           "OLTP write fraction must be in [0, 1]");
+    for (int p = 0; p < config.procs; ++p) {
+      ProcState& state = state_[static_cast<std::size_t>(p)];
+      state.rng = Rng(proc_seed(config.seed, p));
+      state.txns_left = clients_of(config.clients, config.procs, p) *
+                        config.txns_per_client;
+    }
+  }
+
+ protected:
+  void refill(ProcId proc, std::vector<TraceEvent>& out) override {
+    ProcState& state = state_[proc];
+    const std::uint64_t txns = std::min(state.txns_left, kOpsPerChunk);
+    const auto block = static_cast<Addr>(block_size());
+    for (std::uint64_t txn = 0; txn < txns; ++txn) {
+      for (int r = 0; r < config_.rows_per_txn; ++r) {
+        // One row lock at a time (acquire → touch → release): lock-heavy
+        // and migratory without nested acquisition, so the simulated
+        // machine can contend but never deadlock.
+        const std::uint64_t row = zipf_.sample(state.rng);
+        const bool update = state.rng.chance(config_.write_fraction);
+        const Addr base =
+            row * static_cast<Addr>(config_.row_blocks) * block;
+        out.push_back(TraceEvent::lock(static_cast<Addr>(row)));
+        for (int b = 0; b < config_.row_blocks; ++b) {
+          out.push_back(TraceEvent::read(
+              rows_.at(base + static_cast<Addr>(b) * block)));
+        }
+        out.push_back(TraceEvent::think(config_.think_cycles));
+        if (update) {
+          for (int b = 0; b < config_.row_blocks; ++b) {
+            out.push_back(TraceEvent::write(
+                rows_.at(base + static_cast<Addr>(b) * block)));
+          }
+        }
+        out.push_back(TraceEvent::unlock(static_cast<Addr>(row)));
+      }
+    }
+    state.txns_left -= txns;
+  }
+
+ private:
+  struct ProcState {
+    Rng rng{0};
+    std::uint64_t txns_left = 0;
+  };
+
+  OltpConfig config_;
+  ZipfSampler zipf_;
+  AddressLayout layout_;
+  Region rows_;
+  std::vector<ProcState> state_;
+};
+
+std::uint64_t scaled_count(std::uint64_t count, double scale) {
+  const double value = static_cast<double>(count) * scale;
+  return std::max<std::uint64_t>(1, static_cast<std::uint64_t>(
+                                        std::llround(value)));
+}
+
+}  // namespace
+
+std::unique_ptr<EventSource> make_kv_source(const KvConfig& config) {
+  return std::make_unique<KvSource>(config);
+}
+
+std::unique_ptr<EventSource> make_queue_source(const QueueConfig& config) {
+  return std::make_unique<QueueSource>(config);
+}
+
+std::unique_ptr<EventSource> make_oltp_source(const OltpConfig& config) {
+  return std::make_unique<OltpSource>(config);
+}
+
+ProgramTrace generate_kv(const KvConfig& config) {
+  KvSource source(config);
+  return materialize(source);
+}
+
+ProgramTrace generate_queue(const QueueConfig& config) {
+  QueueSource source(config);
+  return materialize(source);
+}
+
+ProgramTrace generate_oltp(const OltpConfig& config) {
+  OltpSource source(config);
+  return materialize(source);
+}
+
+const char* datacenter_name(DatacenterKind kind) {
+  switch (kind) {
+    case DatacenterKind::kKv:
+      return "KV";
+    case DatacenterKind::kQueue:
+      return "QUEUE";
+    case DatacenterKind::kOltp:
+      return "OLTP";
+  }
+  return "?";
+}
+
+KvConfig kv_defaults(int procs, int block_size, std::uint64_t clients,
+                     std::uint64_t seed, double scale) {
+  KvConfig config;
+  config.procs = procs;
+  config.block_size = block_size;
+  config.clients = clients;
+  config.ops_per_client = scaled_count(config.ops_per_client, scale);
+  config.seed = seed;
+  return config;
+}
+
+QueueConfig queue_defaults(int procs, int block_size, std::uint64_t clients,
+                           std::uint64_t seed, double scale) {
+  QueueConfig config;
+  config.procs = procs;
+  config.block_size = block_size;
+  config.clients = clients;
+  config.rpcs_per_client = scaled_count(config.rpcs_per_client, scale);
+  config.queues = procs;
+  config.seed = seed;
+  return config;
+}
+
+OltpConfig oltp_defaults(int procs, int block_size, std::uint64_t clients,
+                         std::uint64_t seed, double scale) {
+  OltpConfig config;
+  config.procs = procs;
+  config.block_size = block_size;
+  config.clients = clients;
+  config.txns_per_client = scaled_count(config.txns_per_client, scale);
+  config.seed = seed;
+  return config;
+}
+
+std::unique_ptr<EventSource> make_datacenter_source(DatacenterKind kind,
+                                                    int procs, int block_size,
+                                                    std::uint64_t clients,
+                                                    std::uint64_t seed,
+                                                    double scale) {
+  switch (kind) {
+    case DatacenterKind::kKv:
+      return make_kv_source(kv_defaults(procs, block_size, clients, seed,
+                                        scale));
+    case DatacenterKind::kQueue:
+      return make_queue_source(queue_defaults(procs, block_size, clients,
+                                              seed, scale));
+    case DatacenterKind::kOltp:
+      return make_oltp_source(oltp_defaults(procs, block_size, clients, seed,
+                                            scale));
+  }
+  ensure(false, "unknown datacenter workload kind");
+  return nullptr;
+}
+
+ProgramTrace generate_datacenter(DatacenterKind kind, int procs,
+                                 int block_size, std::uint64_t clients,
+                                 std::uint64_t seed, double scale) {
+  const auto source =
+      make_datacenter_source(kind, procs, block_size, clients, seed, scale);
+  return materialize(*source);
+}
+
+}  // namespace dircc

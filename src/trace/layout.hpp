@@ -7,6 +7,7 @@
 // modeled behaviour and handled by each generator).
 #pragma once
 
+#include <algorithm>
 #include <string>
 #include <vector>
 
@@ -35,10 +36,14 @@ class AddressLayout {
     ensure(block_size >= 1, "block size must be positive");
   }
 
-  /// Allocates `bytes` (rounded up to whole blocks) under `name`.
+  /// Allocates `bytes` (rounded up to whole blocks, minimum one) under
+  /// `name`. The minimum keeps a zero-byte request from producing an empty
+  /// region whose base aliases the next structure's first block — the
+  /// region would be unusable anyway (at() rejects every offset) but its
+  /// base address looked valid and pointed into someone else's data.
   Region alloc(std::string name, Addr bytes) {
     const Addr rounded =
-        ceil_div(bytes, static_cast<Addr>(block_size_)) *
+        ceil_div(std::max<Addr>(bytes, 1), static_cast<Addr>(block_size_)) *
         static_cast<Addr>(block_size_);
     Region region{std::move(name), next_, rounded};
     next_ += rounded;

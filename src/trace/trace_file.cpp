@@ -31,6 +31,29 @@ struct PackedEvent {
 };
 static_assert(sizeof(PackedEvent) == 16);
 
+constexpr std::uint64_t kUnknownSize = ~std::uint64_t{0};
+
+/// Bytes left between the current read position and end-of-stream, or
+/// kUnknownSize when the stream is not seekable (e.g. a pipe). Restores the
+/// read position and stream state.
+std::uint64_t remaining_bytes(std::istream& in) {
+  const std::istream::pos_type pos = in.tellg();
+  if (pos == std::istream::pos_type(-1)) {
+    in.clear();
+    return kUnknownSize;
+  }
+  in.seekg(0, std::ios::end);
+  const std::istream::pos_type end = in.tellg();
+  in.clear();
+  in.seekg(pos);
+  if (end == std::istream::pos_type(-1) || end < pos || !in) {
+    in.clear();
+    in.seekg(pos);
+    return kUnknownSize;
+  }
+  return static_cast<std::uint64_t>(end - pos);
+}
+
 }  // namespace
 
 bool write_trace(std::ostream& out, const ProgramTrace& trace) {
@@ -83,17 +106,29 @@ bool read_trace(std::istream& in, ProgramTrace& trace) {
     if (!get(in, count) || count > kMaxReasonableEvents) {
       return false;
     }
-    stream.resize(count);
-    for (TraceEvent& ev : stream) {
+    // A lying per-stream count must never become an up-front O(count)
+    // allocation: a crafted header claiming 2^36 events used to drive a
+    // ~1 TiB resize before EOF was noticed. When the stream is seekable
+    // the count is checked against the bytes actually remaining (and the
+    // allocation sized once, exactly); on a non-seekable stream the vector
+    // grows geometrically as events arrive, so a short stream fails at the
+    // first missing event with only real data resident.
+    const std::uint64_t remaining = remaining_bytes(in);
+    if (remaining != kUnknownSize) {
+      if (count > remaining / sizeof(PackedEvent)) {
+        return false;
+      }
+      stream.reserve(count);
+    }
+    for (std::uint64_t i = 0; i < count; ++i) {
       PackedEvent packed;
       in.read(reinterpret_cast<char*>(&packed), sizeof packed);
       if (!in || packed.kind > static_cast<std::uint8_t>(
                                    TraceEvent::Kind::kThink)) {
         return false;
       }
-      ev.kind = static_cast<TraceEvent::Kind>(packed.kind);
-      ev.arg = packed.arg;
-      ev.addr = packed.addr;
+      stream.push_back({packed.addr, packed.arg,
+                        static_cast<TraceEvent::Kind>(packed.kind)});
     }
   }
   return true;

@@ -72,6 +72,79 @@ TEST(CliParser, HelpShortCircuits) {
   EXPECT_NE(usage.find("--sparse"), std::string::npos);
 }
 
+// Regression: the typed accessors used to strtoll/strtod with a null end
+// pointer, so "--procs=abc" silently became 0 processors and "--scale=1.5x"
+// became 1.5. The whole token must parse or the accessor throws.
+TEST(CliParser, GetIntRejectsNonNumericValue) {
+  CliParser cli = make_parser();
+  const char* argv[] = {"prog", "--procs=abc"};
+  ASSERT_TRUE(cli.parse(2, argv));
+  EXPECT_THROW(cli.get_int("procs"), CliError);
+}
+
+TEST(CliParser, GetIntRejectsTrailingGarbage) {
+  CliParser cli = make_parser();
+  const char* argv[] = {"prog", "--procs=32x"};
+  ASSERT_TRUE(cli.parse(2, argv));
+  EXPECT_THROW(cli.get_int("procs"), CliError);
+}
+
+TEST(CliParser, GetIntRejectsEmptyValue) {
+  CliParser cli = make_parser();
+  const char* argv[] = {"prog", "--procs="};
+  ASSERT_TRUE(cli.parse(2, argv));
+  EXPECT_THROW(cli.get_int("procs"), CliError);
+}
+
+TEST(CliParser, GetIntRejectsOverflow) {
+  CliParser cli = make_parser();
+  const char* argv[] = {"prog", "--procs=99999999999999999999999"};
+  ASSERT_TRUE(cli.parse(2, argv));
+  EXPECT_THROW(cli.get_int("procs"), CliError);
+}
+
+TEST(CliParser, GetIntAcceptsNegative) {
+  CliParser cli = make_parser();
+  const char* argv[] = {"prog", "--procs=-4"};
+  ASSERT_TRUE(cli.parse(2, argv));
+  EXPECT_EQ(cli.get_int("procs"), -4);
+}
+
+TEST(CliParser, GetDoubleRejectsTrailingGarbage) {
+  CliParser cli = make_parser();
+  const char* argv[] = {"prog", "--scale=1.5x"};
+  ASSERT_TRUE(cli.parse(2, argv));
+  EXPECT_THROW(cli.get_double("scale"), CliError);
+}
+
+TEST(CliParser, GetDoubleRejectsNonNumericValue) {
+  CliParser cli = make_parser();
+  const char* argv[] = {"prog", "--scale=fast"};
+  ASSERT_TRUE(cli.parse(2, argv));
+  EXPECT_THROW(cli.get_double("scale"), CliError);
+}
+
+TEST(CliParser, GetDoubleAcceptsScientificNotation) {
+  CliParser cli = make_parser();
+  const char* argv[] = {"prog", "--scale=2.5e-1"};
+  ASSERT_TRUE(cli.parse(2, argv));
+  EXPECT_DOUBLE_EQ(cli.get_double("scale"), 0.25);
+}
+
+TEST(CliParser, CliErrorNamesOptionAndValue) {
+  CliParser cli = make_parser();
+  const char* argv[] = {"prog", "--procs=abc"};
+  ASSERT_TRUE(cli.parse(2, argv));
+  try {
+    cli.get_int("procs");
+    FAIL() << "expected CliError";
+  } catch (const CliError& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("--procs"), std::string::npos);
+    EXPECT_NE(what.find("abc"), std::string::npos);
+  }
+}
+
 TEST(TextTable, AlignsColumns) {
   TextTable table;
   table.header({"a", "long-column"});

@@ -1,0 +1,286 @@
+// Streaming trace pipeline: EventSource contract, the materializing
+// adapter's equivalence with direct trace replay, the datacenter
+// generators' streaming <-> materialized identity, pull-order independence,
+// bounded lookahead, sweep thread-count invariance on the new workloads,
+// and pinned Table-2-style characteristics for the three generators.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/json.hpp"
+#include "harness/sink.hpp"
+#include "harness/sweep.hpp"
+#include "obs/metrics.hpp"
+#include "sim/engine.hpp"
+#include "sim/run_metrics.hpp"
+#include "trace/datacenter.hpp"
+#include "trace/event_source.hpp"
+#include "trace/generators.hpp"
+#include "trace/validate.hpp"
+
+namespace dircc {
+namespace {
+
+SystemConfig machine(int procs) {
+  SystemConfig config;
+  config.num_procs = procs;
+  config.procs_per_cluster = 1;
+  config.cache_lines_per_proc = 256;
+  config.cache_assoc = 4;
+  config.block_size = 16;
+  config.scheme = SchemeConfig::full(procs);
+  return config;
+}
+
+/// Every registered RunResult counter rendered as one JSON object — two
+/// runs are "the same" exactly when their fingerprints are byte-equal.
+std::string fingerprint(const RunResult& result) {
+  std::ostringstream out;
+  JsonWriter json(out);
+  json.begin_object();
+  obs::MetricsRegistry registry;
+  register_metrics(registry, result);
+  registry.emit_fields(json);
+  json.end_object();
+  return out.str();
+}
+
+// ---------------------------------------------------------------------------
+// MaterializedSource: the adapter must be invisible
+// ---------------------------------------------------------------------------
+
+class AdapterEquivalence : public ::testing::TestWithParam<AppKind> {};
+
+TEST_P(AdapterEquivalence, SourceCtorMatchesTraceCtor) {
+  const ProgramTrace trace = generate_app(GetParam(), 8, 16, 5, 0.05);
+
+  CoherenceSystem direct_sys(machine(8));
+  Engine direct(direct_sys, trace);
+  const RunResult direct_result = direct.run();
+
+  MaterializedSource source(trace);
+  CoherenceSystem streamed_sys(machine(8));
+  Engine streamed(streamed_sys, source);
+  const RunResult streamed_result = streamed.run();
+
+  EXPECT_EQ(fingerprint(direct_result), fingerprint(streamed_result));
+  EXPECT_EQ(source.events_pulled(), trace.total_events());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllApps, AdapterEquivalence,
+                         ::testing::Values(AppKind::kLu, AppKind::kDwf,
+                                           AppKind::kMp3d,
+                                           AppKind::kLocusRoute));
+
+TEST(MaterializedSource, MaterializeRoundTripsTheTrace) {
+  const ProgramTrace trace = generate_app(AppKind::kMp3d, 4, 16, 9, 0.05);
+  MaterializedSource source(trace);
+  const ProgramTrace copy = materialize(source);
+  EXPECT_EQ(copy.app_name, trace.app_name);
+  EXPECT_EQ(copy.block_size, trace.block_size);
+  ASSERT_EQ(copy.per_proc.size(), trace.per_proc.size());
+  for (std::size_t p = 0; p < trace.per_proc.size(); ++p) {
+    EXPECT_EQ(copy.per_proc[p], trace.per_proc[p]) << "proc " << p;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Datacenter generators: streaming and materialized forms are one stream
+// ---------------------------------------------------------------------------
+
+class DatacenterStream : public ::testing::TestWithParam<DatacenterKind> {};
+
+TEST_P(DatacenterStream, StreamingRunMatchesMaterializedRun) {
+  const ProgramTrace trace =
+      generate_datacenter(GetParam(), 8, 16, 48, 7, 0.5);
+
+  CoherenceSystem mat_sys(machine(8));
+  Engine materialized(mat_sys, trace);
+  const RunResult mat_result = materialized.run();
+
+  const auto source = make_datacenter_source(GetParam(), 8, 16, 48, 7, 0.5);
+  CoherenceSystem str_sys(machine(8));
+  Engine streamed(str_sys, *source);
+  const RunResult str_result = streamed.run();
+
+  EXPECT_EQ(fingerprint(mat_result), fingerprint(str_result));
+  EXPECT_EQ(source->events_pulled(), trace.total_events());
+}
+
+TEST_P(DatacenterStream, PerProcStreamsMatchMaterializedForm) {
+  const ProgramTrace trace =
+      generate_datacenter(GetParam(), 4, 16, 24, 3, 0.5);
+  const auto source = make_datacenter_source(GetParam(), 4, 16, 24, 3, 0.5);
+  ASSERT_EQ(source->num_procs(), trace.num_procs());
+  for (int p = 0; p < trace.num_procs(); ++p) {
+    std::vector<TraceEvent> drained;
+    TraceEvent ev;
+    while (source->next(static_cast<ProcId>(p), ev)) {
+      drained.push_back(ev);
+    }
+    EXPECT_EQ(drained, trace.per_proc[static_cast<std::size_t>(p)])
+        << "proc " << p;
+  }
+}
+
+TEST_P(DatacenterStream, StreamsAreIndependentOfPullOrder) {
+  // Proc-major drain vs round-robin drain: the per-processor sequences
+  // must be identical — the engine pulls in data-dependent simulated-time
+  // order, so any order sensitivity would break determinism.
+  const auto a = make_datacenter_source(GetParam(), 4, 16, 24, 3, 0.5);
+  const auto b = make_datacenter_source(GetParam(), 4, 16, 24, 3, 0.5);
+
+  std::vector<std::vector<TraceEvent>> major(4);
+  for (int p = 0; p < 4; ++p) {
+    TraceEvent ev;
+    while (a->next(static_cast<ProcId>(p), ev)) {
+      major[static_cast<std::size_t>(p)].push_back(ev);
+    }
+  }
+  std::vector<std::vector<TraceEvent>> round(4);
+  bool any = true;
+  while (any) {
+    any = false;
+    for (int p = 0; p < 4; ++p) {
+      TraceEvent ev;
+      if (b->next(static_cast<ProcId>(p), ev)) {
+        round[static_cast<std::size_t>(p)].push_back(ev);
+        any = true;
+      }
+    }
+  }
+  for (int p = 0; p < 4; ++p) {
+    EXPECT_EQ(major[static_cast<std::size_t>(p)],
+              round[static_cast<std::size_t>(p)])
+        << "proc " << p;
+  }
+}
+
+TEST_P(DatacenterStream, LookaheadStaysBounded) {
+  const auto source = make_datacenter_source(GetParam(), 4, 16, 64, 3, 2.0);
+  const auto* buffered = dynamic_cast<const BufferedSource*>(source.get());
+  ASSERT_NE(buffered, nullptr)
+      << "datacenter sources must be streaming, not materialized";
+  TraceEvent ev;
+  std::uint64_t drained = 0;
+  for (int p = 0; p < 4; ++p) {
+    while (source->next(static_cast<ProcId>(p), ev)) {
+      ++drained;
+    }
+  }
+  EXPECT_GT(drained, 4096u) << "stream long enough to need many refills";
+  // Far below the total stream: the O(procs x chunk) memory bound.
+  EXPECT_LE(buffered->max_chunk_events(), 1024u);
+}
+
+TEST_P(DatacenterStream, GeneratesStructurallyValidTraces) {
+  const ProgramTrace trace =
+      generate_datacenter(GetParam(), 8, 16, 48, 7, 0.5);
+  std::string error;
+  EXPECT_TRUE(validate_trace(trace, &error)) << error;
+  for (const auto& stream : trace.per_proc) {
+    EXPECT_FALSE(stream.empty());
+  }
+}
+
+TEST_P(DatacenterStream, ExhaustedStreamStaysExhausted) {
+  const auto source = make_datacenter_source(GetParam(), 2, 16, 4, 3, 0.25);
+  TraceEvent ev;
+  while (source->next(0, ev)) {
+  }
+  EXPECT_FALSE(source->next(0, ev));
+  EXPECT_FALSE(source->next(0, ev));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWorkloads, DatacenterStream,
+                         ::testing::Values(DatacenterKind::kKv,
+                                           DatacenterKind::kQueue,
+                                           DatacenterKind::kOltp));
+
+// ---------------------------------------------------------------------------
+// Sweep harness: the new workloads keep thread-count invariance
+// ---------------------------------------------------------------------------
+
+TEST(DatacenterSweep, ResultsAreThreadCountInvariant) {
+  const auto cells = [] {
+    std::vector<harness::SweepCell> out;
+    for (const DatacenterKind kind :
+         {DatacenterKind::kKv, DatacenterKind::kQueue,
+          DatacenterKind::kOltp}) {
+      harness::SweepCell cell;
+      cell.key = std::string("t/app=") + datacenter_name(kind);
+      cell.fields = {{"app", datacenter_name(kind)}};
+      cell.trace = harness::datacenter_trace(kind, 8, 16, 32, 11, 0.5);
+      cell.system = machine(8);
+      cell.system.seed = harness::cell_seed(11, cell.key);
+      out.push_back(std::move(cell));
+    }
+    return out;
+  }();
+
+  const auto jsonl = [&](int threads) {
+    harness::SweepRunner runner(threads);
+    const std::vector<harness::CellResult> results = runner.run(cells);
+    std::ostringstream out;
+    harness::SinkOptions sink;
+    sink.include_timing = false;
+    harness::write_results_jsonl(out, results, sink);
+    return out.str();
+  };
+
+  EXPECT_EQ(jsonl(1), jsonl(2));
+}
+
+// ---------------------------------------------------------------------------
+// Pinned characteristics (Table-2 style golden stats)
+// ---------------------------------------------------------------------------
+//
+// Exact counts for fixed small configs. A change here means the generated
+// streams changed — which silently invalidates every recorded datacenter
+// sweep, so it must be a conscious decision.
+
+TEST(DatacenterGolden, KvCharacteristics) {
+  KvConfig config;
+  config.procs = 8;
+  config.clients = 64;
+  config.ops_per_client = 32;
+  const ProgramTrace trace = generate_kv(config);
+  const TraceCharacteristics c = characterize(trace);
+  EXPECT_EQ(trace.total_events(), 12288u);
+  EXPECT_EQ(c.shared_reads, 9420u);
+  EXPECT_EQ(c.shared_writes, 820u);
+  EXPECT_EQ(c.sync_ops, 0u);
+  EXPECT_EQ(c.distinct_blocks, 3172u);
+}
+
+TEST(DatacenterGolden, QueueCharacteristics) {
+  QueueConfig config;
+  config.procs = 8;
+  config.clients = 64;
+  config.rpcs_per_client = 16;
+  config.queues = 8;
+  const ProgramTrace trace = generate_queue(config);
+  const TraceCharacteristics c = characterize(trace);
+  EXPECT_EQ(trace.total_events(), 17408u);
+  EXPECT_EQ(c.shared_reads, 6144u);
+  EXPECT_EQ(c.shared_writes, 6144u);
+  EXPECT_EQ(c.sync_ops, 4096u);
+  EXPECT_EQ(c.distinct_blocks, 520u);
+}
+
+TEST(DatacenterGolden, OltpCharacteristics) {
+  OltpConfig config;
+  config.procs = 8;
+  config.clients = 64;
+  config.txns_per_client = 8;
+  const ProgramTrace trace = generate_oltp(config);
+  const TraceCharacteristics c = characterize(trace);
+  EXPECT_EQ(trace.total_events(), 12236u);
+  EXPECT_EQ(c.shared_reads, 4096u);
+  EXPECT_EQ(c.shared_writes, 1996u);
+  EXPECT_EQ(c.sync_ops, 4096u);
+  EXPECT_EQ(c.distinct_blocks, 1310u);
+}
+
+}  // namespace
+}  // namespace dircc

@@ -2,6 +2,7 @@
 // layout, validation and the binary file format.
 #include <gtest/gtest.h>
 
+#include <cstring>
 #include <map>
 #include <set>
 #include <sstream>
@@ -29,6 +30,19 @@ TEST(AddressLayout, RegionsAreBlockAlignedAndDisjoint) {
   EXPECT_EQ(layout.bytes_allocated(), 128u);
   EXPECT_EQ(a.at(5), 5u);
   EXPECT_EQ(b.at(0), 16u);
+}
+
+// Regression: a zero-byte request used to produce an empty region whose
+// base address aliased the next structure's first block. It must occupy at
+// least one block of its own.
+TEST(AddressLayout, ZeroByteRequestStillOccupiesABlock) {
+  AddressLayout layout(16);
+  const Region empty = layout.alloc("empty", 0);
+  const Region next = layout.alloc("next", 32);
+  EXPECT_EQ(empty.bytes, 16u);
+  EXPECT_NE(empty.base, next.base);
+  EXPECT_EQ(next.base, 16u);
+  EXPECT_EQ(empty.at(0), 0u);  // usable, and not next's first block
 }
 
 // ---------------------------------------------------------------------------
@@ -285,6 +299,52 @@ TEST(TraceFile, RejectsTruncatedStream) {
   std::stringstream truncated(bytes.substr(0, bytes.size() / 2));
   ProgramTrace trace;
   EXPECT_FALSE(read_trace(truncated, trace));
+}
+
+// Regression: a crafted header whose per-stream count field claims up to
+// 2^36 events used to be trusted with an up-front stream.resize(count) —
+// close to a 1 TiB allocation — before the reader noticed the stream held
+// no event bytes at all. The count must be rejected against the bytes
+// actually remaining (or fail at the first missing event), never allocated
+// blindly.
+TEST(TraceFile, RejectsHeaderWithAbsurdCountWithoutAllocating) {
+  std::stringstream buffer;
+  buffer.write("DTRC", 4);
+  const auto put32 = [&](std::uint32_t v) {
+    buffer.write(reinterpret_cast<const char*>(&v), sizeof v);
+  };
+  const auto put64 = [&](std::uint64_t v) {
+    buffer.write(reinterpret_cast<const char*>(&v), sizeof v);
+  };
+  put32(1);   // version
+  put32(1);   // procs
+  put32(16);  // block size
+  put32(0);   // app-name length
+  put64(std::uint64_t{1} << 35);  // claimed events; no event bytes follow
+  ProgramTrace trace;
+  EXPECT_FALSE(read_trace(buffer, trace));
+  // The reader must not have grown the stream toward the claimed count.
+  for (const auto& stream : trace.per_proc) {
+    EXPECT_LT(stream.capacity(), std::size_t{1} << 20);
+  }
+}
+
+// Same shape, but the count lies only modestly (claims more events than
+// the stream carries): must fail cleanly at the missing event.
+TEST(TraceFile, RejectsCountBeyondAvailableEvents) {
+  const ProgramTrace original = generate_app(AppKind::kDwf, 2, 16, 9, 0.05);
+  std::stringstream buffer;
+  ASSERT_TRUE(write_trace(buffer, original));
+  std::string bytes = buffer.str();
+  // The first per-stream count sits right after the fixed header + name.
+  const std::size_t count_at = 4 + 4 + 4 + 4 + 4 + original.app_name.size();
+  std::uint64_t count = 0;
+  std::memcpy(&count, bytes.data() + count_at, sizeof count);
+  count += 1000;
+  std::memcpy(bytes.data() + count_at, &count, sizeof count);
+  std::stringstream lying(bytes);
+  ProgramTrace trace;
+  EXPECT_FALSE(read_trace(lying, trace));
 }
 
 // ---------------------------------------------------------------------------

@@ -26,15 +26,21 @@ SKIP_DIRS = {".git", "build", "build-nocheck", "build-noobs", ".github"}
 # docs/HARNESS.md both table them).
 SHARED_FLAGS = ["threads", "json", "omit-timing", "progress", "trace-out",
                 "metrics", "backend"]
-SWEEP_BINARIES = ["sweep_grid", "fig07_10_schemes", "fig11_12_sparse",
-                  "fig13_assoc", "scale_study", "fuzz_coherence"]
+SWEEP_BINARIES = ["sweep_grid", "datacenter_sweep", "fig07_10_schemes",
+                  "fig11_12_sparse", "fig13_assoc", "scale_study",
+                  "fuzz_coherence"]
 
 # Binary-specific flags promised by a specific document. Each flag must
 # appear both in that document and in the binary's --help.
 DOCUMENTED_FLAGS = {
     "sweep_grid": ("docs/HARNESS.md",
-                   ["apps", "schemes", "size-factors", "assocs", "policy",
-                    "procs", "cache-lines", "scale", "seed", "table"]),
+                   ["apps", "clients", "schemes", "size-factors", "assocs",
+                    "policy", "procs", "cache-lines", "scale", "seed",
+                    "table"]),
+    "datacenter_sweep": ("docs/HARNESS.md",
+                         ["workloads", "schemes", "clients", "procs",
+                          "cache-lines", "scale", "seed", "mode",
+                          "rss-limit-mb", "table"]),
     "fuzz_coherence": ("docs/CHECKER.md",
                        ["schemes", "faults", "sparse-entries", "seeds",
                         "seed-base", "fault-trigger", "procs", "rounds",
