@@ -23,6 +23,7 @@
 #include "common/table.hpp"
 #include "harness/sink.hpp"
 #include "harness/sweep.hpp"
+#include "obs/attrib/report.hpp"
 #include "obs/metrics.hpp"
 #include "protocol/system.hpp"
 #include "sim/engine.hpp"
@@ -123,6 +124,7 @@ struct HarnessOptions {
   bool progress = false;     ///< live progress/ETA line on stderr
   std::string trace_out;     ///< directory for per-cell event timelines
   std::string metrics_path;  ///< metrics+telemetry doc; "-" = stdout
+  std::string attrib_out;    ///< directory for per-cell latency attribution
   BackendKind backend = BackendKind::kAnalytic;  ///< latency backend
 };
 
@@ -156,6 +158,9 @@ inline void add_harness_options(CliParser& cli) {
   cli.add_option("metrics", "",
                  "write sweep telemetry + per-cell metrics JSON here "
                  "('-' = stdout)");
+  cli.add_option("attrib-out", "",
+                 "write per-cell latency attribution (JSON + CSV) into "
+                 "this directory (per-hop detail needs --backend queued)");
   cli.add_option("backend", "analytic",
                  "latency backend: 'analytic' (paper-faithful closed-form, "
                  "the default) or 'queued' (per-link/per-home FIFO "
@@ -171,6 +176,7 @@ inline HarnessOptions read_harness_options(const CliParser& cli) {
   options.progress = cli.get_flag("progress");
   options.trace_out = cli.get("trace-out");
   options.metrics_path = cli.get("metrics");
+  options.attrib_out = cli.get("attrib-out");
   options.backend = parse_backend(cli.get("backend"));
   return options;
 }
@@ -198,6 +204,7 @@ inline HarnessOptions parse_harness_options(int argc,
 inline harness::SweepOptions sweep_options(const HarnessOptions& options) {
   harness::SweepOptions sweep;
   sweep.record_traces = !options.trace_out.empty();
+  sweep.attrib = !options.attrib_out.empty();
   sweep.progress = options.progress;
   return sweep;
 }
@@ -264,12 +271,51 @@ inline void emit_traces(const HarnessOptions& options,
     {
       std::ofstream out(dir / (stem + ".trace.json"));
       ensure(static_cast<bool>(out), "cannot open a --trace-out file");
-      cell.trace->write_chrome_json(out);
+      // When the cell also carries attribution, its windowed utilization
+      // renders as counter tracks next to the recorded spans.
+      if (cell.attrib) {
+        obs::attrib::Collector& collector = *cell.attrib;
+        cell.trace->write_chrome_json(out, [&collector](JsonWriter& json) {
+          obs::attrib::emit_chrome_counters(collector, json);
+        });
+      } else {
+        cell.trace->write_chrome_json(out);
+      }
     }
     {
       std::ofstream out(dir / (stem + ".jsonl"));
       ensure(static_cast<bool>(out), "cannot open a --trace-out file");
       cell.trace->write_jsonl(out);
+    }
+  }
+}
+
+/// Writes each cell's latency attribution into the --attrib-out directory
+/// as `<key>.attrib.json` (full dump: critical-path split, per-link and
+/// per-home utilization with windowed series, class latency histograms)
+/// and `<key>.attrib.csv` (flat per-resource table). No-op without
+/// --attrib-out.
+inline void emit_attrib(const HarnessOptions& options,
+                        const std::vector<harness::CellResult>& results) {
+  if (options.attrib_out.empty()) {
+    return;
+  }
+  const std::filesystem::path dir(options.attrib_out);
+  std::filesystem::create_directories(dir);
+  for (const harness::CellResult& cell : results) {
+    if (!cell.attrib) {
+      continue;
+    }
+    const std::string stem = sanitize_key(cell.key);
+    {
+      std::ofstream out(dir / (stem + ".attrib.json"));
+      ensure(static_cast<bool>(out), "cannot open an --attrib-out file");
+      obs::attrib::write_attrib_json(*cell.attrib, out);
+    }
+    {
+      std::ofstream out(dir / (stem + ".attrib.csv"));
+      ensure(static_cast<bool>(out), "cannot open an --attrib-out file");
+      obs::attrib::write_attrib_csv(*cell.attrib, out);
     }
   }
 }
@@ -333,6 +379,9 @@ inline void emit_metrics(const HarnessOptions& options,
       json.field("cell", cell->key);
       obs::MetricsRegistry registry;
       register_metrics(registry, cell->result);
+      if (cell->attrib) {
+        cell->attrib->register_metrics(registry);
+      }
       json.key("metrics");
       json.begin_object();
       registry.emit_fields(json);
@@ -363,6 +412,7 @@ inline void emit_outputs(const HarnessOptions& options,
                          const std::vector<harness::CellResult>& results) {
   emit_json(options, results);
   emit_traces(options, results);
+  emit_attrib(options, results);
   emit_metrics(options, runner, results);
 }
 

@@ -1,0 +1,171 @@
+// hotspot_report: ranked contention report over a datacenter sweep.
+//
+// Runs the datacenter workload grid (trace/datacenter.hpp) with latency
+// attribution enabled, folds every cell's collector into one aggregate,
+// and prints a schema-versioned JSON report ("dircc-hotspot" v1): the
+// top-k busiest directed mesh links (named by grid coordinates), the
+// hottest home directory controllers, the queueing-vs-service split of
+// transaction critical paths, per-class latency histograms and the
+// invalidation fan-out distribution.
+//
+// Per-hop timing (and with it link/home contention) only exists under the
+// queued latency backend — run with --backend queued for a meaningful
+// report; under the default analytic backend only the transaction-class
+// and fan-out sections are populated.
+//
+// Attribution uses simulated Cycle time exclusively, so the report's bytes
+// are identical across --threads values (the CI hotspot smoke check).
+//
+// Examples:
+//   hotspot_report --backend queued --top 10
+//   hotspot_report --backend queued --workloads kv --clients 512 --out h.json
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "bench_common.hpp"
+#include "trace/datacenter.hpp"
+
+namespace {
+
+using namespace dircc;
+using namespace dircc::bench;
+
+std::vector<std::string> split_list(const std::string& text) {
+  std::vector<std::string> out;
+  std::istringstream in(text);
+  std::string item;
+  while (std::getline(in, item, ',')) {
+    if (!item.empty()) {
+      out.push_back(item);
+    }
+  }
+  return out;
+}
+
+DatacenterKind parse_workload(const std::string& name) {
+  if (name == "kv") return DatacenterKind::kKv;
+  if (name == "queue") return DatacenterKind::kQueue;
+  if (name == "oltp") return DatacenterKind::kOltp;
+  ensure(false, "unknown workload (expected kv, queue or oltp)");
+  return DatacenterKind::kKv;
+}
+
+SchemeConfig parse_scheme(const std::string& name, int clusters) {
+  if (name == "full") return SchemeConfig::full(clusters);
+  if (name == "cv") return SchemeConfig::coarse(clusters, 3, 2);
+  if (name == "b") return SchemeConfig::broadcast(clusters, 3);
+  if (name == "nb") return SchemeConfig::no_broadcast(clusters, 3);
+  ensure(false, "unknown scheme (expected full, cv, b or nb)");
+  return SchemeConfig::full(clusters);
+}
+
+}  // namespace
+
+int run_main(int argc, char** argv) {
+  CliParser cli;
+  cli.add_option("workloads", "kv,queue,oltp",
+                 "comma-separated datacenter workloads (kv,queue,oltp)");
+  cli.add_option("schemes", "full,cv,b,nb",
+                 "comma-separated directory schemes (full,cv,b,nb)");
+  cli.add_option("clients", "256",
+                 "comma-separated simulated client counts (e.g. 64,256,1024)");
+  cli.add_option("procs", "32", "processors (one per cluster)");
+  cli.add_option("cache-lines", "1024", "cache lines per processor");
+  cli.add_option("scale", "1.0",
+                 "per-client operation-count multiplier (event-count axis)");
+  cli.add_option("seed", "1990", "base seed for traces and per-cell seeds");
+  cli.add_option("top", "10", "ranked entries per resource class");
+  cli.add_option("out", "-",
+                 "write the hotspot report JSON here ('-' = stdout)");
+  add_harness_options(cli);
+  if (!cli.parse(argc, argv)) {
+    std::cerr << cli.error() << "\n" << cli.usage(argv[0]);
+    return 2;
+  }
+  if (cli.help_requested()) {
+    std::cout << cli.usage(argv[0]);
+    return 0;
+  }
+
+  const int procs = static_cast<int>(cli.get_int("procs"));
+  const auto cache_lines =
+      static_cast<std::uint64_t>(cli.get_int("cache-lines"));
+  const double scale = cli.get_double("scale");
+  const auto base_seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+  const int top = static_cast<int>(cli.get_int("top"));
+  ensure(top >= 1, "--top must be at least 1");
+
+  // Same fixed grid nesting as datacenter_sweep (workload x clients x
+  // scheme): cell keys, and with them per-cell seeds, match the sweep's.
+  std::vector<harness::SweepCell> cells;
+  for (const std::string& wl_token : split_list(cli.get("workloads"))) {
+    const DatacenterKind kind = parse_workload(wl_token);
+    for (const std::string& clients_token : split_list(cli.get("clients"))) {
+      const std::int64_t parsed = parse_int_token("clients", clients_token);
+      if (parsed < 1) {
+        throw CliError("option --clients entries must be positive, got '" +
+                       clients_token + "'");
+      }
+      const auto clients = static_cast<std::uint64_t>(parsed);
+      for (const std::string& scheme_token :
+           split_list(cli.get("schemes"))) {
+        const SchemeConfig scheme = parse_scheme(scheme_token, procs);
+        const std::string scheme_name = make_format(scheme)->name();
+        harness::SweepCell cell;
+        cell.key = std::string("dc/app=") + datacenter_name(kind) +
+                   "/clients=" + clients_token + "/scheme=" + scheme_name;
+        cell.fields = {{"app", datacenter_name(kind)},
+                       {"clients", clients_token},
+                       {"scheme", scheme_name}};
+        cell.trace = harness::datacenter_trace(kind, procs, kBlockSize,
+                                               clients, base_seed, scale);
+        cell.system.num_procs = procs;
+        cell.system.procs_per_cluster = 1;
+        cell.system.cache_lines_per_proc = cache_lines;
+        cell.system.cache_assoc = 4;
+        cell.system.block_size = kBlockSize;
+        cell.system.scheme = scheme;
+        cell.system.seed = harness::cell_seed(base_seed, cell.key);
+        cells.push_back(std::move(cell));
+      }
+    }
+  }
+  ensure(!cells.empty(), "the grid spec expands to zero cells");
+
+  if (!obs::compiled()) {
+    std::cerr << "hotspot_report needs DIRCC_OBS=1 (attribution is "
+                 "compiled out of this build)\n";
+    return 1;
+  }
+
+  HarnessOptions options = read_harness_options(cli);
+  apply_backend(cells, options);
+
+  harness::SweepOptions sweep = sweep_options(options);
+  sweep.attrib = true;  // the report *is* the attribution
+  harness::SweepRunner runner(options.threads);
+  const std::vector<harness::CellResult> results = runner.run(cells, sweep);
+
+  obs::attrib::Collector aggregate;
+  for (const harness::CellResult& cell : results) {
+    ensure(cell.attrib != nullptr, "sweep cell produced no attribution");
+    aggregate.merge(*cell.attrib);
+  }
+
+  const std::string out_path = cli.get("out");
+  if (out_path.empty() || out_path == "-") {
+    obs::attrib::write_hotspot_json(aggregate, top, std::cout);
+  } else {
+    std::ofstream out(out_path);
+    ensure(static_cast<bool>(out), "cannot open the --out path");
+    obs::attrib::write_hotspot_json(aggregate, top, out);
+  }
+
+  emit_outputs(options, runner, results);
+  return 0;
+}
+
+int main(int argc, char** argv) {
+  return dircc::run_cli([&] { return run_main(argc, argv); });
+}

@@ -8,6 +8,7 @@
 //
 //   perf_suite --matrix fig07_10 --reps 5 --out BENCH_PERF.json
 //   perf_suite --matrix fig07_10 --baseline old/BENCH_PERF.json
+//   perf_suite --matrix smoke --obs-overhead
 //
 // --baseline embeds a before/after speedup table (per cell and aggregate)
 // computed against a previously emitted document.
@@ -38,6 +39,9 @@ int run_main(int argc, char** argv) {
                  "previously emitted BENCH_PERF.json to compare against");
   cli.add_flag("list", "print the matrix cell keys and exit");
   cli.add_flag("progress", "report per-cell progress on stderr");
+  cli.add_flag("obs-overhead",
+               "re-run every cell with the latency-attribution collector "
+               "attached and record the obs cost in the document");
 
   if (!cli.parse(argc, argv)) {
     std::cerr << cli.error() << "\n" << cli.usage(argv[0]);
@@ -99,7 +103,8 @@ int run_main(int argc, char** argv) {
     };
   }
 
-  const PerfReport report = run_matrix(cells, options, reps, progress);
+  const PerfReport report = run_matrix(cells, options, reps, progress,
+                                       cli.get_flag("obs-overhead"));
 
   const std::string out_path = cli.get("out");
   if (out_path == "-") {

@@ -117,6 +117,9 @@ int run_main(int argc, char** argv) {
   cli.add_option("metrics", "",
                  "write sweep telemetry + per-cell metrics JSON here "
                  "('-' = stdout)");
+  cli.add_option("attrib-out", "",
+                 "write per-cell latency attribution (JSON + CSV) into "
+                 "this directory (per-hop detail needs --backend queued)");
   cli.add_option("backend", "analytic",
                  "latency backend: 'analytic' (paper-faithful closed-form, "
                  "the default) or 'queued' (per-link/per-home FIFO "
@@ -199,6 +202,7 @@ int run_main(int argc, char** argv) {
   options.progress = cli.get_flag("progress");
   options.trace_out = cli.get("trace-out");
   options.metrics_path = cli.get("metrics");
+  options.attrib_out = cli.get("attrib-out");
   options.backend = parse_backend(cli.get("backend"));
   apply_backend(cells, options);
 

@@ -1,6 +1,9 @@
 #include "common/stats.hpp"
 
+#include <algorithm>
 #include <cmath>
+
+#include "common/ensure.hpp"
 
 namespace dircc {
 
@@ -55,6 +58,80 @@ void Histogram::clear() {
   bins_.clear();
   events_ = 0;
   total_ = 0;
+}
+
+BucketedHistogram::BucketedHistogram(std::vector<std::uint64_t> upper_edges) {
+  set_edges(std::move(upper_edges));
+}
+
+void BucketedHistogram::set_edges(std::vector<std::uint64_t> upper_edges) {
+  ensure(events_ == 0, "bucket edges can only change on an empty histogram");
+  ensure(!upper_edges.empty(), "a bucketed histogram needs at least one edge");
+  for (std::size_t i = 1; i < upper_edges.size(); ++i) {
+    ensure(upper_edges[i - 1] < upper_edges[i],
+           "bucket edges must be strictly increasing");
+  }
+  edges_ = std::move(upper_edges);
+  counts_.assign(edges_.size() + 1, 0);
+}
+
+void BucketedHistogram::add(std::uint64_t value, std::uint64_t count) {
+  ensure(!edges_.empty(), "bucketed histogram used before set_edges");
+  const auto it = std::lower_bound(edges_.begin(), edges_.end(), value);
+  counts_[static_cast<std::size_t>(it - edges_.begin())] += count;
+  events_ += count;
+  total_ += value * count;
+  if (value > max_) {
+    max_ = value;
+  }
+}
+
+double BucketedHistogram::mean() const {
+  if (events_ == 0) {
+    return 0.0;
+  }
+  return static_cast<double>(total_) / static_cast<double>(events_);
+}
+
+void BucketedHistogram::merge(const BucketedHistogram& other) {
+  if (other.events_ == 0) {
+    return;
+  }
+  if (edges_.empty()) {
+    set_edges(other.edges_);
+  }
+  ensure(edges_ == other.edges_,
+         "bucketed histograms merge only over identical edges");
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    counts_[i] += other.counts_[i];
+  }
+  events_ += other.events_;
+  total_ += other.total_;
+  if (other.max_ > max_) {
+    max_ = other.max_;
+  }
+}
+
+void BucketedHistogram::clear() {
+  counts_.assign(counts_.size(), 0);
+  events_ = 0;
+  total_ = 0;
+  max_ = 0;
+}
+
+std::vector<std::uint64_t> pow2_edges(std::uint64_t first,
+                                      std::uint64_t last) {
+  ensure(first > 0 && (first & (first - 1)) == 0 &&
+             (last & (last - 1)) == 0 && first <= last,
+         "pow2_edges wants powers of two with first <= last");
+  std::vector<std::uint64_t> edges;
+  for (std::uint64_t edge = first; edge <= last; edge *= 2) {
+    edges.push_back(edge);
+    if (edge > last / 2) {
+      break;  // avoid overflow past the final doubling
+    }
+  }
+  return edges;
 }
 
 void OnlineStats::add(double sample) {

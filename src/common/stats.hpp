@@ -46,6 +46,55 @@ class Histogram {
   std::uint64_t total_ = 0;
 };
 
+/// Histogram over explicitly configured bucket boundaries. Where Histogram
+/// keeps one bin per integer value (right for small invalidation counts,
+/// hopeless for cycle-scale latencies), a BucketedHistogram places each
+/// sample into the first bucket whose upper edge is >= the sample; samples
+/// beyond the last edge land in a final overflow bucket. Edges are part of
+/// the histogram's identity: merge() requires identical edges, and every
+/// export renders them alongside the counts so readers never guess.
+class BucketedHistogram {
+ public:
+  BucketedHistogram() = default;
+  explicit BucketedHistogram(std::vector<std::uint64_t> upper_edges);
+
+  /// (Re)configures the bucket upper edges (strictly increasing, nonempty).
+  /// Only legal while the histogram is empty.
+  void set_edges(std::vector<std::uint64_t> upper_edges);
+
+  /// Upper-inclusive bucket edges; counts() has edges().size() + 1 entries
+  /// (the last is the overflow bucket above the final edge).
+  const std::vector<std::uint64_t>& edges() const { return edges_; }
+  const std::vector<std::uint64_t>& counts() const { return counts_; }
+
+  /// Records `count` samples of `value`.
+  void add(std::uint64_t value, std::uint64_t count = 1);
+
+  std::uint64_t events() const { return events_; }
+  std::uint64_t total() const { return total_; }
+  /// Mean sample value; 0 when empty.
+  double mean() const;
+  /// Largest recorded sample (0 when empty).
+  std::uint64_t max_value() const { return max_; }
+
+  /// Merges another histogram recorded over identical edges.
+  void merge(const BucketedHistogram& other);
+
+  /// Drops all samples (edges are kept).
+  void clear();
+
+ private:
+  std::vector<std::uint64_t> edges_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t events_ = 0;
+  std::uint64_t total_ = 0;
+  std::uint64_t max_ = 0;
+};
+
+/// Power-of-two bucket edges from `first` to `last` inclusive (both must be
+/// powers of two, first <= last) — the default shape for latency buckets.
+std::vector<std::uint64_t> pow2_edges(std::uint64_t first, std::uint64_t last);
+
 /// Numerically stable online mean/variance/min/max accumulator (Welford's
 /// algorithm). Two accumulators built over disjoint sample streams combine
 /// exactly with merge() (Chan et al.'s count-weighted update), so per-thread

@@ -128,6 +128,12 @@ std::vector<CellResult> SweepRunner::run(const std::vector<SweepCell>& cells,
               cell.system.num_procs, cell.system.num_clusters(),
               options.trace_config);
         }
+        std::shared_ptr<obs::attrib::Collector> attrib;
+        if (options.attrib && obs::compiled()) {
+          attrib =
+              std::make_shared<obs::attrib::Collector>(options.attrib_config);
+          system.attach_attribution(attrib.get());
+        }
         std::unique_ptr<check::InvariantChecker> checker;
         if (options.check && check::compiled()) {
           checker = std::make_unique<check::InvariantChecker>(
@@ -137,6 +143,7 @@ std::vector<CellResult> SweepRunner::run(const std::vector<SweepCell>& cells,
                       checker.get());
         CellResult& out = results[index];
         out.result = engine.run();
+        out.attrib = std::move(attrib);
         if (checker != nullptr) {
           out.check = std::make_shared<const check::CheckReport>(
               checker->finish(engine.halted_by_checker()));

@@ -25,6 +25,7 @@
 #include "check/invariant_checker.hpp"
 #include "common/stats.hpp"
 #include "harness/trace_cache.hpp"
+#include "obs/attrib/collector.hpp"
 #include "obs/trace_recorder.hpp"
 #include "protocol/system.hpp"
 #include "sim/engine.hpp"
@@ -54,6 +55,8 @@ struct CellResult {
   double sim_ms = 0.0;         ///< system construction + engine run phase
   /// Per-cell event timeline; null unless SweepOptions::record_traces.
   std::shared_ptr<obs::TraceRecorder> trace;
+  /// Per-cell latency attribution; null unless SweepOptions::attrib.
+  std::shared_ptr<obs::attrib::Collector> attrib;
   /// Per-cell invariant-oracle report; null unless SweepOptions::check.
   std::shared_ptr<const check::CheckReport> check;
 };
@@ -69,6 +72,13 @@ struct SweepOptions {
   /// return updates, one final newline. Never part of result identity.
   bool progress = false;
   std::ostream* progress_out = nullptr;
+  /// Attach a latency-attribution collector to every cell
+  /// (CellResult::attrib). Per-hop timing detail requires the queued
+  /// backend; under the analytic backend the collector still classifies
+  /// transactions and fan-outs. No-op when obs is compiled out
+  /// (DIRCC_OBS=0).
+  bool attrib = false;
+  obs::attrib::CollectorConfig attrib_config;
   /// Attach an invariant checker to every cell (CellResult::check). The
   /// checker may halt a failing cell early; other cells are unaffected.
   /// No-op when checking is compiled out (DIRCC_CHECK=0).

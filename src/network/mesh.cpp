@@ -96,4 +96,47 @@ void MeshTopology::route_links(NodeId from, NodeId to,
   }
 }
 
+MeshTopology::LinkEndpoints MeshTopology::link_endpoints(LinkId link) const {
+  ensure(link >= 0 && link < num_links(), "mesh link out of range");
+  const int horizontal = (width_ - 1) * height_;
+  const int vertical = width_ * (height_ - 1);
+  LinkEndpoints ep;
+  if (link < horizontal) {
+    // East: id = y*(width-1)+x routes (x,y) -> (x+1,y).
+    ep.from_x = link % (width_ - 1);
+    ep.from_y = link / (width_ - 1);
+    ep.to_x = ep.from_x + 1;
+    ep.to_y = ep.from_y;
+  } else if (link < 2 * horizontal) {
+    // West: id = H + y*(width-1)+(x-1) routes (x,y) -> (x-1,y).
+    const int local = link - horizontal;
+    ep.to_x = local % (width_ - 1);
+    ep.to_y = local / (width_ - 1);
+    ep.from_x = ep.to_x + 1;
+    ep.from_y = ep.to_y;
+  } else if (link < 2 * horizontal + vertical) {
+    // South: id = 2H + y*width+x routes (x,y) -> (x,y+1).
+    const int local = link - 2 * horizontal;
+    ep.from_x = local % width_;
+    ep.from_y = local / width_;
+    ep.to_x = ep.from_x;
+    ep.to_y = ep.from_y + 1;
+  } else {
+    // North: id = 2H + V + (y-1)*width+x routes (x,y) -> (x,y-1).
+    const int local = link - 2 * horizontal - vertical;
+    ep.to_x = local % width_;
+    ep.to_y = local / width_;
+    ep.from_x = ep.to_x;
+    ep.from_y = ep.to_y + 1;
+  }
+  return ep;
+}
+
+std::string MeshTopology::link_name(LinkId link) const {
+  const LinkEndpoints ep = link_endpoints(link);
+  return "(" + std::to_string(ep.from_x) + "," + std::to_string(ep.from_y) +
+         ")->(" + std::to_string(ep.to_x) + "," + std::to_string(ep.to_y) +
+         ")";
+}
+
 }  // namespace dircc

@@ -2,6 +2,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "common/ensure.hpp"
@@ -46,6 +47,31 @@ class MeshTopology {
   /// Appends the directed links crossed by an X-then-Y (dimension-ordered)
   /// route from `from` to `to`. Appends nothing when from == to.
   void route_links(NodeId from, NodeId to, std::vector<LinkId>* out) const;
+
+  /// Grid coordinates of a node.
+  int node_x(NodeId node) const {
+    ensure(node < num_nodes_, "mesh node out of range");
+    return x_[static_cast<std::size_t>(node)];
+  }
+  int node_y(NodeId node) const {
+    ensure(node < num_nodes_, "mesh node out of range");
+    return y_[static_cast<std::size_t>(node)];
+  }
+
+  /// One end of a directed link, as grid coordinates.
+  struct LinkEndpoints {
+    int from_x = 0;
+    int from_y = 0;
+    int to_x = 0;
+    int to_y = 0;
+  };
+
+  /// Inverts the link-id encoding used by route_links(): returns the grid
+  /// coordinates of the channel's source and destination routers.
+  LinkEndpoints link_endpoints(LinkId link) const;
+
+  /// Human-readable link label, "(x0,y0)->(x1,y1)".
+  std::string link_name(LinkId link) const;
 
  private:
   void build_coords();

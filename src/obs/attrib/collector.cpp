@@ -1,0 +1,385 @@
+#include "obs/attrib/collector.hpp"
+
+#include <algorithm>
+
+#include "common/ensure.hpp"
+#include "obs/metrics.hpp"
+
+namespace dircc::obs::attrib {
+
+const char* path_cat_name(PathCat cat) {
+  switch (cat) {
+    case PathCat::kRequest:
+      return "request";
+    case PathCat::kForward:
+      return "forward";
+    case PathCat::kInvalidation:
+      return "invalidation";
+    case PathCat::kAck:
+      return "ack";
+    case PathCat::kData:
+      return "data";
+    case PathCat::kWriteback:
+      return "writeback";
+  }
+  return "?";
+}
+
+PathCat hop_category(HopKind kind) {
+  switch (kind) {
+    case HopKind::kRequest:
+      return PathCat::kRequest;
+    case HopKind::kForward:
+    case HopKind::kVictimFetch:
+      return PathCat::kForward;
+    case HopKind::kInval:
+    case HopKind::kDisplacementInval:
+    case HopKind::kReclaimInval:
+      return PathCat::kInvalidation;
+    case HopKind::kAck:
+    case HopKind::kReclaimAck:
+    case HopKind::kTransferAck:
+      return PathCat::kAck;
+    case HopKind::kReply:
+      return PathCat::kData;
+    case HopKind::kSharingWriteback:
+    case HopKind::kVictimWriteback:
+    case HopKind::kEvictionWriteback:
+    case HopKind::kReplacementHint:
+      return PathCat::kWriteback;
+  }
+  return PathCat::kRequest;
+}
+
+const char* txn_class_name(TxnClass cls) {
+  switch (cls) {
+    case TxnClass::kBus:
+      return "bus";
+    case TxnClass::kDir1Read:
+      return "dir1_read";
+    case TxnClass::kDir1Write:
+      return "dir1_write";
+    case TxnClass::kDir2Read:
+      return "dir2_read";
+    case TxnClass::kDir2Write:
+      return "dir2_write";
+    case TxnClass::kDir3Read:
+      return "dir3_read";
+    case TxnClass::kDir3Write:
+      return "dir3_write";
+  }
+  return "?";
+}
+
+TxnClass classify_txn(const Transaction& txn, const TransactionRoute& route) {
+  if (txn.kind != TxnKind::kDirectory) {
+    return TxnClass::kBus;
+  }
+  if (route.distinct_clusters <= 1) {
+    return txn.is_write ? TxnClass::kDir1Write : TxnClass::kDir1Read;
+  }
+  if (route.distinct_clusters == 2) {
+    return txn.is_write ? TxnClass::kDir2Write : TxnClass::kDir2Read;
+  }
+  return txn.is_write ? TxnClass::kDir3Write : TxnClass::kDir3Read;
+}
+
+// --- WindowedUsage --------------------------------------------------------
+
+void WindowedUsage::configure(Cycle window, std::size_t max_windows) {
+  ensure(window > 0 && max_windows > 0, "windowed usage needs a window");
+  window_ = window;
+  max_windows_ = max_windows;
+  busy_.clear();
+}
+
+void WindowedUsage::coarsen() {
+  window_ *= 2;
+  const std::size_t folded = (busy_.size() + 1) / 2;
+  for (std::size_t i = 0; i < folded; ++i) {
+    const Cycle lo = busy_[2 * i];
+    const Cycle hi = 2 * i + 1 < busy_.size() ? busy_[2 * i + 1] : 0;
+    busy_[i] = lo + hi;
+  }
+  busy_.resize(folded);
+}
+
+void WindowedUsage::coarsen_to(Cycle width) {
+  ensure(window_ > 0, "windowed usage used before configure");
+  while (window_ < width) {
+    coarsen();
+  }
+  ensure(window_ == width, "window widths diverged (not a pow2 multiple)");
+}
+
+void WindowedUsage::add(Cycle from, Cycle until) {
+  ensure(window_ > 0, "windowed usage used before configure");
+  if (until <= from) {
+    return;
+  }
+  while (until > window_ * static_cast<Cycle>(max_windows_)) {
+    coarsen();
+  }
+  const std::size_t first = static_cast<std::size_t>(from / window_);
+  const std::size_t last = static_cast<std::size_t>((until - 1) / window_);
+  if (busy_.size() <= last) {
+    busy_.resize(last + 1, 0);
+  }
+  for (std::size_t w = first; w <= last; ++w) {
+    const Cycle lo = std::max(from, static_cast<Cycle>(w) * window_);
+    const Cycle hi = std::min(until, static_cast<Cycle>(w + 1) * window_);
+    busy_[w] += hi - lo;
+  }
+}
+
+void WindowedUsage::merge(const WindowedUsage& other) {
+  ensure(window_ > 0 && other.window_ > 0,
+         "windowed usage merged before configure");
+  coarsen_to(std::max(window_, other.window_));
+  const Cycle ratio = window_ / other.window_;
+  if (busy_.size() < (other.busy_.size() + ratio - 1) / ratio) {
+    busy_.resize((other.busy_.size() + ratio - 1) / ratio, 0);
+  }
+  for (std::size_t j = 0; j < other.busy_.size(); ++j) {
+    busy_[j / ratio] += other.busy_[j];
+  }
+}
+
+// --- Collector ------------------------------------------------------------
+
+std::vector<std::uint64_t> default_latency_edges() {
+  return pow2_edges(8, 1u << 20);
+}
+
+Collector::Collector(CollectorConfig config) : config_(std::move(config)) {
+  if (config_.latency_edges.empty()) {
+    config_.latency_edges = default_latency_edges();
+  }
+  for (auto& hist : class_latency_) {
+    hist.set_edges(config_.latency_edges);
+  }
+}
+
+void Collector::bind(const MeshTopology& mesh) {
+  if (bound_) {
+    // Rebinding to an identically shaped mesh is a no-op (a collector can
+    // outlive the system that fed it; a sweep may bind once per cell).
+    ensure(width_ == mesh.width() && height_ == mesh.height(),
+           "attribution collector rebound to a different mesh");
+    return;
+  }
+  bound_ = true;
+  width_ = mesh.width();
+  height_ = mesh.height();
+  const int links = mesh.num_links();
+  const int nodes = mesh.num_nodes();
+  link_stats_.assign(static_cast<std::size_t>(links), {});
+  home_stats_.assign(static_cast<std::size_t>(nodes), {});
+  link_usage_.assign(static_cast<std::size_t>(links), {});
+  home_usage_.assign(static_cast<std::size_t>(nodes), {});
+  home_wait_.assign(static_cast<std::size_t>(nodes), {});
+  for (auto& usage : link_usage_) {
+    usage.configure(config_.window_cycles, config_.max_windows);
+  }
+  for (auto& usage : home_usage_) {
+    usage.configure(config_.window_cycles, config_.max_windows);
+  }
+  for (auto& usage : home_wait_) {
+    usage.configure(config_.window_cycles, config_.max_windows);
+  }
+  link_names_.resize(static_cast<std::size_t>(links));
+  for (int link = 0; link < links; ++link) {
+    link_names_[static_cast<std::size_t>(link)] = mesh.link_name(link);
+  }
+  home_x_.resize(static_cast<std::size_t>(nodes));
+  home_y_.resize(static_cast<std::size_t>(nodes));
+  for (int node = 0; node < nodes; ++node) {
+    home_x_[static_cast<std::size_t>(node)] =
+        mesh.node_x(static_cast<NodeId>(node));
+    home_y_[static_cast<std::size_t>(node)] =
+        mesh.node_y(static_cast<NodeId>(node));
+  }
+}
+
+void Collector::on_hop(const Transaction& /*txn*/, const HopTiming& timing) {
+  pending_.push_back(timing);
+}
+
+void Collector::on_link(LinkId link, Cycle wait, Cycle busy_from,
+                        Cycle busy_until) {
+  ensure(bound_, "attribution collector fed before bind");
+  ResourceStats& stats = link_stats_[static_cast<std::size_t>(link)];
+  stats.busy += busy_until - busy_from;
+  stats.wait += wait;
+  stats.msgs += 1;
+  link_usage_[static_cast<std::size_t>(link)].add(busy_from, busy_until);
+  if (busy_until > span_) {
+    span_ = busy_until;
+  }
+}
+
+void Collector::on_home(NodeId home, Cycle wait, Cycle busy_from,
+                        Cycle busy_until) {
+  ensure(bound_, "attribution collector fed before bind");
+  ResourceStats& stats = home_stats_[home];
+  stats.busy += busy_until - busy_from;
+  stats.wait += wait;
+  stats.msgs += 1;
+  home_usage_[home].add(busy_from, busy_until);
+  if (wait > 0) {
+    home_wait_[home].add(busy_from - wait, busy_from);
+  }
+  if (busy_until > span_) {
+    span_ = busy_until;
+  }
+}
+
+void Collector::on_commit(const Transaction& txn,
+                          const TransactionRoute& route, Cycle now,
+                          Cycle latency) {
+  ++txns_;
+  const TxnClass cls = classify_txn(txn, route);
+  class_latency_[static_cast<std::size_t>(cls)].add(latency);
+  class_count_[static_cast<std::size_t>(cls)] += 1;
+  for (const Fanout& fanout : txn.fanouts) {
+    fanout_.add(static_cast<std::uint64_t>(fanout.network_invalidations));
+  }
+  const Cycle end = now + latency;
+  if (end > span_) {
+    span_ = end;
+  }
+  if (pending_.empty()) {
+    return;  // analytic backend, or a bus-served access: no hop detail
+  }
+  ensure(pending_.size() == txn.hops.size(),
+         "hop timings out of step with the transaction IR");
+  // The walked completion is the last-finishing hop; its dep chain is the
+  // critical path, and done[i] = start + queue + service telescopes so the
+  // chain's (queue + service) sum equals completion - now exactly.
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < pending_.size(); ++i) {
+    if (pending_[i].done > pending_[best].done) {
+      best = i;
+    }
+  }
+  const Cycle walked = pending_[best].done - now;
+  crit_floor_ += latency > walked ? latency - walked : 0;
+  int idx = static_cast<int>(best);
+  while (idx >= 0) {
+    const HopTiming& timing = pending_[static_cast<std::size_t>(idx)];
+    const PathCat cat = hop_category(txn.hops[static_cast<std::size_t>(idx)].kind);
+    crit_cat_[static_cast<std::size_t>(cat)] += timing.queue + timing.service;
+    crit_queue_ += timing.queue;
+    crit_service_ += timing.service;
+    idx = txn.hops[static_cast<std::size_t>(idx)].dep;
+  }
+  pending_.clear();
+}
+
+void Collector::normalize_windows() {
+  Cycle widest = config_.window_cycles;
+  for (const auto& usage : link_usage_) {
+    widest = std::max(widest, usage.window());
+  }
+  for (const auto& usage : home_usage_) {
+    widest = std::max(widest, usage.window());
+  }
+  for (const auto& usage : home_wait_) {
+    widest = std::max(widest, usage.window());
+  }
+  for (auto& usage : link_usage_) {
+    usage.coarsen_to(widest);
+  }
+  for (auto& usage : home_usage_) {
+    usage.coarsen_to(widest);
+  }
+  for (auto& usage : home_wait_) {
+    usage.coarsen_to(widest);
+  }
+}
+
+void Collector::merge(const Collector& other) {
+  if (!other.bound_) {
+    // The other collector never saw a system; only its commit-side
+    // aggregates can be nonzero.
+    ensure(other.txns_ == 0, "unbound collector holds transactions");
+    return;
+  }
+  if (!bound_) {
+    ensure(txns_ == 0, "unbound collector holds transactions");
+    *this = other;
+    return;
+  }
+  ensure(width_ == other.width_ && height_ == other.height_,
+         "collectors merge only over identical meshes");
+  for (std::size_t i = 0; i < link_stats_.size(); ++i) {
+    link_stats_[i].busy += other.link_stats_[i].busy;
+    link_stats_[i].wait += other.link_stats_[i].wait;
+    link_stats_[i].msgs += other.link_stats_[i].msgs;
+    link_usage_[i].merge(other.link_usage_[i]);
+  }
+  for (std::size_t i = 0; i < home_stats_.size(); ++i) {
+    home_stats_[i].busy += other.home_stats_[i].busy;
+    home_stats_[i].wait += other.home_stats_[i].wait;
+    home_stats_[i].msgs += other.home_stats_[i].msgs;
+    home_usage_[i].merge(other.home_usage_[i]);
+    home_wait_[i].merge(other.home_wait_[i]);
+  }
+  txns_ += other.txns_;
+  span_ = std::max(span_, other.span_);
+  crit_queue_ += other.crit_queue_;
+  crit_service_ += other.crit_service_;
+  crit_floor_ += other.crit_floor_;
+  for (std::size_t i = 0; i < crit_cat_.size(); ++i) {
+    crit_cat_[i] += other.crit_cat_[i];
+  }
+  for (std::size_t i = 0; i < class_latency_.size(); ++i) {
+    class_latency_[i].merge(other.class_latency_[i]);
+    class_count_[i] += other.class_count_[i];
+  }
+  fanout_.merge(other.fanout_);
+}
+
+void Collector::register_metrics(MetricsRegistry& out) const {
+  out.add("attrib.txns", txns_);
+  out.add("attrib.crit.queue_cycles", crit_queue_);
+  out.add("attrib.crit.service_cycles", crit_service_);
+  out.add("attrib.crit.floor_cycles", crit_floor_);
+  for (int cat = 0; cat < kNumPathCats; ++cat) {
+    out.add(std::string("attrib.crit.") +
+                path_cat_name(static_cast<PathCat>(cat)) + "_cycles",
+            crit_cat_[static_cast<std::size_t>(cat)]);
+  }
+  Cycle link_busy = 0;
+  Cycle link_wait = 0;
+  std::uint64_t link_msgs = 0;
+  for (const ResourceStats& stats : link_stats_) {
+    link_busy += stats.busy;
+    link_wait += stats.wait;
+    link_msgs += stats.msgs;
+  }
+  out.add("attrib.link.busy_cycles", link_busy);
+  out.add("attrib.link.wait_cycles", link_wait);
+  out.add("attrib.link.msgs", link_msgs);
+  Cycle home_busy = 0;
+  Cycle home_wait = 0;
+  std::uint64_t home_msgs = 0;
+  for (const ResourceStats& stats : home_stats_) {
+    home_busy += stats.busy;
+    home_wait += stats.wait;
+    home_msgs += stats.msgs;
+  }
+  out.add("attrib.home.busy_cycles", home_busy);
+  out.add("attrib.home.wait_cycles", home_wait);
+  out.add("attrib.home.msgs", home_msgs);
+  for (int cls = 0; cls < kNumTxnClasses; ++cls) {
+    const BucketedHistogram& hist = class_latency_[static_cast<std::size_t>(cls)];
+    out.bucketed(std::string("attrib.latency.") +
+                     txn_class_name(static_cast<TxnClass>(cls)),
+                 hist.edges())
+        .merge(hist);
+  }
+  out.histogram("attrib.fanout").merge(fanout_);
+}
+
+}  // namespace dircc::obs::attrib

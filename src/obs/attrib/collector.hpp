@@ -1,0 +1,219 @@
+// Transaction-latency attribution: where the cycles of a coherence
+// transaction actually go.
+//
+// The queued latency backend (src/protocol/latency_backend) computes
+// per-link and per-home contention while walking a transaction's hop DAG,
+// then historically discarded everything except the final latency scalar.
+// The Collector here implements the backend's AttributionSink contract and
+// keeps the detail:
+//
+//   * critical-path decomposition — per committed transaction, the dep
+//     chain ending at the last-finishing hop is walked backwards and each
+//     hop's (queue + service) cycles are attributed to a PathCat
+//     (request / forward / invalidation / ack / data / writeback);
+//   * per-directed-link utilization and per-home occupancy/wait time
+//     series, windowed over simulated cycles with bounded memory;
+//   * latency histograms per transaction class (bus, 1/2/3-cluster
+//     read/write) over configurable bucket edges;
+//   * the invalidation fan-out distribution.
+//
+// Everything is keyed to simulated Cycle time, so a collector's contents —
+// and every export derived from them — are identical across sweep thread
+// counts. Under the analytic backend no per-hop timing exists; the
+// collector still sees every commit and records class histograms and
+// fan-outs, while link/home series simply stay empty.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "common/types.hpp"
+#include "protocol/latency_backend.hpp"
+
+namespace dircc::obs {
+class MetricsRegistry;
+}
+
+namespace dircc::obs::attrib {
+
+/// Critical-path category of a hop (the report's latency breakdown axis).
+enum class PathCat : std::uint8_t {
+  kRequest,       ///< requester -> home
+  kForward,       ///< home -> owner (forwards, victim fetches)
+  kInvalidation,  ///< invalidation fan-out of any cause
+  kAck,           ///< acks back to requester or home
+  kData,          ///< the data/ownership reply
+  kWriteback,     ///< writebacks and replacement hints
+};
+inline constexpr int kNumPathCats = 6;
+
+const char* path_cat_name(PathCat cat);
+PathCat hop_category(HopKind kind);
+
+/// Latency-histogram class of a transaction: bus-served, or a directory
+/// transaction keyed by distinct clusters touched and read vs. write.
+enum class TxnClass : std::uint8_t {
+  kBus,
+  kDir1Read,
+  kDir1Write,
+  kDir2Read,
+  kDir2Write,
+  kDir3Read,
+  kDir3Write,
+};
+inline constexpr int kNumTxnClasses = 7;
+
+const char* txn_class_name(TxnClass cls);
+TxnClass classify_txn(const Transaction& txn, const TransactionRoute& route);
+
+/// Busy-cycle time series over fixed-count windows of simulated time.
+/// Memory is bounded: when an interval lands beyond the last window the
+/// window width doubles (folding neighbouring pairs), so a series is
+/// always `max_windows` buckets wide no matter how long the run. Widths
+/// are the configured initial width times a power of two, which is what
+/// makes two series (or two collectors) mergeable: coarsen both to the
+/// wider width, then add counts.
+class WindowedUsage {
+ public:
+  void configure(Cycle window, std::size_t max_windows);
+
+  /// Accounts the half-open busy interval [from, until).
+  void add(Cycle from, Cycle until);
+
+  Cycle window() const { return window_; }
+  const std::vector<Cycle>& busy() const { return busy_; }
+
+  /// Doubles the window width (folding pairs) until it reaches `width`,
+  /// which must be the current width times a power of two.
+  void coarsen_to(Cycle width);
+
+  /// Folds another series (same initial configuration) into this one.
+  void merge(const WindowedUsage& other);
+
+ private:
+  void coarsen();
+
+  Cycle window_ = 0;
+  std::size_t max_windows_ = 0;
+  std::vector<Cycle> busy_;
+};
+
+/// Scalar totals for one link or one home controller.
+struct ResourceStats {
+  Cycle busy = 0;           ///< cycles the resource was occupied
+  Cycle wait = 0;           ///< cycles occupants spent queued behind it
+  std::uint64_t msgs = 0;   ///< occupancy intervals (messages served)
+};
+
+struct CollectorConfig {
+  /// Initial window width for the utilization time series.
+  Cycle window_cycles = 1024;
+  /// Windows retained per resource; widths double once time outgrows them.
+  std::size_t max_windows = 256;
+  /// Upper bucket edges for the per-class latency histograms; empty means
+  /// pow2_edges(8, 1 << 20) — fine near the analytic costs, wide enough
+  /// for queueing tails.
+  std::vector<std::uint64_t> latency_edges;
+};
+
+/// The default latency bucket edges (what an empty config resolves to).
+std::vector<std::uint64_t> default_latency_edges();
+
+class Collector : public AttributionSink {
+ public:
+  explicit Collector(CollectorConfig config = {});
+
+  // AttributionSink
+  void bind(const MeshTopology& mesh) override;
+  void on_hop(const Transaction& txn, const HopTiming& timing) override;
+  void on_link(LinkId link, Cycle wait, Cycle busy_from,
+               Cycle busy_until) override;
+  void on_home(NodeId home, Cycle wait, Cycle busy_from,
+               Cycle busy_until) override;
+  void on_commit(const Transaction& txn, const TransactionRoute& route,
+                 Cycle now, Cycle latency) override;
+
+  /// Folds another collector (same mesh, same configuration) into this
+  /// one — how a sweep aggregates its cells. Cells all start at cycle 0,
+  /// so series merge positionally.
+  void merge(const Collector& other);
+
+  /// Coarsens every utilization series to one common window width (the
+  /// widest any series reached). Idempotent; exports call it first.
+  void normalize_windows();
+
+  // --- accessors ---------------------------------------------------------
+  bool bound() const { return bound_; }
+  int mesh_width() const { return width_; }
+  int mesh_height() const { return height_; }
+  int num_links() const { return static_cast<int>(link_stats_.size()); }
+  int num_homes() const { return static_cast<int>(home_stats_.size()); }
+  /// Last simulated cycle touched by any commit or occupancy interval —
+  /// the denominator for whole-run utilization fractions.
+  Cycle span() const { return span_; }
+  std::uint64_t transactions() const { return txns_; }
+
+  const std::vector<ResourceStats>& link_stats() const { return link_stats_; }
+  const std::vector<ResourceStats>& home_stats() const { return home_stats_; }
+  const std::vector<WindowedUsage>& link_usage() const { return link_usage_; }
+  const std::vector<WindowedUsage>& home_usage() const { return home_usage_; }
+  const std::vector<WindowedUsage>& home_wait() const { return home_wait_; }
+  const std::string& link_label(int link) const { return link_names_[link]; }
+  int home_x(int home) const { return home_x_[home]; }
+  int home_y(int home) const { return home_y_[home]; }
+
+  Cycle crit_queue_cycles() const { return crit_queue_; }
+  Cycle crit_service_cycles() const { return crit_service_; }
+  /// Cycles where the analytic floor exceeded the walked completion
+  /// (latency = max(analytic, walked); the residual is attributed here).
+  Cycle crit_floor_cycles() const { return crit_floor_; }
+  const std::array<Cycle, kNumPathCats>& crit_by_category() const {
+    return crit_cat_;
+  }
+
+  const std::array<BucketedHistogram, kNumTxnClasses>& class_latency() const {
+    return class_latency_;
+  }
+  const std::array<std::uint64_t, kNumTxnClasses>& class_count() const {
+    return class_count_;
+  }
+  const Histogram& fanout() const { return fanout_; }
+
+  const CollectorConfig& config() const { return config_; }
+
+  /// Registers aggregate counters and histograms under "attrib.*".
+  void register_metrics(MetricsRegistry& out) const;
+
+ private:
+  CollectorConfig config_;
+  bool bound_ = false;
+  int width_ = 0;
+  int height_ = 0;
+
+  std::vector<ResourceStats> link_stats_;
+  std::vector<ResourceStats> home_stats_;
+  std::vector<WindowedUsage> link_usage_;
+  std::vector<WindowedUsage> home_usage_;
+  std::vector<WindowedUsage> home_wait_;
+  std::vector<std::string> link_names_;
+  std::vector<int> home_x_;
+  std::vector<int> home_y_;
+
+  std::vector<HopTiming> pending_;  ///< hop timings of the txn in flight
+
+  std::uint64_t txns_ = 0;
+  Cycle span_ = 0;
+  Cycle crit_queue_ = 0;
+  Cycle crit_service_ = 0;
+  Cycle crit_floor_ = 0;
+  std::array<Cycle, kNumPathCats> crit_cat_{};
+
+  std::array<BucketedHistogram, kNumTxnClasses> class_latency_;
+  std::array<std::uint64_t, kNumTxnClasses> class_count_{};
+  Histogram fanout_;
+};
+
+}  // namespace dircc::obs::attrib

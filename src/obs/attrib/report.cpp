@@ -1,0 +1,310 @@
+#include "obs/attrib/report.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <ostream>
+#include <vector>
+
+#include "common/json.hpp"
+
+namespace dircc::obs::attrib {
+
+namespace {
+
+double util_fraction(Cycle busy, Cycle span) {
+  if (span == 0) {
+    return 0.0;
+  }
+  return static_cast<double>(busy) / static_cast<double>(span);
+}
+
+void emit_bucketed(JsonWriter& json, const BucketedHistogram& hist) {
+  json.begin_object();
+  json.field("events", hist.events());
+  json.field("total", hist.total());
+  json.field("mean", hist.mean());
+  json.field("max", hist.max_value());
+  json.key("edges");
+  json.begin_array();
+  for (const std::uint64_t edge : hist.edges()) {
+    json.value(edge);
+  }
+  json.end_array();
+  json.key("counts");
+  json.begin_array();
+  for (const std::uint64_t count : hist.counts()) {
+    json.value(count);
+  }
+  json.end_array();
+  json.end_object();
+}
+
+void emit_critical_path(JsonWriter& json, const Collector& c) {
+  json.key("critical_path");
+  json.begin_object();
+  json.field("queue_cycles", c.crit_queue_cycles());
+  json.field("service_cycles", c.crit_service_cycles());
+  json.field("floor_cycles", c.crit_floor_cycles());
+  json.key("by_category");
+  json.begin_object();
+  for (int cat = 0; cat < kNumPathCats; ++cat) {
+    json.field(path_cat_name(static_cast<PathCat>(cat)),
+               c.crit_by_category()[static_cast<std::size_t>(cat)]);
+  }
+  json.end_object();
+  json.end_object();
+}
+
+void emit_latency_classes(JsonWriter& json, const Collector& c) {
+  json.key("latency");
+  json.begin_object();
+  for (int cls = 0; cls < kNumTxnClasses; ++cls) {
+    json.key(txn_class_name(static_cast<TxnClass>(cls)));
+    emit_bucketed(json, c.class_latency()[static_cast<std::size_t>(cls)]);
+  }
+  json.end_object();
+}
+
+void emit_fanout(JsonWriter& json, const Collector& c) {
+  json.key("fanout");
+  json.begin_object();
+  json.field("events", c.fanout().events());
+  json.field("total", c.fanout().total());
+  json.field("mean", c.fanout().mean());
+  json.field("max", c.fanout().max_value());
+  json.key("bins");
+  json.begin_array();
+  for (const std::uint64_t bin : c.fanout().bins()) {
+    json.value(bin);
+  }
+  json.end_array();
+  json.end_object();
+}
+
+/// Link/home indices ordered busiest-first; ties break on the lower id so
+/// the ranking is total and deterministic.
+std::vector<int> ranked_indices(const std::vector<ResourceStats>& stats) {
+  std::vector<int> order(stats.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&stats](int a, int b) {
+    const ResourceStats& sa = stats[static_cast<std::size_t>(a)];
+    const ResourceStats& sb = stats[static_cast<std::size_t>(b)];
+    if (sa.busy + sa.wait != sb.busy + sb.wait) {
+      return sa.busy + sa.wait > sb.busy + sb.wait;
+    }
+    return a < b;
+  });
+  return order;
+}
+
+}  // namespace
+
+void write_attrib_json(Collector& c, std::ostream& out) {
+  c.normalize_windows();
+  const Cycle window =
+      c.num_links() > 0 ? c.link_usage()[0].window() : c.config().window_cycles;
+  JsonWriter json(out);
+  json.begin_object();
+  json.field("schema", kAttribSchema);
+  json.field("version", static_cast<std::uint64_t>(kAttribVersion));
+  json.key("mesh");
+  json.begin_object();
+  json.field("width", static_cast<std::int64_t>(c.mesh_width()));
+  json.field("height", static_cast<std::int64_t>(c.mesh_height()));
+  json.end_object();
+  json.field("span_cycles", c.span());
+  json.field("transactions", c.transactions());
+  json.field("window_cycles", window);
+  emit_critical_path(json, c);
+  json.key("links");
+  json.begin_array();
+  for (int link = 0; link < c.num_links(); ++link) {
+    const ResourceStats& stats = c.link_stats()[static_cast<std::size_t>(link)];
+    json.begin_object();
+    json.field("id", static_cast<std::int64_t>(link));
+    json.field("name", c.link_label(link));
+    json.field("busy_cycles", stats.busy);
+    json.field("wait_cycles", stats.wait);
+    json.field("msgs", stats.msgs);
+    json.field("util", util_fraction(stats.busy, c.span()));
+    json.key("busy_windows");
+    json.begin_array();
+    for (const Cycle busy : c.link_usage()[static_cast<std::size_t>(link)].busy()) {
+      json.value(busy);
+    }
+    json.end_array();
+    json.end_object();
+  }
+  json.end_array();
+  json.key("homes");
+  json.begin_array();
+  for (int home = 0; home < c.num_homes(); ++home) {
+    const ResourceStats& stats = c.home_stats()[static_cast<std::size_t>(home)];
+    json.begin_object();
+    json.field("id", static_cast<std::int64_t>(home));
+    json.field("x", static_cast<std::int64_t>(c.home_x(home)));
+    json.field("y", static_cast<std::int64_t>(c.home_y(home)));
+    json.field("busy_cycles", stats.busy);
+    json.field("wait_cycles", stats.wait);
+    json.field("msgs", stats.msgs);
+    json.field("util", util_fraction(stats.busy, c.span()));
+    json.key("busy_windows");
+    json.begin_array();
+    for (const Cycle busy : c.home_usage()[static_cast<std::size_t>(home)].busy()) {
+      json.value(busy);
+    }
+    json.end_array();
+    json.key("wait_windows");
+    json.begin_array();
+    for (const Cycle wait : c.home_wait()[static_cast<std::size_t>(home)].busy()) {
+      json.value(wait);
+    }
+    json.end_array();
+    json.end_object();
+  }
+  json.end_array();
+  emit_latency_classes(json, c);
+  emit_fanout(json, c);
+  json.end_object();
+  out << "\n";
+}
+
+void write_attrib_csv(Collector& c, std::ostream& out) {
+  c.normalize_windows();
+  out << "kind,id,name,busy_cycles,wait_cycles,msgs,util\n";
+  for (int link = 0; link < c.num_links(); ++link) {
+    const ResourceStats& stats = c.link_stats()[static_cast<std::size_t>(link)];
+    out << "link," << link << "," << c.link_label(link) << "," << stats.busy
+        << "," << stats.wait << "," << stats.msgs << ","
+        << json_number(util_fraction(stats.busy, c.span())) << "\n";
+  }
+  for (int home = 0; home < c.num_homes(); ++home) {
+    const ResourceStats& stats = c.home_stats()[static_cast<std::size_t>(home)];
+    out << "home," << home << ",(" << c.home_x(home) << "," << c.home_y(home)
+        << ")," << stats.busy << "," << stats.wait << "," << stats.msgs << ","
+        << json_number(util_fraction(stats.busy, c.span())) << "\n";
+  }
+}
+
+void write_hotspot_json(Collector& c, int top_k, std::ostream& out) {
+  c.normalize_windows();
+  JsonWriter json(out);
+  json.begin_object();
+  json.field("schema", kHotspotSchema);
+  json.field("version", static_cast<std::uint64_t>(kHotspotVersion));
+  json.key("mesh");
+  json.begin_object();
+  json.field("width", static_cast<std::int64_t>(c.mesh_width()));
+  json.field("height", static_cast<std::int64_t>(c.mesh_height()));
+  json.end_object();
+  json.field("span_cycles", c.span());
+  json.field("transactions", c.transactions());
+  const Cycle crit_total =
+      c.crit_queue_cycles() + c.crit_service_cycles() + c.crit_floor_cycles();
+  json.key("latency_split");
+  json.begin_object();
+  json.field("queue_cycles", c.crit_queue_cycles());
+  json.field("service_cycles", c.crit_service_cycles());
+  json.field("floor_cycles", c.crit_floor_cycles());
+  json.field("queue_fraction",
+             util_fraction(c.crit_queue_cycles(), crit_total));
+  json.end_object();
+  json.key("by_category");
+  json.begin_object();
+  for (int cat = 0; cat < kNumPathCats; ++cat) {
+    json.field(path_cat_name(static_cast<PathCat>(cat)),
+               c.crit_by_category()[static_cast<std::size_t>(cat)]);
+  }
+  json.end_object();
+  const std::vector<int> links = ranked_indices(c.link_stats());
+  json.key("top_links");
+  json.begin_array();
+  for (std::size_t rank = 0;
+       rank < links.size() && rank < static_cast<std::size_t>(top_k); ++rank) {
+    const int link = links[rank];
+    const ResourceStats& stats = c.link_stats()[static_cast<std::size_t>(link)];
+    if (stats.busy + stats.wait == 0) {
+      break;  // the remainder of the ranking is idle resources
+    }
+    json.begin_object();
+    json.field("rank", static_cast<std::uint64_t>(rank + 1));
+    json.field("id", static_cast<std::int64_t>(link));
+    json.field("name", c.link_label(link));
+    json.field("busy_cycles", stats.busy);
+    json.field("wait_cycles", stats.wait);
+    json.field("msgs", stats.msgs);
+    json.field("util", util_fraction(stats.busy, c.span()));
+    json.end_object();
+  }
+  json.end_array();
+  const std::vector<int> homes = ranked_indices(c.home_stats());
+  json.key("top_homes");
+  json.begin_array();
+  for (std::size_t rank = 0;
+       rank < homes.size() && rank < static_cast<std::size_t>(top_k); ++rank) {
+    const int home = homes[rank];
+    const ResourceStats& stats = c.home_stats()[static_cast<std::size_t>(home)];
+    if (stats.busy + stats.wait == 0) {
+      break;
+    }
+    json.begin_object();
+    json.field("rank", static_cast<std::uint64_t>(rank + 1));
+    json.field("id", static_cast<std::int64_t>(home));
+    json.field("x", static_cast<std::int64_t>(c.home_x(home)));
+    json.field("y", static_cast<std::int64_t>(c.home_y(home)));
+    json.field("busy_cycles", stats.busy);
+    json.field("wait_cycles", stats.wait);
+    json.field("msgs", stats.msgs);
+    json.field("util", util_fraction(stats.busy, c.span()));
+    json.end_object();
+  }
+  json.end_array();
+  emit_latency_classes(json, c);
+  emit_fanout(json, c);
+  json.end_object();
+  out << "\n";
+}
+
+void emit_chrome_counters(Collector& c, JsonWriter& json) {
+  c.normalize_windows();
+  const auto emit_series = [&json](const std::vector<WindowedUsage>& series,
+                                   const char* name, std::int64_t pid) {
+    if (series.empty()) {
+      return;
+    }
+    const Cycle window = series[0].window();
+    std::size_t windows = 0;
+    for (const WindowedUsage& usage : series) {
+      windows = std::max(windows, usage.busy().size());
+    }
+    for (std::size_t w = 0; w < windows; ++w) {
+      double sum = 0.0;
+      double peak = 0.0;
+      for (const WindowedUsage& usage : series) {
+        const double frac =
+            w < usage.busy().size()
+                ? static_cast<double>(usage.busy()[w]) /
+                      static_cast<double>(window)
+                : 0.0;
+        sum += frac;
+        peak = std::max(peak, frac);
+      }
+      json.begin_object();
+      json.field("name", name);
+      json.field("ph", "C");
+      json.field("pid", pid);
+      json.field("tid", static_cast<std::int64_t>(0));
+      json.field("ts", static_cast<std::uint64_t>(w) * window);
+      json.key("args");
+      json.begin_object();
+      json.field("mean", sum / static_cast<double>(series.size()));
+      json.field("max", peak);
+      json.end_object();
+      json.end_object();
+    }
+  };
+  emit_series(c.link_usage(), "attrib: link busy", 0);
+  emit_series(c.home_usage(), "attrib: home busy", 1);
+}
+
+}  // namespace dircc::obs::attrib

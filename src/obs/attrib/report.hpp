@@ -1,0 +1,50 @@
+// Exports of an attribution Collector: schema-versioned JSON/CSV dumps,
+// Chrome-trace counter tracks, and the ranked hotspot report consumed by
+// bench/hotspot_report.
+//
+// Every export normalizes the collector's utilization windows first (so
+// all series share one window width) and renders in a fixed order, making
+// the bytes deterministic — and, because the collector only ever sees
+// simulated Cycle time, identical across sweep thread counts.
+#pragma once
+
+#include <iosfwd>
+
+#include "obs/attrib/collector.hpp"
+
+namespace dircc {
+class JsonWriter;
+}
+
+namespace dircc::obs::attrib {
+
+/// Schema identifier/version stamped into the JSON exports.
+inline constexpr const char* kAttribSchema = "dircc-attrib";
+inline constexpr const char* kHotspotSchema = "dircc-hotspot";
+inline constexpr int kAttribVersion = 1;
+inline constexpr int kHotspotVersion = 1;
+
+/// Full dump: mesh geometry, critical-path decomposition, per-link and
+/// per-home totals plus windowed utilization series, per-class latency
+/// histograms and the fan-out distribution.
+void write_attrib_json(Collector& collector, std::ostream& out);
+
+/// Flat per-resource table: one row per directed link and per home with
+/// busy/wait/message totals and whole-run utilization.
+/// Columns: kind,id,name,x0,y0,x1,y1,busy_cycles,wait_cycles,msgs,util
+void write_attrib_csv(Collector& collector, std::ostream& out);
+
+/// Ranked contention report: the top `top_k` busiest links (with mesh
+/// coordinates) and homes, the queueing-vs-service split of the critical
+/// path, per-category cycles, per-class latency summaries and the fan-out
+/// distribution.
+void write_hotspot_json(Collector& collector, int top_k, std::ostream& out);
+
+/// Appends Chrome trace-event *counter* tracks ("ph":"C") summarizing the
+/// windowed series: mean/max link busy-fraction per window (pid 0) and
+/// mean/max home busy-fraction per window (pid 1). Meant for the `extra`
+/// hook of TraceRecorder::write_chrome_json, so the counters render next
+/// to the recorded spans.
+void emit_chrome_counters(Collector& collector, JsonWriter& json);
+
+}  // namespace dircc::obs::attrib

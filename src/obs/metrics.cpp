@@ -24,7 +24,8 @@ MetricsRegistry::Metric& MetricsRegistry::slot(const std::string& name,
                                                Kind kind) {
   Metric& metric = metrics_[name];
   if (metric.kind != kind) {
-    ensure(metric.count == 0 && metric.value == 0.0 && metric.hist == nullptr,
+    ensure(metric.count == 0 && metric.value == 0.0 &&
+               metric.hist == nullptr && metric.bucketed == nullptr,
            "metric re-registered under a different kind");
     metric.kind = kind;
   }
@@ -51,6 +52,18 @@ Histogram& MetricsRegistry::histogram(const std::string& name) {
   return *metric.hist;
 }
 
+BucketedHistogram& MetricsRegistry::bucketed(
+    const std::string& name, const std::vector<std::uint64_t>& edges) {
+  Metric& metric = slot(name, Kind::kBucketed);
+  if (metric.bucketed == nullptr) {
+    metric.bucketed = std::make_unique<BucketedHistogram>(edges);
+  } else if (!edges.empty()) {
+    ensure(metric.bucketed->edges() == edges,
+           "bucketed metric re-registered with different edges");
+  }
+  return *metric.bucketed;
+}
+
 std::uint64_t MetricsRegistry::counter(const std::string& name) const {
   const auto it = metrics_.find(name);
   return it != metrics_.end() && it->second.kind == Kind::kCounter
@@ -73,6 +86,14 @@ const Histogram* MetricsRegistry::find_histogram(
              : nullptr;
 }
 
+const BucketedHistogram* MetricsRegistry::find_bucketed(
+    const std::string& name) const {
+  const auto it = metrics_.find(name);
+  return it != metrics_.end() && it->second.kind == Kind::kBucketed
+             ? it->second.bucketed.get()
+             : nullptr;
+}
+
 MetricsSnapshot MetricsRegistry::snapshot() const {
   MetricsSnapshot snap;
   for (const auto& [name, metric] : metrics_) {
@@ -87,6 +108,10 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
         // Histograms contribute their scalar summary so diffs stay cheap.
         snap.counters.emplace(name + ".events", metric.hist->events());
         snap.counters.emplace(name + ".total", metric.hist->total());
+        break;
+      case Kind::kBucketed:
+        snap.counters.emplace(name + ".events", metric.bucketed->events());
+        snap.counters.emplace(name + ".total", metric.bucketed->total());
         break;
     }
   }
@@ -114,6 +139,29 @@ void MetricsRegistry::emit_fields(JsonWriter& json) const {
         json.begin_array();
         for (const std::uint64_t bin : h.bins()) {
           json.value(bin);
+        }
+        json.end_array();
+        json.end_object();
+        break;
+      }
+      case Kind::kBucketed: {
+        const BucketedHistogram& h = *metric.bucketed;
+        json.key(name);
+        json.begin_object();
+        json.field("events", h.events());
+        json.field("total", h.total());
+        json.field("mean", h.mean());
+        json.field("max", h.max_value());
+        json.key("edges");
+        json.begin_array();
+        for (const std::uint64_t edge : h.edges()) {
+          json.value(edge);
+        }
+        json.end_array();
+        json.key("counts");
+        json.begin_array();
+        for (const std::uint64_t count : h.counts()) {
+          json.value(count);
         }
         json.end_array();
         json.end_object();

@@ -50,6 +50,13 @@ class MetricsRegistry {
   /// Returns the named histogram, creating an empty one on first use.
   Histogram& histogram(const std::string& name);
 
+  /// Returns the named bucketed histogram, creating it with the given
+  /// bucket upper edges on first use. A later call for the same name must
+  /// pass identical edges (or an empty vector to mean "whatever was
+  /// configured") — bucket boundaries are part of the metric's identity.
+  BucketedHistogram& bucketed(const std::string& name,
+                              const std::vector<std::uint64_t>& edges);
+
   /// Counter value; 0 when absent (or registered as a different kind).
   std::uint64_t counter(const std::string& name) const;
 
@@ -59,6 +66,9 @@ class MetricsRegistry {
   /// Histogram lookup without creation; nullptr when absent.
   const Histogram* find_histogram(const std::string& name) const;
 
+  /// Bucketed-histogram lookup without creation; nullptr when absent.
+  const BucketedHistogram* find_bucketed(const std::string& name) const;
+
   std::size_t size() const { return metrics_.size(); }
   bool empty() const { return metrics_.empty(); }
 
@@ -66,7 +76,8 @@ class MetricsRegistry {
 
   /// Writes the registry as one standalone JSON object, metrics as members
   /// in name order. Histograms render as
-  /// {"events":N,"total":N,"mean":x,"max":N,"bins":[...]}.
+  /// {"events":N,"total":N,"mean":x,"max":N,"bins":[...]}; bucketed
+  /// histograms render "edges" and "counts" arrays instead of "bins".
   void write_json(std::ostream& out) const;
 
   /// Emits every metric as a field into an already-open JSON object (the
@@ -74,12 +85,13 @@ class MetricsRegistry {
   void emit_fields(JsonWriter& json) const;
 
  private:
-  enum class Kind : std::uint8_t { kCounter, kGauge, kHistogram };
+  enum class Kind : std::uint8_t { kCounter, kGauge, kHistogram, kBucketed };
   struct Metric {
     Kind kind = Kind::kCounter;
     std::uint64_t count = 0;
     double value = 0.0;
     std::unique_ptr<Histogram> hist;
+    std::unique_ptr<BucketedHistogram> bucketed;
   };
 
   Metric& slot(const std::string& name, Kind kind);

@@ -120,6 +120,18 @@ std::uint64_t TraceRecorder::dropped() const {
   return n;
 }
 
+std::uint64_t TraceRecorder::dropped_proc(int proc) const {
+  ensure(proc >= 0 && proc < num_procs_, "recorder proc out of range");
+  const Ring& ring = lanes_[static_cast<std::size_t>(proc)];
+  return ring.pushed - ring.buffer.size();
+}
+
+std::uint64_t TraceRecorder::dropped_home(int home) const {
+  ensure(home >= 0 && home < num_homes_, "recorder home out of range");
+  const Ring& ring = lanes_[static_cast<std::size_t>(num_procs_ + home)];
+  return ring.pushed - ring.buffer.size();
+}
+
 std::vector<TraceRecorder::Keyed> TraceRecorder::sorted_events() const {
   std::vector<Keyed> out;
   out.reserve(static_cast<std::size_t>(recorded()));
@@ -142,7 +154,8 @@ std::vector<TraceRecorder::Keyed> TraceRecorder::sorted_events() const {
   return out;
 }
 
-void TraceRecorder::write_chrome_json(std::ostream& out) const {
+void TraceRecorder::write_chrome_json(
+    std::ostream& out, const std::function<void(JsonWriter&)>& extra) const {
   JsonWriter json(out);
   json.begin_object();
   json.field("displayTimeUnit", "ms");
@@ -151,11 +164,30 @@ void TraceRecorder::write_chrome_json(std::ostream& out) const {
   json.field("clock", "simulated cycles (1 cycle = 1us)");
   json.field("events_retained", recorded());
   json.field("events_dropped", dropped());
+  // Per-lane drop counts, truncated lanes only — so a viewer of the raw
+  // file (or a tool) can tell *which* timeline is incomplete.
+  json.key("events_dropped_by_lane");
+  json.begin_object();
+  for (int p = 0; p < num_procs_; ++p) {
+    const std::uint64_t lost = dropped_proc(p);
+    if (lost > 0) {
+      json.field("proc" + std::to_string(p), lost);
+    }
+  }
+  for (int h = 0; h < num_homes_; ++h) {
+    const std::uint64_t lost = dropped_home(h);
+    if (lost > 0) {
+      json.field("home" + std::to_string(h), lost);
+    }
+  }
+  json.end_object();
   json.end_object();
   json.key("traceEvents");
   json.begin_array();
 
-  // Metadata: name the two processes and every lane.
+  // Metadata: name the two processes and every lane. A lane that lost
+  // events to ring overflow says so in its own name, which is where the
+  // trace viewer shows it.
   const auto meta = [&json](const char* what, std::uint64_t pid,
                             std::int64_t tid, const std::string& name) {
     json.begin_object();
@@ -168,15 +200,26 @@ void TraceRecorder::write_chrome_json(std::ostream& out) const {
     json.key("args").begin_object().field("name", name).end_object();
     json.end_object();
   };
+  const auto lane_name = [](const char* prefix, int index,
+                            std::uint64_t lost) {
+    std::string name = prefix + std::to_string(index);
+    if (lost > 0) {
+      name += " (dropped " + std::to_string(lost) + ")";
+    }
+    return name;
+  };
   meta("process_name", 0, -1, "processors");
   for (int p = 0; p < num_procs_; ++p) {
-    meta("thread_name", 0, p, "proc " + std::to_string(p));
+    meta("thread_name", 0, p, lane_name("proc ", p, dropped_proc(p)));
   }
   if (num_homes_ > 0) {
     meta("process_name", 1, -1, "home directories");
     for (int h = 0; h < num_homes_; ++h) {
-      meta("thread_name", 1, h, "home " + std::to_string(h));
+      meta("thread_name", 1, h, lane_name("home ", h, dropped_home(h)));
     }
+  }
+  if (extra) {
+    extra(json);
   }
 
   for (const Keyed& keyed : sorted_events()) {

@@ -16,10 +16,15 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <iosfwd>
 #include <vector>
 
 #include "common/types.hpp"
+
+namespace dircc {
+class JsonWriter;
+}
 
 #ifndef DIRCC_OBS
 #define DIRCC_OBS 1
@@ -103,11 +108,22 @@ class TraceRecorder {
   std::uint64_t recorded() const;
   /// Events lost to ring overflow across all lanes.
   std::uint64_t dropped() const;
+  /// Events lost to ring overflow on one processor / home lane.
+  std::uint64_t dropped_proc(int proc) const;
+  std::uint64_t dropped_home(int home) const;
 
   /// Chrome trace-event JSON: {"displayTimeUnit":...,"traceEvents":[...]}.
   /// Processors are pid 0, home directories pid 1; one simulated cycle is
-  /// rendered as one microsecond.
-  void write_chrome_json(std::ostream& out) const;
+  /// rendered as one microsecond. Per-lane drop counts are exported twice:
+  /// as an "events_dropped_by_lane" map in otherData and as a
+  /// " (dropped N)" suffix on the affected lane's thread_name, so a
+  /// truncated lane is identifiable inside the viewer itself. `extra`,
+  /// when set, is invoked with the writer positioned inside the
+  /// traceEvents array — the hook bench harnesses use to append counter
+  /// tracks (obs/attrib) next to the recorded spans.
+  void write_chrome_json(
+      std::ostream& out,
+      const std::function<void(JsonWriter&)>& extra = {}) const;
 
   /// One JSON object per line: {"ts":..,"dur":..,"lane":"proc3"|"home2",
   /// "type":..,"a0":..,"a1":..}.

@@ -19,6 +19,7 @@
 #include "common/json.hpp"
 #include "common/table.hpp"
 #include "directory/format.hpp"
+#include "obs/attrib/collector.hpp"
 #include "trace/datacenter.hpp"
 #include "trace/generators.hpp"
 
@@ -310,7 +311,7 @@ std::vector<PerfCell> perf_matrix(const MatrixOptions& options) {
 
 PerfReport run_matrix(const std::vector<PerfCell>& cells,
                       const MatrixOptions& options, int reps,
-                      const PerfProgress& progress) {
+                      const PerfProgress& progress, bool obs_overhead) {
   ensure(reps > 0, "perf reps must be positive");
   PerfReport report;
   report.matrix = options;
@@ -377,6 +378,32 @@ PerfReport run_matrix(const std::vector<PerfCell>& cells,
                "perf rep diverged from the first repetition");
       }
     }
+    if (obs_overhead) {
+      // Same cell, same reps, with the latency-attribution collector
+      // attached — the delta against the base pass is the obs cost.
+      std::vector<double> attrib_samples;
+      attrib_samples.reserve(static_cast<std::size_t>(reps));
+      for (int rep = 0; rep < reps; ++rep) {
+        std::unique_ptr<EventSource> source;
+        if (cell.stream) {
+          source = cell.stream();
+        }
+        const double sim_start = now_ms();
+        CoherenceSystem system(cell.system);
+        obs::attrib::Collector collector;
+        system.attach_attribution(&collector);
+        Engine engine = cell.stream
+                            ? Engine(system, *source, cell.engine)
+                            : Engine(system, *trace, cell.engine);
+        const RunResult run = engine.run();
+        attrib_samples.push_back(now_ms() - sim_start);
+        // Attribution is pure observation; a cycle-count divergence means
+        // a sink mutated backend state.
+        ensure(run.exec_cycles == result.sim_cycles,
+               "attribution pass diverged from the base repetitions");
+      }
+      result.attrib_p50_ms = percentile(attrib_samples, 50.0);
+    }
     if (cell.stream) {
       result.peak_rss = peak_rss_bytes();
     }
@@ -417,6 +444,25 @@ PerfReport run_matrix(const std::vector<PerfCell>& cells,
   if (report.fig07_10.sim_ms > 0.0) {
     report.fig07_10.mcycles_per_sec =
         fig_cycles / (report.fig07_10.sim_ms / 1000.0) / 1e6;
+  }
+  report.obs_overhead.measured = obs_overhead;
+  report.obs_overhead.obs_compiled = obs::compiled();
+  if (obs_overhead) {
+    double attrib_ms = 0.0;
+    for (const PerfCellResult& cell : report.cells) {
+      attrib_ms += cell.attrib_p50_ms;
+    }
+    report.obs_overhead.base_sim_ms = report.all.sim_ms;
+    report.obs_overhead.attrib_sim_ms = attrib_ms;
+    report.obs_overhead.base_accesses_per_sec = report.all.accesses_per_sec;
+    if (attrib_ms > 0.0) {
+      report.obs_overhead.attrib_accesses_per_sec =
+          static_cast<double>(report.all.accesses) / (attrib_ms / 1000.0);
+    }
+    if (report.all.sim_ms > 0.0) {
+      report.obs_overhead.overhead_fraction =
+          attrib_ms / report.all.sim_ms - 1.0;
+    }
   }
   report.peak_rss = peak_rss_bytes();
   return report;
@@ -525,6 +571,9 @@ void write_report(std::ostream& out, const PerfReport& report,
     if (cell.peak_rss > 0) {
       json.field("peak_rss_bytes", cell.peak_rss);
     }
+    if (report.obs_overhead.measured) {
+      json.field("attrib_p50_ms", cell.attrib_p50_ms);
+    }
     json.end_object();
   }
   json.end_array();
@@ -534,6 +583,20 @@ void write_report(std::ostream& out, const PerfReport& report,
   emit_aggregate(json, "all", report.all);
   emit_aggregate(json, "fig07_10", report.fig07_10);
   json.end_object();
+
+  if (report.obs_overhead.measured) {
+    json.key("obs_overhead");
+    json.begin_object();
+    json.field("obs_compiled", report.obs_overhead.obs_compiled);
+    json.field("base_sim_ms", report.obs_overhead.base_sim_ms);
+    json.field("attrib_sim_ms", report.obs_overhead.attrib_sim_ms);
+    json.field("base_accesses_per_sec",
+               report.obs_overhead.base_accesses_per_sec);
+    json.field("attrib_accesses_per_sec",
+               report.obs_overhead.attrib_accesses_per_sec);
+    json.field("overhead_fraction", report.obs_overhead.overhead_fraction);
+    json.end_object();
+  }
 
   if (baseline != nullptr) {
     json.key("baseline");
@@ -617,6 +680,15 @@ void print_summary(std::ostream& out, const PerfReport& report,
         << " accesses/s over " << fmt_ms(report.fig07_10.sim_ms) << " ms\n";
   }
   out << "  peak RSS:  " << report.peak_rss / (1024 * 1024) << " MiB\n";
+  if (report.obs_overhead.measured) {
+    const ObsOverhead& obs = report.obs_overhead;
+    out << "  obs-overhead: " << fmt_ms(obs.base_sim_ms) << " ms -> "
+        << fmt_ms(obs.attrib_sim_ms) << " ms with attribution ("
+        << std::fixed << std::setprecision(1)
+        << obs.overhead_fraction * 100.0 << "%"
+        << (obs.obs_compiled ? "" : ", DIRCC_OBS=0 — attach is a no-op")
+        << ")\n";
+  }
 
   if (baseline != nullptr) {
     out << "\nvs baseline " << baseline->path << " (" << baseline->git

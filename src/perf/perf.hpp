@@ -115,6 +115,25 @@ struct PerfCellResult {
   /// (streaming cells only; 0 otherwise). Monotone across the process, so
   /// a flat sequence over growing event counts demonstrates O(1) memory.
   std::uint64_t peak_rss = 0;
+  /// p50 simulate ms with the attribution collector attached (obs-overhead
+  /// pass only; 0 when that pass did not run).
+  double attrib_p50_ms = 0.0;
+};
+
+/// Attribution-cost comparison: the same pinned matrix timed with the
+/// obs/attrib latency-attribution collector attached vs. detached, so the
+/// observability layer's overhead is tracked in BENCH_PERF.json and a
+/// regression (a hot-path emission getting expensive) is visible in the
+/// perf trajectory like any other slowdown.
+struct ObsOverhead {
+  bool measured = false;       ///< the attrib pass actually ran
+  bool obs_compiled = false;   ///< DIRCC_OBS state of this build
+  double base_sim_ms = 0.0;    ///< sum of per-cell p50, collector detached
+  double attrib_sim_ms = 0.0;  ///< sum of per-cell p50, collector attached
+  double base_accesses_per_sec = 0.0;
+  double attrib_accesses_per_sec = 0.0;
+  /// attrib_sim_ms / base_sim_ms - 1 (0.05 = attribution costs 5%).
+  double overhead_fraction = 0.0;
 };
 
 /// Throughput over a set of cells (sum of work / sum of p50 time).
@@ -137,6 +156,7 @@ struct PerfReport {
   std::vector<PerfCellResult> cells;
   PerfAggregate all;       ///< every cell in the matrix
   PerfAggregate fig07_10;  ///< the grid == "fig07_10" subset
+  ObsOverhead obs_overhead;
   std::uint64_t peak_rss = 0;
 };
 
@@ -145,9 +165,14 @@ using PerfProgress =
     std::function<void(std::size_t, std::size_t, const std::string&)>;
 
 /// Runs every cell `reps` times and gathers the report. Serial by design.
+/// With `obs_overhead` set, every cell runs a second `reps`-deep timed pass
+/// with an obs/attrib Collector attached to the system, and the report's
+/// `obs_overhead` block compares the two (at DIRCC_OBS=0 the attach is a
+/// no-op and the block records obs_compiled = false).
 PerfReport run_matrix(const std::vector<PerfCell>& cells,
                       const MatrixOptions& options, int reps,
-                      const PerfProgress& progress = nullptr);
+                      const PerfProgress& progress = nullptr,
+                      bool obs_overhead = false);
 
 /// A previously emitted BENCH_PERF.json, loaded for before/after tables.
 struct Baseline {

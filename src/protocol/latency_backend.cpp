@@ -1,6 +1,7 @@
 #include "protocol/latency_backend.hpp"
 
 #include "network/route.hpp"
+#include "obs/trace_recorder.hpp"
 #include "protocol/system.hpp"
 
 namespace dircc {
@@ -108,43 +109,76 @@ Cycle QueuedBackend::transaction_latency(const Transaction& txn, Cycle now,
   if (txn.kind != TxnKind::kDirectory) {
     return analytic;  // bus-served accesses never touch mesh or home FIFOs
   }
+  // Timing emission is pure observation: `emit` never changes t, busy or
+  // stats, so the walk (and with it every latency) is byte-identical with
+  // the sink absent or the obs layer compiled out.
+  const bool emit = obs::compiled() && sink_ != nullptr;
   done_.assign(txn.hops.size(), now);
   Cycle completion = now;
   for (std::size_t i = 0; i < txn.hops.size(); ++i) {
     const Hop& hop = txn.hops[i];
     Cycle t = hop.dep >= 0 ? done_[static_cast<std::size_t>(hop.dep)] : now;
+    const Cycle start = t;
+    Cycle queue = 0;
     if (home_emission(hop, txn.home)) {
       Cycle& busy = home_free_[hop.src];
+      Cycle wait = 0;
       if (busy > t) {
-        stats.home_wait_cycles += busy - t;
+        wait = busy - t;
+        stats.home_wait_cycles += wait;
+        queue += wait;
         t = busy;
       }
       t += queued_.home_service;
       busy = t;
+      if (emit) {
+        sink_->on_home(hop.src, wait, t - queued_.home_service, t);
+      }
     }
     if (hop.src != hop.dst) {
       links_.clear();
       mesh_.route_links(hop.src, hop.dst, &links_);
       for (LinkId link : links_) {
         Cycle& busy = link_free_[static_cast<std::size_t>(link)];
+        Cycle wait = 0;
         if (busy > t) {
-          stats.link_wait_cycles += busy - t;
+          wait = busy - t;
+          stats.link_wait_cycles += wait;
+          queue += wait;
           t = busy;
         }
         busy = t + queued_.link_service;
         t += queued_.link_transit;
+        if (emit) {
+          sink_->on_link(link, wait, busy - queued_.link_service, busy);
+        }
       }
     }
     if (home_ingest(hop)) {
       Cycle& busy = home_free_[hop.dst];
+      Cycle wait = 0;
       if (busy > t) {
-        stats.home_wait_cycles += busy - t;
+        wait = busy - t;
+        stats.home_wait_cycles += wait;
+        queue += wait;
         t = busy;
       }
       t += queued_.home_service;
       busy = t;
+      if (emit) {
+        sink_->on_home(hop.dst, wait, t - queued_.home_service, t);
+      }
     }
     done_[i] = t;
+    if (emit) {
+      HopTiming timing;
+      timing.hop = static_cast<int>(i);
+      timing.start = start;
+      timing.queue = queue;
+      timing.service = t - start - queue;
+      timing.done = t;
+      sink_->on_hop(txn, timing);
+    }
     if (t > completion) {
       completion = t;
     }

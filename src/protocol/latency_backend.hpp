@@ -31,6 +31,54 @@ namespace dircc {
 
 struct ProtocolStats;
 
+/// Per-hop timing detail a contention-modelling backend can emit alongside
+/// the scalar latency. All fields are simulated Cycles, so attribution built
+/// from them is thread-count invariant. The identity
+/// `done == start + queue + service` holds by construction, which is what
+/// lets a critical-path walk over hop timings reconstruct the walked
+/// completion exactly (see obs/attrib).
+struct HopTiming {
+  int hop = 0;        ///< index into Transaction::hops
+  Cycle start = 0;    ///< dependency completion (issue time for roots)
+  Cycle queue = 0;    ///< cycles spent waiting on busy links/homes
+  Cycle service = 0;  ///< link transit plus home service on this hop
+  Cycle done = 0;     ///< start + queue + service
+};
+
+/// Observer a backend feeds per-resource timing into while walking one
+/// transaction. Callbacks fire in walk order, between the backend's entry
+/// to transaction_latency and its return; the link/home callbacks describe
+/// occupancy intervals (`busy_from..busy_until`) plus the wait the occupant
+/// suffered, and on_hop summarizes each hop once its walk completes.
+/// Emission sites are gated `obs::compiled() && sink != nullptr`, so the
+/// default build pays nothing.
+class BackendTimingSink {
+ public:
+  virtual ~BackendTimingSink() = default;
+  virtual void on_hop(const Transaction& txn, const HopTiming& timing) = 0;
+  virtual void on_link(LinkId link, Cycle wait, Cycle busy_from,
+                       Cycle busy_until) = 0;
+  virtual void on_home(NodeId home, Cycle wait, Cycle busy_from,
+                       Cycle busy_until) = 0;
+};
+
+/// A BackendTimingSink that also sees every committed transaction (with its
+/// final latency) — the contract obs/attrib's Collector implements. Declared
+/// here, next to the backend it observes, so the protocol layer can hold a
+/// pointer without depending on the attribution implementation.
+class AttributionSink : public BackendTimingSink {
+ public:
+  /// Called once before use with the mesh the system routes over, so the
+  /// sink can size per-link/per-home state and name links by coordinates.
+  virtual void bind(const MeshTopology& mesh) = 0;
+
+  /// Called by the committer after the backend priced the transaction.
+  /// Fires for every transaction (bus-served included), even under the
+  /// analytic backend where no per-hop timing precedes it.
+  virtual void on_commit(const Transaction& txn, const TransactionRoute& route,
+                         Cycle now, Cycle latency) = 0;
+};
+
 /// Which latency backend a CoherenceSystem uses.
 enum class BackendKind : std::uint8_t {
   kAnalytic,  ///< closed-form model (default; reproduces the paper tables)
@@ -51,6 +99,11 @@ class LatencyBackend {
   virtual Cycle transaction_latency(const Transaction& txn, Cycle now,
                                     ProtocolStats& stats,
                                     const TransactionRoute& route) = 0;
+
+  /// Installs (or clears, with nullptr) a per-hop timing observer. Backends
+  /// without contention detail — the analytic model prices whole
+  /// transactions, not hops — ignore it, which is the default.
+  virtual void set_timing_sink(BackendTimingSink* /*sink*/) {}
 };
 
 /// The paper's closed-form hop-latency math, folded over the IR.
@@ -80,11 +133,13 @@ class QueuedBackend : public LatencyBackend {
   Cycle transaction_latency(const Transaction& txn, Cycle now,
                             ProtocolStats& stats,
                             const TransactionRoute& route) override;
+  void set_timing_sink(BackendTimingSink* sink) override { sink_ = sink; }
 
  private:
   AnalyticBackend analytic_;
   const MeshTopology& mesh_;
   QueuedLatencyConfig queued_;
+  BackendTimingSink* sink_ = nullptr;  ///< optional per-hop timing observer
   std::vector<Cycle> link_free_;  ///< per directed link: busy until
   std::vector<Cycle> home_free_;  ///< per home controller: busy until
   std::vector<Cycle> done_;       ///< per hop, scratch for the DAG walk

@@ -19,6 +19,8 @@ namespace obs {
 class TraceRecorder;
 }
 
+class AttributionSink;  // defined in protocol/latency_backend.hpp
+
 struct ProtocolStats;  // defined in protocol/system.hpp
 
 class MemorySystem {
@@ -48,6 +50,12 @@ class MemorySystem {
   /// events ignore it; nullptr detaches. The engine forwards its recorder
   /// here so one wiring point covers the whole machine.
   virtual void attach_recorder(obs::TraceRecorder* /*recorder*/) {}
+
+  /// Attaches a latency-attribution sink (src/obs/attrib). Systems without
+  /// a latency backend ignore it; nullptr detaches. Like the recorder,
+  /// attribution is pure observation: latencies and stats are identical
+  /// with or without a sink attached.
+  virtual void attach_attribution(AttributionSink* /*sink*/) {}
 
   /// Byte-address convenience used by the engine.
   Cycle access_addr(ProcId proc, Addr addr, bool is_write, Cycle now = 0) {

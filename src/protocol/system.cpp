@@ -146,6 +146,17 @@ void CoherenceSystem::attach_recorder(obs::TraceRecorder* recorder) {
   }
 }
 
+void CoherenceSystem::attach_attribution(AttributionSink* sink) {
+  if (!obs::compiled()) {
+    return;
+  }
+  attrib_ = sink;
+  backend_->set_timing_sink(sink);
+  if (sink != nullptr) {
+    sink->bind(mesh_);
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Seeded-fault hook for message hops
 // ---------------------------------------------------------------------------
@@ -582,7 +593,11 @@ Cycle CoherenceSystem::commit(Cycle now) {
     }
   }
   flush_obs();
-  return backend_->transaction_latency(txn_, now, stats_, route);
+  const Cycle latency = backend_->transaction_latency(txn_, now, stats_, route);
+  if (obs::compiled() && attrib_ != nullptr) {
+    attrib_->on_commit(txn_, route, now, latency);
+  }
+  return latency;
 }
 
 // ---------------------------------------------------------------------------

@@ -229,6 +229,12 @@ class CoherenceSystem final : public MemorySystem {
   /// victimizations). Event timestamps use the `now` each access carries.
   void attach_recorder(obs::TraceRecorder* recorder) override;
 
+  /// Wires a latency-attribution sink into the latency backend (per-hop
+  /// timing under the queued backend) and the commit path (per-transaction
+  /// classification under any backend). The sink is bound to this system's
+  /// mesh on attach. Compiled out at DIRCC_OBS=0.
+  void attach_attribution(AttributionSink* sink) override;
+
  private:
   /// Recording gate; constant-folds to false when DIRCC_OBS=0.
   bool obs_on(obs::EvClass cls) const {
@@ -349,6 +355,7 @@ class CoherenceSystem final : public MemorySystem {
   std::unique_ptr<LatencyBackend> backend_;
   std::vector<NodeId> target_scratch_;
   obs::TraceRecorder* recorder_ = nullptr;
+  AttributionSink* attrib_ = nullptr;
   /// Issue time of the access in flight; timestamps protocol-side events.
   Cycle obs_now_ = 0;
   /// Corrupting opportunities seen for the configured fault kind.

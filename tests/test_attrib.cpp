@@ -1,0 +1,488 @@
+// Latency-attribution subsystem (obs/attrib): hop categorization, windowed
+// utilization series, the backend timing-sink contract, the critical-path
+// invariant against the queued backend, report schemas, and sweep wiring.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/json_parse.hpp"
+#include "harness/sweep.hpp"
+#include "network/mesh.hpp"
+#include "obs/attrib/collector.hpp"
+#include "obs/attrib/report.hpp"
+#include "obs/metrics.hpp"
+#include "protocol/system.hpp"
+#include "sim/engine.hpp"
+#include "trace/event.hpp"
+#include "trace/generators.hpp"
+
+namespace dircc::obs::attrib {
+namespace {
+
+TEST(PathCats, EveryHopKindHasACategory) {
+  EXPECT_EQ(hop_category(HopKind::kRequest), PathCat::kRequest);
+  EXPECT_EQ(hop_category(HopKind::kForward), PathCat::kForward);
+  EXPECT_EQ(hop_category(HopKind::kVictimFetch), PathCat::kForward);
+  EXPECT_EQ(hop_category(HopKind::kInval), PathCat::kInvalidation);
+  EXPECT_EQ(hop_category(HopKind::kDisplacementInval),
+            PathCat::kInvalidation);
+  EXPECT_EQ(hop_category(HopKind::kReclaimInval), PathCat::kInvalidation);
+  EXPECT_EQ(hop_category(HopKind::kAck), PathCat::kAck);
+  EXPECT_EQ(hop_category(HopKind::kReclaimAck), PathCat::kAck);
+  EXPECT_EQ(hop_category(HopKind::kTransferAck), PathCat::kAck);
+  EXPECT_EQ(hop_category(HopKind::kReply), PathCat::kData);
+  EXPECT_EQ(hop_category(HopKind::kSharingWriteback), PathCat::kWriteback);
+  EXPECT_EQ(hop_category(HopKind::kVictimWriteback), PathCat::kWriteback);
+  EXPECT_EQ(hop_category(HopKind::kEvictionWriteback), PathCat::kWriteback);
+  EXPECT_EQ(hop_category(HopKind::kReplacementHint), PathCat::kWriteback);
+  EXPECT_STREQ(path_cat_name(PathCat::kInvalidation), "invalidation");
+  EXPECT_STREQ(txn_class_name(TxnClass::kDir3Write), "dir3_write");
+}
+
+TEST(WindowedUsage, AccountsAndCoarsensIntervals) {
+  WindowedUsage usage;
+  usage.configure(10, 4);
+  usage.add(0, 10);
+  usage.add(12, 18);
+  EXPECT_EQ(usage.window(), 10u);
+  ASSERT_EQ(usage.busy().size(), 2u);
+  EXPECT_EQ(usage.busy()[0], 10u);
+  EXPECT_EQ(usage.busy()[1], 6u);
+  // 45 lands past window * max_windows = 40: the series folds to width 20
+  // and the interval splits across the two windows it overlaps.
+  usage.add(35, 45);
+  EXPECT_EQ(usage.window(), 20u);
+  ASSERT_EQ(usage.busy().size(), 3u);
+  EXPECT_EQ(usage.busy()[0], 16u);
+  EXPECT_EQ(usage.busy()[1], 5u);
+  EXPECT_EQ(usage.busy()[2], 5u);
+  usage.coarsen_to(40);
+  ASSERT_EQ(usage.busy().size(), 2u);
+  EXPECT_EQ(usage.busy()[0], 21u);
+  EXPECT_EQ(usage.busy()[1], 5u);
+}
+
+TEST(WindowedUsage, MergeAlignsDivergedWidths) {
+  WindowedUsage a;
+  a.configure(10, 4);
+  a.add(0, 5);
+  WindowedUsage b;
+  b.configure(10, 4);
+  b.add(35, 45);  // forces b to width 20
+  EXPECT_EQ(b.window(), 20u);
+  a.merge(b);
+  EXPECT_EQ(a.window(), 20u);
+  ASSERT_EQ(a.busy().size(), 3u);
+  EXPECT_EQ(a.busy()[0], 5u);
+  EXPECT_EQ(a.busy()[1], 5u);
+  EXPECT_EQ(a.busy()[2], 5u);
+}
+
+TEST(Collector, DefaultLatencyEdgesArePinned) {
+  const std::vector<std::uint64_t> edges = default_latency_edges();
+  ASSERT_EQ(edges.size(), 18u);  // 2^3 .. 2^20
+  EXPECT_EQ(edges.front(), 8u);
+  EXPECT_EQ(edges.back(), 1u << 20);
+  for (std::size_t i = 1; i < edges.size(); ++i) {
+    EXPECT_EQ(edges[i], edges[i - 1] * 2);
+  }
+}
+
+TEST(Mesh, LinkEndpointsInvertTheRouteEncoding) {
+  const MeshTopology mesh(4, 3);
+  std::vector<LinkId> links;
+  for (int from = 0; from < mesh.num_nodes(); ++from) {
+    for (int to = 0; to < mesh.num_nodes(); ++to) {
+      links.clear();
+      mesh.route_links(static_cast<NodeId>(from), static_cast<NodeId>(to),
+                       &links);
+      if (from == to) {
+        EXPECT_TRUE(links.empty());
+        continue;
+      }
+      // The decoded endpoints must chain: each link starts where the
+      // previous one ended, one Manhattan step at a time, source to
+      // destination.
+      int x = mesh.node_x(static_cast<NodeId>(from));
+      int y = mesh.node_y(static_cast<NodeId>(from));
+      for (const LinkId link : links) {
+        const MeshTopology::LinkEndpoints ep = mesh.link_endpoints(link);
+        EXPECT_EQ(ep.from_x, x);
+        EXPECT_EQ(ep.from_y, y);
+        EXPECT_EQ(std::abs(ep.to_x - ep.from_x) +
+                      std::abs(ep.to_y - ep.from_y),
+                  1);
+        x = ep.to_x;
+        y = ep.to_y;
+      }
+      EXPECT_EQ(x, mesh.node_x(static_cast<NodeId>(to)));
+      EXPECT_EQ(y, mesh.node_y(static_cast<NodeId>(to)));
+      EXPECT_EQ(static_cast<int>(links.size()),
+                mesh.hops(static_cast<NodeId>(from),
+                          static_cast<NodeId>(to)));
+    }
+  }
+  EXPECT_EQ(mesh.link_name(0), "(0,0)->(1,0)");
+}
+
+// A wide-sharing program: every processor reads a block set, a rotating
+// writer invalidates it (fan-out), and a contended lock adds ownership
+// transfers — together covering 1/2/3-cluster reads and writes.
+ProgramTrace wide_sharing_trace(int procs) {
+  ProgramTrace trace;
+  trace.app_name = "attrib-fanout";
+  trace.block_size = 16;
+  trace.per_proc.resize(static_cast<std::size_t>(procs));
+  constexpr Addr kLock = 0x8000;
+  constexpr Addr kBarrier = 0x9000;
+  for (int p = 0; p < procs; ++p) {
+    auto& stream = trace.per_proc[static_cast<std::size_t>(p)];
+    for (int round = 0; round < 4; ++round) {
+      for (int b = 0; b < 8; ++b) {
+        stream.push_back(TraceEvent::read(0x100 + static_cast<Addr>(b) * 16));
+      }
+      stream.push_back(TraceEvent::barrier(kBarrier));
+      if (p == round % procs) {
+        for (int b = 0; b < 8; ++b) {
+          stream.push_back(
+              TraceEvent::write(0x100 + static_cast<Addr>(b) * 16));
+        }
+      }
+      stream.push_back(TraceEvent::barrier(kBarrier));
+      stream.push_back(TraceEvent::lock(kLock));
+      stream.push_back(TraceEvent::write(0xF00));
+      stream.push_back(TraceEvent::unlock(kLock));
+    }
+  }
+  return trace;
+}
+
+// Records hop timings and, at each commit, re-derives the transaction's
+// latency from them: the dep chain ending at the last-finishing hop must
+// telescope to the walked completion, and the final latency must equal
+// max(analytic floor, walked). The sink owns its own AnalyticBackend so the
+// check is independent of the queued backend's internal floor computation.
+class InvariantSink : public AttributionSink {
+ public:
+  explicit InvariantSink(const SystemConfig& config)
+      : mesh_(config.num_clusters()),
+        latency_(config.latency),
+        analytic_(mesh_, latency_) {}
+
+  void bind(const MeshTopology& mesh) override {
+    EXPECT_EQ(mesh.width(), mesh_.width());
+    EXPECT_EQ(mesh.height(), mesh_.height());
+  }
+  void on_hop(const Transaction& /*txn*/, const HopTiming& timing) override {
+    EXPECT_EQ(timing.done, timing.start + timing.queue + timing.service);
+    hops_.push_back(timing);
+  }
+  void on_link(LinkId /*link*/, Cycle /*wait*/, Cycle /*busy_from*/,
+               Cycle /*busy_until*/) override {}
+  void on_home(NodeId /*home*/, Cycle /*wait*/, Cycle /*busy_from*/,
+               Cycle /*busy_until*/) override {}
+
+  void on_commit(const Transaction& txn, const TransactionRoute& route,
+                 Cycle now, Cycle latency) override {
+    if (hops_.empty()) {
+      return;  // bus-served access: no hop walk to check against
+    }
+    ASSERT_EQ(hops_.size(), txn.hops.size());
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < hops_.size(); ++i) {
+      if (hops_[i].done > hops_[best].done) {
+        best = i;
+      }
+    }
+    const Cycle walked = hops_[best].done - now;
+    Cycle chain = 0;
+    int idx = static_cast<int>(best);
+    while (idx >= 0) {
+      const HopTiming& timing = hops_[static_cast<std::size_t>(idx)];
+      chain += timing.queue + timing.service;
+      idx = txn.hops[static_cast<std::size_t>(idx)].dep;
+    }
+    EXPECT_EQ(chain, walked)
+        << "critical-path sum does not telescope to the walked completion";
+    ProtocolStats scratch;
+    const Cycle analytic =
+        analytic_.transaction_latency(txn, now, scratch, route);
+    EXPECT_EQ(latency, std::max(analytic, walked))
+        << "latency is not max(analytic floor, walked completion)";
+    ++checked_;
+    hops_.clear();
+  }
+
+  std::uint64_t checked() const { return checked_; }
+
+ private:
+  MeshTopology mesh_;
+  LatencyModel latency_;
+  AnalyticBackend analytic_;
+  std::vector<HopTiming> hops_;
+  std::uint64_t checked_ = 0;
+};
+
+TEST(CriticalPath, SumsToQueuedLatencyAcrossSchemes) {
+  if (!compiled()) {
+    GTEST_SKIP() << "built with DIRCC_OBS=0";
+  }
+  constexpr int kProcs = 8;
+  const ProgramTrace trace = wide_sharing_trace(kProcs);
+  const std::vector<SchemeConfig> schemes = {
+      SchemeConfig::full(kProcs), SchemeConfig::coarse(kProcs, 3, 2),
+      SchemeConfig::broadcast(kProcs, 3),
+      SchemeConfig::no_broadcast(kProcs, 3)};
+  for (const SchemeConfig& scheme : schemes) {
+    SystemConfig config;
+    config.num_procs = kProcs;
+    config.cache_lines_per_proc = 16;
+    config.scheme = scheme;
+    config.backend = BackendKind::kQueued;
+    CoherenceSystem system(config);
+    InvariantSink sink(config);
+    system.attach_attribution(&sink);
+    Engine engine(system, trace);
+    engine.run();
+    EXPECT_GT(sink.checked(), 0u) << "scheme checked no directory txns";
+  }
+}
+
+TEST(Collector, AttributionDoesNotChangeTheSimulation) {
+  SystemConfig config;
+  config.num_procs = 8;
+  config.cache_lines_per_proc = 16;
+  config.scheme = SchemeConfig::full(8);
+  config.backend = BackendKind::kQueued;
+  const ProgramTrace trace = wide_sharing_trace(8);
+
+  CoherenceSystem bare_system(config);
+  Engine bare(bare_system, trace);
+  const RunResult without = bare.run();
+
+  CoherenceSystem observed_system(config);
+  Collector collector;
+  observed_system.attach_attribution(&collector);
+  Engine observed(observed_system, trace);
+  const RunResult with = observed.run();
+
+  EXPECT_EQ(without.exec_cycles, with.exec_cycles);
+  EXPECT_EQ(without.protocol.messages.total(),
+            with.protocol.messages.total());
+}
+
+TEST(Collector, QueuedRunPopulatesEveryFacet) {
+  if (!compiled()) {
+    GTEST_SKIP() << "built with DIRCC_OBS=0";
+  }
+  SystemConfig config;
+  config.num_procs = 8;
+  config.cache_lines_per_proc = 16;
+  config.scheme = SchemeConfig::full(8);
+  config.backend = BackendKind::kQueued;
+  CoherenceSystem system(config);
+  Collector collector;
+  system.attach_attribution(&collector);
+  const ProgramTrace trace = wide_sharing_trace(8);
+  Engine engine(system, trace);
+  engine.run();
+
+  EXPECT_TRUE(collector.bound());
+  EXPECT_GT(collector.transactions(), 0u);
+  EXPECT_GT(collector.span(), 0u);
+  EXPECT_GT(collector.crit_service_cycles(), 0u);
+  Cycle link_busy = 0;
+  for (const ResourceStats& stats : collector.link_stats()) {
+    link_busy += stats.busy;
+  }
+  EXPECT_GT(link_busy, 0u);
+  Cycle home_busy = 0;
+  for (const ResourceStats& stats : collector.home_stats()) {
+    home_busy += stats.busy;
+  }
+  EXPECT_GT(home_busy, 0u);
+  std::uint64_t classified = 0;
+  for (const std::uint64_t count : collector.class_count()) {
+    classified += count;
+  }
+  EXPECT_EQ(classified, collector.transactions());
+
+  MetricsRegistry registry;
+  collector.register_metrics(registry);
+  EXPECT_EQ(registry.counter("attrib.txns"), collector.transactions());
+  EXPECT_EQ(registry.counter("attrib.crit.service_cycles"),
+            collector.crit_service_cycles());
+  EXPECT_NE(registry.find_bucketed("attrib.latency.dir3_write"), nullptr);
+}
+
+TEST(Collector, AnalyticBackendStillClassifiesCommits) {
+  if (!compiled()) {
+    GTEST_SKIP() << "built with DIRCC_OBS=0";
+  }
+  SystemConfig config;
+  config.num_procs = 8;
+  config.cache_lines_per_proc = 16;
+  config.scheme = SchemeConfig::full(8);
+  CoherenceSystem system(config);  // default analytic backend
+  Collector collector;
+  system.attach_attribution(&collector);
+  const ProgramTrace trace = wide_sharing_trace(8);
+  Engine engine(system, trace);
+  engine.run();
+
+  EXPECT_GT(collector.transactions(), 0u);
+  // No per-hop timing exists under the analytic backend: link/home facets
+  // and the critical-path decomposition stay empty.
+  EXPECT_EQ(collector.crit_service_cycles(), 0u);
+  EXPECT_EQ(collector.crit_queue_cycles(), 0u);
+  for (const ResourceStats& stats : collector.link_stats()) {
+    EXPECT_EQ(stats.busy, 0u);
+  }
+}
+
+TEST(Collector, MergeSumsAndExportsDeterministically) {
+  if (!compiled()) {
+    GTEST_SKIP() << "built with DIRCC_OBS=0";
+  }
+  SystemConfig config;
+  config.num_procs = 8;
+  config.cache_lines_per_proc = 16;
+  config.scheme = SchemeConfig::full(8);
+  config.backend = BackendKind::kQueued;
+  const ProgramTrace trace = wide_sharing_trace(8);
+
+  const auto run_once = [&] {
+    Collector collector;
+    CoherenceSystem system(config);
+    system.attach_attribution(&collector);
+    Engine engine(system, trace);
+    engine.run();
+    return collector;
+  };
+  Collector first = run_once();
+  Collector second = run_once();
+
+  std::ostringstream a;
+  write_attrib_json(first, a);
+  std::ostringstream b;
+  write_attrib_json(second, b);
+  EXPECT_EQ(a.str(), b.str());  // identical runs export identical bytes
+
+  Collector merged;  // merging into an unbound collector adopts, then sums
+  merged.merge(first);
+  merged.merge(second);
+  EXPECT_EQ(merged.transactions(), 2 * first.transactions());
+  EXPECT_EQ(merged.crit_service_cycles(), 2 * first.crit_service_cycles());
+  EXPECT_EQ(merged.link_stats()[0].busy, 2 * first.link_stats()[0].busy);
+}
+
+TEST(Reports, AttribAndHotspotDocumentsAreWellFormed) {
+  if (!compiled()) {
+    GTEST_SKIP() << "built with DIRCC_OBS=0";
+  }
+  SystemConfig config;
+  config.num_procs = 8;
+  config.cache_lines_per_proc = 16;
+  config.scheme = SchemeConfig::full(8);
+  config.backend = BackendKind::kQueued;
+  CoherenceSystem system(config);
+  Collector collector;
+  system.attach_attribution(&collector);
+  const ProgramTrace trace = wide_sharing_trace(8);
+  Engine engine(system, trace);
+  engine.run();
+
+  std::ostringstream attrib;
+  write_attrib_json(collector, attrib);
+  JsonValue doc;
+  std::string error;
+  ASSERT_TRUE(json_parse(attrib.str(), doc, &error)) << error;
+  EXPECT_EQ(doc.string_or("schema", ""), kAttribSchema);
+  EXPECT_NE(doc.find("critical_path"), nullptr);
+  EXPECT_NE(doc.find("links"), nullptr);
+
+  std::ostringstream hotspot;
+  write_hotspot_json(collector, 5, hotspot);
+  JsonValue report;
+  ASSERT_TRUE(json_parse(hotspot.str(), report, &error)) << error;
+  EXPECT_EQ(report.string_or("schema", ""), kHotspotSchema);
+  const JsonValue* top_links = report.find("top_links");
+  ASSERT_NE(top_links, nullptr);
+  ASSERT_TRUE(top_links->is_array());
+  // Ranked by busy + wait, descending; ranks are 1-based and contiguous.
+  Cycle previous = ~Cycle{0};
+  std::uint64_t rank = 1;
+  for (const JsonValue& entry : top_links->items()) {
+    EXPECT_EQ(static_cast<std::uint64_t>(entry.number_or("rank", 0)), rank);
+    const auto load =
+        static_cast<Cycle>(entry.number_or("busy_cycles", 0.0)) +
+        static_cast<Cycle>(entry.number_or("wait_cycles", 0.0));
+    EXPECT_LE(load, previous);
+    previous = load;
+    ++rank;
+  }
+
+  std::ostringstream csv;
+  write_attrib_csv(collector, csv);
+  EXPECT_EQ(csv.str().rfind("kind,id,name,busy_cycles,wait_cycles,msgs,util",
+                            0),
+            0u);
+}
+
+TEST(SweepAttribution, CellsCarryCollectorsAndAreThreadInvariant) {
+  if (!compiled()) {
+    GTEST_SKIP() << "built with DIRCC_OBS=0";
+  }
+  std::vector<harness::SweepCell> cells;
+  for (const char* scheme : {"full", "nb"}) {
+    harness::SweepCell cell;
+    cell.key = std::string("attrib-test/") + scheme;
+    cell.trace = harness::app_trace(AppKind::kMp3d, 8, 16, 1990, 0.05);
+    cell.system.num_procs = 8;
+    cell.system.cache_lines_per_proc = 64;
+    cell.system.scheme = std::string(scheme) == "full"
+                             ? SchemeConfig::full(8)
+                             : SchemeConfig::no_broadcast(8, 3);
+    cell.system.backend = BackendKind::kQueued;
+    cells.push_back(std::move(cell));
+  }
+  harness::SweepOptions options;
+  options.attrib = true;
+
+  harness::SweepRunner serial(1);
+  const std::vector<harness::CellResult> one = serial.run(cells, options);
+  harness::SweepRunner pooled(4);
+  const std::vector<harness::CellResult> four = pooled.run(cells, options);
+  ASSERT_EQ(one.size(), four.size());
+  for (std::size_t i = 0; i < one.size(); ++i) {
+    ASSERT_NE(one[i].attrib, nullptr);
+    ASSERT_NE(four[i].attrib, nullptr);
+    EXPECT_GT(one[i].attrib->transactions(), 0u);
+    std::ostringstream a;
+    write_attrib_json(*one[i].attrib, a);
+    std::ostringstream b;
+    write_attrib_json(*four[i].attrib, b);
+    EXPECT_EQ(a.str(), b.str());
+  }
+}
+
+TEST(SweepAttribution, DisabledOptionLeavesCellsBare) {
+  std::vector<harness::SweepCell> cells(1);
+  cells[0].key = "attrib-test/off";
+  cells[0].trace = harness::app_trace(AppKind::kMp3d, 8, 16, 1990, 0.05);
+  cells[0].system.num_procs = 8;
+  cells[0].system.cache_lines_per_proc = 64;
+  cells[0].system.scheme = SchemeConfig::full(8);
+  harness::SweepRunner runner(1);
+  const std::vector<harness::CellResult> results =
+      runner.run(cells, harness::SweepOptions{});
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].attrib, nullptr);
+}
+
+}  // namespace
+}  // namespace dircc::obs::attrib

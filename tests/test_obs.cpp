@@ -90,6 +90,29 @@ TEST(MetricsRegistry, HistogramJsonCarriesBins) {
   EXPECT_NE(out.str().find("\"bins\":[2,0,0,1]"), std::string::npos);
 }
 
+TEST(MetricsRegistry, BucketedHistogramPinsConfiguredEdges) {
+  MetricsRegistry reg;
+  BucketedHistogram& h = reg.bucketed("lat", {8, 16, 32});
+  h.add(4);   // first bucket (<= 8)
+  h.add(9);   // second bucket (<= 16)
+  h.add(40);  // overflow bucket (> 32)
+  // Re-lookup returns the same object; matching or empty edges are both
+  // accepted on re-lookup.
+  EXPECT_EQ(&reg.bucketed("lat", {8, 16, 32}), &h);
+  EXPECT_EQ(&reg.bucketed("lat", {}), &h);
+  const BucketedHistogram* found = reg.find_bucketed("lat");
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found->events(), 3u);
+  EXPECT_EQ(reg.find_bucketed("absent"), nullptr);
+  // The JSON export carries the exact configured boundaries — the
+  // regression pin for the bucket-edge configuration.
+  std::ostringstream out;
+  reg.write_json(out);
+  EXPECT_NE(out.str().find("\"edges\":[8,16,32]"), std::string::npos);
+  EXPECT_NE(out.str().find("\"counts\":[1,1,0,1]"), std::string::npos);
+  EXPECT_NE(out.str().find("\"events\":3"), std::string::npos);
+}
+
 TEST(EvTypes, NamesAndClassesAreConsistent) {
   EXPECT_STREQ(ev_type_name(EvType::kBarrierEpisode), "barrier.episode");
   EXPECT_STREQ(ev_type_name(EvType::kInvalFanout), "inval.fanout");
@@ -134,6 +157,32 @@ TEST(TraceRecorder, RingDropsOldest) {
   EXPECT_EQ(out.str().find("\"ts\":5"), std::string::npos);
   EXPECT_NE(out.str().find("\"ts\":6"), std::string::npos);
   EXPECT_NE(out.str().find("\"ts\":9"), std::string::npos);
+}
+
+TEST(TraceRecorder, PerLaneDropCountsAreExported) {
+  if (!compiled()) {
+    GTEST_SKIP() << "built with DIRCC_OBS=0";
+  }
+  TraceRecorderConfig config;
+  config.ring_capacity = 4;
+  TraceRecorder rec(2, 0, config);
+  for (Cycle t = 0; t < 10; ++t) {
+    rec.record_proc(0, {t, 0, 0, 0, EvType::kLockGrant});
+  }
+  rec.record_proc(1, {1, 0, 0, 0, EvType::kLockGrant});
+  EXPECT_EQ(rec.dropped_proc(0), 6u);
+  EXPECT_EQ(rec.dropped_proc(1), 0u);
+  EXPECT_EQ(rec.dropped(), 6u);
+  std::ostringstream out;
+  rec.write_chrome_json(out);
+  const std::string text = out.str();
+  // Only the truncated lane appears in the per-lane map, and its thread
+  // name carries the drop count into the trace viewer.
+  EXPECT_NE(text.find("\"events_dropped_by_lane\":{\"proc0\":6}"),
+            std::string::npos);
+  EXPECT_EQ(text.find("\"proc1\":"), std::string::npos);
+  EXPECT_NE(text.find("\"name\":\"proc 0 (dropped 6)\""), std::string::npos);
+  EXPECT_NE(text.find("\"name\":\"proc 1\""), std::string::npos);
 }
 
 TEST(TraceRecorder, ClassMaskFilters) {

@@ -22,13 +22,13 @@ REPO = pathlib.Path(__file__).resolve().parent.parent
 LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
 SKIP_DIRS = {".git", "build", "build-nocheck", "build-noobs", ".github"}
 
-# The seven flags every sweep-harness-backed binary shares (README.md and
+# The eight flags every sweep-harness-backed binary shares (README.md and
 # docs/HARNESS.md both table them).
 SHARED_FLAGS = ["threads", "json", "omit-timing", "progress", "trace-out",
-                "metrics", "backend"]
+                "metrics", "attrib-out", "backend"]
 SWEEP_BINARIES = ["sweep_grid", "datacenter_sweep", "fig07_10_schemes",
                   "fig11_12_sparse", "fig13_assoc", "scale_study",
-                  "fuzz_coherence"]
+                  "fuzz_coherence", "hotspot_report"]
 
 # Binary-specific flags promised by a specific document. Each flag must
 # appear both in that document and in the binary's --help.
@@ -47,12 +47,15 @@ DOCUMENTED_FLAGS = {
                         "units", "hot", "pool", "locks", "cache-lines",
                         "l1-lines", "minimize", "dump", "replay",
                         "require-caught"]),
+    "hotspot_report": ("docs/OBSERVABILITY.md",
+                       ["workloads", "schemes", "clients", "procs",
+                        "cache-lines", "scale", "seed", "top", "out"]),
     # perf_suite is deliberately NOT in SWEEP_BINARIES: it measures the
     # simulator itself and runs serially, so it has none of the shared
     # sweep flags — only its own, tabled in docs/PERFORMANCE.md.
     "perf_suite": ("docs/PERFORMANCE.md",
                    ["matrix", "reps", "scale", "seed", "out", "baseline",
-                    "list", "progress"]),
+                    "list", "progress", "obs-overhead"]),
 }
 
 
