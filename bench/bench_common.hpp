@@ -28,6 +28,7 @@
 #include "protocol/system.hpp"
 #include "sim/engine.hpp"
 #include "sim/run_metrics.hpp"
+#include "sim/sharded_engine.hpp"
 #include "trace/generators.hpp"
 
 namespace dircc::bench {
@@ -119,6 +120,7 @@ inline std::string pct(std::uint64_t value, std::uint64_t baseline) {
 /// Options shared by every sweep-harness-backed figure binary.
 struct HarnessOptions {
   int threads = 0;        ///< worker threads; 0 = hardware concurrency
+  int engine_threads = 1;  ///< threads *inside* each run (sharded engine)
   std::string json_path;  ///< empty = no JSON; "-" = stdout
   bool omit_timing = false;
   bool progress = false;     ///< live progress/ETA line on stderr
@@ -148,6 +150,9 @@ inline BackendKind parse_backend(const std::string& name) {
 inline void add_harness_options(CliParser& cli) {
   cli.add_option("threads", "0",
                  "sweep worker threads (0 = hardware concurrency)");
+  cli.add_option("engine-threads", "1",
+                 "threads per simulation run (sharded engine; results are "
+                 "byte-identical at any value, see docs/PARALLELISM.md)");
   cli.add_option("json", "",
                  "write per-cell JSON Lines here ('-' = stdout)");
   cli.add_flag("omit-timing",
@@ -171,6 +176,8 @@ inline void add_harness_options(CliParser& cli) {
 inline HarnessOptions read_harness_options(const CliParser& cli) {
   HarnessOptions options;
   options.threads = static_cast<int>(cli.get_int("threads"));
+  options.engine_threads =
+      std::max(1, static_cast<int>(cli.get_int("engine-threads")));
   options.json_path = cli.get("json");
   options.omit_timing = cli.get_flag("omit-timing");
   options.progress = cli.get_flag("progress");
@@ -216,6 +223,17 @@ inline void apply_backend(std::vector<harness::SweepCell>& cells,
                           const HarnessOptions& options) {
   for (harness::SweepCell& cell : cells) {
     cell.system.backend = options.backend;
+  }
+}
+
+/// Applies --engine-threads to every sweep cell. Pure execution knob: cell
+/// results are byte-identical at any value (docs/PARALLELISM.md); the sweep
+/// runner composes it with its own pool so cells x engine threads never
+/// oversubscribe the host.
+inline void apply_engine_threads(std::vector<harness::SweepCell>& cells,
+                                 const HarnessOptions& options) {
+  for (harness::SweepCell& cell : cells) {
+    cell.engine.engine_threads = options.engine_threads;
   }
 }
 

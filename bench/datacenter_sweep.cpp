@@ -164,6 +164,7 @@ int run_main(int argc, char** argv) {
     cells.push_back(dc.cell);
   }
   apply_backend(cells, options);
+  apply_engine_threads(cells, options);
 
   harness::SweepRunner runner(options.threads);
   std::vector<harness::CellResult> results;
@@ -188,7 +189,7 @@ int run_main(int argc, char** argv) {
       const auto source = make_datacenter_source(
           dc.kind, procs, kBlockSize, dc.clients, base_seed, scale);
       CoherenceSystem system(cells[i].system);
-      Engine engine(system, *source, cells[i].engine);
+      ShardedEngine engine(system, *source, cells[i].engine);
       out.result = engine.run();
       events_pulled += source->events_pulled();
       results.push_back(std::move(out));

@@ -334,6 +334,8 @@ int run_main(int argc, char** argv) {
     }
   }
 
+  apply_engine_threads(cells, flags.harness);
+
   harness::SweepRunner runner(flags.harness.threads);
   harness::SweepOptions options = sweep_options(flags.harness);
   options.check = true;

@@ -42,6 +42,12 @@ int run_main(int argc, char** argv) {
   cli.add_flag("obs-overhead",
                "re-run every cell with the latency-attribution collector "
                "attached and record the obs cost in the document");
+  cli.add_option("threads-axis", "1",
+                 "comma-separated engine-thread counts to measure each cell "
+                 "at (e.g. 1,2,4); counts beyond 1 re-time the cell under "
+                 "the sharded engine and add per-cell and aggregate speedup "
+                 "tables to the document (results are byte-identical across "
+                 "the axis, see docs/PARALLELISM.md)");
 
   if (!cli.parse(argc, argv)) {
     std::cerr << cli.error() << "\n" << cli.usage(argv[0]);
@@ -60,6 +66,31 @@ int run_main(int argc, char** argv) {
   if (reps <= 0) {
     std::cerr << "--reps must be positive\n";
     return 2;
+  }
+  options.threads_axis.clear();
+  {
+    std::istringstream axis(cli.get("threads-axis"));
+    std::string token;
+    while (std::getline(axis, token, ',')) {
+      if (token.empty()) {
+        continue;
+      }
+      int threads = 0;
+      try {
+        threads = std::stoi(token);
+      } catch (...) {
+        threads = 0;
+      }
+      if (threads <= 0) {
+        std::cerr << "--threads-axis expects positive integers, got '"
+                  << token << "'\n";
+        return 2;
+      }
+      options.threads_axis.push_back(threads);
+    }
+  }
+  if (options.threads_axis.empty()) {
+    options.threads_axis.push_back(1);
   }
 
   const std::vector<PerfCell> cells = perf_matrix(options);

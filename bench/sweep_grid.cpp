@@ -107,6 +107,9 @@ int run_main(int argc, char** argv) {
   cli.add_option("seed", "1990", "base seed for traces and per-cell seeds");
   cli.add_option("threads", "0",
                  "sweep worker threads (0 = hardware concurrency)");
+  cli.add_option("engine-threads", "1",
+                 "threads per simulation run (sharded engine; results are "
+                 "byte-identical at any value, see docs/PARALLELISM.md)");
   cli.add_option("json", "-",
                  "JSON Lines output path ('-' = stdout, '' = none)");
   cli.add_flag("omit-timing",
@@ -197,6 +200,8 @@ int run_main(int argc, char** argv) {
 
   HarnessOptions options;
   options.threads = static_cast<int>(cli.get_int("threads"));
+  options.engine_threads =
+      std::max(1, static_cast<int>(cli.get_int("engine-threads")));
   options.json_path = cli.get("json");
   options.omit_timing = cli.get_flag("omit-timing");
   options.progress = cli.get_flag("progress");
@@ -205,6 +210,7 @@ int run_main(int argc, char** argv) {
   options.attrib_out = cli.get("attrib-out");
   options.backend = parse_backend(cli.get("backend"));
   apply_backend(cells, options);
+  apply_engine_threads(cells, options);
 
   harness::SweepRunner runner(options.threads);
   const std::vector<harness::CellResult> results =

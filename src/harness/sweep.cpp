@@ -11,6 +11,7 @@
 #include <unordered_set>
 
 #include "common/ensure.hpp"
+#include "sim/sharded_engine.hpp"
 
 namespace dircc::harness {
 
@@ -73,7 +74,23 @@ std::vector<CellResult> SweepRunner::run(const std::vector<SweepCell>& cells,
     ensure(keys.insert(cell.key).second, "sweep cell keys must be unique");
   }
 
-  const int pool = std::min<int>(threads_, static_cast<int>(cells.size()));
+  int pool = std::min<int>(threads_, static_cast<int>(cells.size()));
+  // Compose the two parallelism levels without oversubscribing: each cell
+  // may itself run engine_threads threads (sharded engine), so the pool is
+  // capped at host_cores / max(engine_threads) whenever any cell runs
+  // sharded. Cell results never depend on the pool size, so the cap is a
+  // pure scheduling decision (docs/PARALLELISM.md).
+  int engine_threads = 1;
+  for (const SweepCell& cell : cells) {
+    engine_threads = std::max(engine_threads, cell.engine.engine_threads);
+  }
+  if (engine_threads > 1 && pool > 1) {
+    int host = static_cast<int>(std::thread::hardware_concurrency());
+    if (host <= 0) {
+      host = threads_;
+    }
+    pool = std::clamp(host / engine_threads, 1, pool);
+  }
   telemetry_ = SweepTelemetry{};
   telemetry_.threads_used = std::max(pool, 1);
   telemetry_.cells_run = cells.size();
@@ -139,8 +156,8 @@ std::vector<CellResult> SweepRunner::run(const std::vector<SweepCell>& cells,
           checker = std::make_unique<check::InvariantChecker>(
               system, options.check_config);
         }
-        Engine engine(system, *trace, cell.engine, recorder.get(),
-                      checker.get());
+        ShardedEngine engine(system, *trace, cell.engine, recorder.get(),
+                             checker.get());
         CellResult& out = results[index];
         out.result = engine.run();
         out.attrib = std::move(attrib);

@@ -96,6 +96,37 @@ void MeshTopology::route_links(NodeId from, NodeId to,
   }
 }
 
+MeshTopology::RegionRange MeshTopology::region_range(int region,
+                                                     int regions) const {
+  ensure(regions >= 1, "mesh region cut needs at least one region");
+  ensure(region >= 0 && region < regions, "mesh region out of range");
+  const int base = num_nodes_ / regions;
+  const int extra = num_nodes_ % regions;
+  // Regions [0, extra) hold base+1 nodes, the rest base.
+  const int first = region * base + (region < extra ? region : extra);
+  const int size = base + (region < extra ? 1 : 0);
+  RegionRange range;
+  range.first = static_cast<NodeId>(first);
+  range.last = static_cast<NodeId>(first + size);
+  return range;
+}
+
+int MeshTopology::region_of(NodeId node, int regions) const {
+  ensure(node < num_nodes_, "mesh node out of range");
+  ensure(regions >= 1, "mesh region cut needs at least one region");
+  const int base = num_nodes_ / regions;
+  const int extra = num_nodes_ % regions;
+  if (base == 0) {
+    return static_cast<int>(node);  // more regions than nodes: one each
+  }
+  // First the wide bands (base+1 nodes), then the narrow ones.
+  const int wide_span = extra * (base + 1);
+  if (static_cast<int>(node) < wide_span) {
+    return static_cast<int>(node) / (base + 1);
+  }
+  return extra + (static_cast<int>(node) - wide_span) / base;
+}
+
 MeshTopology::LinkEndpoints MeshTopology::link_endpoints(LinkId link) const {
   ensure(link >= 0 && link < num_links(), "mesh link out of range");
   const int horizontal = (width_ - 1) * height_;

@@ -58,6 +58,29 @@ class MeshTopology {
     return y_[static_cast<std::size_t>(node)];
   }
 
+  /// Half-open node-id interval [first, last) of one mesh region.
+  struct RegionRange {
+    NodeId first = 0;
+    NodeId last = 0;
+  };
+
+  /// Cuts the mesh into `regions` contiguous row-major bands of near-equal
+  /// size (the first num_nodes % regions bands hold one extra node). Nodes
+  /// are laid out row-major, so a band is a set of whole rows plus at most
+  /// one partial row at each edge — the geometry the sharded engine
+  /// partitions homes by (docs/PARALLELISM.md). `regions` above num_nodes
+  /// clamps: every region past the node count is empty.
+  RegionRange region_range(int region, int regions) const;
+
+  /// Region index of `node` under the same cut. Inverse of region_range.
+  int region_of(NodeId node, int regions) const;
+
+  /// True when a (dimension-ordered) route from `from` to `to` leaves its
+  /// origin band, i.e. the message is cross-region traffic under the cut.
+  bool route_crosses_region(NodeId from, NodeId to, int regions) const {
+    return region_of(from, regions) != region_of(to, regions);
+  }
+
   /// One end of a directed link, as grid coordinates.
   struct LinkEndpoints {
     int from_x = 0;

@@ -20,6 +20,7 @@
 #include "common/table.hpp"
 #include "directory/format.hpp"
 #include "obs/attrib/collector.hpp"
+#include "sim/sharded_engine.hpp"
 #include "trace/datacenter.hpp"
 #include "trace/generators.hpp"
 
@@ -409,6 +410,58 @@ PerfReport run_matrix(const std::vector<PerfCell>& cells,
     }
     result.p50_ms = percentile(samples, 50.0);
     result.p95_ms = percentile(samples, 95.0);
+    // Engine-threads axis: the same cell re-timed under the sharded engine
+    // at every requested thread count. Results must not move — the
+    // determinism contract (docs/PARALLELISM.md) is enforced per rep.
+    const bool axis_active = std::any_of(
+        options.threads_axis.begin(), options.threads_axis.end(),
+        [](int threads) { return threads > 1; });
+    if (axis_active) {
+      PerfCellResult::ThreadsPoint serial;
+      serial.engine_threads = 1;
+      serial.p50_ms = result.p50_ms;
+      serial.p95_ms = result.p95_ms;
+      serial.speedup = 1.0;
+      if (result.p50_ms > 0.0) {
+        serial.accesses_per_sec =
+            static_cast<double>(result.accesses) / (result.p50_ms / 1000.0);
+      }
+      result.threads.push_back(serial);
+      for (const int threads : options.threads_axis) {
+        if (threads <= 1) {
+          continue;
+        }
+        EngineConfig sharded_config = cell.engine;
+        sharded_config.engine_threads = threads;
+        std::vector<double> axis_samples;
+        axis_samples.reserve(static_cast<std::size_t>(reps));
+        for (int rep = 0; rep < reps; ++rep) {
+          std::unique_ptr<EventSource> source;
+          if (cell.stream) {
+            source = cell.stream();
+          }
+          const double sim_start = now_ms();
+          CoherenceSystem system(cell.system);
+          ShardedEngine engine =
+              cell.stream ? ShardedEngine(system, *source, sharded_config)
+                          : ShardedEngine(system, *trace, sharded_config);
+          const RunResult run = engine.run();
+          axis_samples.push_back(now_ms() - sim_start);
+          ensure(run.exec_cycles == result.sim_cycles,
+                 "sharded engine diverged from the serial repetitions");
+        }
+        PerfCellResult::ThreadsPoint point;
+        point.engine_threads = threads;
+        point.p50_ms = percentile(axis_samples, 50.0);
+        point.p95_ms = percentile(axis_samples, 95.0);
+        if (point.p50_ms > 0.0) {
+          point.accesses_per_sec =
+              static_cast<double>(result.accesses) / (point.p50_ms / 1000.0);
+          point.speedup = result.p50_ms / point.p50_ms;
+        }
+        result.threads.push_back(point);
+      }
+    }
     const double p50_sec = result.p50_ms / 1000.0;
     const double best_sec = result.sim_ms.min() / 1000.0;
     if (p50_sec > 0.0) {
@@ -444,6 +497,46 @@ PerfReport run_matrix(const std::vector<PerfCell>& cells,
   if (report.fig07_10.sim_ms > 0.0) {
     report.fig07_10.mcycles_per_sec =
         fig_cycles / (report.fig07_10.sim_ms / 1000.0) / 1e6;
+  }
+  // Aggregate the engine-threads axis: sum-of-p50 speedups over the whole
+  // matrix and the fig07_10 subset, per thread count.
+  if (!report.cells.empty() && !report.cells.front().threads.empty()) {
+    const std::size_t points = report.cells.front().threads.size();
+    for (std::size_t p = 0; p < points; ++p) {
+      ThreadsScaling scaling;
+      scaling.engine_threads =
+          report.cells.front().threads[p].engine_threads;
+      std::uint64_t all_accesses = 0;
+      std::uint64_t fig_accesses = 0;
+      for (const PerfCellResult& cell : report.cells) {
+        const PerfCellResult::ThreadsPoint& point = cell.threads[p];
+        scaling.all_sim_ms += point.p50_ms;
+        all_accesses += cell.accesses;
+        if (cell.grid == "fig07_10") {
+          scaling.fig_sim_ms += point.p50_ms;
+          fig_accesses += cell.accesses;
+        }
+      }
+      if (scaling.all_sim_ms > 0.0) {
+        scaling.all_accesses_per_sec =
+            static_cast<double>(all_accesses) / (scaling.all_sim_ms / 1000.0);
+      }
+      if (scaling.fig_sim_ms > 0.0) {
+        scaling.fig_accesses_per_sec =
+            static_cast<double>(fig_accesses) / (scaling.fig_sim_ms / 1000.0);
+      }
+      report.threads_scaling.push_back(scaling);
+    }
+    const double all_serial_ms = report.threads_scaling.front().all_sim_ms;
+    const double fig_serial_ms = report.threads_scaling.front().fig_sim_ms;
+    for (ThreadsScaling& scaling : report.threads_scaling) {
+      if (scaling.all_sim_ms > 0.0) {
+        scaling.all_speedup = all_serial_ms / scaling.all_sim_ms;
+      }
+      if (scaling.fig_sim_ms > 0.0) {
+        scaling.fig_speedup = fig_serial_ms / scaling.fig_sim_ms;
+      }
+    }
   }
   report.obs_overhead.measured = obs_overhead;
   report.obs_overhead.obs_compiled = obs::compiled();
@@ -574,6 +667,21 @@ void write_report(std::ostream& out, const PerfReport& report,
     if (report.obs_overhead.measured) {
       json.field("attrib_p50_ms", cell.attrib_p50_ms);
     }
+    if (!cell.threads.empty()) {
+      json.key("threads");
+      json.begin_array();
+      for (const PerfCellResult::ThreadsPoint& point : cell.threads) {
+        json.begin_object();
+        json.field("engine_threads",
+                   static_cast<std::uint64_t>(point.engine_threads));
+        json.field("p50_ms", point.p50_ms);
+        json.field("p95_ms", point.p95_ms);
+        json.field("accesses_per_sec", point.accesses_per_sec);
+        json.field("speedup", point.speedup);
+        json.end_object();
+      }
+      json.end_array();
+    }
     json.end_object();
   }
   json.end_array();
@@ -583,6 +691,30 @@ void write_report(std::ostream& out, const PerfReport& report,
   emit_aggregate(json, "all", report.all);
   emit_aggregate(json, "fig07_10", report.fig07_10);
   json.end_object();
+
+  if (!report.threads_scaling.empty()) {
+    json.key("config_threads_axis");
+    json.begin_array();
+    for (const int threads : report.matrix.threads_axis) {
+      json.value(static_cast<std::uint64_t>(threads));
+    }
+    json.end_array();
+    json.key("threads_scaling");
+    json.begin_array();
+    for (const ThreadsScaling& scaling : report.threads_scaling) {
+      json.begin_object();
+      json.field("engine_threads",
+                 static_cast<std::uint64_t>(scaling.engine_threads));
+      json.field("all_sim_ms", scaling.all_sim_ms);
+      json.field("all_accesses_per_sec", scaling.all_accesses_per_sec);
+      json.field("all_speedup", scaling.all_speedup);
+      json.field("fig07_10_sim_ms", scaling.fig_sim_ms);
+      json.field("fig07_10_accesses_per_sec", scaling.fig_accesses_per_sec);
+      json.field("fig07_10_speedup", scaling.fig_speedup);
+      json.end_object();
+    }
+    json.end_array();
+  }
 
   if (report.obs_overhead.measured) {
     json.key("obs_overhead");
@@ -680,6 +812,32 @@ void print_summary(std::ostream& out, const PerfReport& report,
         << " accesses/s over " << fmt_ms(report.fig07_10.sim_ms) << " ms\n";
   }
   out << "  peak RSS:  " << report.peak_rss / (1024 * 1024) << " MiB\n";
+  if (!report.threads_scaling.empty()) {
+    out << "\nengine-threads scaling (results byte-identical across the "
+           "axis; wall time on "
+        << report.machine.hardware_threads << " host thread"
+        << (report.machine.hardware_threads == 1 ? "" : "s") << "):\n";
+    TextTable scaling_table;
+    scaling_table.header({"engine threads", "all sim ms", "all accesses/s",
+                          "all speedup", "fig07_10 speedup"});
+    for (const ThreadsScaling& scaling : report.threads_scaling) {
+      std::ostringstream all_speedup;
+      all_speedup << std::fixed << std::setprecision(2)
+                  << scaling.all_speedup << "x";
+      std::ostringstream fig_speedup;
+      if (report.fig07_10.cells > 0) {
+        fig_speedup << std::fixed << std::setprecision(2)
+                    << scaling.fig_speedup << "x";
+      } else {
+        fig_speedup << "-";
+      }
+      scaling_table.row({std::to_string(scaling.engine_threads),
+                         fmt_ms(scaling.all_sim_ms),
+                         fmt_rate(scaling.all_accesses_per_sec),
+                         all_speedup.str(), fig_speedup.str()});
+    }
+    scaling_table.print(out);
+  }
   if (report.obs_overhead.measured) {
     const ObsOverhead& obs = report.obs_overhead;
     out << "  obs-overhead: " << fmt_ms(obs.base_sim_ms) << " ms -> "

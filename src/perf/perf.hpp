@@ -87,6 +87,12 @@ struct MatrixOptions {
   std::string name = "full";
   double scale = 1.0;      ///< trace-size multiplier fed to the generators
   std::uint64_t seed = 1990;
+  /// Engine-thread counts to measure each cell at (the sharded engine's
+  /// speedup axis, docs/PARALLELISM.md). {1} = serial only, no axis in the
+  /// report. Every entry replays byte-identically — run_matrix enforces
+  /// rep-for-rep exec_cycles equality across the whole axis — so the axis
+  /// only varies wall time, never results.
+  std::vector<int> threads_axis = {1};
 };
 
 /// Builds the pinned cell matrix. Deterministic in `options` alone.
@@ -118,6 +124,18 @@ struct PerfCellResult {
   /// p50 simulate ms with the attribution collector attached (obs-overhead
   /// pass only; 0 when that pass did not run).
   double attrib_p50_ms = 0.0;
+  /// One measured point of the engine-threads axis.
+  struct ThreadsPoint {
+    int engine_threads = 1;
+    double p50_ms = 0.0;
+    double p95_ms = 0.0;
+    double accesses_per_sec = 0.0;
+    /// serial p50 / this p50 (>1 = the sharded engine was faster).
+    double speedup = 0.0;
+  };
+  /// Per-thread-count timings (empty unless the threads axis was measured;
+  /// then it includes the serial point for a complete table).
+  std::vector<ThreadsPoint> threads;
 };
 
 /// Attribution-cost comparison: the same pinned matrix timed with the
@@ -147,6 +165,18 @@ struct PerfAggregate {
   double mcycles_per_sec = 0.0;
 };
 
+/// Aggregate speedup at one engine-thread count (sum of per-cell p50 over
+/// the matrix and the fig07_10 subset, against the serial sums).
+struct ThreadsScaling {
+  int engine_threads = 1;
+  double all_sim_ms = 0.0;
+  double all_accesses_per_sec = 0.0;
+  double all_speedup = 0.0;
+  double fig_sim_ms = 0.0;
+  double fig_accesses_per_sec = 0.0;
+  double fig_speedup = 0.0;
+};
+
 /// One full measurement pass.
 struct PerfReport {
   MatrixOptions matrix;
@@ -157,6 +187,8 @@ struct PerfReport {
   PerfAggregate all;       ///< every cell in the matrix
   PerfAggregate fig07_10;  ///< the grid == "fig07_10" subset
   ObsOverhead obs_overhead;
+  /// Engine-threads speedup table (empty unless the axis was measured).
+  std::vector<ThreadsScaling> threads_scaling;
   std::uint64_t peak_rss = 0;
 };
 

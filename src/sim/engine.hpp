@@ -52,6 +52,14 @@ struct EngineConfig {
   bool release_consistency = false;
   int write_buffer_depth = 4;
   Cycle write_buffer_cost = 2;  ///< issue-side cost of a buffered write
+  /// Sharded-engine execution knobs (docs/PARALLELISM.md). These control
+  /// how the host runs the simulation, never what it simulates: every
+  /// RunResult field is byte-identical for any value of either knob
+  /// (enforced by tests/test_sharded_engine.cpp and the CI shard-smoke
+  /// job). 1 = the serial engine, N >= 2 = N-1 shard fetch workers plus
+  /// the commit thread.
+  int engine_threads = 1;
+  int shard_queue_capacity = 512;  ///< per-processor SPSC ring, in events
 };
 
 /// Synchronization-side statistics.

@@ -1,0 +1,43 @@
+#include "sim/shard_plan.hpp"
+
+#include <algorithm>
+
+#include "common/ensure.hpp"
+
+namespace dircc {
+
+ShardPlan::ShardPlan(int num_procs, int procs_per_cluster,
+                     int requested_shards) {
+  ensure(num_procs >= 1, "shard plan needs at least one processor");
+  ensure(procs_per_cluster >= 1 && num_procs % procs_per_cluster == 0,
+         "shard plan needs whole clusters");
+  num_clusters_ = num_procs / procs_per_cluster;
+  num_shards_ = std::clamp(requested_shards, 1, num_clusters_);
+
+  const MeshTopology mesh(num_clusters_);
+  shard_of_node_.resize(static_cast<std::size_t>(num_clusters_));
+  for (NodeId node = 0; node < num_clusters_; ++node) {
+    shard_of_node_[static_cast<std::size_t>(node)] =
+        mesh.region_of(node, num_shards_);
+  }
+
+  shard_of_proc_.resize(static_cast<std::size_t>(num_procs));
+  procs_of_.resize(static_cast<std::size_t>(num_shards_));
+  for (ProcId proc = 0; proc < num_procs; ++proc) {
+    const auto cluster = static_cast<NodeId>(proc / procs_per_cluster);
+    const int shard = shard_of_node_[static_cast<std::size_t>(cluster)];
+    shard_of_proc_[static_cast<std::size_t>(proc)] = shard;
+    procs_of_[static_cast<std::size_t>(shard)].push_back(proc);
+  }
+  for (const std::vector<ProcId>& procs : procs_of_) {
+    ensure(!procs.empty(), "shard plan produced an empty shard");
+  }
+}
+
+MeshTopology::RegionRange ShardPlan::nodes_of(int shard) const {
+  ensure(shard >= 0 && shard < num_shards_, "shard index out of range");
+  const MeshTopology mesh(num_clusters_);
+  return mesh.region_range(shard, num_shards_);
+}
+
+}  // namespace dircc

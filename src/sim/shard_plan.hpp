@@ -1,0 +1,63 @@
+// Shard partitioner for the sharded engine (docs/PARALLELISM.md).
+//
+// Cuts the simulated machine into per-worker shards along the home-node /
+// mesh-region axis: the cluster grid is divided into contiguous row-major
+// mesh bands (MeshTopology::region_range), every cluster's processors
+// follow their cluster, and each shard therefore owns a physically adjacent
+// set of home directories together with the processors co-located with
+// them. Today the fetch plane uses the processor side of the cut (each
+// worker owns its shard's reference streams); the home side is the stable
+// axis the commit plane will parallelize along, and cross-shard traffic
+// classification (shard_of_node on a message's endpoints) already falls out
+// of the same cut.
+//
+// The plan is a pure function of (num_procs, procs_per_cluster,
+// requested_shards): it never depends on thread scheduling, so everything
+// derived from it is deterministic.
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "network/mesh.hpp"
+
+namespace dircc {
+
+class ShardPlan {
+ public:
+  /// Builds the cut. `requested_shards` is clamped to [1, num_clusters]: a
+  /// shard must own at least one whole cluster (the intra-cluster bus makes
+  /// a cluster the smallest unit that can be owned by one worker).
+  ShardPlan(int num_procs, int procs_per_cluster, int requested_shards);
+
+  int num_shards() const { return num_shards_; }
+  int num_procs() const { return static_cast<int>(shard_of_proc_.size()); }
+
+  int shard_of_proc(ProcId proc) const {
+    return shard_of_proc_[static_cast<std::size_t>(proc)];
+  }
+  /// Shard owning home node (cluster) `node` — also the shard that would
+  /// execute a directory transaction homed there under commit-plane
+  /// sharding, and the classifier for cross-shard message accounting.
+  int shard_of_node(NodeId node) const {
+    return shard_of_node_[static_cast<std::size_t>(node)];
+  }
+
+  /// Processors owned by `shard`, ascending. Never empty.
+  const std::vector<ProcId>& procs_of(int shard) const {
+    return procs_of_[static_cast<std::size_t>(shard)];
+  }
+
+  /// Cluster-id interval [first, last) owned by `shard` (a contiguous
+  /// row-major band of the cluster mesh).
+  MeshTopology::RegionRange nodes_of(int shard) const;
+
+ private:
+  int num_shards_;
+  int num_clusters_;
+  std::vector<int> shard_of_proc_;
+  std::vector<int> shard_of_node_;
+  std::vector<std::vector<ProcId>> procs_of_;
+};
+
+}  // namespace dircc

@@ -1,0 +1,270 @@
+#include "sim/sharded_engine.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/ensure.hpp"
+#include "sim/shard_plan.hpp"
+#include "sim/spsc_queue.hpp"
+
+namespace dircc {
+
+namespace {
+
+/// Events a worker forwards per processor before moving on. Large enough to
+/// amortize the round-robin sweep, small enough that no stream starves.
+constexpr int kFetchBurst = 32;
+
+/// Commit-side view of the rings: an EventSource whose per-processor
+/// streams are the SPSC queues. next() blocks (spin-then-yield) until the
+/// processor's worker has pushed an event or closed the stream, so the
+/// serial engine on top of it never observes anything but a complete,
+/// in-order stream — exactly what the real source would have produced.
+class ShardQueueSource final : public EventSource {
+ public:
+  ShardQueueSource(EventSource& real,
+                   std::vector<std::unique_ptr<SpscQueue<TraceEvent>>>& rings)
+      : real_(real), rings_(rings), popped_(rings.size(), 0) {}
+
+  const std::string& app_name() const override { return real_.app_name(); }
+  int num_procs() const override { return real_.num_procs(); }
+  int block_size() const override { return real_.block_size(); }
+
+  bool next(ProcId proc, TraceEvent& ev) override {
+    SpscQueue<TraceEvent>& ring = *rings_[static_cast<std::size_t>(proc)];
+    for (;;) {
+      if (ring.try_pop(ev)) {
+        ++popped_[static_cast<std::size_t>(proc)];
+        return true;
+      }
+      if (ring.exhausted()) {
+        return false;
+      }
+      ++empty_waits_;
+      // Yield instead of spinning: on an undersubscribed host the producer
+      // needs this core to make the progress we are waiting for.
+      std::this_thread::yield();
+    }
+  }
+
+  std::uint64_t events_pulled() const override {
+    std::uint64_t total = 0;
+    for (std::uint64_t popped : popped_) {
+      total += popped;
+    }
+    return total;
+  }
+
+  std::uint64_t empty_waits() const { return empty_waits_; }
+
+ private:
+  EventSource& real_;
+  std::vector<std::unique_ptr<SpscQueue<TraceEvent>>>& rings_;
+  std::vector<std::uint64_t> popped_;  // commit-thread-only
+  std::uint64_t empty_waits_ = 0;
+};
+
+}  // namespace
+
+/// The fetch plane: the shard cut, one ring per processor, one worker
+/// thread per shard, and the failure/stop machinery shared between them.
+struct ShardedEngine::Pipeline {
+  Pipeline(EventSource& source, ShardPlan cut, int ring_capacity)
+      : real(source), plan(std::move(cut)) {
+    rings.reserve(static_cast<std::size_t>(plan.num_procs()));
+    for (int proc = 0; proc < plan.num_procs(); ++proc) {
+      rings.push_back(std::make_unique<SpscQueue<TraceEvent>>(
+          static_cast<std::size_t>(ring_capacity)));
+    }
+    adapter = std::make_unique<ShardQueueSource>(real, rings);
+  }
+
+  void start() {
+    workers.reserve(static_cast<std::size_t>(plan.num_shards()));
+    for (int shard = 0; shard < plan.num_shards(); ++shard) {
+      workers.emplace_back([this, shard] { fetch_loop(shard); });
+    }
+  }
+
+  /// Pull loop of one shard: round-robins the shard's processors, bursting
+  /// events from the real source into their rings. A full ring is skipped,
+  /// never blocked on, so the worker always keeps its other streams moving
+  /// and always observes `stop` promptly.
+  void fetch_loop(int shard) {
+    struct Slot {
+      TraceEvent ev{};
+      bool holding = false;  ///< ev pulled but not yet pushed (ring full)
+      bool done = false;
+    };
+    const std::vector<ProcId>& procs = plan.procs_of(shard);
+    std::vector<Slot> slots(procs.size());
+    std::size_t active = procs.size();
+    std::uint64_t local_forwarded = 0;
+    std::uint64_t local_full_waits = 0;
+    try {
+      while (active > 0 && !stop.load(std::memory_order_relaxed)) {
+        bool progressed = false;
+        for (std::size_t i = 0; i < procs.size(); ++i) {
+          Slot& slot = slots[i];
+          if (slot.done) {
+            continue;
+          }
+          SpscQueue<TraceEvent>& ring =
+              *rings[static_cast<std::size_t>(procs[i])];
+          for (int burst = 0; burst < kFetchBurst; ++burst) {
+            if (!slot.holding) {
+              if (!real.next(procs[i], slot.ev)) {
+                slot.done = true;
+                ring.close();
+                --active;
+                progressed = true;
+                break;
+              }
+              slot.holding = true;
+            }
+            if (!ring.try_push(slot.ev)) {
+              ++local_full_waits;  // a full lookahead window ahead: move on
+              break;
+            }
+            slot.holding = false;
+            ++local_forwarded;
+            progressed = true;
+          }
+        }
+        if (!progressed) {
+          std::this_thread::yield();
+        }
+      }
+    } catch (...) {
+      {
+        const std::lock_guard<std::mutex> guard(error_mutex);
+        if (!error) {
+          error = std::current_exception();
+        }
+      }
+      stop.store(true, std::memory_order_relaxed);
+    }
+    // Whatever ended the loop (drain, stop, failure): close every stream
+    // this worker owns so the commit thread can never wait forever. After
+    // a stop the result is discarded or already complete, so truncation is
+    // harmless.
+    for (std::size_t i = 0; i < procs.size(); ++i) {
+      if (!slots[i].done) {
+        rings[static_cast<std::size_t>(procs[i])]->close();
+      }
+    }
+    events_forwarded.fetch_add(local_forwarded, std::memory_order_relaxed);
+    full_waits.fetch_add(local_full_waits, std::memory_order_relaxed);
+  }
+
+  void stop_and_join() {
+    stop.store(true, std::memory_order_relaxed);
+    for (std::thread& worker : workers) {
+      if (worker.joinable()) {
+        worker.join();
+      }
+    }
+  }
+
+  EventSource& real;
+  ShardPlan plan;
+  std::vector<std::unique_ptr<SpscQueue<TraceEvent>>> rings;
+  std::unique_ptr<ShardQueueSource> adapter;
+  std::vector<std::thread> workers;
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> events_forwarded{0};
+  std::atomic<std::uint64_t> full_waits{0};
+  std::mutex error_mutex;
+  std::exception_ptr error;
+};
+
+ShardedEngine::ShardedEngine(MemorySystem& system, const ProgramTrace& trace,
+                             EngineConfig config,
+                             obs::TraceRecorder* recorder,
+                             check::AccessObserver* checker)
+    : system_(system),
+      owned_source_(std::make_unique<MaterializedSource>(trace)),
+      source_(owned_source_.get()),
+      config_(config),
+      recorder_(recorder),
+      checker_(checker) {}
+
+ShardedEngine::ShardedEngine(MemorySystem& system, EventSource& source,
+                             EngineConfig config,
+                             obs::TraceRecorder* recorder,
+                             check::AccessObserver* checker)
+    : system_(system),
+      source_(&source),
+      config_(config),
+      recorder_(recorder),
+      checker_(checker) {}
+
+ShardedEngine::~ShardedEngine() {
+  if (pipeline_) {
+    pipeline_->stop_and_join();
+  }
+}
+
+RunResult ShardedEngine::run() {
+  ensure(!ran_, "ShardedEngine is single-shot: construct, run() once");
+  ran_ = true;
+
+  if (config_.engine_threads <= 1) {
+    // The serial engine *is* the 1-thread sharded engine: no threads, no
+    // rings, no adapter — and trivially byte-identical.
+    Engine engine(system_, *source_, config_, recorder_, checker_);
+    const RunResult result = engine.run();
+    halted_ = engine.halted_by_checker();
+    return result;
+  }
+
+  const int procs = source_->num_procs();
+  ensure(procs >= 1, "sharded engine needs at least one processor");
+  const int clusters = static_cast<int>(system_.cluster_of(
+                           static_cast<ProcId>(procs - 1))) +
+                       1;
+  // Shards own whole clusters; a machine whose processors do not divide
+  // evenly into clusters degenerates to per-processor shards.
+  const int procs_per_cluster =
+      (clusters >= 1 && procs % clusters == 0) ? procs / clusters : 1;
+  ShardPlan plan(procs, procs_per_cluster, config_.engine_threads - 1);
+
+  const int capacity = std::max(1, config_.shard_queue_capacity);
+  pipeline_ = std::make_unique<Pipeline>(*source_, std::move(plan), capacity);
+  telemetry_.shards = pipeline_->plan.num_shards();
+  telemetry_.fetch_threads = pipeline_->plan.num_shards();
+  pipeline_->start();
+
+  RunResult result;
+  std::exception_ptr commit_error;
+  try {
+    Engine engine(system_, *pipeline_->adapter, config_, recorder_, checker_);
+    result = engine.run();
+    halted_ = engine.halted_by_checker();
+  } catch (...) {
+    commit_error = std::current_exception();
+  }
+  pipeline_->stop_and_join();
+
+  telemetry_.events_forwarded =
+      pipeline_->events_forwarded.load(std::memory_order_relaxed);
+  telemetry_.producer_full_waits =
+      pipeline_->full_waits.load(std::memory_order_relaxed);
+  telemetry_.consumer_empty_waits = pipeline_->adapter->empty_waits();
+
+  // A worker failure is the root cause even when the commit plane also
+  // threw (its queues were closed out from under it).
+  if (pipeline_->error) {
+    std::rethrow_exception(pipeline_->error);
+  }
+  if (commit_error) {
+    std::rethrow_exception(commit_error);
+  }
+  return result;
+}
+
+}  // namespace dircc

@@ -1,0 +1,104 @@
+// Home-sharded parallel simulation engine (docs/PARALLELISM.md).
+//
+// Partitions the simulated machine along the home-node / mesh-region axis
+// (ShardPlan): each shard's fetch worker owns the reference streams of the
+// processors co-located with a contiguous band of home directories and runs
+// its own pull loop over them, pushing decoded events into bounded
+// per-processor SPSC rings. The commit plane is the unmodified serial
+// Engine, replaying from those rings through a queue-backed EventSource in
+// exact global (time, proc) order.
+//
+// Determinism contract: the sharded engine is byte-identical to the serial
+// engine for every RunResult field at every thread count. The contract is
+// structural, not incidental — fetch workers only move events (per-
+// processor order is preserved by the FIFO rings, and per-processor streams
+// are independent by the EventSource contract), while every protocol state
+// transition still happens on the commit thread in serial order. The ring
+// capacity is the conservative lookahead window: a producer that runs a
+// full window ahead of the commit frontier waits, which bounds memory and
+// keeps shards within one epoch of committed time. Thread count and window
+// size are therefore pure execution knobs (EngineConfig::engine_threads,
+// EngineConfig::shard_queue_capacity); tests/test_sharded_engine.cpp and
+// the CI shard-smoke job hold the contract.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "sim/engine.hpp"
+
+namespace dircc {
+
+/// Host-side execution telemetry of one sharded run. Never part of
+/// RunResult: these numbers depend on thread scheduling and are only for
+/// tuning (docs/PARALLELISM.md) and tests.
+struct ShardTelemetry {
+  int shards = 0;         ///< shards in the plan (0 = serial delegation)
+  int fetch_threads = 0;  ///< worker threads actually spawned
+  std::uint64_t events_forwarded = 0;  ///< events moved through the rings
+  std::uint64_t producer_full_waits = 0;  ///< pushes that found a ring full
+  std::uint64_t consumer_empty_waits = 0;  ///< pops that found a ring empty
+};
+
+/// Drop-in parallel replacement for Engine: same constructors, same run(),
+/// same results — byte for byte. With config.engine_threads <= 1 it *is*
+/// the serial engine (zero-overhead delegation, no threads, no queues).
+/// With N >= 2 it spawns min(N-1, clusters) shard fetch workers and commits
+/// on the calling thread. Single-shot: construct, run().
+class ShardedEngine {
+ public:
+  /// Materialized form, mirroring Engine(system, trace, ...): wraps `trace`
+  /// in a MaterializedSource. `recorder` and `checker` are forwarded to the
+  /// commit-plane engine and only ever called from the commit thread.
+  ShardedEngine(MemorySystem& system, const ProgramTrace& trace,
+                EngineConfig config = {},
+                obs::TraceRecorder* recorder = nullptr,
+                check::AccessObserver* checker = nullptr);
+
+  /// Streaming form, mirroring Engine(system, source, ...). Fetch workers
+  /// pull *different* processors' streams concurrently, which the
+  /// EventSource threading contract permits; the caller keeps ownership of
+  /// `source` and must not touch it until run() returns.
+  ShardedEngine(MemorySystem& system, EventSource& source,
+                EngineConfig config = {},
+                obs::TraceRecorder* recorder = nullptr,
+                check::AccessObserver* checker = nullptr);
+
+  ~ShardedEngine();
+
+  ShardedEngine(const ShardedEngine&) = delete;
+  ShardedEngine& operator=(const ShardedEngine&) = delete;
+
+  /// Runs the simulation to completion and returns the result. If a fetch
+  /// worker fails, all threads are stopped and the worker's exception is
+  /// rethrown here (a commit-plane exception is rethrown only when no
+  /// worker failed first).
+  RunResult run();
+
+  /// True when the attached checker stopped the run early (mirrors
+  /// Engine::halted_by_checker; valid after run()).
+  bool halted_by_checker() const { return halted_; }
+
+  /// Shards used by the last run (0 when it delegated to the serial
+  /// engine). Valid after run().
+  int shards_used() const { return telemetry_.shards; }
+
+  const ShardTelemetry& telemetry() const { return telemetry_; }
+
+ private:
+  struct Pipeline;  // fetch plane: plan, rings, workers (sharded_engine.cpp)
+
+  MemorySystem& system_;
+  /// Set only by the ProgramTrace constructor; `source_` then points at it.
+  std::unique_ptr<MaterializedSource> owned_source_;
+  EventSource* source_;
+  EngineConfig config_;
+  obs::TraceRecorder* recorder_;
+  check::AccessObserver* checker_;
+  std::unique_ptr<Pipeline> pipeline_;
+  ShardTelemetry telemetry_;
+  bool halted_ = false;
+  bool ran_ = false;
+};
+
+}  // namespace dircc

@@ -1,0 +1,115 @@
+// Bounded single-producer/single-consumer ring for cross-thread event
+// hand-off inside the sharded engine (see docs/PARALLELISM.md).
+//
+// Each simulated processor owns exactly one queue: its shard's fetch worker
+// is the only producer and the commit thread is the only consumer, so the
+// ring needs no locks — one acquire/release pair per side. The capacity is
+// the shard's lookahead window: a producer that runs a full window ahead of
+// the commit frontier blocks (conservative horizon), which bounds memory at
+// O(procs x capacity) and keeps every shard within one epoch of the
+// committed simulation time.
+//
+// FIFO and loss-freedom are load-bearing: the commit plane replays each
+// processor's stream in exactly the order the producer pushed it, which is
+// what makes the sharded engine byte-identical to the serial one
+// (tests/test_sharded_engine.cpp holds the contract).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/ensure.hpp"
+
+namespace dircc {
+
+template <typename T>
+class SpscQueue {
+ public:
+  /// `capacity` is rounded up to a power of two (index masking instead of
+  /// modulo). The queue holds at most `capacity` items.
+  explicit SpscQueue(std::size_t capacity) {
+    ensure(capacity >= 1, "spsc queue needs a positive capacity");
+    std::size_t cap = 1;
+    while (cap < capacity) {
+      cap *= 2;
+    }
+    mask_ = cap - 1;
+    slots_.resize(cap);
+  }
+
+  SpscQueue(const SpscQueue&) = delete;
+  SpscQueue& operator=(const SpscQueue&) = delete;
+
+  std::size_t capacity() const { return mask_ + 1; }
+
+  /// Producer side. Returns false when the ring is full (the producer is a
+  /// full lookahead window ahead; retry after the consumer drains).
+  bool try_push(const T& item) {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail - head_cache_ > mask_) {
+      head_cache_ = head_.load(std::memory_order_acquire);
+      if (tail - head_cache_ > mask_) {
+        return false;
+      }
+    }
+    slots_[tail & mask_] = item;
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side. Returns false when the ring is currently empty (which
+  /// does not mean the stream ended — see close()).
+  bool try_pop(T& item) {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    if (head == tail_cache_) {
+      tail_cache_ = tail_.load(std::memory_order_acquire);
+      if (head == tail_cache_) {
+        return false;
+      }
+    }
+    item = slots_[head & mask_];
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Producer: marks the stream complete. Items already queued remain
+  /// poppable (the epoch-drain contract: close loses nothing).
+  void close() { closed_.store(true, std::memory_order_release); }
+
+  /// Consumer: true when the producer closed the stream AND the ring has
+  /// been drained — the definitive end-of-stream signal.
+  bool exhausted() {
+    if (!closed_.load(std::memory_order_acquire)) {
+      return false;
+    }
+    // Re-check emptiness after observing the close so items pushed before
+    // close() are never skipped.
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    tail_cache_ = tail_.load(std::memory_order_acquire);
+    return head == tail_cache_;
+  }
+
+  /// Items currently in flight (approximate under concurrency; exact when
+  /// one side is quiescent — used by telemetry and tests only).
+  std::size_t size() const {
+    const std::size_t tail = tail_.load(std::memory_order_acquire);
+    const std::size_t head = head_.load(std::memory_order_acquire);
+    return tail - head;
+  }
+
+ private:
+  // Head/tail on separate cache lines so the producer and consumer do not
+  // false-share; each side keeps a stale copy of the other's index and only
+  // refreshes it when the fast path would block.
+  alignas(64) std::atomic<std::size_t> head_{0};
+  alignas(64) std::atomic<std::size_t> tail_{0};
+  alignas(64) std::size_t head_cache_ = 0;  // producer-local
+  alignas(64) std::size_t tail_cache_ = 0;  // consumer-local
+  std::atomic<bool> closed_{false};
+  std::size_t mask_ = 0;
+  std::vector<T> slots_;
+};
+
+}  // namespace dircc

@@ -20,6 +20,13 @@
 // different p may be interleaved in any order (the engine pulls in simulated-
 // time order, which is data dependent), and the sequence of events returned
 // for a given processor must not depend on that interleaving.
+//
+// Threading (docs/PARALLELISM.md): the sharded engine's fetch workers pull
+// *different* processors' streams from different threads concurrently, so
+// next(p, ...) must only touch state owned by processor p (or immutable
+// shared state). Calls for the same processor are always serialized by the
+// caller. events_pulled() may only be read while no next() is in flight
+// (both engines read it after the run drains).
 #pragma once
 
 #include <algorithm>
@@ -46,11 +53,10 @@ class EventSource {
   virtual bool next(ProcId proc, TraceEvent& ev) = 0;
 
   /// Events handed out so far, across all processors (for throughput and
-  /// progress accounting; monotone, cheap).
-  std::uint64_t events_pulled() const { return pulled_; }
-
- protected:
-  std::uint64_t pulled_ = 0;
+  /// progress accounting; monotone). Only valid while pulls are quiescent —
+  /// implementations account per processor so that concurrent distinct-proc
+  /// next() calls stay race-free, and sum the slots here.
+  virtual std::uint64_t events_pulled() const = 0;
 };
 
 /// Adapter: serves an already-materialized ProgramTrace through the pull
@@ -83,8 +89,15 @@ class MaterializedSource final : public EventSource {
       return false;
     }
     ev = stream[cursor++];
-    ++pulled_;
     return true;
+  }
+
+  std::uint64_t events_pulled() const override {
+    std::uint64_t total = 0;
+    for (std::size_t cursor : cursor_) {
+      total += cursor;
+    }
+    return total;
   }
 
  private:
@@ -126,8 +139,16 @@ class BufferedSource : public EventSource {
       }
     }
     ev = buffer.events[buffer.pos++];
-    ++pulled_;
+    ++buffer.handed;
     return true;
+  }
+
+  std::uint64_t events_pulled() const override {
+    std::uint64_t total = 0;
+    for (const Buffer& buffer : buffers_) {
+      total += buffer.handed;
+    }
+    return total;
   }
 
   /// Largest chunk any refill produced (diagnostic: the lookahead bound).
@@ -150,6 +171,7 @@ class BufferedSource : public EventSource {
   struct Buffer {
     std::vector<TraceEvent> events;
     std::size_t pos = 0;
+    std::uint64_t handed = 0;
     bool done = false;
   };
 

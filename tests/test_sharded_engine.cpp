@@ -1,0 +1,472 @@
+// Sharded engine determinism contract (docs/PARALLELISM.md): the SPSC
+// hand-off ring, the home-region shard cut, byte-identical RunResults at
+// every engine-thread count across schemes x stores x backends x special
+// configurations, and the sweep runner's oversubscription cap.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "check/invariant_checker.hpp"
+#include "common/json.hpp"
+#include "harness/sweep.hpp"
+#include "network/mesh.hpp"
+#include "obs/metrics.hpp"
+#include "sci/sci_system.hpp"
+#include "sim/run_metrics.hpp"
+#include "sim/shard_plan.hpp"
+#include "sim/sharded_engine.hpp"
+#include "sim/spsc_queue.hpp"
+#include "trace/datacenter.hpp"
+#include "trace/generators.hpp"
+
+namespace dircc {
+namespace {
+
+SystemConfig machine(int procs, SchemeConfig scheme) {
+  SystemConfig config;
+  config.num_procs = procs;
+  config.procs_per_cluster = 1;
+  config.cache_lines_per_proc = 256;
+  config.cache_assoc = 4;
+  config.block_size = 16;
+  config.scheme = std::move(scheme);
+  config.seed = 1990;
+  return config;
+}
+
+/// Every registered RunResult counter rendered as one JSON object — two
+/// runs are "the same" exactly when their fingerprints are byte-equal.
+std::string fingerprint(const RunResult& result) {
+  std::ostringstream out;
+  JsonWriter json(out);
+  json.begin_object();
+  obs::MetricsRegistry registry;
+  register_metrics(registry, result);
+  registry.emit_fields(json);
+  json.end_object();
+  return out.str();
+}
+
+/// Runs `trace` serially and under the sharded engine at each requested
+/// thread count, asserting byte-identical fingerprints throughout.
+void expect_identical_at_all_thread_counts(
+    const SystemConfig& system_config, const ProgramTrace& trace,
+    EngineConfig engine_config = {},
+    std::vector<int> thread_counts = {2, 4, 8}) {
+  CoherenceSystem serial_system(system_config);
+  engine_config.engine_threads = 1;
+  Engine serial(serial_system, trace, engine_config);
+  const std::string expected = fingerprint(serial.run());
+  for (const int threads : thread_counts) {
+    CoherenceSystem system(system_config);
+    engine_config.engine_threads = threads;
+    ShardedEngine sharded(system, trace, engine_config);
+    EXPECT_EQ(expected, fingerprint(sharded.run()))
+        << "engine_threads=" << threads;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// SpscQueue: FIFO, bounded capacity, the close/drain protocol
+// ---------------------------------------------------------------------------
+
+TEST(SpscQueue, FifoThroughWraparound) {
+  SpscQueue<int> queue(4);
+  int out = 0;
+  // Several laps around the 4-slot ring, popping in push order every lap.
+  for (int lap = 0; lap < 5; ++lap) {
+    for (int i = 0; i < 4; ++i) {
+      ASSERT_TRUE(queue.try_push(lap * 10 + i));
+    }
+    for (int i = 0; i < 4; ++i) {
+      ASSERT_TRUE(queue.try_pop(out));
+      EXPECT_EQ(out, lap * 10 + i);
+    }
+  }
+  EXPECT_FALSE(queue.try_pop(out));
+}
+
+TEST(SpscQueue, CapacityIsABoundAndRoundsToPowerOfTwo) {
+  SpscQueue<int> queue(5);  // rounds up to 8
+  EXPECT_EQ(queue.capacity(), 8u);
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(queue.try_push(i));
+  }
+  EXPECT_FALSE(queue.try_push(99)) << "a full ring must reject the push";
+  int out = 0;
+  ASSERT_TRUE(queue.try_pop(out));
+  EXPECT_EQ(out, 0);
+  EXPECT_TRUE(queue.try_push(99)) << "one pop frees one slot";
+}
+
+TEST(SpscQueue, CloseLosesNothingAlreadyQueued) {
+  SpscQueue<int> queue(8);
+  ASSERT_TRUE(queue.try_push(1));
+  ASSERT_TRUE(queue.try_push(2));
+  queue.close();
+  EXPECT_FALSE(queue.exhausted()) << "items remain after close";
+  int out = 0;
+  ASSERT_TRUE(queue.try_pop(out));
+  EXPECT_EQ(out, 1);
+  ASSERT_TRUE(queue.try_pop(out));
+  EXPECT_EQ(out, 2);
+  EXPECT_TRUE(queue.exhausted()) << "closed and drained = end of stream";
+  EXPECT_FALSE(queue.try_pop(out));
+}
+
+TEST(SpscQueue, NoLossOrReorderUnderConcurrentProducerConsumer) {
+  constexpr int kItems = 200000;
+  SpscQueue<int> queue(64);
+  std::thread producer([&queue] {
+    for (int i = 0; i < kItems; ++i) {
+      while (!queue.try_push(i)) {
+        std::this_thread::yield();
+      }
+    }
+    queue.close();
+  });
+  int expected = 0;
+  int out = 0;
+  for (;;) {
+    if (queue.try_pop(out)) {
+      ASSERT_EQ(out, expected) << "items must arrive in push order";
+      ++expected;
+      continue;
+    }
+    if (queue.exhausted()) {
+      break;
+    }
+    std::this_thread::yield();
+  }
+  producer.join();
+  EXPECT_EQ(expected, kItems) << "every pushed item must be popped";
+}
+
+// ---------------------------------------------------------------------------
+// Mesh regions and the shard cut
+// ---------------------------------------------------------------------------
+
+TEST(MeshRegions, RangesPartitionTheMeshAndInvertRegionOf) {
+  for (const int nodes : {1, 4, 7, 8, 16, 32}) {
+    const MeshTopology mesh(nodes);
+    for (const int regions : {1, 2, 3, 5, 8}) {
+      int covered = 0;
+      for (int region = 0; region < regions; ++region) {
+        const MeshTopology::RegionRange range =
+            mesh.region_range(region, regions);
+        EXPECT_EQ(range.first, covered) << "ranges must be contiguous";
+        for (NodeId node = range.first; node < range.last; ++node) {
+          EXPECT_EQ(mesh.region_of(node, regions), region)
+              << nodes << " nodes, " << regions << " regions, node " << node;
+        }
+        covered = static_cast<int>(range.last);
+      }
+      EXPECT_EQ(covered, nodes) << "ranges must cover every node";
+    }
+  }
+}
+
+TEST(MeshRegions, BandSizesDifferByAtMostOne) {
+  const MeshTopology mesh(32);
+  for (const int regions : {3, 5, 6, 7}) {
+    int min_size = 32;
+    int max_size = 0;
+    for (int region = 0; region < regions; ++region) {
+      const auto range = mesh.region_range(region, regions);
+      const int size = static_cast<int>(range.last - range.first);
+      min_size = std::min(min_size, size);
+      max_size = std::max(max_size, size);
+    }
+    EXPECT_LE(max_size - min_size, 1) << regions << " regions";
+  }
+}
+
+TEST(ShardPlan, PartitionsProcessorsContiguouslyAndCompletely) {
+  const ShardPlan plan(32, 1, 4);
+  ASSERT_EQ(plan.num_shards(), 4);
+  int next_proc = 0;
+  for (int shard = 0; shard < plan.num_shards(); ++shard) {
+    const std::vector<ProcId>& procs = plan.procs_of(shard);
+    ASSERT_FALSE(procs.empty());
+    for (const ProcId proc : procs) {
+      EXPECT_EQ(proc, next_proc) << "shard " << shard;
+      EXPECT_EQ(plan.shard_of_proc(proc), shard);
+      ++next_proc;
+    }
+    const MeshTopology::RegionRange nodes = plan.nodes_of(shard);
+    for (NodeId node = nodes.first; node < nodes.last; ++node) {
+      EXPECT_EQ(plan.shard_of_node(node), shard);
+    }
+  }
+  EXPECT_EQ(next_proc, 32) << "every processor must be owned";
+}
+
+TEST(ShardPlan, ClampsToTheClusterCount) {
+  const ShardPlan plan(8, 1, 64);
+  EXPECT_EQ(plan.num_shards(), 8);
+  const ShardPlan one(8, 1, 0);
+  EXPECT_EQ(one.num_shards(), 1);
+}
+
+TEST(ShardPlan, WholeClustersStayTogether) {
+  // 16 procs in 8 clusters of 2, cut into 3 shards: both procs of every
+  // cluster land in their cluster's shard.
+  const ShardPlan plan(16, 2, 3);
+  for (ProcId proc = 0; proc < 16; ++proc) {
+    const auto cluster = static_cast<NodeId>(proc / 2);
+    EXPECT_EQ(plan.shard_of_proc(proc), plan.shard_of_node(cluster))
+        << "proc " << proc;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// ShardedEngine: byte-identical results at every thread count
+// ---------------------------------------------------------------------------
+
+struct GridCase {
+  const char* label;
+  SchemeConfig scheme;
+  bool sparse;
+  BackendKind backend;
+};
+
+class ShardedDeterminism : public ::testing::TestWithParam<GridCase> {};
+
+TEST_P(ShardedDeterminism, MatchesSerialAcrossThreadCounts) {
+  const GridCase& grid = GetParam();
+  const ProgramTrace trace = generate_app(AppKind::kMp3d, 8, 16, 11, 0.05);
+  SystemConfig config = machine(8, grid.scheme);
+  config.backend = grid.backend;
+  if (grid.sparse) {
+    config.store.sparse = true;
+    config.store.sparse_entries = 64;
+    config.store.sparse_assoc = 4;
+    config.store.policy = ReplPolicy::kRandom;
+  }
+  expect_identical_at_all_thread_counts(config, trace);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SchemesStoresBackends, ShardedDeterminism,
+    ::testing::Values(
+        GridCase{"full_dense_analytic", SchemeConfig::full(8), false,
+                 BackendKind::kAnalytic},
+        GridCase{"full_sparse_analytic", SchemeConfig::full(8), true,
+                 BackendKind::kAnalytic},
+        GridCase{"full_dense_queued", SchemeConfig::full(8), false,
+                 BackendKind::kQueued},
+        GridCase{"full_sparse_queued", SchemeConfig::full(8), true,
+                 BackendKind::kQueued},
+        GridCase{"cv_dense_analytic", SchemeConfig::coarse(8, 3, 2), false,
+                 BackendKind::kAnalytic},
+        GridCase{"cv_sparse_queued", SchemeConfig::coarse(8, 3, 2), true,
+                 BackendKind::kQueued},
+        GridCase{"nb_dense_analytic", SchemeConfig::no_broadcast(8, 3),
+                 false, BackendKind::kAnalytic},
+        GridCase{"nb_sparse_queued", SchemeConfig::no_broadcast(8, 3), true,
+                 BackendKind::kQueued},
+        GridCase{"b_dense_queued", SchemeConfig::broadcast(8, 3), false,
+                 BackendKind::kQueued}),
+    [](const ::testing::TestParamInfo<GridCase>& info) {
+      return info.param.label;
+    });
+
+TEST(ShardedEngine, LockHeavyAppAcrossSchedulePerturbations) {
+  // MP3D is barrier-heavy; LocusRoute adds lock contention — the sync
+  // paths (queued locks, barrier episodes) must replay identically.
+  const ProgramTrace trace =
+      generate_app(AppKind::kLocusRoute, 8, 16, 23, 0.05);
+  expect_identical_at_all_thread_counts(machine(8, SchemeConfig::full(8)),
+                                        trace);
+}
+
+TEST(ShardedEngine, ReleaseConsistencyAndRegionGrantLocks) {
+  const ProgramTrace trace =
+      generate_app(AppKind::kLocusRoute, 8, 16, 7, 0.05);
+  EngineConfig engine;
+  engine.release_consistency = true;
+  engine.write_buffer_depth = 2;
+  engine.region_grant_locks = true;
+  engine.lock_region_size = 2;
+  expect_identical_at_all_thread_counts(machine(8, SchemeConfig::full(8)),
+                                        trace, engine);
+}
+
+TEST(ShardedEngine, TwoLevelCachesAndMultiProcClusters) {
+  const ProgramTrace trace = generate_app(AppKind::kMp3d, 8, 16, 3, 0.05);
+  SystemConfig config = machine(8, SchemeConfig::full(4));
+  config.procs_per_cluster = 2;  // 4 clusters of 2 — shards own clusters
+  config.l1_lines_per_proc = 32;
+  config.l1_assoc = 2;
+  expect_identical_at_all_thread_counts(config, trace);
+}
+
+TEST(ShardedEngine, SmallQueueCapacityOnlyChangesScheduling) {
+  const ProgramTrace trace = generate_app(AppKind::kMp3d, 8, 16, 19, 0.05);
+  EngineConfig engine;
+  engine.shard_queue_capacity = 2;  // pathologically tight lookahead window
+  expect_identical_at_all_thread_counts(machine(8, SchemeConfig::full(8)),
+                                        trace, engine, {2, 4});
+}
+
+TEST(ShardedEngine, SciSystemRunsShardedToo) {
+  const ProgramTrace trace = generate_app(AppKind::kMp3d, 8, 16, 13, 0.05);
+  SciConfig config;
+  config.num_procs = 8;
+  config.cache_lines_per_proc = 64;
+  config.cache_assoc = 4;
+
+  SciSystem serial_system(config);
+  Engine serial(serial_system, trace);
+  const std::string expected = fingerprint(serial.run());
+  for (const int threads : {2, 4}) {
+    SciSystem system(config);
+    EngineConfig engine_config;
+    engine_config.engine_threads = threads;
+    ShardedEngine sharded(system, trace, engine_config);
+    EXPECT_EQ(expected, fingerprint(sharded.run()))
+        << "engine_threads=" << threads;
+  }
+}
+
+TEST(ShardedEngine, StreamingSourceMatchesSerial) {
+  const SystemConfig config = machine(8, SchemeConfig::full(8));
+  const auto run_with = [&config](int threads) {
+    const auto source =
+        make_datacenter_source(DatacenterKind::kKv, 8, 16, 48, 7, 0.5);
+    CoherenceSystem system(config);
+    EngineConfig engine_config;
+    engine_config.engine_threads = threads;
+    ShardedEngine engine(system, *source, engine_config);
+    return fingerprint(engine.run());
+  };
+  const std::string expected = run_with(1);
+  EXPECT_EQ(expected, run_with(2));
+  EXPECT_EQ(expected, run_with(4));
+}
+
+TEST(ShardedEngine, ThreadCountBeyondClustersClamps) {
+  const ProgramTrace trace = generate_app(AppKind::kMp3d, 8, 16, 5, 0.05);
+  CoherenceSystem serial_system(machine(8, SchemeConfig::full(8)));
+  Engine serial(serial_system, trace);
+  const std::string expected = fingerprint(serial.run());
+
+  CoherenceSystem system(machine(8, SchemeConfig::full(8)));
+  EngineConfig engine_config;
+  engine_config.engine_threads = 64;  // far beyond the 8 clusters
+  ShardedEngine sharded(system, trace, engine_config);
+  EXPECT_EQ(expected, fingerprint(sharded.run()));
+  EXPECT_LE(sharded.shards_used(), 8);
+  EXPECT_GE(sharded.shards_used(), 1);
+}
+
+TEST(ShardedEngine, TelemetryAccountsEveryForwardedEvent) {
+  const ProgramTrace trace = generate_app(AppKind::kMp3d, 8, 16, 5, 0.05);
+  CoherenceSystem system(machine(8, SchemeConfig::full(8)));
+  EngineConfig engine_config;
+  engine_config.engine_threads = 4;
+  ShardedEngine sharded(system, trace, engine_config);
+  (void)sharded.run();
+  EXPECT_EQ(sharded.telemetry().events_forwarded, trace.total_events());
+  EXPECT_EQ(sharded.telemetry().shards, sharded.shards_used());
+  EXPECT_GE(sharded.telemetry().fetch_threads, 1);
+}
+
+TEST(ShardedEngine, SerialDelegationSpawnsNoShards) {
+  const ProgramTrace trace = generate_app(AppKind::kMp3d, 4, 16, 5, 0.05);
+  CoherenceSystem system(machine(4, SchemeConfig::full(4)));
+  ShardedEngine engine(system, trace);
+  (void)engine.run();
+  EXPECT_EQ(engine.shards_used(), 0);
+  EXPECT_EQ(engine.telemetry().fetch_threads, 0);
+}
+
+TEST(ShardedEngine, CheckerHaltPropagatesIdentically) {
+  if (!check::compiled()) {
+    GTEST_SKIP() << "DIRCC_CHECK=0";
+  }
+  const ProgramTrace trace = generate_app(AppKind::kMp3d, 8, 16, 5, 0.05);
+  SystemConfig config = machine(8, SchemeConfig::full(8));
+  config.validate = false;  // the oracle, not the protocol assert, detects
+  config.fault.kind = check::FaultKind::kForgetSharer;
+  config.fault.trigger = 50;
+
+  const auto run_with = [&](int threads, bool& halted,
+                            check::CheckReport& report) {
+    CoherenceSystem system(config);
+    check::InvariantChecker checker(system);
+    EngineConfig engine_config;
+    engine_config.engine_threads = threads;
+    ShardedEngine engine(system, trace, engine_config, nullptr, &checker);
+    const RunResult result = engine.run();
+    halted = engine.halted_by_checker();
+    report = checker.finish(halted);
+    return fingerprint(result);
+  };
+
+  bool serial_halted = false;
+  check::CheckReport serial_report;
+  const std::string expected = run_with(1, serial_halted, serial_report);
+  ASSERT_TRUE(serial_halted) << "the seeded fault must halt the run";
+  for (const int threads : {2, 4}) {
+    bool halted = false;
+    check::CheckReport report;
+    EXPECT_EQ(expected, run_with(threads, halted, report))
+        << "engine_threads=" << threads;
+    EXPECT_EQ(halted, serial_halted);
+    EXPECT_EQ(report.accesses_observed, serial_report.accesses_observed);
+    EXPECT_EQ(report.violations.size(), serial_report.violations.size());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// SweepRunner: the two parallelism levels compose without oversubscription
+// ---------------------------------------------------------------------------
+
+std::vector<harness::SweepCell> small_grid(int engine_threads) {
+  std::vector<harness::SweepCell> cells;
+  for (int i = 0; i < 4; ++i) {
+    harness::SweepCell cell;
+    cell.key = "cell" + std::to_string(i);
+    cell.trace = harness::app_trace(AppKind::kMp3d, 8, 16, 5, 0.05);
+    cell.system = machine(8, SchemeConfig::full(8));
+    cell.engine.engine_threads = engine_threads;
+    cells.push_back(std::move(cell));
+  }
+  return cells;
+}
+
+TEST(SweepRunner, CapsThePoolWhenCellsRunSharded) {
+  // Request engine threads at 2x the host's cores: cells x engine threads
+  // would oversubscribe, so the runner must shrink its pool to 1.
+  const int host = std::max(
+      1, static_cast<int>(std::thread::hardware_concurrency()));
+  harness::SweepRunner runner(4);
+  const auto results = runner.run(small_grid(2 * host));
+  EXPECT_EQ(runner.telemetry().threads_used, 1);
+  ASSERT_EQ(results.size(), 4u);
+}
+
+TEST(SweepRunner, ShardedCellsMatchSerialCells) {
+  harness::SweepRunner serial_runner(2);
+  const auto serial = serial_runner.run(small_grid(1));
+  harness::SweepRunner sharded_runner(2);
+  const auto sharded = sharded_runner.run(small_grid(3));
+  ASSERT_EQ(serial.size(), sharded.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(fingerprint(serial[i].result), fingerprint(sharded[i].result))
+        << serial[i].key;
+  }
+}
+
+TEST(SweepRunner, SerialCellsKeepTheFullPool) {
+  harness::SweepRunner runner(2);
+  const auto results = runner.run(small_grid(1));
+  EXPECT_EQ(runner.telemetry().threads_used,
+            std::min(2, static_cast<int>(results.size())));
+}
+
+}  // namespace
+}  // namespace dircc

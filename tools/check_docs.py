@@ -22,10 +22,10 @@ REPO = pathlib.Path(__file__).resolve().parent.parent
 LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
 SKIP_DIRS = {".git", "build", "build-nocheck", "build-noobs", ".github"}
 
-# The eight flags every sweep-harness-backed binary shares (README.md and
+# The nine flags every sweep-harness-backed binary shares (README.md and
 # docs/HARNESS.md both table them).
 SHARED_FLAGS = ["threads", "json", "omit-timing", "progress", "trace-out",
-                "metrics", "attrib-out", "backend"]
+                "metrics", "attrib-out", "backend", "engine-threads"]
 SWEEP_BINARIES = ["sweep_grid", "datacenter_sweep", "fig07_10_schemes",
                   "fig11_12_sparse", "fig13_assoc", "scale_study",
                   "fuzz_coherence", "hotspot_report"]
@@ -55,7 +55,19 @@ DOCUMENTED_FLAGS = {
     # sweep flags — only its own, tabled in docs/PERFORMANCE.md.
     "perf_suite": ("docs/PERFORMANCE.md",
                    ["matrix", "reps", "scale", "seed", "out", "baseline",
-                    "list", "progress", "obs-overhead"]),
+                    "list", "progress", "obs-overhead", "threads-axis"]),
+}
+
+# Cross-document wiring that the link check alone cannot see: each listed
+# document must contain every listed substring. Keeps the concurrency doc
+# suite (docs/PARALLELISM.md) reachable from the places readers start at.
+REQUIRED_MENTIONS = {
+    "README.md": ["--engine-threads", "docs/PARALLELISM.md"],
+    "docs/HARNESS.md": ["--engine-threads", "PARALLELISM.md"],
+    "docs/ARCHITECTURE.md": ["PARALLELISM.md", "sharded_engine"],
+    "docs/PERFORMANCE.md": ["--threads-axis", "PARALLELISM.md"],
+    "docs/PARALLELISM.md": ["--engine-threads", "determinism",
+                            "shard_queue_capacity"],
 }
 
 
@@ -82,6 +94,20 @@ def check_links():
             if not resolved.exists():
                 errors.append(f"{path.relative_to(REPO)}: broken link "
                               f"-> {match.group(1)}")
+    return errors
+
+
+def check_mentions():
+    errors = []
+    for doc, needles in REQUIRED_MENTIONS.items():
+        path = REPO / doc
+        if not path.exists():
+            errors.append(f"{doc}: required document is missing")
+            continue
+        text = path.read_text(encoding="utf-8")
+        for needle in needles:
+            if needle not in text:
+                errors.append(f"{doc}: expected to mention '{needle}'")
     return errors
 
 
@@ -133,7 +159,7 @@ def main():
                         help="skip the flag-vs---help checks")
     args = parser.parse_args()
 
-    errors = check_links()
+    errors = check_links() + check_mentions()
     if not args.links_only:
         errors += check_flags(REPO / args.build_dir)
     for error in errors:
@@ -141,7 +167,8 @@ def main():
     if errors:
         print(f"{len(errors)} documentation problem(s)", file=sys.stderr)
         return 1
-    print("docs OK: links resolve, documented flags match --help")
+    print("docs OK: links resolve, required mentions present, "
+          "documented flags match --help")
     return 0
 
 
