@@ -128,6 +128,13 @@ struct HarnessOptions {
   std::string metrics_path;  ///< metrics+telemetry doc; "-" = stdout
   std::string attrib_out;    ///< directory for per-cell latency attribution
   BackendKind backend = BackendKind::kAnalytic;  ///< latency backend
+  // Two-level hierarchy flag family (docs/HIERARCHY.md); chips == 1 keeps
+  // every harness on the flat machine exactly as before.
+  int chips = 1;
+  std::string inter_scheme = "full";
+  std::string intra_scheme = "full";
+  std::uint64_t inter_sparse_entries = 0;  ///< per home cluster; 0 = dense
+  std::uint64_t intra_sparse_entries = 0;  ///< per chip; 0 = dense
 };
 
 /// Parses a --backend value; exits with a usage error on anything other
@@ -145,6 +152,40 @@ inline BackendKind parse_backend(const std::string& name) {
 }
 
 /// Registers the shared observability options on an existing parser, so
+/// Registers the shared two-level-hierarchy flag family
+/// (docs/HIERARCHY.md) on an existing parser. Split from
+/// add_harness_options so sweep_grid (which registers the other shared
+/// flags itself for different defaults) exposes the identical family.
+inline void add_hierarchy_options(CliParser& cli) {
+  cli.add_option("chips", "1",
+                 "chips of the two-level hierarchy (must divide the cluster "
+                 "count; 1 = the flat machine, docs/HIERARCHY.md)");
+  cli.add_option("inter-scheme", "full",
+                 "inter-chip directory scheme over chips (full, cv, b, nb); "
+                 "meaningful with --chips > 1");
+  cli.add_option("intra-scheme", "full",
+                 "intra-chip directory scheme over a chip's clusters "
+                 "(full, cv, b, nb); meaningful with --chips > 1");
+  cli.add_option("inter-sparse-entries", "0",
+                 "sparse inter-chip directory entries per home cluster "
+                 "(0 = dense full map)");
+  cli.add_option("intra-sparse-entries", "0",
+                 "sparse intra-chip directory entries per chip "
+                 "(0 = dense full map)");
+}
+
+/// Reads the hierarchy flag family back into `options`.
+inline void read_hierarchy_options(const CliParser& cli,
+                                   HarnessOptions& options) {
+  options.chips = static_cast<int>(cli.get_int("chips"));
+  options.inter_scheme = cli.get("inter-scheme");
+  options.intra_scheme = cli.get("intra-scheme");
+  options.inter_sparse_entries =
+      static_cast<std::uint64_t>(cli.get_int("inter-sparse-entries"));
+  options.intra_sparse_entries =
+      static_cast<std::uint64_t>(cli.get_int("intra-sparse-entries"));
+}
+
 /// sweep_grid (which has its own grid options) and the figure binaries
 /// expose identical flags.
 inline void add_harness_options(CliParser& cli) {
@@ -170,6 +211,7 @@ inline void add_harness_options(CliParser& cli) {
                  "latency backend: 'analytic' (paper-faithful closed-form, "
                  "the default) or 'queued' (per-link/per-home FIFO "
                  "contention)");
+  add_hierarchy_options(cli);
 }
 
 /// Reads the shared observability options back out of a parsed parser.
@@ -185,6 +227,7 @@ inline HarnessOptions read_harness_options(const CliParser& cli) {
   options.metrics_path = cli.get("metrics");
   options.attrib_out = cli.get("attrib-out");
   options.backend = parse_backend(cli.get("backend"));
+  read_hierarchy_options(cli, options);
   return options;
 }
 
@@ -223,6 +266,62 @@ inline void apply_backend(std::vector<harness::SweepCell>& cells,
                           const HarnessOptions& options) {
   for (harness::SweepCell& cell : cells) {
     cell.system.backend = options.backend;
+  }
+}
+
+/// Directory scheme for one hierarchy level, by the same names the flat
+/// harnesses use, instantiated over `nodes` (chips for the inter level, a
+/// chip's clusters for the intra level).
+inline SchemeConfig parse_level_scheme(const std::string& name, int nodes) {
+  if (name == "full") {
+    return SchemeConfig::full(nodes);
+  }
+  if (name == "cv") {
+    return SchemeConfig::coarse(nodes, 3, 2);
+  }
+  if (name == "b") {
+    return SchemeConfig::broadcast(nodes, 3);
+  }
+  if (name == "nb") {
+    return SchemeConfig::no_broadcast(nodes, 3);
+  }
+  ensure(false, "unknown level scheme (expected full, cv, b or nb)");
+  return SchemeConfig::full(nodes);
+}
+
+/// Applies the --chips / --inter-scheme / --intra-scheme /
+/// --*-sparse-entries family to one machine configuration. A no-op at
+/// --chips 1, so every harness output stays byte-identical to the flat
+/// binaries unless the hierarchy is explicitly requested.
+inline void apply_hierarchy(SystemConfig& system,
+                            const HarnessOptions& options) {
+  if (options.chips <= 1) {
+    return;
+  }
+  const int clusters = system.num_clusters();
+  ensure(clusters % options.chips == 0,
+         "--chips must divide the machine's cluster count");
+  HierarchyConfig hierarchy;
+  hierarchy.chips = options.chips;
+  hierarchy.inter = parse_level_scheme(options.inter_scheme, options.chips);
+  hierarchy.intra =
+      parse_level_scheme(options.intra_scheme, clusters / options.chips);
+  if (options.inter_sparse_entries > 0) {
+    hierarchy.inter_store.sparse = true;
+    hierarchy.inter_store.sparse_entries = options.inter_sparse_entries;
+  }
+  if (options.intra_sparse_entries > 0) {
+    hierarchy.intra_store.sparse = true;
+    hierarchy.intra_store.sparse_entries = options.intra_sparse_entries;
+  }
+  system.hierarchy = hierarchy;
+}
+
+/// The sweep-cell form of apply_hierarchy, matching the other apply passes.
+inline void apply_hierarchy(std::vector<harness::SweepCell>& cells,
+                            const HarnessOptions& options) {
+  for (harness::SweepCell& cell : cells) {
+    apply_hierarchy(cell.system, options);
   }
 }
 

@@ -164,6 +164,7 @@ int run_main(int argc, char** argv) {
     cells.push_back(dc.cell);
   }
   apply_backend(cells, options);
+  apply_hierarchy(cells, options);
   apply_engine_threads(cells, options);
 
   harness::SweepRunner runner(options.threads);

@@ -112,6 +112,7 @@ int main(int argc, char** argv) {
       panel_cells("fig12", harness::dwf_trace(dwf), 96);
   cells.insert(cells.end(), dwf_cells.begin(), dwf_cells.end());
   apply_backend(cells, options);
+  apply_hierarchy(cells, options);
   apply_engine_threads(cells, options);
 
   harness::SweepRunner runner(options.threads);

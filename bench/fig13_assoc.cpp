@@ -51,6 +51,7 @@ int main(int argc, char** argv) {
     }
   }
   apply_backend(cells, options);
+  apply_hierarchy(cells, options);
   apply_engine_threads(cells, options);
 
   harness::SweepRunner runner(options.threads);

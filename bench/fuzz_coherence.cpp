@@ -3,11 +3,13 @@
 // Sweeps adversarial synthetic traces (hot-block contention, false
 // sharing, lock/barrier storms, eviction pressure sized to force sparse
 // victimization and pointer overflow) over a seed x scheme x configuration
-// grid, with the invariant oracle attached to every cell. Three fault
+// grid, with the invariant oracle attached to every cell. Four fault
 // modes seed deliberate protocol mutations — forget a sharer, lose an
-// invalidation, drop a sparse-victim writeback — to prove the oracle
-// catches real coherence bugs; `--faults none` cells must stay clean, and
-// any violation there is a genuine protocol bug.
+// invalidation, drop a sparse-victim writeback, and (with --chips > 1)
+// forget an inter-chip sharer — to prove the oracle catches real coherence
+// bugs; `--faults none` cells must stay clean, and any violation there is
+// a genuine protocol bug. --chips > 1 fuzzes the two-level machine
+// (docs/HIERARCHY.md) with the cross-level invariants audited.
 //
 // A failing cell can be delta-debugged to a minimal trace (--minimize) and
 // dumped as a replayable trace file plus an event timeline of the final
@@ -70,8 +72,13 @@ check::FaultKind fault_by_name(const std::string& name) {
   if (name == "writeback") {
     return check::FaultKind::kDropVictimWriteback;
   }
+  if (name == "chip-sharer") {
+    // Two-level machines only (--chips > 1): the inter-chip directory
+    // drops an add-chip. Never fires on a flat machine.
+    return check::FaultKind::kForgetChipSharer;
+  }
   std::cerr << "unknown fault '" << name
-            << "' (none, sharer, inval, writeback)\n";
+            << "' (none, sharer, inval, writeback, chip-sharer)\n";
   std::exit(2);
 }
 
@@ -102,7 +109,8 @@ FuzzFlags parse_flags(int argc, const char* const* argv) {
   cli.add_option("schemes", "full,cv,b,nb",
                  "directory schemes to fuzz (full,cv,b,nb)");
   cli.add_option("faults", "none,sharer,inval,writeback",
-                 "seeded protocol mutations (none,sharer,inval,writeback)");
+                 "seeded protocol mutations (none,sharer,inval,writeback; "
+                 "chip-sharer needs --chips > 1)");
   cli.add_option("sparse-entries", "0,8",
                  "sparse directory entries per home cluster (0 = full "
                  "directory); undersize it so victimization happens");
@@ -210,6 +218,9 @@ SystemConfig system_config(const FuzzFlags& flags, const std::string& scheme,
   config.fault.kind = fault;
   config.fault.trigger = flags.fault_trigger;
   config.seed = harness::cell_seed(flags.seed_base, key);
+  // --chips > 1 fuzzes the two-level machine (the chip-sharer fault only
+  // has a site there); the oracle audits the cross-level invariants too.
+  apply_hierarchy(config, flags.harness);
   return config;
 }
 

@@ -141,6 +141,7 @@ int run_main(int argc, char** argv) {
 
   HarnessOptions options = read_harness_options(cli);
   apply_backend(cells, options);
+  apply_hierarchy(cells, options);
   apply_engine_threads(cells, options);
 
   harness::SweepOptions sweep = sweep_options(options);

@@ -1,18 +1,26 @@
 // Scale study: the paper's motivating claim — "a combination of the two
 // techniques presented will allow machines to be scaled to hundreds of
 // processors while keeping the directory memory overhead reasonable"
-// (Section 8).
+// (Section 8) — extended one level up (docs/HIERARCHY.md).
 //
-// Sweeps the machine from 16 to 256 clusters, comparing the full bit
-// vector's quadratic directory growth against sparse coarse-vector
-// directories (constant ~13% overhead), and running MP3D at every size to
-// show the coarse vector's traffic staying within a whisker of the full
-// vector's as the machine grows.
+// Sweeps the machine from 32 to 1024 processors and compares three
+// organizations at every size:
 //
-// The ten simulation cells (five machine sizes x {full, coarse vector})
-// run concurrently on the sweep harness; the storage-model arithmetic is
-// computed inline while printing.
+//   flat-full   the flat full-bit-vector directory (quadratic state);
+//   two-level   the composable hierarchy: a sparse coarse-vector
+//               inter-chip directory at the homes over a full-map
+//               intra-chip directory per chip;
+//   dls         the directoryless Dir0B baseline: zero directory storage,
+//               coherence by broadcast (the traffic floor storage buys).
+//
+// Every size runs MP3D through the simulator under the selected backend
+// (--backend analytic|queued) while the storage model prices each
+// organization per level; --curve-json writes the machine-readable scaling
+// curve the CI hierarchy-smoke job schema-checks. The 512- and
+// 1024-processor points pack 2 and 4 processors per cluster so the
+// machine stays within the 256-cluster mesh.
 #include <iostream>
+#include <sstream>
 
 #include "bench_common.hpp"
 #include "model/storage_model.hpp"
@@ -22,92 +30,352 @@ namespace {
 using namespace dircc;
 using namespace dircc::bench;
 
-constexpr int kClusterCounts[] = {16, 32, 64, 128, 256};
-
-SchemeConfig cv_scheme_for(int clusters) {
-  // Size the coarse vector like the paper: ~2 bytes of pointer state.
-  const int pointers = clusters <= 32 ? 3 : 8;
-  const int region = clusters <= 32 ? 2 : clusters / 64 * 4;
-  return SchemeConfig::coarse(clusters, pointers, region < 2 ? 2 : region);
+std::vector<std::string> split_list(const std::string& text) {
+  std::vector<std::string> out;
+  std::istringstream in(text);
+  std::string item;
+  while (std::getline(in, item, ',')) {
+    if (!item.empty()) {
+      out.push_back(item);
+    }
+  }
+  return out;
 }
 
-SystemConfig scale_machine(int clusters, SchemeConfig scheme) {
+struct SizePoint {
+  int procs = 0;
+  int procs_per_cluster = 1;
+  int clusters = 0;
+  int chips = 0;
+};
+
+struct ScaleFlags {
+  HarnessOptions harness;
+  std::vector<int> procs;
+  double scale = 0.25;
+  int clusters_per_chip = 8;
+  int sparse_factor = 4;  ///< sparse inter entries per total cache line
+  std::string curve_json;
+};
+
+ScaleFlags parse_flags(int argc, const char* const* argv) {
+  CliParser cli;
+  cli.add_option("procs", "32,64,128,256,512,1024",
+                 "comma-separated machine sizes in processors (sizes above "
+                 "256 pack multiple processors per cluster)");
+  cli.add_option("scale", "0.25", "MP3D problem scale per point (0..1]");
+  cli.add_option("clusters-per-chip", "8",
+                 "clusters per chip of the two-level organization (must "
+                 "divide every machine's cluster count; --chips > 1 "
+                 "overrides the chip count at every size instead)");
+  cli.add_option("sparse-factor", "4",
+                 "sparse inter-chip directory size as a multiple of the "
+                 "machine's total cache lines");
+  cli.add_option("curve-json", "",
+                 "write the machine-readable scaling curve here "
+                 "('-' = stdout)");
+  add_harness_options(cli);
+  // The study's headline two-level organization is the paper's sparse
+  // coarse-vector at the inter-chip level (Dir_iCV_r over a sparse store);
+  // --inter-scheme still overrides it.
+  cli.set_default("inter-scheme", "cv");
+  if (!cli.parse(argc, argv)) {
+    std::cerr << cli.error() << "\n" << cli.usage(argv[0]);
+    std::exit(2);
+  }
+  if (cli.help_requested()) {
+    std::cout << cli.usage(argv[0]);
+    std::exit(0);
+  }
+  ScaleFlags flags;
+  flags.harness = read_harness_options(cli);
+  for (const std::string& token : split_list(cli.get("procs"))) {
+    flags.procs.push_back(
+        static_cast<int>(parse_int_token("procs", token)));
+  }
+  flags.scale = cli.get_double("scale");
+  flags.clusters_per_chip =
+      static_cast<int>(cli.get_int("clusters-per-chip"));
+  flags.sparse_factor = static_cast<int>(cli.get_int("sparse-factor"));
+  flags.curve_json = cli.get("curve-json");
+  ensure(!flags.procs.empty(), "--procs must name at least one size");
+  ensure(flags.scale > 0.0 && flags.scale <= 1.0,
+         "--scale must be in (0, 1]");
+  ensure(flags.clusters_per_chip >= 2,
+         "--clusters-per-chip must be at least 2");
+  return flags;
+}
+
+SizePoint size_point(const ScaleFlags& flags, int procs) {
+  SizePoint point;
+  point.procs = procs;
+  // Stay within the 256-cluster mesh by packing processors per cluster.
+  point.procs_per_cluster = procs <= 256 ? 1 : procs / 256;
+  ensure(procs % point.procs_per_cluster == 0,
+         "machine size must be a multiple of its cluster packing");
+  point.clusters = procs / point.procs_per_cluster;
+  point.chips = flags.harness.chips > 1 ? flags.harness.chips
+                                        : point.clusters /
+                                              flags.clusters_per_chip;
+  ensure(point.chips >= 2 && point.clusters % point.chips == 0,
+         "chips must divide the cluster count (adjust --clusters-per-chip "
+         "or --procs)");
+  return point;
+}
+
+SystemConfig base_machine(const SizePoint& point) {
   SystemConfig config;
-  config.num_procs = clusters;
+  config.num_procs = point.procs;
+  config.procs_per_cluster = point.procs_per_cluster;
   config.cache_lines_per_proc = 256;
   config.cache_assoc = 4;
-  config.scheme = scheme;
+  config.block_size = kBlockSize;
+  config.seed = kSeed;
   return config;
+}
+
+/// Sparse inter-chip entries per home cluster, mirroring make_sparse().
+std::uint64_t inter_sparse_entries(const ScaleFlags& flags,
+                                   const SizePoint& point) {
+  const std::uint64_t total_cache_lines =
+      256ULL * static_cast<std::uint64_t>(point.procs);
+  std::uint64_t per_home = total_cache_lines *
+                           static_cast<std::uint64_t>(flags.sparse_factor) /
+                           static_cast<std::uint64_t>(point.clusters);
+  per_home = ceil_div(per_home, 4ULL) * 4ULL;
+  return per_home;
+}
+
+/// The three simulated organizations, in cell order per size point.
+constexpr const char* kOrgNames[] = {"flat-full", "two-level", "dls"};
+
+SystemConfig org_machine(const ScaleFlags& flags, const SizePoint& point,
+                         int org) {
+  SystemConfig config = base_machine(point);
+  switch (org) {
+    case 0:  // flat full bit vector, dense store
+      config.scheme = SchemeConfig::full(point.clusters);
+      break;
+    case 1: {  // two-level: sparse CV inter-chip over full-map intra-chip
+      config.scheme = SchemeConfig::full(point.clusters);  // ignored
+      config.hierarchy.chips = point.chips;
+      config.hierarchy.inter =
+          parse_level_scheme(flags.harness.inter_scheme, point.chips);
+      config.hierarchy.intra = parse_level_scheme(
+          flags.harness.intra_scheme, point.clusters / point.chips);
+      config.hierarchy.inter_store.sparse = true;
+      config.hierarchy.inter_store.sparse_entries =
+          flags.harness.inter_sparse_entries > 0
+              ? flags.harness.inter_sparse_entries
+              : inter_sparse_entries(flags, point);
+      if (flags.harness.intra_sparse_entries > 0) {
+        config.hierarchy.intra_store.sparse = true;
+        config.hierarchy.intra_store.sparse_entries =
+            flags.harness.intra_sparse_entries;
+      }
+      break;
+    }
+    case 2:  // directoryless: Dir0B broadcasts to everyone on every write
+      config.scheme = SchemeConfig::broadcast(point.clusters, 0);
+      break;
+    default:
+      ensure(false, "unknown organization");
+  }
+  return config;
+}
+
+/// Storage accounting for one organization at one size (bits and fraction
+/// of main memory; 4 processors per cluster, 16 MB + 256 KB per processor
+/// as in Table 1).
+struct StorageRow {
+  std::uint64_t bits = 0;
+  std::uint64_t inter_bits = 0;  ///< two-level only
+  std::uint64_t intra_bits = 0;  ///< two-level only
+  double fraction = 0.0;
+};
+
+StorageRow storage_row(const ScaleFlags& flags, const SizePoint& point,
+                       int org) {
+  MachineModel machine;
+  machine.processors = point.procs;
+  machine.procs_per_cluster = point.procs_per_cluster;
+  StorageRow row;
+  switch (org) {
+    case 0: {
+      machine.scheme = SchemeConfig::full(point.clusters);
+      row.bits = machine.directory_bits();
+      row.fraction = machine.overhead_fraction();
+      break;
+    }
+    case 1: {
+      HierStorageModel hier;
+      hier.machine = machine;
+      hier.chips = point.chips;
+      hier.inter =
+          parse_level_scheme(flags.harness.inter_scheme, point.chips);
+      hier.inter_sparsity = 64;  // Section 6's sparse operating point
+      hier.intra = parse_level_scheme(flags.harness.intra_scheme,
+                                      point.clusters / point.chips);
+      row.bits = hier.total_bits();
+      row.inter_bits = hier.inter_bits();
+      row.intra_bits = hier.intra_bits();
+      row.fraction = hier.overhead_fraction();
+      break;
+    }
+    case 2:
+      row.bits = dls_directory_bits();
+      row.fraction = 0.0;
+      break;
+    default:
+      ensure(false, "unknown organization");
+  }
+  return row;
+}
+
+void emit_curve(const ScaleFlags& flags,
+                const std::vector<SizePoint>& points,
+                const std::vector<harness::CellResult>& results,
+                std::ostream& out) {
+  JsonWriter json(out);
+  json.begin_object();
+  json.field("study", "scale_hierarchy");
+  json.field("app", "mp3d");
+  json.field("block_size", static_cast<std::uint64_t>(kBlockSize));
+  json.field("scale", flags.scale);
+  json.field("backend", flags.harness.backend == BackendKind::kQueued
+                            ? "queued"
+                            : "analytic");
+  json.key("points");
+  json.begin_array();
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const SizePoint& point = points[i];
+    json.begin_object();
+    json.field("procs", static_cast<std::uint64_t>(point.procs));
+    json.field("procs_per_cluster",
+               static_cast<std::uint64_t>(point.procs_per_cluster));
+    json.field("clusters", static_cast<std::uint64_t>(point.clusters));
+    json.field("chips", static_cast<std::uint64_t>(point.chips));
+    json.key("organizations");
+    json.begin_object();
+    for (int org = 0; org < 3; ++org) {
+      const RunResult& run = results[i * 3 + org].result;
+      const StorageRow storage = storage_row(flags, point, org);
+      json.key(kOrgNames[org]);
+      json.begin_object();
+      json.field("directory_bits", storage.bits);
+      json.field("overhead_fraction", storage.fraction);
+      if (org == 1) {
+        json.field("inter_bits", storage.inter_bits);
+        json.field("intra_bits", storage.intra_bits);
+        json.field("chip_messages", run.protocol.chip_messages.total());
+        json.field("chip_local_transactions",
+                   run.protocol.chip_local_transactions);
+      }
+      json.field("messages", run.protocol.messages.total());
+      json.field("mean_invals", run.protocol.inval_distribution.mean());
+      json.field("exec_cycles", run.exec_cycles);
+      json.end_object();
+    }
+    json.end_object();
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+  out << '\n';
+}
+
+int run_main(int argc, char** argv) {
+  const ScaleFlags flags = parse_flags(argc, argv);
+
+  std::vector<SizePoint> points;
+  std::vector<harness::SweepCell> cells;
+  for (const int procs : flags.procs) {
+    const SizePoint point = size_point(flags, procs);
+    points.push_back(point);
+    const harness::TraceSpec trace = harness::app_trace(
+        AppKind::kMp3d, procs, kBlockSize, kSeed, flags.scale);
+    for (int org = 0; org < 3; ++org) {
+      harness::SweepCell cell;
+      cell.key = "scale/procs=" + std::to_string(procs) +
+                 "/org=" + kOrgNames[org];
+      cell.fields = {{"procs", std::to_string(procs)},
+                     {"clusters", std::to_string(point.clusters)},
+                     {"chips", std::to_string(point.chips)},
+                     {"org", kOrgNames[org]}};
+      cell.trace = trace;
+      cell.system = org_machine(flags, point, org);
+      cells.push_back(std::move(cell));
+    }
+  }
+  apply_backend(cells, flags.harness);
+  apply_engine_threads(cells, flags.harness);
+
+  harness::SweepRunner runner(flags.harness.threads);
+  const std::vector<harness::CellResult> results =
+      runner.run(cells, sweep_options(flags.harness));
+
+  std::cout << "Scale study: flat full-map vs two-level "
+               "(inter=" << flags.harness.inter_scheme
+            << " over sparse, intra=" << flags.harness.intra_scheme
+            << ") vs directoryless, MP3D\n\n";
+  TextTable table;
+  table.header({"procs", "clusters", "chips", "flat ovh", "2L ovh",
+                "2L inter/intra", "2L msgs vs flat", "chip msgs share",
+                "chip-local txns", "DLS msgs vs flat"});
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const SizePoint& point = points[i];
+    const RunResult& flat = results[i * 3 + 0].result;
+    const RunResult& hier = results[i * 3 + 1].result;
+    const RunResult& dls = results[i * 3 + 2].result;
+    const StorageRow flat_storage = storage_row(flags, point, 0);
+    const StorageRow hier_storage = storage_row(flags, point, 1);
+    const double chip_share =
+        hier.protocol.messages.total() == 0
+            ? 0.0
+            : 100.0 *
+                  static_cast<double>(hier.protocol.chip_messages.total()) /
+                  static_cast<double>(hier.protocol.messages.total());
+    table.row(
+        {std::to_string(point.procs), std::to_string(point.clusters),
+         std::to_string(point.chips),
+         fmt(flat_storage.fraction * 100, 1) + "%",
+         fmt(hier_storage.fraction * 100, 1) + "%",
+         fmt(static_cast<double>(hier_storage.inter_bits) / (1 << 20), 1) +
+             "/" +
+             fmt(static_cast<double>(hier_storage.intra_bits) / (1 << 20),
+                 1) +
+             " Mb",
+         pct(hier.protocol.messages.total(),
+             flat.protocol.messages.total()),
+         fmt(chip_share, 1) + "%",
+         std::to_string(hier.protocol.chip_local_transactions),
+         pct(dls.protocol.messages.total(),
+             flat.protocol.messages.total())});
+  }
+  table.print(std::cout);
+  std::cout
+      << "\nThe flat full map's overhead grows with the cluster count; the "
+         "two-level\norganization prices sharer state per chip at the homes "
+         "(plus cache-sized\nintra-chip maps) and keeps most coherence "
+         "traffic on chip, while the\ndirectoryless baseline pays for its "
+         "zero storage in broadcast traffic.\n";
+
+  if (!flags.curve_json.empty()) {
+    if (flags.curve_json == "-") {
+      emit_curve(flags, points, results, std::cout);
+    } else {
+      std::ofstream out(flags.curve_json);
+      ensure(static_cast<bool>(out), "cannot open the --curve-json path");
+      emit_curve(flags, points, results, out);
+    }
+  }
+
+  emit_outputs(flags.harness, runner, results);
+  return 0;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  const HarnessOptions options = parse_harness_options(argc, argv);
-
-  std::vector<harness::SweepCell> cells;
-  for (int clusters : kClusterCounts) {
-    // Traffic: MP3D with one processor per cluster at every size.
-    const harness::TraceSpec trace =
-        harness::app_trace(AppKind::kMp3d, clusters, kBlockSize, kSeed, 0.25);
-    const SchemeConfig schemes[] = {SchemeConfig::full(clusters),
-                                    cv_scheme_for(clusters)};
-    for (const SchemeConfig& scheme : schemes) {
-      const std::string scheme_name = make_format(scheme)->name();
-      harness::SweepCell cell;
-      cell.key = "scale/clusters=" + std::to_string(clusters) +
-                 "/scheme=" + scheme_name;
-      cell.fields = {{"clusters", std::to_string(clusters)},
-                     {"scheme", scheme_name}};
-      cell.trace = trace;
-      cell.system = scale_machine(clusters, scheme);
-      cells.push_back(std::move(cell));
-    }
-  }
-  apply_backend(cells, options);
-  apply_engine_threads(cells, options);
-
-  harness::SweepRunner runner(options.threads);
-  const std::vector<harness::CellResult> results =
-      runner.run(cells, sweep_options(options));
-
-  std::cout << "Scale study: directory overhead and traffic, 16 to 256 "
-               "clusters\n\n";
-  TextTable table;
-  table.header({"clusters", "Dir_P overhead", "sparse(4) CV overhead",
-                "CV scheme", "MP3D msgs vs full", "mean invals (full)",
-                "mean invals (CV)"});
-  for (std::size_t c = 0; c < std::size(kClusterCounts); ++c) {
-    const int clusters = kClusterCounts[c];
-    // Storage: 4 processors per cluster, 16 MB / 256 KB per processor.
-    MachineModel full;
-    full.processors = clusters * 4;
-    full.procs_per_cluster = 4;
-    full.scheme = SchemeConfig::full(clusters);
-
-    const SchemeConfig cv_scheme = cv_scheme_for(clusters);
-    MachineModel cv = full;
-    cv.scheme = cv_scheme;
-    cv.sparsity = 4;
-
-    const RunResult& full_run = results[c * 2].result;
-    const RunResult& cv_run = results[c * 2 + 1].result;
-
-    table.row({std::to_string(clusters),
-               fmt(full.overhead_fraction() * 100, 1) + "%",
-               fmt(cv.overhead_fraction() * 100, 1) + "%",
-               make_format(cv_scheme)->name(),
-               pct(cv_run.protocol.messages.total(),
-                   full_run.protocol.messages.total()),
-               fmt(full_run.protocol.inval_distribution.mean(), 2),
-               fmt(cv_run.protocol.inval_distribution.mean(), 2)});
-  }
-  table.print(std::cout);
-  std::cout << "\nThe full vector's overhead grows linearly in cluster "
-               "count (quadratic in total\nstate); sparse coarse vectors "
-               "hold ~13% at every size with near-identical\ntraffic on "
-               "migratory workloads.\n";
-
-  emit_outputs(options, runner, results);
-  return 0;
+  return dircc::run_cli([&] { return run_main(argc, argv); });
 }

@@ -127,6 +127,7 @@ int run_main(int argc, char** argv) {
                  "latency backend: 'analytic' (paper-faithful closed-form, "
                  "the default) or 'queued' (per-link/per-home FIFO "
                  "contention)");
+  add_hierarchy_options(cli);
   cli.add_flag("table", "also print a human-readable summary table");
   if (!cli.parse(argc, argv)) {
     std::cerr << cli.error() << "\n" << cli.usage(argv[0]);
@@ -209,7 +210,9 @@ int run_main(int argc, char** argv) {
   options.metrics_path = cli.get("metrics");
   options.attrib_out = cli.get("attrib-out");
   options.backend = parse_backend(cli.get("backend"));
+  read_hierarchy_options(cli, options);
   apply_backend(cells, options);
+  apply_hierarchy(cells, options);
   apply_engine_threads(cells, options);
 
   harness::SweepRunner runner(options.threads);

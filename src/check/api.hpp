@@ -57,6 +57,11 @@ enum class FaultKind : std::uint8_t {
   /// The writeback of a dirty sparse-directory victim is dropped: the copy
   /// is invalidated but memory keeps the stale version.
   kDropVictimWriteback,
+  /// Two-level hierarchy only: the *inter-chip* directory drops an
+  /// add-chip it was told about — a chip holds copies the home's chip
+  /// sharer field no longer covers, so a later write never invalidates
+  /// that chip.
+  kForgetChipSharer,
 };
 
 constexpr const char* fault_kind_name(FaultKind kind) {
@@ -69,6 +74,8 @@ constexpr const char* fault_kind_name(FaultKind kind) {
       return "skip-inval";
     case FaultKind::kDropVictimWriteback:
       return "drop-victim-writeback";
+    case FaultKind::kForgetChipSharer:
+      return "forget-chip-sharer";
   }
   return "?";
 }

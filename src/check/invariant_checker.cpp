@@ -28,6 +28,10 @@ const char* violation_kind_name(ViolationKind kind) {
       return "ref-divergence";
     case ViolationKind::kL1Inclusion:
       return "l1-inclusion";
+    case ViolationKind::kChipUncovered:
+      return "chip-uncovered";
+    case ViolationKind::kChipCleanDirty:
+      return "chip-clean-dirty";
   }
   return "?";
 }
@@ -109,6 +113,9 @@ void InvariantChecker::audit(Cycle now) {
   if (system_.two_level()) {
     audit_l1(now);
   }
+  if (system_.hierarchical()) {
+    audit_hierarchy(now);
+  }
 }
 
 void InvariantChecker::audit_caches(Cycle now) {
@@ -154,6 +161,17 @@ void InvariantChecker::audit_caches(Cycle now) {
         add_violation({ViolationKind::kMissingEntry, line.block, proc,
                        cluster, now,
                        "cached copy but no live directory entry"});
+        return;
+      }
+      if (system_.hierarchical()) {
+        // Chip-level bookkeeping: the home entry names chips, not clusters,
+        // so the flat owner/sharer comparisons below do not apply.
+        Violation base;
+        base.block = line.block;
+        base.proc = proc;
+        base.node = cluster;
+        base.cycle = now;
+        check_hier_copy(base, cluster, line.state == LineState::kModified);
         return;
       }
       const int sub = system_.sub_of(line.block);
@@ -216,9 +234,14 @@ void InvariantChecker::audit_directories(Cycle now) {
             const BlockAddr block = system_.block_at(key, sub);
             const NodeId owner = entry.owner_of(sub);
             auto it = census_.find(block);
+            // A hierarchical home entry names the owning *chip*; the flat
+            // directory names the owning cluster.
             const bool owner_has_m =
                 it != census_.end() && it->second.modified > 0 &&
-                system_.cluster_of(it->second.m_proc) == owner;
+                (system_.hierarchical()
+                     ? system_.chip_of_cluster(system_.cluster_of(
+                           it->second.m_proc)) == owner
+                     : system_.cluster_of(it->second.m_proc) == owner);
             if (!owner_has_m) {
               std::ostringstream detail;
               detail << "directory Dirty owned by cluster " << owner
@@ -272,6 +295,104 @@ void InvariantChecker::audit_l1(Cycle now) {
                        system_.cluster_of(proc), now, detail.str()});
       }
     });
+  }
+}
+
+void InvariantChecker::check_hier_copy(const Violation& base, NodeId cluster,
+                                       bool modified) {
+  // Both levels must account for this cached copy: the inter-chip entry at
+  // the home for the holding chip, and that chip's intra entry for the
+  // holding cluster. A Modified copy must be Dirty at both levels with the
+  // right owner ("no chip clean while an on-chip cache is dirty").
+  const int chip = system_.chip_of_cluster(cluster);
+  const NodeId local = static_cast<NodeId>(system_.chip_local_of(cluster));
+  const DirEntry* inter = system_.peek_entry(base.block);
+  const DirEntry* intra = system_.peek_intra_entry(chip, base.block);
+  if (modified) {
+    if (inter == nullptr || inter->state_of(0) != DirState::kDirty ||
+        inter->owner_of(0) != static_cast<NodeId>(chip)) {
+      Violation v = base;
+      v.kind = ViolationKind::kChipCleanDirty;
+      v.detail = "Modified copy but inter-chip entry is not Dirty at chip " +
+                 std::to_string(chip);
+      add_violation(std::move(v));
+    }
+    if (intra == nullptr || intra->state_of(0) != DirState::kDirty ||
+        intra->owner_of(0) != local) {
+      Violation v = base;
+      v.kind = ViolationKind::kChipCleanDirty;
+      v.detail = "Modified copy but chip " + std::to_string(chip) +
+                 "'s intra entry is not Dirty at local cluster " +
+                 std::to_string(local);
+      add_violation(std::move(v));
+    }
+    return;
+  }
+  if (inter == nullptr || inter->state_of(0) != DirState::kShared ||
+      !system_.format().maybe_sharer(inter->sharers,
+                                     static_cast<NodeId>(chip))) {
+    Violation v = base;
+    v.kind = ViolationKind::kChipUncovered;
+    v.detail = "Shared copy but inter-chip entry does not cover chip " +
+               std::to_string(chip);
+    add_violation(std::move(v));
+  }
+  if (intra == nullptr || intra->state_of(0) != DirState::kShared ||
+      !system_.intra_format().maybe_sharer(intra->sharers, local)) {
+    Violation v = base;
+    v.kind = ViolationKind::kChipUncovered;
+    v.detail = "Shared copy but chip " + std::to_string(chip) +
+               "'s intra entry does not cover local cluster " +
+               std::to_string(local);
+    add_violation(std::move(v));
+  }
+}
+
+void InvariantChecker::audit_hierarchy(Cycle now) {
+  // Level linkage from the directory side: every live intra entry must be
+  // covered by the inter-chip entry at the home — the inter sharer set is a
+  // superset of the union of the chips' intra sharer sets, and a Dirty
+  // intra entry means the inter entry is Dirty at that chip. (The cache
+  // side of the hierarchy is checked per line in audit_caches.)
+  const int chips = system_.chips();
+  for (int q = 0; q < chips; ++q) {
+    system_.intra_directory(q).for_each_entry(
+        [&](BlockAddr block, const DirEntry& intra) {
+          const DirState intra_state = intra.state_of(0);
+          if (intra_state == DirState::kUncached) {
+            return;
+          }
+          const DirEntry* inter = system_.peek_entry(block);
+          Violation v;
+          v.block = block;
+          v.cycle = now;
+          v.node = system_.gateway_of(q);
+          if (inter == nullptr) {
+            v.kind = ViolationKind::kChipUncovered;
+            v.detail = "live intra entry at chip " + std::to_string(q) +
+                       " but no inter-chip entry at the home";
+            add_violation(std::move(v));
+            return;
+          }
+          if (intra_state == DirState::kDirty) {
+            if (inter->state_of(0) != DirState::kDirty ||
+                inter->owner_of(0) != static_cast<NodeId>(q)) {
+              v.kind = ViolationKind::kChipCleanDirty;
+              v.detail = "intra entry Dirty at chip " + std::to_string(q) +
+                         " but inter-chip entry is not Dirty there";
+              add_violation(std::move(v));
+            }
+            return;
+          }
+          if (inter->state_of(0) != DirState::kShared ||
+              !system_.format().maybe_sharer(inter->sharers,
+                                             static_cast<NodeId>(q))) {
+            v.kind = ViolationKind::kChipUncovered;
+            v.detail = "intra entry Shared at chip " + std::to_string(q) +
+                       " but the inter-chip sharer set does not cover it";
+            add_violation(std::move(v));
+          }
+        });
   }
 }
 

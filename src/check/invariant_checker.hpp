@@ -20,7 +20,11 @@
 //               lost writeback);
 //   LOADS       every read observes the reference model's current value;
 //   INCLUSION   every first-level line is backed by a second-level line
-//               with the same version (two-level configurations).
+//               with the same version (two-level configurations);
+//   HIERARCHY   on a hierarchical machine (chips > 1) the inter-chip entry
+//               at the home covers every chip with a copy or a live intra
+//               entry, and a Modified copy is Dirty at both levels (no
+//               chip clean while an on-chip cache is dirty).
 //
 // The checker is read-only over the system (const peeks, no LRU or stats
 // perturbation) and halts the engine at the first violation by default, so
@@ -57,6 +61,10 @@ enum class ViolationKind : std::uint8_t {
   kStaleLoad,        ///< LOADS: a read observed a stale version
   kRefDivergence,    ///< LOADS: reference model and system disagree
   kL1Inclusion,      ///< INCLUSION: L1 line unbacked or version-skewed
+  kChipUncovered,    ///< HIERARCHY: on-chip copy/intra entry the inter
+                     ///< entry's chip sharer set misses
+  kChipCleanDirty,   ///< HIERARCHY: Modified copy but chip-level state is
+                     ///< clean (inter or intra entry not Dirty at the owner)
 };
 
 const char* violation_kind_name(ViolationKind kind);
@@ -139,6 +147,10 @@ class InvariantChecker final : public AccessObserver {
   void audit_directories(Cycle now);
   void audit_memory(Cycle now);
   void audit_l1(Cycle now);
+  /// Two-level machines only: every cached copy / live intra entry must be
+  /// covered by both levels; a Modified copy must be Dirty at both levels.
+  void audit_hierarchy(Cycle now);
+  void check_hier_copy(const Violation& base, NodeId cluster, bool modified);
 
   const CoherenceSystem& system_;
   CheckConfig config_;

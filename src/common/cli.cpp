@@ -32,6 +32,14 @@ void CliParser::add_flag(std::string name, std::string help) {
   options_[std::move(name)] = Option{"false", std::move(help), true};
 }
 
+void CliParser::set_default(const std::string& name,
+                            std::string default_value) {
+  const auto it = options_.find(name);
+  ensure(it != options_.end(), "set_default on unregistered option");
+  ensure(!it->second.is_flag, "set_default on a flag");
+  it->second.default_value = std::move(default_value);
+}
+
 bool CliParser::parse(int argc, const char* const* argv) {
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];

@@ -36,6 +36,11 @@ class CliParser {
                   std::string help);
   void add_flag(std::string name, std::string help);
 
+  /// Overrides the default of an already-registered option, for binaries
+  /// that share a flag family but want a different resting point (e.g.
+  /// scale_study defaults --inter-scheme to the coarse vector).
+  void set_default(const std::string& name, std::string default_value);
+
   /// Parses argv. Returns false (and fills error()) on unknown options or
   /// missing values; "--help" sets help_requested().
   bool parse(int argc, const char* const* argv);

@@ -483,7 +483,10 @@ std::unique_ptr<SharerFormat> make_format(const SchemeConfig& config) {
     case SchemeKind::kFullBitVector:
       return std::make_unique<FullBitVectorFormat>(config.num_nodes);
     case SchemeKind::kLimitedBroadcast:
-      ensure(config.num_pointers >= 1, "Dir_iB needs at least one pointer");
+      // Dir0B is legal: zero pointers means the first sharer already
+      // overflows into broadcast mode — the directoryless baseline that
+      // trades all storage for broadcast traffic.
+      ensure(config.num_pointers >= 0, "Dir_iB cannot have negative pointers");
       return std::make_unique<LimitedBroadcastFormat>(config.num_nodes,
                                                       config.num_pointers);
     case SchemeKind::kLimitedNoBroadcast:

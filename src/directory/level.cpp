@@ -1,0 +1,19 @@
+#include "directory/level.hpp"
+
+namespace dircc {
+
+DirectoryLevel::DirectoryLevel(const SchemeConfig& scheme,
+                               const StoreConfig& store, int num_stores,
+                               std::uint64_t base_seed,
+                               std::uint64_t index_divisor)
+    : scheme_(scheme), format_(make_format(scheme)) {
+  stores_.reserve(static_cast<std::size_t>(num_stores));
+  for (int i = 0; i < num_stores; ++i) {
+    StoreConfig per_store = store;
+    per_store.seed = base_seed + 0x9e3779b9ULL * static_cast<std::uint64_t>(i);
+    per_store.index_divisor = index_divisor;
+    stores_.push_back(make_store(per_store));
+  }
+}
+
+}  // namespace dircc

@@ -1,0 +1,46 @@
+// One directory level: a sharer format plus a bank of directory stores.
+//
+// The flat machine has a single level — one store per home cluster, sharer
+// sets over clusters. The two-level hierarchical organization
+// (docs/HIERARCHY.md) composes two of these: an inter-chip level at the
+// homes whose sharer sets range over *chips*, and an intra-chip level with
+// one store per chip whose sharer sets range over that chip's local
+// clusters. Schemes, sparse/dense organization and overflow handling are
+// the existing src/directory machinery unchanged; a level only bundles the
+// format with its stores and owns the per-store seed/index derivation.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "directory/format.hpp"
+#include "directory/store.hpp"
+
+namespace dircc {
+
+class DirectoryLevel {
+ public:
+  /// Builds `num_stores` stores from `store`, seeding store i with
+  /// `base_seed + golden_ratio * i` (the flat machine's per-home
+  /// derivation, kept bit-exact) and indexing sparse sets by
+  /// block / `index_divisor`.
+  DirectoryLevel(const SchemeConfig& scheme, const StoreConfig& store,
+                 int num_stores, std::uint64_t base_seed,
+                 std::uint64_t index_divisor);
+
+  const SchemeConfig& scheme() const { return scheme_; }
+  SharerFormat& format() { return *format_; }
+  const SharerFormat& format() const { return *format_; }
+
+  int num_stores() const { return static_cast<int>(stores_.size()); }
+  DirectoryStore& store(int index) { return *stores_[index]; }
+  const DirectoryStore& store(int index) const { return *stores_[index]; }
+
+ private:
+  SchemeConfig scheme_;
+  std::unique_ptr<SharerFormat> format_;
+  std::vector<std::unique_ptr<DirectoryStore>> stores_;
+};
+
+}  // namespace dircc

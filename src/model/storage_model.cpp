@@ -29,6 +29,37 @@ double MachineModel::savings_vs_full_bit_vector() const {
          static_cast<double>(directory_bits());
 }
 
+int HierStorageModel::inter_bits_per_entry() const {
+  ensure(inter.num_nodes == chips,
+         "inter scheme node count must equal the chip count");
+  const auto format = make_format(inter);
+  return format->state_bits() + 1 /*dirty*/ +
+         log2_ceil(static_cast<std::uint64_t>(inter_sparsity));
+}
+
+std::uint64_t HierStorageModel::intra_entries_per_chip() const {
+  const std::uint64_t chip_cache_blocks =
+      machine.total_cache_blocks() / static_cast<std::uint64_t>(chips);
+  const auto entries =
+      static_cast<std::uint64_t>(static_cast<double>(chip_cache_blocks) *
+                                 intra_slack);
+  ensure(entries >= 1, "intra directory must hold at least one entry");
+  return entries;
+}
+
+int HierStorageModel::intra_bits_per_entry() const {
+  ensure(intra.num_nodes == clusters_per_chip(),
+         "intra scheme node count must equal clusters per chip");
+  const auto format = make_format(intra);
+  // Cache-sized structure: the tag must pick out one block among all the
+  // memory blocks that can map to a slot.
+  const std::uint64_t slots = intra_entries_per_chip();
+  const std::uint64_t tag_space =
+      machine.total_mem_blocks() > slots ? machine.total_mem_blocks() / slots
+                                         : 1;
+  return format->state_bits() + 1 /*dirty*/ + log2_ceil(tag_space);
+}
+
 std::string MachineModel::describe_scheme() const {
   const auto format = make_format(scheme);
   if (sparsity == 1) {

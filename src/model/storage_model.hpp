@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <string>
 
+#include "common/ensure.hpp"
 #include "directory/format.hpp"
 
 namespace dircc {
@@ -27,7 +28,15 @@ struct MachineModel {
   /// one-dirty-bit-per-entry accounting applies.
   int blocks_per_entry = 1;
 
-  int clusters() const { return processors / procs_per_cluster; }
+  int clusters() const {
+    // Integer division here used to silently truncate (65 procs at 4 per
+    // cluster "worked" and modeled a 16-cluster machine); a machine whose
+    // cluster size does not divide its processor count is a config error.
+    ensure(procs_per_cluster >= 1, "procs_per_cluster must be positive");
+    ensure(processors % procs_per_cluster == 0,
+           "processors must be a multiple of procs_per_cluster");
+    return processors / procs_per_cluster;
+  }
   std::uint64_t total_mem_bytes() const {
     return mem_bytes_per_proc * static_cast<std::uint64_t>(processors);
   }
@@ -73,5 +82,59 @@ struct MachineModel {
   /// Scheme display name, e.g. "sparse(4) Dir8CV4".
   std::string describe_scheme() const;
 };
+
+/// Two-level directory storage accounting (docs/HIERARCHY.md).
+///
+/// The inter-chip level keeps one (possibly sparse) entry per tracked
+/// memory block at the homes, with sharer sets over *chips*; each chip adds
+/// a duplicate-tag-style intra-chip directory sized by the chip's aggregate
+/// cache, with sharer sets over the chip's local clusters. `machine`
+/// supplies the geometry (its `scheme`/`sparsity` fields are ignored here —
+/// the per-level schemes below replace them).
+struct HierStorageModel {
+  MachineModel machine;
+  int chips = 4;
+  SchemeConfig inter;      ///< inter.num_nodes must equal chips
+  int inter_sparsity = 1;  ///< memory blocks per inter entry; 1 = full
+  SchemeConfig intra;      ///< intra.num_nodes must equal clusters_per_chip()
+  /// Intra entries per chip as a multiple of the chip's cached blocks
+  /// (1.0 = exactly cache-sized; >1 leaves slack against conflict misses).
+  double intra_slack = 1.0;
+
+  int clusters_per_chip() const {
+    ensure(chips >= 1, "chips must be positive");
+    ensure(machine.clusters() % chips == 0,
+           "chips must divide the cluster count");
+    return machine.clusters() / chips;
+  }
+
+  std::uint64_t inter_entries() const {
+    return machine.total_mem_blocks() /
+           static_cast<std::uint64_t>(inter_sparsity);
+  }
+  int inter_bits_per_entry() const;
+  std::uint64_t inter_bits() const {
+    return inter_entries() * static_cast<std::uint64_t>(inter_bits_per_entry());
+  }
+
+  std::uint64_t intra_entries_per_chip() const;
+  int intra_bits_per_entry() const;
+  /// Intra-chip directory bits summed over all chips.
+  std::uint64_t intra_bits() const {
+    return static_cast<std::uint64_t>(chips) * intra_entries_per_chip() *
+           static_cast<std::uint64_t>(intra_bits_per_entry());
+  }
+
+  std::uint64_t total_bits() const { return inter_bits() + intra_bits(); }
+  double overhead_fraction() const {
+    return static_cast<double>(total_bits()) /
+           static_cast<double>(machine.total_mem_bytes() * 8);
+  }
+};
+
+/// Directoryless (DLS) baseline: coherence by broadcast, no directory
+/// storage at all. Here so scaling studies can report flat, two-level, and
+/// directoryless organizations through one accounting surface.
+inline std::uint64_t dls_directory_bits() { return 0; }
 
 }  // namespace dircc

@@ -1,0 +1,83 @@
+#include "network/hier.hpp"
+
+#include "common/ensure.hpp"
+
+namespace dircc {
+
+HierTopology::HierTopology(int chips, int clusters_per_chip)
+    : chips_(chips),
+      clusters_per_chip_(clusters_per_chip),
+      num_nodes_(chips * clusters_per_chip),
+      intra_mesh_(clusters_per_chip),
+      chip_mesh_(chips),
+      intra_links_(intra_mesh_.num_links()) {
+  ensure(chips >= 1, "hier topology needs at least one chip");
+  ensure(clusters_per_chip >= 1,
+         "hier topology needs at least one cluster per chip");
+}
+
+int HierTopology::hops(NodeId from, NodeId to) const {
+  const int qf = chip_of(from);
+  const int qt = chip_of(to);
+  const NodeId lf = static_cast<NodeId>(local_of(from));
+  const NodeId lt = static_cast<NodeId>(local_of(to));
+  if (qf == qt) {
+    return intra_mesh_.hops(lf, lt);
+  }
+  return intra_mesh_.hops(lf, 0) +
+         chip_mesh_.hops(static_cast<NodeId>(qf), static_cast<NodeId>(qt)) +
+         intra_mesh_.hops(0, lt);
+}
+
+void HierTopology::route_links(NodeId from, NodeId to,
+                               std::vector<LinkId>* out) const {
+  ensure(from < num_nodes_ && to < num_nodes_, "hier node out of range");
+  const int qf = chip_of(from);
+  const int qt = chip_of(to);
+  const NodeId lf = static_cast<NodeId>(local_of(from));
+  const NodeId lt = static_cast<NodeId>(local_of(to));
+  // Appends one tier's sub-route, then rebases the new link ids into the
+  // concatenated id space.
+  const auto append = [out](const MeshTopology& mesh, NodeId a, NodeId b,
+                            int offset) {
+    const std::size_t start = out->size();
+    mesh.route_links(a, b, out);
+    for (std::size_t i = start; i < out->size(); ++i) {
+      (*out)[i] += offset;
+    }
+  };
+  if (qf == qt) {
+    append(intra_mesh_, lf, lt, qf * intra_links_);
+    return;
+  }
+  append(intra_mesh_, lf, 0, qf * intra_links_);
+  append(chip_mesh_, static_cast<NodeId>(qf), static_cast<NodeId>(qt),
+         chips_ * intra_links_);
+  append(intra_mesh_, 0, lt, qt * intra_links_);
+}
+
+int HierTopology::node_x(NodeId node) const {
+  const int q = chip_of(node);
+  const NodeId local = static_cast<NodeId>(local_of(node));
+  return chip_mesh_.node_x(static_cast<NodeId>(q)) * intra_mesh_.width() +
+         intra_mesh_.node_x(local);
+}
+
+int HierTopology::node_y(NodeId node) const {
+  const int q = chip_of(node);
+  const NodeId local = static_cast<NodeId>(local_of(node));
+  return chip_mesh_.node_y(static_cast<NodeId>(q)) * intra_mesh_.height() +
+         intra_mesh_.node_y(local);
+}
+
+std::string HierTopology::link_name(LinkId link) const {
+  ensure(link >= 0 && link < num_links(), "hier link out of range");
+  if (link < chips_ * intra_links_) {
+    const int chip = link / intra_links_;
+    const LinkId local = link % intra_links_;
+    return "chip" + std::to_string(chip) + ":" + intra_mesh_.link_name(local);
+  }
+  return "xchip:" + chip_mesh_.link_name(link - chips_ * intra_links_);
+}
+
+}  // namespace dircc

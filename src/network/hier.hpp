@@ -1,0 +1,77 @@
+// Two-tier interconnect for the hierarchical (multi-chip) organization
+// (docs/HIERARCHY.md): every chip carries its own 2-D mesh of clusters,
+// and the chips themselves sit on a second 2-D mesh of inter-chip links.
+//
+// Global cluster ids are contiguous per chip — cluster n lives on chip
+// n / clusters_per_chip at local position n % clusters_per_chip, matching
+// the protocol layer's chip_of() mapping and the sharded engine's
+// contiguous home bands. Cross-chip routes are gateway-to-gateway: the
+// route runs from the source cluster to its chip's gateway (local node 0),
+// across the chip mesh, then from the destination chip's gateway to the
+// destination cluster. Link ids concatenate the per-chip intra-link
+// spaces (chip q's links start at q * intra_links) followed by the
+// inter-chip links, so the queued backend keeps one FIFO per physical
+// channel across both tiers.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "network/mesh.hpp"
+#include "network/topology.hpp"
+
+namespace dircc {
+
+class HierTopology final : public Topology {
+ public:
+  HierTopology(int chips, int clusters_per_chip);
+
+  int num_nodes() const override { return num_nodes_; }
+  int width() const override { return chip_mesh_.width() * intra_mesh_.width(); }
+  int height() const override {
+    return chip_mesh_.height() * intra_mesh_.height();
+  }
+
+  int chips() const { return chips_; }
+  int clusters_per_chip() const { return clusters_per_chip_; }
+  int chip_of(NodeId node) const {
+    ensure(node < num_nodes_, "hier node out of range");
+    return static_cast<int>(node) / clusters_per_chip_;
+  }
+  int local_of(NodeId node) const {
+    ensure(node < num_nodes_, "hier node out of range");
+    return static_cast<int>(node) % clusters_per_chip_;
+  }
+  /// Gateway cluster (local node 0) of a chip.
+  NodeId gateway(int chip) const {
+    ensure(chip >= 0 && chip < chips_, "hier chip out of range");
+    return static_cast<NodeId>(chip * clusters_per_chip_);
+  }
+
+  int hops(NodeId from, NodeId to) const override;
+  int diameter() const override {
+    return 2 * intra_mesh_.diameter() + chip_mesh_.diameter();
+  }
+
+  int num_links() const override {
+    return chips_ * intra_links_ + chip_mesh_.num_links();
+  }
+  void route_links(NodeId from, NodeId to,
+                   std::vector<LinkId>* out) const override;
+
+  int node_x(NodeId node) const override;
+  int node_y(NodeId node) const override;
+
+  std::string link_name(LinkId link) const override;
+
+ private:
+  int chips_;
+  int clusters_per_chip_;
+  int num_nodes_;
+  MeshTopology intra_mesh_;  ///< one chip's cluster mesh (shared geometry)
+  MeshTopology chip_mesh_;   ///< the inter-chip mesh
+  int intra_links_;          ///< intra_mesh_.num_links(), cached
+};
+
+}  // namespace dircc

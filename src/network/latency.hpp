@@ -27,6 +27,10 @@ struct LatencyModel {
                               ///< in, so wide invalidation sets stall the
                               ///< writer longer
   Cycle per_hop = 0;          ///< optional mesh-distance increment per hop
+  Cycle chip_crossing = 20;   ///< extra cycles per chip-boundary message on
+                              ///< a hierarchical machine's critical path;
+                              ///< flat machines never emit chip-boundary
+                              ///< hops, so the default leaves them untouched
   Cycle dir_occupancy = 6;    ///< home-controller busy time per transaction
                               ///< (only used when contention is modeled)
 

@@ -7,30 +7,27 @@
 
 #include "common/ensure.hpp"
 #include "common/types.hpp"
+#include "network/topology.hpp"
 
 namespace dircc {
 
-/// Directed mesh channel identifier, dense in [0, num_links()). Used by the
-/// queued latency backend to keep one FIFO per physical channel.
-using LinkId = int;
-
 /// Clusters laid out row-major on a width x height grid; distances are
 /// Manhattan hop counts (DASH used a pair of wormhole-routed 2-D meshes).
-class MeshTopology {
+class MeshTopology final : public Topology {
  public:
   /// Builds the most-square mesh holding `num_nodes` clusters.
   explicit MeshTopology(int num_nodes);
 
   MeshTopology(int width, int height);
 
-  int num_nodes() const { return num_nodes_; }
-  int width() const { return width_; }
-  int height() const { return height_; }
+  int num_nodes() const override { return num_nodes_; }
+  int width() const override { return width_; }
+  int height() const override { return height_; }
 
   /// Manhattan distance between two clusters. Called several times per
   /// directory transaction, so coordinates come from tables built at
   /// construction instead of a divide/modulo per call.
-  int hops(NodeId from, NodeId to) const {
+  int hops(NodeId from, NodeId to) const override {
     ensure(from < num_nodes_ && to < num_nodes_, "mesh node out of range");
     const int dx = static_cast<int>(x_[from]) - static_cast<int>(x_[to]);
     const int dy = static_cast<int>(y_[from]) - static_cast<int>(y_[to]);
@@ -38,22 +35,23 @@ class MeshTopology {
   }
 
   /// Largest hop count on the mesh (network diameter).
-  int diameter() const { return (width_ - 1) + (height_ - 1); }
+  int diameter() const override { return (width_ - 1) + (height_ - 1); }
 
   /// Number of directed channels: (width-1)*height east + the same west,
   /// plus width*(height-1) south + the same north.
-  int num_links() const;
+  int num_links() const override;
 
   /// Appends the directed links crossed by an X-then-Y (dimension-ordered)
   /// route from `from` to `to`. Appends nothing when from == to.
-  void route_links(NodeId from, NodeId to, std::vector<LinkId>* out) const;
+  void route_links(NodeId from, NodeId to,
+                   std::vector<LinkId>* out) const override;
 
   /// Grid coordinates of a node.
-  int node_x(NodeId node) const {
+  int node_x(NodeId node) const override {
     ensure(node < num_nodes_, "mesh node out of range");
     return x_[static_cast<std::size_t>(node)];
   }
-  int node_y(NodeId node) const {
+  int node_y(NodeId node) const override {
     ensure(node < num_nodes_, "mesh node out of range");
     return y_[static_cast<std::size_t>(node)];
   }
@@ -94,7 +92,7 @@ class MeshTopology {
   LinkEndpoints link_endpoints(LinkId link) const;
 
   /// Human-readable link label, "(x0,y0)->(x1,y1)".
-  std::string link_name(LinkId link) const;
+  std::string link_name(LinkId link) const override;
 
  private:
   void build_coords();

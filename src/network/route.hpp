@@ -10,7 +10,7 @@
 #pragma once
 
 #include "common/types.hpp"
-#include "network/mesh.hpp"
+#include "network/topology.hpp"
 
 namespace dircc {
 
@@ -25,7 +25,7 @@ struct TransactionRoute {
 /// 2-party: the c→h request plus the h→c reply. 3-party: the c→h request,
 /// the h→o forward and the o→c reply (the o→h sharing writeback is off the
 /// critical path but the paper's 3-cluster latency folds it in).
-inline TransactionRoute transaction_route(const MeshTopology& mesh, NodeId c,
+inline TransactionRoute transaction_route(const Topology& mesh, NodeId c,
                                           NodeId h, NodeId o = kNoNode) {
   TransactionRoute route;
   if (o == kNoNode) {

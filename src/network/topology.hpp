@@ -1,0 +1,55 @@
+// Interconnect topology interface.
+//
+// The latency backends, route classifier and attribution collector only
+// need distances, dimension-ordered link routes and report coordinates —
+// not the concrete geometry. This interface lets the flat 2-D mesh
+// (MeshTopology, the DASH cluster network) and the two-tier hierarchical
+// organization (HierTopology: per-chip meshes joined by an inter-chip
+// mesh) plug into the same machinery.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace dircc {
+
+/// Directed channel identifier, dense in [0, num_links()). Used by the
+/// queued latency backend to keep one FIFO per physical channel.
+using LinkId = int;
+
+class Topology {
+ public:
+  virtual ~Topology() = default;
+
+  /// Number of clusters attached to the network.
+  virtual int num_nodes() const = 0;
+
+  /// Bounding grid of the layout (report/heatmap axes).
+  virtual int width() const = 0;
+  virtual int height() const = 0;
+
+  /// Hop distance between two clusters along the deterministic route.
+  virtual int hops(NodeId from, NodeId to) const = 0;
+
+  /// Largest hop count between any node pair (network diameter).
+  virtual int diameter() const = 0;
+
+  /// Number of directed channels.
+  virtual int num_links() const = 0;
+
+  /// Appends the directed links crossed by the deterministic route from
+  /// `from` to `to`. Appends nothing when from == to.
+  virtual void route_links(NodeId from, NodeId to,
+                           std::vector<LinkId>* out) const = 0;
+
+  /// Layout coordinates of a node within the bounding grid.
+  virtual int node_x(NodeId node) const = 0;
+  virtual int node_y(NodeId node) const = 0;
+
+  /// Human-readable link label.
+  virtual std::string link_name(LinkId link) const = 0;
+};
+
+}  // namespace dircc

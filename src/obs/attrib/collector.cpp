@@ -28,24 +28,30 @@ const char* path_cat_name(PathCat cat) {
 PathCat hop_category(HopKind kind) {
   switch (kind) {
     case HopKind::kRequest:
+    case HopKind::kChipRequest:
       return PathCat::kRequest;
     case HopKind::kForward:
     case HopKind::kVictimFetch:
+    case HopKind::kChipForward:
       return PathCat::kForward;
     case HopKind::kInval:
     case HopKind::kDisplacementInval:
     case HopKind::kReclaimInval:
+    case HopKind::kChipInval:
       return PathCat::kInvalidation;
     case HopKind::kAck:
     case HopKind::kReclaimAck:
     case HopKind::kTransferAck:
+    case HopKind::kChipAck:
       return PathCat::kAck;
     case HopKind::kReply:
+    case HopKind::kChipReply:
       return PathCat::kData;
     case HopKind::kSharingWriteback:
     case HopKind::kVictimWriteback:
     case HopKind::kEvictionWriteback:
     case HopKind::kReplacementHint:
+    case HopKind::kChipWriteback:
       return PathCat::kWriteback;
   }
   return PathCat::kRequest;
@@ -160,7 +166,7 @@ Collector::Collector(CollectorConfig config) : config_(std::move(config)) {
   }
 }
 
-void Collector::bind(const MeshTopology& mesh) {
+void Collector::bind(const Topology& mesh) {
   if (bound_) {
     // Rebinding to an identically shaped mesh is a no-op (a collector can
     // outlive the system that fed it; a sweep may bind once per cell).

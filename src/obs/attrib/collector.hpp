@@ -127,7 +127,7 @@ class Collector : public AttributionSink {
   explicit Collector(CollectorConfig config = {});
 
   // AttributionSink
-  void bind(const MeshTopology& mesh) override;
+  void bind(const Topology& mesh) override;
   void on_hop(const Transaction& txn, const HopTiming& timing) override;
   void on_link(LinkId link, Cycle wait, Cycle busy_from,
                Cycle busy_until) override;

@@ -44,11 +44,16 @@ Cycle AnalyticBackend::transaction_latency(const Transaction& txn,
     if (hop.kind == HopKind::kVictimWriteback) {
       total += latency_.remote_2cluster;
     }
+    // Chip-boundary messages of a hierarchical machine each pay the
+    // inter-chip crossing premium on top of the flat transaction cost.
+    if (hop.src != hop.dst && hop_crosses_chips(hop.kind)) {
+      total += latency_.chip_crossing;
+    }
   }
   return total;
 }
 
-QueuedBackend::QueuedBackend(const MeshTopology& mesh,
+QueuedBackend::QueuedBackend(const Topology& mesh,
                              const LatencyModel& latency,
                              const QueuedLatencyConfig& config)
     : analytic_(mesh, latency),
@@ -78,6 +83,11 @@ bool home_emission(const Hop& hop, NodeId home) {
       return true;
     case HopKind::kReply:
       return hop.src == home;  // owner replies come from a cache instead
+    // Gateway controllers serialize their outbound chip-boundary traffic
+    // the same way a home serializes forwards and invalidation bursts.
+    case HopKind::kChipForward:
+    case HopKind::kChipInval:
+      return true;
     default:
       return false;
   }
@@ -94,6 +104,11 @@ bool home_ingest(const Hop& hop) {
     case HopKind::kReplacementHint:
     case HopKind::kTransferAck:
     case HopKind::kReclaimAck:
+    // Inbound chip-boundary traffic occupies the receiving gateway
+    // controller on arrival.
+    case HopKind::kChipRequest:
+    case HopKind::kChipWriteback:
+    case HopKind::kChipAck:
       return true;
     default:
       return false;
@@ -188,7 +203,7 @@ Cycle QueuedBackend::transaction_latency(const Transaction& txn, Cycle now,
 }
 
 std::unique_ptr<LatencyBackend> make_backend(
-    BackendKind kind, const MeshTopology& mesh, const LatencyModel& latency,
+    BackendKind kind, const Topology& mesh, const LatencyModel& latency,
     const QueuedLatencyConfig& queued) {
   if (kind == BackendKind::kQueued) {
     return std::make_unique<QueuedBackend>(mesh, latency, queued);

@@ -23,7 +23,7 @@
 #include <vector>
 
 #include "network/latency.hpp"
-#include "network/mesh.hpp"
+#include "network/topology.hpp"
 #include "network/route.hpp"
 #include "protocol/transaction.hpp"
 
@@ -68,9 +68,10 @@ class BackendTimingSink {
 /// pointer without depending on the attribution implementation.
 class AttributionSink : public BackendTimingSink {
  public:
-  /// Called once before use with the mesh the system routes over, so the
-  /// sink can size per-link/per-home state and name links by coordinates.
-  virtual void bind(const MeshTopology& mesh) = 0;
+  /// Called once before use with the topology the system routes over, so
+  /// the sink can size per-link/per-home state and name links by
+  /// coordinates.
+  virtual void bind(const Topology& mesh) = 0;
 
   /// Called by the committer after the backend priced the transaction.
   /// Fires for every transaction (bus-served included), even under the
@@ -109,7 +110,7 @@ class LatencyBackend {
 /// The paper's closed-form hop-latency math, folded over the IR.
 class AnalyticBackend : public LatencyBackend {
  public:
-  AnalyticBackend(const MeshTopology& mesh, const LatencyModel& latency)
+  AnalyticBackend(const Topology& mesh, const LatencyModel& latency)
       : mesh_(mesh), latency_(latency) {}
 
   const char* name() const override { return "analytic"; }
@@ -118,7 +119,7 @@ class AnalyticBackend : public LatencyBackend {
                             const TransactionRoute& route) override;
 
  private:
-  const MeshTopology& mesh_;
+  const Topology& mesh_;
   const LatencyModel& latency_;
 };
 
@@ -126,7 +127,7 @@ class AnalyticBackend : public LatencyBackend {
 /// queues, walked over the IR's causal hop DAG.
 class QueuedBackend : public LatencyBackend {
  public:
-  QueuedBackend(const MeshTopology& mesh, const LatencyModel& latency,
+  QueuedBackend(const Topology& mesh, const LatencyModel& latency,
                 const QueuedLatencyConfig& config);
 
   const char* name() const override { return "queued"; }
@@ -137,7 +138,7 @@ class QueuedBackend : public LatencyBackend {
 
  private:
   AnalyticBackend analytic_;
-  const MeshTopology& mesh_;
+  const Topology& mesh_;
   QueuedLatencyConfig queued_;
   BackendTimingSink* sink_ = nullptr;  ///< optional per-hop timing observer
   std::vector<Cycle> link_free_;  ///< per directed link: busy until
@@ -147,7 +148,7 @@ class QueuedBackend : public LatencyBackend {
 };
 
 std::unique_ptr<LatencyBackend> make_backend(BackendKind kind,
-                                             const MeshTopology& mesh,
+                                             const Topology& mesh,
                                              const LatencyModel& latency,
                                              const QueuedLatencyConfig& queued);
 

@@ -3,23 +3,53 @@
 #include <bit>
 
 #include "common/ensure.hpp"
+#include "network/hier.hpp"
+#include "network/mesh.hpp"
 #include "network/route.hpp"
 
 namespace dircc {
 
+namespace {
+std::unique_ptr<Topology> make_topology(const SystemConfig& config) {
+  const int clusters = config.num_clusters();
+  if (config.hierarchy.chips <= 1) {
+    return std::make_unique<MeshTopology>(clusters);
+  }
+  return std::make_unique<HierTopology>(config.hierarchy.chips,
+                                        clusters / config.hierarchy.chips);
+}
+}  // namespace
+
 CoherenceSystem::CoherenceSystem(const SystemConfig& config)
     : config_(config),
       num_clusters_(config.num_clusters()),
-      format_(make_format(config.scheme)),
-      mesh_(config.num_clusters()),
-      backend_(make_backend(config.backend, mesh_, config_.latency,
+      clusters_per_chip_(config.hierarchy.chips > 1
+                             ? num_clusters_ / config.hierarchy.chips
+                             : num_clusters_),
+      topo_(make_topology(config)),
+      backend_(make_backend(config.backend, *topo_, config_.latency,
                             config_.queued)) {
   ensure(config.num_procs >= 1, "need at least one processor");
   ensure(config.procs_per_cluster >= 1 &&
              config.num_procs % config.procs_per_cluster == 0,
          "processor count must be a multiple of the cluster size");
-  ensure(config.scheme.num_nodes == num_clusters_,
-         "scheme node count must equal the cluster count");
+  const int chips = config.hierarchy.chips;
+  ensure(chips >= 1, "chip count must be at least 1");
+  if (chips > 1) {
+    ensure(num_clusters_ % chips == 0,
+           "chip count must evenly divide the cluster count");
+    ensure(config.hierarchy.inter.num_nodes == chips,
+           "inter-chip scheme node count must equal the chip count");
+    ensure(config.hierarchy.intra.num_nodes == clusters_per_chip_,
+           "intra-chip scheme node count must equal clusters per chip");
+    ensure(config.blocks_per_group == 1,
+           "entry grouping is not supported on a hierarchical machine");
+    ensure(!config.replacement_hints,
+           "replacement hints are not supported on a hierarchical machine");
+  } else {
+    ensure(config.scheme.num_nodes == num_clusters_,
+           "scheme node count must equal the cluster count");
+  }
   ensure(is_pow2(static_cast<std::uint64_t>(config.block_size)),
          "block size must be a power of two");
   ensure(config.blocks_per_group >= 1 &&
@@ -50,25 +80,37 @@ CoherenceSystem::CoherenceSystem(const SystemConfig& config)
       l1_.emplace_back(config.l1_lines_per_proc, config.l1_assoc);
     }
   }
-  directories_.reserve(static_cast<std::size_t>(num_clusters_));
-  for (int h = 0; h < num_clusters_; ++h) {
-    StoreConfig store = config.store;
-    store.seed = config.seed + 0x9e3779b9ULL * static_cast<std::uint64_t>(h);
-    // Memory is block-interleaved across clusters, so this home's blocks
-    // are every num_clusters-th one (and tracking keys every group-th of
-    // those); index its sparse sets by the home-local tracking number.
-    store.index_divisor = static_cast<std::uint64_t>(num_clusters_) *
-                          static_cast<std::uint64_t>(config.blocks_per_group);
-    directories_.push_back(make_store(store));
+  // Memory is block-interleaved across clusters, so each home's blocks are
+  // every num_clusters-th one (and tracking keys every group-th of those);
+  // its sparse sets index by the home-local tracking number.
+  const std::uint64_t home_divisor =
+      static_cast<std::uint64_t>(num_clusters_) *
+      static_cast<std::uint64_t>(config.blocks_per_group);
+  if (chips > 1) {
+    home_level_ = std::make_unique<DirectoryLevel>(
+        config.hierarchy.inter, config.hierarchy.inter_store, num_clusters_,
+        config.seed, home_divisor);
+    // The intra-chip level sees every block a chip caches (no home
+    // interleaving), so its sparse sets index by the raw block number. A
+    // distinct seed stream keeps its replacement RNG independent of the
+    // homes'.
+    intra_level_ = std::make_unique<DirectoryLevel>(
+        config.hierarchy.intra, config.hierarchy.intra_store, chips,
+        config.seed ^ 0x517cc1b727220a95ULL, 1);
+  } else {
+    home_level_ = std::make_unique<DirectoryLevel>(
+        config.scheme, config.store, num_clusters_, config.seed, home_divisor);
   }
+  stats_.chips = chips;
   // The transaction IR and the invalidation-target scratch are reused
   // across accesses; size them for a full-machine fan-out up front so the
   // steady-state access path never allocates.
   const auto clusters = static_cast<std::size_t>(num_clusters_);
-  txn_.hops.reserve(2 * clusters + 8);
+  txn_.hops.reserve(4 * clusters + 8);
   txn_.fanouts.reserve(4);
   txn_.notes.reserve(8);
   target_scratch_.reserve(clusters);
+  chip_scratch_.reserve(static_cast<std::size_t>(chips));
 }
 
 // ---------------------------------------------------------------------------
@@ -141,8 +183,13 @@ void CoherenceSystem::attach_recorder(obs::TraceRecorder* recorder) {
   }
   recorder_ = recorder;
   for (int h = 0; h < num_clusters_; ++h) {
-    directories_[static_cast<std::size_t>(h)]->attach_obs(
-        recorder, static_cast<NodeId>(h));
+    home_level_->store(h).attach_obs(recorder, static_cast<NodeId>(h));
+  }
+  if (intra_level_ != nullptr) {
+    // Intra-chip store events are lane-tagged with the chip's gateway.
+    for (int q = 0; q < intra_level_->num_stores(); ++q) {
+      intra_level_->store(q).attach_obs(recorder, gateway_of(q));
+    }
   }
 }
 
@@ -153,7 +200,7 @@ void CoherenceSystem::attach_attribution(AttributionSink* sink) {
   attrib_ = sink;
   backend_->set_timing_sink(sink);
   if (sink != nullptr) {
-    sink->bind(mesh_);
+    sink->bind(*topo_);
   }
 }
 
@@ -269,7 +316,7 @@ void CoherenceSystem::reclaim_victim(NodeId home, const VictimEntry& victim,
       case DirState::kShared: {
         if (!collected) {
           target_scratch_.clear();
-          format_->collect_targets(victim.entry.sharers, kNoNode,
+          home_level_->format().collect_targets(victim.entry.sharers, kNoNode,
                                    target_scratch_);
           collected = true;
         }
@@ -328,7 +375,7 @@ int CoherenceSystem::add_sharer_handling_displacement(DirEntry& entry,
                                                       NodeId home, int dep) {
   if (check::compiled() &&
       config_.fault.kind == check::FaultKind::kForgetSharer &&
-      !format_->maybe_sharer(entry.sharers, node) &&
+      !home_level_->format().maybe_sharer(entry.sharers, node) &&
       fault_fires(check::FaultKind::kForgetSharer)) {
     // Seeded fault: the directory drops the sharer bit/pointer for `node`
     // (only fired when the representation does not already cover it, so the
@@ -337,7 +384,7 @@ int CoherenceSystem::add_sharer_handling_displacement(DirEntry& entry,
     return 0;
   }
   const bool was_precise = !entry.sharers.overflowed;
-  const NodeId displaced = format_->add_sharer(entry.sharers, node);
+  const NodeId displaced = home_level_->format().add_sharer(entry.sharers, node);
   if (was_precise && entry.sharers.overflowed) {
     // The entry left precise pointer mode (broadcast bit, composite
     // pointer, or coarse-vector reinterpretation, depending on scheme).
@@ -412,15 +459,15 @@ void CoherenceSystem::handle_eviction(ProcId proc, const EvictedLine& evicted) {
     const NodeId h = home_of(evicted.block);
     ++stats_.replacement_hints_sent;
     txn_.add_hop(HopKind::kReplacementHint, c, h);
-    DirEntry* entry = directories_[h]->find(key);
+    DirEntry* entry = home_level_->store(h).find(key);
     if (entry != nullptr &&
         entry->state_of(sub_of(evicted.block)) == DirState::kShared) {
-      format_->remove_sharer(entry->sharers, c);
-      if (format_->known_empty(entry->sharers) &&
+      home_level_->format().remove_sharer(entry->sharers, c);
+      if (home_level_->format().known_empty(entry->sharers) &&
           !entry->any_in_state(DirState::kDirty, config_.blocks_per_group,
                                -1)) {
         entry->reset();
-        directories_[h]->release(key);
+        home_level_->store(h).release(key);
       }
     }
     return;
@@ -428,11 +475,31 @@ void CoherenceSystem::handle_eviction(ProcId proc, const EvictedLine& evicted) {
   ++stats_.dirty_eviction_writebacks;
   const NodeId c = cluster_of(proc);
   const NodeId h = home_of(evicted.block);
+  if (hierarchical()) {
+    // The dirty data travels home across the chip boundary and both
+    // directory levels drop the block entirely (the sole copy is gone).
+    hier_path(HopKind::kEvictionWriteback, HopKind::kChipWriteback, c, h, -1);
+    set_memory_version(evicted.block, evicted.version);
+    const int qc = chip_of_cluster(c);
+    DirEntry* inter = home_level_->store(h).find(evicted.block);
+    ensure(inter != nullptr && inter->state_of(0) == DirState::kDirty &&
+               inter->owner_of(0) == static_cast<NodeId>(qc),
+           "writeback from a non-owner chip");
+    inter->reset();
+    home_level_->store(h).release(evicted.block);
+    DirEntry* intra = intra_level_->store(qc).find(evicted.block);
+    ensure(intra != nullptr && intra->state_of(0) == DirState::kDirty &&
+               intra->owner_of(0) == static_cast<NodeId>(chip_local_of(c)),
+           "writeback from a non-owner cluster");
+    intra->reset();
+    intra_level_->store(qc).release(evicted.block);
+    return;
+  }
   const BlockAddr key = group_key(evicted.block);
   const int sub = sub_of(evicted.block);
   txn_.add_hop(HopKind::kEvictionWriteback, c, h);
   set_memory_version(evicted.block, evicted.version);
-  DirEntry* entry = directories_[h]->find(key);
+  DirEntry* entry = home_level_->store(h).find(key);
   ensure(entry != nullptr, "writeback found no directory entry");
   ensure(entry->state_of(sub) == DirState::kDirty &&
              entry->owner_of(sub) == c,
@@ -441,7 +508,7 @@ void CoherenceSystem::handle_eviction(ProcId proc, const EvictedLine& evicted) {
   entry->owner_of(sub) = kNoNode;
   if (entry->all_uncached(config_.blocks_per_group)) {
     entry->reset();
-    directories_[h]->release(key);
+    home_level_->store(h).release(key);
   }
 }
 
@@ -503,17 +570,44 @@ bool CoherenceSystem::snoop_service(ProcId proc, BlockAddr block,
       // remote read is not forwarded to a cluster with no dirty copy.
       const std::uint32_t version = caches_[holder].downgrade(block);
       ++stats_.sharing_writebacks;
-      const int wb = txn_.add_hop(HopKind::kSharingWriteback, c, h);
-      set_memory_version(block, version);
-      DirEntry* entry = directories_[h]->find(group_key(block));
-      const int sub = sub_of(block);
-      ensure(entry != nullptr && entry->state_of(sub) == DirState::kDirty &&
-                 entry->owner_of(sub) == c,
-             "sibling dirty copy without a matching directory entry");
-      entry->owner_of(sub) = kNoNode;
-      reset_union_if_sole(*entry, sub);
-      entry->state_of(sub) = DirState::kShared;
-      add_sharer_handling_displacement(*entry, group_key(block), c, h, wb);
+      if (hierarchical()) {
+        // Both levels demote with the writeback: the chip no longer owns
+        // the block at the home, and the cluster no longer owns it on the
+        // chip.
+        const int wb = hier_path(HopKind::kSharingWriteback,
+                                 HopKind::kChipWriteback, c, h, -1);
+        set_memory_version(block, version);
+        const int qc = chip_of_cluster(c);
+        DirEntry* inter = home_level_->store(h).find(block);
+        ensure(inter != nullptr && inter->state_of(0) == DirState::kDirty &&
+                   inter->owner_of(0) == static_cast<NodeId>(qc),
+               "sibling dirty copy without a matching inter-chip entry");
+        inter->owner_of(0) = kNoNode;
+        inter->sharers.reset();
+        inter->state_of(0) = DirState::kShared;
+        inter_add_chip(*inter, block, qc, h, wb);
+        DirEntry* intra = intra_level_->store(qc).find(block);
+        ensure(intra != nullptr && intra->state_of(0) == DirState::kDirty &&
+                   intra->owner_of(0) ==
+                       static_cast<NodeId>(chip_local_of(c)),
+               "sibling dirty copy without a matching intra-chip entry");
+        intra->owner_of(0) = kNoNode;
+        intra->sharers.reset();
+        intra->state_of(0) = DirState::kShared;
+        intra_add_sharer(qc, *intra, block, chip_local_of(c), wb);
+      } else {
+        const int wb = txn_.add_hop(HopKind::kSharingWriteback, c, h);
+        set_memory_version(block, version);
+        DirEntry* entry = home_level_->store(h).find(group_key(block));
+        const int sub = sub_of(block);
+        ensure(entry != nullptr && entry->state_of(sub) == DirState::kDirty &&
+                   entry->owner_of(sub) == c,
+               "sibling dirty copy without a matching directory entry");
+        entry->owner_of(sub) = kNoNode;
+        reset_union_if_sole(*entry, sub);
+        entry->state_of(sub) = DirState::kShared;
+        add_sharer_handling_displacement(*entry, group_key(block), c, h, wb);
+      }
       fill_cache(proc, block, LineState::kShared, version);
       fill_l1(proc, block, version);
       check_version(block, version);
@@ -577,13 +671,20 @@ void CoherenceSystem::flush_obs() {
 Cycle CoherenceSystem::commit(Cycle now) {
   ensure(txn_.active(), "commit without a transaction in flight");
   txn_.fold(stats_.messages);
+  if (intra_level_ != nullptr) {
+    for (const Hop& hop : txn_.hops) {
+      if (hop.src != hop.dst && hop_crosses_chips(hop.kind)) {
+        stats_.chip_messages.add(hop_msg_class(hop.kind));
+      }
+    }
+  }
   // Computed once here and handed to the backend, which needs the same
   // route for its latency math.
   TransactionRoute route;
   if (txn_.kind == TxnKind::kLocal) {
     ++stats_.local_transactions;
   } else {
-    route = transaction_route(mesh_, txn_.requester, txn_.home, txn_.owner);
+    route = transaction_route(*topo_, txn_.requester, txn_.home, txn_.owner);
     if (route.distinct_clusters == 1) {
       ++stats_.local_transactions;
     } else if (route.distinct_clusters == 2) {
@@ -694,16 +795,22 @@ Cycle CoherenceSystem::access_internal(ProcId proc, BlockAddr block,
     return commit(now);
   }
 
+  // Directory transaction — two-level machines take the hierarchical path
+  // (chip-level service attempt, then the inter-chip protocol at the home).
+  if (hierarchical()) {
+    return access_hier(proc, block, is_write, now);
+  }
+
   // Directory transaction at the home cluster.
   txn_.kind = TxnKind::kDirectory;
   const int req = txn_.add_hop(HopKind::kRequest, c, h);
   const BlockAddr key = group_key(block);
   const int sub = sub_of(block);
   if (obs::compiled() && recorder_ != nullptr) {
-    directories_[h]->obs_tick(obs_now_);  // timestamp store-level events
+    home_level_->store(h).obs_tick(obs_now_);  // timestamp store-level events
   }
   std::optional<VictimEntry> victim;
-  DirEntry* entry = directories_[h]->find_or_alloc(key, victim);
+  DirEntry* entry = home_level_->store(h).find_or_alloc(key, victim);
   // Sparse-directory replacement work delays the transaction that forced it.
   if (victim) {
     reclaim_victim(h, *victim, req);
@@ -796,7 +903,7 @@ Cycle CoherenceSystem::access_internal(ProcId proc, BlockAddr block,
     }
     case DirState::kShared: {
       target_scratch_.clear();
-      format_->collect_targets(entry->sharers, c, target_scratch_);
+      home_level_->format().collect_targets(entry->sharers, c, target_scratch_);
       const auto outcome = send_invalidations(
           target_scratch_, h, c, block, HopKind::kInval, HopKind::kAck,
           FanoutCause::kWriteShared, req);
@@ -848,10 +955,688 @@ Cycle CoherenceSystem::access_internal(ProcId proc, BlockAddr block,
   return 0;
 }
 
+// ---------------------------------------------------------------------------
+// Two-level hierarchy (docs/HIERARCHY.md): chip-boundary message paths,
+// per-level entry maintenance and the hierarchical access body
+// ---------------------------------------------------------------------------
+
+int CoherenceSystem::hier_path(HopKind local_kind, HopKind chip_kind, NodeId a,
+                               NodeId b, int dep, int fanout) {
+  const int qa = chip_of_cluster(a);
+  const int qb = chip_of_cluster(b);
+  if (qa == qb) {
+    return txn_.add_hop(local_kind, a, b, dep, fanout);
+  }
+  const NodeId ga = gateway_of(qa);
+  const NodeId gb = gateway_of(qb);
+  const int up = txn_.add_hop(local_kind, a, ga, dep, fanout);
+  const int across = txn_.add_hop(chip_kind, ga, gb, up, fanout);
+  return txn_.add_hop(local_kind, gb, b, across, fanout);
+}
+
+int CoherenceSystem::intra_add_sharer(int chip, DirEntry& entry,
+                                      BlockAddr block, NodeId lc, int dep) {
+  const NodeId gw = gateway_of(chip);
+  const bool was_precise = !entry.sharers.overflowed;
+  const NodeId displaced = intra_level_->format().add_sharer(entry.sharers, lc);
+  if (was_precise && entry.sharers.overflowed) {
+    txn_.note(static_cast<std::uint8_t>(obs::EvType::kPtrOverflow), block,
+              static_cast<std::uint64_t>(gw + lc));
+  }
+  if (displaced == kNoNode || displaced == lc) {
+    return 0;
+  }
+  // Dir_iNB overflow at the intra-chip level: the displaced *local cluster*
+  // is invalidated by its own chip directory; nothing leaves the chip (the
+  // home's inter-chip entry still covers this chip through the requester).
+  ++stats_.nb_read_displacements;
+  const NodeId g = gw + displaced;
+  const int fo = txn_.open_fanout(FanoutCause::kPointerDisplacement, dep);
+  const bool had_copy = invalidate_cluster(g, block);
+  if (!had_copy) {
+    ++stats_.extraneous_invalidations;
+  }
+  const int iv = txn_.add_hop(HopKind::kDisplacementInval, gw, g, dep, fo);
+  int net_invals = 0;
+  if (g != gw) {
+    ++txn_.fanouts[static_cast<std::size_t>(fo)].network_invalidations;
+    ++txn_.fanouts[static_cast<std::size_t>(fo)].network_acks;
+    ++net_invals;
+  }
+  txn_.add_hop(HopKind::kAck, g, gw, iv, fo);
+  stats_.inval_distribution.add(static_cast<std::uint64_t>(net_invals));
+  if (net_invals > 0) {
+    txn_.note(static_cast<std::uint8_t>(obs::EvType::kInvalFanout), block,
+              static_cast<std::uint64_t>(net_invals));
+  }
+  return net_invals;
+}
+
+CoherenceSystem::TargetOutcome CoherenceSystem::invalidate_chip(
+    int q, BlockAddr block, NodeId ack_sink, HopKind inval_kind,
+    HopKind ack_kind, int dep, int fo) {
+  TargetOutcome outcome;
+  const NodeId gw = gateway_of(q);
+  DirectoryStore& store = intra_level_->store(q);
+  DirEntry* entry = store.find(block);
+  if (entry == nullptr || entry->state_of(0) == DirState::kUncached) {
+    // Stale chip-level sharer: every on-chip copy was already replaced (and
+    // the intra entry reclaimed). The chip invalidation was extraneous.
+    ++stats_.extraneous_invalidations;
+    return outcome;
+  }
+  target_scratch_.clear();
+  if (entry->state_of(0) == DirState::kDirty) {
+    // Only reachable through corrupted state (seeded faults): kill the
+    // owner's copy too so the fan-out still leaves the chip empty.
+    target_scratch_.push_back(entry->owner_of(0));
+  } else {
+    intra_level_->format().collect_targets(entry->sharers, kNoNode,
+                                           target_scratch_);
+  }
+  for (NodeId lt : target_scratch_) {
+    const NodeId g = gw + lt;
+    bool had_copy;
+    if (fault_drops_hop(inval_kind, g, block)) {
+      had_copy = true;  // lost in the network; the target keeps its copy
+    } else {
+      had_copy = invalidate_cluster(g, block);
+    }
+    if (!had_copy) {
+      ++stats_.extraneous_invalidations;
+    }
+    const int iv = txn_.add_hop(inval_kind, gw, g, dep, fo);
+    outcome.last_hop = iv;
+    if (g != gw) {
+      ++txn_.fanouts[static_cast<std::size_t>(fo)].network_invalidations;
+      ++outcome.network_invalidations;
+    }
+    if (g != ack_sink) {
+      outcome.last_hop = txn_.add_hop(ack_kind, g, ack_sink, iv, fo);
+      ++txn_.fanouts[static_cast<std::size_t>(fo)].network_acks;
+      ++outcome.network_acks;
+    }
+  }
+  entry->reset();
+  store.release(block);
+  return outcome;
+}
+
+int CoherenceSystem::inter_add_chip(DirEntry& entry, BlockAddr block, int q,
+                                    NodeId home, int dep) {
+  if (check::compiled() &&
+      config_.fault.kind == check::FaultKind::kForgetChipSharer &&
+      !home_level_->format().maybe_sharer(entry.sharers,
+                                          static_cast<NodeId>(q)) &&
+      fault_fires(check::FaultKind::kForgetChipSharer)) {
+    // Seeded fault: the inter-chip directory drops the chip pointer/bit
+    // (only fired when the representation does not already cover the chip,
+    // so the drop is guaranteed to leave untracked on-chip copies).
+    return 0;
+  }
+  const bool was_precise = !entry.sharers.overflowed;
+  const NodeId displaced =
+      home_level_->format().add_sharer(entry.sharers, static_cast<NodeId>(q));
+  if (was_precise && entry.sharers.overflowed) {
+    txn_.note(static_cast<std::uint8_t>(obs::EvType::kPtrOverflow), block,
+              static_cast<std::uint64_t>(q));
+  }
+  if (displaced == kNoNode || displaced == static_cast<NodeId>(q)) {
+    return 0;
+  }
+  // Dir_iNB overflow at the inter-chip level displaces a whole *chip*: the
+  // displaced chip sheds every on-chip copy and its intra entry.
+  ++stats_.nb_read_displacements;
+  const int fo = txn_.open_fanout(FanoutCause::kPointerDisplacement, dep);
+  const NodeId gd = gateway_of(static_cast<int>(displaced));
+  int net_invals = 0;
+  const int iv = hier_path(HopKind::kDisplacementInval, HopKind::kChipInval,
+                           home, gd, dep, fo);
+  if (gd != home) {
+    ++txn_.fanouts[static_cast<std::size_t>(fo)].network_invalidations;
+    ++net_invals;
+  }
+  const auto out =
+      invalidate_chip(static_cast<int>(displaced), block, gd,
+                      HopKind::kDisplacementInval, HopKind::kAck, iv, fo);
+  net_invals += out.network_invalidations;
+  hier_path(HopKind::kAck, HopKind::kChipAck, gd, home,
+            out.last_hop >= 0 ? out.last_hop : iv, fo);
+  if (gd != home) {
+    ++txn_.fanouts[static_cast<std::size_t>(fo)].network_acks;
+  }
+  stats_.inval_distribution.add(static_cast<std::uint64_t>(net_invals));
+  if (net_invals > 0) {
+    txn_.note(static_cast<std::uint8_t>(obs::EvType::kInvalFanout), block,
+              static_cast<std::uint64_t>(net_invals));
+  }
+  return net_invals;
+}
+
+DirEntry* CoherenceSystem::intra_find_or_alloc(int chip, BlockAddr block,
+                                               int dep) {
+  DirectoryStore& store = intra_level_->store(chip);
+  if (obs::compiled() && recorder_ != nullptr) {
+    store.obs_tick(obs_now_);
+  }
+  std::optional<VictimEntry> victim;
+  DirEntry* entry = store.find_or_alloc(block, victim);
+  if (victim) {
+    reclaim_intra_victim(chip, *victim, dep);
+  }
+  return entry;
+}
+
+void CoherenceSystem::reclaim_intra_victim(int chip, const VictimEntry& victim,
+                                           int dep) {
+  ++stats_.sparse_replacements;
+  const BlockAddr block = victim.block;
+  const NodeId gw = gateway_of(chip);
+  switch (victim.entry.state_of(0)) {
+    case DirState::kUncached:
+      break;
+    case DirState::kShared: {
+      // Local reclaim: every on-chip copy dies; the home's inter-chip entry
+      // keeps a stale (superset-safe) chip sharer, exactly like a silent
+      // cache replacement one level down.
+      target_scratch_.clear();
+      intra_level_->format().collect_targets(victim.entry.sharers, kNoNode,
+                                             target_scratch_);
+      const int fo = txn_.open_fanout(FanoutCause::kSparseReclaim, dep);
+      for (NodeId lt : target_scratch_) {
+        const NodeId g = gw + lt;
+        bool had_copy;
+        if (fault_drops_hop(HopKind::kReclaimInval, g, block)) {
+          had_copy = true;
+        } else {
+          had_copy = invalidate_cluster(g, block);
+        }
+        if (!had_copy) {
+          ++stats_.extraneous_invalidations;
+        }
+        const int iv = txn_.add_hop(HopKind::kReclaimInval, gw, g, dep, fo);
+        if (g != gw) {
+          ++txn_.fanouts[static_cast<std::size_t>(fo)].network_invalidations;
+          ++stats_.sparse_replacement_invals;
+          txn_.add_hop(HopKind::kReclaimAck, g, gw, iv, fo);
+          ++txn_.fanouts[static_cast<std::size_t>(fo)].network_acks;
+        }
+      }
+      break;
+    }
+    case DirState::kDirty: {
+      // The sole dirty copy cannot drop silently: fetch it, flush it home
+      // across the chip boundary and clear the inter-chip entry.
+      const NodeId lo = victim.entry.owner_of(0);
+      const NodeId g = gw + lo;
+      const int fetch = txn_.add_hop(HopKind::kVictimFetch, gw, g, dep);
+      bool found_dirty = false;
+      const int first = g * config_.procs_per_cluster;
+      for (int p = first; p < first + config_.procs_per_cluster; ++p) {
+        auto result = invalidate_line(static_cast<std::size_t>(p), block);
+        if (result.had_copy) {
+          found_dirty = true;
+          if (!fault_drops_hop(HopKind::kVictimWriteback, g, block)) {
+            set_memory_version(block, result.version);
+          }
+        }
+      }
+      ensure(found_dirty, "dirty intra-chip victim had no cached copy");
+      const int wb = txn_.add_hop(HopKind::kVictimWriteback, g, gw, fetch);
+      const NodeId h = home_of(block);
+      hier_path(HopKind::kVictimWriteback, HopKind::kChipWriteback, gw, h, wb);
+      ++stats_.sparse_replacement_invals;
+      DirEntry* inter = home_level_->store(h).find(block);
+      ensure(inter != nullptr && inter->state_of(0) == DirState::kDirty &&
+                 inter->owner_of(0) == static_cast<NodeId>(chip),
+             "dirty intra-chip victim not owned at the home");
+      inter->reset();
+      home_level_->store(h).release(block);
+      break;
+    }
+  }
+}
+
+void CoherenceSystem::reclaim_inter_victim(NodeId home,
+                                           const VictimEntry& victim,
+                                           int dep) {
+  ++stats_.sparse_replacements;
+  const BlockAddr block = victim.block;
+  switch (victim.entry.state_of(0)) {
+    case DirState::kUncached:
+      break;
+    case DirState::kShared: {
+      // Every chip the victim entry names is invalidated chip-wide; acks
+      // collect at the home's RAC before the entry is reused.
+      chip_scratch_.clear();
+      home_level_->format().collect_targets(victim.entry.sharers, kNoNode,
+                                            chip_scratch_);
+      const int fo = txn_.open_fanout(FanoutCause::kSparseReclaim, dep);
+      int net_invals = 0;
+      for (NodeId t : chip_scratch_) {
+        const NodeId gt = gateway_of(static_cast<int>(t));
+        const int iv = hier_path(HopKind::kReclaimInval, HopKind::kChipInval,
+                                 home, gt, dep, fo);
+        if (gt != home) {
+          ++txn_.fanouts[static_cast<std::size_t>(fo)].network_invalidations;
+          ++net_invals;
+        }
+        const auto out =
+            invalidate_chip(static_cast<int>(t), block, gt,
+                            HopKind::kReclaimInval, HopKind::kReclaimAck, iv,
+                            fo);
+        net_invals += out.network_invalidations;
+        hier_path(HopKind::kReclaimAck, HopKind::kChipAck, gt, home,
+                  out.last_hop >= 0 ? out.last_hop : iv, fo);
+        if (gt != home) {
+          ++txn_.fanouts[static_cast<std::size_t>(fo)].network_acks;
+        }
+      }
+      stats_.sparse_replacement_invals +=
+          static_cast<std::uint64_t>(net_invals);
+      break;
+    }
+    case DirState::kDirty: {
+      const int qo = static_cast<int>(victim.entry.owner_of(0));
+      DirEntry* ointra = intra_level_->store(qo).find(block);
+      ensure(ointra != nullptr && ointra->state_of(0) == DirState::kDirty,
+             "dirty inter-chip victim without an intra-chip owner entry");
+      const NodeId g = gateway_of(qo) + ointra->owner_of(0);
+      const int fetch = hier_path(HopKind::kVictimFetch, HopKind::kChipForward,
+                                  home, g, dep);
+      bool found_dirty = false;
+      const int first = g * config_.procs_per_cluster;
+      for (int p = first; p < first + config_.procs_per_cluster; ++p) {
+        auto result = invalidate_line(static_cast<std::size_t>(p), block);
+        if (result.had_copy) {
+          found_dirty = true;
+          if (!fault_drops_hop(HopKind::kVictimWriteback, g, block)) {
+            set_memory_version(block, result.version);
+          }
+        }
+      }
+      ensure(found_dirty, "dirty inter-chip victim had no cached copy");
+      hier_path(HopKind::kVictimWriteback, HopKind::kChipWriteback, g, home,
+                fetch);
+      ++stats_.sparse_replacement_invals;
+      ointra->reset();
+      intra_level_->store(qo).release(block);
+      break;
+    }
+  }
+}
+
+Cycle CoherenceSystem::access_hier(ProcId proc, BlockAddr block, bool is_write,
+                                   Cycle now) {
+  Cache& cache = caches_[proc];
+  const NodeId c = cluster_of(proc);
+  const NodeId h = home_of(block);
+  const int qc = chip_of_cluster(c);
+  const NodeId gq = gateway_of(qc);
+  const NodeId lc = static_cast<NodeId>(chip_local_of(c));
+  txn_.kind = TxnKind::kDirectory;
+
+  // --- Chip-level service attempt: the requester's intra-chip directory
+  // satisfies the access without leaving the chip when the chip already
+  // holds the block in a compatible state.
+  DirEntry* local_entry = intra_level_->store(qc).find(block);
+  if (local_entry != nullptr) {
+    const DirState lstate = local_entry->state_of(0);
+    if (lstate == DirState::kDirty) {
+      const NodeId lo = local_entry->owner_of(0);
+      const NodeId og = gq + lo;
+      ensure(og != c, "chip-dirty at the requester must be snoop-served");
+      txn_.owner = og;
+      if (!is_write) {
+        // On-chip dirty read: the owner supplies the data and demotes; the
+        // sharing writeback still travels to the home so memory and the
+        // inter-chip entry demote with it.
+        ++stats_.read_transactions;
+        const int req = txn_.add_hop(HopKind::kRequest, c, gq);
+        const int fwd = txn_.add_hop(HopKind::kForward, gq, og, req);
+        std::uint32_t version = 0;
+        bool found = false;
+        const int first = og * config_.procs_per_cluster;
+        for (int p = first; p < first + config_.procs_per_cluster; ++p) {
+          if (caches_[static_cast<std::size_t>(p)].probe(block) ==
+              LineState::kModified) {
+            version = caches_[static_cast<std::size_t>(p)].downgrade(block);
+            found = true;
+            break;
+          }
+        }
+        ensure(found, "intra-chip owner held no dirty copy");
+        ++stats_.sharing_writebacks;
+        const int wb = hier_path(HopKind::kSharingWriteback,
+                                 HopKind::kChipWriteback, og, h, fwd);
+        set_memory_version(block, version);
+        txn_.add_hop(HopKind::kReply, og, c, fwd);
+        DirEntry* inter = home_level_->store(h).find(block);
+        ensure(inter != nullptr && inter->state_of(0) == DirState::kDirty &&
+                   inter->owner_of(0) == static_cast<NodeId>(qc),
+               "chip-dirty block not owned at the home");
+        inter->owner_of(0) = kNoNode;
+        inter->sharers.reset();
+        inter->state_of(0) = DirState::kShared;
+        inter_add_chip(*inter, block, qc, h, wb);
+        local_entry->owner_of(0) = kNoNode;
+        local_entry->sharers.reset();
+        local_entry->state_of(0) = DirState::kShared;
+        intra_add_sharer(qc, *local_entry, block, lo, wb);
+        intra_add_sharer(qc, *local_entry, block, lc, wb);
+        fill_cache(proc, block, LineState::kShared, version);
+        fill_l1(proc, block, version);
+        check_version(block, version);
+        return commit(now);
+      }
+      // On-chip ownership transfer: the hierarchy's traffic win — the
+      // write is a full 3-party transaction, yet zero messages leave the
+      // chip (the inter-chip entry already names this chip as owner).
+      ++stats_.write_transactions;
+      ++stats_.ownership_transfers;
+      ++stats_.chip_local_transactions;
+      const int req = txn_.add_hop(HopKind::kRequest, c, gq);
+      const int fwd = txn_.add_hop(HopKind::kForward, gq, og, req);
+      const bool had = invalidate_cluster(og, block);
+      ensure(had, "intra-chip owner held no copy on transfer");
+      txn_.add_hop(HopKind::kReply, og, c, fwd);
+      txn_.add_hop(HopKind::kTransferAck, og, gq, fwd);
+      local_entry->owner_of(0) = lc;
+      const std::uint32_t version = bump_latest(block);
+      scrub_cluster_siblings(proc, block);
+      fill_cache(proc, block, LineState::kModified, version);
+      if (!l1_.empty()) {
+        l1_[proc].refresh(block, version);
+      }
+      txn_.home = gq;  // served by the chip directory
+      return commit(now);
+    }
+    if (lstate == DirState::kShared && !is_write) {
+      // On-chip shared read: any local cluster with a live copy provides
+      // the block — no home involvement, no inter-chip traffic.
+      target_scratch_.clear();
+      intra_level_->format().collect_targets(local_entry->sharers, kNoNode,
+                                             target_scratch_);
+      NodeId provider = kNoNode;
+      std::uint32_t version = 0;
+      for (NodeId lt : target_scratch_) {
+        const NodeId g = gq + lt;
+        const int first = g * config_.procs_per_cluster;
+        for (int p = first; p < first + config_.procs_per_cluster; ++p) {
+          if (caches_[static_cast<std::size_t>(p)].probe(block) !=
+              LineState::kInvalid) {
+            provider = g;
+            version = caches_[static_cast<std::size_t>(p)].version_of(block);
+            break;
+          }
+        }
+        if (provider != kNoNode) {
+          break;
+        }
+      }
+      if (provider != kNoNode) {
+        ++stats_.read_transactions;
+        ++stats_.chip_local_transactions;
+        txn_.owner = provider;
+        const int req = txn_.add_hop(HopKind::kRequest, c, gq);
+        const int fwd = txn_.add_hop(HopKind::kForward, gq, provider, req);
+        txn_.add_hop(HopKind::kReply, provider, c, fwd);
+        intra_add_sharer(qc, *local_entry, block, lc, req);
+        fill_cache(proc, block, LineState::kShared, version);
+        fill_l1(proc, block, version);
+        check_version(block, version);
+        txn_.home = gq;  // served by the chip directory
+        return commit(now);
+      }
+      // Stale intra entry (every on-chip copy was silently replaced): fall
+      // through to the home.
+    }
+  }
+
+  // --- Inter-chip transaction at the home.
+  const int req =
+      hier_path(HopKind::kRequest, HopKind::kChipRequest, c, h, -1);
+  if (obs::compiled() && recorder_ != nullptr) {
+    home_level_->store(h).obs_tick(obs_now_);
+  }
+  std::optional<VictimEntry> victim;
+  DirEntry* entry = home_level_->store(h).find_or_alloc(block, victim);
+  if (victim) {
+    reclaim_inter_victim(h, *victim, req);
+  }
+
+  if (!is_write) {
+    ++stats_.read_transactions;
+    switch (entry->state_of(0)) {
+      case DirState::kUncached:
+      case DirState::kShared: {
+        if (entry->state_of(0) == DirState::kUncached) {
+          entry->sharers.reset();
+          entry->state_of(0) = DirState::kShared;
+        }
+        const int inter_invals = inter_add_chip(*entry, block, qc, h, req);
+        const std::uint32_t version = memory_version(block);
+        hier_path(HopKind::kReply, HopKind::kChipReply, h, c, req);
+        DirEntry* intra = intra_find_or_alloc(qc, block, req);
+        if (intra->state_of(0) == DirState::kUncached) {
+          intra->sharers.reset();
+          intra->state_of(0) = DirState::kShared;
+        }
+        const int intra_invals = intra_add_sharer(qc, *intra, block, lc, req);
+        fill_cache(proc, block, LineState::kShared, version);
+        fill_l1(proc, block, version);
+        check_version(block, version);
+        // A displacement at either level stalls the reply until the
+        // displaced copy's ack is in.
+        txn_.ack_round = inter_invals + intra_invals > 0;
+        return commit(now);
+      }
+      case DirState::kDirty: {
+        const int qo = static_cast<int>(entry->owner_of(0));
+        ensure(qo != qc,
+               "chip-dirty at the requester's chip must be served on chip");
+        DirEntry* ointra = intra_level_->store(qo).find(block);
+        ensure(ointra != nullptr && ointra->state_of(0) == DirState::kDirty,
+               "owner chip lost its intra-chip dirty entry");
+        const NodeId lo = ointra->owner_of(0);
+        const NodeId og = gateway_of(qo) + lo;
+        txn_.owner = og;
+        const int fwd =
+            hier_path(HopKind::kForward, HopKind::kChipForward, h, og, req);
+        std::uint32_t version = 0;
+        bool found = false;
+        const int first = og * config_.procs_per_cluster;
+        for (int p = first; p < first + config_.procs_per_cluster; ++p) {
+          if (caches_[static_cast<std::size_t>(p)].probe(block) ==
+              LineState::kModified) {
+            version = caches_[static_cast<std::size_t>(p)].downgrade(block);
+            found = true;
+            break;
+          }
+        }
+        ensure(found, "inter-chip owner held no dirty copy");
+        ++stats_.sharing_writebacks;
+        const int wb = hier_path(HopKind::kSharingWriteback,
+                                 HopKind::kChipWriteback, og, h, fwd);
+        set_memory_version(block, version);
+        hier_path(HopKind::kReply, HopKind::kChipReply, og, c, fwd);
+        // Both chips end up sharers at the home; the owner chip's intra
+        // entry demotes with it. Displacements here are fire-and-forget.
+        entry->owner_of(0) = kNoNode;
+        entry->sharers.reset();
+        entry->state_of(0) = DirState::kShared;
+        inter_add_chip(*entry, block, qo, h, wb);
+        inter_add_chip(*entry, block, qc, h, wb);
+        ointra->owner_of(0) = kNoNode;
+        ointra->sharers.reset();
+        ointra->state_of(0) = DirState::kShared;
+        intra_add_sharer(qo, *ointra, block, lo, wb);
+        DirEntry* intra = intra_find_or_alloc(qc, block, wb);
+        if (intra->state_of(0) == DirState::kUncached) {
+          intra->sharers.reset();
+          intra->state_of(0) = DirState::kShared;
+        }
+        intra_add_sharer(qc, *intra, block, lc, wb);
+        fill_cache(proc, block, LineState::kShared, version);
+        fill_l1(proc, block, version);
+        check_version(block, version);
+        return commit(now);
+      }
+    }
+    ensure(false, "unreachable hierarchical read state");
+  }
+
+  // Write transaction at the home.
+  ++stats_.write_transactions;
+  switch (entry->state_of(0)) {
+    case DirState::kUncached: {
+      entry->sharers.reset();
+      entry->state_of(0) = DirState::kDirty;
+      entry->owner_of(0) = static_cast<NodeId>(qc);
+      hier_path(HopKind::kReply, HopKind::kChipReply, h, c, req);
+      stats_.inval_distribution.add(0);
+      DirEntry* intra = intra_find_or_alloc(qc, block, req);
+      intra->sharers.reset();
+      intra->state_of(0) = DirState::kDirty;
+      intra->owner_of(0) = lc;
+      const std::uint32_t version = bump_latest(block);
+      scrub_cluster_siblings(proc, block);
+      fill_cache(proc, block, LineState::kModified, version);
+      if (!l1_.empty()) {
+        l1_[proc].refresh(block, version);
+      }
+      return commit(now);
+    }
+    case DirState::kShared: {
+      // The home fans invalidations out at chip granularity: one path to
+      // each sharer chip's gateway, a local fan-out on that chip, one ack
+      // path back to the requester per chip. The requester's own chip
+      // scrubs its extra sharers locally.
+      chip_scratch_.clear();
+      home_level_->format().collect_targets(entry->sharers,
+                                            static_cast<NodeId>(qc),
+                                            chip_scratch_);
+      const int fo = txn_.open_fanout(FanoutCause::kWriteShared, req);
+      int net_invals = 0;
+      for (NodeId t : chip_scratch_) {
+        const NodeId gt = gateway_of(static_cast<int>(t));
+        const int iv =
+            hier_path(HopKind::kInval, HopKind::kChipInval, h, gt, req, fo);
+        if (gt != h) {
+          ++txn_.fanouts[static_cast<std::size_t>(fo)].network_invalidations;
+          ++net_invals;
+        }
+        const auto out = invalidate_chip(static_cast<int>(t), block, gt,
+                                         HopKind::kInval, HopKind::kAck, iv,
+                                         fo);
+        net_invals += out.network_invalidations;
+        hier_path(HopKind::kAck, HopKind::kChipAck, gt, c,
+                  out.last_hop >= 0 ? out.last_hop : iv, fo);
+        if (gt != c) {
+          ++txn_.fanouts[static_cast<std::size_t>(fo)].network_acks;
+        }
+      }
+      DirEntry* intra = intra_level_->store(qc).find(block);
+      if (intra != nullptr && intra->state_of(0) == DirState::kShared) {
+        target_scratch_.clear();
+        intra_level_->format().collect_targets(intra->sharers, lc,
+                                               target_scratch_);
+        for (NodeId lt : target_scratch_) {
+          const NodeId g = gq + lt;
+          bool had_copy;
+          if (fault_drops_hop(HopKind::kInval, g, block)) {
+            had_copy = true;
+          } else {
+            had_copy = invalidate_cluster(g, block);
+          }
+          if (!had_copy) {
+            ++stats_.extraneous_invalidations;
+          }
+          const int iv = txn_.add_hop(HopKind::kInval, gq, g, req, fo);
+          if (g != gq) {
+            ++txn_.fanouts[static_cast<std::size_t>(fo)]
+                  .network_invalidations;
+            ++net_invals;
+          }
+          if (g != c) {
+            txn_.add_hop(HopKind::kAck, g, c, iv, fo);
+            ++txn_.fanouts[static_cast<std::size_t>(fo)].network_acks;
+          }
+        }
+      }
+      stats_.inval_distribution.add(static_cast<std::uint64_t>(net_invals));
+      if (net_invals > 0) {
+        txn_.note(static_cast<std::uint8_t>(obs::EvType::kInvalFanout), block,
+                  static_cast<std::uint64_t>(net_invals));
+      }
+      entry->sharers.reset();
+      entry->state_of(0) = DirState::kDirty;
+      entry->owner_of(0) = static_cast<NodeId>(qc);
+      hier_path(HopKind::kReply, HopKind::kChipReply, h, c, req);
+      if (intra == nullptr) {
+        intra = intra_find_or_alloc(qc, block, req);
+      }
+      intra->sharers.reset();
+      intra->state_of(0) = DirState::kDirty;
+      intra->owner_of(0) = lc;
+      const std::uint32_t version = bump_latest(block);
+      scrub_cluster_siblings(proc, block);
+      if (cache.probe(block) == LineState::kShared) {
+        cache.upgrade(block, version);
+      } else {
+        fill_cache(proc, block, LineState::kModified, version);
+      }
+      if (!l1_.empty()) {
+        l1_[proc].refresh(block, version);
+      }
+      txn_.ack_round = net_invals > 0;
+      return commit(now);
+    }
+    case DirState::kDirty: {
+      const int qo = static_cast<int>(entry->owner_of(0));
+      ensure(qo != qc,
+             "chip-dirty at the requester's chip must be served on chip");
+      ++stats_.ownership_transfers;
+      DirEntry* ointra = intra_level_->store(qo).find(block);
+      ensure(ointra != nullptr && ointra->state_of(0) == DirState::kDirty,
+             "owner chip lost its intra-chip dirty entry");
+      const NodeId og = gateway_of(qo) + ointra->owner_of(0);
+      txn_.owner = og;
+      const int fwd =
+          hier_path(HopKind::kForward, HopKind::kChipForward, h, og, req);
+      const bool had = invalidate_cluster(og, block);
+      ensure(had, "inter-chip owner held no copy on transfer");
+      hier_path(HopKind::kReply, HopKind::kChipReply, og, c, fwd);
+      hier_path(HopKind::kTransferAck, HopKind::kChipAck, og, h, fwd);
+      entry->owner_of(0) = static_cast<NodeId>(qc);
+      ointra->reset();
+      intra_level_->store(qo).release(block);
+      DirEntry* intra = intra_find_or_alloc(qc, block, fwd);
+      intra->sharers.reset();
+      intra->state_of(0) = DirState::kDirty;
+      intra->owner_of(0) = lc;
+      const std::uint32_t version = bump_latest(block);
+      scrub_cluster_siblings(proc, block);
+      fill_cache(proc, block, LineState::kModified, version);
+      if (!l1_.empty()) {
+        l1_[proc].refresh(block, version);
+      }
+      return commit(now);
+    }
+  }
+  ensure(false, "unreachable hierarchical write state");
+  return 0;
+}
+
+const DirEntry* CoherenceSystem::peek_intra_entry(int chip,
+                                                  BlockAddr block) const {
+  return intra_level_->store(chip).peek(block);
+}
+
 const DirEntry* CoherenceSystem::peek_entry(BlockAddr block) const {
   // With grouped tracking the returned entry covers the whole group; use
   // state_of(sub_of(block)) for the per-block view.
-  return directories_[home_of(block)]->peek(group_key(block));
+  return home_level_->store(home_of(block)).peek(group_key(block));
 }
 
 CacheStats CoherenceSystem::aggregate_cache_stats() const {

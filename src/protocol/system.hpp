@@ -35,16 +35,42 @@
 #include "check/api.hpp"
 #include "common/stats.hpp"
 #include "directory/format.hpp"
+#include "directory/level.hpp"
 #include "directory/store.hpp"
 #include "network/latency.hpp"
-#include "network/mesh.hpp"
 #include "network/message.hpp"
+#include "network/topology.hpp"
 #include "obs/trace_recorder.hpp"
 #include "protocol/latency_backend.hpp"
 #include "protocol/memory_system.hpp"
 #include "protocol/transaction.hpp"
 
 namespace dircc {
+
+/// Two-level hierarchical directory organization (docs/HIERARCHY.md).
+///
+/// With `chips > 1` the machine's clusters are partitioned into `chips`
+/// contiguous bands. Each chip runs an *intra-chip* directory (one store
+/// per chip, sharer sets over that chip's local clusters) and the homes run
+/// an *inter-chip* directory (one store slice per home cluster, sharer sets
+/// over chips). Each level independently picks any src/directory scheme and
+/// sparse/dense store organization. Cluster 0 of each chip is its gateway:
+/// every message crossing the chip boundary is a gateway-to-gateway hop of
+/// one of the kChip* kinds.
+///
+/// `chips == 1` (the default) is the flat machine: every other field of
+/// this struct is ignored and the protocol takes the original single-level
+/// code path, byte-identical to the pre-hierarchy simulator.
+struct HierarchyConfig {
+  int chips = 1;
+  /// Inter-chip level at the homes; `inter.num_nodes` must equal `chips`.
+  SchemeConfig inter = SchemeConfig::full(1);
+  StoreConfig inter_store;  ///< sparse_entries is per home cluster
+  /// Intra-chip level, one store per chip; `intra.num_nodes` must equal
+  /// `num_clusters / chips`.
+  SchemeConfig intra = SchemeConfig::full(1);
+  StoreConfig intra_store;  ///< sparse_entries is per chip
+};
 
 /// Full machine configuration.
 struct SystemConfig {
@@ -95,6 +121,9 @@ struct SystemConfig {
   /// DIRCC_CHECK=0.
   check::FaultSpec fault;
   std::uint64_t seed = 1;
+  /// Two-level chip hierarchy; `hierarchy.chips == 1` keeps the flat
+  /// machine (and the flat code path) exactly as before.
+  HierarchyConfig hierarchy;
 
   int num_clusters() const { return num_procs / procs_per_cluster; }
 };
@@ -121,6 +150,15 @@ struct ProtocolStats {
   Cycle contention_wait_cycles = 0;  ///< queueing at busy home directories
   Cycle link_wait_cycles = 0;  ///< queued backend: mesh-channel FIFO waits
   Cycle home_wait_cycles = 0;  ///< queued backend: home-controller FIFO waits
+  // --- two-level hierarchy (all zero on a flat machine) ---
+  int chips = 1;  ///< config.hierarchy.chips, echoed for reporting
+  /// Messages that crossed the chip boundary (kChip* hops); a subset of
+  /// `messages`, broken out per class — the paper's traffic question asked
+  /// one level up: how much escapes the chip?
+  MessageCounters chip_messages;
+  /// Directory transactions served entirely by the requester's own chip
+  /// (on-chip provider or on-chip ownership transfer; zero chip crossings).
+  std::uint64_t chip_local_transactions = 0;
 };
 
 /// The simulated machine.
@@ -138,7 +176,29 @@ class CoherenceSystem final : public MemorySystem {
 
   const SystemConfig& config() const { return config_; }
   const ProtocolStats& stats() const override { return stats_; }
-  const SharerFormat& format() const { return *format_; }
+  /// Sharer format of the home-side level (the flat directory, or the
+  /// inter-chip level of a hierarchical machine).
+  const SharerFormat& format() const { return home_level_->format(); }
+
+  // --- two-level hierarchy (docs/HIERARCHY.md) ---
+  bool hierarchical() const { return clusters_per_chip_ != num_clusters_; }
+  int chips() const { return config_.hierarchy.chips; }
+  int clusters_per_chip() const { return clusters_per_chip_; }
+  /// Chip that cluster `c` belongs to (clusters are banded contiguously).
+  int chip_of_cluster(NodeId c) const { return c / clusters_per_chip_; }
+  /// Local cluster index of `c` within its chip.
+  int chip_local_of(NodeId c) const { return c % clusters_per_chip_; }
+  /// Gateway cluster of chip `q` (its local cluster 0).
+  NodeId gateway_of(int q) const {
+    return static_cast<NodeId>(q * clusters_per_chip_);
+  }
+  /// Intra-chip sharer format (hierarchical machines only).
+  const SharerFormat& intra_format() const { return intra_level_->format(); }
+  const DirectoryStore& intra_directory(int chip) const {
+    return intra_level_->store(chip);
+  }
+  /// Intra-chip entry for `block` at `chip`, or nullptr (LRU-neutral).
+  const DirEntry* peek_intra_entry(int chip, BlockAddr block) const;
 
   int num_procs() const override { return config_.num_procs; }
   int block_size() const override { return config_.block_size; }
@@ -194,7 +254,7 @@ class CoherenceSystem final : public MemorySystem {
   /// First-level cache (two-level configurations only).
   const Cache& l1_cache(ProcId proc) const { return l1_[proc]; }
   const DirectoryStore& directory(NodeId home) const {
-    return *directories_[home];
+    return home_level_->store(home);
   }
   /// Directory entry for `block`, or nullptr (does not disturb LRU state).
   const DirEntry* peek_entry(BlockAddr block) const;
@@ -218,7 +278,10 @@ class CoherenceSystem final : public MemorySystem {
   // corrupts live state through these to prove the checker notices) ---
   Cache& cache_for_test(ProcId proc) { return caches_[proc]; }
   DirectoryStore& directory_for_test(NodeId home) {
-    return *directories_[home];
+    return home_level_->store(home);
+  }
+  DirectoryStore& intra_directory_for_test(int chip) {
+    return intra_level_->store(chip);
   }
 
   /// Aggregated per-cache statistics.
@@ -243,6 +306,9 @@ class CoherenceSystem final : public MemorySystem {
   struct TargetOutcome {
     int network_invalidations = 0;
     int network_acks = 0;
+    /// Index of the last hop recorded (chip fan-outs chain the chip-level
+    /// ack after the local acks); -1 when nothing was recorded.
+    int last_hop = -1;
   };
 
   // Invalidates one processor's copy in both cache levels (inclusion).
@@ -310,6 +376,48 @@ class CoherenceSystem final : public MemorySystem {
   Cycle access_internal(ProcId proc, BlockAddr block, bool is_write,
                         Cycle now);
 
+  // --- two-level hierarchy (docs/HIERARCHY.md) ---
+
+  // Records the message path from cluster `a` to cluster `b`: one
+  // `local_kind` hop when both are on the same chip, or a three-hop
+  // gateway chain (local to a's gateway, `chip_kind` gateway-to-gateway,
+  // local to b) when they are not. Returns the index of the final hop.
+  int hier_path(HopKind local_kind, HopKind chip_kind, NodeId a, NodeId b,
+                int dep, int fanout = -1);
+
+  // Intra-chip entry lookup/alloc for `chip`, reclaiming any displaced
+  // victim entry (local invalidations; a dirty victim is written back to
+  // its home across the chip boundary).
+  DirEntry* intra_find_or_alloc(int chip, BlockAddr block, int dep);
+  void reclaim_intra_victim(int chip, const VictimEntry& victim, int dep);
+
+  // Reclaims a displaced *inter-chip* sparse entry at `home`: every chip
+  // the victim entry names is invalidated chip-wide (and its intra entry
+  // released) before the entry is reused.
+  void reclaim_inter_victim(NodeId home, const VictimEntry& victim, int dep);
+
+  // Adds local cluster `lc` to chip `chip`'s intra entry, invalidating a
+  // Dir_iNB-displaced local cluster. Returns network invalidations sent.
+  int intra_add_sharer(int chip, DirEntry& entry, BlockAddr block, NodeId lc,
+                       int dep);
+
+  // Adds chip `q` to the home's inter entry (kForgetChipSharer fault
+  // site); a displaced chip is invalidated chip-wide. Returns network
+  // invalidations sent.
+  int inter_add_chip(DirEntry& entry, BlockAddr block, int q, NodeId home,
+                     int dep);
+
+  // Invalidates every copy of `block` on chip `q` through its intra entry:
+  // one `inval_kind` hop per local sharer cluster (acks to `ack_sink`),
+  // then releases the intra entry. All hops join fanout `fo` after `dep`.
+  TargetOutcome invalidate_chip(int q, BlockAddr block, NodeId ack_sink,
+                                HopKind inval_kind, HopKind ack_kind, int dep,
+                                int fo);
+
+  // The hierarchical directory transaction (chips > 1 only): chip-level
+  // service attempt, then the inter-chip protocol at the home.
+  Cycle access_hier(ProcId proc, BlockAddr block, bool is_write, Cycle now);
+
   std::uint32_t memory_version(BlockAddr block) const;
   void set_memory_version(BlockAddr block, std::uint32_t version);
   std::uint32_t bump_latest(BlockAddr block);
@@ -339,11 +447,18 @@ class CoherenceSystem final : public MemorySystem {
   int cluster_shift_ = -1;
   int ppc_shift_ = -1;
   int group_shift_ = -1;
-  std::unique_ptr<SharerFormat> format_;
+  /// Clusters per chip; equals num_clusters_ on a flat machine.
+  int clusters_per_chip_ = 0;
+  /// Home-side directory level: the flat directory (chips == 1) or the
+  /// inter-chip level (sharer sets over chips), one store per home cluster.
+  std::unique_ptr<DirectoryLevel> home_level_;
+  /// Intra-chip level, one store per chip; null on a flat machine.
+  std::unique_ptr<DirectoryLevel> intra_level_;
   std::vector<Cache> caches_;
   std::vector<Cache> l1_;
-  std::vector<std::unique_ptr<DirectoryStore>> directories_;
-  MeshTopology mesh_;
+  /// Flat mesh (chips == 1) or two-tier hierarchy (per-chip meshes plus an
+  /// inter-chip mesh); must precede backend_ (construction order).
+  std::unique_ptr<Topology> topo_;
   // Version tables, consulted on every access (check_version on reads,
   // bump_latest on writes): flat tables, not node-based maps.
   FlatMap<std::uint32_t> latest_;
@@ -354,6 +469,9 @@ class CoherenceSystem final : public MemorySystem {
   Transaction txn_;
   std::unique_ptr<LatencyBackend> backend_;
   std::vector<NodeId> target_scratch_;
+  /// Chip-granularity target scratch (inter-chip fan-outs nest a per-chip
+  /// local fan-out that reuses target_scratch_).
+  std::vector<NodeId> chip_scratch_;
   obs::TraceRecorder* recorder_ = nullptr;
   AttributionSink* attrib_ = nullptr;
   /// Issue time of the access in flight; timestamps protocol-side events.

@@ -36,8 +36,34 @@ const char* hop_kind_name(HopKind kind) {
       return "eviction-wb";
     case HopKind::kReplacementHint:
       return "replacement-hint";
+    case HopKind::kChipRequest:
+      return "chip-request";
+    case HopKind::kChipForward:
+      return "chip-forward";
+    case HopKind::kChipReply:
+      return "chip-reply";
+    case HopKind::kChipInval:
+      return "chip-inval";
+    case HopKind::kChipAck:
+      return "chip-ack";
+    case HopKind::kChipWriteback:
+      return "chip-wb";
   }
   return "?";
+}
+
+bool hop_crosses_chips(HopKind kind) {
+  switch (kind) {
+    case HopKind::kChipRequest:
+    case HopKind::kChipForward:
+    case HopKind::kChipReply:
+    case HopKind::kChipInval:
+    case HopKind::kChipAck:
+    case HopKind::kChipWriteback:
+      return true;
+    default:
+      return false;
+  }
 }
 
 MsgClass hop_msg_class(HopKind kind) {
@@ -60,6 +86,17 @@ MsgClass hop_msg_class(HopKind kind) {
     case HopKind::kSharingWriteback:
     case HopKind::kVictimWriteback:
     case HopKind::kEvictionWriteback:
+      return MsgClass::kWriteback;
+    case HopKind::kChipRequest:
+    case HopKind::kChipForward:
+      return MsgClass::kRequest;
+    case HopKind::kChipReply:
+      return MsgClass::kReply;
+    case HopKind::kChipInval:
+      return MsgClass::kInvalidation;
+    case HopKind::kChipAck:
+      return MsgClass::kAck;
+    case HopKind::kChipWriteback:
       return MsgClass::kWriteback;
   }
   return MsgClass::kRequest;

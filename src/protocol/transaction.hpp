@@ -47,15 +47,29 @@ enum class HopKind : std::uint8_t {
   kVictimWriteback,    ///< dirty owner -> home (sparse victim flush)
   kEvictionWriteback,  ///< cache -> home (dirty line displaced by a fill)
   kReplacementHint,    ///< cache -> home (shared line displaced, hints on)
+  // Chip-boundary messages of the two-level hierarchical organization
+  // (docs/HIERARCHY.md). Each one is a gateway-to-gateway message crossing
+  // the inter-chip network; flat (chips=1) machines never emit them.
+  kChipRequest,        ///< requester gateway -> home gateway
+  kChipForward,        ///< home gateway -> owner-chip gateway
+  kChipReply,          ///< serving gateway -> requester gateway
+  kChipInval,          ///< home gateway -> sharer-chip gateway
+  kChipAck,            ///< invalidated chip gateway -> collection point
+  kChipWriteback,      ///< owner-chip gateway -> home gateway
 };
 
-inline constexpr int kNumHopKinds = 14;
+inline constexpr int kNumHopKinds = 20;
 
 const char* hop_kind_name(HopKind kind);
 
 /// The traffic class a hop is accounted under (the paper's Section 5
 /// message taxonomy).
 MsgClass hop_msg_class(HopKind kind);
+
+/// True for the gateway-to-gateway hop kinds that cross the chip boundary
+/// on a hierarchical machine (stats and latency consumers account them as
+/// inter-chip traffic).
+bool hop_crosses_chips(HopKind kind);
 
 /// The message-loss fault (src/check) that a hop of this kind is exposed
 /// to, or FaultKind::kNone. Directory-state faults (forget-sharer) are not

@@ -60,6 +60,14 @@ void register_metrics(obs::MetricsRegistry& registry,
   registry.set_gauge("inval_mean", protocol.inval_distribution.mean());
   registry.histogram("inval_distribution")
       .merge(protocol.inval_distribution);
+  if (protocol.chips > 1) {
+    // Two-level hierarchy only: registering these conditionally keeps flat
+    // runs' metric sets (and JSONL rows) exactly as before.
+    registry.set("hier_chips", static_cast<std::uint64_t>(protocol.chips));
+    registry.set("hier_chip_local_transactions",
+                 protocol.chip_local_transactions);
+    register_metrics(registry, protocol.chip_messages, "hier_chip_msgs");
+  }
 }
 
 void register_metrics(obs::MetricsRegistry& registry,

@@ -173,7 +173,7 @@ class InvariantSink : public AttributionSink {
         latency_(config.latency),
         analytic_(mesh_, latency_) {}
 
-  void bind(const MeshTopology& mesh) override {
+  void bind(const Topology& mesh) override {
     EXPECT_EQ(mesh.width(), mesh_.width());
     EXPECT_EQ(mesh.height(), mesh_.height());
   }

@@ -1,0 +1,427 @@
+// Two-level hierarchical coherence (docs/HIERARCHY.md).
+//
+// Holds the PR's contract from four sides: (1) chips == 1 is byte-identical
+// to the flat machine across schemes x stores x backends x engine-thread
+// counts; (2) chips > 1 serves chip-local transactions without crossing the
+// boundary and keeps both directory levels consistent through forwards,
+// invalidation fan-outs, and writebacks; (3) the invariant oracle audits the
+// cross-level invariants and catches the seeded inter-chip fault as well as
+// direct intra-directory corruption; (4) the two-tier topology routes
+// gateway-to-gateway.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "check/fuzz.hpp"
+#include "check/invariant_checker.hpp"
+#include "common/json.hpp"
+#include "network/hier.hpp"
+#include "obs/metrics.hpp"
+#include "sim/run_metrics.hpp"
+#include "sim/sharded_engine.hpp"
+#include "trace/generators.hpp"
+
+namespace dircc {
+namespace {
+
+SystemConfig flat_machine(int procs, SchemeConfig scheme) {
+  SystemConfig config;
+  config.num_procs = procs;
+  config.procs_per_cluster = 1;
+  config.cache_lines_per_proc = 256;
+  config.cache_assoc = 4;
+  config.block_size = 16;
+  config.scheme = std::move(scheme);
+  config.seed = 1990;
+  return config;
+}
+
+/// 16 single-processor clusters banded into 4 chips of 4, full-map at both
+/// levels unless the test overrides.
+SystemConfig hier_machine(int procs = 16, int chips = 4) {
+  SystemConfig config = flat_machine(procs, SchemeConfig::full(procs));
+  config.hierarchy.chips = chips;
+  config.hierarchy.inter = SchemeConfig::full(chips);
+  config.hierarchy.intra = SchemeConfig::full(procs / chips);
+  return config;
+}
+
+std::string fingerprint(const RunResult& result) {
+  std::ostringstream out;
+  JsonWriter json(out);
+  json.begin_object();
+  obs::MetricsRegistry registry;
+  register_metrics(registry, result);
+  registry.emit_fields(json);
+  json.end_object();
+  return out.str();
+}
+
+// ---------------------------------------------------------------------------
+// Flat equivalence: chips == 1 takes the flat code path, byte for byte
+// ---------------------------------------------------------------------------
+
+TEST(HierFlatEquivalence, Chips1IsByteIdenticalAcrossTheGrid) {
+  const int procs = 16;
+  const ProgramTrace trace = generate_app(AppKind::kMp3d, procs, 16, 11, 0.3);
+  struct SchemeCell {
+    const char* name;
+    SchemeConfig scheme;
+  };
+  const std::vector<SchemeCell> schemes = {
+      {"full", SchemeConfig::full(procs)},
+      {"nb3", SchemeConfig::no_broadcast(procs, 3)},
+      {"cv2", SchemeConfig::coarse(procs, 3, 2)},
+  };
+  for (const SchemeCell& cell : schemes) {
+    for (const bool sparse : {false, true}) {
+      for (const BackendKind backend :
+           {BackendKind::kAnalytic, BackendKind::kQueued}) {
+        SystemConfig flat = flat_machine(procs, cell.scheme);
+        flat.backend = backend;
+        if (sparse) {
+          flat.store.sparse = true;
+          flat.store.sparse_entries = 64;
+        }
+        CoherenceSystem flat_system(flat);
+        Engine flat_engine(flat_system, trace);
+        const std::string expected = fingerprint(flat_engine.run());
+
+        // Same machine with a degenerate one-chip hierarchy attached; the
+        // other hierarchy fields are deliberately nonsense — chips == 1
+        // must ignore them entirely.
+        SystemConfig annotated = flat;
+        annotated.hierarchy.chips = 1;
+        annotated.hierarchy.inter = SchemeConfig::coarse(7, 2, 2);
+        annotated.hierarchy.intra = SchemeConfig::no_broadcast(3, 1);
+        annotated.hierarchy.inter_store.sparse = true;
+        annotated.hierarchy.inter_store.sparse_entries = 8;
+        for (const int threads : {1, 3}) {
+          CoherenceSystem system(annotated);
+          EngineConfig engine_config;
+          engine_config.engine_threads = threads;
+          ShardedEngine engine(system, trace, engine_config);
+          EXPECT_EQ(expected, fingerprint(engine.run()))
+              << cell.name << (sparse ? "/sparse" : "/dense")
+              << (backend == BackendKind::kQueued ? "/queued" : "/analytic")
+              << "/threads=" << threads;
+        }
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Chip-local service and cross-chip protocol actions
+// ---------------------------------------------------------------------------
+
+TEST(HierProtocol, OnChipOwnershipTransferCrossesNoChipBoundary) {
+  CoherenceSystem sys(hier_machine());
+  const BlockAddr block = 1;  // home cluster 1, chip 0
+  sys.access(8, block, true);  // chip 2 (local 0) takes ownership via home
+  const std::uint64_t boundary_after_first = sys.stats().chip_messages.total();
+  EXPECT_GT(boundary_after_first, 0u);
+  ASSERT_EQ(sys.stats().chip_local_transactions, 0u);
+
+  sys.access(9, block, true);  // chip 2 (local 1): served entirely on-chip
+  EXPECT_EQ(sys.stats().chip_local_transactions, 1u);
+  EXPECT_EQ(sys.stats().chip_messages.total(), boundary_after_first);
+  EXPECT_EQ(sys.cache(8).probe(block), LineState::kInvalid);
+  EXPECT_EQ(sys.cache(9).probe(block), LineState::kModified);
+
+  // Inter level still says Dirty at chip 2; intra level tracked the local
+  // ownership move to local cluster 1.
+  const DirEntry* inter = sys.peek_entry(block);
+  ASSERT_NE(inter, nullptr);
+  EXPECT_EQ(inter->state_of(0), DirState::kDirty);
+  EXPECT_EQ(inter->owner_of(0), 2);
+  const DirEntry* intra = sys.peek_intra_entry(2, block);
+  ASSERT_NE(intra, nullptr);
+  EXPECT_EQ(intra->state_of(0), DirState::kDirty);
+  EXPECT_EQ(intra->owner_of(0), 1);
+}
+
+TEST(HierProtocol, CrossChipReadOfDirtyDemotesBothLevels) {
+  CoherenceSystem sys(hier_machine());
+  const BlockAddr block = 1;
+  sys.access(9, block, true);   // chip 2 owns Modified
+  sys.access(0, block, false);  // chip 0 reads: forward + sharing writeback
+  EXPECT_EQ(sys.stats().sharing_writebacks, 1u);
+  EXPECT_EQ(sys.cache(9).probe(block), LineState::kShared);
+  EXPECT_EQ(sys.cache(0).probe(block), LineState::kShared);
+
+  const DirEntry* inter = sys.peek_entry(block);
+  ASSERT_NE(inter, nullptr);
+  EXPECT_EQ(inter->state_of(0), DirState::kShared);
+  EXPECT_TRUE(sys.format().maybe_sharer(inter->sharers, 0));
+  EXPECT_TRUE(sys.format().maybe_sharer(inter->sharers, 2));
+  const DirEntry* intra0 = sys.peek_intra_entry(0, block);
+  ASSERT_NE(intra0, nullptr);
+  EXPECT_EQ(intra0->state_of(0), DirState::kShared);
+  EXPECT_TRUE(sys.intra_format().maybe_sharer(intra0->sharers, 0));
+  const DirEntry* intra2 = sys.peek_intra_entry(2, block);
+  ASSERT_NE(intra2, nullptr);
+  EXPECT_EQ(intra2->state_of(0), DirState::kShared);
+  EXPECT_TRUE(sys.intra_format().maybe_sharer(intra2->sharers, 1));
+}
+
+TEST(HierProtocol, WriteFansInvalidationsOutAcrossChips) {
+  CoherenceSystem sys(hier_machine());
+  const BlockAddr block = 2;
+  for (const ProcId reader : {1, 4, 8}) {  // chips 0, 1, 2
+    sys.access(reader, block, false);
+  }
+  sys.access(12, block, true);  // chip 3 writes
+  for (const ProcId reader : {1, 4, 8}) {
+    EXPECT_EQ(sys.cache(reader).probe(block), LineState::kInvalid);
+  }
+  EXPECT_EQ(sys.cache(12).probe(block), LineState::kModified);
+
+  const DirEntry* inter = sys.peek_entry(block);
+  ASSERT_NE(inter, nullptr);
+  EXPECT_EQ(inter->state_of(0), DirState::kDirty);
+  EXPECT_EQ(inter->owner_of(0), 3);
+  // The losing chips' intra entries are gone; the winner's names local 0.
+  EXPECT_EQ(sys.peek_intra_entry(0, block), nullptr);
+  EXPECT_EQ(sys.peek_intra_entry(1, block), nullptr);
+  EXPECT_EQ(sys.peek_intra_entry(2, block), nullptr);
+  const DirEntry* intra3 = sys.peek_intra_entry(3, block);
+  ASSERT_NE(intra3, nullptr);
+  EXPECT_EQ(intra3->state_of(0), DirState::kDirty);
+  // One write event, four invalidation-carrying hops: one chip leg to each
+  // of the three sharer chips' gateways, plus one local hop on chip 0 whose
+  // copy (cluster 1) sits off its gateway. Chips 1 and 2 hold their copy at
+  // the gateway itself, so the chip leg is the entire path.
+  EXPECT_EQ(sys.stats().inval_distribution.total(), 4u);
+  EXPECT_GT(sys.stats().chip_messages.get(MsgClass::kInvalidation), 0u);
+}
+
+TEST(HierProtocol, IntraPointerDisplacementInvalidatesTheOldLocalCopy) {
+  // One-pointer no-broadcast intra level: a second on-chip sharer displaces
+  // the first even though the inter level (full map over chips) is precise.
+  SystemConfig config = hier_machine();
+  config.hierarchy.intra = SchemeConfig::no_broadcast(4, 1);
+  CoherenceSystem sys(config);
+  const BlockAddr block = 1;  // home on chip 0
+  sys.access(8, block, false);
+  sys.access(9, block, false);  // same chip: displaces local cluster 0
+  EXPECT_EQ(sys.cache(8).probe(block), LineState::kInvalid);
+  EXPECT_EQ(sys.cache(9).probe(block), LineState::kShared);
+  const DirEntry* inter = sys.peek_entry(block);
+  ASSERT_NE(inter, nullptr);
+  EXPECT_TRUE(sys.format().maybe_sharer(inter->sharers, 2));
+}
+
+TEST(HierProtocol, DirtyEvictionWritesBackThroughBothLevels) {
+  // Two-line direct-ish caches force the dirty line out quickly.
+  SystemConfig config = hier_machine();
+  config.cache_lines_per_proc = 2;
+  config.cache_assoc = 1;
+  CoherenceSystem sys(config);
+  const BlockAddr block = 1;
+  sys.access(9, block, true);  // chip 2 owns Modified
+  // Conflicting fills (same cache set) evict the dirty line.
+  sys.access(9, block + 32, false);
+  sys.access(9, block + 64, false);
+  EXPECT_EQ(sys.cache(9).probe(block), LineState::kInvalid);
+  EXPECT_EQ(sys.stats().dirty_eviction_writebacks, 1u);
+  // The writeback retired the entry at both levels.
+  EXPECT_EQ(sys.peek_entry(block), nullptr);
+  EXPECT_EQ(sys.peek_intra_entry(2, block), nullptr);
+  EXPECT_GT(sys.stats().chip_messages.get(MsgClass::kWriteback), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Oracle: clean runs across app traces, seeded fault, direct corruption
+// ---------------------------------------------------------------------------
+
+check::FuzzTraceConfig hier_fuzz_trace(int procs) {
+  check::FuzzTraceConfig tc;
+  tc.procs = procs;
+  tc.rounds = 2;
+  tc.units_per_round = 30;
+  tc.hot_blocks = 4;
+  tc.pool_blocks = 64;
+  tc.seed = 7;
+  return tc;
+}
+
+TEST(HierChecker, AppTracesRunCleanUnderTheOracle) {
+  if (!check::compiled()) {
+    GTEST_SKIP() << "checking compiled out (DIRCC_CHECK=0)";
+  }
+  // App traces run long; a periodic audit (plus the mandatory final sweep
+  // in finish()) keeps the oracle O(trace) instead of O(trace^2).
+  check::CheckConfig check_config;
+  check_config.audit_interval = 2000;
+  for (const AppKind app :
+       {AppKind::kLu, AppKind::kDwf, AppKind::kMp3d, AppKind::kLocusRoute}) {
+    const check::CheckedRun run = check::run_checked(
+        hier_machine(), EngineConfig{}, generate_app(app, 16, 16, 23, 0.1),
+        check_config);
+    EXPECT_FALSE(run.report.failed())
+        << app_name(app) << ": "
+        << violation_to_string(run.report.violations.front());
+  }
+}
+
+TEST(HierChecker, StressConfigsRunCleanUnderTheOracle) {
+  if (!check::compiled()) {
+    GTEST_SKIP() << "checking compiled out (DIRCC_CHECK=0)";
+  }
+  // Tiny caches + sparse/limited levels: constant evictions, intra and
+  // inter victimizations, displacement invalidations.
+  std::vector<SystemConfig> configs;
+  {
+    SystemConfig c = hier_machine();
+    c.cache_lines_per_proc = 8;
+    c.cache_assoc = 2;
+    c.hierarchy.inter = SchemeConfig::coarse(4, 1, 2);
+    c.hierarchy.inter_store.sparse = true;
+    c.hierarchy.inter_store.sparse_entries = 8;
+    configs.push_back(c);
+  }
+  {
+    SystemConfig c = hier_machine();
+    c.cache_lines_per_proc = 8;
+    c.cache_assoc = 2;
+    c.hierarchy.intra = SchemeConfig::no_broadcast(4, 1);
+    c.hierarchy.intra_store.sparse = true;
+    c.hierarchy.intra_store.sparse_entries = 16;
+    configs.push_back(c);
+  }
+  {
+    SystemConfig c = hier_machine(32, 4);  // 8 clusters per chip
+    c.procs_per_cluster = 2;               // 16 clusters, 2 procs each
+    c.hierarchy.intra = SchemeConfig::full(4);
+    c.cache_lines_per_proc = 8;
+    c.cache_assoc = 2;
+    c.backend = BackendKind::kQueued;
+    configs.push_back(c);
+  }
+  int cell = 0;
+  for (const SystemConfig& config : configs) {
+    const check::CheckedRun run = check::run_checked(
+        config, EngineConfig{},
+        check::generate_fuzz_trace(hier_fuzz_trace(config.num_procs)));
+    EXPECT_FALSE(run.report.failed())
+        << "config " << cell << ": "
+        << violation_to_string(run.report.violations.front());
+    ++cell;
+  }
+}
+
+TEST(HierChecker, SeededForgetChipSharerIsCaught) {
+  if (!check::compiled()) {
+    GTEST_SKIP() << "checking compiled out (DIRCC_CHECK=0)";
+  }
+  SystemConfig config = hier_machine();
+  config.cache_lines_per_proc = 8;
+  config.cache_assoc = 2;
+  config.validate = false;  // the seeded run corrupts state on purpose
+  config.fault.kind = check::FaultKind::kForgetChipSharer;
+  config.fault.trigger = 1;
+  const check::CheckedRun run = check::run_checked(
+      config, EngineConfig{}, check::generate_fuzz_trace(hier_fuzz_trace(16)));
+  EXPECT_EQ(run.report.faults_injected, 1u);
+  ASSERT_TRUE(run.report.failed());
+  bool chip_kind = false;
+  for (const check::Violation& violation : run.report.violations) {
+    chip_kind = chip_kind ||
+                violation.kind == check::ViolationKind::kChipUncovered ||
+                violation.kind == check::ViolationKind::kChipCleanDirty;
+  }
+  EXPECT_TRUE(chip_kind)
+      << violation_to_string(run.report.violations.front());
+  EXPECT_TRUE(run.report.halted);
+}
+
+TEST(HierChecker, FlagsDirectIntraDirectoryCorruption) {
+  if (!check::compiled()) {
+    GTEST_SKIP() << "checking compiled out (DIRCC_CHECK=0)";
+  }
+  CoherenceSystem sys(hier_machine());
+  const BlockAddr block = 1;
+  sys.access(8, block, false);  // chip 2 caches Shared, both levels track it
+  // Corrupt: chip 2's intra directory drops its entry outright.
+  sys.intra_directory_for_test(2).find(block)->reset();
+  sys.intra_directory_for_test(2).release(block);
+
+  check::InvariantChecker checker(sys, check::CheckConfig{});
+  checker.audit(10);
+  const check::CheckReport& report = checker.finish(false);
+  ASSERT_TRUE(report.failed());
+  bool found = false;
+  for (const check::Violation& violation : report.violations) {
+    found = found || violation.kind == check::ViolationKind::kChipUncovered;
+  }
+  EXPECT_TRUE(found) << violation_to_string(report.violations.front());
+}
+
+// ---------------------------------------------------------------------------
+// Sharded-engine determinism on a hierarchical machine
+// ---------------------------------------------------------------------------
+
+TEST(HierSharded, ByteIdenticalAcrossThreadCounts) {
+  SystemConfig config = hier_machine();
+  const ProgramTrace trace = generate_app(AppKind::kLu, 16, 16, 5, 0.2);
+  CoherenceSystem serial_system(config);
+  Engine serial(serial_system, trace);
+  const std::string expected = fingerprint(serial.run());
+  for (const int threads : {2, 4, 8}) {
+    CoherenceSystem system(config);
+    EngineConfig engine_config;
+    engine_config.engine_threads = threads;
+    ShardedEngine sharded(system, trace, engine_config);
+    EXPECT_EQ(expected, fingerprint(sharded.run()))
+        << "engine_threads=" << threads;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Two-tier topology
+// ---------------------------------------------------------------------------
+
+TEST(HierTopologyTest, RoutesGatewayToGateway) {
+  const HierTopology topo(4, 4);
+  EXPECT_EQ(topo.num_nodes(), 16);
+  EXPECT_EQ(topo.chip_of(9), 2);
+  EXPECT_EQ(topo.local_of(9), 1);
+  EXPECT_EQ(topo.gateway(2), 8);
+  // Same chip: plain intra-mesh distance, no inter-chip legs.
+  const MeshTopology intra(4);
+  EXPECT_EQ(topo.hops(8, 9), intra.hops(0, 1));
+  // Cross-chip: source -> its gateway, chip mesh, gateway -> destination.
+  const MeshTopology chip_mesh(4);
+  EXPECT_EQ(topo.hops(1, 9),
+            intra.hops(1, 0) + chip_mesh.hops(0, 2) + intra.hops(0, 1));
+  for (NodeId a = 0; a < 16; ++a) {
+    EXPECT_EQ(topo.hops(a, a), 0);
+    for (NodeId b = 0; b < 16; ++b) {
+      EXPECT_EQ(topo.hops(a, b), topo.hops(b, a));
+      EXPECT_LE(topo.hops(a, b), topo.diameter());
+    }
+  }
+}
+
+TEST(HierTopologyTest, LinkRoutesMatchHopCounts) {
+  const HierTopology topo(4, 4);
+  std::vector<LinkId> links;
+  for (NodeId a = 0; a < 16; ++a) {
+    for (NodeId b = 0; b < 16; ++b) {
+      links.clear();  // route_links appends by contract
+      topo.route_links(a, b, &links);
+      EXPECT_EQ(static_cast<int>(links.size()), topo.hops(a, b))
+          << "route " << a << " -> " << b;
+      for (const LinkId link : links) {
+        EXPECT_LT(static_cast<int>(link), topo.num_links());
+        EXPECT_FALSE(topo.link_name(link).empty());
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dircc

@@ -201,5 +201,70 @@ TEST(StorageModel, EntryCountsFollowSparsity) {
   EXPECT_EQ(m.directory_entries(), m.total_mem_blocks() / 4);
 }
 
+TEST(StorageModelDeathTest, RejectsNonDivisibleClusterSize) {
+  // Regression: clusters() used to silently truncate 65/4 to 16 and model
+  // a machine that does not exist.
+  MachineModel m = dash_machine(64, SchemeConfig::full(16), 1);
+  m.processors = 65;
+  EXPECT_DEATH(m.clusters(), "multiple of procs_per_cluster");
+  m.processors = 64;
+  m.procs_per_cluster = 0;
+  EXPECT_DEATH(m.clusters(), "positive");
+}
+
+HierStorageModel hier_machine(int procs, int chips) {
+  HierStorageModel h;
+  h.machine = dash_machine(procs, SchemeConfig::full(procs / 4), 1);
+  h.chips = chips;
+  h.inter = SchemeConfig::full(chips);
+  h.intra = SchemeConfig::full(h.machine.clusters() / chips);
+  return h;
+}
+
+TEST(HierStorageModel, InterEntriesAreChipWide) {
+  // 1024 procs, 4 per cluster, 16 chips: the inter level keeps a 16-chip
+  // vector + dirty bit per memory block instead of a 256-cluster vector.
+  const HierStorageModel h = hier_machine(1024, 16);
+  EXPECT_EQ(h.clusters_per_chip(), 16);
+  EXPECT_EQ(h.inter_bits_per_entry(), 16 + 1);
+  EXPECT_EQ(h.inter_entries(), h.machine.total_mem_blocks());
+  MachineModel flat = h.machine;
+  flat.scheme = SchemeConfig::full(256);
+  EXPECT_EQ(flat.bits_per_entry(), 256 + 1);
+  // The home-side level alone is ~15x smaller than the flat full map.
+  EXPECT_LT(h.inter_bits() * 15, flat.directory_bits());
+}
+
+TEST(HierStorageModel, IntraLevelIsCacheSized) {
+  const HierStorageModel h = hier_machine(1024, 16);
+  // One entry per block the chip's caches can hold (slack 1.0).
+  EXPECT_EQ(h.intra_entries_per_chip(), h.machine.total_cache_blocks() / 16);
+  // Caches are far smaller than memory, so the per-chip structures stay a
+  // small fraction of the inter level and the total beats flat full-map.
+  MachineModel flat = h.machine;
+  flat.scheme = SchemeConfig::full(256);
+  EXPECT_LT(h.total_bits(), flat.directory_bits());
+  EXPECT_LT(h.overhead_fraction(), flat.overhead_fraction());
+}
+
+TEST(HierStorageModel, SparseInterLevelCompoundsTheSavings) {
+  HierStorageModel sparse = hier_machine(1024, 16);
+  sparse.inter_sparsity = 64;
+  const HierStorageModel full = hier_machine(1024, 16);
+  EXPECT_LT(sparse.inter_bits(), full.inter_bits());
+  // Tag bits appear once the level goes sparse.
+  EXPECT_EQ(sparse.inter_bits_per_entry(), 16 + 1 + 6);
+}
+
+TEST(HierStorageModel, DirectorylessBaselineHasZeroBits) {
+  EXPECT_EQ(dls_directory_bits(), 0u);
+}
+
+TEST(HierStorageModel, RejectsBadChipGeometry) {
+  HierStorageModel h = hier_machine(1024, 16);
+  h.chips = 7;  // does not divide 256 clusters
+  EXPECT_DEATH(h.clusters_per_chip(), "divide");
+}
+
 }  // namespace
 }  // namespace dircc

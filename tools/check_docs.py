@@ -22,10 +22,12 @@ REPO = pathlib.Path(__file__).resolve().parent.parent
 LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
 SKIP_DIRS = {".git", "build", "build-nocheck", "build-noobs", ".github"}
 
-# The nine flags every sweep-harness-backed binary shares (README.md and
-# docs/HARNESS.md both table them).
+# The fourteen flags every sweep-harness-backed binary shares (README.md
+# and docs/HARNESS.md both table them).
 SHARED_FLAGS = ["threads", "json", "omit-timing", "progress", "trace-out",
-                "metrics", "attrib-out", "backend", "engine-threads"]
+                "metrics", "attrib-out", "backend", "engine-threads",
+                "chips", "inter-scheme", "intra-scheme",
+                "inter-sparse-entries", "intra-sparse-entries"]
 SWEEP_BINARIES = ["sweep_grid", "datacenter_sweep", "fig07_10_schemes",
                   "fig11_12_sparse", "fig13_assoc", "scale_study",
                   "fuzz_coherence", "hotspot_report"]
@@ -50,6 +52,9 @@ DOCUMENTED_FLAGS = {
     "hotspot_report": ("docs/OBSERVABILITY.md",
                        ["workloads", "schemes", "clients", "procs",
                         "cache-lines", "scale", "seed", "top", "out"]),
+    "scale_study": ("docs/HIERARCHY.md",
+                    ["procs", "scale", "clusters-per-chip",
+                     "sparse-factor", "curve-json"]),
     # perf_suite is deliberately NOT in SWEEP_BINARIES: it measures the
     # simulator itself and runs serially, so it has none of the shared
     # sweep flags — only its own, tabled in docs/PERFORMANCE.md.
@@ -62,12 +67,24 @@ DOCUMENTED_FLAGS = {
 # document must contain every listed substring. Keeps the concurrency doc
 # suite (docs/PARALLELISM.md) reachable from the places readers start at.
 REQUIRED_MENTIONS = {
-    "README.md": ["--engine-threads", "docs/PARALLELISM.md"],
-    "docs/HARNESS.md": ["--engine-threads", "PARALLELISM.md"],
-    "docs/ARCHITECTURE.md": ["PARALLELISM.md", "sharded_engine"],
+    "README.md": ["--engine-threads", "docs/PARALLELISM.md", "--chips",
+                  "docs/HIERARCHY.md"],
+    "docs/HARNESS.md": ["--engine-threads", "PARALLELISM.md", "--chips",
+                        "HIERARCHY.md"],
+    "docs/ARCHITECTURE.md": ["PARALLELISM.md", "sharded_engine",
+                             "HIERARCHY.md", "HierTopology"],
     "docs/PERFORMANCE.md": ["--threads-axis", "PARALLELISM.md"],
     "docs/PARALLELISM.md": ["--engine-threads", "determinism",
                             "shard_queue_capacity"],
+    "docs/PROTOCOL.md": ["kChip", "HIERARCHY.md"],
+    "docs/CHECKER.md": ["chip-uncovered", "chip-clean-dirty",
+                        "chip-sharer", "HIERARCHY.md"],
+    "docs/HIERARCHY.md": ["--chips", "--inter-scheme", "--intra-scheme",
+                          "kChipRequest", "DirectoryLevel", "gateway",
+                          "chip-uncovered", "chip-clean-dirty",
+                          "check_scale_curve.py", "Dir0B"],
+    "EXPERIMENTS.md": ["docs/HIERARCHY.md", "--curve-json",
+                       "check_scale_curve.py"],
 }
 
 

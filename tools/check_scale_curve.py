@@ -1,0 +1,160 @@
+#!/usr/bin/env python3
+"""Schema check for scale_study's --curve-json artifact.
+
+Validates the machine-readable scaling curve (docs/HIERARCHY.md) that the
+CI hierarchy-smoke job publishes: the document shape, the per-point
+geometry (procs = clusters x packing, chips dividing clusters), the three
+organizations present at every size, and the cross-organization storage
+ordering (flat full map > two-level > directoryless at zero bits).
+
+Usage: tools/check_scale_curve.py curve.json
+Exits nonzero listing every problem found.
+"""
+
+import json
+import pathlib
+import sys
+
+ORGS = ("flat-full", "two-level", "dls")
+
+ORG_COUNTERS = ("directory_bits", "messages", "exec_cycles")
+
+
+def err(errors, point, msg):
+    errors.append(f"point procs={point}: {msg}" if point else msg)
+
+
+def check_org(errors, procs, name, org):
+    if not isinstance(org, dict):
+        err(errors, procs, f"{name}: not an object")
+        return
+    for field in ORG_COUNTERS:
+        value = org.get(field)
+        if not isinstance(value, int) or value < 0:
+            err(errors, procs,
+                f"{name}.{field}: expected a non-negative integer, "
+                f"got {value!r}")
+    for field in ("overhead_fraction", "mean_invals"):
+        value = org.get(field)
+        if not isinstance(value, (int, float)) or value < 0:
+            err(errors, procs,
+                f"{name}.{field}: expected a non-negative number, "
+                f"got {value!r}")
+    if isinstance(org.get("messages"), int) and org["messages"] <= 0:
+        err(errors, procs, f"{name}.messages: simulated run produced "
+            "no messages")
+    if name == "two-level":
+        for field in ("inter_bits", "intra_bits", "chip_messages",
+                      "chip_local_transactions"):
+            value = org.get(field)
+            if not isinstance(value, int) or value < 0:
+                err(errors, procs,
+                    f"two-level.{field}: expected a non-negative "
+                    f"integer, got {value!r}")
+        if (isinstance(org.get("inter_bits"), int)
+                and isinstance(org.get("intra_bits"), int)
+                and isinstance(org.get("directory_bits"), int)
+                and org["inter_bits"] + org["intra_bits"]
+                != org["directory_bits"]):
+            err(errors, procs, "two-level: inter_bits + intra_bits != "
+                "directory_bits")
+        if (isinstance(org.get("chip_messages"), int)
+                and isinstance(org.get("messages"), int)
+                and org["chip_messages"] > org["messages"]):
+            err(errors, procs, "two-level: chip_messages exceeds total "
+                "messages")
+
+
+def check_point(errors, point):
+    if not isinstance(point, dict):
+        err(errors, None, "points[]: entry is not an object")
+        return None
+    procs = point.get("procs")
+    for field in ("procs", "procs_per_cluster", "clusters", "chips"):
+        value = point.get(field)
+        if not isinstance(value, int) or value < 1:
+            err(errors, procs,
+                f"{field}: expected a positive integer, got {value!r}")
+            return procs
+    if point["procs"] != point["clusters"] * point["procs_per_cluster"]:
+        err(errors, procs, "procs != clusters * procs_per_cluster")
+    if point["chips"] < 2:
+        err(errors, procs, "chips < 2: the two-level point is degenerate")
+    if point["clusters"] % point["chips"] != 0:
+        err(errors, procs, "chips does not divide clusters")
+    orgs = point.get("organizations")
+    if not isinstance(orgs, dict) or sorted(orgs) != sorted(ORGS):
+        err(errors, procs,
+            f"organizations: expected exactly {list(ORGS)}, got "
+            f"{sorted(orgs) if isinstance(orgs, dict) else orgs!r}")
+        return procs
+    for name in ORGS:
+        check_org(errors, procs, name, orgs[name])
+    # The study's storage claim, enforced end to end: the flat full map
+    # pays the most, the hierarchy strictly less, broadcast nothing.
+    bits = {name: orgs[name].get("directory_bits") for name in ORGS}
+    if all(isinstance(b, int) for b in bits.values()):
+        if not bits["flat-full"] > bits["two-level"] > bits["dls"] == 0:
+            err(errors, procs,
+                "storage ordering violated: expected flat-full > "
+                f"two-level > dls == 0, got {bits}")
+    return procs
+
+
+def check_curve(doc):
+    errors = []
+    if not isinstance(doc, dict):
+        return ["top level: expected a JSON object"]
+    if doc.get("study") != "scale_hierarchy":
+        err(errors, None,
+            f"study: expected 'scale_hierarchy', got {doc.get('study')!r}")
+    if doc.get("backend") not in ("analytic", "queued"):
+        err(errors, None,
+            f"backend: expected 'analytic' or 'queued', got "
+            f"{doc.get('backend')!r}")
+    if not isinstance(doc.get("app"), str) or not doc.get("app"):
+        err(errors, None, f"app: expected a name, got {doc.get('app')!r}")
+    if not isinstance(doc.get("block_size"), int) or doc["block_size"] < 1:
+        err(errors, None, "block_size: expected a positive integer")
+    scale = doc.get("scale")
+    if not isinstance(scale, (int, float)) or not 0 < scale <= 1:
+        err(errors, None, f"scale: expected a number in (0, 1], got "
+            f"{scale!r}")
+    points = doc.get("points")
+    if not isinstance(points, list) or not points:
+        err(errors, None, "points: expected a non-empty array")
+        return errors
+    sizes = []
+    for point in points:
+        procs = check_point(errors, point)
+        if isinstance(procs, int):
+            sizes.append(procs)
+    if sizes != sorted(sizes) or len(set(sizes)) != len(sizes):
+        err(errors, None,
+            f"points: sizes must be strictly increasing, got {sizes}")
+    return errors
+
+
+def main():
+    if len(sys.argv) != 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    path = pathlib.Path(sys.argv[1])
+    try:
+        doc = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"{path}: {exc}", file=sys.stderr)
+        return 1
+    errors = check_curve(doc)
+    for error in errors:
+        print(f"{path}: {error}", file=sys.stderr)
+    if errors:
+        print(f"{len(errors)} problem(s) found", file=sys.stderr)
+        return 1
+    print(f"{path}: scaling curve OK "
+          f"({len(doc['points'])} points, backend {doc['backend']})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
