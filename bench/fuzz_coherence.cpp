@@ -92,6 +92,8 @@ struct FuzzFlags {
   std::uint64_t fault_trigger = 4;
   int procs = 16;
   int cache_lines = 16;
+  int cache_assoc = 2;
+  int sparse_assoc = 2;
   int l1_lines = 0;
   int rounds = 4;
   int units = 40;
@@ -121,6 +123,9 @@ FuzzFlags parse_flags(int argc, const char* const* argv) {
   cli.add_option("procs", "16", "processors (one per cluster)");
   cli.add_option("cache-lines", "16",
                  "cache lines per processor (small = eviction pressure)");
+  cli.add_option("cache-assoc", "2", "cache associativity");
+  cli.add_option("sparse-assoc", "2",
+                 "sparse directory associativity (1 = direct-mapped)");
   cli.add_option("l1-lines", "0",
                  "first-level cache lines per processor (0 = single level)");
   cli.add_option("rounds", "4", "barrier-delimited rounds per trace");
@@ -159,6 +164,8 @@ FuzzFlags parse_flags(int argc, const char* const* argv) {
       static_cast<std::uint64_t>(cli.get_int("fault-trigger"));
   flags.procs = static_cast<int>(cli.get_int("procs"));
   flags.cache_lines = static_cast<int>(cli.get_int("cache-lines"));
+  flags.cache_assoc = static_cast<int>(cli.get_int("cache-assoc"));
+  flags.sparse_assoc = static_cast<int>(cli.get_int("sparse-assoc"));
   flags.l1_lines = static_cast<int>(cli.get_int("l1-lines"));
   flags.rounds = static_cast<int>(cli.get_int("rounds"));
   flags.units = static_cast<int>(cli.get_int("units"));
@@ -197,17 +204,18 @@ SystemConfig system_config(const FuzzFlags& flags, const std::string& scheme,
   config.procs_per_cluster = 1;
   config.cache_lines_per_proc =
       static_cast<std::uint64_t>(flags.cache_lines);
-  config.cache_assoc = 2;
+  config.cache_assoc = static_cast<std::uint64_t>(flags.cache_assoc);
   config.l1_lines_per_proc = static_cast<std::uint64_t>(flags.l1_lines);
   config.l1_assoc = 2;
   config.block_size = kBlockSize;
   config.scheme = scheme_by_name(scheme, flags.procs);
   if (sparse > 0) {
     config.store.sparse = true;
-    // Round up to a whole number of 2-way sets.
+    // Round up to a whole number of sparse-assoc-way sets.
+    const int assoc = flags.sparse_assoc;
     config.store.sparse_entries =
-        static_cast<std::uint64_t>((sparse + 1) / 2 * 2);
-    config.store.sparse_assoc = 2;
+        static_cast<std::uint64_t>((sparse + assoc - 1) / assoc * assoc);
+    config.store.sparse_assoc = static_cast<std::uint64_t>(assoc);
     config.store.policy = ReplPolicy::kRandom;
   }
   // Fault runs corrupt state on purpose: the protocol's own [[noreturn]]

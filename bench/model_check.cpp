@@ -1,0 +1,368 @@
+// Exhaustive guarded-action model checker for tiny configurations
+// (docs/MODELCHECK.md).
+//
+// Sweeps a scheme x store x chips x fault grid; each cell runs the
+// explicit-state BFS explorer (src/check/model) over every interleaving of
+// processor accesses, auditing every reached state with the invariant
+// oracle plus the guard-totality (deadlock-freedom) and path cross-checks.
+// `--faults none` cells must explore to exhaustion with zero violations;
+// fault cells must produce a counterexample whose <= 50-event trace
+// reproduces the violation under the plain engine (and is replayable with
+// `fuzz_coherence --replay`, command printed per counterexample). Cells
+// where the configured fault has no reachable site are skipped with the
+// reason printed.
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <vector>
+
+#include "check/model/explorer.hpp"
+#include "check/model/state_codec.hpp"
+#include "common/cli.hpp"
+#include "common/ensure.hpp"
+#include "common/table.hpp"
+#include "trace/trace_file.hpp"
+
+namespace {
+
+using namespace dircc;
+using namespace dircc::check::model;
+
+constexpr std::uint64_t kMaxCounterexampleEvents = 50;
+
+std::vector<std::string> split_list(const std::string& text) {
+  std::vector<std::string> out;
+  std::stringstream stream(text);
+  std::string item;
+  while (std::getline(stream, item, ',')) {
+    if (!item.empty()) {
+      out.push_back(item);
+    }
+  }
+  return out;
+}
+
+check::FaultKind fault_by_name(const std::string& name) {
+  if (name == "none") {
+    return check::FaultKind::kNone;
+  }
+  if (name == "sharer") {
+    return check::FaultKind::kForgetSharer;
+  }
+  if (name == "inval") {
+    return check::FaultKind::kSkipInvalidation;
+  }
+  if (name == "writeback") {
+    return check::FaultKind::kDropVictimWriteback;
+  }
+  if (name == "chip-sharer") {
+    return check::FaultKind::kForgetChipSharer;
+  }
+  std::cerr << "unknown fault '" << name
+            << "' (none, sharer, inval, writeback, chip-sharer)\n";
+  std::exit(2);
+}
+
+struct Flags {
+  std::vector<std::string> schemes;
+  std::vector<std::string> stores;
+  std::vector<int> chips;
+  std::vector<std::string> faults;
+  std::uint64_t fault_trigger = 1;
+  int procs = 2;
+  int blocks = 1;
+  BlockLayout layout = BlockLayout::kSpread;
+  std::uint64_t sparse_entries = 1;
+  std::uint64_t cache_lines = 8;
+  std::uint64_t max_states = 1u << 20;
+  int max_depth = 64;
+  std::string dump_dir;
+  bool require_clean = false;
+  bool require_caught = false;
+};
+
+Flags parse_flags(int argc, const char* const* argv) {
+  CliParser cli;
+  cli.add_option("schemes", "full,cv,b,nb",
+                 "directory schemes to check (full,cv,b,nb)");
+  cli.add_option("stores", "dense,sparse",
+                 "home directory store organizations (dense,sparse)");
+  cli.add_option("chips", "1",
+                 "machine shapes: 1 = flat, 2 = two-level hierarchy "
+                 "(comma list)");
+  cli.add_option("faults", "none",
+                 "seeded protocol mutations to hunt exhaustively "
+                 "(none,sharer,inval,writeback,chip-sharer)");
+  cli.add_option("fault-trigger", "1",
+                 "fire the seeded fault on this corrupting opportunity");
+  cli.add_option("procs", "2", "processors, one per cluster (2..8)");
+  cli.add_option("blocks", "1", "model blocks the actions range over (1..4)");
+  cli.add_option("layout", "spread",
+                 "block placement: 'spread' (one home each) or 'same-home' "
+                 "(all at cluster 0; forces sparse victimization)");
+  cli.add_option("sparse-entries", "1",
+                 "flat sparse entries per home cluster (direct-mapped)");
+  cli.add_option("cache-lines", "8", "cache lines per processor (2-way)");
+  cli.add_option("max-states", "1048576",
+                 "abort a cell past this many distinct states");
+  cli.add_option("max-depth", "64", "abort a cell past this BFS depth");
+  cli.add_option("dump", "",
+                 "write counterexample traces + reports into this directory");
+  cli.add_flag("require-clean",
+               "exit nonzero unless every no-fault cell explores to "
+               "exhaustion with zero violations and full action coverage "
+               "(CI)");
+  cli.add_flag("require-caught",
+               "exit nonzero unless every fault cell produces a "
+               "reproducing counterexample (CI)");
+  if (!cli.parse(argc, argv)) {
+    std::cerr << cli.error() << "\n" << cli.usage(argv[0]);
+    std::exit(2);
+  }
+  if (cli.help_requested()) {
+    std::cout << cli.usage(argv[0]);
+    std::exit(0);
+  }
+  Flags flags;
+  flags.schemes = split_list(cli.get("schemes"));
+  flags.stores = split_list(cli.get("stores"));
+  for (const std::string& item : split_list(cli.get("chips"))) {
+    flags.chips.push_back(std::stoi(item));
+  }
+  flags.faults = split_list(cli.get("faults"));
+  flags.fault_trigger =
+      static_cast<std::uint64_t>(cli.get_int("fault-trigger"));
+  flags.procs = static_cast<int>(cli.get_int("procs"));
+  flags.blocks = static_cast<int>(cli.get_int("blocks"));
+  const std::string layout = cli.get("layout");
+  if (layout == "spread") {
+    flags.layout = BlockLayout::kSpread;
+  } else if (layout == "same-home") {
+    flags.layout = BlockLayout::kSameHome;
+  } else {
+    std::cerr << "unknown layout '" << layout << "' (spread, same-home)\n";
+    std::exit(2);
+  }
+  flags.sparse_entries =
+      static_cast<std::uint64_t>(cli.get_int("sparse-entries"));
+  flags.cache_lines = static_cast<std::uint64_t>(cli.get_int("cache-lines"));
+  flags.max_states = static_cast<std::uint64_t>(cli.get_int("max-states"));
+  flags.max_depth = static_cast<int>(cli.get_int("max-depth"));
+  flags.dump_dir = cli.get("dump");
+  flags.require_clean = cli.get_flag("require-clean");
+  flags.require_caught = cli.get_flag("require-caught");
+  ensure(!flags.schemes.empty() && !flags.stores.empty() &&
+             !flags.chips.empty() && !flags.faults.empty(),
+         "model-check grid must be non-empty");
+  return flags;
+}
+
+ModelConfig cell_config(const Flags& flags, const std::string& scheme,
+                        const std::string& store, int chips,
+                        const std::string& fault) {
+  ModelConfig config;
+  config.procs = flags.procs;
+  config.blocks = flags.blocks;
+  config.layout = flags.layout;
+  config.scheme = scheme;
+  if (store == "sparse") {
+    config.sparse = true;
+  } else if (store != "dense") {
+    std::cerr << "unknown store '" << store << "' (dense, sparse)\n";
+    std::exit(2);
+  }
+  config.chips = chips;
+  config.sparse_entries = flags.sparse_entries;
+  config.cache_lines = flags.cache_lines;
+  config.fault.kind = fault_by_name(fault);
+  config.fault.trigger = flags.fault_trigger;
+  config.max_states = flags.max_states;
+  config.max_depth = flags.max_depth;
+  return config;
+}
+
+std::string sanitize_key(const std::string& key) {
+  std::string out = key;
+  for (char& ch : out) {
+    const bool safe = (ch >= 'a' && ch <= 'z') || (ch >= 'A' && ch <= 'Z') ||
+                      (ch >= '0' && ch <= '9') || ch == '.' || ch == '_' ||
+                      ch == '-';
+    if (!safe) {
+      ch = '_';
+    }
+  }
+  return out;
+}
+
+void dump_counterexample(const Flags& flags, const ModelConfig& config,
+                         const Counterexample& ce, const std::string& key) {
+  const std::filesystem::path dir(flags.dump_dir);
+  std::filesystem::create_directories(dir);
+  const std::string stem = sanitize_key(key);
+  const std::string trace_path = (dir / (stem + ".trace")).string();
+  ensure(save_trace(trace_path, ce.trace),
+         "cannot write the counterexample trace");
+  std::ofstream out(dir / (stem + ".report.txt"));
+  ensure(static_cast<bool>(out), "cannot write the counterexample report");
+  out << "cell: " << key << "\n"
+      << "failure: " << failure_kind_name(ce.kind) << "\n"
+      << "path (" << ce.path.size() << " steps):\n";
+  for (const ModelAction& a : ce.path) {
+    out << "  p" << a.proc << " " << (a.is_write ? "write" : "read")
+        << " block " << model_block(config, a.block_index) << "\n";
+  }
+  out << "final state:\n" << ce.final_state
+      << "detail:\n" << ce.detail << "\n"
+      << "trace: " << trace_path << " (" << ce.trace.total_events()
+      << " events)\n"
+      << "replay: " << replay_command(config, trace_path) << "\n";
+  std::cout << "  dumped " << trace_path << " (+report)\n";
+}
+
+/// Re-verifies a counterexample end to end: its emitted trace, run through
+/// the plain engine with the oracle attached (exactly what
+/// `fuzz_coherence --replay` does), must reproduce a violation.
+bool counterexample_reproduces(const ModelConfig& config,
+                               const Counterexample& ce) {
+  const check::CheckedRun run =
+      check::run_checked(build_system(config), EngineConfig{}, ce.trace);
+  return run.report.failed();
+}
+
+}  // namespace
+
+int run_main(int argc, char** argv) {
+  const Flags flags = parse_flags(argc, argv);
+  if (!check::compiled()) {
+    std::cout << "model_check: checking compiled out (DIRCC_CHECK=0); "
+                 "nothing verified\n";
+    return flags.require_clean || flags.require_caught ? 1 : 0;
+  }
+
+  TextTable table;
+  table.header({"cell", "states", "transitions", "depth", "coverage",
+                "result"});
+  int failures = 0;
+  int skipped = 0;
+  bool any_fault_cell_ran = false;
+  std::vector<std::string> notes;
+
+  for (const std::string& scheme : flags.schemes) {
+    for (const std::string& store : flags.stores) {
+      for (const int chips : flags.chips) {
+        for (const std::string& fault : flags.faults) {
+          const ModelConfig config =
+              cell_config(flags, scheme, store, chips, fault);
+          const std::string key = cell_name(config);
+          const std::string invalid = validate(config);
+          if (!invalid.empty()) {
+            std::cerr << "invalid configuration (" << key << "): " << invalid
+                      << "\n";
+            return 2;
+          }
+          const bool fault_cell =
+              config.fault.kind != check::FaultKind::kNone;
+          if (fault_cell) {
+            const std::string infeasible = fault_feasible(config);
+            if (!infeasible.empty()) {
+              std::cout << "SKIP " << key << ": " << infeasible << "\n";
+              ++skipped;
+              continue;
+            }
+            any_fault_cell_ran = true;
+          }
+
+          const ExploreResult result = explore(config);
+          std::ostringstream coverage;
+          int covered = 0;
+          for (const std::uint64_t n : result.kind_transitions) {
+            covered += n > 0 ? 1 : 0;
+          }
+          coverage << covered << "/" << kNumActionKinds;
+
+          std::string verdict;
+          bool cell_failed = false;
+          if (result.counterexample.has_value()) {
+            const Counterexample& ce = *result.counterexample;
+            const bool caught = fault_cell &&
+                                ce.kind == FailureKind::kInvariant &&
+                                ce.faults_injected > 0;
+            const bool reproduces = counterexample_reproduces(config, ce);
+            const bool short_enough =
+                ce.trace.total_events() <= kMaxCounterexampleEvents;
+            if (caught && reproduces && short_enough) {
+              verdict = "caught @" + std::to_string(ce.path.size()) +
+                        " steps (" + std::to_string(ce.trace.total_events()) +
+                        "-event trace replays)";
+            } else {
+              cell_failed = true;
+              verdict = std::string(failure_kind_name(ce.kind)) +
+                        (reproduces ? "" : " (trace does NOT reproduce)") +
+                        (short_enough ? "" : " (trace > 50 events)");
+              notes.push_back(key + ": " + failure_kind_name(ce.kind) +
+                              "\n" + ce.detail);
+            }
+            if (!flags.dump_dir.empty()) {
+              dump_counterexample(flags, config, ce, key);
+            }
+          } else if (fault_cell) {
+            // Feasibility said the fault has a reachable site, yet the
+            // exhaustive exploration never saw it fire.
+            cell_failed = true;
+            verdict = result.exhausted ? "fault NEVER FIRED (exhausted)"
+                                       : "fault never fired (capped)";
+          } else if (!result.exhausted) {
+            verdict = result.hit_state_cap ? "STATE CAP" : "DEPTH CAP";
+            if (flags.require_clean) {
+              cell_failed = true;
+            }
+          } else {
+            verdict = "clean (exhausted)";
+            if (flags.require_clean && !result.all_kinds_covered()) {
+              cell_failed = true;
+              verdict += " but " + coverage.str() + " action kinds";
+            }
+          }
+          if (cell_failed) {
+            ++failures;
+            verdict = "FAIL: " + verdict;
+          }
+          table.row({key, fmt_count(result.states),
+                     fmt_count(result.transitions),
+                     std::to_string(result.depth), coverage.str(), verdict});
+        }
+      }
+    }
+  }
+
+  std::cout << "model_check: " << flags.schemes.size() << " schemes x "
+            << flags.stores.size() << " stores x " << flags.chips.size()
+            << " chip shapes x " << flags.faults.size() << " faults, "
+            << flags.procs << " procs / " << flags.blocks << " block(s)\n\n";
+  table.print(std::cout);
+  for (const std::string& note : notes) {
+    std::cout << "\n" << note;
+  }
+  if (skipped > 0) {
+    std::cout << "\n" << skipped << " cell(s) skipped (fault infeasible "
+              << "in that configuration)\n";
+  }
+
+  if (flags.require_caught && !any_fault_cell_ran) {
+    std::cerr << "FAIL: --require-caught but every fault cell was skipped\n";
+    return 1;
+  }
+  if (failures > 0) {
+    std::cerr << "\nFAIL: " << failures << " cell(s) failed\n";
+    return 1;
+  }
+  if (flags.require_clean || flags.require_caught) {
+    std::cout << "\nall cells passed\n";
+  }
+  return 0;
+}
+
+int main(int argc, char** argv) {
+  return dircc::run_cli([&] { return run_main(argc, argv); });
+}

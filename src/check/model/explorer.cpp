@@ -1,0 +1,294 @@
+#include "check/model/explorer.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <memory>
+#include <sstream>
+#include <unordered_map>
+
+#include "check/model/state_codec.hpp"
+#include "common/ensure.hpp"
+
+namespace dircc::check::model {
+
+namespace {
+
+/// Issue-time spacing between consecutive path steps in an emitted
+/// counterexample trace. Far above any single access latency, so step k's
+/// access (issued at exactly (k+1) * kSlack) globally precedes step k+1's.
+constexpr Cycle kSlack = Cycle{1} << 20;
+
+/// One reached state: its BFS parent and the action that led here, enough
+/// to reconstruct the path without storing systems (CoherenceSystem is not
+/// copyable — expansion replays the path against a fresh instance).
+struct StateNode {
+  std::int32_t parent = -1;
+  ModelAction action;
+  std::int32_t depth = 0;
+};
+
+class Explorer {
+ public:
+  explicit Explorer(const ModelConfig& config) : config_(config) {
+    ensure(validate(config).empty(), "explore() on an invalid ModelConfig");
+    for (int p = 0; p < config_.procs; ++p) {
+      for (int b = 0; b < config_.blocks; ++b) {
+        actions_.push_back({static_cast<ProcId>(p), b, false});
+        actions_.push_back({static_cast<ProcId>(p), b, true});
+      }
+    }
+  }
+
+  ExploreResult run() {
+    // Root: the pristine machine.
+    {
+      const CoherenceSystem system(build_system(config_));
+      const std::string root = encode_state(system, config_);
+      index_.emplace(root, 0);
+      nodes_.push_back({});
+      ++result_.states;
+      if (!audit_guards(system, {})) {
+        return result_;
+      }
+      frontier_.push_back(0);
+    }
+    while (!frontier_.empty() && !result_.counterexample.has_value()) {
+      const std::int32_t id = frontier_.front();
+      frontier_.pop_front();
+      if (nodes_[static_cast<std::size_t>(id)].depth >= config_.max_depth) {
+        result_.hit_depth_cap = true;
+        continue;
+      }
+      const std::vector<ModelAction> path = path_of(id);
+      for (const ModelAction& action : actions_) {
+        expand(id, path, action);
+        if (result_.counterexample.has_value()) {
+          break;
+        }
+      }
+    }
+    result_.exhausted = !result_.counterexample.has_value() &&
+                        !result_.hit_state_cap && !result_.hit_depth_cap;
+    return result_;
+  }
+
+ private:
+  std::vector<ModelAction> path_of(std::int32_t id) const {
+    std::vector<ModelAction> path;
+    for (std::int32_t at = id; at > 0;
+         at = nodes_[static_cast<std::size_t>(at)].parent) {
+      path.push_back(nodes_[static_cast<std::size_t>(at)].action);
+    }
+    std::reverse(path.begin(), path.end());
+    return path;
+  }
+
+  /// Replays `path` against a fresh system with the oracle attached.
+  /// Returns the step index the checker halted at, or -1 if it ran clean
+  /// (prefix paths are known-clean, so -1 is the invariant case).
+  void replay(const std::vector<ModelAction>& path, CoherenceSystem& system,
+              InvariantChecker& checker) const {
+    for (std::size_t k = 0; k < path.size(); ++k) {
+      const ModelAction& a = path[k];
+      const BlockAddr block = model_block(config_, a.block_index);
+      const auto now = static_cast<Cycle>(k);
+      system.access(a.proc, block, a.is_write, now);
+      checker.on_access(a.proc, block, a.is_write, now);
+      ensure(k + 1 == path.size() || !checker.halt_requested(),
+             "model explorer enqueued a violating state");
+    }
+  }
+
+  /// Takes one edge from the state `prefix` leads to. Classifies the
+  /// access by its guard, applies it through the real protocol, audits,
+  /// cross-checks, and enqueues the successor if it is new and fault-free.
+  void expand(std::int32_t parent, const std::vector<ModelAction>& prefix,
+              const ModelAction& action) {
+    CoherenceSystem system(build_system(config_));
+    InvariantChecker checker(system);
+    replay(prefix, system, checker);
+
+    const BlockAddr block = model_block(config_, action.block_index);
+    ActionKind kind = ActionKind::kReadHit;
+    const int enabled =
+        count_enabled(system, action.proc, block, action.is_write, &kind);
+    // Guard totality was audited when the predecessor state was first
+    // reached, so `enabled` is exactly 1 here.
+    ensure(enabled == 1, "guard partition changed between audits");
+    const StatSnapshot before = snapshot(system);
+
+    const auto now = static_cast<Cycle>(prefix.size());
+    system.access(action.proc, block, action.is_write, now);
+    checker.on_access(action.proc, block, action.is_write, now);
+
+    ++result_.transitions;
+    ++result_.kind_transitions[static_cast<std::size_t>(kind)];
+
+    std::vector<ModelAction> path = prefix;
+    path.push_back(action);
+
+    const bool fired = system.faults_injected() > 0;
+    const bool flagged = checker.report().failed();
+    if (fired) {
+      ++result_.fault_firings;
+    }
+    if (flagged) {
+      // Invariant violation at this access: the counterexample (for a
+      // clean configuration, a genuine protocol bug; with a fault armed,
+      // the firing being caught).
+      fail(FailureKind::kInvariant, path, system, checker,
+           violation_text(checker.report()));
+      return;
+    }
+    if (fired) {
+      // The fault corrupted state this very access (every site pre-checks
+      // that) yet the oracle stayed silent: an oracle gap.
+      fail(FailureKind::kMissedFault, path, system, checker,
+           "seeded fault fired at this access but the audit found no "
+           "violation");
+      return;
+    }
+
+    const std::string divergence = cross_check(system, kind, before);
+    if (!divergence.empty()) {
+      fail(FailureKind::kCrossCheck, path, system, checker, divergence);
+      return;
+    }
+
+    const std::string encoded = encode_state(system, config_);
+    const auto [it, inserted] =
+        index_.emplace(encoded, static_cast<std::int32_t>(nodes_.size()));
+    if (!inserted) {
+      return;
+    }
+    StateNode node;
+    node.parent = parent;
+    node.action = action;
+    node.depth = static_cast<std::int32_t>(path.size());
+    nodes_.push_back(node);
+    ++result_.states;
+    result_.depth = std::max(result_.depth, static_cast<int>(node.depth));
+    if (!audit_guards(system, path)) {
+      return;
+    }
+    if (result_.states >= config_.max_states) {
+      result_.hit_state_cap = true;
+      return;
+    }
+    frontier_.push_back(it->second);
+  }
+
+  /// Deadlock-freedom audit of a newly reached state: every possible
+  /// access must have exactly one enabled guard. Returns false (and sets
+  /// the counterexample) on a violation.
+  bool audit_guards(const CoherenceSystem& system,
+                    const std::vector<ModelAction>& path) {
+    for (const ModelAction& action : actions_) {
+      const BlockAddr block = model_block(config_, action.block_index);
+      const int enabled =
+          count_enabled(system, action.proc, block, action.is_write, nullptr);
+      if (enabled == 1) {
+        continue;
+      }
+      std::ostringstream why;
+      why << "proc " << action.proc << " " << (action.is_write ? "write"
+                                                               : "read")
+          << " of block " << block << " has " << enabled
+          << " enabled guards";
+      InvariantChecker scratch(system);
+      fail(enabled == 0 ? FailureKind::kDeadlock : FailureKind::kGuardOverlap,
+           path, system, scratch, why.str());
+      return false;
+    }
+    return true;
+  }
+
+  static std::string violation_text(const CheckReport& report) {
+    std::ostringstream out;
+    for (const Violation& violation : report.violations) {
+      out << violation_to_string(violation) << "\n";
+    }
+    if (report.violations_suppressed > 0) {
+      out << "(+" << report.violations_suppressed << " suppressed)\n";
+    }
+    return out.str();
+  }
+
+  void fail(FailureKind kind, const std::vector<ModelAction>& path,
+            const CoherenceSystem& system, InvariantChecker& checker,
+            std::string detail) {
+    Counterexample ce;
+    ce.kind = kind;
+    ce.path = path;
+    ce.detail = std::move(detail);
+    ce.final_state = format_state(system, config_);
+    ce.report = checker.finish(checker.halt_requested());
+    ce.faults_injected = system.faults_injected();
+    ce.trace = path_trace(config_, path);
+    result_.counterexample = std::move(ce);
+  }
+
+  const ModelConfig& config_;
+  std::vector<ModelAction> actions_;  ///< fixed deterministic action order
+  std::vector<StateNode> nodes_;
+  std::unordered_map<std::string, std::int32_t> index_;
+  std::deque<std::int32_t> frontier_;
+  ExploreResult result_;
+};
+
+}  // namespace
+
+const char* failure_kind_name(FailureKind kind) {
+  switch (kind) {
+    case FailureKind::kInvariant:
+      return "invariant-violation";
+    case FailureKind::kMissedFault:
+      return "missed-fault";
+    case FailureKind::kDeadlock:
+      return "deadlock";
+    case FailureKind::kGuardOverlap:
+      return "guard-overlap";
+    case FailureKind::kCrossCheck:
+      return "cross-check-divergence";
+  }
+  return "?";
+}
+
+ProgramTrace path_trace(const ModelConfig& config,
+                        const std::vector<ModelAction>& path) {
+  ProgramTrace trace;
+  trace.app_name = "model_check";
+  trace.block_size = 16;
+  trace.per_proc.resize(static_cast<std::size_t>(config.procs));
+  // Shadow replay: with contention modeling off, an access's latency does
+  // not depend on its issue time, so replaying the path here yields the
+  // exact per-processor clocks the engine will compute.
+  CoherenceSystem shadow(build_system(config));
+  std::vector<Cycle> clock(static_cast<std::size_t>(config.procs), 0);
+  for (std::size_t k = 0; k < path.size(); ++k) {
+    const ModelAction& a = path[k];
+    const auto p = static_cast<std::size_t>(a.proc);
+    const BlockAddr block = model_block(config, a.block_index);
+    const Cycle target = static_cast<Cycle>(k + 1) * kSlack;
+    ensure(clock[p] < target, "counterexample step windows overlap");
+    // Pad so the access event pops at exactly `target`: the think event
+    // pops at clock[p] and completes at clock[p] + 1 + arg.
+    const Cycle pad = target - clock[p] - 1;
+    ensure(pad <= Cycle{0xFFFFFFFF}, "think pad exceeds the event arg width");
+    trace.per_proc[p].push_back(
+        TraceEvent::think(static_cast<std::uint32_t>(pad)));
+    const Addr addr = block * static_cast<Addr>(trace.block_size);
+    trace.per_proc[p].push_back(a.is_write ? TraceEvent::write(addr)
+                                           : TraceEvent::read(addr));
+    const Cycle latency = shadow.access(a.proc, block, a.is_write, target);
+    clock[p] = target + 1 + latency;
+  }
+  return trace;
+}
+
+ExploreResult explore(const ModelConfig& config) {
+  Explorer explorer(config);
+  return explorer.run();
+}
+
+}  // namespace dircc::check::model

@@ -1,0 +1,104 @@
+// Explicit-state breadth-first reachability explorer (docs/MODELCHECK.md).
+//
+// Enumerates every interleaving of guarded actions (guarded_action.hpp)
+// from the initial state of a tiny machine, deduplicating states by their
+// canonical encoding (state_codec.hpp). Every newly reached state is
+// audited with the full InvariantChecker oracle (all violation kinds,
+// including per-access load checks) plus the model's own obligations:
+//
+//  * deadlock freedom — for every (processor, block, op) exactly one guard
+//    is enabled (0 = the protocol has no transition for a possible access;
+//    > 1 = the guard partition itself is broken);
+//  * path agreement — the transition access() actually took matches the
+//    enabled guard (guarded_action.hpp cross_check), on fault-free steps.
+//
+// Exploration with a seeded fault armed stops at the first firing edge:
+// the firing must be flagged by the oracle at that very access (the
+// configuration guarantees every firing corrupts), and the path to it
+// becomes the counterexample. Post-firing states are never expanded, so
+// the searched space — the fault-free reachable set plus all firing edges
+// — stays finite and the "exhausted" verdict is meaningful.
+//
+// Counterexamples are emitted as replayable ProgramTraces: per-processor
+// streams padded with think events so the engine's global (time, proc)
+// order reproduces the path's interleaving exactly. Each step k targets
+// issue time (k+1) * 2^20; processor clocks are tracked exactly by
+// replaying the path against a shadow system (latencies are issue-time-
+// independent with contention modeling off), so the emitted trace replays
+// the identical access sequence under `fuzz_coherence --replay`.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "check/invariant_checker.hpp"
+#include "check/model/guarded_action.hpp"
+#include "check/model/model_config.hpp"
+#include "trace/event.hpp"
+
+namespace dircc::check::model {
+
+/// Why an exploration stopped with a counterexample.
+enum class FailureKind : std::uint8_t {
+  kInvariant,    ///< the oracle flagged a violation at the final access
+  kMissedFault,  ///< the seeded fault fired but the oracle stayed silent
+  kDeadlock,     ///< a reached state has an access with no enabled guard
+  kGuardOverlap, ///< a reached state enables more than one guard
+  kCrossCheck,   ///< access() took a different path than the guard
+};
+
+const char* failure_kind_name(FailureKind kind);
+
+/// A failing path: the action sequence from the initial state, the oracle
+/// report of the failing replay, and the equivalent replayable trace
+/// (2 events per step: one think pad, one access).
+struct Counterexample {
+  FailureKind kind = FailureKind::kInvariant;
+  std::vector<ModelAction> path;
+  std::string detail;        ///< violations / divergence description
+  std::string final_state;   ///< format_state at the failing state
+  CheckReport report;        ///< oracle report of the failing replay
+  std::uint64_t faults_injected = 0;
+  ProgramTrace trace;
+};
+
+struct ExploreResult {
+  std::uint64_t states = 0;       ///< distinct states reached (incl. initial)
+  std::uint64_t transitions = 0;  ///< edges taken
+  int depth = 0;                  ///< longest shortest-path explored
+  /// True when the frontier drained without hitting max_states/max_depth:
+  /// the (fault-free) reachable space was covered completely.
+  bool exhausted = false;
+  bool hit_state_cap = false;
+  bool hit_depth_cap = false;
+  /// Edges on which the seeded fault fired (0 or 1: the first stops the
+  /// exploration).
+  std::uint64_t fault_firings = 0;
+  /// Transitions per action kind, indexed by ActionKind — the exhaustive
+  /// analogue of branch coverage over the protocol's transition relation.
+  std::array<std::uint64_t, kNumActionKinds> kind_transitions{};
+  std::optional<Counterexample> counterexample;
+
+  bool all_kinds_covered() const {
+    for (const std::uint64_t n : kind_transitions) {
+      if (n == 0) {
+        return false;
+      }
+    }
+    return true;
+  }
+};
+
+/// Runs the exploration for one configuration. `config` must pass
+/// validate() (model_config.hpp).
+ExploreResult explore(const ModelConfig& config);
+
+/// Builds the replayable trace for an action path (exposed for tests; the
+/// explorer calls it for every counterexample it emits).
+ProgramTrace path_trace(const ModelConfig& config,
+                        const std::vector<ModelAction>& path);
+
+}  // namespace dircc::check::model

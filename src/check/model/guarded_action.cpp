@@ -1,0 +1,161 @@
+#include "check/model/guarded_action.hpp"
+
+#include <sstream>
+
+namespace dircc::check::model {
+
+namespace {
+
+/// Static guard table: line-state requirement x directory-state
+/// requirement per action. kReadHit / the write hit and upgrade actions
+/// are directory-independent (dir_any).
+struct GuardRow {
+  ActionKind kind;
+  bool is_write;
+  bool line_hit;    ///< true: line must be `line`; false: line must be I
+  LineState line;   ///< meaningful when line_hit
+  bool dir_any;
+  DirState dir;     ///< meaningful when !dir_any
+};
+
+constexpr GuardRow kGuards[kNumActionKinds] = {
+    {ActionKind::kReadHit, false, true, LineState::kShared, true,
+     DirState::kUncached},
+    {ActionKind::kReadMissUncached, false, false, LineState::kInvalid, false,
+     DirState::kUncached},
+    {ActionKind::kReadMissShared, false, false, LineState::kInvalid, false,
+     DirState::kShared},
+    {ActionKind::kReadMissDirty, false, false, LineState::kInvalid, false,
+     DirState::kDirty},
+    {ActionKind::kWriteHitModified, true, true, LineState::kModified, true,
+     DirState::kUncached},
+    {ActionKind::kWriteUpgrade, true, true, LineState::kShared, true,
+     DirState::kUncached},
+    {ActionKind::kWriteMissUncached, true, false, LineState::kInvalid, false,
+     DirState::kUncached},
+    {ActionKind::kWriteMissShared, true, false, LineState::kInvalid, false,
+     DirState::kShared},
+    {ActionKind::kWriteMissDirty, true, false, LineState::kInvalid, false,
+     DirState::kDirty},
+};
+
+const GuardRow& row_of(ActionKind kind) {
+  return kGuards[static_cast<std::size_t>(kind)];
+}
+
+}  // namespace
+
+const char* action_kind_name(ActionKind kind) {
+  switch (kind) {
+    case ActionKind::kReadHit:
+      return "read-hit";
+    case ActionKind::kReadMissUncached:
+      return "read-miss-uncached";
+    case ActionKind::kReadMissShared:
+      return "read-miss-shared";
+    case ActionKind::kReadMissDirty:
+      return "read-miss-dirty";
+    case ActionKind::kWriteHitModified:
+      return "write-hit-modified";
+    case ActionKind::kWriteUpgrade:
+      return "write-upgrade";
+    case ActionKind::kWriteMissUncached:
+      return "write-miss-uncached";
+    case ActionKind::kWriteMissShared:
+      return "write-miss-shared";
+    case ActionKind::kWriteMissDirty:
+      return "write-miss-dirty";
+  }
+  return "?";
+}
+
+DirState effective_dir_state(const CoherenceSystem& system, BlockAddr block) {
+  const DirEntry* entry = system.peek_entry(system.group_key(block));
+  return entry == nullptr ? DirState::kUncached
+                          : entry->state_of(system.sub_of(block));
+}
+
+bool guard_enabled(const CoherenceSystem& system, ActionKind kind,
+                   ProcId proc, BlockAddr block, bool is_write) {
+  const GuardRow& row = row_of(kind);
+  if (row.is_write != is_write) {
+    return false;
+  }
+  const LineState line = system.cache(proc).probe(block);
+  if (row.line_hit) {
+    // kReadHit covers both hit states; the write hits distinguish S from M
+    // (an upgrade is a different protocol path than a silent write).
+    if (row.kind == ActionKind::kReadHit) {
+      if (line == LineState::kInvalid) {
+        return false;
+      }
+    } else if (line != row.line) {
+      return false;
+    }
+  } else if (line != LineState::kInvalid) {
+    return false;
+  }
+  return row.dir_any || effective_dir_state(system, block) == row.dir;
+}
+
+int count_enabled(const CoherenceSystem& system, ProcId proc,
+                  BlockAddr block, bool is_write, ActionKind* enabled) {
+  int count = 0;
+  for (const GuardRow& row : kGuards) {
+    if (guard_enabled(system, row.kind, proc, block, is_write)) {
+      if (count == 0 && enabled != nullptr) {
+        *enabled = row.kind;
+      }
+      ++count;
+    }
+  }
+  return count;
+}
+
+StatSnapshot snapshot(const CoherenceSystem& system) {
+  const ProtocolStats& stats = system.stats();
+  return {stats.accesses,           stats.cache_hits,
+          stats.read_transactions,  stats.write_transactions,
+          stats.ownership_transfers, stats.sharing_writebacks};
+}
+
+std::string cross_check(const CoherenceSystem& system, ActionKind kind,
+                        const StatSnapshot& before) {
+  const StatSnapshot after = snapshot(system);
+  std::ostringstream why;
+  const auto expect = [&](const char* counter, std::uint64_t got,
+                          std::uint64_t want) {
+    if (got != want) {
+      why << action_kind_name(kind) << ": " << counter << " moved by " << got
+          << ", guard predicts " << want << "; ";
+    }
+  };
+  expect("accesses", after.accesses - before.accesses, 1);
+
+  const bool hit = kind == ActionKind::kReadHit ||
+                   kind == ActionKind::kWriteHitModified;
+  const bool read = !row_of(kind).is_write;
+  expect("cache_hits", after.cache_hits - before.cache_hits, hit ? 1 : 0);
+  expect("read_transactions",
+         after.read_transactions - before.read_transactions,
+         !hit && read ? 1 : 0);
+  expect("write_transactions",
+         after.write_transactions - before.write_transactions,
+         !hit && !read ? 1 : 0);
+
+  // The hierarchical paths account ownership transfers and sharing
+  // writebacks per level, not per access class, so the per-path exactness
+  // below only holds on the flat machine.
+  if (!system.hierarchical()) {
+    expect("ownership_transfers",
+           after.ownership_transfers - before.ownership_transfers,
+           kind == ActionKind::kWriteMissDirty ? 1 : 0);
+    if (kind == ActionKind::kReadMissDirty &&
+        after.sharing_writebacks == before.sharing_writebacks) {
+      why << "read-miss-dirty: no sharing writeback reached the home; ";
+    }
+  }
+  return why.str();
+}
+
+}  // namespace dircc::check::model

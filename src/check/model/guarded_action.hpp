@@ -1,0 +1,95 @@
+// The protocol's transition relation in guarded-action form.
+//
+// Following the guarded-action modeling of cache coherence protocols
+// (PAPERS.md), every transition the tiny-machine model can take is one of
+// nine actions, each a pair {guard(state), apply(state)}:
+//
+//   guard  — a predicate over the *observable* architectural state (the
+//            requester's cache line state x the effective home-directory
+//            state of the block), evaluated read-only;
+//   apply  — CoherenceSystem::access itself. The actions are extracted
+//            against the same protocol code paths the simulator runs, not
+//            re-implemented: the guard only names which path access() will
+//            take, and the cross-check below verifies it actually did.
+//
+// The nine actions partition (line in {I,S,M}) x (dir in {U,S,D}) x
+// (read | write): for every state and every (proc, block, op), exactly one
+// guard is enabled. That totality IS the model's deadlock-freedom property
+// — no access can ever reach a state where the protocol has no transition
+// for it — and the explorer (explorer.hpp) re-verifies it at every reached
+// state rather than trusting the construction.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "protocol/system.hpp"
+
+namespace dircc::check::model {
+
+/// The nine protocol transitions of the guarded-action model.
+enum class ActionKind : std::uint8_t {
+  kReadHit,            ///< line S or M; no directory transaction
+  kReadMissUncached,   ///< line I, home Uncached: memory supplies the copy
+  kReadMissShared,     ///< line I, home Shared: memory supplies, sharer added
+  kReadMissDirty,      ///< line I, home Dirty: forwarded to the owner,
+                       ///< sharing writeback to the home
+  kWriteHitModified,   ///< line M: silent version bump
+  kWriteUpgrade,       ///< line S: invalidation fan-out, ownership granted
+  kWriteMissUncached,  ///< line I, home Uncached
+  kWriteMissShared,    ///< line I, home Shared: sharers invalidated
+  kWriteMissDirty,     ///< line I, home Dirty: ownership transfer
+};
+
+inline constexpr int kNumActionKinds = 9;
+
+const char* action_kind_name(ActionKind kind);
+
+/// One step of the model: which processor accesses which model block, how.
+struct ModelAction {
+  ProcId proc = 0;
+  int block_index = 0;
+  bool is_write = false;
+};
+
+/// Effective home-directory state of `block`: the entry's state at the
+/// home-side level (the flat directory, or the inter-chip level of a
+/// hierarchical machine); an absent entry is Uncached.
+DirState effective_dir_state(const CoherenceSystem& system, BlockAddr block);
+
+/// True when `kind`'s guard is enabled for (proc, block, op) in the
+/// system's current state. Read-only.
+bool guard_enabled(const CoherenceSystem& system, ActionKind kind,
+                   ProcId proc, BlockAddr block, bool is_write);
+
+/// Number of enabled guards for (proc, block, op); `enabled` (optional)
+/// receives the first enabled kind. Exactly 1 in every sound state — 0 is
+/// a deadlock (the protocol has no transition for this access), > 1 a
+/// guard-partition bug in the model itself.
+int count_enabled(const CoherenceSystem& system, ProcId proc,
+                  BlockAddr block, bool is_write, ActionKind* enabled);
+
+/// Protocol counters an action's apply() must move in the predicted way.
+struct StatSnapshot {
+  std::uint64_t accesses = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t read_transactions = 0;
+  std::uint64_t write_transactions = 0;
+  std::uint64_t ownership_transfers = 0;
+  std::uint64_t sharing_writebacks = 0;
+};
+
+StatSnapshot snapshot(const CoherenceSystem& system);
+
+/// Verifies that the access the system just performed took the path the
+/// guard predicted: hit classes hit the cache and commit no transaction,
+/// miss classes commit exactly one transaction of the right direction, and
+/// (flat machines, where the counters are per-path exact) dirty-block
+/// classes move the ownership-transfer / sharing-writeback counters.
+/// Returns "" on agreement, else a description of the divergence. Only
+/// meaningful for fault-free steps — a seeded fault deliberately diverts
+/// the path.
+std::string cross_check(const CoherenceSystem& system, ActionKind kind,
+                        const StatSnapshot& before);
+
+}  // namespace dircc::check::model

@@ -1,0 +1,231 @@
+#include "check/model/model_config.hpp"
+
+#include <optional>
+#include <sstream>
+
+#include "common/ensure.hpp"
+
+namespace dircc::check::model {
+
+namespace {
+
+/// Same scheme names (and parameter choices) as fuzz_coherence and the
+/// hierarchy level flags: the paper's four schemes at three pointers and
+/// coarse regions of two.
+std::optional<SchemeConfig> scheme_by_name(const std::string& name,
+                                           int nodes) {
+  if (name == "full") {
+    return SchemeConfig::full(nodes);
+  }
+  if (name == "cv") {
+    return SchemeConfig::coarse(nodes, 3, 2);
+  }
+  if (name == "b") {
+    return SchemeConfig::broadcast(nodes, 3);
+  }
+  if (name == "nb") {
+    return SchemeConfig::no_broadcast(nodes, 3);
+  }
+  return std::nullopt;
+}
+
+const char* fuzz_fault_name(check::FaultKind kind) {
+  switch (kind) {
+    case check::FaultKind::kNone:
+      return "none";
+    case check::FaultKind::kForgetSharer:
+      return "sharer";
+    case check::FaultKind::kSkipInvalidation:
+      return "inval";
+    case check::FaultKind::kDropVictimWriteback:
+      return "writeback";
+    case check::FaultKind::kForgetChipSharer:
+      return "chip-sharer";
+  }
+  return "?";
+}
+
+/// Inter-chip sparse entries per home on a two-chip machine. Sized to hold
+/// every model block (max 4) so the inter store never victimizes — its
+/// way-choice, recency stamps and RNG then provably cannot influence
+/// behavior, which keeps the canonical encoding complete.
+constexpr std::uint64_t kInterSparseEntries = 4;
+
+}  // namespace
+
+SystemConfig build_system(const ModelConfig& config) {
+  const std::optional<SchemeConfig> scheme =
+      scheme_by_name(config.scheme, config.procs);
+  ensure(scheme.has_value(), "build_system on an unvalidated ModelConfig");
+  SystemConfig system;
+  system.num_procs = config.procs;
+  system.procs_per_cluster = 1;
+  system.cache_lines_per_proc = config.cache_lines;
+  system.cache_assoc = 2;
+  system.l1_lines_per_proc = 0;
+  system.l1_assoc = 2;
+  system.block_size = 16;
+  system.scheme = *scheme;
+  if (config.sparse && config.chips == 1) {
+    system.store.sparse = true;
+    system.store.sparse_entries = config.sparse_entries;
+    // Direct-mapped: victim selection is determined by occupancy alone.
+    system.store.sparse_assoc = 1;
+    system.store.policy = ReplPolicy::kRandom;
+  }
+  // Fault cells corrupt state on purpose; the invariant oracle — not the
+  // protocol's own [[noreturn]] spot check — must be the failure detector.
+  system.validate = false;
+  system.fault = config.fault;
+  // The seed only feeds sparse-store victim randomization, and every model
+  // configuration is constructed so no randomized choice ever happens
+  // (direct-mapped flat stores, non-victimizing inter store) — so replays
+  // under a different seed (fuzz_coherence derives its own) are identical.
+  system.seed = 1990;
+  if (config.chips == 2) {
+    HierarchyConfig hierarchy;
+    hierarchy.chips = 2;
+    hierarchy.inter = *scheme_by_name(config.scheme, 2);
+    hierarchy.intra = SchemeConfig::full(config.procs / 2);
+    if (config.sparse) {
+      hierarchy.inter_store.sparse = true;
+      hierarchy.inter_store.sparse_entries = kInterSparseEntries;
+    }
+    system.hierarchy = hierarchy;
+  }
+  return system;
+}
+
+BlockAddr model_block(const ModelConfig& config, int index) {
+  const auto i = static_cast<BlockAddr>(index);
+  return config.layout == BlockLayout::kSameHome
+             ? i * static_cast<BlockAddr>(config.procs)
+             : i;
+}
+
+std::string cell_name(const ModelConfig& config) {
+  std::ostringstream out;
+  out << "scheme=" << config.scheme
+      << "/store=" << (config.sparse ? "sparse" : "dense")
+      << "/chips=" << config.chips;
+  if (config.fault.kind != check::FaultKind::kNone) {
+    out << "/fault=" << fuzz_fault_name(config.fault.kind);
+  }
+  return out.str();
+}
+
+std::string validate(const ModelConfig& config) {
+  if (!scheme_by_name(config.scheme, config.procs).has_value()) {
+    return "unknown scheme '" + config.scheme + "' (full, cv, b, nb)";
+  }
+  if (config.procs < 2 || config.procs > 8) {
+    return "procs must be in [2, 8] (exhaustive exploration only scales to "
+           "tiny machines)";
+  }
+  if (config.blocks < 1 || config.blocks > 4) {
+    return "blocks must be in [1, 4]";
+  }
+  if (config.chips != 1 && config.chips != 2) {
+    return "chips must be 1 (flat) or 2 (two-level hierarchy)";
+  }
+  if (config.chips == 2 && config.procs % 2 != 0) {
+    return "chips=2 needs an even processor count";
+  }
+  if (config.cache_lines < 2 || config.cache_lines % 2 != 0) {
+    return "cache-lines must be a positive multiple of the 2-way assoc";
+  }
+  // No cache evictions, ever: each set must have room for every model
+  // block that maps to it, or LRU order would become hidden state the
+  // encoding does not capture.
+  const std::uint64_t sets = config.cache_lines / 2;
+  for (std::uint64_t s = 0; s < sets; ++s) {
+    int mapped = 0;
+    for (int b = 0; b < config.blocks; ++b) {
+      if (model_block(config, b) % sets == s) {
+        ++mapped;
+      }
+    }
+    if (mapped > 2) {
+      return "cache set " + std::to_string(s) +
+             " would hold " + std::to_string(mapped) +
+             " model blocks (> assoc): evictions would add hidden LRU state";
+    }
+  }
+  if (config.sparse && config.chips == 1 && config.sparse_entries < 1) {
+    return "a flat sparse store needs at least one entry per home";
+  }
+  if (config.fault.kind != check::FaultKind::kNone &&
+      config.fault.trigger < 1) {
+    return "fault trigger must be >= 1";
+  }
+  return "";
+}
+
+std::string fault_feasible(const ModelConfig& config) {
+  switch (config.fault.kind) {
+    case check::FaultKind::kNone:
+      return "";
+    case check::FaultKind::kForgetSharer:
+      // The only kForgetSharer site is the flat home directory's
+      // add_sharer (src/protocol/system.cpp); the hierarchical machine's
+      // inter level has its own fault kind.
+      return config.chips == 1
+                 ? ""
+                 : "forget-sharer only has a site on the flat machine "
+                   "(use chip-sharer with --chips 2)";
+    case check::FaultKind::kSkipInvalidation:
+      // Any write that invalidates another cluster's copy is a site; every
+      // model configuration reaches one.
+      return "";
+    case check::FaultKind::kDropVictimWriteback:
+      // Needs a flat sparse home small enough that a Dirty entry is
+      // victimized: two blocks sharing one home with fewer entries than
+      // blocks. The two-chip inter store is sized to never victimize.
+      if (config.chips != 1 || !config.sparse) {
+        return "drop-victim-writeback needs a flat sparse home directory";
+      }
+      if (config.layout != BlockLayout::kSameHome || config.blocks < 2) {
+        return "drop-victim-writeback needs >= 2 same-home blocks "
+               "(--blocks 2 --layout same-home) to force victimization";
+      }
+      if (config.sparse_entries >=
+          static_cast<std::uint64_t>(config.blocks)) {
+        return "drop-victim-writeback needs fewer sparse entries than "
+               "same-home blocks";
+      }
+      return "";
+    case check::FaultKind::kForgetChipSharer:
+      return config.chips == 2
+                 ? ""
+                 : "forget-chip-sharer only has a site with --chips 2";
+  }
+  return "unknown fault kind";
+}
+
+std::string replay_command(const ModelConfig& config,
+                           const std::string& trace_path) {
+  std::ostringstream out;
+  out << "fuzz_coherence --replay " << trace_path
+      << " --schemes " << config.scheme
+      << " --faults " << fuzz_fault_name(config.fault.kind)
+      << " --fault-trigger " << config.fault.trigger
+      << " --procs " << config.procs
+      << " --cache-lines " << config.cache_lines
+      << " --cache-assoc 2";
+  if (config.sparse && config.chips == 1) {
+    out << " --sparse-entries " << config.sparse_entries
+        << " --sparse-assoc 1";
+  } else {
+    out << " --sparse-entries 0";
+  }
+  if (config.chips == 2) {
+    out << " --chips 2 --inter-scheme " << config.scheme
+        << " --intra-scheme full";
+    if (config.sparse) {
+      out << " --inter-sparse-entries " << kInterSparseEntries;
+    }
+  }
+  return out.str();
+}
+
+}  // namespace dircc::check::model

@@ -1,0 +1,84 @@
+// Tiny-machine configurations for the exhaustive protocol model checker
+// (docs/MODELCHECK.md).
+//
+// The explorer enumerates every interleaving of (processor x block x
+// read/write) accesses, so configurations must be small AND free of hidden
+// state the canonical encoding (state_codec.hpp) does not capture. The
+// builder below pins the knobs that guarantee that:
+//
+//  * one processor per cluster — no intra-cluster snoop state;
+//  * the cache holds every model block without conflict — no evictions,
+//    so cache LRU order can never influence behavior;
+//  * sparse stores are direct-mapped (one way per set) — victim selection
+//    is determined by occupancy alone, so neither the store's RNG nor its
+//    recency bookkeeping can influence behavior;
+//  * contention modeling off — an access's outcome is independent of its
+//    issue time, which is what makes "one atomic access" the transition
+//    granularity.
+//
+// Everything else (scheme, dense/sparse store, one or two chips, block
+// placement) is the grid bench/model_check sweeps.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "check/api.hpp"
+#include "protocol/system.hpp"
+
+namespace dircc::check::model {
+
+/// Where the model blocks live relative to their home directories.
+enum class BlockLayout : std::uint8_t {
+  /// Block i is BlockAddr i: homes are spread round-robin, so each home
+  /// directory tracks at most one model block.
+  kSpread,
+  /// Block i is BlockAddr i * num_clusters: every block homes at cluster 0,
+  /// so an undersized sparse directory there is forced to victimize.
+  kSameHome,
+};
+
+struct ModelConfig {
+  int procs = 2;    ///< processors, one per cluster (2..8)
+  int blocks = 1;   ///< model blocks the actions range over (1..4)
+  BlockLayout layout = BlockLayout::kSpread;
+  std::string scheme = "full";  ///< full | cv | b | nb (the paper's four)
+  bool sparse = false;          ///< sparse home directory store
+  int chips = 1;                ///< 1 = flat, 2 = two-level hierarchy
+  /// Sparse entries per home cluster on a flat machine (direct-mapped).
+  /// 1 with two same-home blocks forces victimization on every alternation.
+  std::uint64_t sparse_entries = 1;
+  std::uint64_t cache_lines = 8;  ///< per processor, 2-way
+  check::FaultSpec fault;         ///< seeded mutation to hunt (kNone = clean)
+  // Exploration limits; generous for these state-space sizes.
+  std::uint64_t max_states = 1u << 20;
+  int max_depth = 64;
+};
+
+/// Builds the SystemConfig the explorer (and every emitted counterexample
+/// replay) runs. Mirrors what `fuzz_coherence --replay` reconstructs from
+/// its flags — see replay_command() — so counterexample traces are
+/// replayable outside the checker.
+SystemConfig build_system(const ModelConfig& config);
+
+/// Block address of model block `index` under the configured layout.
+BlockAddr model_block(const ModelConfig& config, int index);
+
+/// Grid-cell identity, e.g. "scheme=cv/store=sparse/chips=1".
+std::string cell_name(const ModelConfig& config);
+
+/// Empty when the configuration satisfies the no-hidden-state restrictions
+/// above; otherwise the reason it does not.
+std::string validate(const ModelConfig& config);
+
+/// Empty when the configured fault has at least one site reachable in this
+/// configuration; otherwise why it can never fire (e.g. the chip-sharer
+/// fault on a flat machine).
+std::string fault_feasible(const ModelConfig& config);
+
+/// The fuzz_coherence invocation that replays `trace_path` under this
+/// configuration's machine.
+std::string replay_command(const ModelConfig& config,
+                           const std::string& trace_path);
+
+}  // namespace dircc::check::model

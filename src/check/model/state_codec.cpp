@@ -1,0 +1,170 @@
+#include "check/model/state_codec.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+namespace dircc::check::model {
+
+namespace {
+
+/// Version deltas are capped here; see the header for the soundness
+/// argument (deltas move by +1 or reset to 0, and nothing distinguishes
+/// 3 from 33).
+constexpr std::uint32_t kDeltaCap = 3;
+
+std::uint8_t capped_delta(std::uint32_t latest, std::uint32_t held) {
+  return static_cast<std::uint8_t>(std::min(latest - held, kDeltaCap));
+}
+
+void put8(std::string& out, std::uint8_t v) {
+  out.push_back(static_cast<char>(v));
+}
+
+void put16(std::string& out, std::uint16_t v) {
+  put8(out, static_cast<std::uint8_t>(v & 0xFF));
+  put8(out, static_cast<std::uint8_t>(v >> 8));
+}
+
+void put32(std::string& out, std::uint32_t v) {
+  put16(out, static_cast<std::uint16_t>(v & 0xFFFF));
+  put16(out, static_cast<std::uint16_t>(v >> 16));
+}
+
+/// Appends one directory entry (or its absence) to the encoding. The full
+/// sharer representation goes in raw: imprecise schemes branch on pointer
+/// slots, the rotor and the overflow flag, not just on the target set.
+void encode_entry(std::string& out, const DirEntry* entry) {
+  if (entry == nullptr) {
+    put8(out, 0);
+    return;
+  }
+  put8(out, 1);
+  put8(out, static_cast<std::uint8_t>(entry->state));
+  put16(out, entry->owner);
+  put8(out, entry->sharers.ptr_count);
+  put8(out, entry->sharers.rotor);
+  put8(out, entry->sharers.overflowed ? 1 : 0);
+  for (int pos = 0; pos < EntryBits::kBits; pos += 32) {
+    put32(out, entry->sharers.bits.get_field(pos, 32));
+  }
+}
+
+char line_char(LineState state) {
+  switch (state) {
+    case LineState::kInvalid:
+      return 'I';
+    case LineState::kShared:
+      return 'S';
+    case LineState::kModified:
+      return 'M';
+  }
+  return '?';
+}
+
+char dir_char(DirState state) {
+  switch (state) {
+    case DirState::kUncached:
+      return 'U';
+    case DirState::kShared:
+      return 'S';
+    case DirState::kDirty:
+      return 'D';
+  }
+  return '?';
+}
+
+void format_entry(std::ostream& out, const CoherenceSystem& system,
+                  const SharerFormat& format, const DirEntry* entry) {
+  if (entry == nullptr) {
+    out << "-";
+    return;
+  }
+  out << dir_char(entry->state);
+  if (entry->state == DirState::kDirty) {
+    out << " owner=" << entry->owner;
+  }
+  std::vector<NodeId> targets;
+  format.collect_targets(entry->sharers, kNoNode, targets);
+  out << " targets={";
+  for (std::size_t i = 0; i < targets.size(); ++i) {
+    out << (i == 0 ? "" : ",") << targets[i];
+  }
+  out << "}";
+  if (entry->sharers.overflowed) {
+    out << " overflowed";
+  }
+  (void)system;
+}
+
+}  // namespace
+
+std::string encode_state(const CoherenceSystem& system,
+                         const ModelConfig& config) {
+  std::string out;
+  for (int b = 0; b < config.blocks; ++b) {
+    const BlockAddr block = model_block(config, b);
+    const std::uint32_t latest = system.latest_version(block);
+    for (int p = 0; p < config.procs; ++p) {
+      const Cache& cache = system.cache(static_cast<ProcId>(p));
+      const LineState line = cache.probe(block);
+      put8(out, static_cast<std::uint8_t>(line));
+      put8(out, line == LineState::kInvalid
+                    ? 0
+                    : capped_delta(latest, cache.version_of(block)));
+    }
+    put8(out, capped_delta(latest, system.memory_version_of(block)));
+    encode_entry(out, system.peek_entry(block));
+    if (system.hierarchical()) {
+      for (int chip = 0; chip < system.chips(); ++chip) {
+        encode_entry(out, system.peek_intra_entry(chip, block));
+      }
+    }
+  }
+  // Seeded-fault automaton: (opportunities seen, injected). Opportunities
+  // are capped at the trigger — once at or past it with the fault already
+  // injected (or with kNone configured) further counting cannot change
+  // behavior. Pre-fault states always carry opportunities < trigger.
+  const std::uint64_t opportunities = std::min<std::uint64_t>(
+      system.fault_opportunities(), system.config().fault.trigger);
+  put16(out, static_cast<std::uint16_t>(opportunities));
+  put8(out, system.faults_injected() > 0 ? 1 : 0);
+  return out;
+}
+
+std::string format_state(const CoherenceSystem& system,
+                         const ModelConfig& config) {
+  std::ostringstream out;
+  for (int b = 0; b < config.blocks; ++b) {
+    const BlockAddr block = model_block(config, b);
+    const std::uint32_t latest = system.latest_version(block);
+    out << "block " << block << " (home " << system.home_of(block)
+        << ", v" << latest << "):";
+    for (int p = 0; p < config.procs; ++p) {
+      const Cache& cache = system.cache(static_cast<ProcId>(p));
+      const LineState line = cache.probe(block);
+      out << " p" << p << ":" << line_char(line);
+      if (line != LineState::kInvalid) {
+        out << "v" << cache.version_of(block);
+      }
+    }
+    out << " mem:v" << system.memory_version_of(block) << " dir:";
+    format_entry(out, system, system.format(), system.peek_entry(block));
+    if (system.hierarchical()) {
+      for (int chip = 0; chip < system.chips(); ++chip) {
+        out << " intra" << chip << ":";
+        format_entry(out, system, system.intra_format(),
+                     system.peek_intra_entry(chip, block));
+      }
+    }
+    out << "\n";
+  }
+  if (system.config().fault.kind != check::FaultKind::kNone) {
+    out << "fault: " << fault_kind_name(system.config().fault.kind)
+        << " opportunities=" << system.fault_opportunities()
+        << " injected=" << system.faults_injected() << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace dircc::check::model

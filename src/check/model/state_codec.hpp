@@ -1,0 +1,46 @@
+// Canonical encoding of one reached model state (docs/MODELCHECK.md).
+//
+// The explorer deduplicates states by this encoding, so it must capture
+// every piece of architectural state that can influence future observable
+// behavior (protocol control flow, invariant verdicts, fault firing) and
+// nothing more:
+//
+//  * per (processor, model block): the cache line state and, when the line
+//    is valid, the *staleness delta* of its version — min(latest - held, 3)
+//    rather than the raw version. The protocol never branches on version
+//    values and the invariant oracle only distinguishes delta == 0 from
+//    delta > 0, and deltas only ever increment by one or reset to zero, so
+//    the cap is a sound quotient: two states that differ only in deltas
+//    >= 3 have identical futures (unbounded raw versions would make the
+//    reachable space infinite);
+//  * per model block: the memory staleness delta (same cap) and the full
+//    home-level directory entry — state, owner, and the complete sharer
+//    representation (raw EntryBits plus pointer count, rotor and overflow
+//    flag), because imprecise schemes branch on exactly those;
+//  * two-chip machines: every chip's intra-level entry for the block;
+//  * the seeded-fault automaton (corrupting opportunities seen, capped at
+//    the trigger, plus the injected flag) — future firing depends on it.
+//
+// Cache and store recency stamps, RNG state and allocation order are
+// deliberately excluded: ModelConfig construction guarantees they can
+// never influence behavior (no cache evictions, direct-mapped or
+// non-victimizing sparse stores; see model_config.hpp).
+#pragma once
+
+#include <string>
+
+#include "check/model/model_config.hpp"
+#include "protocol/system.hpp"
+
+namespace dircc::check::model {
+
+/// Canonical byte string for the system's current state. Equal strings <=>
+/// behaviorally equivalent states (under the quotient above).
+std::string encode_state(const CoherenceSystem& system,
+                         const ModelConfig& config);
+
+/// Human-readable rendering of the same state, for counterexample reports.
+std::string format_state(const CoherenceSystem& system,
+                         const ModelConfig& config);
+
+}  // namespace dircc::check::model

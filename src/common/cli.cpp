@@ -64,6 +64,12 @@ bool CliParser::parse(int argc, const char* const* argv) {
       error_ = "unknown option: --" + arg;
       return false;
     }
+    if (values_.count(arg) != 0) {
+      // Last-wins would let a sweep script's typo'd second occurrence
+      // silently mask the first (e.g. `--procs 32 ... --procs 8`).
+      error_ = "option --" + arg + " given more than once";
+      return false;
+    }
     if (it->second.is_flag) {
       if (has_value) {
         error_ = "flag --" + arg + " does not take a value";

@@ -41,8 +41,10 @@ class CliParser {
   /// scale_study defaults --inter-scheme to the coarse vector).
   void set_default(const std::string& name, std::string default_value);
 
-  /// Parses argv. Returns false (and fills error()) on unknown options or
-  /// missing values; "--help" sets help_requested().
+  /// Parses argv. Returns false (and fills error()) on unknown options,
+  /// missing values, or the same option given twice (no flag here is
+  /// repeatable, and last-wins silently masked typo'd configs);
+  /// "--help" sets help_requested().
   bool parse(int argc, const char* const* argv);
 
   std::string get(const std::string& name) const;

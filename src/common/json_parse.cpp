@@ -127,6 +127,28 @@ class Parser {
     return true;
   }
 
+  /// Consumes four hex digits of a \u escape into `code`.
+  bool hex4(unsigned& code) {
+    if (pos_ + 4 > text_.size()) {
+      return fail("truncated \\u escape");
+    }
+    code = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char hex = text_[pos_++];
+      code <<= 4;
+      if (hex >= '0' && hex <= '9') {
+        code |= static_cast<unsigned>(hex - '0');
+      } else if (hex >= 'a' && hex <= 'f') {
+        code |= static_cast<unsigned>(hex - 'a' + 10);
+      } else if (hex >= 'A' && hex <= 'F') {
+        code |= static_cast<unsigned>(hex - 'A' + 10);
+      } else {
+        return fail("bad \\u escape digit");
+      }
+    }
+    return true;
+  }
+
   bool string_body(std::string& out) {
     // Caller consumed the opening quote.
     out.clear();
@@ -153,34 +175,46 @@ class Parser {
         case 'r': out.push_back('\r'); break;
         case 't': out.push_back('\t'); break;
         case 'u': {
-          if (pos_ + 4 > text_.size()) {
-            return fail("truncated \\u escape");
-          }
           unsigned code = 0;
-          for (int i = 0; i < 4; ++i) {
-            const char hex = text_[pos_++];
-            code <<= 4;
-            if (hex >= '0' && hex <= '9') {
-              code |= static_cast<unsigned>(hex - '0');
-            } else if (hex >= 'a' && hex <= 'f') {
-              code |= static_cast<unsigned>(hex - 'a' + 10);
-            } else if (hex >= 'A' && hex <= 'F') {
-              code |= static_cast<unsigned>(hex - 'A' + 10);
-            } else {
-              return fail("bad \\u escape digit");
+          if (!hex4(code)) {
+            return false;
+          }
+          // Combine a surrogate pair into one supplementary-plane code
+          // point (RFC 8259 §7). A lone surrogate is not a code point —
+          // encoding it as a 3-byte sequence would emit invalid (CESU-8)
+          // UTF-8 — so unpaired halves are rejected.
+          if (code >= 0xDC00 && code <= 0xDFFF) {
+            return fail("unpaired low surrogate in \\u escape");
+          }
+          if (code >= 0xD800 && code <= 0xDBFF) {
+            if (pos_ + 2 > text_.size() || text_[pos_] != '\\' ||
+                text_[pos_ + 1] != 'u') {
+              return fail("high surrogate not followed by \\u escape");
             }
+            pos_ += 2;
+            unsigned low = 0;
+            if (!hex4(low)) {
+              return false;
+            }
+            if (low < 0xDC00 || low > 0xDFFF) {
+              return fail("high surrogate not followed by low surrogate");
+            }
+            code = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
           }
           // UTF-8 encode the code point (the writers only emit escapes for
-          // control characters, but accept the full BMP; surrogate pairs
-          // are passed through as two 3-byte sequences, which round-trips
-          // the writer's output byte-for-byte).
+          // control characters, but accept the full range).
           if (code < 0x80) {
             out.push_back(static_cast<char>(code));
           } else if (code < 0x800) {
             out.push_back(static_cast<char>(0xC0 | (code >> 6)));
             out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
-          } else {
+          } else if (code < 0x10000) {
             out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out.push_back(static_cast<char>(0xF0 | (code >> 18)));
+            out.push_back(static_cast<char>(0x80 | ((code >> 12) & 0x3F)));
             out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
             out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
           }

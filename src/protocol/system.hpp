@@ -266,6 +266,12 @@ class CoherenceSystem final : public MemorySystem {
   }
   /// Seeded-fault firings so far (0 unless `config.fault` is set).
   std::uint64_t faults_injected() const { return faults_injected_; }
+  /// Corrupting opportunities the configured fault has seen so far. The
+  /// pair (opportunities, injected) is the full state of the seeded-fault
+  /// automaton — the model checker (src/check/model) folds it into its
+  /// canonical state encoding so exploration with a fault armed stays a
+  /// sound reachability analysis.
+  std::uint64_t fault_opportunities() const { return fault_opportunities_; }
 
   /// IR of the most recently committed transaction (empty — TxnKind::kNone
   /// — when the last access was a cache hit). Tests and tools inspect this

@@ -27,9 +27,12 @@ namespace dircc {
 template <typename T>
 class SpscQueue {
  public:
-  /// `capacity` is rounded up to a power of two (index masking instead of
-  /// modulo). The queue holds at most `capacity` items.
-  explicit SpscQueue(std::size_t capacity) {
+  /// The queue holds at most `capacity` items — exactly the requested
+  /// bound, not a rounded one. The backing ring is still sized to the next
+  /// power of two (index masking instead of modulo), but the occupancy
+  /// check uses the requested capacity, so `--shard-queue-capacity 5`
+  /// means a lookahead window of 5, not 8.
+  explicit SpscQueue(std::size_t capacity) : limit_(capacity) {
     ensure(capacity >= 1, "spsc queue needs a positive capacity");
     std::size_t cap = 1;
     while (cap < capacity) {
@@ -42,15 +45,15 @@ class SpscQueue {
   SpscQueue(const SpscQueue&) = delete;
   SpscQueue& operator=(const SpscQueue&) = delete;
 
-  std::size_t capacity() const { return mask_ + 1; }
+  std::size_t capacity() const { return limit_; }
 
-  /// Producer side. Returns false when the ring is full (the producer is a
+  /// Producer side. Returns false when the queue is full (the producer is a
   /// full lookahead window ahead; retry after the consumer drains).
   bool try_push(const T& item) {
     const std::size_t tail = tail_.load(std::memory_order_relaxed);
-    if (tail - head_cache_ > mask_) {
+    if (tail - head_cache_ >= limit_) {
       head_cache_ = head_.load(std::memory_order_acquire);
-      if (tail - head_cache_ > mask_) {
+      if (tail - head_cache_ >= limit_) {
         return false;
       }
     }
@@ -108,6 +111,9 @@ class SpscQueue {
   alignas(64) std::size_t head_cache_ = 0;  // producer-local
   alignas(64) std::size_t tail_cache_ = 0;  // consumer-local
   std::atomic<bool> closed_{false};
+  /// Documented occupancy bound (the requested capacity); distinct from
+  /// the ring's power-of-two index mask below.
+  std::size_t limit_ = 0;
   std::size_t mask_ = 0;
   std::vector<T> slots_;
 };

@@ -44,6 +44,27 @@ TEST(CliParser, RejectsUnknownOption) {
   EXPECT_NE(cli.error().find("bogus"), std::string::npos);
 }
 
+TEST(CliParser, RejectsDuplicateOption) {
+  // A repeated option used to silently overwrite the earlier value; a grid
+  // driver invoked with `--schemes full --schemes cv` would quietly drop
+  // half the sweep. Duplicates (of options or flags, in either form) are a
+  // parse error naming the offender.
+  CliParser cli = make_parser();
+  const char* argv[] = {"prog", "--app", "lu", "--app", "mp3d"};
+  EXPECT_FALSE(cli.parse(5, argv));
+  EXPECT_NE(cli.error().find("--app"), std::string::npos) << cli.error();
+  EXPECT_NE(cli.error().find("more than once"), std::string::npos)
+      << cli.error();
+
+  CliParser equals = make_parser();
+  const char* eq_argv[] = {"prog", "--procs=16", "--procs=8"};
+  EXPECT_FALSE(equals.parse(3, eq_argv));
+
+  CliParser flags = make_parser();
+  const char* flag_argv[] = {"prog", "--sparse", "--sparse"};
+  EXPECT_FALSE(flags.parse(3, flag_argv));
+}
+
 TEST(CliParser, RejectsMissingValue) {
   CliParser cli = make_parser();
   const char* argv[] = {"prog", "--app"};

@@ -82,6 +82,60 @@ TEST(EntryBits, FieldAcrossWordBoundary) {
   EXPECT_FALSE(bits.test(63));
 }
 
+TEST(EntryBits, FieldStraddlesEveryInteriorWordBoundary) {
+  // Fields laid down across the 128- and 192-bit seams (the word-1/2 and
+  // word-2/3 boundaries the model checker's raw-entry encoding walks), at
+  // every split of an 8-bit field around each seam.
+  for (const int seam : {128, 192}) {
+    for (int split = 1; split < 8; ++split) {
+      EntryBits bits;
+      const int pos = seam - split;
+      bits.set_field(pos, 8, 0xB7);
+      EXPECT_EQ(bits.get_field(pos, 8), 0xB7u)
+          << "seam " << seam << " split " << split;
+      // Each bit landed where the little-endian layout says it must.
+      for (int i = 0; i < 8; ++i) {
+        EXPECT_EQ(bits.test(pos + i), ((0xB7 >> i) & 1) != 0)
+            << "seam " << seam << " bit " << i;
+      }
+      bits.set_field(pos, 8, 0x48);
+      EXPECT_EQ(bits.get_field(pos, 8), 0x48u)
+          << "overwrite across seam " << seam;
+      EXPECT_EQ(bits.popcount(), 2);
+    }
+  }
+}
+
+TEST(EntryBits, FullWidthFieldsAtTheTopOfTheSet) {
+  // Maximum-width (32-bit) fields, including one straddling a word seam
+  // and one ending exactly at kBits.
+  EntryBits bits;
+  bits.set_field(112, 32, 0xDEADBEEF);
+  EXPECT_EQ(bits.get_field(112, 32), 0xDEADBEEFu);
+  EXPECT_EQ(bits.get_field(112, 16), 0xBEEFu);
+  EXPECT_EQ(bits.get_field(128, 16), 0xDEADu);
+  bits.reset();
+  bits.set_field(EntryBits::kBits - 32, 32, 0x80000001);
+  EXPECT_EQ(bits.get_field(EntryBits::kBits - 32, 32), 0x80000001u);
+  EXPECT_TRUE(bits.test(EntryBits::kBits - 1));
+  EXPECT_TRUE(bits.test(EntryBits::kBits - 32));
+  EXPECT_EQ(bits.popcount(), 2);
+}
+
+TEST(EntryBits, FindNextAtTheLastPosition) {
+  // from == kBits - 1 is the last legal query; it must see exactly bit 255
+  // and never read past the array.
+  EntryBits bits;
+  EXPECT_EQ(bits.find_next(EntryBits::kBits - 1), -1);
+  bits.set(EntryBits::kBits - 1);
+  EXPECT_EQ(bits.find_next(EntryBits::kBits - 1), EntryBits::kBits - 1);
+  EXPECT_EQ(bits.find_next(EntryBits::kBits), -1);
+  bits.clear(EntryBits::kBits - 1);
+  bits.set(EntryBits::kBits - 2);
+  EXPECT_EQ(bits.find_next(EntryBits::kBits - 1), -1)
+      << "a set bit below `from` must not be reported";
+}
+
 TEST(EntryBits, ZeroWidthFieldIsZero) {
   EntryBits bits;
   EXPECT_EQ(bits.get_field(0, 0), 0u);

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "common/json.hpp"
+#include "common/json_parse.hpp"
 
 namespace dircc {
 namespace {
@@ -87,6 +88,40 @@ TEST(JsonWriter, EscapesKeys) {
   json.field("we\"ird", std::string("x"));
   json.end_object();
   EXPECT_EQ(out.str(), "{\"we\\\"ird\":\"x\"}");
+}
+
+TEST(JsonParse, CombinesSurrogatePairsIntoFourByteUtf8) {
+  // U+1D11E (musical G clef) is \uD834\uDD1E; RFC 8259 §7 says the pair
+  // denotes one supplementary-plane code point, which UTF-8 encodes as
+  // exactly four bytes — not two 3-byte CESU-8 sequences.
+  JsonValue doc;
+  std::string error;
+  ASSERT_TRUE(json_parse("\"\\uD834\\uDD1E\"", doc, &error)) << error;
+  EXPECT_EQ(doc.as_string(), "\xF0\x9D\x84\x9E");
+  // Supplementary-plane text round-trips through the writer: the writer
+  // passes non-control bytes through raw, and the parser accepts raw UTF-8.
+  std::ostringstream out;
+  JsonWriter json(out);
+  json.begin_object();
+  json.field("s", doc.as_string());
+  json.end_object();
+  JsonValue again;
+  ASSERT_TRUE(json_parse(out.str(), again, &error)) << error;
+  ASSERT_NE(again.find("s"), nullptr);
+  EXPECT_EQ(again.find("s")->as_string(), "\xF0\x9D\x84\x9E");
+}
+
+TEST(JsonParse, RejectsUnpairedSurrogates) {
+  JsonValue doc;
+  std::string error;
+  // Lone high surrogate (end of string, non-escape follower, and a
+  // non-low-surrogate second escape) and a lone low surrogate.
+  EXPECT_FALSE(json_parse("\"\\uD834\"", doc, &error));
+  EXPECT_NE(error.find("high surrogate"), std::string::npos) << error;
+  EXPECT_FALSE(json_parse("\"\\uD834x\"", doc, &error));
+  EXPECT_FALSE(json_parse("\"\\uD834\\u0041\"", doc, &error));
+  EXPECT_FALSE(json_parse("\"\\uDD1E\"", doc, &error));
+  EXPECT_NE(error.find("low surrogate"), std::string::npos) << error;
 }
 
 TEST(JsonWriterDeathTest, RejectsValueWithoutKeyInObject) {

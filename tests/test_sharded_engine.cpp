@@ -88,17 +88,29 @@ TEST(SpscQueue, FifoThroughWraparound) {
   EXPECT_FALSE(queue.try_pop(out));
 }
 
-TEST(SpscQueue, CapacityIsABoundAndRoundsToPowerOfTwo) {
-  SpscQueue<int> queue(5);  // rounds up to 8
-  EXPECT_EQ(queue.capacity(), 8u);
-  for (int i = 0; i < 8; ++i) {
+TEST(SpscQueue, CapacityIsTheRequestedBoundNotTheRingSize) {
+  // The ring backing store rounds up to a power of two for index masking,
+  // but the documented occupancy bound is the *requested* capacity: a
+  // 5-slot queue must reject the 6th push, not the 9th.
+  SpscQueue<int> queue(5);
+  EXPECT_EQ(queue.capacity(), 5u);
+  for (int i = 0; i < 5; ++i) {
     ASSERT_TRUE(queue.try_push(i));
   }
-  EXPECT_FALSE(queue.try_push(99)) << "a full ring must reject the push";
+  EXPECT_FALSE(queue.try_push(99)) << "a full queue must reject the push";
   int out = 0;
   ASSERT_TRUE(queue.try_pop(out));
   EXPECT_EQ(out, 0);
   EXPECT_TRUE(queue.try_push(99)) << "one pop frees one slot";
+  EXPECT_FALSE(queue.try_push(100)) << "and exactly one";
+  // The bound holds through wraparound too, where the old occupancy check
+  // (ring-size based) used to admit capacity-rounded-up items.
+  for (int lap = 0; lap < 3; ++lap) {
+    ASSERT_TRUE(queue.try_pop(out));
+    ASSERT_TRUE(queue.try_push(lap));
+    EXPECT_FALSE(queue.try_push(0)) << "lap " << lap;
+    EXPECT_EQ(queue.size(), 5u);
+  }
 }
 
 TEST(SpscQueue, CloseLosesNothingAlreadyQueued) {

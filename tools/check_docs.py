@@ -47,8 +47,18 @@ DOCUMENTED_FLAGS = {
                        ["schemes", "faults", "sparse-entries", "seeds",
                         "seed-base", "fault-trigger", "procs", "rounds",
                         "units", "hot", "pool", "locks", "cache-lines",
-                        "l1-lines", "minimize", "dump", "replay",
-                        "require-caught"]),
+                        "cache-assoc", "sparse-assoc", "l1-lines",
+                        "minimize", "dump", "replay", "require-caught"]),
+    # model_check is deliberately NOT in SWEEP_BINARIES: exhaustive
+    # exploration is serial per cell and builds its own tiny machines, so
+    # it takes none of the shared sweep flags — only its own grid knobs,
+    # tabled in docs/MODELCHECK.md.
+    "model_check": ("docs/MODELCHECK.md",
+                    ["schemes", "stores", "chips", "faults",
+                     "fault-trigger", "procs", "blocks", "layout",
+                     "sparse-entries", "cache-lines", "max-states",
+                     "max-depth", "dump", "require-clean",
+                     "require-caught"]),
     "hotspot_report": ("docs/OBSERVABILITY.md",
                        ["workloads", "schemes", "clients", "procs",
                         "cache-lines", "scale", "seed", "top", "out"]),
@@ -68,7 +78,8 @@ DOCUMENTED_FLAGS = {
 # suite (docs/PARALLELISM.md) reachable from the places readers start at.
 REQUIRED_MENTIONS = {
     "README.md": ["--engine-threads", "docs/PARALLELISM.md", "--chips",
-                  "docs/HIERARCHY.md"],
+                  "docs/HIERARCHY.md", "model_check",
+                  "docs/MODELCHECK.md"],
     "docs/HARNESS.md": ["--engine-threads", "PARALLELISM.md", "--chips",
                         "HIERARCHY.md"],
     "docs/ARCHITECTURE.md": ["PARALLELISM.md", "sharded_engine",
@@ -78,7 +89,11 @@ REQUIRED_MENTIONS = {
                             "shard_queue_capacity"],
     "docs/PROTOCOL.md": ["kChip", "HIERARCHY.md"],
     "docs/CHECKER.md": ["chip-uncovered", "chip-clean-dirty",
-                        "chip-sharer", "HIERARCHY.md"],
+                        "chip-sharer", "HIERARCHY.md", "MODELCHECK.md",
+                        "model_check"],
+    "docs/MODELCHECK.md": ["guarded", "deadlock", "--require-clean",
+                           "--require-caught", "fuzz_coherence --replay",
+                           "CHECKER.md"],
     "docs/HIERARCHY.md": ["--chips", "--inter-scheme", "--intra-scheme",
                           "kChipRequest", "DirectoryLevel", "gateway",
                           "chip-uncovered", "chip-clean-dirty",
